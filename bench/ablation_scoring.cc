@@ -1,0 +1,69 @@
+// Ablation study Abl-1 (DESIGN.md): the design choices inside SPRITE's
+// learning, evaluated on the Figure 4(a) pipeline at 20 answers.
+//
+//   score variants — the paper's Score = qScore * log10(QF) against
+//     dropping the log (raw QF), dropping QF (qScore only), and dropping
+//     qScore (QF only). Section 5.3 argues the log keeps query *quality*
+//     dominant over raw popularity.
+//   history capacity — indexing peers keep only the most recent queries
+//     (Section 3); a tiny history forgets the locality the learner needs.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace sprite;
+
+eval::EvalResult RunVariant(const spritebench::BenchArgs& args,
+                            const eval::TestBed& bed,
+                            core::LearningScoreVariant variant,
+                            size_t history_capacity) {
+  core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
+  config.score_variant = variant;
+  config.history_capacity = history_capacity;
+  core::SpriteSystem system(config);
+  SPRITE_CHECK_OK(eval::TrainSystem(system, bed, bed.split().train, 3));
+  return eval::EvaluateSystem(system, bed, bed.split().test, 20);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
+  spritebench::PrintHeader("Ablation: learning score & history (Abl-1)",
+                           args);
+
+  eval::TestBed bed =
+      eval::TestBed::Build(spritebench::DefaultExperiment(args));
+
+  struct NamedVariant {
+    const char* name;
+    core::LearningScoreVariant variant;
+  };
+  const NamedVariant kVariants[] = {
+      {"qScore*log10(QF)  [paper]", core::LearningScoreVariant::kQScoreLogQf},
+      {"qScore*QF         [no log]", core::LearningScoreVariant::kQScoreRawQf},
+      {"qScore only       [no QF]", core::LearningScoreVariant::kQScoreOnly},
+      {"log10(QF) only    [no qScore]", core::LearningScoreVariant::kQfOnly},
+  };
+
+  std::printf("score variant                    |  P ratio |  R ratio\n");
+  std::printf("---------------------------------+----------+---------\n");
+  for (const auto& v : kVariants) {
+    eval::EvalResult r = RunVariant(args, bed, v.variant, 4096);
+    std::printf("%-32s |   %5.3f  |   %5.3f\n", v.name, r.ratio.precision,
+                r.ratio.recall);
+  }
+
+  std::printf("\nhistory capacity (paper variant) |  P ratio |  R ratio\n");
+  std::printf("---------------------------------+----------+---------\n");
+  for (size_t capacity : {8u, 32u, 128u, 512u, 4096u}) {
+    eval::EvalResult r = RunVariant(
+        args, bed, core::LearningScoreVariant::kQScoreLogQf, capacity);
+    std::printf("%6zu queries/peer             |   %5.3f  |   %5.3f\n",
+                capacity, r.ratio.precision, r.ratio.recall);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#ifndef SPRITE_BENCH_BENCH_COMMON_H_
+#define SPRITE_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the figure-reproduction benches. Every bench builds the
+// same kind of test bed (synthetic TREC9-substitute corpus + the paper's
+// query generator) and reports precision/recall as ratios to the
+// centralized baseline, exactly like Section 6.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/sprite_system.h"
+#include "eval/experiment.h"
+
+namespace spritebench {
+
+// Paper defaults (Section 6.2), scaled to laptop size: the paper uses
+// 348,565 TREC9 documents; we default to a few thousand synthetic ones.
+// Override with --docs=N / --peers=N / --seed=N on any bench binary.
+struct BenchArgs {
+  size_t docs = 3000;
+  size_t peers = 64;
+  uint64_t seed = 42;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    unsigned long long v = 0;
+    if (std::sscanf(argv[i], "--docs=%llu", &v) == 1) {
+      args.docs = static_cast<size_t>(v);
+    } else if (std::sscanf(argv[i], "--peers=%llu", &v) == 1) {
+      args.peers = static_cast<size_t>(v);
+    } else if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) {
+      args.seed = v;
+    }
+  }
+  return args;
+}
+
+// The default experiment: 63 base queries -> 630 generated (O = 0.7),
+// split 50/50 into training and testing.
+inline sprite::eval::ExperimentOptions DefaultExperiment(
+    const BenchArgs& args) {
+  sprite::eval::ExperimentOptions o;
+  o.corpus.seed = args.seed;
+  o.corpus.num_docs = args.docs;
+  o.generator.seed = args.seed * 31 + 7;
+  o.generator.overlap = 0.7;
+  o.generator.derived_per_original = 9;
+  // The paper uses E = 1000 on 348k documents; at laptop corpus sizes that
+  // would be a third of the corpus, so scale E to a comparable few percent.
+  o.generator.rank_cutoff = std::max<size_t>(100, args.docs / 30);
+  o.split_seed = args.seed * 17 + 3;
+  return o;
+}
+
+// Section 6.2 defaults: 5 initial terms, 3 iterations of 5 -> 20 terms.
+inline sprite::core::SpriteConfig DefaultSpriteConfig(const BenchArgs& args,
+                                                      size_t max_terms = 20) {
+  sprite::core::SpriteConfig c;
+  c.num_peers = args.peers;
+  c.initial_terms = 5;
+  c.terms_per_iteration = 5;
+  c.max_index_terms = max_terms;
+  c.seed = args.seed;
+  return c;
+}
+
+inline void PrintHeader(const char* title, const BenchArgs& args) {
+  std::printf("== %s ==\n", title);
+  std::printf("   corpus: %zu synthetic docs (TREC9 substitute), "
+              "63 base queries -> 630 generated (O=0.7), 50/50 train/test\n",
+              args.docs);
+  std::printf("   network: %zu peers, Chord m=32, MD5 term hashing\n\n",
+              args.peers);
+}
+
+}  // namespace spritebench
+
+#endif  // SPRITE_BENCH_BENCH_COMMON_H_

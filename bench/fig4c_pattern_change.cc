@@ -1,0 +1,82 @@
+// Reproduces Figure 4(c): robustness to a change in the query access
+// pattern. The workload is split into two groups such that every original
+// query and its derived queries stay together. Iterations 1-5 issue and
+// evaluate group A; iterations 6-10 switch to group B, which the system
+// has never seen. The index is capped at 30 terms, after which only term
+// replacement happens (Algorithm 1's eviction).
+//
+// Paper shape: SPRITE improves through iterations 1-5, dips at iteration 6
+// when the unseen queries arrive, then recovers within about one learning
+// iteration and stabilizes above eSearch. eSearch grows its static index
+// until it hits 30 terms (iteration 6) and is flat afterwards.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "querygen/workload.h"
+
+namespace {
+
+using namespace sprite;
+
+// Issues the group's queries (recording them in peer histories), then
+// evaluates the same group, then runs one learning period.
+struct IterationResult {
+  double precision, recall;
+};
+
+IterationResult RunIteration(core::SpriteSystem& system,
+                             const eval::TestBed& bed,
+                             const std::vector<size_t>& group) {
+  for (size_t idx : group) {
+    system.RecordQuery(bed.query(idx));
+  }
+  eval::EvalResult r = eval::EvaluateSystem(system, bed, group, 20);
+  system.RunLearningIteration();
+  return IterationResult{r.ratio.precision, r.ratio.recall};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
+  spritebench::PrintHeader(
+      "Figure 4(c): adapting to changing query patterns", args);
+
+  eval::TestBed bed =
+      eval::TestBed::Build(spritebench::DefaultExperiment(args));
+  Rng group_rng(args.seed * 7 + 5);
+  querygen::PatternGroups groups =
+      querygen::SplitByOrigin(bed.workload(), group_rng);
+
+  core::SpriteSystem sprite_sys(
+      spritebench::DefaultSpriteConfig(args, /*max_terms=*/30));
+  // eSearch grows by 5 frequency terms per iteration until the same cap.
+  core::SpriteConfig esearch_config =
+      core::MakeESearchConfig(spritebench::DefaultSpriteConfig(args), 5);
+  esearch_config.max_index_terms = 30;
+  esearch_config.terms_per_iteration = 5;
+  core::SpriteSystem esearch_sys(esearch_config);
+
+  SPRITE_CHECK_OK(sprite_sys.ShareCorpus(bed.corpus()));
+  SPRITE_CHECK_OK(esearch_sys.ShareCorpus(bed.corpus()));
+
+  std::printf("%5s | %5s | %18s | %18s\n", "iter", "group", "SPRITE (P / R)",
+              "eSearch (P / R)");
+  std::printf("------+-------+--------------------+-------------------\n");
+  for (int iteration = 1; iteration <= 10; ++iteration) {
+    const std::vector<size_t>& group =
+        iteration <= 5 ? groups.group_a : groups.group_b;
+    IterationResult s = RunIteration(sprite_sys, bed, group);
+    IterationResult e = RunIteration(esearch_sys, bed, group);
+    std::printf("%5d |   %c   |   %6.3f / %6.3f  |   %6.3f / %6.3f\n",
+                iteration, iteration <= 5 ? 'A' : 'B', s.precision, s.recall,
+                e.precision, e.recall);
+  }
+  std::printf(
+      "\n(ratios to centralized at 20 answers; paper: SPRITE dips when the\n"
+      " unseen group B arrives at iteration 6 and recovers within one\n"
+      " iteration; eSearch is flat after reaching its 30-term cap)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Supplementary micro-benchmarks (Supp-4): throughput of the text and
+// hashing substrates that every indexing and query operation passes
+// through.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/md5.h"
+#include "common/rng.h"
+#include "common/sha1.h"
+#include "corpus/synthetic.h"
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace sprite;
+
+std::string MakeText(size_t words, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  for (size_t i = 0; i < words; ++i) {
+    text += corpus::SyntheticCorpusGenerator::TermName(rng.NextUint64(5000));
+    // Pepper in suffixes so the stemmer has work to do.
+    switch (rng.NextUint64(5)) {
+      case 0: text += "ing"; break;
+      case 1: text += "ed"; break;
+      case 2: text += "s"; break;
+      default: break;
+    }
+    text += (i % 12 == 11) ? ".\n" : " ";
+  }
+  return text;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string text = MakeText(2000, 1);
+  text::Tokenizer tokenizer;
+  for (auto _ : state) {
+    auto tokens = tokenizer.Tokenize(text);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+void BM_PorterStem(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize(MakeText(2000, 2));
+  text::PorterStemmer stemmer;
+  for (auto _ : state) {
+    for (const auto& t : tokens) {
+      auto stem = stemmer.Stem(t);
+      benchmark::DoNotOptimize(stem);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tokens.size()));
+}
+
+void BM_AnalyzeDocument(benchmark::State& state) {
+  const std::string text = MakeText(2000, 3);
+  text::Analyzer analyzer;
+  for (auto _ : state) {
+    auto tv = analyzer.AnalyzeToVector(text);
+    benchmark::DoNotOptimize(tv);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+void BM_Md5TermKey(benchmark::State& state) {
+  std::vector<std::string> terms;
+  for (int i = 0; i < 1000; ++i) {
+    terms.push_back(corpus::SyntheticCorpusGenerator::TermName(i));
+  }
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (const auto& t : terms) acc ^= Md5Prefix64(t);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+
+void BM_Md5Block(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    auto digest = Md5Sum(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+
+void BM_Sha1Block(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    auto digest = Sha1Sum(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Tokenize);
+BENCHMARK(BM_PorterStem);
+BENCHMARK(BM_AnalyzeDocument);
+BENCHMARK(BM_Md5TermKey);
+BENCHMARK(BM_Md5Block)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Sha1Block)->Arg(4096);

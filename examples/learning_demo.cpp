@@ -1,0 +1,97 @@
+// Learning walk-through in the style of the paper's Figure 2(b): watch one
+// document's global index terms evolve as queries arrive and learning
+// periods run — initial frequency-based terms, additions of queried terms,
+// and replacement of obsolete terms once the cap is reached.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/sprite_system.h"
+#include "corpus/corpus.h"
+
+namespace {
+
+using namespace sprite;
+
+text::TermVector TV(const std::vector<std::string>& tokens) {
+  return text::TermVector::FromTokens(tokens);
+}
+
+void ShowIndexTerms(const core::SpriteSystem& system, corpus::DocId doc,
+                    const char* when) {
+  const auto* terms = system.IndexTermsOf(doc);
+  std::printf("%-28s {", when);
+  for (size_t i = 0; i < terms->size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", (*terms)[i].c_str());
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  // One document about distributed retrieval. Term frequencies are shaped
+  // so that the most frequent terms are generic ("document", "index") and
+  // the discriminative ones ("bloom", "gossip", "replica") are rarer —
+  // exactly the situation where frequency-only selection goes wrong.
+  corpus::Corpus corpus;
+  corpus::DocId doc = corpus.AddDocument(
+      TV({"document", "document", "document", "document", "index", "index",
+          "index", "peer", "peer", "peer", "search", "search", "bloom",
+          "bloom", "gossip", "replica", "latency"}),
+      "distributed-retrieval");
+
+  core::SpriteConfig config;
+  config.num_peers = 16;
+  config.initial_terms = 3;
+  config.terms_per_iteration = 2;
+  config.max_index_terms = 5;  // small cap so replacement kicks in
+  core::SpriteSystem system(config);
+  SPRITE_CHECK_OK(system.ShareCorpus(corpus));
+
+  std::printf("document '%s' shared; cap %zu terms, %zu per iteration\n\n",
+              corpus.doc(doc).title.c_str(), config.max_index_terms,
+              config.terms_per_iteration);
+  ShowIndexTerms(system, doc, "initial (top frequency):");
+
+  // Period 1: users seek this document with "bloom filter" style queries
+  // that include one indexed term as a hook.
+  auto q = [](corpus::QueryId id, std::vector<std::string> terms) {
+    return corpus::Query{id, std::move(terms)};
+  };
+  (void)system.Search(q(1, {"index", "bloom"}), 5);
+  (void)system.Search(q(2, {"index", "bloom"}), 5);
+  (void)system.Search(q(3, {"peer", "bloom", "gossip"}), 5);
+  system.RunLearningIteration();
+  ShowIndexTerms(system, doc, "after period 1:");
+  std::printf("  (queries on index/peer taught the owner that 'bloom' and "
+              "'gossip' matter)\n");
+
+  // Period 2: interest shifts to replication; the cap forces the least
+  // useful current term out, as in Figure 2(b) where t5 gives way to t3.
+  (void)system.Search(q(4, {"bloom", "replica"}), 5);
+  (void)system.Search(q(5, {"bloom", "replica"}), 5);
+  (void)system.Search(q(6, {"gossip", "replica", "latency"}), 5);
+  system.RunLearningIteration();
+  ShowIndexTerms(system, doc, "after period 2:");
+
+  // Show the learned statistics the owner keeps per term (Algorithm 1's
+  // entire persistent state).
+  const core::OwnerPeer* owner = system.owner_peer(system.OwnerOf(doc));
+  const core::OwnedDocument* owned = owner->document(doc);
+  std::printf("\nowner-side per-term statistics (best qScore, cumulative "
+              "QF):\n");
+  std::vector<std::pair<std::string, core::TermLearningStats>> stats(
+      owned->stats.begin(), owned->stats.end());
+  std::sort(stats.begin(), stats.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [term, st] : stats) {
+    std::printf("  %-10s qScore=%.2f QF=%llu  Score=%.3f\n", term.c_str(),
+                st.best_qscore, static_cast<unsigned long long>(st.query_freq),
+                core::TermScore(st, config.score_variant));
+  }
+  return 0;
+}

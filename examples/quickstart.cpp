@@ -1,0 +1,108 @@
+// Quickstart: share a handful of documents in a simulated SPRITE network,
+// run keyword searches, and let the system learn from the queries.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "core/sprite_system.h"
+#include "corpus/corpus.h"
+#include "corpus/loader.h"
+#include "text/analyzer.h"
+
+namespace {
+
+// A tiny embedded collection; in a real deployment every owner peer shares
+// its own files. The loader runs the paper's preprocessing (tokenize,
+// stop-word removal, Porter stemming).
+constexpr const char* kCollection =
+    "chord-paper\tChord is a scalable peer to peer lookup service for "
+    "internet applications. Chord assigns keys to nodes with consistent "
+    "hashing and routes lookups in logarithmic hops across the ring.\n"
+    "sprite-paper\tSPRITE selects a small set of representative terms for "
+    "each shared document and progressively tunes the indexed terms by "
+    "learning from past queries cached at indexing peers.\n"
+    "esearch-paper\tThe eSearch system statically indexes the most frequent "
+    "terms of every document and replicates complete term lists at the "
+    "indexing peers for local ranking.\n"
+    "gnutella-note\tUnstructured networks flood queries within a radius of "
+    "the neighborhood, which wastes bandwidth and misses relevant documents "
+    "stored at distant peers.\n"
+    "vsm-survey\tThe vector space model ranks documents by term weights; "
+    "TF IDF weighting multiplies term frequency with the inverse document "
+    "frequency, and normalization divides by document length.\n";
+
+void PrintResults(const char* caption, const sprite::ir::RankedList& results,
+                  const sprite::corpus::Corpus& corpus) {
+  std::printf("%s\n", caption);
+  if (results.empty()) {
+    std::printf("  (no results)\n");
+    return;
+  }
+  for (const auto& scored : results) {
+    std::printf("  %-16s score %.4f\n",
+                corpus.doc(scored.doc).title.c_str(), scored.score);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sprite;
+
+  // 1. Analyze the raw text into a corpus.
+  text::Analyzer analyzer;
+  corpus::Corpus corpus;
+  auto loaded = corpus::LoadCorpusFromTsvString(kCollection, analyzer, corpus);
+  SPRITE_CHECK(loaded.ok());
+  std::printf("loaded %zu documents, %zu distinct terms\n\n", loaded.value(),
+              corpus.vocabulary_size());
+
+  // 2. Bring up a SPRITE network: 16 peers, 3 initial index terms per
+  //    document, learning enabled.
+  core::SpriteConfig config;
+  config.num_peers = 16;
+  config.initial_terms = 3;
+  config.terms_per_iteration = 3;
+  config.max_index_terms = 8;
+  core::SpriteSystem system(config);
+  SPRITE_CHECK_OK(system.ShareCorpus(corpus));
+
+  // 3. Search. Queries go through the same analyzer as the documents.
+  auto make_query = [&](corpus::QueryId id, const char* words) {
+    corpus::Query q;
+    q.id = id;
+    q.terms = corpus::DedupTerms(analyzer.Analyze(words));
+    return q;
+  };
+
+  corpus::Query q1 = make_query(1, "peer to peer lookup routing");
+  PrintResults("query: 'peer to peer lookup routing'",
+               system.Search(q1, 3).value(), corpus);
+
+  // "consistent hashing" is characteristic of the Chord paper but not
+  // among its most frequent terms — initially unindexed.
+  corpus::Query q2 = make_query(2, "consistent hashing ring");
+  PrintResults("\nquery: 'consistent hashing ring' (before learning)",
+               system.Search(q2, 3).value(), corpus);
+
+  // 4. Issue the query a few times and run a learning period: the owner
+  //    peers poll the cached queries and index the missing terms.
+  for (corpus::QueryId i = 3; i < 6; ++i) {
+    (void)system.Search(make_query(i, "chord consistent hashing ring"), 3);
+  }
+  system.RunLearningIteration();
+
+  PrintResults("\nquery: 'consistent hashing ring' (after learning)",
+               system.Search(q2, 3).value(), corpus);
+
+  const auto* terms = system.IndexTermsOf(0);
+  std::printf("\nindex terms of '%s' are now:", corpus.doc(0).title.c_str());
+  for (const auto& t : *terms) std::printf(" %s", t.c_str());
+  std::printf("\n\nnetwork traffic so far:\n%s",
+              system.network_stats().ToString().c_str());
+  return 0;
+}

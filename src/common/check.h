@@ -1,0 +1,32 @@
+#ifndef SPRITE_COMMON_CHECK_H_
+#define SPRITE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking that is active in all build types (unlike assert).
+// A failed check indicates a programming error inside the library, not a
+// recoverable condition, so it terminates the process.
+
+#define SPRITE_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SPRITE_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SPRITE_CHECK_OK(status_expr)                                        \
+  do {                                                                      \
+    const ::sprite::Status _s = (status_expr);                              \
+    if (!_s.ok()) {                                                         \
+      std::fprintf(stderr, "SPRITE_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _s.ToString().c_str());              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SPRITE_DCHECK(cond) assert(cond)
+
+#endif  // SPRITE_COMMON_CHECK_H_

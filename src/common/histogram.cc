@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sprite {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sum_ = 0.0;
+  sorted_valid_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Histogram::min() const {
+  SPRITE_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  SPRITE_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Histogram::Percentile(double p) const {
+  SPRITE_CHECK(!samples_.empty());
+  SPRITE_CHECK(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  if (p <= 0.0) return sorted_.front();
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(sorted_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+std::string Histogram::Summary() const {
+  if (samples_.empty()) return "count=0";
+  return StrFormat("count=%zu mean=%.3f p50=%.3f p95=%.3f max=%.3f", count(),
+                   Mean(), Percentile(50), Percentile(95), max());
+}
+
+}  // namespace sprite

@@ -1,0 +1,47 @@
+#ifndef SPRITE_COMMON_HISTOGRAM_H_
+#define SPRITE_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sprite {
+
+// Accumulates scalar samples and reports summary statistics. Used by the
+// simulation layer (hop counts, message sizes) and the benchmark harness.
+// Percentiles are exact (samples are retained), which is fine at the scale
+// of a simulation run.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double StdDev() const;
+
+  // Exact percentile via nearest-rank; `p` in [0, 100].
+  double Percentile(double p) const;
+
+  // One-line summary: "count=... mean=... p50=... p95=... max=...".
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_HISTOGRAM_H_

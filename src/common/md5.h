@@ -1,0 +1,73 @@
+#ifndef SPRITE_COMMON_MD5_H_
+#define SPRITE_COMMON_MD5_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sprite {
+
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The paper hashes every term (and every cached query) with MD5 to place it
+// on the Chord ring, so this is a core substrate. Incremental interface:
+//
+//   Md5 md5;
+//   md5.Update("hello ");
+//   md5.Update("world");
+//   Md5Digest d = md5.Finalize();
+//
+// One-shot helpers Md5Sum() / Md5Hex() / Md5Prefix64() cover common uses.
+struct Md5Digest {
+  std::array<uint8_t, 16> bytes{};
+
+  // Lowercase hex representation, e.g. "d41d8cd98f00b204e9800998ecf8427e".
+  std::string ToHex() const;
+
+  // First 8 digest bytes interpreted as a big-endian unsigned integer.
+  // Used to derive DHT keys from term/query hashes.
+  uint64_t Prefix64() const;
+
+  friend bool operator==(const Md5Digest& a, const Md5Digest& b) {
+    return a.bytes == b.bytes;
+  }
+};
+
+class Md5 {
+ public:
+  Md5();
+
+  // Appends `data` to the message being hashed.
+  void Update(std::string_view data);
+  void Update(const uint8_t* data, size_t len);
+
+  // Completes the hash. The object must not be reused afterwards except
+  // via Reset().
+  Md5Digest Finalize();
+
+  // Restores the initial state so the object can hash a new message.
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[4];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+// One-shot digest of `data`.
+Md5Digest Md5Sum(std::string_view data);
+
+// One-shot lowercase hex digest of `data`.
+std::string Md5Hex(std::string_view data);
+
+// One-shot 64-bit key prefix of the digest of `data`.
+uint64_t Md5Prefix64(std::string_view data);
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_MD5_H_

@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace sprite {
+namespace {
+
+constexpr uint64_t RotateLeft(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // xoshiro must not be seeded with all zeros; SplitMix64 of any seed makes
+  // that astronomically unlikely, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+  has_gaussian_ = false;
+  spare_gaussian_ = 0.0;
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256**
+  const uint64_t result = RotateLeft(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotateLeft(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  SPRITE_CHECK(bound > 0);
+  // Rejection sampling over the largest multiple of `bound`.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  SPRITE_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_gaussian_) {
+    has_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SPRITE_CHECK(k <= n);
+  // Floyd's algorithm would avoid the O(n) init, but n is small in all our
+  // uses and a shuffle of indices keeps the draw order deterministic.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(NextUint64(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace sprite

@@ -1,0 +1,153 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace sprite {
+namespace {
+
+constexpr uint32_t RotateLeft(uint32_t x, uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+}  // namespace
+
+Sha1::Sha1() { Reset(); }
+
+void Sha1::Reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  state_[4] = 0xc3d2e1f0;
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::Update(std::string_view data) {
+  Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+}
+
+void Sha1::Update(const uint8_t* data, size_t len) {
+  bit_count_ += static_cast<uint64_t>(len) * 8;
+  if (buffer_len_ > 0) {
+    size_t take = 64 - buffer_len_;
+    if (take > len) take = len;
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(data);
+    data += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
+  }
+}
+
+void Sha1::ProcessBlock(const uint8_t block[64]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotateLeft(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+           e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    uint32_t temp = RotateLeft(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotateLeft(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1Digest Sha1::Finalize() {
+  uint64_t bit_count = bit_count_;
+  static constexpr uint8_t kPad[64] = {0x80};
+  size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_)
+                                      : (120 - buffer_len_);
+  Update(kPad, pad_len);
+  uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<uint8_t>(bit_count >> (8 * (7 - i)));
+  }
+  Update(length_bytes, 8);
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    digest.bytes[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    digest.bytes[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    digest.bytes[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+std::string Sha1Digest::ToHex() const {
+  static constexpr char kHexChars[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (uint8_t b : bytes) {
+    out.push_back(kHexChars[b >> 4]);
+    out.push_back(kHexChars[b & 0x0f]);
+  }
+  return out;
+}
+
+uint64_t Sha1Digest::Prefix64() const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | bytes[i];
+  }
+  return v;
+}
+
+Sha1Digest Sha1Sum(std::string_view data) {
+  Sha1 sha1;
+  sha1.Update(data);
+  return sha1.Finalize();
+}
+
+std::string Sha1Hex(std::string_view data) { return Sha1Sum(data).ToHex(); }
+
+uint64_t Sha1Prefix64(std::string_view data) {
+  return Sha1Sum(data).Prefix64();
+}
+
+}  // namespace sprite

@@ -1,0 +1,62 @@
+#ifndef SPRITE_COMMON_SHA1_H_
+#define SPRITE_COMMON_SHA1_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sprite {
+
+// SHA-1 message digest (FIPS 180-1), implemented from scratch.
+//
+// Chord as published derives node identifiers with SHA-1; we provide it so
+// the DHT can be configured with either hash (the paper uses MD5 for terms).
+struct Sha1Digest {
+  std::array<uint8_t, 20> bytes{};
+
+  // Lowercase hex representation (40 characters).
+  std::string ToHex() const;
+
+  // First 8 digest bytes as a big-endian unsigned integer.
+  uint64_t Prefix64() const;
+
+  friend bool operator==(const Sha1Digest& a, const Sha1Digest& b) {
+    return a.bytes == b.bytes;
+  }
+};
+
+class Sha1 {
+ public:
+  Sha1();
+
+  void Update(std::string_view data);
+  void Update(const uint8_t* data, size_t len);
+
+  // Completes the hash; reuse requires Reset().
+  Sha1Digest Finalize();
+
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[5];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+// One-shot digest of `data`.
+Sha1Digest Sha1Sum(std::string_view data);
+
+// One-shot lowercase hex digest of `data`.
+std::string Sha1Hex(std::string_view data);
+
+// One-shot 64-bit key prefix of the digest of `data`.
+uint64_t Sha1Prefix64(std::string_view data);
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_SHA1_H_

@@ -1,0 +1,150 @@
+#ifndef SPRITE_COMMON_STATUS_H_
+#define SPRITE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sprite {
+
+// Error codes used throughout the library. Following the RocksDB/Abseil
+// idiom, fallible operations return a Status (or StatusOr<T>) instead of
+// throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnavailable,   // e.g. the peer responsible for a key is down
+  kCorruption,    // malformed input data
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap value type carrying success or an error code plus message.
+//
+//   Status s = DoWork();
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Union of a Status and a value: either holds a T (when ok) or an error.
+//
+//   StatusOr<int> r = Parse(s);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+template <typename T>
+class StatusOr {
+ public:
+  // Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+  // Constructs from a value; status is OK.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value when ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace sprite
+
+// Propagates a non-OK Status from an expression.
+#define SPRITE_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::sprite::Status _sprite_status = (expr);       \
+    if (!_sprite_status.ok()) return _sprite_status; \
+  } while (0)
+
+#endif  // SPRITE_COMMON_STATUS_H_

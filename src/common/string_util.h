@@ -1,0 +1,37 @@
+#ifndef SPRITE_COMMON_STRING_UTIL_H_
+#define SPRITE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sprite {
+
+// Lowercases ASCII letters in place; other bytes are untouched.
+void AsciiLowerInPlace(std::string& s);
+
+// Returns an ASCII-lowercased copy of `s`.
+std::string AsciiLower(std::string_view s);
+
+// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims);
+
+// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_STRING_UTIL_H_

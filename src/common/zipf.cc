@@ -1,0 +1,36 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sprite {
+
+ZipfSampler::ZipfSampler(size_t n, double s) : n_(n), s_(s) {
+  SPRITE_CHECK(n >= 1);
+  SPRITE_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against round-off at the tail
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  SPRITE_CHECK(rank < n_);
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - lo;
+}
+
+}  // namespace sprite

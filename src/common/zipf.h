@@ -1,0 +1,41 @@
+#ifndef SPRITE_COMMON_ZIPF_H_
+#define SPRITE_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sprite {
+
+// Samples ranks from a Zipf distribution over {0, 1, ..., n-1}:
+//
+//   P(rank = i) ∝ 1 / (i + 1)^s
+//
+// where `s` is the skew ("slope" in the paper; Figure 4(b) uses s = 0.5 for
+// the "w-zipf" query stream). Sampling is O(log n) via binary search on the
+// precomputed CDF; construction is O(n).
+class ZipfSampler {
+ public:
+  // Requires n >= 1 and s >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  // Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  // Probability mass of `rank`.
+  double Pmf(size_t rank) const;
+
+  size_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  size_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_ZIPF_H_

@@ -1,0 +1,72 @@
+#ifndef SPRITE_CORE_CONFIG_H_
+#define SPRITE_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sprite::core {
+
+// How a system chooses the global index terms of a document.
+enum class TermSelectionPolicy {
+  // SPRITE: start from the top-F frequent terms, then learn from cached
+  // queries (Section 5).
+  kLearned,
+  // Basic eSearch: statically index the most frequent terms; learning
+  // iterations add the next most frequent ones (no query feedback).
+  kStaticFrequency,
+};
+
+// Variants of the term score used when ranking candidate terms during
+// learning; kQScoreLogQf is the paper's formula, the rest exist for the
+// ablation bench (Abl-1 in DESIGN.md).
+enum class LearningScoreVariant {
+  kQScoreLogQf,   // qScore * log10(QF)   (the paper)
+  kQScoreRawQf,   // qScore * QF
+  kQScoreOnly,    // qScore
+  kQfOnly,        // log10(QF)
+};
+
+// Tunables of a P2P search system instance. Defaults reproduce the paper's
+// default experimental setting (Section 6.2).
+struct SpriteConfig {
+  // --- Network -------------------------------------------------------
+  size_t num_peers = 64;
+  int id_bits = 32;
+  size_t successor_list_size = 8;
+
+  // --- Indexing --------------------------------------------------------
+  TermSelectionPolicy selection = TermSelectionPolicy::kLearned;
+  // F: initial terms published when a document is first shared.
+  size_t initial_terms = 5;
+  // New terms added per learning iteration.
+  size_t terms_per_iteration = 5;
+  // Hard cap on the number of global index terms per document (T).
+  size_t max_index_terms = 20;
+
+  // --- Learning --------------------------------------------------------
+  LearningScoreVariant score_variant = LearningScoreVariant::kQScoreLogQf;
+  // Cached queries kept per indexing peer ("only the most recently issued
+  // queries", Section 3).
+  size_t history_capacity = 4096;
+
+  // --- Query processing ------------------------------------------------
+  // The "sufficiently large N" of Section 4 used in IDF, since the true
+  // corpus size is unknowable in a P2P setting.
+  double idf_corpus_size = 1e6;
+  // Discard query terms whose indexing peer cannot be reached instead of
+  // failing the query (Section 7's first failure-handling scheme).
+  bool skip_unreachable_terms = true;
+
+  // --- Extensions (Section 7) -------------------------------------------
+  // Successor replicas kept per indexing peer; 0 disables replication.
+  size_t replication_factor = 0;
+  // Consult LAR-style hot-term caches during query processing (populated
+  // by SpriteSystem::RunHotTermCaching).
+  bool use_hot_term_cache = false;
+
+  uint64_t seed = 1;
+};
+
+}  // namespace sprite::core
+
+#endif  // SPRITE_CORE_CONFIG_H_

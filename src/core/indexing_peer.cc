@@ -1,0 +1,152 @@
+#include "core/indexing_peer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sprite::core {
+
+void IndexingPeer::AddPosting(const std::string& term,
+                              const PostingEntry& entry) {
+  auto& plist = index_[term];
+  for (auto& p : plist) {
+    if (p.doc == entry.doc) {
+      p = entry;
+      return;
+    }
+  }
+  plist.push_back(entry);
+}
+
+bool IndexingPeer::RemovePosting(const std::string& term, DocId doc) {
+  auto it = index_.find(term);
+  if (it == index_.end()) return false;
+  auto& plist = it->second;
+  auto pos = std::find_if(plist.begin(), plist.end(),
+                          [doc](const PostingEntry& p) { return p.doc == doc; });
+  if (pos == plist.end()) return false;
+  plist.erase(pos);
+  if (plist.empty()) index_.erase(it);
+  return true;
+}
+
+const std::vector<PostingEntry>* IndexingPeer::Postings(
+    const std::string& term) const {
+  auto it = index_.find(term);
+  if (it != index_.end()) return &it->second;
+  auto rit = replicas_.find(term);
+  if (rit != replicas_.end()) return &rit->second;
+  return nullptr;
+}
+
+uint32_t IndexingPeer::IndexedDocFreq(const std::string& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? 0 : static_cast<uint32_t>(it->second.size());
+}
+
+bool IndexingPeer::HasPosting(const std::string& term, DocId doc) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return false;
+  for (const PostingEntry& p : it->second) {
+    if (p.doc == doc) return true;
+  }
+  return false;
+}
+
+size_t IndexingPeer::num_postings() const {
+  size_t n = 0;
+  for (const auto& [_, plist] : index_) n += plist.size();
+  return n;
+}
+
+std::vector<std::string> IndexingPeer::IndexedTerms() const {
+  std::vector<std::string> terms;
+  terms.reserve(index_.size());
+  for (const auto& [term, _] : index_) terms.push_back(term);
+  return terms;
+}
+
+void IndexingPeer::StoreReplica(const std::string& term,
+                                std::vector<PostingEntry> postings) {
+  replicas_[term] = std::move(postings);
+}
+
+void IndexingPeer::CachePostings(const std::string& term,
+                                 std::vector<PostingEntry> postings) {
+  cache_[term] = std::move(postings);
+}
+
+const std::vector<PostingEntry>* IndexingPeer::CachedPostings(
+    const std::string& term) const {
+  auto it = cache_.find(term);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+void IndexingPeer::RecordQuery(const QueryRecord& record) {
+  if (history_capacity_ == 0) return;
+  if (history_.size() >= history_capacity_) history_.pop_front();
+  history_.push_back(record);
+}
+
+size_t ClosestTermIndex(const std::vector<uint64_t>& term_keys,
+                        uint64_t query_key, const dht::IdSpace& space) {
+  SPRITE_CHECK(!term_keys.empty());
+  size_t best = 0;
+  uint64_t best_dist = space.Distance(query_key, term_keys[0]);
+  for (size_t i = 1; i < term_keys.size(); ++i) {
+    const uint64_t d = space.Distance(query_key, term_keys[i]);
+    if (d < best_dist || (d == best_dist && term_keys[i] < term_keys[best])) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+std::vector<const QueryRecord*> IndexingPeer::CollectQueriesForPoll(
+    const std::vector<std::string>& poll_terms,
+    const std::vector<std::string>& my_terms,
+    const std::unordered_map<std::string, uint64_t>& cursor,
+    const dht::IdSpace& space) const {
+  std::vector<const QueryRecord*> out;
+  if (history_.empty() || my_terms.empty()) return out;
+
+  // Precompute the ring keys of the polled terms once per poll (the paper
+  // notes the hashes can even be precomputed offline).
+  std::vector<uint64_t> poll_keys(poll_terms.size());
+  for (size_t i = 0; i < poll_terms.size(); ++i) {
+    poll_keys[i] = space.KeyForString(poll_terms[i]);
+  }
+
+  for (const QueryRecord& q : history_) {
+    // Which of the polled terms does this query contain?
+    std::vector<size_t> contained;
+    for (size_t i = 0; i < poll_terms.size(); ++i) {
+      if (std::find(q.terms.begin(), q.terms.end(), poll_terms[i]) !=
+          q.terms.end()) {
+        contained.push_back(i);
+      }
+    }
+    if (contained.empty()) continue;
+
+    // Closest-hash dedup: exactly one contained term "owns" the query.
+    std::vector<uint64_t> contained_keys;
+    contained_keys.reserve(contained.size());
+    for (size_t i : contained) contained_keys.push_back(poll_keys[i]);
+    const size_t winner_local =
+        ClosestTermIndex(contained_keys, q.hash_key, space);
+    const std::string& winner = poll_terms[contained[winner_local]];
+
+    if (std::find(my_terms.begin(), my_terms.end(), winner) ==
+        my_terms.end()) {
+      continue;  // another indexing peer will return this query
+    }
+    auto cur = cursor.find(winner);
+    const uint64_t after_seq = cur == cursor.end() ? 0 : cur->second;
+    if (q.seq <= after_seq) continue;  // already pulled in a prior poll
+    out.push_back(&q);
+  }
+  return out;
+}
+
+}  // namespace sprite::core

@@ -1,0 +1,138 @@
+#ifndef SPRITE_CORE_INDEXING_PEER_H_
+#define SPRITE_CORE_INDEXING_PEER_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "dht/id_space.h"
+
+namespace sprite::core {
+
+// The indexing-peer role (Section 3): manages the inverted lists of the
+// terms the overlay assigns to this node, plus a bounded history of
+// recently issued queries that contain one of those terms. Also holds the
+// replica store used by the Section-7 replication extension.
+class IndexingPeer {
+ public:
+  IndexingPeer(PeerId id, size_t history_capacity)
+      : id_(id), history_capacity_(history_capacity) {}
+
+  PeerId id() const { return id_; }
+
+  // --- Inverted index ---------------------------------------------------
+  // Adds (or overwrites) the posting of `entry.doc` in `term`'s list.
+  void AddPosting(const std::string& term, const PostingEntry& entry);
+  // Removes `doc`'s posting; returns false when it was not present.
+  bool RemovePosting(const std::string& term, DocId doc);
+  // The inverted list of `term` (nullptr when the term is not indexed
+  // here). Falls back to the replica store when the primary has nothing,
+  // so a successor holding replicas can serve a failed peer's terms.
+  const std::vector<PostingEntry>* Postings(const std::string& term) const;
+  // Indexed document frequency n'_k: length of the primary inverted list.
+  uint32_t IndexedDocFreq(const std::string& term) const;
+  // Whether `doc` has a primary posting under `term`.
+  bool HasPosting(const std::string& term, DocId doc) const;
+
+  size_t num_terms() const { return index_.size(); }
+  size_t num_postings() const;
+  // Terms this peer currently indexes, unordered.
+  std::vector<std::string> IndexedTerms() const;
+  const std::unordered_map<std::string, std::vector<PostingEntry>>& index()
+      const {
+    return index_;
+  }
+
+  // --- Replica store (Section 7) ----------------------------------------
+  void StoreReplica(const std::string& term,
+                    std::vector<PostingEntry> postings);
+  void ClearReplicas() { replicas_.clear(); }
+  size_t num_replica_terms() const { return replicas_.size(); }
+
+  // --- Hot-term cache (Section 7, LAR-style load balancing) --------------
+  // Caches another peer's inverted list for a hot term so queries that hit
+  // this peer for a co-occurring term need not contact the hot peer.
+  void CachePostings(const std::string& term,
+                     std::vector<PostingEntry> postings);
+  // The cached list for `term`, or nullptr. Unlike Postings(), this never
+  // consults the primary index.
+  const std::vector<PostingEntry>* CachedPostings(
+      const std::string& term) const;
+  void ClearCache() { cache_.clear(); }
+  size_t num_cached_terms() const { return cache_.size(); }
+
+  // --- Responsibility handoff (peer join) --------------------------------
+  // Removes and returns every primary inverted list whose term satisfies
+  // `should_move`, together with the history records that now belong to
+  // the new peer (records where `should_move` holds for at least one
+  // term). Records whose every responsible term moved away are dropped
+  // from this peer's history.
+  struct Handoff {
+    std::vector<std::pair<std::string, std::vector<PostingEntry>>> lists;
+    std::vector<QueryRecord> records;
+  };
+  template <typename Pred>
+  Handoff ExtractEntries(const Pred& should_move) {
+    Handoff handoff;
+    for (auto it = index_.begin(); it != index_.end();) {
+      if (should_move(it->first)) {
+        handoff.lists.emplace_back(it->first, std::move(it->second));
+        it = index_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::deque<QueryRecord> kept;
+    for (auto& record : history_) {
+      bool moves = false, stays = false;
+      for (const auto& term : record.terms) {
+        (should_move(term) ? moves : stays) = true;
+      }
+      if (moves) handoff.records.push_back(record);
+      if (stays) kept.push_back(std::move(record));
+    }
+    history_ = std::move(kept);
+    return handoff;
+  }
+
+  // --- Query history ------------------------------------------------------
+  // Caches one issuance of a query; evicts the oldest when full.
+  void RecordQuery(const QueryRecord& record);
+  const std::deque<QueryRecord>& history() const { return history_; }
+
+  // Handles an index-update poll (Section 3). `poll_terms` are ALL global
+  // index terms of the polled document; `my_terms` the subset this peer is
+  // responsible for; `cursor` maps each of my_terms to the last seq already
+  // pulled for it. A cached query is returned iff
+  //  (1) it contains at least one of my_terms,
+  //  (2) among poll_terms contained in the query, the term whose ring key
+  //      is closest (clockwise from the query's hash key; ties to the
+  //      smaller key) belongs to my_terms — the dedup rule that makes
+  //      exactly one peer return each query — and
+  //  (3) its seq is newer than that closest term's cursor.
+  std::vector<const QueryRecord*> CollectQueriesForPoll(
+      const std::vector<std::string>& poll_terms,
+      const std::vector<std::string>& my_terms,
+      const std::unordered_map<std::string, uint64_t>& cursor,
+      const dht::IdSpace& space) const;
+
+ private:
+  PeerId id_;
+  size_t history_capacity_;
+  std::unordered_map<std::string, std::vector<PostingEntry>> index_;
+  std::unordered_map<std::string, std::vector<PostingEntry>> replicas_;
+  std::unordered_map<std::string, std::vector<PostingEntry>> cache_;
+  std::deque<QueryRecord> history_;  // oldest at front
+};
+
+// Among `candidate_terms` (each paired with its ring key), returns the
+// index of the term closest to `query_key` — minimal clockwise distance
+// from the query key, ties broken by smaller term key. Exposed for tests.
+size_t ClosestTermIndex(const std::vector<uint64_t>& term_keys,
+                        uint64_t query_key, const dht::IdSpace& space);
+
+}  // namespace sprite::core
+
+#endif  // SPRITE_CORE_INDEXING_PEER_H_

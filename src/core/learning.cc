@@ -1,0 +1,105 @@
+#include "core/learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sprite::core {
+
+double QScore(const std::vector<std::string>& query_terms,
+              const text::TermVector& doc) {
+  if (query_terms.empty()) return 0.0;
+  size_t matched = 0;
+  for (const auto& t : query_terms) {
+    if (doc.Contains(t)) ++matched;
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(query_terms.size());
+}
+
+double TermScore(const TermLearningStats& stats,
+                 LearningScoreVariant variant) {
+  if (stats.query_freq == 0) return 0.0;
+  const double qf = static_cast<double>(stats.query_freq);
+  switch (variant) {
+    case LearningScoreVariant::kQScoreLogQf:
+      return stats.best_qscore * std::log10(qf);
+    case LearningScoreVariant::kQScoreRawQf:
+      return stats.best_qscore * qf;
+    case LearningScoreVariant::kQScoreOnly:
+      return stats.best_qscore;
+    case LearningScoreVariant::kQfOnly:
+      return std::log10(qf);
+  }
+  return 0.0;
+}
+
+bool ScoredTermLess(const ScoredTerm& a, const ScoredTerm& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.query_freq != b.query_freq) return a.query_freq > b.query_freq;
+  if (a.doc_freq_in_doc != b.doc_freq_in_doc) {
+    return a.doc_freq_in_doc > b.doc_freq_in_doc;
+  }
+  return a.term < b.term;
+}
+
+namespace {
+
+std::vector<ScoredTerm> RankFromStats(
+    const text::TermVector& doc,
+    const std::unordered_map<std::string, TermLearningStats>& stats,
+    LearningScoreVariant variant) {
+  std::vector<ScoredTerm> ranked;
+  ranked.reserve(stats.size());
+  for (const auto& [term, st] : stats) {
+    if (st.query_freq == 0) continue;
+    ScoredTerm cand;
+    cand.term = term;
+    cand.score = TermScore(st, variant);
+    cand.query_freq = st.query_freq;
+    cand.doc_freq_in_doc = doc.Count(term);
+    ranked.push_back(std::move(cand));
+  }
+  std::sort(ranked.begin(), ranked.end(), ScoredTermLess);
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<ScoredTerm> ProcessQueriesAndRank(
+    const text::TermVector& doc,
+    std::unordered_map<std::string, TermLearningStats>& stats,
+    const std::vector<const QueryRecord*>& new_queries,
+    LearningScoreVariant variant) {
+  // Algorithm 1, reorganized query-first (equivalent and cheaper than the
+  // per-term loop of the listing): for every new query, compute its query
+  // score once, then fold it into the stats of each of its terms that the
+  // document actually contains (t_ij ∈ D).
+  for (const QueryRecord* q : new_queries) {
+    const double qs = QScore(q->terms, doc);
+    for (const auto& term : q->terms) {
+      if (!doc.Contains(term)) continue;
+      TermLearningStats& st = stats[term];
+      st.query_freq += 1;                                // QF is cumulative
+      if (qs > st.best_qscore) st.best_qscore = qs;      // qScore is a max
+    }
+  }
+  return RankFromStats(doc, stats, variant);
+}
+
+std::vector<ScoredTerm> NaiveRank(const text::TermVector& doc,
+                                  const std::vector<QueryRecord>& all_queries,
+                                  LearningScoreVariant variant) {
+  std::unordered_map<std::string, TermLearningStats> stats;
+  for (const QueryRecord& q : all_queries) {
+    const double qs = QScore(q.terms, doc);
+    for (const auto& term : q.terms) {
+      if (!doc.Contains(term)) continue;
+      TermLearningStats& st = stats[term];
+      st.query_freq += 1;
+      if (qs > st.best_qscore) st.best_qscore = qs;
+    }
+  }
+  return RankFromStats(doc, stats, variant);
+}
+
+}  // namespace sprite::core

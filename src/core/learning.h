@@ -1,0 +1,66 @@
+#ifndef SPRITE_CORE_LEARNING_H_
+#define SPRITE_CORE_LEARNING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/types.h"
+#include "text/term_vector.h"
+
+namespace sprite::core {
+
+// Per-(document, term) learning statistics — all the state Algorithm 1
+// needs between iterations: the largest historical query score and the
+// cumulative query frequency ("For each term in a shared document, only its
+// query frequency and the largest query score in the history are
+// maintained", Section 5.3).
+struct TermLearningStats {
+  double best_qscore = 0.0;
+  uint64_t query_freq = 0;
+};
+
+// A candidate term with its learned similarity, ready for ranking.
+struct ScoredTerm {
+  std::string term;
+  double score = 0.0;
+  uint64_t query_freq = 0;
+  uint32_t doc_freq_in_doc = 0;  // tf in the document, tie-breaker
+};
+
+// qScore(Q, D) = |Q ∩ D| / |Q| (Section 5.3). Empty queries score 0.
+double QScore(const std::vector<std::string>& query_terms,
+              const text::TermVector& doc);
+
+// Score(t, D) = qScore_best * log10(QF) for the paper's variant; the other
+// variants exist for the ablation study.
+double TermScore(const TermLearningStats& stats,
+                 LearningScoreVariant variant);
+
+// Deterministic ranking order for candidate terms: score desc, then query
+// frequency desc, then in-document frequency desc, then term asc.
+bool ScoredTermLess(const ScoredTerm& a, const ScoredTerm& b);
+
+// The incremental learner of Algorithm 1. Each call processes only the
+// *new* queries pulled since the previous iteration, folds them into
+// `stats` (max for qScore, sum for QF — both decomposable, which is what
+// makes the incremental computation exact), and returns the full ranked
+// candidate list.
+std::vector<ScoredTerm> ProcessQueriesAndRank(
+    const text::TermVector& doc,
+    std::unordered_map<std::string, TermLearningStats>& stats,
+    const std::vector<const QueryRecord*>& new_queries,
+    LearningScoreVariant variant = LearningScoreVariant::kQScoreLogQf);
+
+// Naive reference implementation: recomputes the ranking from the entire
+// historical query set every time. Used by tests to verify the equivalence
+// the paper argues ("the results of Algorithm 1 is equivalent to the naive
+// scheme"), and by the learning micro-benchmark.
+std::vector<ScoredTerm> NaiveRank(
+    const text::TermVector& doc, const std::vector<QueryRecord>& all_queries,
+    LearningScoreVariant variant = LearningScoreVariant::kQScoreLogQf);
+
+}  // namespace sprite::core
+
+#endif  // SPRITE_CORE_LEARNING_H_

@@ -1,0 +1,88 @@
+#ifndef SPRITE_CORE_OWNER_PEER_H_
+#define SPRITE_CORE_OWNER_PEER_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/learning.h"
+#include "core/types.h"
+
+namespace sprite::core {
+
+// Per-document state kept by its owner peer.
+struct OwnedDocument {
+  // The full document content; the owner shares and locally indexes it.
+  const corpus::Document* content = nullptr;
+  // Current global index terms, in publication order.
+  std::vector<std::string> index_terms;
+  // Algorithm-1 statistics per term (best qScore, cumulative QF).
+  std::unordered_map<std::string, TermLearningStats> stats;
+  // Per-term poll cursor: the newest history seq already pulled via that
+  // term, so index-update polls stay incremental.
+  std::unordered_map<std::string, uint64_t> poll_cursor;
+  // Seqs of query issuances already folded into `stats`. The paper's
+  // closest-term rule dedups within one poll; across iterations the winner
+  // term of a query can change as the index-term set grows, so a returned
+  // query may repeat — this set makes QF exactly "one count per issuance".
+  std::unordered_set<uint64_t> processed_seqs;
+
+  bool IsIndexed(const std::string& term) const;
+};
+
+// The owner-peer role (Section 3): owns shared documents, selects their
+// initial global index terms, and periodically retunes them from the query
+// history pulled from indexing peers.
+class OwnerPeer {
+ public:
+  explicit OwnerPeer(PeerId id) : id_(id) {}
+
+  PeerId id() const { return id_; }
+
+  // Registers a document this peer shares. The document must outlive the
+  // peer. No terms are published yet.
+  OwnedDocument& AdoptDocument(const corpus::Document* doc);
+
+  OwnedDocument* document(DocId id);
+  const OwnedDocument* document(DocId id) const;
+  const std::map<DocId, OwnedDocument>& documents() const { return docs_; }
+  std::map<DocId, OwnedDocument>& mutable_documents() { return docs_; }
+  size_t num_documents() const { return docs_.size(); }
+
+  // Initial term selection (Section 5.2): the top `count` most frequent
+  // terms of the analyzed document (stop words and stems already handled by
+  // the analyzer), ties broken lexicographically.
+  static std::vector<std::string> SelectInitialTerms(
+      const corpus::Document& doc, size_t count);
+
+  // The index-set change computed by one tuning step.
+  struct IndexUpdate {
+    std::vector<std::string> add;
+    std::vector<std::string> remove;
+  };
+
+  // SPRITE learning step for one document: folds the pulled queries into
+  // the statistics (skipping already-processed issuances), ranks candidate
+  // terms by Score, adds up to `terms_per_iteration` new terms and evicts
+  // the lowest-ranked ones beyond `max_index_terms`. Mutates `doc` to the
+  // new index set and returns what changed (the caller publishes/withdraws
+  // through the DHT and does the message accounting).
+  IndexUpdate LearnAndRetune(OwnedDocument& doc,
+                             const std::vector<const QueryRecord*>& pulled,
+                             const SpriteConfig& config) const;
+
+  // eSearch growth step: statically adds the next most frequent unindexed
+  // terms (no query feedback). Never evicts.
+  IndexUpdate GrowStatic(OwnedDocument& doc, const SpriteConfig& config) const;
+
+ private:
+  PeerId id_;
+  std::map<DocId, OwnedDocument> docs_;
+};
+
+}  // namespace sprite::core
+
+#endif  // SPRITE_CORE_OWNER_PEER_H_

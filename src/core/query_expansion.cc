@@ -1,0 +1,59 @@
+#include "core/query_expansion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "ir/similarity.h"
+
+namespace sprite::core {
+
+LocalContextExpander::LocalContextExpander(const corpus::Corpus& corpus,
+                                           size_t feedback_depth)
+    : corpus_(corpus), feedback_depth_(feedback_depth) {}
+
+std::vector<std::string> LocalContextExpander::ExpansionTerms(
+    const corpus::Query& query, const ir::RankedList& initial,
+    size_t num_extra) const {
+  // Co-occurrence score of a candidate term u over the feedback documents:
+  //   sum over top docs containing u:  log(1 + tf(u, doc)) * idf(u)
+  // High-tf terms in several highly-ranked documents dominate; the IDF
+  // factor suppresses terms that co-occur with everything.
+  std::unordered_map<std::string, double> scores;
+  const double n = static_cast<double>(corpus_.num_docs());
+  const size_t depth = std::min(feedback_depth_, initial.size());
+  for (size_t i = 0; i < depth; ++i) {
+    const corpus::Document& doc = corpus_.doc(initial[i].doc);
+    for (const auto& [term, freq] : doc.terms.counts()) {
+      if (query.ContainsTerm(term)) continue;
+      const double idf = ir::Idf(n, corpus_.DocFreq(term));
+      if (idf == 0.0) continue;
+      scores[term] += std::log(1.0 + static_cast<double>(freq)) * idf;
+    }
+  }
+
+  std::vector<std::pair<std::string, double>> ranked(scores.begin(),
+                                                     scores.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > num_extra) ranked.resize(num_extra);
+
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (auto& [term, _] : ranked) out.push_back(std::move(term));
+  return out;
+}
+
+corpus::Query LocalContextExpander::Expand(const corpus::Query& query,
+                                           const ir::RankedList& initial,
+                                           size_t num_extra) const {
+  corpus::Query expanded = query;
+  for (auto& term : ExpansionTerms(query, initial, num_extra)) {
+    expanded.terms.push_back(std::move(term));
+  }
+  return expanded;
+}
+
+}  // namespace sprite::core

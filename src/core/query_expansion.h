@@ -1,0 +1,47 @@
+#ifndef SPRITE_CORE_QUERY_EXPANSION_H_
+#define SPRITE_CORE_QUERY_EXPANSION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/query.h"
+#include "ir/ranked_list.h"
+
+namespace sprite::core {
+
+// Local context analysis query expansion (Section 7, third extension):
+// enrich a query with terms that co-occur with its keywords in the
+// top-ranked documents of an initial search. No global statistics are
+// required — only the retrieved documents are analyzed, which is why the
+// paper recommends this flavour for loosely-cooperating P2P networks.
+class LocalContextExpander {
+ public:
+  // `corpus` provides the retrieved documents' term vectors (the querying
+  // peer downloads or samples them in a deployment) and the document
+  // frequencies used to damp ubiquitous terms. Must outlive the expander.
+  // `feedback_depth` is how many top documents are analyzed.
+  explicit LocalContextExpander(const corpus::Corpus& corpus,
+                                size_t feedback_depth = 10);
+
+  // Up to `num_extra` expansion terms for `query` given the ranked list of
+  // an initial search, ordered by descending co-occurrence score. Terms
+  // already in the query are never returned.
+  std::vector<std::string> ExpansionTerms(const corpus::Query& query,
+                                          const ir::RankedList& initial,
+                                          size_t num_extra) const;
+
+  // Convenience: a copy of `query` with the expansion terms appended.
+  corpus::Query Expand(const corpus::Query& query,
+                       const ir::RankedList& initial,
+                       size_t num_extra) const;
+
+ private:
+  const corpus::Corpus& corpus_;
+  size_t feedback_depth_;
+};
+
+}  // namespace sprite::core
+
+#endif  // SPRITE_CORE_QUERY_EXPANSION_H_

@@ -1,0 +1,792 @@
+#include "core/sprite_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/md5.h"
+#include "common/string_util.h"
+#include "ir/similarity.h"
+
+namespace sprite::core {
+
+SpriteSystem::SpriteSystem(SpriteConfig config)
+    : config_(config),
+      ring_(dht::ChordOptions{config.id_bits, config.successor_list_size}) {
+  SPRITE_CHECK(config_.num_peers >= 1);
+  SPRITE_CHECK(config_.initial_terms >= 1);
+  SPRITE_CHECK(config_.max_index_terms >= config_.initial_terms);
+  for (size_t i = 0; i < config_.num_peers; ++i) {
+    StatusOr<uint64_t> id = ring_.Join(StrFormat("peer%zu", i));
+    SPRITE_CHECK(id.ok());
+    peer_ids_.push_back(id.value());
+    indexing_.emplace(id.value(),
+                      IndexingPeer(id.value(), config_.history_capacity));
+    owners_.emplace(id.value(), OwnerPeer(id.value()));
+  }
+  std::sort(peer_ids_.begin(), peer_ids_.end());
+  // Start from converged routing tables (the protocol paths are exercised
+  // separately by the DHT tests and churn experiments).
+  ring_.BuildPerfect();
+  ring_.ClearStats();
+}
+
+PeerId SpriteSystem::PickPeer(uint64_t hash) const {
+  SPRITE_CHECK(!peer_ids_.empty());
+  const size_t n = peer_ids_.size();
+  size_t idx = static_cast<size_t>(hash % n);
+  for (size_t scanned = 0; scanned < n; ++scanned) {
+    const PeerId id = peer_ids_[(idx + scanned) % n];
+    const dht::ChordNode* node = ring_.node(id);
+    if (node != nullptr && node->alive) return id;
+  }
+  SPRITE_CHECK(false);  // no peers alive
+  return 0;
+}
+
+StatusOr<PeerId> SpriteSystem::RouteToTerm(PeerId from,
+                                           const std::string& term) {
+  const uint64_t key = ring_.space().KeyForString(term);
+  StatusOr<dht::ChordRing::LookupResult> res = ring_.FindSuccessor(from, key);
+  if (!res.ok()) return res.status();
+  net_.CountLookupHops(res->hops);
+  return res->node;
+}
+
+PostingEntry SpriteSystem::MakePosting(const OwnedDocument& owned,
+                                       const std::string& term,
+                                       PeerId owner) const {
+  PostingEntry entry;
+  entry.doc = owned.content->id;
+  entry.owner = owner;
+  entry.term_freq = owned.content->terms.Count(term);
+  entry.doc_length = static_cast<uint32_t>(owned.content->length());
+  entry.num_distinct_terms =
+      static_cast<uint32_t>(owned.content->num_distinct_terms());
+  return entry;
+}
+
+Status SpriteSystem::PublishTerm(PeerId owner, const std::string& term,
+                                 const PostingEntry& entry) {
+  StatusOr<PeerId> target = RouteToTerm(owner, term);
+  if (!target.ok()) return target.status();
+  net_.Count(p2p::MessageType::kPublishTerm,
+             p2p::kTermBytes + p2p::kPostingEntryBytes);
+  indexing_.at(target.value()).AddPosting(term, entry);
+  return Status::OK();
+}
+
+Status SpriteSystem::WithdrawTerm(PeerId owner, const std::string& term,
+                                  DocId doc) {
+  StatusOr<PeerId> target = RouteToTerm(owner, term);
+  if (!target.ok()) return target.status();
+  net_.Count(p2p::MessageType::kWithdrawTerm, p2p::kTermBytes);
+  indexing_.at(target.value()).RemovePosting(term, doc);
+  return Status::OK();
+}
+
+Status SpriteSystem::ShareDocument(const corpus::Document& doc) {
+  if (doc.terms.empty()) {
+    return Status::InvalidArgument("cannot share an empty document");
+  }
+  if (doc_owner_.count(doc.id) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("document %u is already shared", doc.id));
+  }
+  // A deterministic owner peer; mixing the id avoids correlating document
+  // ids with ring positions.
+  uint64_t mix = 0x9e3779b97f4a7c15ULL * (doc.id + 1);
+  const PeerId owner_id = PickPeer(mix);
+  OwnerPeer& owner = owners_.at(owner_id);
+  OwnedDocument& owned = owner.AdoptDocument(&doc);
+  doc_owner_[doc.id] = owner_id;
+
+  owned.index_terms =
+      OwnerPeer::SelectInitialTerms(doc, config_.initial_terms);
+  for (const std::string& term : owned.index_terms) {
+    SPRITE_RETURN_IF_ERROR(
+        PublishTerm(owner_id, term, MakePosting(owned, term, owner_id)));
+  }
+  return Status::OK();
+}
+
+Status SpriteSystem::ShareCorpus(const corpus::Corpus& corpus) {
+  for (const corpus::Document& doc : corpus.docs()) {
+    SPRITE_RETURN_IF_ERROR(ShareDocument(doc));
+  }
+  return Status::OK();
+}
+
+void SpriteSystem::RecordQuery(const corpus::Query& query) {
+  if (query.empty()) return;
+  QueryRecord record;
+  record.id = query.id;
+  record.terms = corpus::DedupTerms(query.terms);
+  record.hash_key = ring_.space().KeyForString(query.CanonicalKey());
+  record.seq = ++seq_counter_;
+
+  const PeerId origin = PickPeer(record.hash_key);
+  for (const std::string& term : record.terms) {
+    StatusOr<PeerId> target = RouteToTerm(origin, term);
+    if (!target.ok()) continue;  // unreachable arc: this copy is lost
+    indexing_.at(target.value()).RecordQuery(record);
+  }
+}
+
+StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
+                                              size_t k, bool record) {
+  if (query.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (record) RecordQuery(query);
+  const uint64_t issuance = ++search_counter_;
+
+  const std::vector<std::string> terms = corpus::DedupTerms(query.terms);
+  const PeerId querying_peer =
+      PickPeer(ring_.space().KeyForString(query.CanonicalKey()) ^
+               (0x517cc1b727220a95ULL * (query.id + 1)) ^
+               (0x2545f4914f6cdd1dULL * issuance));
+
+  // Searching phase: visit each term's indexing peer and pull the inverted
+  // list plus metadata. With hot-term caching on, a contacted peer also
+  // serves cached lists for the query's other terms, saving their lookups
+  // (Section 7: "the peer responsible for the hot term will not be
+  // contacted").
+  std::vector<RetrievedList> lists;
+  lists.reserve(terms.size());
+  std::unordered_set<std::string> resolved;
+  // With caching enabled, different queriers start from different term
+  // positions; first contact — and with it the serving load of cached hot
+  // pairs — then spreads across the terms' peers instead of always landing
+  // on the first (typically hottest) term's peer.
+  size_t start = 0;
+  if (config_.use_hot_term_cache && terms.size() > 1) {
+    start = static_cast<size_t>(
+        (ring_.space().KeyForString(query.CanonicalKey()) ^
+         (issuance * 0x9e3779b97f4a7c15ULL)) %
+        terms.size());
+  }
+  for (size_t ti = 0; ti < terms.size(); ++ti) {
+    const std::string& term = terms[(start + ti) % terms.size()];
+    if (resolved.count(term) > 0) continue;
+    StatusOr<PeerId> target = RouteToTerm(querying_peer, term);
+    if (!target.ok()) {
+      if (config_.skip_unreachable_terms) continue;  // Section 7, scheme 1
+      return target.status();
+    }
+    net_.Count(p2p::MessageType::kQueryRequest, p2p::kTermBytes);
+    query_load_[target.value()] += 1;
+    const IndexingPeer& peer = indexing_.at(target.value());
+    RetrievedList rl;
+    rl.term = term;
+    if (const std::vector<PostingEntry>* plist = peer.Postings(term)) {
+      rl.postings = *plist;
+    }
+    net_.Count(p2p::MessageType::kQueryResponse,
+               rl.postings.size() * p2p::kPostingEntryBytes);
+    resolved.insert(term);
+    lists.push_back(std::move(rl));
+
+    if (config_.use_hot_term_cache) {
+      for (const std::string& other : terms) {
+        if (resolved.count(other) > 0) continue;
+        const std::vector<PostingEntry>* cached =
+            peer.CachedPostings(other);
+        if (cached == nullptr) continue;
+        // The cached list rides in the same response as the direct
+        // request, so it adds bytes but no extra request load.
+        RetrievedList extra;
+        extra.term = other;
+        extra.postings = *cached;
+        net_.Count(p2p::MessageType::kQueryResponse,
+                   extra.postings.size() * p2p::kPostingEntryBytes);
+        resolved.insert(other);
+        lists.push_back(std::move(extra));
+      }
+    }
+  }
+
+  // Ranking at the querying peer: consolidate per-document entries and
+  // apply the Lee et al. similarity. The document frequency is the indexed
+  // document frequency n'_k (the list length) and N is the fixed constant
+  // of Section 4.
+  std::unordered_map<DocId, double> dot;
+  std::unordered_map<DocId, uint32_t> distinct_terms;
+  for (const RetrievedList& rl : lists) {
+    if (rl.postings.empty()) continue;
+    const double idf =
+        ir::Idf(config_.idf_corpus_size,
+                static_cast<uint32_t>(rl.postings.size()));
+    if (idf == 0.0) continue;
+    const double wq = idf;  // unit query-term frequency
+    for (const PostingEntry& p : rl.postings) {
+      dot[p.doc] += wq * p.NormalizedTf() * idf;
+      distinct_terms[p.doc] = p.num_distinct_terms;
+    }
+  }
+  ir::RankedList results;
+  results.reserve(dot.size());
+  for (const auto& [doc, d] : dot) {
+    const double score = ir::LeeNormalize(d, distinct_terms[doc]);
+    if (score > 0.0) results.push_back({doc, score});
+  }
+  ir::SortRankedList(results, k);
+  return results;
+}
+
+void SpriteSystem::ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
+                                    const OwnerPeer::IndexUpdate& update) {
+  for (const std::string& term : update.remove) {
+    WithdrawTerm(owner_id, term, owned.content->id);  // best effort
+  }
+  for (const std::string& term : update.add) {
+    PublishTerm(owner_id, term, MakePosting(owned, term, owner_id));
+  }
+}
+
+void SpriteSystem::RunLearningIteration() {
+  for (auto& [owner_id, owner] : owners_) {
+    const dht::ChordNode* node = ring_.node(owner_id);
+    if (node == nullptr || !node->alive) continue;
+    for (auto& [doc_id, owned] : owner.mutable_documents()) {
+      if (config_.selection == TermSelectionPolicy::kStaticFrequency) {
+        OwnerPeer::IndexUpdate update = owner.GrowStatic(owned, config_);
+        ApplyIndexUpdate(owner_id, owned, update);
+        continue;
+      }
+
+      // Group the document's current terms by responsible indexing peer.
+      const std::vector<std::string> poll_terms = owned.index_terms;
+      std::map<PeerId, std::vector<std::string>> by_peer;
+      for (const std::string& term : poll_terms) {
+        StatusOr<PeerId> target = RouteToTerm(owner_id, term);
+        if (target.ok()) by_peer[target.value()].push_back(term);
+      }
+
+      // Poll each peer with the full term list (Section 3's index update
+      // message) and pull the deduplicated incremental query history.
+      std::vector<const QueryRecord*> pulled;
+      for (const auto& [peer_id, my_terms] : by_peer) {
+        net_.Count(p2p::MessageType::kPollRequest,
+                   poll_terms.size() * p2p::kTermBytes);
+        const IndexingPeer& peer = indexing_.at(peer_id);
+        std::vector<const QueryRecord*> recs = peer.CollectQueriesForPoll(
+            poll_terms, my_terms, owned.poll_cursor, ring_.space());
+        net_.Count(p2p::MessageType::kPollResponse,
+                   recs.size() * p2p::kQueryRecordBytes);
+        pulled.insert(pulled.end(), recs.begin(), recs.end());
+      }
+      // Advance the cursors: everything issued so far has been offered.
+      for (const std::string& term : poll_terms) {
+        owned.poll_cursor[term] = seq_counter_;
+      }
+
+      OwnerPeer::IndexUpdate update =
+          owner.LearnAndRetune(owned, pulled, config_);
+      ApplyIndexUpdate(owner_id, owned, update);
+    }
+  }
+}
+
+void SpriteSystem::ReplicateIndexes() {
+  if (config_.replication_factor == 0) return;
+  for (auto& [peer_id, peer] : indexing_) {
+    const dht::ChordNode* node = ring_.node(peer_id);
+    if (node == nullptr || !node->alive) continue;
+    if (peer.num_terms() == 0) continue;
+    const std::vector<PeerId> succs =
+        ring_.SuccessorsOf(peer_id, config_.replication_factor);
+    for (const auto& [term, plist] : peer.index()) {
+      for (PeerId s : succs) {
+        net_.Count(p2p::MessageType::kReplicate,
+                   p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes);
+        indexing_.at(s).StoreReplica(term, plist);
+      }
+    }
+  }
+}
+
+Status SpriteSystem::FailPeer(PeerId id) { return ring_.Fail(id); }
+
+void SpriteSystem::StabilizeNetwork(int rounds) {
+  ring_.StabilizeAll(rounds);
+}
+
+size_t SpriteSystem::RunOverloadAdvisories(uint32_t threshold) {
+  // Collect the overloaded (peer, term) pairs first; owners mutate the
+  // indexes while we act on the advisories.
+  struct Advisory {
+    std::string term;
+    std::vector<PostingEntry> postings;
+  };
+  std::vector<Advisory> advisories;
+  for (const auto& [peer_id, peer] : indexing_) {
+    const dht::ChordNode* node = ring_.node(peer_id);
+    if (node == nullptr || !node->alive) continue;
+    for (const auto& [term, plist] : peer.index()) {
+      if (plist.size() > threshold) advisories.push_back({term, plist});
+    }
+  }
+
+  size_t replacements = 0;
+  for (const Advisory& adv : advisories) {
+    for (const PostingEntry& posting : adv.postings) {
+      auto owner_it = owners_.find(posting.owner);
+      if (owner_it == owners_.end()) continue;
+      OwnedDocument* owned = owner_it->second.document(posting.doc);
+      if (owned == nullptr || !owned->IsIndexed(adv.term)) continue;
+      net_.Count(p2p::MessageType::kAdvisory, p2p::kTermBytes);
+
+      // The owner discards the popular term and publishes an analogously
+      // important one: its best-ranked unindexed candidate, falling back
+      // to the next most frequent document term.
+      std::string replacement;
+      std::vector<ScoredTerm> ranked = ProcessQueriesAndRank(
+          owned->content->terms, owned->stats, {}, config_.score_variant);
+      for (const ScoredTerm& cand : ranked) {
+        if (cand.term != adv.term && !owned->IsIndexed(cand.term)) {
+          replacement = cand.term;
+          break;
+        }
+      }
+      if (replacement.empty()) {
+        for (const auto& tf : owned->content->terms.SortedTerms()) {
+          if (tf.term != adv.term && !owned->IsIndexed(tf.term)) {
+            replacement = tf.term;
+            break;
+          }
+        }
+      }
+
+      WithdrawTerm(posting.owner, adv.term, posting.doc);
+      auto it = std::find(owned->index_terms.begin(),
+                          owned->index_terms.end(), adv.term);
+      if (it != owned->index_terms.end()) owned->index_terms.erase(it);
+      owned->poll_cursor.erase(adv.term);
+      if (!replacement.empty()) {
+        owned->index_terms.push_back(replacement);
+        PublishTerm(posting.owner, replacement,
+                    MakePosting(*owned, replacement, posting.owner));
+      }
+      ++replacements;
+    }
+  }
+  return replacements;
+}
+
+Status SpriteSystem::UnshareDocument(DocId doc) {
+  auto it = doc_owner_.find(doc);
+  if (it == doc_owner_.end()) {
+    return Status::NotFound(StrFormat("document %u is not shared", doc));
+  }
+  const PeerId owner_id = it->second;
+  OwnerPeer& owner = owners_.at(owner_id);
+  OwnedDocument* owned = owner.document(doc);
+  SPRITE_CHECK(owned != nullptr);
+  for (const std::string& term : owned->index_terms) {
+    WithdrawTerm(owner_id, term, doc);  // best effort under churn
+  }
+  owner.mutable_documents().erase(doc);
+  doc_owner_.erase(it);
+  return Status::OK();
+}
+
+Status SpriteSystem::UpdateDocument(const corpus::Document& doc) {
+  auto it = doc_owner_.find(doc.id);
+  if (it == doc_owner_.end()) {
+    return Status::NotFound(StrFormat("document %u is not shared", doc.id));
+  }
+  if (doc.terms.empty()) {
+    return Status::InvalidArgument("updated document is empty; unshare it");
+  }
+  const PeerId owner_id = it->second;
+  OwnedDocument* owned = owners_.at(owner_id).document(doc.id);
+  SPRITE_CHECK(owned != nullptr);
+
+  owned->content = &doc;
+
+  // Withdraw index terms that vanished from the new content; re-publish
+  // the rest with fresh term frequencies and lengths.
+  std::vector<std::string> kept;
+  for (const std::string& term : owned->index_terms) {
+    if (!doc.ContainsTerm(term)) {
+      WithdrawTerm(owner_id, term, doc.id);
+      owned->stats.erase(term);
+      owned->poll_cursor.erase(term);
+    } else {
+      kept.push_back(term);
+    }
+  }
+  owned->index_terms = std::move(kept);
+  for (const std::string& term : owned->index_terms) {
+    SPRITE_RETURN_IF_ERROR(
+        PublishTerm(owner_id, term, MakePosting(*owned, term, owner_id)));
+  }
+  return Status::OK();
+}
+
+StatusOr<PeerId> SpriteSystem::JoinPeer(const std::string& name) {
+  StatusOr<uint64_t> id_or = ring_.Join(name);
+  if (!id_or.ok()) return id_or.status();
+  return CompleteJoin(id_or.value());
+}
+
+PeerId SpriteSystem::CompleteJoin(PeerId id) {
+  indexing_.emplace(id, IndexingPeer(id, config_.history_capacity));
+  owners_.emplace(id, OwnerPeer(id));
+  peer_ids_.insert(
+      std::upper_bound(peer_ids_.begin(), peer_ids_.end(), id), id);
+
+  // The successor hands over the inverted lists and cached queries of the
+  // key arc the newcomer now owns.
+  const std::vector<PeerId> succs = ring_.SuccessorsOf(id, 1);
+  if (!succs.empty() && succs[0] != id) {
+    IndexingPeer& successor = indexing_.at(succs[0]);
+    const dht::IdSpace& space = ring_.space();
+    IndexingPeer::Handoff handoff =
+        successor.ExtractEntries([&](const std::string& term) {
+          StatusOr<uint64_t> owner = ring_.ResponsibleNode(
+              space.KeyForString(term));
+          return owner.ok() && owner.value() == id;
+        });
+    IndexingPeer& newcomer = indexing_.at(id);
+    for (auto& [term, plist] : handoff.lists) {
+      net_.Count(p2p::MessageType::kKeyTransfer,
+                 p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes);
+      for (const PostingEntry& entry : plist) {
+        newcomer.AddPosting(term, entry);
+      }
+    }
+    for (const QueryRecord& record : handoff.records) {
+      net_.Count(p2p::MessageType::kKeyTransfer, p2p::kQueryRecordBytes);
+      newcomer.RecordQuery(record);
+    }
+  }
+  return id;
+}
+
+Status SpriteSystem::RebalanceRange() {
+  if (ring_.num_alive() < 3) {
+    return Status::FailedPrecondition("need at least three alive peers");
+  }
+  // Most- and least-loaded indexing peers by stored postings.
+  PeerId hot = 0, cold = 0;
+  size_t hot_load = 0, cold_load = std::numeric_limits<size_t>::max();
+  for (const auto& [id, peer] : indexing_) {
+    const dht::ChordNode* node = ring_.node(id);
+    if (node == nullptr || !node->alive) continue;
+    const size_t load = peer.num_postings();
+    if (load > hot_load || (load == hot_load && id < hot)) {
+      hot = id;
+      hot_load = load;
+    }
+    if (load < cold_load || (load == cold_load && id < cold)) {
+      cold = id;
+      cold_load = load;
+    }
+  }
+  if (hot == cold || hot_load <= cold_load + 1) {
+    return Status::FailedPrecondition("load is already balanced");
+  }
+
+  // The invitee abandons its current range (passing it to its successor)
+  // and re-joins at the midpoint of the overloaded peer's arc.
+  const dht::ChordNode* hot_node = ring_.node(hot);
+  SPRITE_CHECK(hot_node != nullptr && hot_node->predecessor.has_value());
+  const uint64_t pred = *hot_node->predecessor;
+  const uint64_t span = ring_.space().Distance(pred, hot);
+  if (span < 2) {
+    return Status::FailedPrecondition("overloaded arc cannot be split");
+  }
+  SPRITE_RETURN_IF_ERROR(LeavePeer(cold));
+
+  uint64_t mid = ring_.space().Add(pred, span / 2);
+  StatusOr<uint64_t> joined(Status::Internal("unset"));
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    joined = ring_.JoinWithId(
+        mid, StrFormat("rebalance-%llu",
+                       static_cast<unsigned long long>(mid)));
+    if (joined.ok()) break;
+    mid = ring_.space().Add(mid, 1);
+  }
+  if (!joined.ok()) return joined.status();
+  CompleteJoin(joined.value());
+  return Status::OK();
+}
+
+Status SpriteSystem::LeavePeer(PeerId id) {
+  const dht::ChordNode* node = ring_.node(id);
+  if (node == nullptr || !node->alive) {
+    return Status::NotFound("no such alive peer");
+  }
+  if (ring_.num_alive() <= 1) {
+    return Status::FailedPrecondition("cannot drain the last peer");
+  }
+
+  // Hand every primary inverted list and cached query to the successor.
+  const std::vector<PeerId> succs = ring_.SuccessorsOf(id, 1);
+  SPRITE_CHECK(!succs.empty());
+  IndexingPeer& successor = indexing_.at(succs[0]);
+  IndexingPeer::Handoff handoff = indexing_.at(id).ExtractEntries(
+      [](const std::string&) { return true; });
+  for (auto& [term, plist] : handoff.lists) {
+    net_.Count(p2p::MessageType::kKeyTransfer,
+               p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes);
+    for (const PostingEntry& entry : plist) {
+      successor.AddPosting(term, entry);
+    }
+  }
+  for (const QueryRecord& record : handoff.records) {
+    net_.Count(p2p::MessageType::kKeyTransfer, p2p::kQueryRecordBytes);
+    successor.RecordQuery(record);
+  }
+
+  // Patch the ring first so re-owned documents never pick the leaver.
+  SPRITE_RETURN_IF_ERROR(ring_.Leave(id));
+  peer_ids_.erase(std::remove(peer_ids_.begin(), peer_ids_.end(), id),
+                  peer_ids_.end());
+
+  // Shared documents migrate to new owner peers, and their postings are
+  // re-published so indexing peers learn the new owner address.
+  OwnerPeer& leaving_owner = owners_.at(id);
+  std::vector<DocId> moved;
+  for (const auto& [doc_id, _] : leaving_owner.documents()) {
+    moved.push_back(doc_id);
+  }
+  for (DocId doc_id : moved) {
+    OwnedDocument owned = std::move(leaving_owner.mutable_documents()[doc_id]);
+    leaving_owner.mutable_documents().erase(doc_id);
+    const PeerId new_owner_id =
+        PickPeer(0x9e3779b97f4a7c15ULL * (doc_id + 1) ^ id);
+    OwnerPeer& new_owner = owners_.at(new_owner_id);
+    OwnedDocument& dest = new_owner.AdoptDocument(owned.content);
+    dest = std::move(owned);
+    doc_owner_[doc_id] = new_owner_id;
+    for (const std::string& term : dest.index_terms) {
+      PublishTerm(new_owner_id, term,
+                  MakePosting(dest, term, new_owner_id));
+    }
+  }
+
+  indexing_.erase(id);
+  owners_.erase(id);
+  return Status::OK();
+}
+
+size_t SpriteSystem::RunHeartbeats() {
+  size_t probes = 0;
+  for (auto& [owner_id, owner] : owners_) {
+    const dht::ChordNode* node = ring_.node(owner_id);
+    if (node == nullptr || !node->alive) continue;
+    for (auto& [doc_id, owned] : owner.mutable_documents()) {
+      for (const std::string& term : owned.index_terms) {
+        StatusOr<PeerId> target = RouteToTerm(owner_id, term);
+        if (!target.ok()) continue;  // arc unreachable; retry next period
+        net_.Count(p2p::MessageType::kHeartbeat, p2p::kTermBytes);
+        ++probes;
+        // A live peer that lost the posting (e.g. responsibility moved to
+        // it after an unreplicated failure) gets it re-published.
+        IndexingPeer& peer = indexing_.at(target.value());
+        if (!peer.HasPosting(term, doc_id)) {
+          net_.Count(p2p::MessageType::kPublishTerm,
+                     p2p::kTermBytes + p2p::kPostingEntryBytes);
+          peer.AddPosting(term, MakePosting(owned, term, owner_id));
+        }
+      }
+    }
+  }
+  return probes;
+}
+
+size_t SpriteSystem::RunHotTermCaching(size_t top_terms) {
+  // Aggregate query frequencies and co-occurrences over the peers' caches,
+  // deduplicating issuances (one query is stored at several peers).
+  std::unordered_set<uint64_t> seen;
+  std::unordered_map<std::string, uint64_t> qf;
+  std::vector<const QueryRecord*> unique_records;
+  for (const auto& [peer_id, peer] : indexing_) {
+    const dht::ChordNode* node = ring_.node(peer_id);
+    if (node == nullptr || !node->alive) continue;
+    for (const QueryRecord& record : peer.history()) {
+      if (!seen.insert(record.seq).second) continue;
+      unique_records.push_back(&record);
+      for (const std::string& term : record.terms) qf[term] += 1;
+    }
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> ranked(qf.begin(), qf.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > top_terms) ranked.resize(top_terms);
+
+  size_t placements = 0;
+  for (const auto& [hot, _] : ranked) {
+    StatusOr<uint64_t> hot_peer =
+        ring_.ResponsibleNode(ring_.space().KeyForString(hot));
+    if (!hot_peer.ok()) continue;
+    const std::vector<PostingEntry>* plist =
+        indexing_.at(hot_peer.value()).Postings(hot);
+    if (plist == nullptr || plist->empty()) continue;
+
+    // Terms that co-occur with the hot term in cached queries — their
+    // peers receive the hot term's list.
+    std::unordered_set<std::string> co_terms;
+    for (const QueryRecord* record : unique_records) {
+      if (std::find(record->terms.begin(), record->terms.end(), hot) ==
+          record->terms.end()) {
+        continue;
+      }
+      for (const std::string& other : record->terms) {
+        if (other != hot) co_terms.insert(other);
+      }
+    }
+    for (const std::string& co : co_terms) {
+      StatusOr<uint64_t> target =
+          ring_.ResponsibleNode(ring_.space().KeyForString(co));
+      if (!target.ok() || target.value() == hot_peer.value()) continue;
+      // The hot term's list goes to the co-term's peer: queries that reach
+      // the co-term's peer first then never contact the hot peer at all
+      // (the contact order rotates per issuance, so most multi-term
+      // queries start at a non-hot term).
+      net_.Count(p2p::MessageType::kCachePush,
+                 p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes);
+      indexing_.at(target.value()).CachePostings(hot, *plist);
+      ++placements;
+    }
+  }
+  return placements;
+}
+
+StatusOr<ir::RankedList> SpriteSystem::SearchWithExpansion(
+    const corpus::Query& query, size_t k, size_t extra_terms,
+    size_t feedback_docs) {
+  StatusOr<ir::RankedList> initial =
+      Search(query, std::max(k, feedback_docs), /*record=*/true);
+  if (!initial.ok()) return initial.status();
+  if (extra_terms == 0 || initial->empty()) {
+    ir::RankedList out = std::move(initial).value();
+    ir::SortRankedList(out, k);
+    return out;
+  }
+
+  // Retrieval phase for the feedback set: download the top documents from
+  // their owner peers and analyze them locally (local context analysis
+  // needs no global statistics).
+  const size_t depth = std::min(feedback_docs, initial->size());
+  std::vector<const corpus::Document*> feedback;
+  for (size_t i = 0; i < depth; ++i) {
+    const DocId doc = (*initial)[i].doc;
+    auto owner_it = doc_owner_.find(doc);
+    if (owner_it == doc_owner_.end()) continue;
+    const OwnedDocument* owned =
+        owners_.at(owner_it->second).document(doc);
+    if (owned == nullptr) continue;
+    net_.Count(p2p::MessageType::kQueryRequest, p2p::kTermBytes);
+    net_.Count(p2p::MessageType::kQueryResponse,
+               static_cast<size_t>(owned->content->length()) * 6);
+    feedback.push_back(owned->content);
+  }
+
+  // Score co-occurring candidate terms within the feedback set: damped
+  // term frequency times a feedback-set IDF, so terms concentrated in a
+  // few top documents win over ubiquitous ones.
+  std::unordered_map<std::string, double> tf_score;
+  std::unordered_map<std::string, uint32_t> df;
+  for (const corpus::Document* doc : feedback) {
+    for (const auto& [term, freq] : doc->terms.counts()) {
+      if (query.ContainsTerm(term)) continue;
+      tf_score[term] += std::log(1.0 + static_cast<double>(freq));
+      df[term] += 1;
+    }
+  }
+  std::vector<std::pair<double, std::string>> candidates;
+  candidates.reserve(tf_score.size());
+  const double f = static_cast<double>(feedback.size());
+  for (auto& [term, score] : tf_score) {
+    const double idf = std::log((f + 1.0) / static_cast<double>(df[term]));
+    candidates.emplace_back(score * idf, term);
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const auto& a,
+                                                     const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  // Expansion terms are evidence, not the user's words: retrieve with them
+  // separately and fuse at reduced weight, so they can surface missed
+  // documents without drowning the original ranking.
+  corpus::Query expansion_only;
+  expansion_only.id = query.id;
+  for (size_t i = 0; i < candidates.size() && i < extra_terms; ++i) {
+    expansion_only.terms.push_back(candidates[i].second);
+  }
+  if (expansion_only.empty()) {
+    ir::RankedList out = std::move(initial).value();
+    ir::SortRankedList(out, k);
+    return out;
+  }
+  StatusOr<ir::RankedList> extra =
+      Search(expansion_only, 0, /*record=*/false);
+
+  constexpr double kExpansionWeight = 0.4;
+  std::unordered_map<DocId, double> fused;
+  for (const ir::ScoredDoc& scored : *initial) {
+    fused[scored.doc] += scored.score;
+  }
+  if (extra.ok()) {
+    for (const ir::ScoredDoc& scored : *extra) {
+      fused[scored.doc] += kExpansionWeight * scored.score;
+    }
+  }
+  ir::RankedList out;
+  out.reserve(fused.size());
+  for (const auto& [doc, score] : fused) out.push_back({doc, score});
+  ir::SortRankedList(out, k);
+  return out;
+}
+
+const std::vector<std::string>* SpriteSystem::IndexTermsOf(DocId doc) const {
+  auto it = doc_owner_.find(doc);
+  if (it == doc_owner_.end()) return nullptr;
+  const OwnerPeer& owner = owners_.at(it->second);
+  const OwnedDocument* owned = owner.document(doc);
+  return owned == nullptr ? nullptr : &owned->index_terms;
+}
+
+PeerId SpriteSystem::OwnerOf(DocId doc) const {
+  auto it = doc_owner_.find(doc);
+  return it == doc_owner_.end() ? 0 : it->second;
+}
+
+size_t SpriteSystem::TotalIndexedTerms() const {
+  size_t total = 0;
+  for (const auto& [_, owner] : owners_) {
+    for (const auto& [__, owned] : owner.documents()) {
+      total += owned.index_terms.size();
+    }
+  }
+  return total;
+}
+
+const IndexingPeer* SpriteSystem::indexing_peer(PeerId id) const {
+  auto it = indexing_.find(id);
+  return it == indexing_.end() ? nullptr : &it->second;
+}
+
+const OwnerPeer* SpriteSystem::owner_peer(PeerId id) const {
+  auto it = owners_.find(id);
+  return it == owners_.end() ? nullptr : &it->second;
+}
+
+SpriteConfig MakeESearchConfig(SpriteConfig base, size_t num_index_terms) {
+  base.selection = TermSelectionPolicy::kStaticFrequency;
+  base.initial_terms = num_index_terms;
+  base.max_index_terms = num_index_terms;
+  return base;
+}
+
+}  // namespace sprite::core

@@ -1,0 +1,194 @@
+#ifndef SPRITE_CORE_SPRITE_SYSTEM_H_
+#define SPRITE_CORE_SPRITE_SYSTEM_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/indexing_peer.h"
+#include "core/owner_peer.h"
+#include "core/types.h"
+#include "corpus/corpus.h"
+#include "corpus/query.h"
+#include "dht/chord.h"
+#include "ir/ranked_list.h"
+#include "p2p/network.h"
+
+namespace sprite::core {
+
+// The complete simulated SPRITE deployment (Section 3): a Chord ring of
+// peers, each playing both the owner-peer and indexing-peer roles, plus the
+// two services — document sharing (with selective, progressively tuned
+// global index terms) and keyword retrieval (querying peer fetches the
+// inverted lists of the query terms and ranks locally).
+//
+// The same class also runs as the "basic eSearch" baseline: configure
+// `selection = kStaticFrequency` and the learning iterations degrade to
+// static most-frequent-term growth, with every other code path (DHT,
+// publication, query processing) shared — which is exactly what the
+// paper's comparison isolates.
+//
+// All traffic a real deployment would send is counted in network_stats();
+// Chord routing hops are additionally available via ring().stats().
+class SpriteSystem {
+ public:
+  explicit SpriteSystem(SpriteConfig config);
+
+  SpriteSystem(const SpriteSystem&) = delete;
+  SpriteSystem& operator=(const SpriteSystem&) = delete;
+
+  // --- Document sharing service ------------------------------------------
+  // Shares `doc`: assigns an owner peer, selects the initial global index
+  // terms (top-F frequent) and publishes them. The document must outlive
+  // the system. Fails if the document is empty or already shared.
+  Status ShareDocument(const corpus::Document& doc);
+  // Shares every document of `corpus` (which must outlive the system).
+  Status ShareCorpus(const corpus::Corpus& corpus);
+
+  // --- Retrieval service --------------------------------------------------
+  // Caches `query` at the indexing peers responsible for its terms without
+  // executing it (used to seed training history, as in Section 6.2).
+  void RecordQuery(const corpus::Query& query);
+  // Executes `query`: routes to each term's indexing peer, retrieves the
+  // inverted lists, and ranks with the Lee et al. similarity using indexed
+  // document frequencies. When `record` is true the issuance is also
+  // cached in the peers' histories (normal system behaviour).
+  StatusOr<ir::RankedList> Search(const corpus::Query& query, size_t k,
+                                  bool record = true);
+
+  // --- Index tuning --------------------------------------------------------
+  // One learning period: every owner peer polls the indexing peers of each
+  // document's current terms, pulls the (deduplicated, incremental) query
+  // history, retunes the term set with Algorithm 1 and publishes the
+  // changes. Under kStaticFrequency this instead grows each document's
+  // index by the next most frequent terms.
+  void RunLearningIteration();
+
+  // Stops sharing `doc`: withdraws its global index terms from the DHT and
+  // discards the owner-side state.
+  Status UnshareDocument(DocId doc);
+
+  // Replaces the shared content of an already-shared document (same id).
+  // Postings of surviving index terms are re-published with the new term
+  // frequencies; index terms no longer present in the document are
+  // withdrawn. Learned statistics for vanished terms are dropped.
+  Status UpdateDocument(const corpus::Document& doc);
+
+  // --- Membership dynamics ---------------------------------------------------
+  // A new peer joins the running network: it enters the Chord ring and its
+  // successor hands over the inverted lists and cached queries for the key
+  // arc the newcomer is now responsible for. Returns the new peer's id.
+  StatusOr<PeerId> JoinPeer(const std::string& name);
+  // A peer departs gracefully: its inverted lists and cached queries move
+  // to its successor, its shared documents are re-owned by another peer,
+  // and the ring is patched. (Abrupt departure is FailPeer.)
+  Status LeavePeer(PeerId id);
+  // Range-partition load sharing (Section 7, load balance (b)): the peer
+  // storing the most postings invites the one storing the fewest to share
+  // its range — the invitee "passes over its original partition to its
+  // successor" (LeavePeer) and re-joins at the midpoint of the overloaded
+  // peer's arc, taking half of its keys. No-op (kFailedPrecondition) when
+  // fewer than three peers are alive or the load is already flat.
+  Status RebalanceRange();
+
+  // --- Section 7 extensions -------------------------------------------------
+  // Copies every indexing peer's inverted lists to its
+  // `replication_factor` successors.
+  void ReplicateIndexes();
+  // Abruptly fails a peer (its primary index state becomes unreachable).
+  Status FailPeer(PeerId id);
+  // Runs stabilization rounds so the ring routes around failures.
+  void StabilizeNetwork(int rounds);
+  // Owner peers probe the indexing peers of every published term to check
+  // they are still alive (the periodic maintenance the introduction calls
+  // out as a cost driver). Missing postings — e.g. lost to an unreplicated
+  // failure — are re-published to the current responsible peer. Returns
+  // the number of probes sent.
+  size_t RunHeartbeats();
+  // Overload advisory (Section 7, load balance (a)): indexing peers advise
+  // owners of terms whose indexed document frequency exceeds `threshold`;
+  // owners replace those terms with their next-best candidate. Returns the
+  // number of (document, term) replacements performed.
+  size_t RunOverloadAdvisories(uint32_t threshold);
+  // LAR-style hot-term caching (Section 7, load balance (b)): finds the
+  // `top_terms` most queried terms across peer histories and pushes their
+  // inverted lists into the caches of the peers responsible for terms that
+  // co-occur with them in cached queries. When
+  // `SpriteConfig::use_hot_term_cache` is set, Search() consults these
+  // caches and skips contacting the hot peer. Returns cache placements.
+  size_t RunHotTermCaching(size_t top_terms);
+  // Search with local-context-analysis query expansion (Section 7, third
+  // extension): runs the query, downloads the top `feedback_docs` results
+  // from their owner peers (counted as traffic), extracts co-occurring
+  // expansion terms locally, and re-runs the enriched query.
+  StatusOr<ir::RankedList> SearchWithExpansion(const corpus::Query& query,
+                                               size_t k, size_t extra_terms,
+                                               size_t feedback_docs = 10);
+
+  // --- Introspection ---------------------------------------------------------
+  // Current global index terms of `doc` (nullptr when unknown).
+  const std::vector<std::string>* IndexTermsOf(DocId doc) const;
+  PeerId OwnerOf(DocId doc) const;
+  // Sum of |index terms| over all shared documents.
+  size_t TotalIndexedTerms() const;
+
+  const dht::ChordRing& ring() const { return ring_; }
+  dht::ChordRing& mutable_ring() { return ring_; }
+  const p2p::NetworkStats& network_stats() const { return net_.stats(); }
+  void ClearNetworkStats() { net_.Clear(); }
+  const SpriteConfig& config() const { return config_; }
+  const IndexingPeer* indexing_peer(PeerId id) const;
+  const OwnerPeer* owner_peer(PeerId id) const;
+  // Monotone issuance counter (also the newest seq in any history).
+  uint64_t current_seq() const { return seq_counter_; }
+  // Query-processing requests served per peer (cache-served co-term lists
+  // count toward the serving peer). Input to the load-balance experiments.
+  const std::unordered_map<PeerId, uint64_t>& query_load() const {
+    return query_load_;
+  }
+  void ClearQueryLoad() { query_load_.clear(); }
+
+ private:
+  // Routes from `from` to the peer responsible for `term`, counting hops.
+  StatusOr<PeerId> RouteToTerm(PeerId from, const std::string& term);
+  // A deterministic alive peer derived from `hash` (e.g. who issues a
+  // query, who owns a document).
+  PeerId PickPeer(uint64_t hash) const;
+  PostingEntry MakePosting(const OwnedDocument& owned,
+                           const std::string& term, PeerId owner) const;
+  // Shared tail of JoinPeer/RebalanceRange: creates the peer state for a
+  // node already on the ring and pulls the key-arc handoff from its
+  // successor.
+  PeerId CompleteJoin(PeerId id);
+  Status PublishTerm(PeerId owner, const std::string& term,
+                     const PostingEntry& entry);
+  Status WithdrawTerm(PeerId owner, const std::string& term, DocId doc);
+  void ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
+                        const OwnerPeer::IndexUpdate& update);
+
+  SpriteConfig config_;
+  dht::ChordRing ring_;
+  p2p::NetworkAccountant net_;
+  std::map<PeerId, IndexingPeer> indexing_;
+  std::map<PeerId, OwnerPeer> owners_;
+  std::vector<PeerId> peer_ids_;  // sorted, as constructed
+  std::unordered_map<DocId, PeerId> doc_owner_;
+  std::unordered_map<PeerId, uint64_t> query_load_;
+  uint64_t seq_counter_ = 0;
+  // Counts every Search() call; successive issuances of the same query are
+  // treated as coming from different users (querying peer and term-contact
+  // order vary deterministically with it).
+  uint64_t search_counter_ = 0;
+};
+
+// A SpriteConfig configured as the basic eSearch baseline of Section 6:
+// statically index the `num_index_terms` most frequent terms of each
+// document on the same substrate.
+SpriteConfig MakeESearchConfig(SpriteConfig base, size_t num_index_terms);
+
+}  // namespace sprite::core
+
+#endif  // SPRITE_CORE_SPRITE_SYSTEM_H_

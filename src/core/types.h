@@ -1,0 +1,64 @@
+#ifndef SPRITE_CORE_TYPES_H_
+#define SPRITE_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "corpus/query.h"
+#include "p2p/message.h"
+
+namespace sprite::core {
+
+using corpus::DocId;
+using corpus::QueryId;
+using p2p::PeerId;
+
+// One entry of a term's distributed inverted list — the metadata of
+// Section 5.1(a): the document, its owner peer's address, the term
+// frequency, the document length, and the distinct-term count needed by the
+// Lee et al. normalization.
+struct PostingEntry {
+  DocId doc = corpus::kInvalidDocId;
+  PeerId owner = 0;
+  uint32_t term_freq = 0;
+  uint32_t doc_length = 0;
+  uint32_t num_distinct_terms = 0;
+
+  // t_ik: term frequency normalized by document length.
+  double NormalizedTf() const {
+    return doc_length == 0 ? 0.0
+                           : static_cast<double>(term_freq) /
+                                 static_cast<double>(doc_length);
+  }
+
+  friend bool operator==(const PostingEntry& a, const PostingEntry& b) {
+    return a.doc == b.doc && a.owner == b.owner &&
+           a.term_freq == b.term_freq && a.doc_length == b.doc_length &&
+           a.num_distinct_terms == b.num_distinct_terms;
+  }
+};
+
+// A query cached at an indexing peer — Section 5.1(b). `hash_key` is the
+// ring key of the query's canonical form, precomputed so the closest-term
+// dedup rule of Section 3 costs only integer comparisons. `seq` is the
+// global issue order, which doubles as the recency for LRU eviction and as
+// a unique id of this issuance.
+struct QueryRecord {
+  QueryId id = 0;
+  std::vector<std::string> terms;
+  uint64_t hash_key = 0;
+  uint64_t seq = 0;
+};
+
+// The result of fetching one term's inverted list during query processing.
+// The *indexed document frequency* n'_k of Section 4 is postings.size().
+struct RetrievedList {
+  std::string term;
+  std::vector<PostingEntry> postings;
+};
+
+}  // namespace sprite::core
+
+#endif  // SPRITE_CORE_TYPES_H_

@@ -1,0 +1,39 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sprite::corpus {
+
+DocId Corpus::AddDocument(text::TermVector terms, std::string title) {
+  const DocId id = static_cast<DocId>(docs_.size());
+  for (const auto& [term, freq] : terms.counts()) {
+    TermStats& ts = stats_[term];
+    ts.total_freq += freq;
+    ts.doc_freq += 1;
+  }
+  total_tokens_ += terms.length();
+  docs_.push_back(Document{id, std::move(title), std::move(terms)});
+  return id;
+}
+
+const Document& Corpus::doc(DocId id) const {
+  SPRITE_CHECK(id < docs_.size());
+  return docs_[id];
+}
+
+TermStats Corpus::Stats(std::string_view term) const {
+  auto it = stats_.find(std::string(term));
+  return it == stats_.end() ? TermStats{} : it->second;
+}
+
+std::vector<std::string> Corpus::Vocabulary() const {
+  std::vector<std::string> terms;
+  terms.reserve(stats_.size());
+  for (const auto& [term, _] : stats_) terms.push_back(term);
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+}  // namespace sprite::corpus

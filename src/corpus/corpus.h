@@ -1,0 +1,75 @@
+#ifndef SPRITE_CORPUS_CORPUS_H_
+#define SPRITE_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/document.h"
+
+namespace sprite::corpus {
+
+// Corpus-wide statistics for one term.
+struct TermStats {
+  // Total occurrences across all documents: Freq(t) in the paper.
+  uint64_t total_freq = 0;
+  // Number of documents containing the term: Num(t) / document frequency.
+  uint32_t doc_freq = 0;
+
+  // Distribution(t) = Freq(t) * Num(t) — the paper's importance metric used
+  // by the query generator to find "equally important" replacement terms.
+  double Distribution() const {
+    return static_cast<double>(total_freq) * static_cast<double>(doc_freq);
+  }
+};
+
+// An in-memory document collection with global term statistics.
+//
+// The corpus is the ground-truth substrate: the centralized baseline reads
+// exact statistics from it, while the P2P systems only ever see what their
+// protocol messages carry.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  // Movable but not copyable (documents can be large).
+  Corpus(Corpus&&) noexcept = default;
+  Corpus& operator=(Corpus&&) noexcept = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  // Adds a document; assigns and returns its dense DocId.
+  DocId AddDocument(text::TermVector terms, std::string title = "");
+
+  size_t num_docs() const { return docs_.size(); }
+  const Document& doc(DocId id) const;
+  const std::vector<Document>& docs() const { return docs_; }
+
+  // Statistics for `term`; zeros when unseen.
+  TermStats Stats(std::string_view term) const;
+
+  // Exact document frequency of `term` (n_k in the paper).
+  uint32_t DocFreq(std::string_view term) const {
+    return Stats(term).doc_freq;
+  }
+
+  size_t vocabulary_size() const { return stats_.size(); }
+
+  // All distinct terms, sorted lexicographically (deterministic).
+  std::vector<std::string> Vocabulary() const;
+
+  // Total token count over all documents.
+  uint64_t total_tokens() const { return total_tokens_; }
+
+ private:
+  std::vector<Document> docs_;
+  std::unordered_map<std::string, TermStats> stats_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace sprite::corpus
+
+#endif  // SPRITE_CORPUS_CORPUS_H_

@@ -1,0 +1,38 @@
+#ifndef SPRITE_CORPUS_DOCUMENT_H_
+#define SPRITE_CORPUS_DOCUMENT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "text/term_vector.h"
+
+namespace sprite::corpus {
+
+// Identifies a document within a corpus. Dense, assigned by the corpus.
+using DocId = uint32_t;
+inline constexpr DocId kInvalidDocId = std::numeric_limits<DocId>::max();
+
+// A shared document: an identifier, an optional human-readable title, and
+// the analyzed bag-of-words. Raw text is not retained — everything the
+// retrieval system needs (term frequencies, document length, distinct term
+// count) lives in the TermVector, exactly the metadata the paper keeps.
+struct Document {
+  DocId id = kInvalidDocId;
+  std::string title;
+  text::TermVector terms;
+
+  // Total tokens (the "document length" of the paper's tf normalization).
+  uint64_t length() const { return terms.length(); }
+
+  // Distinct terms (the sqrt-denominator of the Lee et al. similarity).
+  size_t num_distinct_terms() const { return terms.num_distinct_terms(); }
+
+  bool ContainsTerm(std::string_view term) const {
+    return terms.Contains(term);
+  }
+};
+
+}  // namespace sprite::corpus
+
+#endif  // SPRITE_CORPUS_DOCUMENT_H_

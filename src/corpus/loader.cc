@@ -1,0 +1,57 @@
+#include "corpus/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sprite::corpus {
+
+StatusOr<size_t> LoadCorpusFromTsvString(std::string_view tsv,
+                                         const text::Analyzer& analyzer,
+                                         Corpus& corpus) {
+  size_t added = 0;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= tsv.size()) {
+    size_t eol = tsv.find('\n', pos);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? tsv.substr(pos)
+                                : tsv.substr(pos, eol - pos);
+    pos = (eol == std::string_view::npos) ? tsv.size() + 1 : eol + 1;
+    ++line_no;
+
+    line = TrimWhitespace(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::Corruption(
+          StrFormat("line %zu: expected <title>\\t<text>", line_no));
+    }
+    std::string title(TrimWhitespace(line.substr(0, tab)));
+    std::string_view body = line.substr(tab + 1);
+    text::TermVector tv = analyzer.AnalyzeToVector(body);
+    if (tv.empty()) continue;  // nothing survived analysis
+    corpus.AddDocument(std::move(tv), std::move(title));
+    ++added;
+  }
+  return added;
+}
+
+StatusOr<size_t> LoadCorpusFromTsv(const std::string& path,
+                                   const text::Analyzer& analyzer,
+                                   Corpus& corpus) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open corpus file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::Corruption("I/O error reading corpus file: " + path);
+  }
+  return LoadCorpusFromTsvString(buf.str(), analyzer, corpus);
+}
+
+}  // namespace sprite::corpus

@@ -1,0 +1,33 @@
+#ifndef SPRITE_CORPUS_LOADER_H_
+#define SPRITE_CORPUS_LOADER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "text/analyzer.h"
+
+namespace sprite::corpus {
+
+// Loads documents from a TSV file into `corpus`, one document per line:
+//
+//   <title>\t<free text...>
+//
+// Lines that are empty or start with '#' are skipped. Each document's text
+// is run through `analyzer` (tokenize / stop / stem). Returns the number of
+// documents added, or an error for unreadable files; malformed lines
+// (missing tab) produce kCorruption with the line number.
+StatusOr<size_t> LoadCorpusFromTsv(const std::string& path,
+                                   const text::Analyzer& analyzer,
+                                   Corpus& corpus);
+
+// Parses documents from an in-memory TSV blob (same format). Useful for
+// tests and for embedding small corpora into examples.
+StatusOr<size_t> LoadCorpusFromTsvString(std::string_view tsv,
+                                         const text::Analyzer& analyzer,
+                                         Corpus& corpus);
+
+}  // namespace sprite::corpus
+
+#endif  // SPRITE_CORPUS_LOADER_H_

@@ -1,0 +1,33 @@
+#include "corpus/query.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sprite::corpus {
+
+bool Query::ContainsTerm(const std::string& term) const {
+  return std::find(terms.begin(), terms.end(), term) != terms.end();
+}
+
+std::string Query::CanonicalKey() const {
+  std::vector<std::string> sorted = terms;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key.push_back(' ');
+    key += sorted[i];
+  }
+  return key;
+}
+
+std::vector<std::string> DedupTerms(std::vector<std::string> terms) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(terms.size());
+  for (auto& t : terms) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace sprite::corpus

@@ -1,0 +1,35 @@
+#ifndef SPRITE_CORPUS_QUERY_H_
+#define SPRITE_CORPUS_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sprite::corpus {
+
+// Identifies a query within a workload.
+using QueryId = uint32_t;
+
+// A keyword query. Terms are assumed to be post-analysis (lowercased,
+// stop-filtered, stemmed) and duplicate-free.
+struct Query {
+  QueryId id = 0;
+  std::vector<std::string> terms;
+
+  size_t size() const { return terms.size(); }
+  bool empty() const { return terms.empty(); }
+
+  bool ContainsTerm(const std::string& term) const;
+
+  // Canonical form: the sorted terms joined by a single space. Two queries
+  // with the same keyword set share a canonical key; the MD5 of this key is
+  // the query's hash in the closest-term dedup rule of Section 3.
+  std::string CanonicalKey() const;
+};
+
+// Removes duplicate terms while preserving first-occurrence order.
+std::vector<std::string> DedupTerms(std::vector<std::string> terms);
+
+}  // namespace sprite::corpus
+
+#endif  // SPRITE_CORPUS_QUERY_H_

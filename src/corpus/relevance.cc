@@ -1,0 +1,39 @@
+#include "corpus/relevance.h"
+
+namespace sprite::corpus {
+
+namespace {
+const std::unordered_set<DocId>& EmptySet() {
+  static const std::unordered_set<DocId>* const kEmpty =
+      new std::unordered_set<DocId>();
+  return *kEmpty;
+}
+}  // namespace
+
+void RelevanceJudgments::MarkRelevant(QueryId query, DocId doc) {
+  judgments_[query].insert(doc);
+}
+
+void RelevanceJudgments::SetRelevant(QueryId query, std::vector<DocId> docs) {
+  auto& set = judgments_[query];
+  set.clear();
+  set.insert(docs.begin(), docs.end());
+}
+
+bool RelevanceJudgments::IsRelevant(QueryId query, DocId doc) const {
+  auto it = judgments_.find(query);
+  return it != judgments_.end() && it->second.count(doc) > 0;
+}
+
+size_t RelevanceJudgments::NumRelevant(QueryId query) const {
+  auto it = judgments_.find(query);
+  return it == judgments_.end() ? 0 : it->second.size();
+}
+
+const std::unordered_set<DocId>& RelevanceJudgments::Relevant(
+    QueryId query) const {
+  auto it = judgments_.find(query);
+  return it == judgments_.end() ? EmptySet() : it->second;
+}
+
+}  // namespace sprite::corpus

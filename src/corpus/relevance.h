@@ -1,0 +1,39 @@
+#ifndef SPRITE_CORPUS_RELEVANCE_H_
+#define SPRITE_CORPUS_RELEVANCE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/document.h"
+#include "corpus/query.h"
+
+namespace sprite::corpus {
+
+// Query -> relevant-document judgments ("identified by experts" in the
+// TREC9 dataset; produced by the synthetic generator / query generator
+// here).
+class RelevanceJudgments {
+ public:
+  RelevanceJudgments() = default;
+
+  void MarkRelevant(QueryId query, DocId doc);
+  void SetRelevant(QueryId query, std::vector<DocId> docs);
+
+  bool IsRelevant(QueryId query, DocId doc) const;
+
+  // Number of relevant documents for `query` (R in the recall definition).
+  size_t NumRelevant(QueryId query) const;
+
+  // The relevant set (empty when the query has no judgments).
+  const std::unordered_set<DocId>& Relevant(QueryId query) const;
+
+  size_t num_queries() const { return judgments_.size(); }
+
+ private:
+  std::unordered_map<QueryId, std::unordered_set<DocId>> judgments_;
+};
+
+}  // namespace sprite::corpus
+
+#endif  // SPRITE_CORPUS_RELEVANCE_H_

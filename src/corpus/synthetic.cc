@@ -1,0 +1,242 @@
+#include "corpus/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace sprite::corpus {
+namespace {
+
+// A topic: an ordered list of core term ids (order defines topic-internal
+// popularity) plus a Zipf sampler over that order.
+struct Topic {
+  std::vector<uint32_t> core;  // term ids, most characteristic first
+};
+
+}  // namespace
+
+SyntheticCorpusGenerator::SyntheticCorpusGenerator(
+    SyntheticCorpusOptions options)
+    : options_(options) {
+  SPRITE_CHECK(options_.vocabulary_size > options_.background_head);
+  SPRITE_CHECK(options_.num_topics >= 1);
+  SPRITE_CHECK(options_.topic_core_size >= options_.query_max_terms);
+  SPRITE_CHECK(options_.query_min_terms >= 1);
+  SPRITE_CHECK(options_.query_min_terms <= options_.query_max_terms);
+}
+
+std::string SyntheticCorpusGenerator::TermName(size_t term_id) {
+  // Encode the id in base 105 (21 consonants x 5 vowels), one CV syllable
+  // per digit, minimum three syllables: id 0 -> "bababa". Unique per id,
+  // lowercase letters only, and not shaped like a common English suffix, so
+  // the words survive the text pipeline intact.
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxyz";
+  static constexpr char kVowels[] = "aeiou";
+  std::string out;
+  size_t v = term_id;
+  for (int digits = 0; digits < 3 || v > 0; ++digits) {
+    const size_t d = v % 105;
+    v /= 105;
+    out.push_back(kConsonants[d % 21]);
+    out.push_back(kVowels[d / 21]);
+  }
+  return out;
+}
+
+SyntheticDataset SyntheticCorpusGenerator::Generate() const {
+  const SyntheticCorpusOptions& o = options_;
+  Rng root(o.seed);
+  Rng topic_rng = root.Fork();
+  Rng doc_rng = root.Fork();
+  Rng query_rng = root.Fork();
+  Rng relevance_rng = root.Fork();
+
+  // --- Vocabulary -----------------------------------------------------
+  // Term id == global popularity rank; the background sampler draws rank
+  // directly from a Zipf law, giving the corpus its heavy-tailed term
+  // distribution.
+  std::vector<std::string> vocab(o.vocabulary_size);
+  for (size_t i = 0; i < o.vocabulary_size; ++i) vocab[i] = TermName(i);
+  ZipfSampler background(o.vocabulary_size, o.background_zipf_skew);
+
+  // --- Topics ----------------------------------------------------------
+  // Each topic draws `topic_core_size` distinct terms from the "specific"
+  // region of the vocabulary (rank >= background_head). Different topics
+  // may share terms, which is realistic and exercises the learning's
+  // ability to disambiguate.
+  const size_t specific_span = o.vocabulary_size - o.background_head;
+  std::vector<Topic> topics(o.num_topics);
+  for (auto& topic : topics) {
+    std::vector<size_t> picks = topic_rng.SampleWithoutReplacement(
+        specific_span, o.topic_core_size);
+    topic.core.reserve(picks.size());
+    for (size_t p : picks) {
+      topic.core.push_back(static_cast<uint32_t>(o.background_head + p));
+    }
+  }
+  ZipfSampler topic_term(o.topic_core_size, o.topic_zipf_skew);
+  const size_t focus_size = std::min(o.focus_size, o.topic_core_size);
+  ZipfSampler focus_term(std::max<size_t>(focus_size, 1), o.focus_zipf);
+
+  // --- Documents -------------------------------------------------------
+  SyntheticDataset out;
+  out.doc_primary_topic.reserve(o.num_docs);
+  struct DocTopicInfo {
+    uint32_t primary;
+    int32_t secondary;  // -1 when absent
+    double primary_weight;
+    double secondary_weight;
+  };
+  std::vector<DocTopicInfo> doc_info;
+  doc_info.reserve(o.num_docs);
+
+  for (size_t d = 0; d < o.num_docs; ++d) {
+    DocTopicInfo info;
+    info.primary = static_cast<uint32_t>(doc_rng.NextUint64(o.num_topics));
+    info.secondary = -1;
+    info.secondary_weight = 0.0;
+    if (o.num_topics > 1 && doc_rng.NextBool(o.secondary_topic_prob)) {
+      uint32_t s;
+      do {
+        s = static_cast<uint32_t>(doc_rng.NextUint64(o.num_topics));
+      } while (s == info.primary);
+      info.secondary = static_cast<int32_t>(s);
+      info.secondary_weight = o.secondary_weight;
+    }
+    info.primary_weight =
+        o.primary_weight_min +
+        doc_rng.NextDouble() * (o.primary_weight_max - o.primary_weight_min);
+
+    size_t len = static_cast<size_t>(
+        doc_rng.NextLogNormal(o.doc_length_mu, o.doc_length_sigma));
+    len = std::clamp(len, o.min_doc_length, o.max_doc_length);
+
+    // The document's sub-subject: a random focus subset of the primary
+    // topic's core (by core rank), boosted during token sampling.
+    std::vector<size_t> focus =
+        doc_rng.SampleWithoutReplacement(o.topic_core_size, focus_size);
+
+    text::TermVector tv;
+    for (size_t i = 0; i < len; ++i) {
+      const double r = doc_rng.NextDouble();
+      uint32_t term_id;
+      if (r < info.primary_weight) {
+        const size_t rank = doc_rng.NextBool(o.focus_share)
+                                ? focus[focus_term.Sample(doc_rng)]
+                                : topic_term.Sample(doc_rng);
+        term_id = topics[info.primary].core[rank];
+      } else if (r < info.primary_weight + info.secondary_weight) {
+        term_id = topics[static_cast<size_t>(info.secondary)]
+                      .core[topic_term.Sample(doc_rng)];
+      } else {
+        term_id = static_cast<uint32_t>(background.Sample(doc_rng));
+      }
+      tv.Add(vocab[term_id]);
+    }
+    out.corpus.AddDocument(std::move(tv));
+    out.doc_primary_topic.push_back(info.primary);
+    doc_info.push_back(info);
+  }
+
+  // --- Base queries ----------------------------------------------------
+  // Query q targets topic q mod num_topics; each keyword is either a
+  // characteristic head draw or a discriminative tail draw (see the
+  // options' comment on the bimodal mix).
+  const size_t head_ranks =
+      std::clamp<size_t>(o.query_head_ranks, 1, o.topic_core_size);
+  const size_t window_lo = std::min(o.query_term_lo, o.topic_core_size - 1);
+  const size_t window_hi =
+      std::clamp(o.query_term_hi, window_lo + 1, o.topic_core_size);
+  ZipfSampler tail_term(window_hi - window_lo, o.query_term_zipf);
+  out.base_queries.reserve(o.num_base_queries);
+  out.query_topic.reserve(o.num_base_queries);
+  for (size_t q = 0; q < o.num_base_queries; ++q) {
+    const uint32_t t = static_cast<uint32_t>(q % o.num_topics);
+    const size_t len = static_cast<size_t>(query_rng.NextInt(
+        static_cast<int64_t>(o.query_min_terms),
+        static_cast<int64_t>(o.query_max_terms)));
+    size_t head_budget = static_cast<size_t>(query_rng.NextInt(
+        static_cast<int64_t>(o.query_min_head),
+        static_cast<int64_t>(o.query_max_head)));
+    head_budget = std::min(head_budget, len);
+    std::vector<std::string> terms;
+    size_t guard = 0;
+    while (terms.size() < len && guard++ < 200) {
+      const bool want_head = terms.size() < head_budget;
+      const size_t rank =
+          want_head ? static_cast<size_t>(query_rng.NextUint64(head_ranks))
+                    : window_lo + tail_term.Sample(query_rng);
+      const uint32_t term_id = topics[t].core[rank];
+      const std::string& w = vocab[term_id];
+      if (std::find(terms.begin(), terms.end(), w) == terms.end()) {
+        terms.push_back(w);
+      }
+    }
+    Query query;
+    query.id = static_cast<QueryId>(q);
+    query.terms = std::move(terms);
+    out.base_queries.push_back(std::move(query));
+    out.query_topic.push_back(t);
+  }
+
+  // --- Relevance judgments ----------------------------------------------
+  // A document is a candidate answer for query q when it is affiliated with
+  // q's topic and contains at least one query keyword. Candidates are
+  // graded by topical strength times keyword coverage; the judged set is
+  // the top n_q, with n_q log-normal like real judgment counts.
+  for (size_t q = 0; q < o.num_base_queries; ++q) {
+    const Query& query = out.base_queries[q];
+    const uint32_t t = out.query_topic[q];
+    struct Cand {
+      DocId doc;
+      double score;
+    };
+    std::vector<Cand> cands;
+    for (size_t d = 0; d < o.num_docs; ++d) {
+      const DocTopicInfo& info = doc_info[d];
+      double affiliation = 0.0;
+      if (info.primary == t) affiliation += info.primary_weight;
+      if (info.secondary == static_cast<int32_t>(t)) {
+        affiliation += info.secondary_weight;
+      }
+      if (affiliation <= 0.0) continue;
+      const Document& doc = out.corpus.doc(static_cast<DocId>(d));
+      // Keyword strength: expert-judged relevant documents discuss the
+      // query's subject, i.e. they contain the query terms *prominently*,
+      // not incidentally. Damped tf keeps one dominant term from carrying
+      // a document that misses the rest of the query.
+      size_t matched = 0;
+      double strength = 0.0;
+      for (const auto& term : query.terms) {
+        const uint32_t tf = doc.terms.Count(term);
+        if (tf == 0) continue;
+        ++matched;
+        strength += std::log(1.0 + static_cast<double>(tf));
+      }
+      if (matched == 0) continue;
+      const double coverage =
+          static_cast<double>(matched) / static_cast<double>(query.size());
+      cands.push_back(
+          {static_cast<DocId>(d), affiliation * coverage * strength});
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc < b.doc;
+    });
+    size_t want = static_cast<size_t>(relevance_rng.NextLogNormal(
+        o.relevant_count_mu, o.relevant_count_sigma));
+    want = std::max(want, o.min_relevant);
+    want = std::min(want, cands.size());
+    std::vector<DocId> relevant;
+    relevant.reserve(want);
+    for (size_t i = 0; i < want; ++i) relevant.push_back(cands[i].doc);
+    out.judgments.SetRelevant(query.id, std::move(relevant));
+  }
+
+  return out;
+}
+
+}  // namespace sprite::corpus

@@ -1,0 +1,119 @@
+#ifndef SPRITE_CORPUS_SYNTHETIC_H_
+#define SPRITE_CORPUS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/query.h"
+#include "corpus/relevance.h"
+
+namespace sprite::corpus {
+
+// Configuration of the synthetic topic-model dataset that substitutes for
+// TREC9/OHSUMED (which we cannot redistribute). See DESIGN.md §5: SPRITE's
+// learning dynamics depend on skewed term distributions, query locality and
+// relevance sets correlated with characteristic document terms — all three
+// are controlled directly here. Defaults are sized for laptop-scale runs;
+// the paper's 63 base queries are kept.
+struct SyntheticCorpusOptions {
+  uint64_t seed = 42;
+
+  // Vocabulary.
+  size_t vocabulary_size = 20000;
+  // Terms with rank below this are "background-popular" and excluded from
+  // topic cores (they behave like near-stop-words).
+  size_t background_head = 200;
+  double background_zipf_skew = 1.05;
+
+  // Topics.
+  size_t num_topics = 21;  // 3 originals per topic: the query locality of Sec. 1
+  size_t topic_core_size = 240;
+  double topic_zipf_skew = 1.0;
+  double secondary_topic_prob = 0.35;
+  double primary_weight_min = 0.45;
+  double primary_weight_max = 0.70;
+  double secondary_weight = 0.20;
+
+  // Per-document specialization: every document focuses on a random
+  // sub-subject of its topic — a `focus_size`-term subset of the topic core
+  // that receives `focus_share` of the document's topical tokens. This is
+  // what makes a *discriminative* query term (mid-rank in the topic core)
+  // prominent in the handful of documents that are actually about it while
+  // staying rare elsewhere — the regime in which selective indexing is an
+  // interesting problem at all: such terms often sit outside a document's
+  // top-k frequency list, yet carry most of the ranking signal.
+  size_t focus_size = 50;
+  double focus_share = 0.30;
+  double focus_zipf = 0.5;
+
+  // Documents.
+  size_t num_docs = 4000;
+  double doc_length_mu = 6.2;     // exp(mu) ~ 490 tokens
+  double doc_length_sigma = 0.45;
+  size_t min_doc_length = 80;
+  size_t max_doc_length = 2500;
+
+  // Base queries (the TREC9 role: expert queries with judged answers).
+  size_t num_base_queries = 63;
+  size_t query_min_terms = 2;
+  size_t query_max_terms = 5;
+  // Query keywords are bimodal, mirroring real search behaviour: a query
+  // mixes *characteristic* head words of the subject ("breast cancer ...")
+  // with *discriminative* specific ones ("... radiotherapy sequelae").
+  // Each term is a head draw with probability query_head_prob — uniform
+  // over topic-core ranks [0, query_head_ranks), the region that also
+  // dominates the topic's documents, which is what lets SPRITE's
+  // frequency-seeded learning bootstrap — otherwise a tail draw, Zipf over
+  // core ranks [query_term_lo, query_term_hi), terms that rarely make a
+  // document's top-k frequency list and so are exactly what static
+  // frequency indexing (eSearch) loses and query-driven learning keeps.
+  // Every query carries query_min_head..query_max_head head terms (users
+  // nearly always name the subject); the remaining terms are tail draws.
+  size_t query_min_head = 1;
+  size_t query_max_head = 2;
+  size_t query_head_ranks = 4;
+  size_t query_term_lo = 4;
+  size_t query_term_hi = 120;
+  double query_term_zipf = 0.3;
+
+  // Relevant-set sizes are log-normal, like real judgment counts.
+  double relevant_count_mu = 4.0;    // exp(mu) ~ 55 documents
+  double relevant_count_sigma = 0.8;
+  size_t min_relevant = 5;
+};
+
+// Everything an experiment needs: the corpus, the base query set, and the
+// per-query relevance judgments, plus topic annotations used by tests.
+struct SyntheticDataset {
+  Corpus corpus;
+  std::vector<Query> base_queries;
+  RelevanceJudgments judgments;
+
+  // Diagnostics: primary topic of each document / topic of each query.
+  std::vector<uint32_t> doc_primary_topic;
+  std::vector<uint32_t> query_topic;
+};
+
+// Deterministic generator: the same options (including seed) always produce
+// the identical dataset.
+class SyntheticCorpusGenerator {
+ public:
+  explicit SyntheticCorpusGenerator(SyntheticCorpusOptions options);
+
+  SyntheticDataset Generate() const;
+
+  // The pseudo-word spelled for vocabulary index `term_id`; lowercase
+  // letters only, unique per id. Exposed for tests.
+  static std::string TermName(size_t term_id);
+
+  const SyntheticCorpusOptions& options() const { return options_; }
+
+ private:
+  SyntheticCorpusOptions options_;
+};
+
+}  // namespace sprite::corpus
+
+#endif  // SPRITE_CORPUS_SYNTHETIC_H_

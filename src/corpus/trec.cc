@@ -1,0 +1,230 @@
+#include "corpus/trec.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sprite::corpus {
+namespace {
+
+// Case-insensitive search for `tag` (e.g. "<DOC>") in `haystack` starting
+// at `from`; returns npos when absent. TREC collections are usually
+// uppercase but not reliably so.
+size_t FindTag(std::string_view haystack, std::string_view tag,
+               size_t from) {
+  if (tag.empty() || haystack.size() < tag.size()) {
+    return std::string_view::npos;
+  }
+  for (size_t i = from; i + tag.size() <= haystack.size(); ++i) {
+    size_t j = 0;
+    while (j < tag.size() &&
+           std::tolower(static_cast<unsigned char>(haystack[i + j])) ==
+               std::tolower(static_cast<unsigned char>(tag[j]))) {
+      ++j;
+    }
+    if (j == tag.size()) return i;
+  }
+  return std::string_view::npos;
+}
+
+// Returns the text between <tag> and </tag> after `from`, advancing `from`
+// past the close tag. Empty optional-like: returns false when absent.
+bool ExtractBlock(std::string_view doc, std::string_view open,
+                  std::string_view close, size_t& from,
+                  std::string_view& out) {
+  const size_t begin = FindTag(doc, open, from);
+  if (begin == std::string_view::npos) return false;
+  const size_t body = begin + open.size();
+  const size_t end = FindTag(doc, close, body);
+  if (end == std::string_view::npos) return false;
+  out = doc.substr(body, end - body);
+  from = end + close.size();
+  return true;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::Corruption("I/O error reading: " + path);
+  return buf.str();
+}
+
+}  // namespace
+
+StatusOr<size_t> LoadTrecDocumentsFromString(
+    std::string_view sgml, const text::Analyzer& analyzer, Corpus& corpus,
+    std::unordered_map<std::string, DocId>* docno_to_id) {
+  size_t added = 0;
+  size_t pos = 0;
+  for (;;) {
+    const size_t doc_begin = FindTag(sgml, "<DOC>", pos);
+    if (doc_begin == std::string_view::npos) break;
+    const size_t doc_end = FindTag(sgml, "</DOC>", doc_begin);
+    if (doc_end == std::string_view::npos) {
+      return Status::Corruption("unterminated <DOC> block");
+    }
+    std::string_view doc = sgml.substr(doc_begin, doc_end - doc_begin);
+    pos = doc_end + 6;  // past "</DOC>"
+
+    size_t cursor = 0;
+    std::string_view docno_raw;
+    if (!ExtractBlock(doc, "<DOCNO>", "</DOCNO>", cursor, docno_raw)) {
+      return Status::Corruption("document without <DOCNO>");
+    }
+    std::string docno(TrimWhitespace(docno_raw));
+    if (docno.empty()) return Status::Corruption("empty <DOCNO>");
+
+    // Concatenate every content-bearing block.
+    std::string body;
+    for (const auto& [open, close] :
+         std::initializer_list<std::pair<const char*, const char*>>{
+             {"<TITLE>", "</TITLE>"},
+             {"<HEADLINE>", "</HEADLINE>"},
+             {"<TEXT>", "</TEXT>"}}) {
+      size_t scan = 0;
+      std::string_view block;
+      while (ExtractBlock(doc, open, close, scan, block)) {
+        body.append(block);
+        body.push_back('\n');
+      }
+    }
+    text::TermVector tv = analyzer.AnalyzeToVector(body);
+    if (tv.empty()) continue;  // nothing survived analysis
+    const DocId id = corpus.AddDocument(std::move(tv), docno);
+    if (docno_to_id != nullptr) (*docno_to_id)[docno] = id;
+    ++added;
+  }
+  return added;
+}
+
+StatusOr<size_t> LoadTrecDocuments(
+    const std::string& path, const text::Analyzer& analyzer, Corpus& corpus,
+    std::unordered_map<std::string, DocId>* docno_to_id) {
+  StatusOr<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return LoadTrecDocumentsFromString(content.value(), analyzer, corpus,
+                                     docno_to_id);
+}
+
+StatusOr<std::vector<TrecTopic>> ParseTrecTopicsFromString(
+    std::string_view text) {
+  std::vector<TrecTopic> topics;
+  size_t pos = 0;
+  for (;;) {
+    const size_t top_begin = FindTag(text, "<top>", pos);
+    if (top_begin == std::string_view::npos) break;
+    size_t top_end = FindTag(text, "</top>", top_begin);
+    if (top_end == std::string_view::npos) {
+      return Status::Corruption("unterminated <top> block");
+    }
+    std::string_view block = text.substr(top_begin, top_end - top_begin);
+    pos = top_end + 6;
+
+    TrecTopic topic;
+    // <num> Number: 301  (field runs until the next tag)
+    auto field = [&](std::string_view tag) -> std::string {
+      const size_t begin = FindTag(block, tag, 0);
+      if (begin == std::string_view::npos) return "";
+      size_t body = begin + tag.size();
+      size_t end = block.find('<', body);
+      if (end == std::string_view::npos) end = block.size();
+      std::string out(TrimWhitespace(block.substr(body, end - body)));
+      // Strip the conventional "Number:" / "Description:" prefixes.
+      for (std::string_view prefix :
+           {"Number:", "Description:", "Topic:"}) {
+        if (out.size() >= prefix.size() &&
+            out.compare(0, prefix.size(), prefix) == 0) {
+          out = std::string(TrimWhitespace(
+              std::string_view(out).substr(prefix.size())));
+        }
+      }
+      return out;
+    };
+
+    const std::string num = field("<num>");
+    if (num.empty()) return Status::Corruption("topic without <num>");
+    topic.number = std::atoi(num.c_str());
+    topic.title = field("<title>");
+    topic.description = field("<desc>");
+    topics.push_back(std::move(topic));
+  }
+  return topics;
+}
+
+StatusOr<std::vector<TrecTopic>> LoadTrecTopics(const std::string& path) {
+  StatusOr<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseTrecTopicsFromString(content.value());
+}
+
+std::vector<Query> TopicsToQueries(
+    const std::vector<TrecTopic>& topics, const text::Analyzer& analyzer,
+    std::unordered_map<int, QueryId>* query_for_topic) {
+  std::vector<Query> queries;
+  for (const TrecTopic& topic : topics) {
+    Query q;
+    q.terms = DedupTerms(analyzer.Analyze(topic.title));
+    if (q.terms.empty()) continue;
+    q.id = static_cast<QueryId>(queries.size());
+    if (query_for_topic != nullptr) {
+      (*query_for_topic)[topic.number] = q.id;
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+StatusOr<size_t> LoadTrecQrelsFromString(
+    std::string_view text,
+    const std::unordered_map<std::string, DocId>& docno_to_id,
+    const std::unordered_map<int, QueryId>& query_for_topic,
+    RelevanceJudgments& judgments) {
+  size_t recorded = 0;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+    line = TrimWhitespace(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string> fields = SplitString(line, " \t");
+    if (fields.size() != 4) {
+      return Status::Corruption(
+          StrFormat("qrels line %zu: expected 4 fields, got %zu", line_no,
+                    fields.size()));
+    }
+    const int topic = std::atoi(fields[0].c_str());
+    const int relevance = std::atoi(fields[3].c_str());
+    if (relevance <= 0) continue;
+    auto query_it = query_for_topic.find(topic);
+    auto doc_it = docno_to_id.find(fields[2]);
+    if (query_it == query_for_topic.end() || doc_it == docno_to_id.end()) {
+      continue;  // judgment outside the loaded sub-collection
+    }
+    judgments.MarkRelevant(query_it->second, doc_it->second);
+    ++recorded;
+  }
+  return recorded;
+}
+
+StatusOr<size_t> LoadTrecQrels(
+    const std::string& path,
+    const std::unordered_map<std::string, DocId>& docno_to_id,
+    const std::unordered_map<int, QueryId>& query_for_topic,
+    RelevanceJudgments& judgments) {
+  StatusOr<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return LoadTrecQrelsFromString(content.value(), docno_to_id,
+                                 query_for_topic, judgments);
+}
+
+}  // namespace sprite::corpus

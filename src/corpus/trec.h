@@ -1,0 +1,89 @@
+#ifndef SPRITE_CORPUS_TREC_H_
+#define SPRITE_CORPUS_TREC_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "corpus/query.h"
+#include "corpus/relevance.h"
+#include "text/analyzer.h"
+
+namespace sprite::corpus {
+
+// Loaders for the classic TREC ad-hoc formats, so the system can run on a
+// real collection (e.g. OHSUMED/TREC9, the paper's dataset) when the user
+// has one. The synthetic generator remains the default substrate for the
+// benches because TREC data cannot be redistributed.
+
+// --- Documents -----------------------------------------------------------
+// TREC SGML collections: a sequence of
+//
+//   <DOC>
+//   <DOCNO> FT911-3 </DOCNO>
+//   <TITLE> optional </TITLE>
+//   <TEXT> body text ... </TEXT>
+//   </DOC>
+//
+// All <TEXT>, <TITLE> and <HEADLINE> blocks of a document are analyzed
+// into its term vector. Documents whose analyzed body is empty are
+// skipped. `docno_to_id` (optional) receives the DOCNO -> DocId mapping
+// needed to resolve qrels. Returns the number of documents added, or
+// kCorruption for structurally broken input.
+StatusOr<size_t> LoadTrecDocumentsFromString(
+    std::string_view sgml, const text::Analyzer& analyzer, Corpus& corpus,
+    std::unordered_map<std::string, DocId>* docno_to_id = nullptr);
+StatusOr<size_t> LoadTrecDocuments(
+    const std::string& path, const text::Analyzer& analyzer, Corpus& corpus,
+    std::unordered_map<std::string, DocId>* docno_to_id = nullptr);
+
+// --- Topics ------------------------------------------------------------
+// TREC topic files:
+//
+//   <top>
+//   <num> Number: 301
+//   <title> international organized crime
+//   <desc> Description: ...
+//   <narr> Narrative: ...
+//   </top>
+struct TrecTopic {
+  int number = 0;
+  std::string title;
+  std::string description;
+};
+
+StatusOr<std::vector<TrecTopic>> ParseTrecTopicsFromString(
+    std::string_view text);
+StatusOr<std::vector<TrecTopic>> LoadTrecTopics(const std::string& path);
+
+// Converts topics into analyzed keyword queries (title field), assigning
+// dense QueryIds 0..n-1. `query_for_topic` (optional) receives the topic
+// number -> QueryId mapping needed to resolve qrels. Topics whose analyzed
+// title is empty are dropped.
+std::vector<Query> TopicsToQueries(
+    const std::vector<TrecTopic>& topics, const text::Analyzer& analyzer,
+    std::unordered_map<int, QueryId>* query_for_topic = nullptr);
+
+// --- Qrels ----------------------------------------------------------------
+// Relevance judgments, one per line: "<topic> <iter> <docno> <relevance>".
+// Judgments with relevance > 0 whose topic and docno both resolve are
+// recorded; unresolvable lines are counted but skipped (TREC qrels often
+// reference documents outside the sub-collection at hand). Returns the
+// number of judgments recorded.
+StatusOr<size_t> LoadTrecQrelsFromString(
+    std::string_view text,
+    const std::unordered_map<std::string, DocId>& docno_to_id,
+    const std::unordered_map<int, QueryId>& query_for_topic,
+    RelevanceJudgments& judgments);
+StatusOr<size_t> LoadTrecQrels(
+    const std::string& path,
+    const std::unordered_map<std::string, DocId>& docno_to_id,
+    const std::unordered_map<int, QueryId>& query_for_topic,
+    RelevanceJudgments& judgments);
+
+}  // namespace sprite::corpus
+
+#endif  // SPRITE_CORPUS_TREC_H_

@@ -1,0 +1,352 @@
+#include "dht/chord.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sprite::dht {
+
+ChordRing::ChordRing(ChordOptions options)
+    : space_(options.id_bits), options_(options) {
+  SPRITE_CHECK(options_.successor_list_size >= 1);
+}
+
+ChordNode* ChordRing::MutableNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const ChordNode* ChordRing::node(uint64_t id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+bool ChordRing::IsAlive(uint64_t id) const {
+  const ChordNode* n = node(id);
+  return n != nullptr && n->alive;
+}
+
+std::vector<uint64_t> ChordRing::AliveIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(alive_count_);
+  for (const auto& [id, n] : nodes_) {
+    if (n->alive) ids.push_back(id);
+  }
+  return ids;
+}
+
+uint64_t ChordRing::OracleSuccessor(uint64_t id) const {
+  // First alive node with identifier >= id, wrapping around zero.
+  auto it = nodes_.lower_bound(id);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (; it != nodes_.end(); ++it) {
+      if (it->second->alive) return it->first;
+    }
+    it = nodes_.begin();
+  }
+  SPRITE_CHECK(false);  // caller guarantees at least one alive node
+  return 0;
+}
+
+StatusOr<uint64_t> ChordRing::ResponsibleNode(uint64_t key) const {
+  if (alive_count_ == 0) return Status::Unavailable("empty ring");
+  return OracleSuccessor(space_.Truncate(key));
+}
+
+std::vector<uint64_t> ChordRing::SuccessorsOf(uint64_t id,
+                                              size_t count) const {
+  std::vector<uint64_t> out;
+  if (alive_count_ == 0 || count == 0) return out;
+  auto it = nodes_.upper_bound(id);
+  // Walk clockwise over alive nodes, excluding `id` itself.
+  for (size_t scanned = 0; scanned < nodes_.size() && out.size() < count;
+       ++scanned) {
+    if (it == nodes_.end()) it = nodes_.begin();
+    if (it->second->alive && it->first != id) out.push_back(it->first);
+    ++it;
+  }
+  return out;
+}
+
+StatusOr<uint64_t> ChordRing::FirstAliveSuccessor(const ChordNode& n) const {
+  if (IsAlive(n.successor)) return n.successor;
+  for (uint64_t s : n.successor_list) {
+    if (s != n.successor && IsAlive(s)) return s;
+  }
+  if (n.alive && alive_count_ == 1) return n.id;  // alone on the ring
+  return Status::Unavailable(
+      StrFormat("node %llu: no alive successor",
+                static_cast<unsigned long long>(n.id)));
+}
+
+uint64_t ChordRing::ClosestPrecedingAlive(const ChordNode& n,
+                                          uint64_t key) const {
+  for (auto it = n.fingers.rbegin(); it != n.fingers.rend(); ++it) {
+    if (IsAlive(*it) && space_.InOpenInterval(*it, n.id, key)) return *it;
+  }
+  // Fall back on the successor list (Chord uses it for routing too).
+  uint64_t best = n.id;
+  for (uint64_t s : n.successor_list) {
+    if (IsAlive(s) && space_.InOpenInterval(s, n.id, key)) {
+      if (best == n.id ||
+          space_.Distance(n.id, s) > space_.Distance(n.id, best)) {
+        best = s;
+      }
+    }
+  }
+  return best;
+}
+
+StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
+                                                           uint64_t key) {
+  key = space_.Truncate(key);
+  const ChordNode* n = node(from);
+  if (n == nullptr || !n->alive) {
+    ++stats_.failed_lookups;
+    return Status::InvalidArgument("lookup origin is not an alive node");
+  }
+  ++stats_.lookups;
+  int hops = 0;
+  // In a converged N-node ring a lookup takes O(log N) hops; the bound only
+  // trips when routing state is badly broken.
+  const int limit = static_cast<int>(2 * alive_count_ + 64);
+  while (hops <= limit) {
+    if (key == n->id) {
+      stats_.hop_messages += static_cast<uint64_t>(hops);
+      stats_.hops.Add(hops);
+      const uint64_t pred =
+          (n->predecessor.has_value() && IsAlive(*n->predecessor))
+              ? *n->predecessor
+              : n->id;
+      return LookupResult{n->id, pred, hops};
+    }
+    StatusOr<uint64_t> succ_or = FirstAliveSuccessor(*n);
+    if (!succ_or.ok()) {
+      ++stats_.failed_lookups;
+      return succ_or.status();
+    }
+    const uint64_t succ = succ_or.value();
+    if (space_.InHalfOpenInterval(key, n->id, succ)) {
+      if (succ != n->id) ++hops;  // final forward to the responsible node
+      stats_.hop_messages += static_cast<uint64_t>(hops);
+      stats_.hops.Add(hops);
+      return LookupResult{succ, n->id, hops};
+    }
+    uint64_t next = ClosestPrecedingAlive(*n, key);
+    if (next == n->id) next = succ;  // no finger helps: crawl the ring
+    n = node(next);
+    SPRITE_CHECK(n != nullptr);
+    ++hops;
+  }
+  ++stats_.failed_lookups;
+  return Status::Unavailable("routing did not converge (ring too damaged)");
+}
+
+StatusOr<ChordRing::LookupResult> ChordRing::Lookup(uint64_t key) {
+  for (const auto& [id, n] : nodes_) {
+    if (n->alive) return FindSuccessor(id, key);
+  }
+  return Status::Unavailable("empty ring");
+}
+
+StatusOr<uint64_t> ChordRing::Join(const std::string& name) {
+  // Salt the name on (rare) id collisions so callers can always join.
+  for (int salt = 0; salt < 64; ++salt) {
+    std::string candidate =
+        salt == 0 ? name : StrFormat("%s~%d", name.c_str(), salt);
+    const uint64_t id = space_.KeyForString(candidate);
+    if (nodes_.find(id) == nodes_.end()) {
+      return JoinWithId(id, std::move(candidate));
+    }
+  }
+  return Status::AlreadyExists("could not find a free id for " + name);
+}
+
+StatusOr<uint64_t> ChordRing::JoinWithId(uint64_t id, std::string name) {
+  id = space_.Truncate(id);
+  if (nodes_.find(id) != nodes_.end()) {
+    return Status::AlreadyExists(
+        StrFormat("id %llu already on the ring",
+                  static_cast<unsigned long long>(id)));
+  }
+
+  auto owned = std::make_unique<ChordNode>();
+  ChordNode* n = owned.get();
+  n->id = id;
+  n->name = std::move(name);
+  n->fingers.assign(static_cast<size_t>(space_.bits()), id);
+
+  if (alive_count_ == 0) {
+    n->successor = id;
+    n->predecessor.reset();
+    nodes_[id] = std::move(owned);
+    ++alive_count_;
+    return id;
+  }
+
+  // Bootstrap through any alive node, as in the Chord paper's join().
+  uint64_t bootstrap = 0;
+  for (const auto& [nid, existing] : nodes_) {
+    if (existing->alive) {
+      bootstrap = nid;
+      break;
+    }
+  }
+  nodes_[id] = std::move(owned);
+  ++alive_count_;
+
+  StatusOr<LookupResult> succ_or = FindSuccessor(bootstrap, id);
+  if (!succ_or.ok()) {
+    nodes_.erase(id);
+    --alive_count_;
+    return succ_or.status();
+  }
+  const uint64_t succ = succ_or->node;
+  n->successor = succ;
+  std::fill(n->fingers.begin(), n->fingers.end(), succ);
+
+  // Two targeted stabilize steps converge the successor/predecessor links:
+  // the new node introduces itself to its successor, then the node that the
+  // lookup identified as the key's current predecessor adopts the newcomer.
+  // (Real deployments reach the same state through periodic stabilization;
+  // doing it eagerly keeps the simulated ring correct after every join.)
+  const uint64_t pred = succ_or->predecessor;
+  Stabilize(id);
+  if (pred != id && IsAlive(pred)) {
+    Stabilize(pred);
+  }
+  FixFingers(id);
+  return id;
+}
+
+Status ChordRing::Fail(uint64_t id) {
+  ChordNode* n = MutableNode(id);
+  if (n == nullptr || !n->alive) {
+    return Status::NotFound("no such alive node");
+  }
+  n->alive = false;
+  --alive_count_;
+  return Status::OK();
+}
+
+Status ChordRing::Leave(uint64_t id) {
+  ChordNode* n = MutableNode(id);
+  if (n == nullptr || !n->alive) {
+    return Status::NotFound("no such alive node");
+  }
+  n->alive = false;
+  --alive_count_;
+  if (alive_count_ == 0) return Status::OK();
+
+  // A graceful departure patches the neighbors directly.
+  if (n->predecessor.has_value() && IsAlive(*n->predecessor)) {
+    ChordNode* pred = MutableNode(*n->predecessor);
+    StatusOr<uint64_t> succ_or = FirstAliveSuccessor(*n);
+    if (succ_or.ok()) {
+      pred->successor = succ_or.value();
+      RefreshSuccessorList(*pred);
+    }
+  }
+  StatusOr<uint64_t> succ_or = FirstAliveSuccessor(*n);
+  if (succ_or.ok() && succ_or.value() != id) {
+    ChordNode* succ = MutableNode(succ_or.value());
+    if (succ->predecessor == id) succ->predecessor = n->predecessor;
+  }
+  return Status::OK();
+}
+
+void ChordRing::Stabilize(uint64_t id) {
+  ChordNode* n = MutableNode(id);
+  if (n == nullptr || !n->alive) return;
+
+  // check_predecessor (Chord paper, Fig. 7).
+  if (n->predecessor.has_value() && !IsAlive(*n->predecessor)) {
+    n->predecessor.reset();
+  }
+
+  StatusOr<uint64_t> succ_or = FirstAliveSuccessor(*n);
+  if (!succ_or.ok()) {
+    // Everyone else is gone: become a singleton.
+    n->successor = n->id;
+    n->successor_list.clear();
+    return;
+  }
+  n->successor = succ_or.value();
+
+  // stabilize: adopt successor's predecessor when it sits between us.
+  const ChordNode* s = node(n->successor);
+  if (s->predecessor.has_value() && IsAlive(*s->predecessor) &&
+      space_.InOpenInterval(*s->predecessor, n->id, s->id)) {
+    n->successor = *s->predecessor;
+  }
+
+  // notify(n) at the successor.
+  ChordNode* s2 = MutableNode(n->successor);
+  if (s2->id != n->id) {
+    if (!s2->predecessor.has_value() || !IsAlive(*s2->predecessor) ||
+        space_.InOpenInterval(n->id, *s2->predecessor, s2->id)) {
+      s2->predecessor = n->id;
+    }
+  }
+
+  RefreshSuccessorList(*n);
+}
+
+void ChordRing::RefreshSuccessorList(ChordNode& n) {
+  n.successor_list.clear();
+  uint64_t cur = n.successor;
+  for (size_t i = 0;
+       i < options_.successor_list_size && IsAlive(cur) && cur != n.id; ++i) {
+    n.successor_list.push_back(cur);
+    const ChordNode* c = node(cur);
+    StatusOr<uint64_t> next = FirstAliveSuccessor(*c);
+    if (!next.ok()) break;
+    cur = next.value();
+  }
+}
+
+void ChordRing::FixFingers(uint64_t id) {
+  ChordNode* n = MutableNode(id);
+  if (n == nullptr || !n->alive) return;
+  for (int i = 0; i < space_.bits(); ++i) {
+    const uint64_t target = space_.Add(n->id, space_.PowerOfTwo(i));
+    StatusOr<LookupResult> res = FindSuccessor(n->id, target);
+    if (res.ok()) n->fingers[static_cast<size_t>(i)] = res->node;
+  }
+}
+
+void ChordRing::StabilizeAll(int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& [id, n] : nodes_) {
+      if (n->alive) Stabilize(id);
+    }
+    for (const auto& [id, n] : nodes_) {
+      if (n->alive) FixFingers(id);
+    }
+  }
+}
+
+void ChordRing::BuildPerfect() {
+  std::vector<uint64_t> ids = AliveIds();
+  if (ids.empty()) return;
+  const size_t n = ids.size();
+  for (size_t i = 0; i < n; ++i) {
+    ChordNode* node_ptr = MutableNode(ids[i]);
+    node_ptr->successor = ids[(i + 1) % n];
+    node_ptr->predecessor = ids[(i + n - 1) % n];
+    node_ptr->successor_list.clear();
+    for (size_t k = 1; k <= options_.successor_list_size && k < n; ++k) {
+      node_ptr->successor_list.push_back(ids[(i + k) % n]);
+    }
+    for (int b = 0; b < space_.bits(); ++b) {
+      const uint64_t target = space_.Add(ids[i], space_.PowerOfTwo(b));
+      // successor(target) by binary search over the sorted alive ids.
+      auto it = std::lower_bound(ids.begin(), ids.end(), target);
+      node_ptr->fingers[static_cast<size_t>(b)] =
+          (it == ids.end()) ? ids.front() : *it;
+    }
+  }
+}
+
+}  // namespace sprite::dht

@@ -1,0 +1,144 @@
+#ifndef SPRITE_DHT_CHORD_H_
+#define SPRITE_DHT_CHORD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "dht/id_space.h"
+
+namespace sprite::dht {
+
+// State of one Chord node. Protocol logic lives in ChordRing (the
+// simulator), which lets tests inspect and perturb any node's tables.
+struct ChordNode {
+  uint64_t id = 0;
+  std::string name;  // informational, e.g. "peer42"
+  bool alive = true;
+
+  uint64_t successor = 0;
+  std::optional<uint64_t> predecessor;
+  // r immediate successors (not including self unless the ring is that
+  // small); used for fault tolerance and replication placement.
+  std::vector<uint64_t> successor_list;
+  // finger[i] ≈ successor(id + 2^i), i in [0, m).
+  std::vector<uint64_t> fingers;
+};
+
+struct ChordOptions {
+  // Identifier bits m. 32 bits is plenty for simulations of <= millions of
+  // nodes while keeping collisions unlikely.
+  int id_bits = 32;
+  // Successor-list length r.
+  size_t successor_list_size = 8;
+};
+
+// Routing statistics. A "hop" is one inter-node traversal during an
+// iterative lookup; the theoretical expectation in a stable N-node ring is
+// ~ (1/2) log2 N.
+struct ChordStats {
+  uint64_t lookups = 0;
+  uint64_t hop_messages = 0;
+  uint64_t failed_lookups = 0;
+  Histogram hops;
+
+  void Clear() {
+    lookups = 0;
+    hop_messages = 0;
+    failed_lookups = 0;
+    hops.Clear();
+  }
+};
+
+// A discrete-event-free Chord simulator: nodes are in-process objects and a
+// lookup is a synchronous traversal that counts the messages a real
+// deployment would send. Implements the published protocol — join via an
+// existing node, stabilize/notify, fix_fingers, successor lists, failure
+// handling — plus a BuildPerfect() oracle fast path that constructs
+// converged tables directly (tests verify both agree).
+class ChordRing {
+ public:
+  explicit ChordRing(ChordOptions options = {});
+
+  ChordRing(const ChordRing&) = delete;
+  ChordRing& operator=(const ChordRing&) = delete;
+  ChordRing(ChordRing&&) noexcept = default;
+  ChordRing& operator=(ChordRing&&) noexcept = default;
+
+  // --- Membership -----------------------------------------------------
+  // Joins a node whose id is the MD5-derived key of `name`.
+  StatusOr<uint64_t> Join(const std::string& name);
+  // Joins a node with an explicit id (tests). Fails on id collision.
+  StatusOr<uint64_t> JoinWithId(uint64_t id, std::string name = "");
+  // Abrupt failure: the node stops responding; its state is lost.
+  Status Fail(uint64_t id);
+  // Graceful departure: neighbors are informed before the node goes away.
+  Status Leave(uint64_t id);
+
+  // --- Maintenance ----------------------------------------------------
+  // One stabilize+notify step for `id` (also repairs a dead successor from
+  // the successor list and refreshes the list).
+  void Stabilize(uint64_t id);
+  // Refreshes every finger of `id` using routed lookups.
+  void FixFingers(uint64_t id);
+  // Runs `rounds` of (stabilize all, fix all fingers). A few rounds after
+  // churn converge the ring.
+  void StabilizeAll(int rounds);
+  // Oracle: writes converged successor/predecessor/finger tables for every
+  // alive node. O(N log N + N m log N) but no routed traffic.
+  void BuildPerfect();
+
+  // --- Lookup -----------------------------------------------------------
+  struct LookupResult {
+    uint64_t node = 0;         // node responsible for the key
+    uint64_t predecessor = 0;  // last node contacted before the owner
+    int hops = 0;              // inter-node traversals performed
+  };
+  // Iterative find_successor starting at `from`. Counts stats. Fails with
+  // kUnavailable if routing cannot make progress (e.g. massive failures).
+  StatusOr<LookupResult> FindSuccessor(uint64_t from, uint64_t key);
+  // Convenience: lookup from a deterministic origin node.
+  StatusOr<LookupResult> Lookup(uint64_t key);
+  // Oracle responsibility (no traffic, no stats): successor(key).
+  StatusOr<uint64_t> ResponsibleNode(uint64_t key) const;
+
+  // The r alive nodes that follow `id` on the circle (replica targets).
+  std::vector<uint64_t> SuccessorsOf(uint64_t id, size_t count) const;
+
+  // --- Introspection ----------------------------------------------------
+  size_t num_alive() const { return alive_count_; }
+  size_t num_total() const { return nodes_.size(); }
+  const ChordNode* node(uint64_t id) const;
+  // Sorted ids of alive nodes.
+  std::vector<uint64_t> AliveIds() const;
+
+  const ChordStats& stats() const { return stats_; }
+  void ClearStats() { stats_.Clear(); }
+  const IdSpace& space() const { return space_; }
+
+ private:
+  ChordNode* MutableNode(uint64_t id);
+  bool IsAlive(uint64_t id) const;
+  // First alive entry of n's successor chain (successor, then list).
+  StatusOr<uint64_t> FirstAliveSuccessor(const ChordNode& n) const;
+  // Highest finger of `n` strictly inside (n.id, key) that is alive.
+  uint64_t ClosestPrecedingAlive(const ChordNode& n, uint64_t key) const;
+  void RefreshSuccessorList(ChordNode& n);
+  // Oracle successor among alive nodes (strictly after `id` unless single).
+  uint64_t OracleSuccessor(uint64_t id) const;
+
+  IdSpace space_;
+  ChordOptions options_;
+  std::map<uint64_t, std::unique_ptr<ChordNode>> nodes_;  // sorted by id
+  size_t alive_count_ = 0;
+  ChordStats stats_;
+};
+
+}  // namespace sprite::dht
+
+#endif  // SPRITE_DHT_CHORD_H_

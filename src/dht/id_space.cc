@@ -1,0 +1,40 @@
+#include "dht/id_space.h"
+
+#include "common/check.h"
+#include "common/md5.h"
+
+namespace sprite::dht {
+
+IdSpace::IdSpace(int bits) : bits_(bits) {
+  SPRITE_CHECK(bits >= 1 && bits <= 64);
+  mask_ = (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+uint64_t IdSpace::PowerOfTwo(int k) const {
+  SPRITE_CHECK(k >= 0 && k < bits_);
+  return 1ULL << k;
+}
+
+bool IdSpace::InOpenInterval(uint64_t x, uint64_t a, uint64_t b) const {
+  x &= mask_;
+  a &= mask_;
+  b &= mask_;
+  if (a == b) return x != a;  // whole circle minus the endpoint
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;  // interval wraps zero
+}
+
+bool IdSpace::InHalfOpenInterval(uint64_t x, uint64_t a, uint64_t b) const {
+  x &= mask_;
+  a &= mask_;
+  b &= mask_;
+  if (a == b) return true;  // single node: owns the entire circle
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;
+}
+
+uint64_t IdSpace::KeyForString(std::string_view s) const {
+  return Truncate(Md5Prefix64(s));
+}
+
+}  // namespace sprite::dht

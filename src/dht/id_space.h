@@ -1,0 +1,55 @@
+#ifndef SPRITE_DHT_ID_SPACE_H_
+#define SPRITE_DHT_ID_SPACE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace sprite::dht {
+
+// The Chord identifier circle: integers modulo 2^m ("all arithmetic is
+// modulo 2^m", Stoica et al. 2001). m is configurable up to 64; identifiers
+// are uint64_t values < 2^m. Keys are derived from strings by truncating an
+// MD5 digest (the paper hashes terms with MD5).
+class IdSpace {
+ public:
+  // `bits` in [1, 64].
+  explicit IdSpace(int bits);
+
+  int bits() const { return bits_; }
+  uint64_t mask() const { return mask_; }
+
+  // Truncates an arbitrary 64-bit value into the space.
+  uint64_t Truncate(uint64_t raw) const { return raw & mask_; }
+
+  // (id + delta) mod 2^m.
+  uint64_t Add(uint64_t id, uint64_t delta) const {
+    return (id + delta) & mask_;
+  }
+
+  // 2^k mod 2^m, for finger offsets (0 <= k < m).
+  uint64_t PowerOfTwo(int k) const;
+
+  // Clockwise distance travelled going from `from` to `to`.
+  uint64_t Distance(uint64_t from, uint64_t to) const {
+    return (to - from) & mask_;
+  }
+
+  // x ∈ (a, b) on the circle. When a == b the open interval is the whole
+  // circle minus {a} (the Chord convention).
+  bool InOpenInterval(uint64_t x, uint64_t a, uint64_t b) const;
+
+  // x ∈ (a, b] on the circle. When a == b the interval is the whole circle
+  // (every key is in (n, n] — a single node owns everything).
+  bool InHalfOpenInterval(uint64_t x, uint64_t a, uint64_t b) const;
+
+  // MD5-derived key for a string (e.g. a term or a query's canonical key).
+  uint64_t KeyForString(std::string_view s) const;
+
+ private:
+  int bits_;
+  uint64_t mask_;
+};
+
+}  // namespace sprite::dht
+
+#endif  // SPRITE_DHT_ID_SPACE_H_

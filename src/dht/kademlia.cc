@@ -1,0 +1,324 @@
+#include "dht/kademlia.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sprite::dht {
+
+KademliaNetwork::KademliaNetwork(KademliaOptions options)
+    : space_(options.id_bits), options_(options) {
+  SPRITE_CHECK(options_.bucket_size >= 1);
+}
+
+KademliaNode* KademliaNetwork::MutableNode(uint64_t id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const KademliaNode* KademliaNetwork::node(uint64_t id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+bool KademliaNetwork::IsAlive(uint64_t id) const {
+  const KademliaNode* n = node(id);
+  return n != nullptr && n->alive;
+}
+
+std::vector<uint64_t> KademliaNetwork::AliveIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(alive_count_);
+  for (const auto& [id, n] : nodes_) {
+    if (n->alive) ids.push_back(id);
+  }
+  return ids;
+}
+
+int KademliaNetwork::BucketIndex(uint64_t distance) const {
+  SPRITE_CHECK(distance > 0);
+  int highest = 63;
+  while (((distance >> highest) & 1ULL) == 0) --highest;
+  // highest bit position b (0-based) -> bucket (bits-1-b).
+  return space_.bits() - 1 - highest;
+}
+
+void KademliaNetwork::InsertContact(KademliaNode& n, uint64_t contact) {
+  if (contact == n.id || !IsAlive(contact)) return;
+  const uint64_t distance = n.id ^ contact;
+  auto& bucket = n.buckets[static_cast<size_t>(BucketIndex(distance))];
+  if (std::find(bucket.begin(), bucket.end(), contact) != bucket.end()) {
+    return;
+  }
+  if (bucket.size() < options_.bucket_size) {
+    bucket.push_back(contact);
+    return;
+  }
+  // Evict a dead entry if any.
+  for (auto& entry : bucket) {
+    if (!IsAlive(entry)) {
+      entry = contact;
+      return;
+    }
+  }
+  // Full bucket of live entries: keep the k contacts closest to ourselves.
+  // (The paper's tree organization splits buckets near the own id so those
+  // ranges stay complete; with flat per-prefix buckets, replace-farthest
+  // is the equivalent policy and is what makes greedy routing converge to
+  // the exact XOR-closest node.)
+  auto farthest = std::max_element(
+      bucket.begin(), bucket.end(), [&](uint64_t a, uint64_t b) {
+        return (a ^ n.id) < (b ^ n.id);
+      });
+  if ((contact ^ n.id) < (*farthest ^ n.id)) *farthest = contact;
+}
+
+uint64_t KademliaNetwork::ClosestKnown(const KademliaNode& n,
+                                       uint64_t key) const {
+  uint64_t best = n.id;
+  uint64_t best_distance = n.id ^ key;
+  for (const auto& bucket : n.buckets) {
+    for (uint64_t contact : bucket) {
+      if (!IsAlive(contact)) continue;
+      const uint64_t d = contact ^ key;
+      if (d < best_distance) {
+        best = contact;
+        best_distance = d;
+      }
+    }
+  }
+  return best;
+}
+
+StatusOr<uint64_t> KademliaNetwork::ResponsibleNode(uint64_t key) const {
+  key = space_.Truncate(key);
+  if (alive_count_ == 0) return Status::Unavailable("empty network");
+  uint64_t best = 0;
+  uint64_t best_distance = ~0ULL;
+  bool found = false;
+  for (const auto& [id, n] : nodes_) {
+    if (!n->alive) continue;
+    const uint64_t d = id ^ key;
+    if (!found || d < best_distance) {
+      best = id;
+      best_distance = d;
+      found = true;
+    }
+  }
+  return best;
+}
+
+std::vector<uint64_t> KademliaNetwork::ClosestNodes(uint64_t key,
+                                                    size_t count) const {
+  key = space_.Truncate(key);
+  std::vector<uint64_t> ids = AliveIds();
+  std::sort(ids.begin(), ids.end(), [key](uint64_t a, uint64_t b) {
+    return (a ^ key) < (b ^ key);
+  });
+  if (ids.size() > count) ids.resize(count);
+  return ids;
+}
+
+StatusOr<KademliaNetwork::LookupResult> KademliaNetwork::FindClosest(
+    uint64_t from, uint64_t key) {
+  return LookupInternal(from, key, nullptr);
+}
+
+StatusOr<KademliaNetwork::LookupResult> KademliaNetwork::LookupInternal(
+    uint64_t from, uint64_t key, std::vector<uint64_t>* queried_out) {
+  key = space_.Truncate(key);
+  const KademliaNode* origin = node(from);
+  if (origin == nullptr || !origin->alive) {
+    ++stats_.failed_lookups;
+    return Status::InvalidArgument("lookup origin is not an alive node");
+  }
+  ++stats_.lookups;
+
+  // The paper's iterative FIND_NODE: keep a shortlist of the k closest
+  // candidates seen, repeatedly query the closest not-yet-queried one for
+  // *its* k closest contacts, stop when no unqueried candidate remains.
+  // (We query candidates one at a time — alpha = 1 — so the hop count is
+  // the number of nodes contacted.)
+  auto closer = [key](uint64_t a, uint64_t b) {
+    return (a ^ key) < (b ^ key);
+  };
+  std::vector<uint64_t> shortlist;
+  auto offer = [&](uint64_t id) {
+    if (!IsAlive(id)) return;
+    if (std::find(shortlist.begin(), shortlist.end(), id) !=
+        shortlist.end()) {
+      return;
+    }
+    shortlist.push_back(id);
+    std::sort(shortlist.begin(), shortlist.end(), closer);
+    if (shortlist.size() > options_.bucket_size) {
+      shortlist.resize(options_.bucket_size);
+    }
+  };
+
+  offer(from);
+  for (const auto& bucket : origin->buckets) {
+    for (uint64_t contact : bucket) offer(contact);
+  }
+
+  std::set<uint64_t> queried;
+  queried.insert(from);  // the origin consults its own table for free
+  int hops = 0;
+  const int limit = static_cast<int>(2 * alive_count_ + 64);
+  while (hops <= limit) {
+    uint64_t next = 0;
+    bool found = false;
+    for (uint64_t cand : shortlist) {
+      if (queried.count(cand) == 0) {
+        next = cand;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // converged: every shortlist member queried
+    queried.insert(next);
+    if (queried_out != nullptr) queried_out->push_back(next);
+    ++hops;
+    const KademliaNode* n = node(next);
+    SPRITE_CHECK(n != nullptr);
+    for (const auto& bucket : n->buckets) {
+      for (uint64_t contact : bucket) offer(contact);
+    }
+  }
+  if (shortlist.empty()) {
+    ++stats_.failed_lookups;
+    return Status::Unavailable("lookup found no alive candidates");
+  }
+  stats_.hop_messages += static_cast<uint64_t>(hops);
+  stats_.hops.Add(hops);
+  return LookupResult{shortlist.front(), hops};
+}
+
+StatusOr<KademliaNetwork::LookupResult> KademliaNetwork::Lookup(
+    uint64_t key) {
+  for (const auto& [id, n] : nodes_) {
+    if (n->alive) return FindClosest(id, key);
+  }
+  return Status::Unavailable("empty network");
+}
+
+StatusOr<uint64_t> KademliaNetwork::Join(const std::string& name) {
+  for (int salt = 0; salt < 64; ++salt) {
+    std::string candidate =
+        salt == 0 ? name : StrFormat("%s~%d", name.c_str(), salt);
+    const uint64_t id = space_.KeyForString(candidate);
+    if (nodes_.find(id) == nodes_.end()) {
+      return JoinWithId(id, std::move(candidate));
+    }
+  }
+  return Status::AlreadyExists("could not find a free id for " + name);
+}
+
+StatusOr<uint64_t> KademliaNetwork::JoinWithId(uint64_t id,
+                                               std::string name) {
+  id = space_.Truncate(id);
+  if (nodes_.find(id) != nodes_.end()) {
+    return Status::AlreadyExists(
+        StrFormat("id %llu already joined",
+                  static_cast<unsigned long long>(id)));
+  }
+  auto owned = std::make_unique<KademliaNode>();
+  KademliaNode* n = owned.get();
+  n->id = id;
+  n->name = std::move(name);
+  n->buckets.assign(static_cast<size_t>(space_.bits()), {});
+
+  if (alive_count_ == 0) {
+    nodes_[id] = std::move(owned);
+    ++alive_count_;
+    return id;
+  }
+  uint64_t bootstrap = 0;
+  for (const auto& [nid, existing] : nodes_) {
+    if (existing->alive) {
+      bootstrap = nid;
+      break;
+    }
+  }
+  nodes_[id] = std::move(owned);
+  ++alive_count_;
+
+  // Self-lookup from the bootstrap: every queried node — which includes
+  // the newcomer's k-closest neighbourhood, the nodes that later lookups
+  // for nearby keys terminate at — learns the newcomer, and vice versa.
+  InsertContact(*n, bootstrap);
+  InsertContact(*MutableNode(bootstrap), id);
+  std::vector<uint64_t> queried;
+  (void)LookupInternal(bootstrap, id, &queried);
+  for (uint64_t q : queried) {
+    InsertContact(*n, q);
+    InsertContact(*MutableNode(q), id);
+  }
+  RefreshNode(id);
+  return id;
+}
+
+Status KademliaNetwork::Fail(uint64_t id) {
+  KademliaNode* n = MutableNode(id);
+  if (n == nullptr || !n->alive) {
+    return Status::NotFound("no such alive node");
+  }
+  n->alive = false;
+  --alive_count_;
+  return Status::OK();
+}
+
+void KademliaNetwork::RefreshNode(uint64_t id) {
+  KademliaNode* n = MutableNode(id);
+  if (n == nullptr || !n->alive) return;
+  // One representative lookup per bucket: the id with the corresponding
+  // bit of our own id flipped. Contacts are exchanged with every node
+  // queried, as every Kademlia RPC carries the sender's id.
+  for (int b = 0; b < space_.bits(); ++b) {
+    const uint64_t target =
+        space_.Truncate(n->id ^ (1ULL << (space_.bits() - 1 - b)));
+    std::vector<uint64_t> queried;
+    (void)LookupInternal(n->id, target, &queried);
+    for (uint64_t q : queried) {
+      InsertContact(*n, q);
+      InsertContact(*MutableNode(q), n->id);
+    }
+  }
+}
+
+void KademliaNetwork::Refresh(int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& [id, n] : nodes_) {
+      if (n->alive) RefreshNode(id);
+    }
+  }
+}
+
+void KademliaNetwork::BuildPerfect() {
+  const std::vector<uint64_t> ids = AliveIds();
+  for (uint64_t id : ids) {
+    KademliaNode* n = MutableNode(id);
+    for (auto& bucket : n->buckets) bucket.clear();
+    // Group every other node by bucket, keep the k closest per bucket.
+    std::vector<std::vector<uint64_t>> grouped(
+        static_cast<size_t>(space_.bits()));
+    for (uint64_t other : ids) {
+      if (other == id) continue;
+      grouped[static_cast<size_t>(BucketIndex(id ^ other))].push_back(other);
+    }
+    for (size_t b = 0; b < grouped.size(); ++b) {
+      auto& group = grouped[b];
+      std::sort(group.begin(), group.end(), [id](uint64_t a, uint64_t c) {
+        return (a ^ id) < (c ^ id);
+      });
+      if (group.size() > options_.bucket_size) {
+        group.resize(options_.bucket_size);
+      }
+      n->buckets[b] = std::move(group);
+    }
+  }
+}
+
+}  // namespace sprite::dht

@@ -1,0 +1,137 @@
+#ifndef SPRITE_DHT_KADEMLIA_H_
+#define SPRITE_DHT_KADEMLIA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "dht/id_space.h"
+
+namespace sprite::dht {
+
+// A Kademlia (Maymounkov & Mazières 2002) network simulator: XOR metric,
+// k-buckets, iterative greedy lookups. Provided alongside Chord because the
+// paper notes that "there is nothing in our central idea that depends on
+// Chord" — the key operations SPRITE needs (key ownership, routed lookups
+// with logarithmic hops, replica target selection) exist here with the
+// same shape: ownership is XOR-closeness instead of ring succession, and
+// the replica set is the k closest nodes instead of the successor list.
+struct KademliaOptions {
+  int id_bits = 32;
+  // k: bucket capacity and replica-set width.
+  size_t bucket_size = 8;
+};
+
+struct KademliaNode {
+  uint64_t id = 0;
+  std::string name;
+  bool alive = true;
+  // buckets[i] holds contacts whose XOR distance to `id` has its highest
+  // set bit at position (bits-1-i): bucket 0 is the "far half" of the id
+  // space, the last bucket the immediate neighbourhood.
+  std::vector<std::vector<uint64_t>> buckets;
+};
+
+// Lookup statistics; a "hop" is one node queried during an iterative
+// lookup. Expectation in a converged network: O(log2 N).
+struct KademliaStats {
+  uint64_t lookups = 0;
+  uint64_t hop_messages = 0;
+  uint64_t failed_lookups = 0;
+  Histogram hops;
+
+  void Clear() {
+    lookups = 0;
+    hop_messages = 0;
+    failed_lookups = 0;
+    hops.Clear();
+  }
+};
+
+class KademliaNetwork {
+ public:
+  explicit KademliaNetwork(KademliaOptions options = {});
+
+  KademliaNetwork(const KademliaNetwork&) = delete;
+  KademliaNetwork& operator=(const KademliaNetwork&) = delete;
+  KademliaNetwork(KademliaNetwork&&) noexcept = default;
+  KademliaNetwork& operator=(KademliaNetwork&&) noexcept = default;
+
+  // --- Membership -------------------------------------------------------
+  // Joins a node (id = MD5-derived key of `name`, salted on collision):
+  // looks up its own id through a bootstrap node, exchanging contacts with
+  // every node on the path, then refreshes each bucket.
+  StatusOr<uint64_t> Join(const std::string& name);
+  StatusOr<uint64_t> JoinWithId(uint64_t id, std::string name = "");
+  // Abrupt failure; contacts pointing at the node become stale until
+  // lookups or Refresh() evict them.
+  Status Fail(uint64_t id);
+
+  // --- Maintenance -------------------------------------------------------
+  // Bucket refresh: every alive node re-looks-up one representative id per
+  // bucket, repopulating routing state around failures.
+  void Refresh(int rounds);
+  // Oracle fast path: fills every alive node's buckets with the up-to-k
+  // XOR-closest alive contacts per bucket range.
+  void BuildPerfect();
+
+  // --- Lookup --------------------------------------------------------------
+  struct LookupResult {
+    uint64_t node = 0;  // XOR-closest alive node found
+    int hops = 0;       // nodes queried
+  };
+  // Iterative greedy lookup from `from`. In a converged network the result
+  // equals ResponsibleNode(key); under unrepaired churn it may land on a
+  // nearby node instead.
+  StatusOr<LookupResult> FindClosest(uint64_t from, uint64_t key);
+  // Lookup from a deterministic alive origin.
+  StatusOr<LookupResult> Lookup(uint64_t key);
+  // Oracle: the alive node with minimal XOR distance to `key`.
+  StatusOr<uint64_t> ResponsibleNode(uint64_t key) const;
+  // The `count` alive nodes closest to `key` (replica targets).
+  std::vector<uint64_t> ClosestNodes(uint64_t key, size_t count) const;
+
+  // --- Introspection ---------------------------------------------------------
+  size_t num_alive() const { return alive_count_; }
+  size_t num_total() const { return nodes_.size(); }
+  const KademliaNode* node(uint64_t id) const;
+  std::vector<uint64_t> AliveIds() const;
+  const KademliaStats& stats() const { return stats_; }
+  void ClearStats() { stats_.Clear(); }
+  const IdSpace& space() const { return space_; }
+
+  // Bucket index for a contact at XOR distance `distance` (> 0): the
+  // position of the highest set bit, counted from the top. Exposed for
+  // tests.
+  int BucketIndex(uint64_t distance) const;
+
+ private:
+  KademliaNode* MutableNode(uint64_t id);
+  bool IsAlive(uint64_t id) const;
+  // The shortlist lookup behind FindClosest; optionally reports the nodes
+  // queried so Join/Refresh can exchange contacts with them.
+  StatusOr<LookupResult> LookupInternal(uint64_t from, uint64_t key,
+                                        std::vector<uint64_t>* queried_out);
+  // Inserts `contact` into `node`'s matching bucket (dead entries are
+  // evicted first; full buckets drop the newcomer, as in the paper).
+  void InsertContact(KademliaNode& node, uint64_t contact);
+  // The alive contact of `node` closest to `key` (node itself excluded);
+  // returns `node.id` when no alive contact improves on it.
+  uint64_t ClosestKnown(const KademliaNode& node, uint64_t key) const;
+  // One bucket-refresh pass for a node.
+  void RefreshNode(uint64_t id);
+
+  IdSpace space_;
+  KademliaOptions options_;
+  std::map<uint64_t, std::unique_ptr<KademliaNode>> nodes_;
+  size_t alive_count_ = 0;
+  KademliaStats stats_;
+};
+
+}  // namespace sprite::dht
+
+#endif  // SPRITE_DHT_KADEMLIA_H_

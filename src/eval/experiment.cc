@@ -1,0 +1,71 @@
+#include "eval/experiment.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sprite::eval {
+
+TestBed TestBed::Build(const ExperimentOptions& options) {
+  TestBed bed;
+  bed.options_ = options;
+  bed.dataset_ = corpus::SyntheticCorpusGenerator(options.corpus).Generate();
+  bed.centralized_ =
+      std::make_unique<ir::CentralizedIndex>(bed.dataset_.corpus);
+  querygen::QueryGenerator generator(bed.dataset_.corpus, *bed.centralized_,
+                                     options.generator);
+  bed.workload_ =
+      generator.Generate(bed.dataset_.base_queries, bed.dataset_.judgments);
+  Rng rng(options.split_seed);
+  bed.split_ = querygen::SplitTrainTest(bed.workload_.queries.size(),
+                                        options.train_fraction, rng);
+  return bed;
+}
+
+Status TrainSystem(core::SpriteSystem& system, const TestBed& bed,
+                   const std::vector<size_t>& stream, size_t iterations) {
+  for (size_t idx : stream) {
+    system.RecordQuery(bed.query(idx));
+  }
+  SPRITE_RETURN_IF_ERROR(system.ShareCorpus(bed.corpus()));
+  for (size_t i = 0; i < iterations; ++i) {
+    system.RunLearningIteration();
+  }
+  return Status::OK();
+}
+
+EvalResult EvaluateSystem(core::SpriteSystem& system, const TestBed& bed,
+                          const std::vector<size_t>& queries, size_t answers,
+                          const std::vector<double>* weights) {
+  SPRITE_CHECK(weights == nullptr || weights->size() == queries.size());
+  std::vector<ir::PrecisionRecall> sys_prs;
+  std::vector<ir::PrecisionRecall> central_prs;
+  sys_prs.reserve(queries.size());
+  central_prs.reserve(queries.size());
+
+  for (size_t idx : queries) {
+    const corpus::Query& q = bed.query(idx);
+    const auto& relevant = bed.workload().judgments.Relevant(q.id);
+
+    StatusOr<ir::RankedList> result =
+        system.Search(q, answers, /*record=*/false);
+    ir::RankedList sys_list =
+        result.ok() ? std::move(result).value() : ir::RankedList{};
+    sys_prs.push_back(ir::EvaluateTopK(sys_list, answers, relevant));
+
+    const ir::RankedList central_list = bed.centralized().Search(q, answers);
+    central_prs.push_back(ir::EvaluateTopK(central_list, answers, relevant));
+  }
+
+  EvalResult out;
+  if (weights != nullptr) {
+    out.system = ir::WeightedMeanPrecisionRecall(sys_prs, *weights);
+    out.centralized = ir::WeightedMeanPrecisionRecall(central_prs, *weights);
+  } else {
+    out.system = ir::MeanPrecisionRecall(sys_prs);
+    out.centralized = ir::MeanPrecisionRecall(central_prs);
+  }
+  out.ratio = ir::Ratio(out.system, out.centralized);
+  return out;
+}
+
+}  // namespace sprite::eval

@@ -1,0 +1,82 @@
+#ifndef SPRITE_EVAL_EXPERIMENT_H_
+#define SPRITE_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/sprite_system.h"
+#include "corpus/synthetic.h"
+#include "ir/centralized_index.h"
+#include "ir/metrics.h"
+#include "querygen/query_generator.h"
+#include "querygen/workload.h"
+
+namespace sprite::eval {
+
+// Everything Section 6's experiments need, bundled: synthetic dataset
+// (TREC9 substitute), centralized index, generated 10x query workload, and
+// the random train/test split.
+struct ExperimentOptions {
+  corpus::SyntheticCorpusOptions corpus;
+  querygen::QueryGeneratorOptions generator;
+  double train_fraction = 0.5;
+  uint64_t split_seed = 99;
+};
+
+// An immutable prepared test bed. Build once, run many systems against it.
+class TestBed {
+ public:
+  static TestBed Build(const ExperimentOptions& options);
+
+  TestBed(TestBed&&) noexcept = default;
+
+  const corpus::Corpus& corpus() const { return dataset_.corpus; }
+  const corpus::SyntheticDataset& dataset() const { return dataset_; }
+  const ir::CentralizedIndex& centralized() const { return *centralized_; }
+  const querygen::GeneratedWorkload& workload() const { return workload_; }
+  const querygen::TrainTestSplit& split() const { return split_; }
+  const ExperimentOptions& options() const { return options_; }
+
+  const corpus::Query& query(size_t workload_index) const {
+    return workload_.queries[workload_index];
+  }
+
+ private:
+  TestBed() = default;
+
+  ExperimentOptions options_;
+  corpus::SyntheticDataset dataset_;
+  std::unique_ptr<ir::CentralizedIndex> centralized_;
+  querygen::GeneratedWorkload workload_;
+  querygen::TrainTestSplit split_;
+};
+
+// Result of evaluating one system over a query set at cutoff K.
+struct EvalResult {
+  // Means over the evaluated queries.
+  ir::PrecisionRecall system;
+  ir::PrecisionRecall centralized;
+  // Ratio of the means — the quantity every figure of the paper plots.
+  ir::PrecisionRecall ratio;
+};
+
+// Trains a P2P system the way Section 6.2 describes: (1) the training
+// stream's keywords are inserted (cached at indexing peers), (2) the corpus
+// is shared (initial terms published), (3) `iterations` learning periods
+// run. `stream` holds workload query indices, repeats allowed.
+Status TrainSystem(core::SpriteSystem& system, const TestBed& bed,
+                   const std::vector<size_t>& stream, size_t iterations);
+
+// Evaluates `system` on the given workload queries: top-`answers` retrieval
+// compared against the centralized baseline on the same queries.
+// `weights` (aligned with `queries`) enables popularity-weighted averaging;
+// pass nullptr for the unweighted mean. Queries are not recorded into
+// peer histories during evaluation.
+EvalResult EvaluateSystem(core::SpriteSystem& system, const TestBed& bed,
+                          const std::vector<size_t>& queries, size_t answers,
+                          const std::vector<double>* weights = nullptr);
+
+}  // namespace sprite::eval
+
+#endif  // SPRITE_EVAL_EXPERIMENT_H_

@@ -1,0 +1,57 @@
+#include "ir/centralized_index.h"
+
+#include <cmath>
+
+#include "ir/similarity.h"
+
+namespace sprite::ir {
+
+CentralizedIndex::CentralizedIndex(const corpus::Corpus& corpus)
+    : num_docs_(corpus.num_docs()) {
+  doc_norm_.resize(num_docs_, 0.0);
+  for (const corpus::Document& doc : corpus.docs()) {
+    const double len = static_cast<double>(doc.length());
+    if (len == 0.0) continue;
+    doc_norm_[doc.id] =
+        1.0 / std::sqrt(static_cast<double>(doc.num_distinct_terms()));
+    for (const auto& [term, freq] : doc.terms.counts()) {
+      postings_[term].push_back(
+          Posting{doc.id, static_cast<double>(freq) / len});
+    }
+  }
+}
+
+uint32_t CentralizedIndex::DocFreq(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0
+                               : static_cast<uint32_t>(it->second.size());
+}
+
+RankedList CentralizedIndex::Search(const corpus::Query& query,
+                                    size_t k) const {
+  const double n = static_cast<double>(num_docs_);
+  std::unordered_map<corpus::DocId, double> dot;
+  for (const std::string& term : query.terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const auto& plist = it->second;
+    const double idf = Idf(n, static_cast<uint32_t>(plist.size()));
+    if (idf == 0.0) continue;
+    // Query weight: unit term frequency times IDF (standard TF·IDF for
+    // short keyword queries, where each keyword occurs once).
+    const double wq = idf;
+    for (const Posting& p : plist) {
+      dot[p.doc] += wq * (p.tf_norm * idf);
+    }
+  }
+  RankedList results;
+  results.reserve(dot.size());
+  for (const auto& [doc, d] : dot) {
+    const double score = d * doc_norm_[doc];
+    if (score > 0.0) results.push_back({doc, score});
+  }
+  SortRankedList(results, k);
+  return results;
+}
+
+}  // namespace sprite::ir

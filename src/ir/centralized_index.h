@@ -1,0 +1,52 @@
+#ifndef SPRITE_IR_CENTRALIZED_INDEX_H_
+#define SPRITE_IR_CENTRALIZED_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/query.h"
+#include "ir/ranked_list.h"
+
+namespace sprite::ir {
+
+// The "ideal" baseline of Section 6: a centralized text retrieval system
+// with perfect global knowledge — every term of every document is indexed,
+// document frequencies and the corpus size are exact, and ranking uses
+// classic TF·IDF weights under the Lee et al. similarity. SPRITE's and
+// eSearch's precision/recall are reported as ratios to this system.
+class CentralizedIndex {
+ public:
+  // Indexes every term of every document in `corpus`. The corpus must
+  // outlive the index and must not grow afterwards (the index snapshots
+  // document frequencies at construction).
+  explicit CentralizedIndex(const corpus::Corpus& corpus);
+
+  CentralizedIndex(const CentralizedIndex&) = delete;
+  CentralizedIndex& operator=(const CentralizedIndex&) = delete;
+
+  // Top-k search (k == 0 returns the full ranked list, needed by the query
+  // generator's phase 2). Documents with zero similarity are omitted.
+  RankedList Search(const corpus::Query& query, size_t k) const;
+
+  // Exact document frequency of `term`.
+  uint32_t DocFreq(const std::string& term) const;
+
+  size_t num_docs() const { return num_docs_; }
+  size_t num_terms() const { return postings_.size(); }
+
+ private:
+  struct Posting {
+    corpus::DocId doc;
+    double tf_norm;  // term frequency / document length
+  };
+
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<double> doc_norm_;  // 1/sqrt(#distinct terms) per document
+  size_t num_docs_;
+};
+
+}  // namespace sprite::ir
+
+#endif  // SPRITE_IR_CENTRALIZED_INDEX_H_

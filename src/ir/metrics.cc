@@ -1,0 +1,61 @@
+#include "ir/metrics.h"
+
+#include "common/check.h"
+
+namespace sprite::ir {
+
+PrecisionRecall EvaluateTopK(
+    const RankedList& results, size_t k,
+    const std::unordered_set<corpus::DocId>& relevant) {
+  SPRITE_CHECK(k > 0);
+  size_t hits = 0;
+  const size_t limit = std::min(k, results.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.count(results[i].doc) > 0) ++hits;
+  }
+  PrecisionRecall pr;
+  pr.precision = static_cast<double>(hits) / static_cast<double>(k);
+  pr.recall = relevant.empty()
+                  ? 0.0
+                  : static_cast<double>(hits) /
+                        static_cast<double>(relevant.size());
+  return pr;
+}
+
+PrecisionRecall MeanPrecisionRecall(const std::vector<PrecisionRecall>& prs) {
+  PrecisionRecall sum;
+  if (prs.empty()) return sum;
+  for (const auto& pr : prs) sum += pr;
+  sum.precision /= static_cast<double>(prs.size());
+  sum.recall /= static_cast<double>(prs.size());
+  return sum;
+}
+
+PrecisionRecall WeightedMeanPrecisionRecall(
+    const std::vector<PrecisionRecall>& prs,
+    const std::vector<double>& weights) {
+  SPRITE_CHECK(prs.size() == weights.size());
+  PrecisionRecall sum;
+  double total_weight = 0.0;
+  for (size_t i = 0; i < prs.size(); ++i) {
+    sum.precision += prs[i].precision * weights[i];
+    sum.recall += prs[i].recall * weights[i];
+    total_weight += weights[i];
+  }
+  if (total_weight > 0.0) {
+    sum.precision /= total_weight;
+    sum.recall /= total_weight;
+  }
+  return sum;
+}
+
+PrecisionRecall Ratio(const PrecisionRecall& system,
+                      const PrecisionRecall& baseline) {
+  PrecisionRecall r;
+  r.precision =
+      baseline.precision > 0.0 ? system.precision / baseline.precision : 0.0;
+  r.recall = baseline.recall > 0.0 ? system.recall / baseline.recall : 0.0;
+  return r;
+}
+
+}  // namespace sprite::ir

@@ -1,0 +1,48 @@
+#ifndef SPRITE_IR_METRICS_H_
+#define SPRITE_IR_METRICS_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/document.h"
+#include "ir/ranked_list.h"
+
+namespace sprite::ir {
+
+// Precision/recall at a cutoff (Section 6: "If the top K documents are
+// returned for a query, K' of them are relevant and there are R relevant
+// documents in the entire corpus, then precision = K'/K and recall =
+// K'/R").
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+
+  PrecisionRecall& operator+=(const PrecisionRecall& other) {
+    precision += other.precision;
+    recall += other.recall;
+    return *this;
+  }
+};
+
+// Evaluates the top `k` of `results` against `relevant`. The precision
+// denominator is `k` (the number of requested answers), matching the paper;
+// recall is 0 when `relevant` is empty.
+PrecisionRecall EvaluateTopK(const RankedList& results, size_t k,
+                             const std::unordered_set<corpus::DocId>& relevant);
+
+// Averages per-query measurements, optionally weighted (used for the
+// Zipf-frequency query stream, where popular queries count more).
+PrecisionRecall MeanPrecisionRecall(const std::vector<PrecisionRecall>& prs);
+PrecisionRecall WeightedMeanPrecisionRecall(
+    const std::vector<PrecisionRecall>& prs,
+    const std::vector<double>& weights);
+
+// Element-wise ratio system/baseline; a ratio with a zero denominator is
+// reported as 0 (both systems found nothing — no signal either way).
+PrecisionRecall Ratio(const PrecisionRecall& system,
+                      const PrecisionRecall& baseline);
+
+}  // namespace sprite::ir
+
+#endif  // SPRITE_IR_METRICS_H_

@@ -1,0 +1,23 @@
+#include "ir/ranked_list.h"
+
+#include <algorithm>
+
+namespace sprite::ir {
+
+void SortRankedList(RankedList& entries, size_t k) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (k > 0 && entries.size() > k) entries.resize(k);
+}
+
+int FindRank(const RankedList& list, corpus::DocId doc) {
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].doc == doc) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace sprite::ir

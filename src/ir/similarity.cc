@@ -1,0 +1,24 @@
+#include "ir/similarity.h"
+
+#include <cmath>
+
+namespace sprite::ir {
+
+double Idf(double corpus_size, uint32_t doc_freq) {
+  if (doc_freq == 0) return 0.0;
+  const double ratio = corpus_size / static_cast<double>(doc_freq);
+  if (ratio <= 1.0) return 0.0;
+  return std::log10(ratio);
+}
+
+double TfIdfWeight(double normalized_tf, double corpus_size,
+                   uint32_t doc_freq) {
+  return normalized_tf * Idf(corpus_size, doc_freq);
+}
+
+double LeeNormalize(double dot_product, size_t num_distinct_terms) {
+  if (num_distinct_terms == 0) return 0.0;
+  return dot_product / std::sqrt(static_cast<double>(num_distinct_terms));
+}
+
+}  // namespace sprite::ir

@@ -1,0 +1,40 @@
+#ifndef SPRITE_IR_SIMILARITY_H_
+#define SPRITE_IR_SIMILARITY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sprite::ir {
+
+// Term weighting and similarity formulas (Section 4 of the paper).
+//
+// The weight of term k in document i is
+//
+//     w_ik = t_ik * log10(N / n_k)
+//
+// where t_ik is the document-length-normalized term frequency, N the corpus
+// size (exact in the centralized system; a fixed large constant in SPRITE),
+// and n_k the document frequency (exact df centrally; the *indexed* df —
+// length of the retrieved inverted list — in SPRITE).
+//
+// Similarity is the second method of Lee, Chuang & Seamons (IEEE Software
+// 1997): the query-document dot product normalized by the square root of
+// the number of distinct terms in the document,
+//
+//     sim(Q, Di) = (sum_j w_Qj * w_ij) / sqrt(#distinct terms in Di).
+
+// IDF factor log10(N / doc_freq); 0 when doc_freq == 0 or doc_freq >= N
+// would make it negative (a term present everywhere carries no signal).
+double Idf(double corpus_size, uint32_t doc_freq);
+
+// w_ik above. `normalized_tf` is term frequency / document length.
+double TfIdfWeight(double normalized_tf, double corpus_size,
+                   uint32_t doc_freq);
+
+// Lee et al. normalization: dot / sqrt(num_distinct_terms); 0 for empty
+// documents.
+double LeeNormalize(double dot_product, size_t num_distinct_terms);
+
+}  // namespace sprite::ir
+
+#endif  // SPRITE_IR_SIMILARITY_H_

@@ -1,0 +1,46 @@
+#ifndef SPRITE_P2P_MESSAGE_H_
+#define SPRITE_P2P_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sprite::p2p {
+
+// A peer is addressed by its Chord node identifier.
+using PeerId = uint64_t;
+
+// Application-level message kinds exchanged by SPRITE peers. The simulator
+// does not serialize real packets; it counts messages and estimated bytes
+// per kind so experiments can report communication cost.
+enum class MessageType : uint8_t {
+  kLookupHop = 0,    // one hop of an iterative Chord lookup
+  kPublishTerm,      // owner -> indexing peer: add posting for a term
+  kWithdrawTerm,     // owner -> indexing peer: remove posting
+  kQueryRequest,     // querying peer -> indexing peer: fetch inverted list
+  kQueryResponse,    // indexing peer -> querying peer: inverted list
+  kPollRequest,      // owner -> indexing peer: index-update message
+  kPollResponse,     // indexing peer -> owner: cached queries
+  kReplicate,        // indexing peer -> successor: index replica
+  kAdvisory,         // indexing peer -> owner: overload advisory (Sec. 7)
+  kHeartbeat,        // owner -> indexing peer: liveness probe
+  kKeyTransfer,      // successor -> joining peer: responsibility handoff
+  kCachePush,        // indexing peer -> co-term peer: hot-term cache (LAR)
+};
+
+inline constexpr int kNumMessageTypes = 12;
+
+// Stable display name, e.g. "PublishTerm".
+std::string_view MessageTypeName(MessageType type);
+
+// Rough wire sizes used for byte accounting (header + typical payload
+// units). These only need to be consistent across the compared systems.
+inline constexpr size_t kMessageHeaderBytes = 48;
+inline constexpr size_t kLookupHopBytes = 64;
+inline constexpr size_t kPostingEntryBytes = 32;  // doc id, owner, tf, len
+inline constexpr size_t kTermBytes = 12;          // average term payload
+inline constexpr size_t kQueryRecordBytes = 40;   // cached query payload
+
+}  // namespace sprite::p2p
+
+#endif  // SPRITE_P2P_MESSAGE_H_

@@ -1,0 +1,55 @@
+#ifndef SPRITE_P2P_NETWORK_H_
+#define SPRITE_P2P_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "p2p/message.h"
+
+namespace sprite::p2p {
+
+// Per-message-type traffic counters.
+struct NetworkStats {
+  std::array<uint64_t, kNumMessageTypes> messages{};
+  std::array<uint64_t, kNumMessageTypes> bytes{};
+
+  uint64_t TotalMessages() const;
+  uint64_t TotalBytes() const;
+  uint64_t MessagesOf(MessageType type) const {
+    return messages[static_cast<size_t>(type)];
+  }
+  uint64_t BytesOf(MessageType type) const {
+    return bytes[static_cast<size_t>(type)];
+  }
+
+  void Clear();
+
+  // Multi-line table of non-zero rows, for bench output.
+  std::string ToString() const;
+};
+
+// Central accountant for simulated traffic. The simulation executes
+// everything as in-process calls; peers report what a real deployment would
+// have sent and this class aggregates it.
+class NetworkAccountant {
+ public:
+  NetworkAccountant() = default;
+
+  // Records one application message of `type` carrying `payload_bytes`
+  // (header added automatically).
+  void Count(MessageType type, size_t payload_bytes);
+
+  // Records `hops` Chord routing hops (small fixed-size messages).
+  void CountLookupHops(int hops);
+
+  const NetworkStats& stats() const { return stats_; }
+  void Clear() { stats_.Clear(); }
+
+ private:
+  NetworkStats stats_;
+};
+
+}  // namespace sprite::p2p
+
+#endif  // SPRITE_P2P_NETWORK_H_

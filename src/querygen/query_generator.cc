@@ -1,0 +1,172 @@
+#include "querygen/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sprite::querygen {
+
+QueryGenerator::QueryGenerator(const corpus::Corpus& corpus,
+                               const ir::CentralizedIndex& centralized,
+                               QueryGeneratorOptions options)
+    : corpus_(corpus), centralized_(centralized), options_(options) {
+  SPRITE_CHECK(options_.overlap >= 0.0 && options_.overlap <= 1.0);
+  SPRITE_CHECK(options_.similar_pool >= 1);
+  by_distribution_.reserve(corpus_.vocabulary_size());
+  for (const std::string& term : corpus_.Vocabulary()) {
+    by_distribution_.emplace_back(corpus_.Stats(term).Distribution(), term);
+  }
+  std::sort(by_distribution_.begin(), by_distribution_.end());
+}
+
+std::vector<std::string> QueryGenerator::SimilarTerms(
+    const std::string& term) const {
+  const double target = corpus_.Stats(term).Distribution();
+  // Two-pointer expansion around the insertion point of `target` in the
+  // Distribution-sorted vocabulary: the S nearest values, skipping the
+  // term itself.
+  auto mid = std::lower_bound(by_distribution_.begin(), by_distribution_.end(),
+                              std::make_pair(target, std::string()));
+  size_t lo = static_cast<size_t>(mid - by_distribution_.begin());
+  size_t hi = lo;  // [lo, hi) is the taken window
+  std::vector<std::string> out;
+  while (out.size() < options_.similar_pool &&
+         (lo > 0 || hi < by_distribution_.size())) {
+    double below_gap = lo > 0
+                           ? std::abs(by_distribution_[lo - 1].first - target)
+                           : std::numeric_limits<double>::infinity();
+    double above_gap = hi < by_distribution_.size()
+                           ? std::abs(by_distribution_[hi].first - target)
+                           : std::numeric_limits<double>::infinity();
+    size_t pick;
+    if (below_gap <= above_gap) {
+      pick = --lo;
+    } else {
+      pick = hi++;
+    }
+    if (by_distribution_[pick].second != term) {
+      out.push_back(by_distribution_[pick].second);
+    }
+  }
+  return out;
+}
+
+GeneratedWorkload QueryGenerator::Generate(
+    const std::vector<corpus::Query>& originals,
+    const corpus::RelevanceJudgments& original_judgments) const {
+  GeneratedWorkload out;
+  Rng rng(options_.seed);
+
+  for (const corpus::Query& original : originals) {
+    SPRITE_CHECK(!original.empty());
+
+    // The original query itself is part of the workload.
+    const size_t original_index = out.queries.size();
+    {
+      corpus::Query q = original;
+      q.id = static_cast<corpus::QueryId>(original_index);
+      std::vector<corpus::DocId> rel(
+          original_judgments.Relevant(original.id).begin(),
+          original_judgments.Relevant(original.id).end());
+      out.judgments.SetRelevant(q.id, std::move(rel));
+      out.queries.push_back(std::move(q));
+      out.origin.push_back(original_index);
+    }
+
+    // Phase 2 needs the original's centralized ranked list; compute once.
+    const ir::RankedList rl =
+        centralized_.Search(original, options_.rank_cutoff);
+    // Original relevant documents inside the top E, with their ranks.
+    struct RelAt {
+      size_t rank;
+      corpus::DocId doc;
+    };
+    std::vector<RelAt> rel_in_rl;
+    for (size_t r = 0; r < rl.size(); ++r) {
+      if (original_judgments.IsRelevant(original.id, rl[r].doc)) {
+        rel_in_rl.push_back({r, rl[r].doc});
+      }
+    }
+
+    for (size_t child = 0; child < options_.derived_per_original; ++child) {
+      // ---- Phase 1: term selection -------------------------------------
+      const size_t m = original.size();
+      size_t keep = static_cast<size_t>(
+          std::lround(options_.overlap * static_cast<double>(m)));
+      keep = std::clamp<size_t>(keep, m >= 1 ? 1 : 0, m);
+
+      std::vector<size_t> kept_idx = rng.SampleWithoutReplacement(m, keep);
+      std::sort(kept_idx.begin(), kept_idx.end());
+      std::vector<std::string> terms;
+      terms.reserve(m);
+      for (size_t i : kept_idx) terms.push_back(original.terms[i]);
+
+      std::vector<bool> is_kept(m, false);
+      for (size_t i : kept_idx) is_kept[i] = true;
+      for (size_t i = 0; i < m; ++i) {
+        if (is_kept[i]) continue;
+        // Replace the dropped term with one of its top-S Distribution
+        // neighbours, avoiding duplicates within the query.
+        std::vector<std::string> pool = SimilarTerms(original.terms[i]);
+        std::string replacement;
+        for (int attempt = 0; attempt < 8 && !pool.empty(); ++attempt) {
+          const std::string& cand =
+              pool[static_cast<size_t>(rng.NextUint64(pool.size()))];
+          if (std::find(terms.begin(), terms.end(), cand) == terms.end()) {
+            replacement = cand;
+            break;
+          }
+        }
+        if (!replacement.empty()) terms.push_back(std::move(replacement));
+      }
+
+      corpus::Query derived;
+      derived.id = static_cast<corpus::QueryId>(out.queries.size());
+      derived.terms = corpus::DedupTerms(std::move(terms));
+
+      // ---- Phase 2: relevant documents ----------------------------------
+      const ir::RankedList rl_new =
+          centralized_.Search(derived, options_.rank_cutoff);
+
+      std::vector<corpus::DocId> new_rel;
+      std::vector<bool> matched(rel_in_rl.size(), false);
+      // Pass 1: documents in the derived list that are relevant to the
+      // original transfer directly; each consumes the original relevant
+      // document with the most similar rank.
+      for (size_t r = 0; r < rl_new.size(); ++r) {
+        if (!original_judgments.IsRelevant(original.id, rl_new[r].doc)) {
+          continue;
+        }
+        new_rel.push_back(rl_new[r].doc);
+        size_t best = rel_in_rl.size();
+        size_t best_gap = 0;
+        for (size_t j = 0; j < rel_in_rl.size(); ++j) {
+          if (matched[j]) continue;
+          const size_t gap = rel_in_rl[j].rank > r ? rel_in_rl[j].rank - r
+                                                   : r - rel_in_rl[j].rank;
+          if (best == rel_in_rl.size() || gap < best_gap) {
+            best = j;
+            best_gap = gap;
+          }
+        }
+        if (best < rel_in_rl.size()) matched[best] = true;
+      }
+      // Pass 2: every unmatched original relevant document donates its rank
+      // position — the derived document at the same rank becomes relevant.
+      for (size_t j = 0; j < rel_in_rl.size(); ++j) {
+        if (matched[j]) continue;
+        const size_t r = rel_in_rl[j].rank;
+        if (r < rl_new.size()) new_rel.push_back(rl_new[r].doc);
+      }
+
+      out.judgments.SetRelevant(derived.id, std::move(new_rel));
+      out.queries.push_back(std::move(derived));
+      out.origin.push_back(original_index);
+    }
+  }
+  return out;
+}
+
+}  // namespace sprite::querygen

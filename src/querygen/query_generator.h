@@ -1,0 +1,76 @@
+#ifndef SPRITE_QUERYGEN_QUERY_GENERATOR_H_
+#define SPRITE_QUERYGEN_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/query.h"
+#include "corpus/relevance.h"
+#include "ir/centralized_index.h"
+
+namespace sprite::querygen {
+
+// Parameters of the paper's query generator (Section 6.1). Defaults are the
+// paper's: k = 9 derived queries per original, overlap O = 70%, top-S = 5
+// candidate replacement terms, rank cutoff E = 1000.
+struct QueryGeneratorOptions {
+  uint64_t seed = 7;
+  size_t derived_per_original = 9;  // k
+  double overlap = 0.7;             // O = |Q'_1| / |Q|
+  size_t similar_pool = 5;          // S
+  size_t rank_cutoff = 1000;        // E
+};
+
+// The generated workload: the original queries followed by their derived
+// queries, all re-numbered densely, with relevance judgments for every
+// query and a per-query pointer to the original it derives from.
+struct GeneratedWorkload {
+  std::vector<corpus::Query> queries;
+  corpus::RelevanceJudgments judgments;
+  // origin[i]: index (into `queries`) of query i's original; originals
+  // point at themselves. Used by the pattern-change experiment, which
+  // keeps each original and its derivatives in the same group.
+  std::vector<size_t> origin;
+};
+
+// Implements both phases of Section 6.1:
+//
+// Phase 1 (term selection): a derived query keeps a random O-fraction of
+// the original's terms; every dropped term is replaced by one of its top-S
+// neighbours under the Distribution(t) = Freq(t) * Num(t) metric, so the
+// replacement is "equally important" in the corpus.
+//
+// Phase 2 (relevant documents): the derived query's relevant set is built
+// by aligning the centralized ranked lists of the original and the derived
+// query within the top E — shared relevant documents transfer directly,
+// and each unmatched original relevant document donates its rank position.
+class QueryGenerator {
+ public:
+  // All references must outlive the generator.
+  QueryGenerator(const corpus::Corpus& corpus,
+                 const ir::CentralizedIndex& centralized,
+                 QueryGeneratorOptions options = {});
+
+  // Generates the full workload from the base (original) queries and their
+  // expert judgments. Deterministic given the options' seed.
+  GeneratedWorkload Generate(
+      const std::vector<corpus::Query>& originals,
+      const corpus::RelevanceJudgments& original_judgments) const;
+
+  // Phase-1 helper exposed for tests: the top-S terms whose Distribution
+  // is nearest to `term`'s (excluding `term` itself).
+  std::vector<std::string> SimilarTerms(const std::string& term) const;
+
+ private:
+  const corpus::Corpus& corpus_;
+  const ir::CentralizedIndex& centralized_;
+  QueryGeneratorOptions options_;
+
+  // Vocabulary sorted by Distribution value for nearest-neighbour lookup.
+  std::vector<std::pair<double, std::string>> by_distribution_;
+};
+
+}  // namespace sprite::querygen
+
+#endif  // SPRITE_QUERYGEN_QUERY_GENERATOR_H_

@@ -1,0 +1,78 @@
+#include "querygen/workload.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/zipf.h"
+
+namespace sprite::querygen {
+
+TrainTestSplit SplitTrainTest(size_t n, double train_fraction, Rng& rng) {
+  SPRITE_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0);
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.Shuffle(idx);
+  const size_t train_count =
+      static_cast<size_t>(train_fraction * static_cast<double>(n));
+  TrainTestSplit split;
+  split.train.assign(idx.begin(), idx.begin() + train_count);
+  split.test.assign(idx.begin() + train_count, idx.end());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+std::vector<size_t> MakeStreamWithoutRepeats(const std::vector<size_t>& train,
+                                             Rng& rng) {
+  std::vector<size_t> stream = train;
+  rng.Shuffle(stream);
+  return stream;
+}
+
+ZipfStream MakeZipfStream(const std::vector<size_t>& train,
+                          size_t num_issuances, double slope, Rng& rng) {
+  ZipfStream out;
+  out.weights.assign(train.size(), 0.0);
+  if (train.empty()) return out;
+
+  // popularity_rank[r] = position in `train` of the r-th most popular query.
+  std::vector<size_t> popularity(train.size());
+  for (size_t i = 0; i < popularity.size(); ++i) popularity[i] = i;
+  rng.Shuffle(popularity);
+
+  ZipfSampler sampler(train.size(), slope);
+  for (size_t i = 0; i < train.size(); ++i) {
+    out.weights[popularity[i]] = sampler.Pmf(i);
+  }
+  out.issuances.reserve(num_issuances);
+  for (size_t i = 0; i < num_issuances; ++i) {
+    out.issuances.push_back(train[popularity[sampler.Sample(rng)]]);
+  }
+  return out;
+}
+
+PatternGroups SplitByOrigin(const GeneratedWorkload& workload, Rng& rng) {
+  // Collect the distinct originals, shuffle, halve, then route every query
+  // to its original's group.
+  std::vector<size_t> originals;
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    if (workload.origin[i] == i) originals.push_back(i);
+  }
+  rng.Shuffle(originals);
+  std::unordered_map<size_t, int> group_of;
+  for (size_t i = 0; i < originals.size(); ++i) {
+    group_of[originals[i]] = i < originals.size() / 2 ? 0 : 1;
+  }
+  PatternGroups groups;
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    if (group_of.at(workload.origin[i]) == 0) {
+      groups.group_a.push_back(i);
+    } else {
+      groups.group_b.push_back(i);
+    }
+  }
+  return groups;
+}
+
+}  // namespace sprite::querygen

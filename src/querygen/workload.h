@@ -1,0 +1,53 @@
+#ifndef SPRITE_QUERYGEN_WORKLOAD_H_
+#define SPRITE_QUERYGEN_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "querygen/query_generator.h"
+
+namespace sprite::querygen {
+
+// Indices (into a GeneratedWorkload's queries) of the training and testing
+// halves (Section 6.2: "We split these queries into 2 equal groups ...
+// randomly assigned").
+struct TrainTestSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+// Random `train_fraction` / remainder split of n queries.
+TrainTestSplit SplitTrainTest(size_t n, double train_fraction, Rng& rng);
+
+// Query streams for the Figure 4(b) experiment. A stream is the sequence
+// of training-query indices issued to the system before learning.
+//
+// "w/o-r": every training query exactly once, in random order — the
+// extreme case biased against SPRITE.
+std::vector<size_t> MakeStreamWithoutRepeats(const std::vector<size_t>& train,
+                                             Rng& rng);
+// "w-zipf": issuances drawn so that query popularity follows a Zipf law
+// with the given slope (0.5 in the paper). Popularity order is a random
+// permutation of the training queries. `weights[i]` is the popularity mass
+// assigned to train[i], for popularity-weighted evaluation.
+struct ZipfStream {
+  std::vector<size_t> issuances;
+  std::vector<double> weights;
+};
+ZipfStream MakeZipfStream(const std::vector<size_t>& train,
+                          size_t num_issuances, double slope, Rng& rng);
+
+// Figure 4(c) grouping: partitions the workload into two halves such that
+// every original query and all queries derived from it land in the same
+// group ("all new queries and their corresponding original query are in
+// the same group").
+struct PatternGroups {
+  std::vector<size_t> group_a;
+  std::vector<size_t> group_b;
+};
+PatternGroups SplitByOrigin(const GeneratedWorkload& workload, Rng& rng);
+
+}  // namespace sprite::querygen
+
+#endif  // SPRITE_QUERYGEN_WORKLOAD_H_

@@ -1,0 +1,24 @@
+#include "text/analyzer.h"
+
+namespace sprite::text {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(options),
+      tokenizer_(options.tokenizer),
+      stopwords_(options.remove_stopwords ? StopWordSet::Default()
+                                          : StopWordSet()) {}
+
+std::vector<std::string> Analyzer::Analyze(std::string_view text) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  if (options_.remove_stopwords) tokens = stopwords_.Filter(std::move(tokens));
+  if (options_.stem) {
+    for (auto& t : tokens) t = stemmer_.Stem(t);
+  }
+  return tokens;
+}
+
+TermVector Analyzer::AnalyzeToVector(std::string_view text) const {
+  return TermVector::FromTokens(Analyze(text));
+}
+
+}  // namespace sprite::text

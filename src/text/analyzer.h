@@ -1,0 +1,47 @@
+#ifndef SPRITE_TEXT_ANALYZER_H_
+#define SPRITE_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/term_vector.h"
+#include "text/tokenizer.h"
+
+namespace sprite::text {
+
+// Options for the analysis pipeline. Defaults reproduce the paper's
+// preprocessing: tokenize, lowercase, remove Lucene default stop words,
+// Porter-stem the remainder.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+// Tokenize -> stop-word filter -> Porter stem. The standard preprocessing
+// applied to both documents and queries before anything enters the system.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  // Processed token stream of `text` (order preserved).
+  std::vector<std::string> Analyze(std::string_view text) const;
+
+  // Bag-of-words of `text`.
+  TermVector AnalyzeToVector(std::string_view text) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopWordSet stopwords_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace sprite::text
+
+#endif  // SPRITE_TEXT_ANALYZER_H_

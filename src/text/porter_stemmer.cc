@@ -1,0 +1,291 @@
+#include "text/porter_stemmer.h"
+
+namespace sprite::text {
+
+namespace {
+bool IsAsciiLowerAlpha(char c) { return c >= 'a' && c <= 'z'; }
+}  // namespace
+
+bool PorterStemmer::State::IsConsonant(int i) const {
+  switch (b[static_cast<size_t>(i)]) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return false;
+    case 'y':
+      return (i == 0) ? true : !IsConsonant(i - 1);
+    default:
+      return true;
+  }
+}
+
+// Counts the VC sequences in b[0..j]: [C](VC)^m[V].
+int PorterStemmer::State::Measure() const {
+  int n = 0;
+  int i = 0;
+  for (;;) {
+    if (i > j) return n;
+    if (!IsConsonant(i)) break;
+    ++i;
+  }
+  ++i;
+  for (;;) {
+    for (;;) {
+      if (i > j) return n;
+      if (IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    ++n;
+    for (;;) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+  }
+}
+
+bool PorterStemmer::State::VowelInStem() const {
+  for (int i = 0; i <= j; ++i) {
+    if (!IsConsonant(i)) return true;
+  }
+  return false;
+}
+
+bool PorterStemmer::State::DoubleConsonant(int i) const {
+  if (i < 1) return false;
+  if (b[static_cast<size_t>(i)] != b[static_cast<size_t>(i - 1)]) return false;
+  return IsConsonant(i);
+}
+
+// cvc(i) tests whether b[i-2..i] is consonant-vowel-consonant and the final
+// consonant is not w, x, or y; used to restore a final e (e.g. hop -> hope).
+bool PorterStemmer::State::EndsCvc(int i) const {
+  if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+    return false;
+  }
+  const char ch = b[static_cast<size_t>(i)];
+  return ch != 'w' && ch != 'x' && ch != 'y';
+}
+
+bool PorterStemmer::State::Ends(std::string_view s) {
+  const int len = static_cast<int>(s.size());
+  if (len > k + 1) return false;
+  if (b.compare(static_cast<size_t>(k - len + 1), static_cast<size_t>(len),
+                s) != 0) {
+    return false;
+  }
+  j = k - len;
+  return true;
+}
+
+void PorterStemmer::State::SetTo(std::string_view s) {
+  b.replace(static_cast<size_t>(j + 1), static_cast<size_t>(k - j), s);
+  k = j + static_cast<int>(s.size());
+}
+
+void PorterStemmer::State::ReplaceIfMeasurePositive(std::string_view s) {
+  if (Measure() > 0) SetTo(s);
+}
+
+// Step 1ab: plurals and -ed / -ing.
+//   caresses -> caress, ponies -> poni, cats -> cat,
+//   agreed -> agree, plastered -> plaster, motoring -> motor
+void PorterStemmer::State::Step1ab() {
+  if (b[static_cast<size_t>(k)] == 's') {
+    if (Ends("sses")) {
+      k -= 2;
+    } else if (Ends("ies")) {
+      SetTo("i");
+    } else if (b[static_cast<size_t>(k - 1)] != 's') {
+      --k;
+    }
+  }
+  if (Ends("eed")) {
+    if (Measure() > 0) --k;
+  } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+    k = j;
+    if (Ends("at")) {
+      SetTo("ate");
+    } else if (Ends("bl")) {
+      SetTo("ble");
+    } else if (Ends("iz")) {
+      SetTo("ize");
+    } else if (DoubleConsonant(k)) {
+      --k;
+      const char ch = b[static_cast<size_t>(k)];
+      if (ch == 'l' || ch == 's' || ch == 'z') ++k;
+    } else if (Measure() == 1 && EndsCvc(k)) {
+      SetTo("e");
+    }
+  }
+}
+
+// Step 1c: terminal y -> i when there is another vowel in the stem.
+void PorterStemmer::State::Step1c() {
+  if (Ends("y") && VowelInStem()) b[static_cast<size_t>(k)] = 'i';
+}
+
+// Step 2: double suffixes -> single ones when m > 0.
+void PorterStemmer::State::Step2() {
+  if (k < 1) return;
+  switch (b[static_cast<size_t>(k - 1)]) {
+    case 'a':
+      if (Ends("ational")) { ReplaceIfMeasurePositive("ate"); break; }
+      if (Ends("tional")) { ReplaceIfMeasurePositive("tion"); break; }
+      break;
+    case 'c':
+      if (Ends("enci")) { ReplaceIfMeasurePositive("ence"); break; }
+      if (Ends("anci")) { ReplaceIfMeasurePositive("ance"); break; }
+      break;
+    case 'e':
+      if (Ends("izer")) { ReplaceIfMeasurePositive("ize"); break; }
+      break;
+    case 'l':
+      // "bli" rather than "abli" is a published departure.
+      if (Ends("bli")) { ReplaceIfMeasurePositive("ble"); break; }
+      if (Ends("alli")) { ReplaceIfMeasurePositive("al"); break; }
+      if (Ends("entli")) { ReplaceIfMeasurePositive("ent"); break; }
+      if (Ends("eli")) { ReplaceIfMeasurePositive("e"); break; }
+      if (Ends("ousli")) { ReplaceIfMeasurePositive("ous"); break; }
+      break;
+    case 'o':
+      if (Ends("ization")) { ReplaceIfMeasurePositive("ize"); break; }
+      if (Ends("ation")) { ReplaceIfMeasurePositive("ate"); break; }
+      if (Ends("ator")) { ReplaceIfMeasurePositive("ate"); break; }
+      break;
+    case 's':
+      if (Ends("alism")) { ReplaceIfMeasurePositive("al"); break; }
+      if (Ends("iveness")) { ReplaceIfMeasurePositive("ive"); break; }
+      if (Ends("fulness")) { ReplaceIfMeasurePositive("ful"); break; }
+      if (Ends("ousness")) { ReplaceIfMeasurePositive("ous"); break; }
+      break;
+    case 't':
+      if (Ends("aliti")) { ReplaceIfMeasurePositive("al"); break; }
+      if (Ends("iviti")) { ReplaceIfMeasurePositive("ive"); break; }
+      if (Ends("biliti")) { ReplaceIfMeasurePositive("ble"); break; }
+      break;
+    case 'g':
+      // "logi" -> "log" is a published departure.
+      if (Ends("logi")) { ReplaceIfMeasurePositive("log"); break; }
+      break;
+    default:
+      break;
+  }
+}
+
+// Step 3: -ic-, -full, -ness, etc.
+void PorterStemmer::State::Step3() {
+  switch (b[static_cast<size_t>(k)]) {
+    case 'e':
+      if (Ends("icate")) { ReplaceIfMeasurePositive("ic"); break; }
+      if (Ends("ative")) { ReplaceIfMeasurePositive(""); break; }
+      if (Ends("alize")) { ReplaceIfMeasurePositive("al"); break; }
+      break;
+    case 'i':
+      if (Ends("iciti")) { ReplaceIfMeasurePositive("ic"); break; }
+      break;
+    case 'l':
+      if (Ends("ical")) { ReplaceIfMeasurePositive("ic"); break; }
+      if (Ends("ful")) { ReplaceIfMeasurePositive(""); break; }
+      break;
+    case 's':
+      if (Ends("ness")) { ReplaceIfMeasurePositive(""); break; }
+      break;
+    default:
+      break;
+  }
+}
+
+// Step 4: -ant, -ence, etc. removed when m > 1.
+void PorterStemmer::State::Step4() {
+  if (k < 1) return;
+  switch (b[static_cast<size_t>(k - 1)]) {
+    case 'a':
+      if (Ends("al")) break;
+      return;
+    case 'c':
+      if (Ends("ance")) break;
+      if (Ends("ence")) break;
+      return;
+    case 'e':
+      if (Ends("er")) break;
+      return;
+    case 'i':
+      if (Ends("ic")) break;
+      return;
+    case 'l':
+      if (Ends("able")) break;
+      if (Ends("ible")) break;
+      return;
+    case 'n':
+      if (Ends("ant")) break;
+      if (Ends("ement")) break;
+      if (Ends("ment")) break;
+      if (Ends("ent")) break;
+      return;
+    case 'o':
+      if (Ends("ion") && j >= 0 &&
+          (b[static_cast<size_t>(j)] == 's' ||
+           b[static_cast<size_t>(j)] == 't')) {
+        break;
+      }
+      if (Ends("ou")) break;  // takes care of -ous
+      return;
+    case 's':
+      if (Ends("ism")) break;
+      return;
+    case 't':
+      if (Ends("ate")) break;
+      if (Ends("iti")) break;
+      return;
+    case 'u':
+      if (Ends("ous")) break;
+      return;
+    case 'v':
+      if (Ends("ive")) break;
+      return;
+    case 'z':
+      if (Ends("ize")) break;
+      return;
+    default:
+      return;
+  }
+  if (Measure() > 1) k = j;
+}
+
+// Step 5: remove a final -e if m > 1, and change -ll to -l if m > 1.
+void PorterStemmer::State::Step5() {
+  j = k;
+  if (b[static_cast<size_t>(k)] == 'e') {
+    const int a = Measure();
+    if (a > 1 || (a == 1 && !EndsCvc(k - 1))) --k;
+  }
+  if (b[static_cast<size_t>(k)] == 'l' && DoubleConsonant(k) && Measure() > 1) {
+    --k;
+  }
+}
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!IsAsciiLowerAlpha(c)) return std::string(word);
+  }
+  State s;
+  s.b = std::string(word);
+  s.k = static_cast<int>(word.size()) - 1;
+  s.j = 0;
+  s.Step1ab();
+  s.Step1c();
+  s.Step2();
+  s.Step3();
+  s.Step4();
+  s.Step5();
+  s.b.resize(static_cast<size_t>(s.k + 1));
+  return s.b;
+}
+
+}  // namespace sprite::text

@@ -1,0 +1,54 @@
+#ifndef SPRITE_TEXT_PORTER_STEMMER_H_
+#define SPRITE_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace sprite::text {
+
+// The Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980), implemented from the original
+// definition including the published departures (e.g. "logi" -> "log").
+//
+// Input is expected to be a lowercase ASCII word; words of length <= 2 and
+// words containing non-letters are returned unchanged, matching the
+// reference implementation's behaviour.
+//
+//   PorterStemmer stemmer;
+//   stemmer.Stem("relational");  // "relat"
+//   stemmer.Stem("hopping");     // "hop"
+class PorterStemmer {
+ public:
+  PorterStemmer() = default;
+
+  // Returns the stem of `word`.
+  std::string Stem(std::string_view word) const;
+
+ private:
+  // Working state for one word; the public API is stateless.
+  struct State {
+    std::string b;  // word buffer
+    int k;          // index of last character of the current word
+    int j;          // index of last character of the stem (set by Ends)
+
+    bool IsConsonant(int i) const;
+    int Measure() const;           // m in the paper, over b[0..j]
+    bool VowelInStem() const;      // *v*
+    bool DoubleConsonant(int i) const;  // *d
+    bool EndsCvc(int i) const;     // *o
+    bool Ends(std::string_view s);
+    void SetTo(std::string_view s);
+    void ReplaceIfMeasurePositive(std::string_view s);  // r(s)
+
+    void Step1ab();
+    void Step1c();
+    void Step2();
+    void Step3();
+    void Step4();
+    void Step5();
+  };
+};
+
+}  // namespace sprite::text
+
+#endif  // SPRITE_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,39 @@
+#include "text/stopwords.h"
+
+namespace sprite::text {
+
+const std::vector<std::string>& DefaultStopWords() {
+  // Lucene StandardAnalyzer's default English stop set.
+  static const std::vector<std::string>* const kWords =
+      new std::vector<std::string>{
+          "a",    "an",   "and",   "are",  "as",    "at",   "be",
+          "but",  "by",   "for",   "if",   "in",    "into", "is",
+          "it",   "no",   "not",   "of",   "on",    "or",   "such",
+          "that", "the",  "their", "then", "there", "these", "they",
+          "this", "to",   "was",   "will", "with"};
+  return *kWords;
+}
+
+StopWordSet::StopWordSet(const std::vector<std::string>& words) {
+  for (const auto& w : words) words_.insert(w);
+}
+
+StopWordSet StopWordSet::Default() { return StopWordSet(DefaultStopWords()); }
+
+void StopWordSet::Add(std::string_view word) { words_.emplace(word); }
+
+bool StopWordSet::Contains(std::string_view word) const {
+  return words_.find(word) != words_.end();
+}
+
+std::vector<std::string> StopWordSet::Filter(
+    std::vector<std::string> tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (!Contains(t)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace sprite::text

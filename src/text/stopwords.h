@@ -1,0 +1,46 @@
+#ifndef SPRITE_TEXT_STOPWORDS_H_
+#define SPRITE_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace sprite::text {
+
+// Stop-word filtering. The paper uses "the default stop-word-list in
+// Lucene"; DefaultStopWords() reproduces that 33-entry English set.
+class StopWordSet {
+ public:
+  // Empty set (filters nothing).
+  StopWordSet() = default;
+
+  // Set containing exactly `words` (expected lowercase).
+  explicit StopWordSet(const std::vector<std::string>& words);
+
+  // Lucene's default English stop set.
+  static StopWordSet Default();
+
+  void Add(std::string_view word);
+  bool Contains(std::string_view word) const;
+  size_t size() const { return words_.size(); }
+
+  // Removes stop words from `tokens`, preserving order of the rest.
+  std::vector<std::string> Filter(std::vector<std::string> tokens) const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_set<std::string, StringHash, std::equal_to<>> words_;
+};
+
+// The raw default list (lowercase), in Lucene's order.
+const std::vector<std::string>& DefaultStopWords();
+
+}  // namespace sprite::text
+
+#endif  // SPRITE_TEXT_STOPWORDS_H_

@@ -1,0 +1,46 @@
+#include "text/term_vector.h"
+
+#include <algorithm>
+
+namespace sprite::text {
+
+TermVector TermVector::FromTokens(const std::vector<std::string>& tokens) {
+  TermVector tv;
+  for (const auto& t : tokens) tv.Add(t);
+  return tv;
+}
+
+void TermVector::Add(std::string_view term, uint32_t count) {
+  if (count == 0) return;
+  counts_[std::string(term)] += count;
+  length_ += count;
+}
+
+uint32_t TermVector::Count(std::string_view term) const {
+  auto it = counts_.find(std::string(term));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double TermVector::NormalizedFreq(std::string_view term) const {
+  if (length_ == 0) return 0.0;
+  return static_cast<double>(Count(term)) / static_cast<double>(length_);
+}
+
+std::vector<TermFreq> TermVector::SortedTerms() const {
+  std::vector<TermFreq> out;
+  out.reserve(counts_.size());
+  for (const auto& [term, freq] : counts_) out.push_back({term, freq});
+  std::sort(out.begin(), out.end(), [](const TermFreq& a, const TermFreq& b) {
+    if (a.freq != b.freq) return a.freq > b.freq;
+    return a.term < b.term;
+  });
+  return out;
+}
+
+std::vector<TermFreq> TermVector::TopK(size_t k) const {
+  std::vector<TermFreq> sorted = SortedTerms();
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+}  // namespace sprite::text

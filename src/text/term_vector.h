@@ -1,0 +1,73 @@
+#ifndef SPRITE_TEXT_TERM_VECTOR_H_
+#define SPRITE_TEXT_TERM_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sprite::text {
+
+// A term with its within-document frequency.
+struct TermFreq {
+  std::string term;
+  uint32_t freq = 0;
+
+  friend bool operator==(const TermFreq& a, const TermFreq& b) {
+    return a.term == b.term && a.freq == b.freq;
+  }
+};
+
+// Bag-of-words representation of a document after analysis.
+//
+// `length()` is the total number of (post-filter) tokens — the "document
+// length" used to normalize term frequencies in the paper — while
+// `num_distinct_terms()` is the sqrt-denominator of the Lee et al.
+// similarity ("number of terms in Di").
+class TermVector {
+ public:
+  TermVector() = default;
+
+  // Builds from an ordered token stream.
+  static TermVector FromTokens(const std::vector<std::string>& tokens);
+
+  // Adds `count` occurrences of `term`.
+  void Add(std::string_view term, uint32_t count = 1);
+
+  // Occurrences of `term` (0 when absent).
+  uint32_t Count(std::string_view term) const;
+
+  bool Contains(std::string_view term) const { return Count(term) > 0; }
+
+  // Total token count (sum of frequencies).
+  uint64_t length() const { return length_; }
+
+  // Number of distinct terms.
+  size_t num_distinct_terms() const { return counts_.size(); }
+
+  bool empty() const { return counts_.empty(); }
+
+  // Term frequency normalized by document length, i.e. t_ik in the paper.
+  double NormalizedFreq(std::string_view term) const;
+
+  // The k most frequent terms, ties broken lexicographically so that the
+  // result is deterministic. Returns fewer when the vocabulary is smaller.
+  std::vector<TermFreq> TopK(size_t k) const;
+
+  // All terms with frequencies, sorted by (freq desc, term asc).
+  std::vector<TermFreq> SortedTerms() const;
+
+  // Unordered iteration over (term, freq).
+  const std::unordered_map<std::string, uint32_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::string, uint32_t> counts_;
+  uint64_t length_ = 0;
+};
+
+}  // namespace sprite::text
+
+#endif  // SPRITE_TEXT_TERM_VECTOR_H_

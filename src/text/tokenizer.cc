@@ -1,0 +1,34 @@
+#include "text/tokenizer.h"
+
+#include "common/string_util.h"
+
+namespace sprite::text {
+
+bool Tokenizer::IsTokenChar(char c) const {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) return true;
+  if (options_.keep_digits && c >= '0' && c <= '9') return true;
+  return false;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && !IsTokenChar(text[i])) ++i;
+    size_t start = i;
+    while (i < n && IsTokenChar(text[i])) ++i;
+    if (i > start) {
+      size_t len = i - start;
+      if (len >= options_.min_token_length) {
+        if (len > options_.max_token_length) len = options_.max_token_length;
+        std::string tok(text.substr(start, len));
+        if (options_.lowercase) AsciiLowerInPlace(tok);
+        tokens.push_back(std::move(tok));
+      }
+    }
+  }
+  return tokens;
+}
+
+}  // namespace sprite::text

@@ -1,0 +1,43 @@
+#ifndef SPRITE_TEXT_TOKENIZER_H_
+#define SPRITE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sprite::text {
+
+// Options for the lexical tokenizer.
+struct TokenizerOptions {
+  // When true, runs of letters AND digits form tokens ("mp3" stays one
+  // token); when false only letters do (Lucene's LetterTokenizer).
+  bool keep_digits = false;
+  // Tokens shorter than this are dropped (length in bytes).
+  size_t min_token_length = 1;
+  // Tokens longer than this are truncated (guards against pathological
+  // inputs; Lucene uses 255).
+  size_t max_token_length = 255;
+  // Lowercase ASCII letters in emitted tokens.
+  bool lowercase = true;
+};
+
+// Splits raw text into word tokens. Only ASCII is interpreted; any other
+// byte is a separator, which matches the evaluation corpora (English text).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  // Returns the tokens of `text` in order of appearance.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsTokenChar(char c) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace sprite::text
+
+#endif  // SPRITE_TEXT_TOKENIZER_H_

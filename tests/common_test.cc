@@ -1,0 +1,453 @@
+// Unit tests for src/common: Status, MD5, SHA-1, RNG, Zipf, string
+// utilities and the histogram.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/md5.h"
+#include "common/rng.h"
+#include "common/sha1.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/zipf.h"
+
+namespace sprite {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("bad");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInvalidArgument());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseReturnMacro(int x) {
+  SPRITE_RETURN_IF_ERROR(ParsePositive(x).status());
+  return Status::OK();
+}
+
+TEST(StatusOrTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(UseReturnMacro(3).ok());
+  EXPECT_TRUE(UseReturnMacro(-1).IsInvalidArgument());
+}
+
+// ------------------------------------------------------------------- MD5
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5Hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5Hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5Hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5Hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5Hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5Hex("1234567890123456789012345678901234567890123456789012345678"
+                   "9012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, QuickBrownFox) {
+  EXPECT_EQ(Md5Hex("The quick brown fox jumps over the lazy dog"),
+            "9e107d9d372bb6826bd81d3542a419d6");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Md5 md5;
+    md5.Update(msg.substr(0, split));
+    md5.Update(msg.substr(split));
+    EXPECT_EQ(md5.Finalize().ToHex(), Md5Hex(msg)) << "split=" << split;
+  }
+}
+
+TEST(Md5Test, BlockBoundaryLengths) {
+  // Lengths around the 56- and 64-byte padding boundaries are the classic
+  // off-by-one trap.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u, 1000u}) {
+    std::string msg(len, 'x');
+    Md5 a;
+    a.Update(msg);
+    // Compare against byte-at-a-time hashing.
+    Md5 b;
+    for (char c : msg) b.Update(std::string_view(&c, 1));
+    EXPECT_EQ(a.Finalize(), b.Finalize()) << "len=" << len;
+  }
+}
+
+TEST(Md5Test, ResetAllowsReuse) {
+  Md5 md5;
+  md5.Update("garbage");
+  (void)md5.Finalize();
+  md5.Reset();
+  md5.Update("abc");
+  EXPECT_EQ(md5.Finalize().ToHex(), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, Prefix64IsBigEndianOfFirstEightBytes) {
+  // d41d8cd98f00b204... -> 0xd41d8cd98f00b204
+  EXPECT_EQ(Md5Prefix64(""), 0xd41d8cd98f00b204ULL);
+  EXPECT_EQ(Md5Prefix64("abc"), 0x900150983cd24fb0ULL);
+}
+
+TEST(Md5Test, DistinctInputsDistinctDigests) {
+  std::set<std::string> digests;
+  for (int i = 0; i < 1000; ++i) {
+    digests.insert(Md5Hex("input" + std::to_string(i)));
+  }
+  EXPECT_EQ(digests.size(), 1000u);
+}
+
+// ------------------------------------------------------------------ SHA-1
+
+TEST(Sha1Test, Fips180Vectors) {
+  EXPECT_EQ(Sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, QuickBrownFox) {
+  EXPECT_EQ(Sha1Hex("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const std::string msg(200, 'q');
+  Sha1 a;
+  a.Update(msg.substr(0, 63));
+  a.Update(msg.substr(63));
+  EXPECT_EQ(a.Finalize().ToHex(), Sha1Hex(msg));
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 sha;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) sha.Update(chunk);
+  EXPECT_EQ(sha.Finalize().ToHex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+// -------------------------------------------------------------------- RNG
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedDrawRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(20, 10);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (size_t v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RngTest, SampleFullPopulationIsPermutation) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(8, 8);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(101);
+  Rng child = a.Fork();
+  // The fork's outputs must not replay the parent's next outputs.
+  EXPECT_NE(child.NextUint64(), a.NextUint64());
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(state2), first);
+  EXPECT_NE(SplitMix64(state2), first);  // second draw differs
+}
+
+// -------------------------------------------------------------------- Zipf
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 0.5);
+  double total = 0.0;
+  for (size_t i = 0; i < 100; ++i) total += z.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneNonIncreasing) {
+  ZipfSampler z(50, 1.0);
+  for (size_t i = 1; i < 50; ++i) EXPECT_LE(z.Pmf(i), z.Pmf(i - 1));
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(z.Pmf(i), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  ZipfSampler z(10, 1.0);
+  Rng rng(43);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, z.Pmf(i), 0.01)
+        << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler z(1, 0.7);
+  Rng rng(1);
+  EXPECT_EQ(z.Sample(rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+// The paper's w-zipf stream uses slope 0.5; head mass should dominate the
+// tail but not overwhelmingly.
+TEST(ZipfTest, HalfSlopeHeadMass) {
+  ZipfSampler z(315, 0.5);
+  EXPECT_GT(z.Pmf(0), z.Pmf(314) * 10);
+  EXPECT_LT(z.Pmf(0), 0.1);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtilTest, AsciiLower) {
+  EXPECT_EQ(AsciiLower("MiXeD Case-42"), "mixed case-42");
+  EXPECT_EQ(AsciiLower(""), "");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,,c", ","),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("  a b ", " "),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitString("", ",").empty());
+  EXPECT_TRUE(SplitString(",,,", ",").empty());
+}
+
+TEST(StringUtilTest, SplitMultipleDelims) {
+  EXPECT_EQ(SplitString("a,b;c", ",;"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("bar", "foobar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_NEAR(h.StdDev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(9.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Summary(), "count=0");
+}
+
+TEST(HistogramTest, PercentileAfterInterleavedAdds) {
+  Histogram h;
+  for (int i = 100; i >= 1; --i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 95.0);
+  h.Add(1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(2.0);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,349 @@
+// Unit and property tests for the Chord DHT: identifier-space arithmetic,
+// ring construction (protocol join vs oracle), routing, hop complexity,
+// and churn/repair behaviour.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dht/chord.h"
+#include "dht/id_space.h"
+
+namespace sprite::dht {
+namespace {
+
+// ---------------------------------------------------------------- IdSpace
+
+TEST(IdSpaceTest, TruncateMasksToBits) {
+  IdSpace s(8);
+  EXPECT_EQ(s.Truncate(0x1234), 0x34u);
+  EXPECT_EQ(s.mask(), 0xffu);
+  EXPECT_EQ(s.bits(), 8);
+}
+
+TEST(IdSpaceTest, SixtyFourBitSpace) {
+  IdSpace s(64);
+  EXPECT_EQ(s.Truncate(~0ULL), ~0ULL);
+  EXPECT_EQ(s.Add(~0ULL, 1), 0u);
+}
+
+TEST(IdSpaceTest, AddWrapsModulo) {
+  IdSpace s(8);
+  EXPECT_EQ(s.Add(250, 10), 4u);
+  EXPECT_EQ(s.Add(0, 255), 255u);
+}
+
+TEST(IdSpaceTest, PowerOfTwo) {
+  IdSpace s(8);
+  EXPECT_EQ(s.PowerOfTwo(0), 1u);
+  EXPECT_EQ(s.PowerOfTwo(7), 128u);
+}
+
+TEST(IdSpaceTest, DistanceIsClockwise) {
+  IdSpace s(8);
+  EXPECT_EQ(s.Distance(10, 20), 10u);
+  EXPECT_EQ(s.Distance(20, 10), 246u);
+  EXPECT_EQ(s.Distance(5, 5), 0u);
+}
+
+TEST(IdSpaceTest, OpenIntervalNoWrap) {
+  IdSpace s(8);
+  EXPECT_TRUE(s.InOpenInterval(5, 1, 10));
+  EXPECT_FALSE(s.InOpenInterval(1, 1, 10));
+  EXPECT_FALSE(s.InOpenInterval(10, 1, 10));
+  EXPECT_FALSE(s.InOpenInterval(11, 1, 10));
+}
+
+TEST(IdSpaceTest, OpenIntervalWrapsZero) {
+  IdSpace s(8);
+  EXPECT_TRUE(s.InOpenInterval(250, 200, 10));
+  EXPECT_TRUE(s.InOpenInterval(5, 200, 10));
+  EXPECT_FALSE(s.InOpenInterval(100, 200, 10));
+}
+
+TEST(IdSpaceTest, DegenerateOpenIntervalIsAllButEndpoint) {
+  IdSpace s(8);
+  EXPECT_TRUE(s.InOpenInterval(1, 7, 7));
+  EXPECT_FALSE(s.InOpenInterval(7, 7, 7));
+}
+
+TEST(IdSpaceTest, HalfOpenInterval) {
+  IdSpace s(8);
+  EXPECT_TRUE(s.InHalfOpenInterval(10, 1, 10));
+  EXPECT_FALSE(s.InHalfOpenInterval(1, 1, 10));
+  EXPECT_TRUE(s.InHalfOpenInterval(3, 250, 10));   // wrap
+  EXPECT_TRUE(s.InHalfOpenInterval(99, 42, 42));   // single node owns all
+}
+
+TEST(IdSpaceTest, KeyForStringIsDeterministicAndInSpace) {
+  IdSpace s(16);
+  EXPECT_EQ(s.KeyForString("term"), s.KeyForString("term"));
+  EXPECT_LE(s.KeyForString("term"), s.mask());
+  EXPECT_NE(s.KeyForString("a"), s.KeyForString("b"));
+}
+
+// ------------------------------------------------------------- ChordRing
+
+ChordRing MakeRing(size_t n, int bits = 16) {
+  ChordRing ring(ChordOptions{bits, 8});
+  for (size_t i = 0; i < n; ++i) {
+    auto id = ring.Join("node" + std::to_string(i));
+    EXPECT_TRUE(id.ok());
+  }
+  return ring;
+}
+
+TEST(ChordRingTest, SingletonOwnsEverything) {
+  ChordRing ring;
+  auto id = ring.JoinWithId(42, "solo");
+  ASSERT_TRUE(id.ok());
+  auto res = ring.FindSuccessor(42, 7);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->node, 42u);
+  EXPECT_EQ(res->hops, 0);
+  auto oracle = ring.ResponsibleNode(7);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle.value(), 42u);
+}
+
+TEST(ChordRingTest, JoinWithIdRejectsCollision) {
+  ChordRing ring;
+  ASSERT_TRUE(ring.JoinWithId(1).ok());
+  EXPECT_EQ(ring.JoinWithId(1).status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ChordRingTest, EmptyRingLookupFails) {
+  ChordRing ring;
+  EXPECT_FALSE(ring.Lookup(5).ok());
+  EXPECT_FALSE(ring.ResponsibleNode(5).ok());
+}
+
+TEST(ChordRingTest, TwoNodesSplitTheRing) {
+  ChordRing ring(ChordOptions{8, 4});
+  ASSERT_TRUE(ring.JoinWithId(10).ok());
+  ASSERT_TRUE(ring.JoinWithId(200).ok());
+  EXPECT_EQ(ring.ResponsibleNode(5).value(), 10u);
+  EXPECT_EQ(ring.ResponsibleNode(10).value(), 10u);
+  EXPECT_EQ(ring.ResponsibleNode(11).value(), 200u);
+  EXPECT_EQ(ring.ResponsibleNode(200).value(), 200u);
+  EXPECT_EQ(ring.ResponsibleNode(201).value(), 10u);  // wraps
+}
+
+TEST(ChordRingTest, ProtocolJoinsProduceCorrectSuccessorChain) {
+  // Nodes joined one by one via the protocol (no BuildPerfect) must have
+  // correct successor pointers.
+  ChordRing ring = MakeRing(32);
+  std::vector<uint64_t> ids = ring.AliveIds();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const ChordNode* n = ring.node(ids[i]);
+    EXPECT_EQ(n->successor, ids[(i + 1) % ids.size()]) << "node " << ids[i];
+  }
+}
+
+TEST(ChordRingTest, ProtocolLookupAgreesWithOracleEverywhere) {
+  ChordRing ring = MakeRing(48);
+  ring.StabilizeAll(2);
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint64_t key = ring.space().Truncate(rng.NextUint64());
+    auto via_protocol = ring.Lookup(key);
+    ASSERT_TRUE(via_protocol.ok());
+    EXPECT_EQ(via_protocol->node, ring.ResponsibleNode(key).value())
+        << "key " << key;
+  }
+}
+
+TEST(ChordRingTest, BuildPerfectMatchesProtocolTables) {
+  // Build one ring via protocol + stabilization and another via the oracle;
+  // their routing tables must agree.
+  ChordRing protocol_ring = MakeRing(24);
+  protocol_ring.StabilizeAll(3);
+
+  ChordRing oracle_ring(ChordOptions{16, 8});
+  for (size_t i = 0; i < 24; ++i) {
+    ASSERT_TRUE(oracle_ring.Join("node" + std::to_string(i)).ok());
+  }
+  oracle_ring.BuildPerfect();
+
+  for (uint64_t id : protocol_ring.AliveIds()) {
+    const ChordNode* a = protocol_ring.node(id);
+    const ChordNode* b = oracle_ring.node(id);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->successor, b->successor) << id;
+    EXPECT_EQ(a->fingers, b->fingers) << id;
+    ASSERT_TRUE(a->predecessor.has_value());
+    EXPECT_EQ(*a->predecessor, *b->predecessor) << id;
+  }
+}
+
+TEST(ChordRingTest, LookupFromEveryOriginFindsSameOwner) {
+  ChordRing ring = MakeRing(16);
+  ring.BuildPerfect();
+  const uint64_t key = ring.space().KeyForString("shared-key");
+  const uint64_t expected = ring.ResponsibleNode(key).value();
+  for (uint64_t origin : ring.AliveIds()) {
+    auto res = ring.FindSuccessor(origin, key);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res->node, expected) << "origin " << origin;
+  }
+}
+
+TEST(ChordRingTest, KeyEqualToNodeIdBelongsToThatNode) {
+  ChordRing ring(ChordOptions{8, 4});
+  ASSERT_TRUE(ring.JoinWithId(10).ok());
+  ASSERT_TRUE(ring.JoinWithId(100).ok());
+  ring.BuildPerfect();
+  EXPECT_EQ(ring.FindSuccessor(100, 10)->node, 10u);
+  EXPECT_EQ(ring.FindSuccessor(10, 10)->node, 10u);
+}
+
+TEST(ChordRingTest, HopCountIsLogarithmic) {
+  // Theoretical expectation: ~ (1/2) log2 N hops in a converged ring.
+  for (size_t n : {64u, 256u}) {
+    ChordRing ring = MakeRing(n, 24);
+    ring.BuildPerfect();
+    ring.ClearStats();
+    Rng rng(1234);
+    for (int i = 0; i < 500; ++i) {
+      auto res = ring.Lookup(ring.space().Truncate(rng.NextUint64()));
+      ASSERT_TRUE(res.ok());
+    }
+    const double mean_hops = ring.stats().hops.Mean();
+    const double log2n = std::log2(static_cast<double>(n));
+    EXPECT_GT(mean_hops, 0.25 * log2n) << n;
+    EXPECT_LT(mean_hops, 1.25 * log2n) << n;
+  }
+}
+
+TEST(ChordRingTest, StatsCountLookups) {
+  ChordRing ring = MakeRing(8);
+  ring.BuildPerfect();
+  ring.ClearStats();
+  (void)ring.Lookup(123);
+  (void)ring.Lookup(456);
+  EXPECT_EQ(ring.stats().lookups, 2u);
+  EXPECT_EQ(ring.stats().hops.count(), 2u);
+}
+
+TEST(ChordRingTest, SuccessorsOfExcludesSelfAndWraps) {
+  ChordRing ring(ChordOptions{8, 4});
+  for (uint64_t id : {10u, 20u, 30u, 200u}) {
+    ASSERT_TRUE(ring.JoinWithId(id).ok());
+  }
+  auto succs = ring.SuccessorsOf(200, 3);
+  EXPECT_EQ(succs, (std::vector<uint64_t>{10, 20, 30}));
+  auto two = ring.SuccessorsOf(10, 2);
+  EXPECT_EQ(two, (std::vector<uint64_t>{20, 30}));
+  // Requesting more than available returns all others.
+  auto all = ring.SuccessorsOf(10, 99);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(ChordRingTest, FailedNodeIsRoutedAround) {
+  ChordRing ring = MakeRing(32);
+  ring.BuildPerfect();
+  std::vector<uint64_t> ids = ring.AliveIds();
+  const uint64_t victim = ids[ids.size() / 2];
+  ASSERT_TRUE(ring.Fail(victim).ok());
+  EXPECT_EQ(ring.num_alive(), 31u);
+
+  // Keys previously owned by the victim now belong to its successor.
+  const uint64_t key = victim;  // the node id itself is such a key
+  auto oracle = ring.ResponsibleNode(key);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NE(oracle.value(), victim);
+
+  auto res = ring.Lookup(key);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->node, oracle.value());
+}
+
+TEST(ChordRingTest, MassFailureRepairedByStabilization) {
+  ChordRing ring = MakeRing(64);
+  ring.BuildPerfect();
+  std::vector<uint64_t> ids = ring.AliveIds();
+  Rng rng(5);
+  rng.Shuffle(ids);
+  for (size_t i = 0; i < 16; ++i) ASSERT_TRUE(ring.Fail(ids[i]).ok());
+  ring.StabilizeAll(3);
+
+  Rng key_rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t key = ring.space().Truncate(key_rng.NextUint64());
+    auto res = ring.Lookup(key);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res->node, ring.ResponsibleNode(key).value());
+  }
+}
+
+TEST(ChordRingTest, GracefulLeavePatchesNeighbors) {
+  ChordRing ring = MakeRing(16);
+  ring.BuildPerfect();
+  std::vector<uint64_t> ids = ring.AliveIds();
+  const uint64_t leaver = ids[5];
+  const uint64_t pred = ids[4];
+  const uint64_t succ = ids[6];
+  ASSERT_TRUE(ring.Leave(leaver).ok());
+  EXPECT_EQ(ring.node(pred)->successor, succ);
+  ASSERT_TRUE(ring.node(succ)->predecessor.has_value());
+  EXPECT_EQ(*ring.node(succ)->predecessor, pred);
+}
+
+TEST(ChordRingTest, FailUnknownNodeIsNotFound) {
+  ChordRing ring = MakeRing(4);
+  EXPECT_TRUE(ring.Fail(0xdeadbeef).IsNotFound());
+  std::vector<uint64_t> ids = ring.AliveIds();
+  ASSERT_TRUE(ring.Fail(ids[0]).ok());
+  EXPECT_TRUE(ring.Fail(ids[0]).IsNotFound());  // already dead
+}
+
+TEST(ChordRingTest, LookupFromDeadOriginRejected) {
+  ChordRing ring = MakeRing(4);
+  ring.BuildPerfect();
+  std::vector<uint64_t> ids = ring.AliveIds();
+  ASSERT_TRUE(ring.Fail(ids[0]).ok());
+  EXPECT_TRUE(ring.FindSuccessor(ids[0], 1).status().IsInvalidArgument());
+}
+
+TEST(ChordRingTest, JoinAfterChurnStillCorrect) {
+  ChordRing ring = MakeRing(16);
+  ring.BuildPerfect();
+  std::vector<uint64_t> ids = ring.AliveIds();
+  ASSERT_TRUE(ring.Fail(ids[3]).ok());
+  ring.StabilizeAll(2);
+  ASSERT_TRUE(ring.Join("latecomer").ok());
+  ring.StabilizeAll(2);
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t key = ring.space().Truncate(rng.NextUint64());
+    auto res = ring.Lookup(key);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res->node, ring.ResponsibleNode(key).value());
+  }
+}
+
+// Parameterized protocol-vs-oracle agreement across ring sizes.
+class ChordSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChordSizeSweep, RoutingMatchesOracle) {
+  ChordRing ring = MakeRing(GetParam(), 20);
+  ring.StabilizeAll(2);
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t key = ring.space().Truncate(rng.NextUint64());
+    auto res = ring.Lookup(key);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res->node, ring.ResponsibleNode(key).value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 17, 33, 100));
+
+}  // namespace
+}  // namespace sprite::dht

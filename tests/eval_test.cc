@@ -1,0 +1,125 @@
+// Tests for the experiment harness: test-bed construction, training, and
+// evaluation plumbing on a reduced-scale dataset.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace sprite::eval {
+namespace {
+
+ExperimentOptions SmallExperiment() {
+  ExperimentOptions o;
+  o.corpus.seed = 21;
+  o.corpus.vocabulary_size = 3000;
+  o.corpus.background_head = 60;
+  o.corpus.num_topics = 10;
+  o.corpus.topic_core_size = 60;
+  o.corpus.num_docs = 400;
+  o.corpus.num_base_queries = 10;
+  o.corpus.query_min_terms = 3;
+  o.corpus.query_max_terms = 5;
+  o.generator.rank_cutoff = 200;
+  return o;
+}
+
+core::SpriteConfig SmallSprite() {
+  core::SpriteConfig c;
+  c.num_peers = 32;
+  c.initial_terms = 5;
+  c.terms_per_iteration = 5;
+  c.max_index_terms = 20;
+  return c;
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bed_ = new TestBed(TestBed::Build(SmallExperiment()));
+  }
+  static void TearDownTestSuite() {
+    delete bed_;
+    bed_ = nullptr;
+  }
+  static TestBed* bed_;
+};
+
+TestBed* EvalTest::bed_ = nullptr;
+
+TEST_F(EvalTest, BedHasExpectedShape) {
+  EXPECT_EQ(bed_->corpus().num_docs(), 400u);
+  EXPECT_EQ(bed_->workload().queries.size(), 100u);
+  EXPECT_EQ(bed_->split().train.size(), 50u);
+  EXPECT_EQ(bed_->split().test.size(), 50u);
+  EXPECT_EQ(bed_->centralized().num_docs(), 400u);
+}
+
+TEST_F(EvalTest, TrainSystemSharesEverythingAndLearns) {
+  core::SpriteSystem system(SmallSprite());
+  ASSERT_TRUE(TrainSystem(system, *bed_, bed_->split().train, 3).ok());
+  EXPECT_EQ(system.current_seq(), bed_->split().train.size());
+  // 5 initial + 3x5 learned, capped by what was actually learnable.
+  const auto* terms = system.IndexTermsOf(0);
+  ASSERT_NE(terms, nullptr);
+  EXPECT_GE(terms->size(), 5u);
+  EXPECT_LE(terms->size(), 20u);
+}
+
+TEST_F(EvalTest, EvaluateProducesRatiosInRange) {
+  core::SpriteSystem system(SmallSprite());
+  ASSERT_TRUE(TrainSystem(system, *bed_, bed_->split().train, 3).ok());
+  EvalResult r = EvaluateSystem(system, *bed_, bed_->split().test, 20);
+  EXPECT_GE(r.system.precision, 0.0);
+  EXPECT_LE(r.system.precision, 1.0);
+  EXPECT_GE(r.centralized.precision, 0.0);
+  EXPECT_LE(r.centralized.precision, 1.0);
+  EXPECT_GT(r.centralized.recall, 0.0) << "centralized must find something";
+  EXPECT_GE(r.ratio.precision, 0.0);
+  // A 20-term P2P index cannot beat perfect global knowledge by much;
+  // allow slack for small-sample noise.
+  EXPECT_LE(r.ratio.precision, 1.3);
+}
+
+TEST_F(EvalTest, LearningImprovesOverNoLearning) {
+  core::SpriteConfig cold_config = SmallSprite();
+  core::SpriteSystem cold(cold_config);
+  ASSERT_TRUE(TrainSystem(cold, *bed_, bed_->split().train, 0).ok());
+  EvalResult no_learning =
+      EvaluateSystem(cold, *bed_, bed_->split().test, 20);
+
+  core::SpriteSystem warm(SmallSprite());
+  ASSERT_TRUE(TrainSystem(warm, *bed_, bed_->split().train, 3).ok());
+  EvalResult learned = EvaluateSystem(warm, *bed_, bed_->split().test, 20);
+
+  EXPECT_GE(learned.system.recall, no_learning.system.recall);
+}
+
+TEST_F(EvalTest, WeightedEvaluationUsesWeights) {
+  core::SpriteSystem system(SmallSprite());
+  ASSERT_TRUE(TrainSystem(system, *bed_, bed_->split().train, 1).ok());
+  const std::vector<size_t> queries{bed_->split().test[0],
+                                    bed_->split().test[1]};
+  // All weight on the first query == evaluating only the first query.
+  std::vector<double> w{1.0, 0.0};
+  EvalResult weighted = EvaluateSystem(system, *bed_, queries, 20, &w);
+  EvalResult only_first =
+      EvaluateSystem(system, *bed_, {queries[0]}, 20);
+  EXPECT_DOUBLE_EQ(weighted.system.precision, only_first.system.precision);
+  EXPECT_DOUBLE_EQ(weighted.centralized.recall, only_first.centralized.recall);
+}
+
+TEST_F(EvalTest, DeterministicAcrossRuns) {
+  core::SpriteSystem a(SmallSprite());
+  ASSERT_TRUE(TrainSystem(a, *bed_, bed_->split().train, 2).ok());
+  EvalResult ra = EvaluateSystem(a, *bed_, bed_->split().test, 20);
+
+  core::SpriteSystem b(SmallSprite());
+  ASSERT_TRUE(TrainSystem(b, *bed_, bed_->split().train, 2).ok());
+  EvalResult rb = EvaluateSystem(b, *bed_, bed_->split().test, 20);
+
+  EXPECT_DOUBLE_EQ(ra.system.precision, rb.system.precision);
+  EXPECT_DOUBLE_EQ(ra.system.recall, rb.system.recall);
+}
+
+}  // namespace
+}  // namespace sprite::eval

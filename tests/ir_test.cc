@@ -1,0 +1,252 @@
+// Unit tests for src/ir: ranked lists, similarity formulas, the
+// centralized baseline index, and precision/recall metrics.
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "ir/centralized_index.h"
+#include "ir/metrics.h"
+#include "ir/ranked_list.h"
+#include "ir/similarity.h"
+
+namespace sprite::ir {
+namespace {
+
+using corpus::DocId;
+using corpus::Query;
+
+text::TermVector TV(const std::vector<std::string>& tokens) {
+  return text::TermVector::FromTokens(tokens);
+}
+
+// -------------------------------------------------------------- RankedList
+
+TEST(RankedListTest, SortsByScoreDescThenDocAsc) {
+  RankedList list{{3, 0.5}, {1, 0.9}, {2, 0.5}, {0, 0.1}};
+  SortRankedList(list);
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0].doc, 1u);
+  EXPECT_EQ(list[1].doc, 2u);  // tie at 0.5 -> smaller doc id first
+  EXPECT_EQ(list[2].doc, 3u);
+  EXPECT_EQ(list[3].doc, 0u);
+}
+
+TEST(RankedListTest, TruncatesToK) {
+  RankedList list{{1, 3.0}, {2, 2.0}, {3, 1.0}};
+  SortRankedList(list, 2);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].doc, 1u);
+}
+
+TEST(RankedListTest, ZeroKeepsAll) {
+  RankedList list{{1, 3.0}, {2, 2.0}};
+  SortRankedList(list, 0);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(RankedListTest, FindRank) {
+  RankedList list{{5, 3.0}, {7, 2.0}};
+  EXPECT_EQ(FindRank(list, 5), 0);
+  EXPECT_EQ(FindRank(list, 7), 1);
+  EXPECT_EQ(FindRank(list, 9), -1);
+}
+
+// -------------------------------------------------------------- Similarity
+
+TEST(SimilarityTest, IdfBasics) {
+  EXPECT_DOUBLE_EQ(Idf(1000.0, 1), 3.0);      // log10(1000)
+  EXPECT_DOUBLE_EQ(Idf(1000.0, 10), 2.0);
+  EXPECT_DOUBLE_EQ(Idf(1000.0, 0), 0.0);      // unseen term
+  EXPECT_DOUBLE_EQ(Idf(10.0, 10), 0.0);       // everywhere -> no signal
+  EXPECT_DOUBLE_EQ(Idf(10.0, 20), 0.0);       // df > N clamps to 0
+}
+
+TEST(SimilarityTest, TfIdfWeight) {
+  EXPECT_DOUBLE_EQ(TfIdfWeight(0.5, 1000.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(TfIdfWeight(0.0, 1000.0, 10), 0.0);
+}
+
+TEST(SimilarityTest, LeeNormalization) {
+  EXPECT_DOUBLE_EQ(LeeNormalize(6.0, 9), 2.0);
+  EXPECT_DOUBLE_EQ(LeeNormalize(1.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LeeNormalize(5.0, 1), 5.0);
+}
+
+// -------------------------------------------------------- CentralizedIndex
+
+class CentralizedIndexTest : public ::testing::Test {
+ protected:
+  CentralizedIndexTest() {
+    // doc0 is about cats, doc1 about dogs, doc2 mixed, doc3 unrelated.
+    corpus_.AddDocument(TV({"cat", "cat", "cat", "pet"}));
+    corpus_.AddDocument(TV({"dog", "dog", "pet", "leash"}));
+    corpus_.AddDocument(TV({"cat", "dog", "pet", "vet"}));
+    corpus_.AddDocument(TV({"car", "road", "fuel"}));
+    index_ = std::make_unique<CentralizedIndex>(corpus_);
+  }
+
+  corpus::Corpus corpus_;
+  std::unique_ptr<CentralizedIndex> index_;
+};
+
+TEST_F(CentralizedIndexTest, ExactDocFreq) {
+  EXPECT_EQ(index_->DocFreq("cat"), 2u);
+  EXPECT_EQ(index_->DocFreq("pet"), 3u);
+  EXPECT_EQ(index_->DocFreq("car"), 1u);
+  EXPECT_EQ(index_->DocFreq("nothing"), 0u);
+  EXPECT_EQ(index_->num_docs(), 4u);
+}
+
+TEST_F(CentralizedIndexTest, SingleTermQueryRanksByTf) {
+  RankedList r = index_->Search(Query{0, {"cat"}}, 10);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].doc, 0u);  // three cats beats one cat
+  EXPECT_EQ(r[1].doc, 2u);
+  EXPECT_GT(r[0].score, r[1].score);
+}
+
+TEST_F(CentralizedIndexTest, MultiTermQueryFindsUnionScoredByOverlap) {
+  RankedList r = index_->Search(Query{0, {"cat", "dog"}}, 10);
+  ASSERT_EQ(r.size(), 3u);
+  // doc2 contains both terms; docs 0 and 1 only one each but with higher
+  // tf. All three must appear.
+  std::unordered_set<DocId> found;
+  for (const auto& e : r) found.insert(e.doc);
+  EXPECT_TRUE(found.count(0) && found.count(1) && found.count(2));
+}
+
+TEST_F(CentralizedIndexTest, UnknownTermsYieldEmpty) {
+  EXPECT_TRUE(index_->Search(Query{0, {"unicorn"}}, 10).empty());
+}
+
+TEST_F(CentralizedIndexTest, KLimitsResults) {
+  RankedList r = index_->Search(Query{0, {"pet"}}, 2);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(CentralizedIndexTest, ZeroKReturnsFullList) {
+  RankedList r = index_->Search(Query{0, {"pet"}}, 0);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST_F(CentralizedIndexTest, DuplicateQueryTermsDoNotCrash) {
+  RankedList a = index_->Search(Query{0, {"cat"}}, 10);
+  RankedList b = index_->Search(Query{0, {"cat", "cat"}}, 10);
+  // Doubling a term scales scores but must not change the ordering.
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].doc, b[i].doc);
+}
+
+TEST_F(CentralizedIndexTest, StopTermPresentEverywhereIsIgnored) {
+  corpus::Corpus corpus;
+  corpus.AddDocument(TV({"common", "alpha"}));
+  corpus.AddDocument(TV({"common", "beta"}));
+  CentralizedIndex index(corpus);
+  // "common" has df == N -> idf 0 -> contributes nothing.
+  EXPECT_TRUE(index.Search(Query{0, {"common"}}, 10).empty());
+}
+
+TEST_F(CentralizedIndexTest, LongerDocumentsPenalizedByNormalization) {
+  corpus::Corpus corpus;
+  corpus.AddDocument(TV({"gold"}));                          // short, pure
+  corpus.AddDocument(TV({"gold", "noise", "filler", "junk",  // diluted
+                         "more", "words", "here"}));
+  corpus.AddDocument(TV({"unrelated"}));  // keeps df("gold") < N
+  CentralizedIndex index(corpus);
+  RankedList r = index.Search(Query{0, {"gold"}}, 10);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].doc, 0u);
+}
+
+// ----------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, EvaluateTopKCountsHits) {
+  RankedList results{{1, .9}, {2, .8}, {3, .7}, {4, .6}};
+  std::unordered_set<DocId> relevant{2, 4, 9};
+  PrecisionRecall pr = EvaluateTopK(results, 4, relevant);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);          // 2 of 4
+  EXPECT_NEAR(pr.recall, 2.0 / 3.0, 1e-12);     // 2 of 3 relevant
+}
+
+TEST(MetricsTest, PrecisionDenominatorIsRequestedK) {
+  // The paper defines precision = K'/K with K the number of requested
+  // answers; a short result list cannot inflate precision.
+  RankedList results{{1, .9}};
+  std::unordered_set<DocId> relevant{1};
+  PrecisionRecall pr = EvaluateTopK(results, 10, relevant);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.1);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(MetricsTest, EmptyRelevantSetGivesZeroRecall) {
+  RankedList results{{1, .9}};
+  PrecisionRecall pr = EvaluateTopK(results, 1, {});
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+}
+
+TEST(MetricsTest, CutoffRestrictsWindow) {
+  RankedList results{{1, .9}, {2, .8}};
+  std::unordered_set<DocId> relevant{2};
+  PrecisionRecall pr = EvaluateTopK(results, 1, relevant);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);  // the hit is at rank 2
+}
+
+TEST(MetricsTest, MeanPrecisionRecall) {
+  std::vector<PrecisionRecall> prs{{1.0, 0.5}, {0.0, 0.0}, {0.5, 1.0}};
+  PrecisionRecall mean = MeanPrecisionRecall(prs);
+  EXPECT_DOUBLE_EQ(mean.precision, 0.5);
+  EXPECT_DOUBLE_EQ(mean.recall, 0.5);
+  EXPECT_DOUBLE_EQ(MeanPrecisionRecall({}).precision, 0.0);
+}
+
+TEST(MetricsTest, WeightedMean) {
+  std::vector<PrecisionRecall> prs{{1.0, 1.0}, {0.0, 0.0}};
+  std::vector<double> weights{3.0, 1.0};
+  PrecisionRecall mean = WeightedMeanPrecisionRecall(prs, weights);
+  EXPECT_DOUBLE_EQ(mean.precision, 0.75);
+  EXPECT_DOUBLE_EQ(mean.recall, 0.75);
+}
+
+TEST(MetricsTest, WeightedMeanZeroWeightsIsZero) {
+  std::vector<PrecisionRecall> prs{{1.0, 1.0}};
+  std::vector<double> weights{0.0};
+  PrecisionRecall mean = WeightedMeanPrecisionRecall(prs, weights);
+  EXPECT_DOUBLE_EQ(mean.precision, 0.0);
+}
+
+TEST(MetricsTest, RatioHandlesZeroBaseline) {
+  PrecisionRecall system{0.4, 0.3};
+  PrecisionRecall baseline{0.5, 0.0};
+  PrecisionRecall ratio = Ratio(system, baseline);
+  EXPECT_DOUBLE_EQ(ratio.precision, 0.8);
+  EXPECT_DOUBLE_EQ(ratio.recall, 0.0);
+}
+
+// Property: precision and recall always land in [0, 1].
+class MetricsPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MetricsPropertyTest, BoundsHold) {
+  const size_t k = GetParam();
+  RankedList results;
+  std::unordered_set<DocId> relevant;
+  for (DocId d = 0; d < 20; ++d) {
+    results.push_back({d, 1.0 / (1.0 + d)});
+    if (d % 3 == 0) relevant.insert(d);
+  }
+  PrecisionRecall pr = EvaluateTopK(results, k, relevant);
+  EXPECT_GE(pr.precision, 0.0);
+  EXPECT_LE(pr.precision, 1.0);
+  EXPECT_GE(pr.recall, 0.0);
+  EXPECT_LE(pr.recall, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, MetricsPropertyTest,
+                         ::testing::Values(1, 2, 5, 10, 20, 50));
+
+}  // namespace
+}  // namespace sprite::ir

@@ -1,0 +1,68 @@
+// Unit tests for the P2P traffic accounting layer.
+
+#include <gtest/gtest.h>
+
+#include "p2p/message.h"
+#include "p2p/network.h"
+
+namespace sprite::p2p {
+namespace {
+
+TEST(MessageTest, NamesAreStable) {
+  EXPECT_EQ(MessageTypeName(MessageType::kPublishTerm), "PublishTerm");
+  EXPECT_EQ(MessageTypeName(MessageType::kLookupHop), "LookupHop");
+  EXPECT_EQ(MessageTypeName(MessageType::kPollResponse), "PollResponse");
+}
+
+TEST(NetworkStatsTest, StartsEmpty) {
+  NetworkStats stats;
+  EXPECT_EQ(stats.TotalMessages(), 0u);
+  EXPECT_EQ(stats.TotalBytes(), 0u);
+}
+
+TEST(NetworkAccountantTest, CountAddsHeaderBytes) {
+  NetworkAccountant net;
+  net.Count(MessageType::kPublishTerm, 100);
+  EXPECT_EQ(net.stats().MessagesOf(MessageType::kPublishTerm), 1u);
+  EXPECT_EQ(net.stats().BytesOf(MessageType::kPublishTerm),
+            kMessageHeaderBytes + 100);
+}
+
+TEST(NetworkAccountantTest, LookupHopsCountPerHop) {
+  NetworkAccountant net;
+  net.CountLookupHops(3);
+  net.CountLookupHops(0);   // no-op
+  net.CountLookupHops(-1);  // no-op
+  EXPECT_EQ(net.stats().MessagesOf(MessageType::kLookupHop), 3u);
+  EXPECT_EQ(net.stats().BytesOf(MessageType::kLookupHop),
+            3 * kLookupHopBytes);
+}
+
+TEST(NetworkAccountantTest, TotalsAggregateAcrossTypes) {
+  NetworkAccountant net;
+  net.Count(MessageType::kQueryRequest, 10);
+  net.Count(MessageType::kQueryResponse, 20);
+  net.CountLookupHops(2);
+  EXPECT_EQ(net.stats().TotalMessages(), 4u);
+  EXPECT_EQ(net.stats().TotalBytes(),
+            2 * kMessageHeaderBytes + 30 + 2 * kLookupHopBytes);
+}
+
+TEST(NetworkAccountantTest, ClearResets) {
+  NetworkAccountant net;
+  net.Count(MessageType::kReplicate, 5);
+  net.Clear();
+  EXPECT_EQ(net.stats().TotalMessages(), 0u);
+}
+
+TEST(NetworkStatsTest, ToStringListsNonZeroRowsAndTotal) {
+  NetworkAccountant net;
+  net.Count(MessageType::kHeartbeat, 1);
+  const std::string table = net.stats().ToString();
+  EXPECT_NE(table.find("Heartbeat"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  EXPECT_EQ(table.find("Replicate"), std::string::npos);  // zero row hidden
+}
+
+}  // namespace
+}  // namespace sprite::p2p

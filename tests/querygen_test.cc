@@ -1,0 +1,259 @@
+// Tests for the paper's query generator (Section 6.1) and the workload
+// helpers (train/test split, w/o-r and w-zipf streams, pattern groups).
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "corpus/synthetic.h"
+#include "ir/centralized_index.h"
+#include "querygen/query_generator.h"
+#include "querygen/workload.h"
+
+namespace sprite::querygen {
+namespace {
+
+class QueryGeneratorTest : public ::testing::Test {
+ protected:
+  QueryGeneratorTest() {
+    corpus::SyntheticCorpusOptions o;
+    o.seed = 11;
+    o.vocabulary_size = 3000;
+    o.background_head = 60;
+    o.num_topics = 10;
+    o.topic_core_size = 60;
+    o.num_docs = 400;
+    o.num_base_queries = 10;
+    o.query_min_terms = 3;
+    o.query_max_terms = 5;
+    dataset_ = corpus::SyntheticCorpusGenerator(o).Generate();
+    centralized_ =
+        std::make_unique<ir::CentralizedIndex>(dataset_.corpus);
+  }
+
+  GeneratedWorkload Generate(QueryGeneratorOptions options = {}) {
+    QueryGenerator generator(dataset_.corpus, *centralized_, options);
+    return generator.Generate(dataset_.base_queries, dataset_.judgments);
+  }
+
+  corpus::SyntheticDataset dataset_;
+  std::unique_ptr<ir::CentralizedIndex> centralized_;
+};
+
+TEST_F(QueryGeneratorTest, ProducesTenXQueries) {
+  GeneratedWorkload w = Generate();
+  // 10 originals x (1 + 9 derived) = 100, as in the paper's 63 -> 630.
+  EXPECT_EQ(w.queries.size(), 100u);
+  EXPECT_EQ(w.origin.size(), 100u);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(w.queries[i].id, i);
+  }
+}
+
+TEST_F(QueryGeneratorTest, OriginPointersAreConsistent) {
+  GeneratedWorkload w = Generate();
+  size_t originals = 0;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    const size_t o = w.origin[i];
+    EXPECT_LE(o, i);
+    EXPECT_EQ(w.origin[o], o);  // originals point at themselves
+    if (o == i) ++originals;
+  }
+  EXPECT_EQ(originals, 10u);
+}
+
+TEST_F(QueryGeneratorTest, DerivedQueriesRespectOverlap) {
+  QueryGeneratorOptions options;
+  options.overlap = 0.7;
+  GeneratedWorkload w = Generate(options);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    if (w.origin[i] == i) continue;  // skip originals
+    const corpus::Query& derived = w.queries[i];
+    const corpus::Query& original = w.queries[w.origin[i]];
+    size_t shared = 0;
+    for (const auto& t : derived.terms) {
+      if (original.ContainsTerm(t)) ++shared;
+    }
+    const size_t expect_keep = static_cast<size_t>(
+        std::lround(0.7 * static_cast<double>(original.size())));
+    // At least the kept fraction overlaps (replacements may coincide).
+    EXPECT_GE(shared, std::max<size_t>(1, expect_keep)) << "query " << i;
+    EXPECT_LE(derived.size(), original.size());
+  }
+}
+
+TEST_F(QueryGeneratorTest, FullOverlapReproducesOriginalTerms) {
+  QueryGeneratorOptions options;
+  options.overlap = 1.0;
+  GeneratedWorkload w = Generate(options);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    if (w.origin[i] == i) continue;
+    std::set<std::string> derived(w.queries[i].terms.begin(),
+                                  w.queries[i].terms.end());
+    std::set<std::string> original(w.queries[w.origin[i]].terms.begin(),
+                                   w.queries[w.origin[i]].terms.end());
+    EXPECT_EQ(derived, original) << i;
+  }
+}
+
+TEST_F(QueryGeneratorTest, DerivedQueriesHaveJudgments) {
+  GeneratedWorkload w = Generate();
+  size_t with_judgments = 0;
+  for (const auto& q : w.queries) {
+    if (w.judgments.NumRelevant(q.id) > 0) ++with_judgments;
+  }
+  // Nearly all derived queries should inherit a non-empty relevant set.
+  EXPECT_GT(with_judgments, w.queries.size() * 8 / 10);
+}
+
+TEST_F(QueryGeneratorTest, DerivedRelevantCountTracksOriginal) {
+  // Property (b) of Section 6.1: result distribution follows the original
+  // — an original with many answers yields derived queries with many.
+  GeneratedWorkload w = Generate();
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    if (w.origin[i] == i) continue;
+    const size_t original_count = w.judgments.NumRelevant(
+        w.queries[w.origin[i]].id);
+    const size_t derived_count = w.judgments.NumRelevant(w.queries[i].id);
+    EXPECT_LE(derived_count, original_count + 5) << i;
+  }
+}
+
+TEST_F(QueryGeneratorTest, SharedRelevantDocsExist) {
+  // Property (a): derived queries ought to share relevant documents with
+  // their original (that is what the training/testing split exploits).
+  GeneratedWorkload w = Generate();
+  size_t derived_total = 0, sharing = 0;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    if (w.origin[i] == i) continue;
+    ++derived_total;
+    const auto& orig_rel = w.judgments.Relevant(w.queries[w.origin[i]].id);
+    for (corpus::DocId d : w.judgments.Relevant(w.queries[i].id)) {
+      if (orig_rel.count(d) > 0) {
+        ++sharing;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(sharing, derived_total / 2);
+}
+
+TEST_F(QueryGeneratorTest, DeterministicForSameSeed) {
+  GeneratedWorkload a = Generate();
+  GeneratedWorkload b = Generate();
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].terms, b.queries[i].terms);
+  }
+}
+
+TEST_F(QueryGeneratorTest, SimilarTermsHaveNearbyDistribution) {
+  QueryGenerator generator(dataset_.corpus, *centralized_, {});
+  const std::string probe = dataset_.base_queries[0].terms[0];
+  auto similar = generator.SimilarTerms(probe);
+  ASSERT_EQ(similar.size(), 5u);
+  const double target = dataset_.corpus.Stats(probe).Distribution();
+  // All five neighbours must be closer to the target than the 50th nearest
+  // possible value (sanity: they really are near-neighbours).
+  std::vector<double> gaps;
+  for (const std::string& term : dataset_.corpus.Vocabulary()) {
+    if (term == probe) continue;
+    gaps.push_back(
+        std::abs(dataset_.corpus.Stats(term).Distribution() - target));
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const double bound = gaps[std::min<size_t>(gaps.size() - 1, 49)];
+  for (const auto& s : similar) {
+    EXPECT_NE(s, probe);
+    EXPECT_LE(std::abs(dataset_.corpus.Stats(s).Distribution() - target),
+              bound)
+        << s;
+  }
+}
+
+// ---------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, SplitTrainTestPartitions) {
+  Rng rng(3);
+  TrainTestSplit split = SplitTrainTest(100, 0.5, rng);
+  EXPECT_EQ(split.train.size(), 50u);
+  EXPECT_EQ(split.test.size(), 50u);
+  std::set<size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(WorkloadTest, SplitFractionExtremes) {
+  Rng rng(3);
+  TrainTestSplit none = SplitTrainTest(10, 0.0, rng);
+  EXPECT_TRUE(none.train.empty());
+  EXPECT_EQ(none.test.size(), 10u);
+  TrainTestSplit full = SplitTrainTest(10, 1.0, rng);
+  EXPECT_EQ(full.train.size(), 10u);
+  EXPECT_TRUE(full.test.empty());
+}
+
+TEST(WorkloadTest, StreamWithoutRepeatsIsPermutation) {
+  Rng rng(5);
+  std::vector<size_t> train{2, 4, 6, 8, 10};
+  auto stream = MakeStreamWithoutRepeats(train, rng);
+  EXPECT_EQ(stream.size(), train.size());
+  std::multiset<size_t> a(stream.begin(), stream.end());
+  std::multiset<size_t> b(train.begin(), train.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(WorkloadTest, ZipfStreamDrawsOnlyTrainingQueries) {
+  Rng rng(7);
+  std::vector<size_t> train{1, 3, 5, 7};
+  ZipfStream zs = MakeZipfStream(train, 200, 0.5, rng);
+  EXPECT_EQ(zs.issuances.size(), 200u);
+  for (size_t idx : zs.issuances) {
+    EXPECT_TRUE(std::find(train.begin(), train.end(), idx) != train.end());
+  }
+  ASSERT_EQ(zs.weights.size(), train.size());
+  double total = 0.0;
+  for (double w : zs.weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(WorkloadTest, ZipfStreamIsSkewed) {
+  Rng rng(9);
+  std::vector<size_t> train(50);
+  for (size_t i = 0; i < 50; ++i) train[i] = i;
+  ZipfStream zs = MakeZipfStream(train, 5000, 1.0, rng);
+  std::vector<size_t> counts(50, 0);
+  for (size_t idx : zs.issuances) ++counts[idx];
+  const size_t max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(max_count, 5000u / 50u * 3);  // heavily skewed vs uniform
+}
+
+TEST(WorkloadTest, ZipfStreamEmptyTrain) {
+  Rng rng(1);
+  ZipfStream zs = MakeZipfStream({}, 10, 0.5, rng);
+  EXPECT_TRUE(zs.issuances.empty());
+  EXPECT_TRUE(zs.weights.empty());
+}
+
+TEST_F(QueryGeneratorTest, SplitByOriginKeepsFamiliesTogether) {
+  GeneratedWorkload w = Generate();
+  Rng rng(13);
+  PatternGroups groups = SplitByOrigin(w, rng);
+  EXPECT_EQ(groups.group_a.size() + groups.group_b.size(),
+            w.queries.size());
+  std::unordered_set<size_t> a(groups.group_a.begin(), groups.group_a.end());
+  for (size_t i : groups.group_a) {
+    EXPECT_TRUE(a.count(w.origin[i]) > 0)
+        << "derived query separated from its original";
+  }
+  // Both groups hold whole families: 5 originals each for 10 originals.
+  EXPECT_EQ(groups.group_a.size(), 50u);
+  EXPECT_EQ(groups.group_b.size(), 50u);
+}
+
+}  // namespace
+}  // namespace sprite::querygen

@@ -1,0 +1,197 @@
+// Tests for the TREC-format loaders: SGML documents, topics, and qrels.
+
+#include <string>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "corpus/trec.h"
+
+namespace sprite::corpus {
+namespace {
+
+constexpr const char* kDocs = R"(
+<DOC>
+<DOCNO> FT911-1 </DOCNO>
+<HEADLINE> Peer to peer systems </HEADLINE>
+<TEXT>
+Distributed hash tables route lookups across peers.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO> FT911-2 </DOCNO>
+<TEXT>
+Text retrieval ranks documents with term weighting.
+</TEXT>
+<TEXT>
+A second text block also counts.
+</TEXT>
+</DOC>
+)";
+
+constexpr const char* kTopics = R"(
+<top>
+<num> Number: 301
+<title> distributed hash tables
+<desc> Description:
+Find documents about routing in DHT networks.
+</top>
+<top>
+<num> Number: 302
+<title> term weighting retrieval
+</top>
+)";
+
+constexpr const char* kQrels =
+    "301 0 FT911-1 1\n"
+    "301 0 FT911-2 0\n"
+    "302 0 FT911-2 2\n"
+    "302 0 UNKNOWN-9 1\n"
+    "999 0 FT911-1 1\n";
+
+class TrecTest : public ::testing::Test {
+ protected:
+  TrecTest() {
+    auto added =
+        LoadTrecDocumentsFromString(kDocs, analyzer_, corpus_, &docno_map_);
+    EXPECT_TRUE(added.ok());
+    EXPECT_EQ(added.value_or(0), 2u);
+    auto topics = ParseTrecTopicsFromString(kTopics);
+    EXPECT_TRUE(topics.ok());
+    topics_ = topics.value_or(std::vector<TrecTopic>{});
+    queries_ = TopicsToQueries(topics_, analyzer_, &query_map_);
+  }
+
+  text::Analyzer analyzer_;
+  Corpus corpus_;
+  std::unordered_map<std::string, DocId> docno_map_;
+  std::vector<TrecTopic> topics_;
+  std::vector<Query> queries_;
+  std::unordered_map<int, QueryId> query_map_;
+};
+
+TEST_F(TrecTest, DocumentsParsedWithDocnos) {
+  ASSERT_EQ(corpus_.num_docs(), 2u);
+  ASSERT_EQ(docno_map_.size(), 2u);
+  EXPECT_EQ(corpus_.doc(docno_map_.at("FT911-1")).title, "FT911-1");
+  EXPECT_TRUE(corpus_.doc(docno_map_.at("FT911-1")).ContainsTerm("rout"));
+  EXPECT_TRUE(corpus_.doc(docno_map_.at("FT911-1")).ContainsTerm("peer"));
+}
+
+TEST_F(TrecTest, MultipleTextBlocksConcatenate) {
+  const Document& doc = corpus_.doc(docno_map_.at("FT911-2"));
+  EXPECT_TRUE(doc.ContainsTerm("retriev"));
+  EXPECT_TRUE(doc.ContainsTerm("block"));  // from the second TEXT block
+}
+
+TEST_F(TrecTest, HeadlineContributesTerms) {
+  const Document& doc = corpus_.doc(docno_map_.at("FT911-1"));
+  EXPECT_TRUE(doc.ContainsTerm("system"));  // headline-only word
+}
+
+TEST_F(TrecTest, TopicsParsed) {
+  ASSERT_EQ(topics_.size(), 2u);
+  EXPECT_EQ(topics_[0].number, 301);
+  EXPECT_EQ(topics_[0].title, "distributed hash tables");
+  EXPECT_NE(topics_[0].description.find("routing"), std::string::npos);
+  EXPECT_EQ(topics_[1].number, 302);
+  EXPECT_TRUE(topics_[1].description.empty());
+}
+
+TEST_F(TrecTest, TopicsBecomeAnalyzedQueries) {
+  ASSERT_EQ(queries_.size(), 2u);
+  EXPECT_EQ(queries_[0].terms,
+            (std::vector<std::string>{"distribut", "hash", "tabl"}));
+  EXPECT_EQ(query_map_.at(301), queries_[0].id);
+  EXPECT_EQ(query_map_.at(302), queries_[1].id);
+}
+
+TEST_F(TrecTest, QrelsResolveAndFilter) {
+  RelevanceJudgments judgments;
+  auto recorded =
+      LoadTrecQrelsFromString(kQrels, docno_map_, query_map_, judgments);
+  ASSERT_TRUE(recorded.ok());
+  // 301/FT911-1 (rel 1) and 302/FT911-2 (rel 2). Zero-relevance, unknown
+  // docno and unknown topic lines are skipped.
+  EXPECT_EQ(recorded.value(), 2u);
+  EXPECT_TRUE(judgments.IsRelevant(query_map_.at(301),
+                                   docno_map_.at("FT911-1")));
+  EXPECT_FALSE(judgments.IsRelevant(query_map_.at(301),
+                                    docno_map_.at("FT911-2")));
+  EXPECT_TRUE(judgments.IsRelevant(query_map_.at(302),
+                                   docno_map_.at("FT911-2")));
+}
+
+TEST_F(TrecTest, MalformedQrelsRejected) {
+  RelevanceJudgments judgments;
+  auto recorded = LoadTrecQrelsFromString("301 0 FT911-1\n", docno_map_,
+                                          query_map_, judgments);
+  ASSERT_FALSE(recorded.ok());
+  EXPECT_EQ(recorded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TrecParsingTest, UnterminatedDocIsCorruption) {
+  text::Analyzer analyzer;
+  Corpus corpus;
+  auto r = LoadTrecDocumentsFromString("<DOC><DOCNO>X</DOCNO><TEXT>y</TEXT>",
+                                       analyzer, corpus, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TrecParsingTest, MissingDocnoIsCorruption) {
+  text::Analyzer analyzer;
+  Corpus corpus;
+  auto r = LoadTrecDocumentsFromString("<DOC><TEXT>y</TEXT></DOC>", analyzer,
+                                       corpus, nullptr);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(TrecParsingTest, LowercaseTagsAccepted) {
+  text::Analyzer analyzer;
+  Corpus corpus;
+  std::unordered_map<std::string, DocId> map;
+  auto r = LoadTrecDocumentsFromString(
+      "<doc><docno>d1</docno><text>database systems</text></doc>", analyzer,
+      corpus, &map);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1u);
+  EXPECT_TRUE(corpus.doc(map.at("d1")).ContainsTerm("databas"));
+}
+
+TEST(TrecParsingTest, StopwordOnlyDocumentSkipped) {
+  text::Analyzer analyzer;
+  Corpus corpus;
+  auto r = LoadTrecDocumentsFromString(
+      "<DOC><DOCNO>d1</DOCNO><TEXT>the a of is</TEXT></DOC>", analyzer,
+      corpus, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u);
+  EXPECT_EQ(corpus.num_docs(), 0u);
+}
+
+TEST(TrecParsingTest, EmptyInputYieldsNothing) {
+  text::Analyzer analyzer;
+  Corpus corpus;
+  EXPECT_EQ(LoadTrecDocumentsFromString("", analyzer, corpus, nullptr)
+                .value_or(99),
+            0u);
+  EXPECT_TRUE(ParseTrecTopicsFromString("").value_or(std::vector<TrecTopic>{
+                                            TrecTopic{}}).empty());
+}
+
+TEST(TrecParsingTest, MissingFilesAreNotFound) {
+  text::Analyzer analyzer;
+  Corpus corpus;
+  EXPECT_TRUE(LoadTrecDocuments("/no/such/file", analyzer, corpus, nullptr)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(LoadTrecTopics("/no/such/file").status().IsNotFound());
+  RelevanceJudgments judgments;
+  EXPECT_TRUE(LoadTrecQrels("/no/such/file", {}, {}, judgments)
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace sprite::corpus

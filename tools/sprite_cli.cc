@@ -1,0 +1,222 @@
+// sprite_cli — run the SPRITE system on your own data.
+//
+// Usage:
+//   sprite_cli search <corpus.tsv> "<keywords>" [options]
+//       Share a TSV corpus (<title>\t<text> per line) in a simulated
+//       SPRITE network and run one query, printing the ranked titles.
+//
+//   sprite_cli evaluate-trec <docs.sgml> <topics> <qrels> [options]
+//       Load a TREC collection + topics + qrels (e.g. OHSUMED, the
+//       paper's dataset), train SPRITE on half of the topics' queries,
+//       and report precision/recall against the centralized baseline for
+//       SPRITE and the eSearch baseline — i.e. reproduce the paper's
+//       Section 6 pipeline on real data.
+//
+// Common options:
+//   --peers=N     network size                (default 64)
+//   --terms=N     max index terms/document    (default 20)
+//   --iters=N     learning iterations         (default 3)
+//   --k=N         answers per query           (default 20)
+//   --seed=N      RNG seed                    (default 42)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/sprite_system.h"
+#include "corpus/loader.h"
+#include "corpus/trec.h"
+#include "ir/centralized_index.h"
+#include "ir/metrics.h"
+#include "querygen/workload.h"
+#include "text/analyzer.h"
+
+namespace {
+
+using namespace sprite;
+
+struct Options {
+  size_t peers = 64;
+  size_t terms = 20;
+  size_t iters = 3;
+  size_t k = 20;
+  uint64_t seed = 42;
+};
+
+Options ParseOptions(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    unsigned long long v = 0;
+    if (std::sscanf(argv[i], "--peers=%llu", &v) == 1) o.peers = v;
+    if (std::sscanf(argv[i], "--terms=%llu", &v) == 1) o.terms = v;
+    if (std::sscanf(argv[i], "--iters=%llu", &v) == 1) o.iters = v;
+    if (std::sscanf(argv[i], "--k=%llu", &v) == 1) o.k = v;
+    if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) o.seed = v;
+  }
+  return o;
+}
+
+core::SpriteConfig MakeConfig(const Options& o) {
+  core::SpriteConfig config;
+  config.num_peers = o.peers;
+  config.initial_terms = std::min<size_t>(5, o.terms);
+  config.terms_per_iteration = 5;
+  config.max_index_terms = o.terms;
+  config.seed = o.seed;
+  return config;
+}
+
+int CmdSearch(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: sprite_cli search <corpus.tsv> \"<keywords>\"\n");
+    return 2;
+  }
+  const Options options = ParseOptions(argc, argv, 4);
+  text::Analyzer analyzer;
+  corpus::Corpus corpus;
+  auto loaded = corpus::LoadCorpusFromTsv(argv[2], analyzer, corpus);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu documents (%zu distinct terms)\n", loaded.value(),
+              corpus.vocabulary_size());
+
+  core::SpriteSystem system(MakeConfig(options));
+  Status shared = system.ShareCorpus(corpus);
+  if (!shared.ok()) {
+    std::fprintf(stderr, "error: %s\n", shared.ToString().c_str());
+    return 1;
+  }
+
+  corpus::Query query;
+  query.id = 1;
+  query.terms = corpus::DedupTerms(analyzer.Analyze(argv[3]));
+  if (query.empty()) {
+    std::fprintf(stderr, "error: query is empty after analysis\n");
+    return 2;
+  }
+  std::printf("analyzed query:");
+  for (const auto& t : query.terms) std::printf(" %s", t.c_str());
+  std::printf("\n\n");
+
+  auto results = system.Search(query, options.k);
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  if (results->empty()) {
+    std::printf("no results (only the top-%zu terms of each document are "
+                "indexed;\nrepeated queries teach the owners — try "
+                "--iters and re-run programmatically)\n",
+                options.terms);
+    return 0;
+  }
+  for (size_t i = 0; i < results->size(); ++i) {
+    const auto& scored = (*results)[i];
+    std::printf("%3zu. %-32s %.4f\n", i + 1,
+                corpus.doc(scored.doc).title.c_str(), scored.score);
+  }
+  std::printf("\nDHT cost: %s\n", system.ring().stats().hops.Summary().c_str());
+  return 0;
+}
+
+int CmdEvaluateTrec(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: sprite_cli evaluate-trec <docs> <topics> <qrels>\n");
+    return 2;
+  }
+  const Options options = ParseOptions(argc, argv, 5);
+  text::Analyzer analyzer;
+
+  corpus::Corpus corpus;
+  std::unordered_map<std::string, corpus::DocId> docno_map;
+  auto docs = corpus::LoadTrecDocuments(argv[2], analyzer, corpus, &docno_map);
+  if (!docs.ok()) {
+    std::fprintf(stderr, "docs: %s\n", docs.status().ToString().c_str());
+    return 1;
+  }
+  auto topics = corpus::LoadTrecTopics(argv[3]);
+  if (!topics.ok()) {
+    std::fprintf(stderr, "topics: %s\n", topics.status().ToString().c_str());
+    return 1;
+  }
+  std::unordered_map<int, corpus::QueryId> query_map;
+  std::vector<corpus::Query> queries =
+      corpus::TopicsToQueries(topics.value(), analyzer, &query_map);
+  corpus::RelevanceJudgments judgments;
+  auto qrels =
+      corpus::LoadTrecQrels(argv[4], docno_map, query_map, judgments);
+  if (!qrels.ok()) {
+    std::fprintf(stderr, "qrels: %s\n", qrels.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu docs, %zu queries, %zu judgments\n", docs.value(),
+              queries.size(), qrels.value());
+
+  // Train/test split over the queries, as in Section 6.2.
+  Rng rng(options.seed);
+  querygen::TrainTestSplit split =
+      querygen::SplitTrainTest(queries.size(), 0.5, rng);
+
+  ir::CentralizedIndex centralized(corpus);
+  auto evaluate = [&](core::SpriteSystem& system) {
+    std::vector<ir::PrecisionRecall> sys_prs, central_prs;
+    for (size_t idx : split.test) {
+      const corpus::Query& q = queries[idx];
+      const auto& relevant = judgments.Relevant(q.id);
+      auto result = system.Search(q, options.k, /*record=*/false);
+      ir::RankedList list =
+          result.ok() ? std::move(result).value() : ir::RankedList{};
+      sys_prs.push_back(ir::EvaluateTopK(list, options.k, relevant));
+      central_prs.push_back(ir::EvaluateTopK(
+          centralized.Search(q, options.k), options.k, relevant));
+    }
+    ir::PrecisionRecall sys = ir::MeanPrecisionRecall(sys_prs);
+    ir::PrecisionRecall central = ir::MeanPrecisionRecall(central_prs);
+    ir::PrecisionRecall ratio = ir::Ratio(sys, central);
+    std::printf("  P %.3f (%.1f%% of centralized)  R %.3f (%.1f%%)\n",
+                sys.precision, 100 * ratio.precision, sys.recall,
+                100 * ratio.recall);
+  };
+
+  std::printf("\nSPRITE (%zu terms, %zu learning iterations):\n",
+              options.terms, options.iters);
+  core::SpriteSystem sprite_system(MakeConfig(options));
+  for (size_t idx : split.train) sprite_system.RecordQuery(queries[idx]);
+  SPRITE_CHECK_OK(sprite_system.ShareCorpus(corpus));
+  for (size_t i = 0; i < options.iters; ++i) {
+    sprite_system.RunLearningIteration();
+  }
+  evaluate(sprite_system);
+
+  std::printf("eSearch (top-%zu frequent terms):\n", options.terms);
+  core::SpriteSystem esearch(
+      core::MakeESearchConfig(MakeConfig(options), options.terms));
+  SPRITE_CHECK_OK(esearch.ShareCorpus(corpus));
+  evaluate(esearch);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "search") == 0) {
+    return CmdSearch(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "evaluate-trec") == 0) {
+    return CmdEvaluateTrec(argc, argv);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sprite_cli search <corpus.tsv> \"<keywords>\" [options]\n"
+               "  sprite_cli evaluate-trec <docs> <topics> <qrels> "
+               "[options]\n"
+               "options: --peers=N --terms=N --iters=N --k=N --seed=N\n");
+  return 2;
+}
