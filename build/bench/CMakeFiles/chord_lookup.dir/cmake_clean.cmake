@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_lookup.dir/chord_lookup.cc.o"
+  "CMakeFiles/chord_lookup.dir/chord_lookup.cc.o.d"
+  "chord_lookup"
+  "chord_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

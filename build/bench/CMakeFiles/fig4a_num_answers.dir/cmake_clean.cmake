@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_num_answers.dir/fig4a_num_answers.cc.o"
+  "CMakeFiles/fig4a_num_answers.dir/fig4a_num_answers.cc.o.d"
+  "fig4a_num_answers"
+  "fig4a_num_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_num_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_num_terms.dir/fig4b_num_terms.cc.o"
+  "CMakeFiles/fig4b_num_terms.dir/fig4b_num_terms.cc.o.d"
+  "fig4b_num_terms"
+  "fig4b_num_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_num_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_pattern_change.dir/fig4c_pattern_change.cc.o"
+  "CMakeFiles/fig4c_pattern_change.dir/fig4c_pattern_change.cc.o.d"
+  "fig4c_pattern_change"
+  "fig4c_pattern_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_pattern_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

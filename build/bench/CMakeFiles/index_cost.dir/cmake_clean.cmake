@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_cost.dir/index_cost.cc.o"
+  "CMakeFiles/index_cost.dir/index_cost.cc.o.d"
+  "index_cost"
+  "index_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

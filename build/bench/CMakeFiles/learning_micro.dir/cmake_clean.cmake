@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_micro.dir/learning_micro.cc.o"
+  "CMakeFiles/learning_micro.dir/learning_micro.cc.o.d"
+  "learning_micro"
+  "learning_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_micro.dir/text_micro.cc.o"
+  "CMakeFiles/text_micro.dir/text_micro.cc.o.d"
+  "text_micro"
+  "text_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_tolerance.dir/churn_tolerance.cpp.o"
+  "CMakeFiles/churn_tolerance.dir/churn_tolerance.cpp.o.d"
+  "churn_tolerance"
+  "churn_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for churn_tolerance.
+# This may be replaced when dependencies are built.

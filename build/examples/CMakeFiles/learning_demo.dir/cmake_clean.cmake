@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_demo.dir/learning_demo.cpp.o"
+  "CMakeFiles/learning_demo.dir/learning_demo.cpp.o.d"
+  "learning_demo"
+  "learning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_common.dir/histogram.cc.o"
+  "CMakeFiles/sprite_common.dir/histogram.cc.o.d"
+  "CMakeFiles/sprite_common.dir/md5.cc.o"
+  "CMakeFiles/sprite_common.dir/md5.cc.o.d"
+  "CMakeFiles/sprite_common.dir/rng.cc.o"
+  "CMakeFiles/sprite_common.dir/rng.cc.o.d"
+  "CMakeFiles/sprite_common.dir/sha1.cc.o"
+  "CMakeFiles/sprite_common.dir/sha1.cc.o.d"
+  "CMakeFiles/sprite_common.dir/status.cc.o"
+  "CMakeFiles/sprite_common.dir/status.cc.o.d"
+  "CMakeFiles/sprite_common.dir/string_util.cc.o"
+  "CMakeFiles/sprite_common.dir/string_util.cc.o.d"
+  "CMakeFiles/sprite_common.dir/zipf.cc.o"
+  "CMakeFiles/sprite_common.dir/zipf.cc.o.d"
+  "libsprite_common.a"
+  "libsprite_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

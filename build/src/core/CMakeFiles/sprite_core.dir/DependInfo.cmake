@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/indexing_peer.cc" "src/core/CMakeFiles/sprite_core.dir/indexing_peer.cc.o" "gcc" "src/core/CMakeFiles/sprite_core.dir/indexing_peer.cc.o.d"
+  "/root/repo/src/core/learning.cc" "src/core/CMakeFiles/sprite_core.dir/learning.cc.o" "gcc" "src/core/CMakeFiles/sprite_core.dir/learning.cc.o.d"
+  "/root/repo/src/core/owner_peer.cc" "src/core/CMakeFiles/sprite_core.dir/owner_peer.cc.o" "gcc" "src/core/CMakeFiles/sprite_core.dir/owner_peer.cc.o.d"
+  "/root/repo/src/core/query_expansion.cc" "src/core/CMakeFiles/sprite_core.dir/query_expansion.cc.o" "gcc" "src/core/CMakeFiles/sprite_core.dir/query_expansion.cc.o.d"
+  "/root/repo/src/core/sprite_system.cc" "src/core/CMakeFiles/sprite_core.dir/sprite_system.cc.o" "gcc" "src/core/CMakeFiles/sprite_core.dir/sprite_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sprite_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sprite_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sprite_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/sprite_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/sprite_p2p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

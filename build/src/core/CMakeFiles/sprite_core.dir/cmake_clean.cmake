@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_core.dir/indexing_peer.cc.o"
+  "CMakeFiles/sprite_core.dir/indexing_peer.cc.o.d"
+  "CMakeFiles/sprite_core.dir/learning.cc.o"
+  "CMakeFiles/sprite_core.dir/learning.cc.o.d"
+  "CMakeFiles/sprite_core.dir/owner_peer.cc.o"
+  "CMakeFiles/sprite_core.dir/owner_peer.cc.o.d"
+  "CMakeFiles/sprite_core.dir/query_expansion.cc.o"
+  "CMakeFiles/sprite_core.dir/query_expansion.cc.o.d"
+  "CMakeFiles/sprite_core.dir/sprite_system.cc.o"
+  "CMakeFiles/sprite_core.dir/sprite_system.cc.o.d"
+  "libsprite_core.a"
+  "libsprite_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/sprite_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/sprite_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/loader.cc" "src/corpus/CMakeFiles/sprite_corpus.dir/loader.cc.o" "gcc" "src/corpus/CMakeFiles/sprite_corpus.dir/loader.cc.o.d"
+  "/root/repo/src/corpus/query.cc" "src/corpus/CMakeFiles/sprite_corpus.dir/query.cc.o" "gcc" "src/corpus/CMakeFiles/sprite_corpus.dir/query.cc.o.d"
+  "/root/repo/src/corpus/relevance.cc" "src/corpus/CMakeFiles/sprite_corpus.dir/relevance.cc.o" "gcc" "src/corpus/CMakeFiles/sprite_corpus.dir/relevance.cc.o.d"
+  "/root/repo/src/corpus/synthetic.cc" "src/corpus/CMakeFiles/sprite_corpus.dir/synthetic.cc.o" "gcc" "src/corpus/CMakeFiles/sprite_corpus.dir/synthetic.cc.o.d"
+  "/root/repo/src/corpus/trec.cc" "src/corpus/CMakeFiles/sprite_corpus.dir/trec.cc.o" "gcc" "src/corpus/CMakeFiles/sprite_corpus.dir/trec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sprite_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

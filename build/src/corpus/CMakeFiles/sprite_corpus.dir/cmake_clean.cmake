@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_corpus.dir/corpus.cc.o"
+  "CMakeFiles/sprite_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/sprite_corpus.dir/loader.cc.o"
+  "CMakeFiles/sprite_corpus.dir/loader.cc.o.d"
+  "CMakeFiles/sprite_corpus.dir/query.cc.o"
+  "CMakeFiles/sprite_corpus.dir/query.cc.o.d"
+  "CMakeFiles/sprite_corpus.dir/relevance.cc.o"
+  "CMakeFiles/sprite_corpus.dir/relevance.cc.o.d"
+  "CMakeFiles/sprite_corpus.dir/synthetic.cc.o"
+  "CMakeFiles/sprite_corpus.dir/synthetic.cc.o.d"
+  "CMakeFiles/sprite_corpus.dir/trec.cc.o"
+  "CMakeFiles/sprite_corpus.dir/trec.cc.o.d"
+  "libsprite_corpus.a"
+  "libsprite_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/chord.cc" "src/dht/CMakeFiles/sprite_dht.dir/chord.cc.o" "gcc" "src/dht/CMakeFiles/sprite_dht.dir/chord.cc.o.d"
+  "/root/repo/src/dht/id_space.cc" "src/dht/CMakeFiles/sprite_dht.dir/id_space.cc.o" "gcc" "src/dht/CMakeFiles/sprite_dht.dir/id_space.cc.o.d"
+  "/root/repo/src/dht/kademlia.cc" "src/dht/CMakeFiles/sprite_dht.dir/kademlia.cc.o" "gcc" "src/dht/CMakeFiles/sprite_dht.dir/kademlia.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

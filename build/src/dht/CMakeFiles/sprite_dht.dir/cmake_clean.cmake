@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_dht.dir/chord.cc.o"
+  "CMakeFiles/sprite_dht.dir/chord.cc.o.d"
+  "CMakeFiles/sprite_dht.dir/id_space.cc.o"
+  "CMakeFiles/sprite_dht.dir/id_space.cc.o.d"
+  "CMakeFiles/sprite_dht.dir/kademlia.cc.o"
+  "CMakeFiles/sprite_dht.dir/kademlia.cc.o.d"
+  "libsprite_dht.a"
+  "libsprite_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_eval.dir/experiment.cc.o"
+  "CMakeFiles/sprite_eval.dir/experiment.cc.o.d"
+  "libsprite_eval.a"
+  "libsprite_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/centralized_index.cc" "src/ir/CMakeFiles/sprite_ir.dir/centralized_index.cc.o" "gcc" "src/ir/CMakeFiles/sprite_ir.dir/centralized_index.cc.o.d"
+  "/root/repo/src/ir/metrics.cc" "src/ir/CMakeFiles/sprite_ir.dir/metrics.cc.o" "gcc" "src/ir/CMakeFiles/sprite_ir.dir/metrics.cc.o.d"
+  "/root/repo/src/ir/ranked_list.cc" "src/ir/CMakeFiles/sprite_ir.dir/ranked_list.cc.o" "gcc" "src/ir/CMakeFiles/sprite_ir.dir/ranked_list.cc.o.d"
+  "/root/repo/src/ir/similarity.cc" "src/ir/CMakeFiles/sprite_ir.dir/similarity.cc.o" "gcc" "src/ir/CMakeFiles/sprite_ir.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sprite_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sprite_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

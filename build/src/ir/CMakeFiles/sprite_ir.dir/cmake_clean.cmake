@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_ir.dir/centralized_index.cc.o"
+  "CMakeFiles/sprite_ir.dir/centralized_index.cc.o.d"
+  "CMakeFiles/sprite_ir.dir/metrics.cc.o"
+  "CMakeFiles/sprite_ir.dir/metrics.cc.o.d"
+  "CMakeFiles/sprite_ir.dir/ranked_list.cc.o"
+  "CMakeFiles/sprite_ir.dir/ranked_list.cc.o.d"
+  "CMakeFiles/sprite_ir.dir/similarity.cc.o"
+  "CMakeFiles/sprite_ir.dir/similarity.cc.o.d"
+  "libsprite_ir.a"
+  "libsprite_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

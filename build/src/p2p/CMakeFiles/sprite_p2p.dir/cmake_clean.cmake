@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_p2p.dir/network.cc.o"
+  "CMakeFiles/sprite_p2p.dir/network.cc.o.d"
+  "libsprite_p2p.a"
+  "libsprite_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/querygen/query_generator.cc" "src/querygen/CMakeFiles/sprite_querygen.dir/query_generator.cc.o" "gcc" "src/querygen/CMakeFiles/sprite_querygen.dir/query_generator.cc.o.d"
+  "/root/repo/src/querygen/workload.cc" "src/querygen/CMakeFiles/sprite_querygen.dir/workload.cc.o" "gcc" "src/querygen/CMakeFiles/sprite_querygen.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sprite_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sprite_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sprite_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_querygen.dir/query_generator.cc.o"
+  "CMakeFiles/sprite_querygen.dir/query_generator.cc.o.d"
+  "CMakeFiles/sprite_querygen.dir/workload.cc.o"
+  "CMakeFiles/sprite_querygen.dir/workload.cc.o.d"
+  "libsprite_querygen.a"
+  "libsprite_querygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_querygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

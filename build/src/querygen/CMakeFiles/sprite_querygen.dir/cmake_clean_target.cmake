@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsprite_querygen.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for sprite_querygen.
+# This may be replaced when dependencies are built.

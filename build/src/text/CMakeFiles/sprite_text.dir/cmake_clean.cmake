@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_text.dir/analyzer.cc.o"
+  "CMakeFiles/sprite_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/sprite_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/sprite_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/sprite_text.dir/stopwords.cc.o"
+  "CMakeFiles/sprite_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/sprite_text.dir/term_vector.cc.o"
+  "CMakeFiles/sprite_text.dir/term_vector.cc.o.d"
+  "CMakeFiles/sprite_text.dir/tokenizer.cc.o"
+  "CMakeFiles/sprite_text.dir/tokenizer.cc.o.d"
+  "libsprite_text.a"
+  "libsprite_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

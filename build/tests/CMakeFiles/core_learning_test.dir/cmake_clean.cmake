@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_learning_test.dir/core_learning_test.cc.o"
+  "CMakeFiles/core_learning_test.dir/core_learning_test.cc.o.d"
+  "core_learning_test"
+  "core_learning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

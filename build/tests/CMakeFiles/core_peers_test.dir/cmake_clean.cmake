@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_peers_test.dir/core_peers_test.cc.o"
+  "CMakeFiles/core_peers_test.dir/core_peers_test.cc.o.d"
+  "core_peers_test"
+  "core_peers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_peers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

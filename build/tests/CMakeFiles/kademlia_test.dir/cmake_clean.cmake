@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kademlia_test.dir/kademlia_test.cc.o"
+  "CMakeFiles/kademlia_test.dir/kademlia_test.cc.o.d"
+  "kademlia_test"
+  "kademlia_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kademlia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/p2p_test.cc" "tests/CMakeFiles/p2p_test.dir/p2p_test.cc.o" "gcc" "tests/CMakeFiles/p2p_test.dir/p2p_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/sprite_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sprite_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/querygen/CMakeFiles/sprite_querygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sprite_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sprite_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sprite_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/sprite_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/sprite_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sprite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

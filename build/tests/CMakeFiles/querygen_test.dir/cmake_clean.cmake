@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querygen_test.dir/querygen_test.cc.o"
+  "CMakeFiles/querygen_test.dir/querygen_test.cc.o.d"
+  "querygen_test"
+  "querygen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querygen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trec_test.dir/trec_test.cc.o"
+  "CMakeFiles/trec_test.dir/trec_test.cc.o.d"
+  "trec_test"
+  "trec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

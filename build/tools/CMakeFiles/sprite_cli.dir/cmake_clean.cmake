@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_cli.dir/sprite_cli.cc.o"
+  "CMakeFiles/sprite_cli.dir/sprite_cli.cc.o.d"
+  "sprite_cli"
+  "sprite_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
