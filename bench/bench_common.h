@@ -19,14 +19,18 @@ namespace spritebench {
 // Paper defaults (Section 6.2), scaled to laptop size: the paper uses
 // 348,565 TREC9 documents; we default to a few thousand synthetic ones.
 // Override with --docs=N / --peers=N / --seed=N on any bench binary.
+// --metrics-json=PATH additionally dumps the instrumented system's
+// observability snapshot (counters + latency histograms) as BENCH JSON.
 struct BenchArgs {
   size_t docs = 3000;
   size_t peers = 64;
   uint64_t seed = 42;
+  std::string metrics_json;  // empty: no dump
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
+  constexpr const char kMetricsFlag[] = "--metrics-json=";
   for (int i = 1; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::sscanf(argv[i], "--docs=%llu", &v) == 1) {
@@ -35,9 +39,26 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.peers = static_cast<size_t>(v);
     } else if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) {
       args.seed = v;
+    } else if (std::strncmp(argv[i], kMetricsFlag,
+                            sizeof(kMetricsFlag) - 1) == 0) {
+      args.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
     }
   }
   return args;
+}
+
+// Writes `sys`'s metrics snapshot to args.metrics_json when set; no-op
+// otherwise. Call after the measured phase of the bench.
+inline void MaybeWriteMetricsJson(const BenchArgs& args,
+                                  const sprite::core::SpriteSystem& sys) {
+  if (args.metrics_json.empty()) return;
+  const std::string json = sys.metrics().Snapshot().ToJson();
+  if (sprite::obs::WriteJsonFile(args.metrics_json, json)) {
+    std::printf("\nmetrics written to %s\n", args.metrics_json.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write metrics to %s\n",
+                 args.metrics_json.c_str());
+  }
 }
 
 // The default experiment: 63 base queries -> 630 generated (O = 0.7),

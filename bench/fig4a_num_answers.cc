@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(values are ratios system/centralized; paper: SPRITE ~0.89/0.87 "
       "flat,\n eSearch above SPRITE at K<=10 and degrading for larger K)\n");
+  spritebench::MaybeWriteMetricsJson(args, sprite_sys);
   return 0;
 }

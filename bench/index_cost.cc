@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
                 static_cast<double>(net.TotalBytes()) /
                     static_cast<double>(queries),
                 system.ring().stats().hops.Mean());
+    spritebench::MaybeWriteMetricsJson(args, system);
   }
 
   std::printf(

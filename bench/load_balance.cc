@@ -101,6 +101,9 @@ LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
   for (size_t idx : measured) {
     (void)system.Search(bed.query(idx), 20, /*record=*/false);
   }
+  // Dump the instrumented (caching-on) run: it exercises the full search
+  // path including cache-served lists.
+  if (caching) spritebench::MaybeWriteMetricsJson(args, system);
   return Profile(system, HotTerms(bed, measured, 8));
 }
 

@@ -57,6 +57,15 @@ struct SpriteConfig {
   // failing the query (Section 7's first failure-handling scheme).
   bool skip_unreachable_terms = true;
 
+  // --- Observability ---------------------------------------------------
+  // Simulated link parameters for the obs::LatencyModel, which converts
+  // counted Chord hops and message bytes into per-operation latencies
+  // (reported by SpriteSystem::metrics()). One overlay hop costs a full
+  // round trip; bulk payloads serialize through the access bandwidth.
+  double hop_rtt_ms = 50.0;
+  // 1.25e6 B/s == 10 Mbit/s, a conservative broadband uplink.
+  double bandwidth_bytes_per_sec = 1.25e6;
+
   // --- Extensions (Section 7) -------------------------------------------
   // Successor replicas kept per indexing peer; 0 disables replication.
   size_t replication_factor = 0;

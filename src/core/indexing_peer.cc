@@ -18,16 +18,33 @@ void IndexingPeer::AddPosting(const std::string& term,
   plist.push_back(entry);
 }
 
-bool IndexingPeer::RemovePosting(const std::string& term, DocId doc) {
-  auto it = index_.find(term);
-  if (it == index_.end()) return false;
+namespace {
+
+// Erases `doc`'s posting from `store[term]`, dropping the list when it
+// empties. Returns whether a posting was removed.
+bool EraseFromStore(
+    std::unordered_map<std::string, std::vector<PostingEntry>>& store,
+    const std::string& term, DocId doc) {
+  auto it = store.find(term);
+  if (it == store.end()) return false;
   auto& plist = it->second;
   auto pos = std::find_if(plist.begin(), plist.end(),
                           [doc](const PostingEntry& p) { return p.doc == doc; });
   if (pos == plist.end()) return false;
   plist.erase(pos);
-  if (plist.empty()) index_.erase(it);
+  if (plist.empty()) store.erase(it);
   return true;
+}
+
+}  // namespace
+
+bool IndexingPeer::RemovePosting(const std::string& term, DocId doc) {
+  // A withdrawal must also scrub the local replica and hot-term cache:
+  // otherwise Postings()'s replica fallback (and Search()'s cache path)
+  // would resurrect the document after its owner withdrew it.
+  EraseFromStore(replicas_, term, doc);
+  EraseFromStore(cache_, term, doc);
+  return EraseFromStore(index_, term, doc);
 }
 
 const std::vector<PostingEntry>* IndexingPeer::Postings(

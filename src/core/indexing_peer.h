@@ -25,7 +25,10 @@ class IndexingPeer {
   // --- Inverted index ---------------------------------------------------
   // Adds (or overwrites) the posting of `entry.doc` in `term`'s list.
   void AddPosting(const std::string& term, const PostingEntry& entry);
-  // Removes `doc`'s posting; returns false when it was not present.
+  // Removes `doc`'s posting from the primary list AND from this peer's
+  // replica store and hot-term cache (a withdrawn document must not be
+  // resurrected by the replica fallback below). Returns false when no
+  // primary posting was present.
   bool RemovePosting(const std::string& term, DocId doc);
   // The inverted list of `term` (nullptr when the term is not indexed
   // here). Falls back to the replica store when the primary has nothing,

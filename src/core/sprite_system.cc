@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -14,6 +15,9 @@ namespace sprite::core {
 
 SpriteSystem::SpriteSystem(SpriteConfig config)
     : config_(config),
+      latency_(obs::LatencyParams{config.hop_rtt_ms,
+                                  config.bandwidth_bytes_per_sec,
+                                  obs::LatencyParams{}.rank_ms_per_posting}),
       ring_(dht::ChordOptions{config.id_bits, config.successor_list_size}) {
   SPRITE_CHECK(config_.num_peers >= 1);
   SPRITE_CHECK(config_.initial_terms >= 1);
@@ -31,6 +35,16 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
   // separately by the DHT tests and churn experiments).
   ring_.BuildPerfect();
   ring_.ClearStats();
+  // Attach the metrics mirrors only now, so bootstrap traffic (the initial
+  // joins above) is excluded, matching the ClearStats() baseline.
+  net_.AttachMetrics(&metrics_);
+  ring_.AttachMetrics(&metrics_);
+  UpdateMembershipGauges();
+}
+
+void SpriteSystem::UpdateMembershipGauges() {
+  metrics_.Set("peers.alive", static_cast<double>(ring_.num_alive()));
+  metrics_.Set("peers.total", static_cast<double>(ring_.num_total()));
 }
 
 PeerId SpriteSystem::PickPeer(uint64_t hash) const {
@@ -47,11 +61,13 @@ PeerId SpriteSystem::PickPeer(uint64_t hash) const {
 }
 
 StatusOr<PeerId> SpriteSystem::RouteToTerm(PeerId from,
-                                           const std::string& term) {
+                                           const std::string& term,
+                                           int* hops_out) {
   const uint64_t key = ring_.space().KeyForString(term);
   StatusOr<dht::ChordRing::LookupResult> res = ring_.FindSuccessor(from, key);
   if (!res.ok()) return res.status();
   net_.CountLookupHops(res->hops);
+  if (hops_out != nullptr) *hops_out = res->hops;
   return res->node;
 }
 
@@ -119,19 +135,31 @@ Status SpriteSystem::ShareCorpus(const corpus::Corpus& corpus) {
   return Status::OK();
 }
 
-void SpriteSystem::RecordQuery(const corpus::Query& query) {
-  if (query.empty()) return;
+QueryRecord SpriteSystem::MakeQueryRecord(const corpus::Query& query) {
   QueryRecord record;
   record.id = query.id;
   record.terms = corpus::DedupTerms(query.terms);
   record.hash_key = ring_.space().KeyForString(query.CanonicalKey());
   record.seq = ++seq_counter_;
+  return record;
+}
+
+void SpriteSystem::RecordQuery(const corpus::Query& query) {
+  if (query.empty()) return;
+  const QueryRecord record = MakeQueryRecord(query);
 
   const PeerId origin = PickPeer(record.hash_key);
+  // One history entry per responsible peer: a peer covering several of the
+  // query's terms must not burn several slots of its bounded history on the
+  // same issuance (the per-term lookups still happen — the origin needs
+  // them to find the peers).
+  std::unordered_set<PeerId> recorded_at;
   for (const std::string& term : record.terms) {
     StatusOr<PeerId> target = RouteToTerm(origin, term);
     if (!target.ok()) continue;  // unreachable arc: this copy is lost
-    indexing_.at(target.value()).RecordQuery(record);
+    if (recorded_at.insert(target.value()).second) {
+      indexing_.at(target.value()).RecordQuery(record);
+    }
   }
 }
 
@@ -140,8 +168,15 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   if (query.empty()) {
     return Status::InvalidArgument("empty query");
   }
-  if (record) RecordQuery(query);
   const uint64_t issuance = ++search_counter_;
+  // The issuance's record piggybacks on the search's own term requests
+  // below (Section 3's normal operation): each directly contacted peer
+  // caches it in the same exchange, costing extra bytes but no additional
+  // Chord lookups or messages. Standalone RecordQuery() stays available
+  // for seeding history without executing the query.
+  std::optional<QueryRecord> rec;
+  if (record) rec = MakeQueryRecord(query);
+  std::unordered_set<PeerId> recorded_at;
 
   const std::vector<std::string> terms = corpus::DedupTerms(query.terms);
   const PeerId querying_peer =
@@ -168,24 +203,46 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
          (issuance * 0x9e3779b97f4a7c15ULL)) %
         terms.size());
   }
+  uint64_t route_hops = 0;
+  uint64_t fetch_requests = 0;
+  uint64_t fetch_bytes = 0;
+  size_t fetched_postings = 0;
+  size_t skipped_terms = 0;
   for (size_t ti = 0; ti < terms.size(); ++ti) {
     const std::string& term = terms[(start + ti) % terms.size()];
     if (resolved.count(term) > 0) continue;
-    StatusOr<PeerId> target = RouteToTerm(querying_peer, term);
+    int hops = 0;
+    StatusOr<PeerId> target = RouteToTerm(querying_peer, term, &hops);
     if (!target.ok()) {
+      ++skipped_terms;
       if (config_.skip_unreachable_terms) continue;  // Section 7, scheme 1
       return target.status();
     }
-    net_.Count(p2p::MessageType::kQueryRequest, p2p::kTermBytes);
+    route_hops += static_cast<uint64_t>(hops);
+    const size_t request_payload =
+        p2p::kTermBytes + (rec.has_value() ? p2p::kQueryRecordBytes : 0);
+    net_.Count(p2p::MessageType::kQueryRequest, request_payload);
+    ++fetch_requests;
+    fetch_bytes += p2p::kMessageHeaderBytes + request_payload;
     query_load_[target.value()] += 1;
-    const IndexingPeer& peer = indexing_.at(target.value());
+    metrics_.Add("peer.queries_served",
+                 StrFormat("peer-%llu",
+                           static_cast<unsigned long long>(target.value())),
+                 1);
+    IndexingPeer& peer = indexing_.at(target.value());
+    if (rec.has_value() && recorded_at.insert(target.value()).second) {
+      peer.RecordQuery(*rec);
+    }
     RetrievedList rl;
     rl.term = term;
     if (const std::vector<PostingEntry>* plist = peer.Postings(term)) {
       rl.postings = *plist;
     }
-    net_.Count(p2p::MessageType::kQueryResponse,
-               rl.postings.size() * p2p::kPostingEntryBytes);
+    const size_t response_payload =
+        rl.postings.size() * p2p::kPostingEntryBytes;
+    net_.Count(p2p::MessageType::kQueryResponse, response_payload);
+    fetch_bytes += p2p::kMessageHeaderBytes + response_payload;
+    fetched_postings += rl.postings.size();
     resolved.insert(term);
     lists.push_back(std::move(rl));
 
@@ -200,8 +257,11 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
         RetrievedList extra;
         extra.term = other;
         extra.postings = *cached;
-        net_.Count(p2p::MessageType::kQueryResponse,
-                   extra.postings.size() * p2p::kPostingEntryBytes);
+        const size_t cached_payload =
+            extra.postings.size() * p2p::kPostingEntryBytes;
+        net_.Count(p2p::MessageType::kQueryResponse, cached_payload);
+        fetch_bytes += p2p::kMessageHeaderBytes + cached_payload;
+        fetched_postings += extra.postings.size();
         resolved.insert(other);
         lists.push_back(std::move(extra));
       }
@@ -233,11 +293,31 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     if (score > 0.0) results.push_back({doc, score});
   }
   ir::SortRankedList(results, k);
+
+  // Per-phase accounting: routing (sequential hops), fetching (request
+  // round trips + payload transfer), ranking (local merge over the
+  // retrieved postings).
+  const double route_ms = latency_.HopsMs(route_hops);
+  const double fetch_ms =
+      latency_.RequestMs(fetch_requests) + latency_.TransferMs(fetch_bytes);
+  const double rank_ms = latency_.RankMs(fetched_postings);
+  metrics_.Add("search.queries");
+  metrics_.Add("search.terms_skipped", skipped_terms);
+  metrics_.Observe("search.route_hops", static_cast<double>(route_hops));
+  metrics_.Observe("search.postings_fetched",
+                   static_cast<double>(fetched_postings));
+  metrics_.Observe("search.results", static_cast<double>(results.size()));
+  metrics_.Observe("latency.search.route_ms", route_ms);
+  metrics_.Observe("latency.search.fetch_ms", fetch_ms);
+  metrics_.Observe("latency.search.rank_ms", rank_ms);
+  metrics_.Observe("latency.search.total_ms", route_ms + fetch_ms + rank_ms);
   return results;
 }
 
 void SpriteSystem::ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
                                     const OwnerPeer::IndexUpdate& update) {
+  metrics_.Add("learning.terms_removed", update.remove.size());
+  metrics_.Add("learning.terms_added", update.add.size());
   for (const std::string& term : update.remove) {
     WithdrawTerm(owner_id, term, owned.content->id);  // best effort
   }
@@ -247,6 +327,7 @@ void SpriteSystem::ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
 }
 
 void SpriteSystem::RunLearningIteration() {
+  metrics_.Add("learning.iterations");
   for (auto& [owner_id, owner] : owners_) {
     const dht::ChordNode* node = ring_.node(owner_id);
     if (node == nullptr || !node->alive) continue;
@@ -260,28 +341,48 @@ void SpriteSystem::RunLearningIteration() {
       // Group the document's current terms by responsible indexing peer.
       const std::vector<std::string> poll_terms = owned.index_terms;
       std::map<PeerId, std::vector<std::string>> by_peer;
+      uint64_t poll_hops = 0;
       for (const std::string& term : poll_terms) {
-        StatusOr<PeerId> target = RouteToTerm(owner_id, term);
-        if (target.ok()) by_peer[target.value()].push_back(term);
+        int hops = 0;
+        StatusOr<PeerId> target = RouteToTerm(owner_id, term, &hops);
+        if (target.ok()) {
+          by_peer[target.value()].push_back(term);
+          poll_hops += static_cast<uint64_t>(hops);
+        }
       }
 
       // Poll each peer with the full term list (Section 3's index update
       // message) and pull the deduplicated incremental query history.
       std::vector<const QueryRecord*> pulled;
+      uint64_t poll_bytes = 0;
       for (const auto& [peer_id, my_terms] : by_peer) {
         net_.Count(p2p::MessageType::kPollRequest,
                    poll_terms.size() * p2p::kTermBytes);
+        poll_bytes +=
+            p2p::kMessageHeaderBytes + poll_terms.size() * p2p::kTermBytes;
         const IndexingPeer& peer = indexing_.at(peer_id);
         std::vector<const QueryRecord*> recs = peer.CollectQueriesForPoll(
             poll_terms, my_terms, owned.poll_cursor, ring_.space());
         net_.Count(p2p::MessageType::kPollResponse,
                    recs.size() * p2p::kQueryRecordBytes);
+        poll_bytes +=
+            p2p::kMessageHeaderBytes + recs.size() * p2p::kQueryRecordBytes;
         pulled.insert(pulled.end(), recs.begin(), recs.end());
       }
-      // Advance the cursors: everything issued so far has been offered.
-      for (const std::string& term : poll_terms) {
-        owned.poll_cursor[term] = seq_counter_;
+      // Advance the cursors only for terms whose indexing peer was
+      // actually polled. A term whose route failed keeps its old cursor:
+      // the queries cached at its (temporarily unreachable) peer have not
+      // been offered yet and must still be pulled once the arc heals.
+      for (const auto& [peer_id, my_terms] : by_peer) {
+        for (const std::string& term : my_terms) {
+          owned.poll_cursor[term] = seq_counter_;
+        }
       }
+      metrics_.Add("learning.polls", by_peer.size());
+      metrics_.Add("learning.pulled_queries", pulled.size());
+      metrics_.Observe(
+          "latency.learning.poll_ms",
+          latency_.OperationMs(poll_hops, by_peer.size(), poll_bytes));
 
       OwnerPeer::IndexUpdate update =
           owner.LearnAndRetune(owned, pulled, config_);
@@ -298,17 +399,35 @@ void SpriteSystem::ReplicateIndexes() {
     if (peer.num_terms() == 0) continue;
     const std::vector<PeerId> succs =
         ring_.SuccessorsOf(peer_id, config_.replication_factor);
+    uint64_t push_bytes = 0;
+    uint64_t pushes = 0;
     for (const auto& [term, plist] : peer.index()) {
       for (PeerId s : succs) {
-        net_.Count(p2p::MessageType::kReplicate,
-                   p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes);
+        const size_t payload =
+            p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes;
+        net_.Count(p2p::MessageType::kReplicate, payload);
+        push_bytes += p2p::kMessageHeaderBytes + payload;
+        ++pushes;
         indexing_.at(s).StoreReplica(term, plist);
       }
+    }
+    metrics_.Add("replication.pushes", pushes);
+    if (pushes > 0) {
+      // Successors are one overlay hop away; the transfer dominates.
+      metrics_.Observe("latency.replication.push_ms",
+                       latency_.OperationMs(0, pushes, push_bytes));
     }
   }
 }
 
-Status SpriteSystem::FailPeer(PeerId id) { return ring_.Fail(id); }
+Status SpriteSystem::FailPeer(PeerId id) {
+  Status s = ring_.Fail(id);
+  if (s.ok()) {
+    metrics_.Add("peers.failed");
+    UpdateMembershipGauges();
+  }
+  return s;
+}
 
 void SpriteSystem::StabilizeNetwork(int rounds) {
   ring_.StabilizeAll(rounds);
@@ -464,10 +583,13 @@ PeerId SpriteSystem::CompleteJoin(PeerId id) {
       newcomer.RecordQuery(record);
     }
   }
+  metrics_.Add("peers.joined");
+  UpdateMembershipGauges();
   return id;
 }
 
 Status SpriteSystem::RebalanceRange() {
+  metrics_.Add("rebalance.attempts");
   if (ring_.num_alive() < 3) {
     return Status::FailedPrecondition("need at least three alive peers");
   }
@@ -513,6 +635,7 @@ Status SpriteSystem::RebalanceRange() {
   }
   if (!joined.ok()) return joined.status();
   CompleteJoin(joined.value());
+  metrics_.Add("rebalance.moves");
   return Status::OK();
 }
 
@@ -572,31 +695,47 @@ Status SpriteSystem::LeavePeer(PeerId id) {
 
   indexing_.erase(id);
   owners_.erase(id);
+  metrics_.Add("peers.left");
+  UpdateMembershipGauges();
   return Status::OK();
 }
 
 size_t SpriteSystem::RunHeartbeats() {
   size_t probes = 0;
+  size_t republished = 0;
+  uint64_t probe_hops = 0;
+  uint64_t probe_bytes = 0;
   for (auto& [owner_id, owner] : owners_) {
     const dht::ChordNode* node = ring_.node(owner_id);
     if (node == nullptr || !node->alive) continue;
     for (auto& [doc_id, owned] : owner.mutable_documents()) {
       for (const std::string& term : owned.index_terms) {
-        StatusOr<PeerId> target = RouteToTerm(owner_id, term);
+        int hops = 0;
+        StatusOr<PeerId> target = RouteToTerm(owner_id, term, &hops);
         if (!target.ok()) continue;  // arc unreachable; retry next period
         net_.Count(p2p::MessageType::kHeartbeat, p2p::kTermBytes);
         ++probes;
+        probe_hops += static_cast<uint64_t>(hops);
+        probe_bytes += p2p::kMessageHeaderBytes + p2p::kTermBytes;
         // A live peer that lost the posting (e.g. responsibility moved to
         // it after an unreplicated failure) gets it re-published.
         IndexingPeer& peer = indexing_.at(target.value());
         if (!peer.HasPosting(term, doc_id)) {
           net_.Count(p2p::MessageType::kPublishTerm,
                      p2p::kTermBytes + p2p::kPostingEntryBytes);
+          probe_bytes += p2p::kMessageHeaderBytes + p2p::kTermBytes +
+                         p2p::kPostingEntryBytes;
           peer.AddPosting(term, MakePosting(owned, term, owner_id));
+          ++republished;
         }
       }
     }
   }
+  metrics_.Add("heartbeat.rounds");
+  metrics_.Add("heartbeat.probes", probes);
+  metrics_.Add("heartbeat.republished", republished);
+  metrics_.Observe("latency.heartbeat.round_ms",
+                   latency_.OperationMs(probe_hops, probes, probe_bytes));
   return probes;
 }
 

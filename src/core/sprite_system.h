@@ -15,6 +15,8 @@
 #include "corpus/query.h"
 #include "dht/chord.h"
 #include "ir/ranked_list.h"
+#include "obs/latency_model.h"
+#include "obs/metrics.h"
 #include "p2p/network.h"
 
 namespace sprite::core {
@@ -50,12 +52,15 @@ class SpriteSystem {
 
   // --- Retrieval service --------------------------------------------------
   // Caches `query` at the indexing peers responsible for its terms without
-  // executing it (used to seed training history, as in Section 6.2).
+  // executing it (used to seed training history, as in Section 6.2). A peer
+  // responsible for several of the query's terms stores the record once.
   void RecordQuery(const corpus::Query& query);
   // Executes `query`: routes to each term's indexing peer, retrieves the
   // inverted lists, and ranks with the Lee et al. similarity using indexed
   // document frequencies. When `record` is true the issuance is also
-  // cached in the peers' histories (normal system behaviour).
+  // cached in the peers' histories (normal system behaviour); the record
+  // piggybacks on the search's own term requests, so recording adds bytes
+  // but no extra Chord lookups or messages.
   StatusOr<ir::RankedList> Search(const corpus::Query& query, size_t k,
                                   bool record = true);
 
@@ -139,6 +144,16 @@ class SpriteSystem {
   dht::ChordRing& mutable_ring() { return ring_; }
   const p2p::NetworkStats& network_stats() const { return net_.stats(); }
   void ClearNetworkStats() { net_.Clear(); }
+  // The observability registry: per-phase counters and latency histograms
+  // for search (route/fetch/rank), learning polls, heartbeats, replication
+  // and rebalancing, plus the per-message-type traffic mirrored from
+  // network_stats() and the Chord lookup distribution. Snapshot() +
+  // ToJson() produce the BENCH_*.json payload.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& mutable_metrics() { return metrics_; }
+  void ClearMetrics() { metrics_.Clear(); }
+  // The latency model derived from SpriteConfig's hop RTT and bandwidth.
+  const obs::LatencyModel& latency_model() const { return latency_; }
   const SpriteConfig& config() const { return config_; }
   const IndexingPeer* indexing_peer(PeerId id) const;
   const OwnerPeer* owner_peer(PeerId id) const;
@@ -153,7 +168,14 @@ class SpriteSystem {
 
  private:
   // Routes from `from` to the peer responsible for `term`, counting hops.
-  StatusOr<PeerId> RouteToTerm(PeerId from, const std::string& term);
+  // When `hops_out` is non-null it receives the hop count of this lookup
+  // (untouched on failure), so callers can attribute per-phase latency.
+  StatusOr<PeerId> RouteToTerm(PeerId from, const std::string& term,
+                               int* hops_out = nullptr);
+  // Stamps a new issuance: deduped terms, ring hash key, fresh seq.
+  QueryRecord MakeQueryRecord(const corpus::Query& query);
+  // Refreshes the peers.alive / peers.total gauges after membership events.
+  void UpdateMembershipGauges();
   // A deterministic alive peer derived from `hash` (e.g. who issues a
   // query, who owns a document).
   PeerId PickPeer(uint64_t hash) const;
@@ -170,6 +192,9 @@ class SpriteSystem {
                         const OwnerPeer::IndexUpdate& update);
 
   SpriteConfig config_;
+  // Declared before ring_ and net_, which hold pointers into it.
+  obs::MetricsRegistry metrics_;
+  obs::LatencyModel latency_;
   dht::ChordRing ring_;
   p2p::NetworkAccountant net_;
   std::map<PeerId, IndexingPeer> indexing_;

@@ -104,9 +104,11 @@ StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
   const ChordNode* n = node(from);
   if (n == nullptr || !n->alive) {
     ++stats_.failed_lookups;
+    if (metrics_ != nullptr) metrics_->Add("chord.failed_lookups");
     return Status::InvalidArgument("lookup origin is not an alive node");
   }
   ++stats_.lookups;
+  if (metrics_ != nullptr) metrics_->Add("chord.lookups");
   int hops = 0;
   // In a converged N-node ring a lookup takes O(log N) hops; the bound only
   // trips when routing state is badly broken.
@@ -115,6 +117,7 @@ StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
     if (key == n->id) {
       stats_.hop_messages += static_cast<uint64_t>(hops);
       stats_.hops.Add(hops);
+      if (metrics_ != nullptr) metrics_->Observe("chord.lookup_hops", hops);
       const uint64_t pred =
           (n->predecessor.has_value() && IsAlive(*n->predecessor))
               ? *n->predecessor
@@ -124,6 +127,7 @@ StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
     StatusOr<uint64_t> succ_or = FirstAliveSuccessor(*n);
     if (!succ_or.ok()) {
       ++stats_.failed_lookups;
+      if (metrics_ != nullptr) metrics_->Add("chord.failed_lookups");
       return succ_or.status();
     }
     const uint64_t succ = succ_or.value();
@@ -131,6 +135,7 @@ StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
       if (succ != n->id) ++hops;  // final forward to the responsible node
       stats_.hop_messages += static_cast<uint64_t>(hops);
       stats_.hops.Add(hops);
+      if (metrics_ != nullptr) metrics_->Observe("chord.lookup_hops", hops);
       return LookupResult{succ, n->id, hops};
     }
     uint64_t next = ClosestPrecedingAlive(*n, key);
@@ -140,6 +145,7 @@ StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
     ++hops;
   }
   ++stats_.failed_lookups;
+  if (metrics_ != nullptr) metrics_->Add("chord.failed_lookups");
   return Status::Unavailable("routing did not converge (ring too damaged)");
 }
 

@@ -11,6 +11,7 @@
 #include "common/histogram.h"
 #include "common/status.h"
 #include "dht/id_space.h"
+#include "obs/metrics.h"
 
 namespace sprite::dht {
 
@@ -121,6 +122,11 @@ class ChordRing {
   void ClearStats() { stats_.Clear(); }
   const IdSpace& space() const { return space_; }
 
+  // Mirrors lookup accounting ("chord.lookups", "chord.failed_lookups",
+  // "chord.lookup_hops") into `metrics`. Pass nullptr to detach. The
+  // registry must outlive this ring.
+  void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   ChordNode* MutableNode(uint64_t id);
   bool IsAlive(uint64_t id) const;
@@ -137,6 +143,7 @@ class ChordRing {
   std::map<uint64_t, std::unique_ptr<ChordNode>> nodes_;  // sorted by id
   size_t alive_count_ = 0;
   ChordStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sprite::dht

@@ -1,0 +1,27 @@
+#include "obs/latency_model.h"
+
+namespace sprite::obs {
+
+double LatencyModel::HopsMs(uint64_t hops) const {
+  return static_cast<double>(hops) * params_.hop_rtt_ms;
+}
+
+double LatencyModel::RequestMs(uint64_t requests) const {
+  return static_cast<double>(requests) * params_.hop_rtt_ms;
+}
+
+double LatencyModel::TransferMs(uint64_t bytes) const {
+  if (params_.bandwidth_bytes_per_sec <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec * 1e3;
+}
+
+double LatencyModel::RankMs(size_t postings) const {
+  return static_cast<double>(postings) * params_.rank_ms_per_posting;
+}
+
+double LatencyModel::OperationMs(uint64_t hops, uint64_t requests,
+                                 uint64_t bytes) const {
+  return HopsMs(hops) + RequestMs(requests) + TransferMs(bytes);
+}
+
+}  // namespace sprite::obs

@@ -1,0 +1,54 @@
+#ifndef SPRITE_OBS_LATENCY_MODEL_H_
+#define SPRITE_OBS_LATENCY_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sprite::obs {
+
+// Parameters of the simulated wide-area link between peers. The simulation
+// is message-level and instantaneous; this model converts the counted hops
+// and bytes of an operation into the wall-clock latency a real deployment
+// would observe, so benches can report per-operation latency distributions
+// instead of bare message counts.
+struct LatencyParams {
+  // One overlay hop costs a full request/response round trip.
+  double hop_rtt_ms = 50.0;
+  // Per-peer access bandwidth for bulk payloads (inverted lists, replicas).
+  // 1.25e6 B/s == 10 Mbit/s, a conservative broadband uplink.
+  double bandwidth_bytes_per_sec = 1.25e6;
+  // Local CPU cost of merging/scoring one posting during ranking. Tiny next
+  // to network time but keeps the rank phase non-zero and scalable.
+  double rank_ms_per_posting = 0.001;
+};
+
+// Deterministic latency accounting (no jitter: identical runs produce
+// identical distributions, matching the repo's determinism rule). Every
+// component is additive, so callers can attribute phases separately.
+class LatencyModel {
+ public:
+  LatencyModel() = default;
+  explicit LatencyModel(LatencyParams params) : params_(params) {}
+
+  // Routing time for `hops` sequential overlay hops.
+  double HopsMs(uint64_t hops) const;
+  // Round-trip time for `requests` sequential request/response exchanges.
+  double RequestMs(uint64_t requests) const;
+  // Serialization time of `bytes` through the access link.
+  double TransferMs(uint64_t bytes) const;
+  // Local ranking time over `postings` retrieved entries.
+  double RankMs(size_t postings) const;
+
+  // Routing + one request round trip + payload transfer: the shape of every
+  // remote operation in the system (publish, withdraw, query, poll, ...).
+  double OperationMs(uint64_t hops, uint64_t requests, uint64_t bytes) const;
+
+  const LatencyParams& params() const { return params_; }
+
+ private:
+  LatencyParams params_;
+};
+
+}  // namespace sprite::obs
+
+#endif  // SPRITE_OBS_LATENCY_MODEL_H_

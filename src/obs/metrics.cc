@@ -1,0 +1,203 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace sprite::obs {
+
+namespace {
+
+// Minimal JSON string escaping; metric names/labels are identifiers, but a
+// malformed snapshot must never produce invalid JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no NaN/Inf literals; clamp them to null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.6g", v);
+}
+
+void AppendId(std::string& out, const MetricId& id) {
+  out += StrFormat("\"name\":\"%s\"", JsonEscape(id.name).c_str());
+  if (!id.label.empty()) {
+    out += StrFormat(",\"label\":\"%s\"", JsonEscape(id.label).c_str());
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::Add(const std::string& name, const std::string& label,
+                          uint64_t delta) {
+  counters_[MetricId{name, label}] += delta;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name,
+                                  const std::string& label) const {
+  auto it = counters_.find(MetricId{name, label});
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Set(const std::string& name, const std::string& label,
+                          double value) {
+  gauges_[MetricId{name, label}] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name,
+                              const std::string& label) const {
+  auto it = gauges_.find(MetricId{name, label});
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::Observe(const std::string& name,
+                              const std::string& label, double value) {
+  histograms_[MetricId{name, label}].Add(value);
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name,
+                                            const std::string& label) const {
+  auto it = histograms_.find(MetricId{name, label});
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [id, value] : counters_) {
+    snap.counters.push_back({id, value});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [id, value] : gauges_) {
+    snap.gauges.push_back({id, value});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [id, hist] : histograms_) {
+    HistogramSample s;
+    s.id = id;
+    s.count = hist.count();
+    s.sum = hist.sum();
+    if (s.count > 0) {
+      s.mean = hist.Mean();
+      s.min = hist.min();
+      s.max = hist.max();
+      s.p50 = hist.Percentile(50);
+      s.p90 = hist.Percentile(90);
+      s.p99 = hist.Percentile(99);
+    }
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": [";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    AppendId(out, counters[i].id);
+    out += StrFormat(",\"value\":%llu}",
+                     static_cast<unsigned long long>(counters[i].value));
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    AppendId(out, gauges[i].id);
+    out += StrFormat(",\"value\":%s}", JsonNumber(gauges[i].value).c_str());
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    AppendId(out, h.id);
+    out += StrFormat(
+        ",\"count\":%zu,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,"
+        "\"p50\":%s,\"p90\":%s,\"p99\":%s}",
+        h.count, JsonNumber(h.sum).c_str(), JsonNumber(h.mean).c_str(),
+        JsonNumber(h.min).c_str(), JsonNumber(h.max).c_str(),
+        JsonNumber(h.p50).c_str(), JsonNumber(h.p90).c_str(),
+        JsonNumber(h.p99).c_str());
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+template <typename Vec>
+auto* FindById(const Vec& samples, const std::string& name,
+               const std::string& label) {
+  using Sample = typename Vec::value_type;
+  const Sample* found = nullptr;
+  for (const Sample& s : samples) {
+    if (s.id.name == name && s.id.label == label) {
+      found = &s;
+      break;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+const CounterSample* MetricsSnapshot::FindCounter(
+    const std::string& name, const std::string& label) const {
+  return FindById(counters, name, label);
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(const std::string& name,
+                                              const std::string& label) const {
+  return FindById(gauges, name, label);
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    const std::string& name, const std::string& label) const {
+  return FindById(histograms, name, label);
+}
+
+bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace sprite::obs

@@ -1,0 +1,130 @@
+#ifndef SPRITE_OBS_METRICS_H_
+#define SPRITE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace sprite::obs {
+
+// Identifies one metric instance: a dotted name ("search.route_hops") plus
+// an optional label that splits the metric per peer or per message type
+// ("" when unlabeled). Ordered so snapshots iterate deterministically.
+struct MetricId {
+  std::string name;
+  std::string label;
+
+  friend bool operator<(const MetricId& a, const MetricId& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.label < b.label;
+  }
+  friend bool operator==(const MetricId& a, const MetricId& b) {
+    return a.name == b.name && a.label == b.label;
+  }
+};
+
+struct CounterSample {
+  MetricId id;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  MetricId id;
+  double value = 0.0;
+};
+
+// Summary of one histogram at snapshot time (percentiles are exact; the
+// registry retains the samples).
+struct HistogramSample {
+  MetricId id;
+  size_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// A point-in-time copy of every metric, detached from the registry.
+// `ToJson()` renders the snapshot as a single JSON object — the format the
+// benches write to BENCH_*.json files:
+//   {"counters": [{"name": ..., "label": ..., "value": ...}, ...],
+//    "gauges":   [...],
+//    "histograms": [{"name": ..., "count": ..., "p50": ..., ...}, ...]}
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  std::string ToJson() const;
+
+  // Lookup helpers for tests and report code; nullptr when absent.
+  const CounterSample* FindCounter(const std::string& name,
+                                   const std::string& label = "") const;
+  const GaugeSample* FindGauge(const std::string& name,
+                               const std::string& label = "") const;
+  const HistogramSample* FindHistogram(const std::string& name,
+                                       const std::string& label = "") const;
+};
+
+// The central metrics registry: counters (monotone), gauges (last value
+// wins), and histograms (full-distribution samples), each keyed by name and
+// optional label. Metrics are created on first touch; all operations are
+// O(log n) map lookups, which is ample for the simulation's rates.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- Counters ---------------------------------------------------------
+  void Add(const std::string& name, uint64_t delta = 1) {
+    Add(name, std::string(), delta);
+  }
+  void Add(const std::string& name, const std::string& label, uint64_t delta);
+  uint64_t counter(const std::string& name,
+                   const std::string& label = "") const;
+
+  // --- Gauges -----------------------------------------------------------
+  void Set(const std::string& name, double value) {
+    Set(name, std::string(), value);
+  }
+  void Set(const std::string& name, const std::string& label, double value);
+  double gauge(const std::string& name, const std::string& label = "") const;
+
+  // --- Histograms -------------------------------------------------------
+  void Observe(const std::string& name, double value) {
+    Observe(name, std::string(), value);
+  }
+  void Observe(const std::string& name, const std::string& label,
+               double value);
+  // The live histogram, or nullptr when never observed.
+  const Histogram* histogram(const std::string& name,
+                             const std::string& label = "") const;
+
+  MetricsSnapshot Snapshot() const;
+  void Clear();
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+  size_t num_histograms() const { return histograms_.size(); }
+
+ private:
+  std::map<MetricId, uint64_t> counters_;
+  std::map<MetricId, double> gauges_;
+  std::map<MetricId, Histogram> histograms_;
+};
+
+// Writes `json` to `path` (creating/truncating the file). Shared by the
+// benches' --metrics-json flag and the CLI.
+bool WriteJsonFile(const std::string& path, const std::string& json);
+
+}  // namespace sprite::obs
+
+#endif  // SPRITE_OBS_METRICS_H_

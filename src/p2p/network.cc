@@ -71,8 +71,14 @@ std::string NetworkStats::ToString() const {
 
 void NetworkAccountant::Count(MessageType type, size_t payload_bytes) {
   const size_t i = static_cast<size_t>(type);
+  const uint64_t wire_bytes = kMessageHeaderBytes + payload_bytes;
   stats_.messages[i] += 1;
-  stats_.bytes[i] += kMessageHeaderBytes + payload_bytes;
+  stats_.bytes[i] += wire_bytes;
+  if (metrics_ != nullptr) {
+    const std::string label(MessageTypeName(type));
+    metrics_->Add("net.messages", label, 1);
+    metrics_->Add("net.bytes", label, wire_bytes);
+  }
 }
 
 void NetworkAccountant::CountLookupHops(int hops) {
@@ -80,6 +86,12 @@ void NetworkAccountant::CountLookupHops(int hops) {
   const size_t i = static_cast<size_t>(MessageType::kLookupHop);
   stats_.messages[i] += static_cast<uint64_t>(hops);
   stats_.bytes[i] += static_cast<uint64_t>(hops) * kLookupHopBytes;
+  if (metrics_ != nullptr) {
+    const std::string label(MessageTypeName(MessageType::kLookupHop));
+    metrics_->Add("net.messages", label, static_cast<uint64_t>(hops));
+    metrics_->Add("net.bytes", label,
+                  static_cast<uint64_t>(hops) * kLookupHopBytes);
+  }
 }
 
 }  // namespace sprite::p2p

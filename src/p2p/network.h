@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "p2p/message.h"
 
 namespace sprite::p2p {
@@ -43,11 +44,17 @@ class NetworkAccountant {
   // Records `hops` Chord routing hops (small fixed-size messages).
   void CountLookupHops(int hops);
 
+  // Mirrors every count into `metrics` as "net.messages"/"net.bytes"
+  // counters labeled by message type. Pass nullptr to detach. The registry
+  // must outlive this accountant.
+  void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   const NetworkStats& stats() const { return stats_; }
   void Clear() { stats_.Clear(); }
 
  private:
   NetworkStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sprite::p2p

@@ -81,6 +81,29 @@ TEST(IndexingPeerTest, PrimaryShadowsReplica) {
   EXPECT_EQ(peer.Postings("cat")->front().doc, 5u);
 }
 
+// Regression: a withdrawal must scrub the local replica and hot-term cache
+// too, or the replica fallback above resurrects the withdrawn document.
+TEST(IndexingPeerTest, RemovePostingScrubsReplicaAndCache) {
+  IndexingPeer peer(1, 100);
+  peer.AddPosting("cat", Posting(7));
+  peer.StoreReplica("cat", {Posting(7), Posting(8)});
+  peer.CachePostings("cat", {Posting(7)});
+
+  EXPECT_TRUE(peer.RemovePosting("cat", 7));
+
+  // Primary gone; the fallback may serve the replica, but never doc 7.
+  const std::vector<PostingEntry>* served = peer.Postings("cat");
+  ASSERT_NE(served, nullptr);  // doc 8's replica survives
+  for (const PostingEntry& p : *served) EXPECT_NE(p.doc, 7u);
+  const std::vector<PostingEntry>* cached = peer.CachedPostings("cat");
+  EXPECT_EQ(cached, nullptr);  // cache emptied and pruned
+
+  // Removing the survivor empties the replica store as well.
+  EXPECT_FALSE(peer.RemovePosting("cat", 8));  // no primary posting
+  EXPECT_EQ(peer.Postings("cat"), nullptr);
+  EXPECT_EQ(peer.num_replica_terms(), 0u);
+}
+
 TEST(IndexingPeerTest, HistoryEvictsOldest) {
   IndexingPeer peer(1, 3);
   for (uint64_t i = 1; i <= 5; ++i) {

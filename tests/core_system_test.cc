@@ -534,5 +534,133 @@ TEST_F(SpriteSystemTest, IntrospectionOfUnknownDocIsNull) {
   EXPECT_EQ(system.OwnerOf(12345), 0u);
 }
 
+// Regression: a peer responsible for several of a query's terms must store
+// the issuance once, not once per term — with a single peer, a two-term
+// query burns exactly one slot of the bounded history.
+TEST_F(SpriteSystemTest, RecordQueryStoresOnceAtMultiTermPeer) {
+  SpriteConfig config = SmallConfig();
+  config.num_peers = 1;
+  SpriteSystem system(config);
+  system.RecordQuery(Q(1, {"cat", "dog"}));
+
+  const PeerId only = system.ring().AliveIds().front();
+  const IndexingPeer* ip = system.indexing_peer(only);
+  ASSERT_NE(ip, nullptr);
+  EXPECT_EQ(ip->history().size(), 1u);
+
+  // The piggybacked recording of Search() dedups the same way.
+  ASSERT_TRUE(system.Search(Q(2, {"cat", "dog"}), 10).ok());
+  EXPECT_EQ(ip->history().size(), 2u);
+}
+
+// Regression: recording a searched query must ride the search's own term
+// requests instead of re-running one Chord lookup per term up front.
+TEST_F(SpriteSystemTest, SearchRecordingAddsNoExtraLookups) {
+  SpriteSystem system(SmallConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+
+  system.mutable_ring().ClearStats();
+  ASSERT_TRUE(system.Search(Q(1, {"cat", "dog"}), 10, /*record=*/true).ok());
+  // One lookup per distinct term; pre-fix this was two (record + fetch).
+  EXPECT_EQ(system.ring().stats().lookups, 2u);
+
+  // The record still reaches the contacted peers' histories.
+  size_t records = 0;
+  for (PeerId id : system.ring().AliveIds()) {
+    for (const auto& rec : system.indexing_peer(id)->history()) {
+      if (rec.id == 1) ++records;
+    }
+  }
+  EXPECT_GE(records, 1u);
+}
+
+// Regression: when an owner's polls cannot reach the indexing peers (here:
+// its successor — its only routing exit with a length-1 successor list —
+// has failed), the poll cursors must not advance past the unpulled
+// queries; after the ring heals, the next iteration must still learn from
+// them.
+TEST_F(SpriteSystemTest, FailedPollsDoNotAdvanceCursors) {
+  SpriteConfig config = SmallConfig();
+  config.successor_list_size = 1;
+  SpriteSystem system(config);
+  system.RecordQuery(Q(1, {"cat", "whisker"}));
+  system.RecordQuery(Q(2, {"cat", "whisker"}));
+  system.RecordQuery(Q(3, {"cat", "whisker"}));
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+
+  const PeerId owner = system.OwnerOf(0);
+  const std::vector<PeerId> succ = system.ring().SuccessorsOf(owner, 1);
+  ASSERT_EQ(succ.size(), 1u);
+  const PeerId victim = succ[0];
+  ASSERT_NE(victim, owner);
+  // The victim must not hold doc0's polled histories, or healing could not
+  // recover them (deterministic ids keep this stable).
+  for (const std::string term : {"cat", "feline"}) {
+    const uint64_t key = system.ring().space().KeyForString(term);
+    ASSERT_NE(system.ring().ResponsibleNode(key).value(), victim);
+  }
+
+  // With the successor (and the whole length-1 successor list) dead and no
+  // stabilization yet, every lookup from the owner fails: the learning
+  // poll for doc0 reaches nobody.
+  ASSERT_TRUE(system.FailPeer(victim).ok());
+  system.RunLearningIteration();
+
+  const OwnedDocument* owned = system.owner_peer(owner)->document(0);
+  ASSERT_NE(owned, nullptr);
+  for (const auto& [term, cursor] : owned->poll_cursor) {
+    EXPECT_EQ(cursor, 0u) << "cursor for '" << term
+                          << "' advanced past unpulled queries";
+  }
+  const auto* terms_after_outage = system.IndexTermsOf(0);
+  ASSERT_NE(terms_after_outage, nullptr);
+  EXPECT_TRUE(std::find(terms_after_outage->begin(),
+                        terms_after_outage->end(),
+                        "whisker") == terms_after_outage->end());
+
+  // Heal the ring; the next poll pulls the queries that were cached all
+  // along and learns "whisker". Pre-fix the advanced cursors filtered them
+  // out as already-seen and the term was never learned.
+  system.StabilizeNetwork(16);
+  system.RunLearningIteration();
+  const auto* terms = system.IndexTermsOf(0);
+  ASSERT_NE(terms, nullptr);
+  EXPECT_TRUE(std::find(terms->begin(), terms->end(), "whisker") !=
+              terms->end())
+      << "queries cached during the outage were lost to stale cursors";
+}
+
+// Regression: withdrawing a document must also scrub it from the serving
+// peer's replica store, or the Postings() fallback resurrects it after the
+// primary list empties.
+TEST_F(SpriteSystemTest, WithdrawnDocDoesNotResurfaceFromReplica) {
+  SpriteConfig config = SmallConfig();
+  config.replication_factor = 2;
+  SpriteSystem system(config);
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  system.ReplicateIndexes();
+
+  // Fail the peer serving "feline" (indexed for doc0 only); the arc moves
+  // to a successor that holds a stale replica of the list, and a heartbeat
+  // republishes the primary posting there.
+  const uint64_t key = system.ring().space().KeyForString("feline");
+  const PeerId serving = system.ring().ResponsibleNode(key).value();
+  ASSERT_TRUE(system.FailPeer(serving).ok());
+  system.StabilizeNetwork(8);
+  system.RunHeartbeats();
+
+  auto before = system.Search(Q(1, {"feline"}), 10, /*record=*/false);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->empty());  // sanity: doc0 is findable again
+
+  ASSERT_TRUE(system.UnshareDocument(0).ok());
+  auto after = system.Search(Q(2, {"feline"}), 10, /*record=*/false);
+  ASSERT_TRUE(after.ok());
+  for (const auto& scored : *after) {
+    EXPECT_NE(scored.doc, 0u)
+        << "withdrawn document served from a stale replica";
+  }
+}
+
 }  // namespace
 }  // namespace sprite::core

@@ -1,0 +1,316 @@
+// Tests for the observability subsystem: the metrics registry (counters,
+// gauges, histograms, labels), the JSON snapshot export the benches write,
+// the simulated-latency model, and the SpriteSystem integration that feeds
+// per-phase metrics from the live system.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sprite_system.h"
+#include "corpus/corpus.h"
+#include "obs/latency_model.h"
+#include "obs/metrics.h"
+
+namespace sprite::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("requests"), 0u);
+  reg.Add("requests");
+  reg.Add("requests");
+  reg.Add("requests", 5);
+  EXPECT_EQ(reg.counter("requests"), 7u);
+  EXPECT_EQ(reg.num_counters(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelsSplitMetricInstances) {
+  MetricsRegistry reg;
+  reg.Add("net.messages", "Query", 3);
+  reg.Add("net.messages", "Publish", 1);
+  reg.Add("net.messages", "Query", 2);
+  EXPECT_EQ(reg.counter("net.messages", "Query"), 5u);
+  EXPECT_EQ(reg.counter("net.messages", "Publish"), 1u);
+  EXPECT_EQ(reg.counter("net.messages"), 0u);  // unlabeled is distinct
+  EXPECT_EQ(reg.num_counters(), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugesLastValueWins) {
+  MetricsRegistry reg;
+  reg.Set("peers.alive", 64.0);
+  reg.Set("peers.alive", 63.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("peers.alive"), 63.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("missing"), 0.0);
+}
+
+TEST(MetricsRegistryTest, HistogramsRetainDistribution) {
+  MetricsRegistry reg;
+  for (int v = 1; v <= 100; ++v) {
+    reg.Observe("latency", static_cast<double>(v));
+  }
+  const Histogram* h = reg.histogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_DOUBLE_EQ(h->Mean(), 50.5);
+  EXPECT_EQ(reg.histogram("never-observed"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotExposesAllKinds) {
+  MetricsRegistry reg;
+  reg.Add("c", 4);
+  reg.Set("g", 2.5);
+  reg.Observe("h", 1.0);
+  reg.Observe("h", 3.0);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  const CounterSample* c = snap.FindCounter("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 4u);
+
+  const GaugeSample* g = snap.FindGauge("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, 2.5);
+
+  const HistogramSample* h = snap.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->sum, 4.0);
+  EXPECT_DOUBLE_EQ(h->mean, 2.0);
+  EXPECT_DOUBLE_EQ(h->min, 1.0);
+  EXPECT_DOUBLE_EQ(h->max, 3.0);
+
+  EXPECT_EQ(snap.FindCounter("absent"), nullptr);
+  EXPECT_EQ(snap.FindGauge("absent"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotPercentilesAreExact) {
+  MetricsRegistry reg;
+  for (int v = 1; v <= 100; ++v) {
+    reg.Observe("d", static_cast<double>(v));
+  }
+  MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSample* d = snap.FindHistogram("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count, 100u);
+  EXPECT_GE(d->p50, 50.0);
+  EXPECT_LE(d->p50, 51.0);
+  EXPECT_GE(d->p90, 90.0);
+  EXPECT_GE(d->p99, 99.0);
+  EXPECT_LE(d->p99, 100.0);
+}
+
+TEST(MetricsRegistryTest, ClearResetsEverything) {
+  MetricsRegistry reg;
+  reg.Add("c");
+  reg.Set("g", 1.0);
+  reg.Observe("h", 1.0);
+  reg.Clear();
+  EXPECT_EQ(reg.num_counters(), 0u);
+  EXPECT_EQ(reg.num_gauges(), 0u);
+  EXPECT_EQ(reg.num_histograms(), 0u);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsSnapshotTest, ToJsonContainsAllSections) {
+  MetricsRegistry reg;
+  reg.Add("search.queries", 3);
+  reg.Add("net.messages", "Query", 7);
+  reg.Set("peers.alive", 16.0);
+  reg.Observe("latency.search.total_ms", 120.0);
+
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"search.queries\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"Query\""), std::string::npos);
+  EXPECT_NE(json.find("\"peers.alive\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency.search.total_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  // Unlabeled metrics omit the label field entirely.
+  EXPECT_EQ(json.find("\"label\":\"\""), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, ToJsonEscapesStrings) {
+  MetricsRegistry reg;
+  reg.Add("weird\"name\\with\ncontrols", 1);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\ncontrols"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, EmptyRegistryProducesValidSkeleton) {
+  MetricsRegistry reg;
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": ["), std::string::npos);
+  EXPECT_EQ(json.find("{\"name\""), std::string::npos);  // no entries
+}
+
+TEST(MetricsSnapshotTest, WriteJsonFileRoundTrips) {
+  MetricsRegistry reg;
+  reg.Add("x", 42);
+  const std::string json = reg.Snapshot().ToJson();
+  const std::string path =
+      ::testing::TempDir() + "/sprite_obs_test_metrics.json";
+  ASSERT_TRUE(WriteJsonFile(path, json));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string read_back(json.size(), '\0');
+  const size_t n = std::fread(read_back.data(), 1, read_back.size(), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_EQ(n, json.size());
+  EXPECT_EQ(read_back, json);
+}
+
+TEST(LatencyModelTest, ComponentsAreAdditiveAndLinear) {
+  LatencyParams p;
+  p.hop_rtt_ms = 40.0;
+  p.bandwidth_bytes_per_sec = 1e6;  // 1000 bytes per ms
+  p.rank_ms_per_posting = 0.01;
+  LatencyModel model(p);
+
+  EXPECT_DOUBLE_EQ(model.HopsMs(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.HopsMs(3), 120.0);
+  EXPECT_DOUBLE_EQ(model.RequestMs(2), 80.0);
+  EXPECT_DOUBLE_EQ(model.TransferMs(500000), 500.0);
+  EXPECT_DOUBLE_EQ(model.RankMs(200), 2.0);
+  EXPECT_DOUBLE_EQ(model.OperationMs(3, 2, 500000),
+                   model.HopsMs(3) + model.RequestMs(2) +
+                       model.TransferMs(500000));
+}
+
+TEST(LatencyModelTest, ZeroBandwidthMeansFreeTransfer) {
+  LatencyParams p;
+  p.bandwidth_bytes_per_sec = 0.0;
+  LatencyModel model(p);
+  EXPECT_DOUBLE_EQ(model.TransferMs(1 << 20), 0.0);
+}
+
+TEST(LatencyModelTest, DefaultsMatchConfigDefaults) {
+  core::SpriteConfig config;
+  LatencyParams p;
+  EXPECT_DOUBLE_EQ(config.hop_rtt_ms, p.hop_rtt_ms);
+  EXPECT_DOUBLE_EQ(config.bandwidth_bytes_per_sec, p.bandwidth_bytes_per_sec);
+}
+
+// --- SpriteSystem integration ------------------------------------------
+
+text::TermVector TV(const std::vector<std::string>& tokens) {
+  return text::TermVector::FromTokens(tokens);
+}
+
+corpus::Query Q(corpus::QueryId id, std::vector<std::string> terms) {
+  return corpus::Query{id, std::move(terms)};
+}
+
+core::SpriteConfig SmallConfig() {
+  core::SpriteConfig c;
+  c.num_peers = 16;
+  c.initial_terms = 2;
+  c.terms_per_iteration = 2;
+  c.max_index_terms = 6;
+  return c;
+}
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  ObsIntegrationTest() {
+    corpus_.AddDocument(TV({"cat", "cat", "cat", "feline", "feline",
+                            "whisker", "purr"}));
+    corpus_.AddDocument(TV({"dog", "dog", "dog", "canine", "canine",
+                            "leash", "bark"}));
+    corpus_.AddDocument(TV({"pet", "pet", "cat", "dog", "food"}));
+  }
+
+  corpus::Corpus corpus_;
+};
+
+TEST_F(ObsIntegrationTest, SearchFeedsPhaseMetrics) {
+  core::SpriteSystem system(SmallConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  ASSERT_TRUE(system.Search(Q(1, {"cat", "dog"}), 10).ok());
+  ASSERT_TRUE(system.Search(Q(2, {"feline"}), 10).ok());
+
+  const MetricsRegistry& m = system.metrics();
+  EXPECT_EQ(m.counter("search.queries"), 2u);
+  const Histogram* total = m.histogram("latency.search.total_ms");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->count(), 2u);
+  ASSERT_NE(m.histogram("latency.search.route_ms"), nullptr);
+  ASSERT_NE(m.histogram("latency.search.fetch_ms"), nullptr);
+  ASSERT_NE(m.histogram("latency.search.rank_ms"), nullptr);
+  // Fetch involves at least one request round trip per query.
+  EXPECT_GT(m.histogram("latency.search.fetch_ms")->Mean(), 0.0);
+  ASSERT_NE(m.histogram("search.postings_fetched"), nullptr);
+  EXPECT_GT(m.histogram("search.postings_fetched")->Mean(), 0.0);
+}
+
+TEST_F(ObsIntegrationTest, LearningFeedsPollMetrics) {
+  core::SpriteSystem system(SmallConfig());
+  system.RecordQuery(Q(1, {"cat", "whisker"}));
+  system.RecordQuery(Q(2, {"cat", "whisker"}));
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  system.ClearMetrics();
+  system.RunLearningIteration();
+
+  const MetricsRegistry& m = system.metrics();
+  EXPECT_EQ(m.counter("learning.iterations"), 1u);
+  EXPECT_GT(m.counter("learning.polls"), 0u);
+  EXPECT_GT(m.counter("learning.pulled_queries"), 0u);
+  EXPECT_GT(m.counter("learning.terms_added"), 0u);
+  ASSERT_NE(m.histogram("latency.learning.poll_ms"), nullptr);
+}
+
+TEST_F(ObsIntegrationTest, MaintenanceFeedsMetricsAndGauges) {
+  core::SpriteConfig config = SmallConfig();
+  config.replication_factor = 1;
+  core::SpriteSystem system(config);
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+
+  const MetricsRegistry& m = system.metrics();
+  EXPECT_DOUBLE_EQ(m.gauge("peers.alive"), 16.0);
+  EXPECT_DOUBLE_EQ(m.gauge("peers.total"), 16.0);
+
+  system.ReplicateIndexes();
+  EXPECT_GT(m.counter("replication.pushes"), 0u);
+  ASSERT_NE(m.histogram("latency.replication.push_ms"), nullptr);
+
+  const size_t probes = system.RunHeartbeats();
+  EXPECT_EQ(m.counter("heartbeat.probes"), probes);
+  EXPECT_EQ(m.counter("heartbeat.rounds"), 1u);
+  ASSERT_NE(m.histogram("latency.heartbeat.round_ms"), nullptr);
+
+  // Network traffic is mirrored per message type.
+  EXPECT_GT(m.counter("net.messages", "Replicate"), 0u);
+  EXPECT_GT(m.counter("net.bytes", "Heartbeat"), 0u);
+
+  // Failing a peer moves the gauge and counts the event.
+  ASSERT_TRUE(system.FailPeer(system.ring().AliveIds().front()).ok());
+  EXPECT_DOUBLE_EQ(m.gauge("peers.alive"), 15.0);
+  EXPECT_EQ(m.counter("peers.failed"), 1u);
+}
+
+TEST_F(ObsIntegrationTest, ChordLookupsAreMirrored) {
+  core::SpriteSystem system(SmallConfig());
+  system.ClearMetrics();
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  const MetricsRegistry& m = system.metrics();
+  EXPECT_GT(m.counter("chord.lookups"), 0u);
+  const Histogram* hops = m.histogram("chord.lookup_hops");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_GT(hops->count(), 0u);
+}
+
+}  // namespace
+}  // namespace sprite::obs

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Minimal CI for the repo: the tier-1 verify (ROADMAP.md) plus an
+# ASan/UBSan build of the test suite.
+#
+#   tools/ci.sh          # tier-1 only
+#   tools/ci.sh --asan   # tier-1, then rebuild and retest under sanitizers
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [ "${1:-}" = "--asan" ]; then
+  echo "== sanitizers: ASan + UBSan build =="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    >/dev/null
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j)
+fi
+
+echo "CI OK"

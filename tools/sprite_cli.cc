@@ -18,6 +18,8 @@
 //   --iters=N     learning iterations         (default 3)
 //   --k=N         answers per query           (default 20)
 //   --seed=N      RNG seed                    (default 42)
+//   --metrics-json=PATH  dump the system's observability snapshot
+//                 (counters + simulated-latency histograms) as JSON
 
 #include <cstdio>
 #include <cstring>
@@ -44,10 +46,12 @@ struct Options {
   size_t iters = 3;
   size_t k = 20;
   uint64_t seed = 42;
+  std::string metrics_json;  // empty: no dump
 };
 
 Options ParseOptions(int argc, char** argv, int first) {
   Options o;
+  constexpr const char kMetricsFlag[] = "--metrics-json=";
   for (int i = first; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::sscanf(argv[i], "--peers=%llu", &v) == 1) o.peers = v;
@@ -55,8 +59,24 @@ Options ParseOptions(int argc, char** argv, int first) {
     if (std::sscanf(argv[i], "--iters=%llu", &v) == 1) o.iters = v;
     if (std::sscanf(argv[i], "--k=%llu", &v) == 1) o.k = v;
     if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) o.seed = v;
+    if (std::strncmp(argv[i], kMetricsFlag, sizeof(kMetricsFlag) - 1) == 0) {
+      o.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
+    }
   }
   return o;
+}
+
+// Dumps the system's metrics snapshot when --metrics-json was given.
+void MaybeDumpMetrics(const Options& options,
+                      const core::SpriteSystem& system) {
+  if (options.metrics_json.empty()) return;
+  if (obs::WriteJsonFile(options.metrics_json,
+                         system.metrics().Snapshot().ToJson())) {
+    std::printf("metrics written to %s\n", options.metrics_json.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write metrics to %s\n",
+                 options.metrics_json.c_str());
+  }
 }
 
 core::SpriteConfig MakeConfig(const Options& o) {
@@ -122,6 +142,7 @@ int CmdSearch(int argc, char** argv) {
                 corpus.doc(scored.doc).title.c_str(), scored.score);
   }
   std::printf("\nDHT cost: %s\n", system.ring().stats().hops.Summary().c_str());
+  MaybeDumpMetrics(options, system);
   return 0;
 }
 
@@ -200,6 +221,7 @@ int CmdEvaluateTrec(int argc, char** argv) {
       core::MakeESearchConfig(MakeConfig(options), options.terms));
   SPRITE_CHECK_OK(esearch.ShareCorpus(corpus));
   evaluate(esearch);
+  MaybeDumpMetrics(options, sprite_system);
   return 0;
 }
 
@@ -217,6 +239,7 @@ int main(int argc, char** argv) {
                "  sprite_cli search <corpus.tsv> \"<keywords>\" [options]\n"
                "  sprite_cli evaluate-trec <docs> <topics> <qrels> "
                "[options]\n"
-               "options: --peers=N --terms=N --iters=N --k=N --seed=N\n");
+               "options: --peers=N --terms=N --iters=N --k=N --seed=N "
+               "--metrics-json=PATH\n");
   return 2;
 }
