@@ -21,16 +21,23 @@ namespace spritebench {
 // Override with --docs=N / --peers=N / --seed=N on any bench binary.
 // --metrics-json=PATH additionally dumps the instrumented system's
 // observability snapshot (counters + latency histograms) as BENCH JSON.
+// --trace-json=PATH / --trace-jsonl=PATH enable distributed tracing and
+// dump the retained span trees as Chrome trace-event JSON (Perfetto) /
+// structured JSONL.
 struct BenchArgs {
   size_t docs = 3000;
   size_t peers = 64;
   uint64_t seed = 42;
   std::string metrics_json;  // empty: no dump
+  std::string trace_json;    // empty: no Perfetto dump
+  std::string trace_jsonl;   // empty: no JSONL dump
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   constexpr const char kMetricsFlag[] = "--metrics-json=";
+  constexpr const char kTraceFlag[] = "--trace-json=";
+  constexpr const char kTraceJsonlFlag[] = "--trace-jsonl=";
   for (int i = 1; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::sscanf(argv[i], "--docs=%llu", &v) == 1) {
@@ -42,9 +49,23 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kMetricsFlag,
                             sizeof(kMetricsFlag) - 1) == 0) {
       args.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
+    } else if (std::strncmp(argv[i], kTraceJsonlFlag,
+                            sizeof(kTraceJsonlFlag) - 1) == 0) {
+      args.trace_jsonl = argv[i] + sizeof(kTraceJsonlFlag) - 1;
+    } else if (std::strncmp(argv[i], kTraceFlag,
+                            sizeof(kTraceFlag) - 1) == 0) {
+      args.trace_json = argv[i] + sizeof(kTraceFlag) - 1;
     }
   }
   return args;
+}
+
+// Turns on tracing for `sys` when a --trace-json/--trace-jsonl flag was
+// given. Call before the instrumented phase of the bench.
+inline void MaybeEnableTracing(const BenchArgs& args,
+                               sprite::core::SpriteSystem& sys) {
+  if (args.trace_json.empty() && args.trace_jsonl.empty()) return;
+  sys.mutable_tracer().set_enabled(true);
 }
 
 // Writes `sys`'s metrics snapshot to args.metrics_json when set; no-op
@@ -58,6 +79,28 @@ inline void MaybeWriteMetricsJson(const BenchArgs& args,
   } else {
     std::fprintf(stderr, "failed to write metrics to %s\n",
                  args.metrics_json.c_str());
+  }
+}
+
+// Writes the tracer's retained traces to args.trace_json (Perfetto) and/or
+// args.trace_jsonl; no-op when neither flag was given.
+inline void MaybeWriteTraceFiles(const BenchArgs& args,
+                                 const sprite::core::SpriteSystem& sys) {
+  const auto write = [](const std::string& path, const std::string& body,
+                        const char* what) {
+    if (path.empty()) return;
+    if (sprite::obs::WriteJsonFile(path, body)) {
+      std::printf("%s trace written to %s\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s trace to %s\n", what,
+                   path.c_str());
+    }
+  };
+  if (!args.trace_json.empty()) {
+    write(args.trace_json, sys.tracer().ToPerfettoJson(), "perfetto");
+  }
+  if (!args.trace_jsonl.empty()) {
+    write(args.trace_jsonl, sys.tracer().ToJsonl(), "jsonl");
   }
 }
 

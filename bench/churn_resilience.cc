@@ -18,10 +18,11 @@ struct Outcome {
 };
 
 Outcome Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
-            double fail_fraction, size_t replication) {
+            double fail_fraction, size_t replication, bool instrument) {
   core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
   config.replication_factor = replication;
   core::SpriteSystem system(config);
+  if (instrument) spritebench::MaybeEnableTracing(args, system);
   SPRITE_CHECK_OK(eval::TrainSystem(system, bed, bed.split().train, 3));
   if (replication > 0) system.ReplicateIndexes();
 
@@ -38,6 +39,7 @@ Outcome Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
   system.mutable_ring().ClearStats();
 
   eval::EvalResult r = eval::EvaluateSystem(system, bed, bed.split().test, 20);
+  if (instrument) spritebench::MaybeWriteTraceFiles(args, system);
   return Outcome{r.ratio.precision, r.ratio.recall,
                  system.ring().stats().failed_lookups};
 }
@@ -57,8 +59,10 @@ int main(int argc, char** argv) {
               "replication r=2 (P/R)");
   std::printf("---------+------------------------+----------------------\n");
   for (double f : {0.0, 0.1, 0.25, 0.5}) {
-    Outcome none = Run(args, bed, f, 0);
-    Outcome repl = Run(args, bed, f, 2);
+    Outcome none = Run(args, bed, f, 0, /*instrument=*/false);
+    // Trace (when requested) the harshest replicated run: searches routing
+    // around half the network being gone.
+    Outcome repl = Run(args, bed, f, 2, /*instrument=*/f == 0.5);
     std::printf("  %4.0f%%  |    %6.3f / %6.3f    |    %6.3f / %6.3f\n",
                 f * 100.0, none.precision, none.recall, repl.precision,
                 repl.recall);

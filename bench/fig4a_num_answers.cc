@@ -20,7 +20,10 @@ int main(int argc, char** argv) {
 
   // Train SPRITE: seed training queries, share the corpus (5 initial
   // terms), run 3 learning iterations of 5 terms -> 20 terms total.
+  // Tracing (when requested) covers training and evaluation alike, so the
+  // dump holds share/learning/search span trees.
   core::SpriteSystem sprite_sys(spritebench::DefaultSpriteConfig(args));
+  spritebench::MaybeEnableTracing(args, sprite_sys);
   SPRITE_CHECK_OK(
       eval::TrainSystem(sprite_sys, bed, bed.split().train, /*iterations=*/3));
 
@@ -46,5 +49,6 @@ int main(int argc, char** argv) {
       "\n(values are ratios system/centralized; paper: SPRITE ~0.89/0.87 "
       "flat,\n eSearch above SPRITE at K<=10 and degrading for larger K)\n");
   spritebench::MaybeWriteMetricsJson(args, sprite_sys);
+  spritebench::MaybeWriteTraceFiles(args, sprite_sys);
   return 0;
 }

@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   // --- SPRITE: 5 initial terms + 3 learning iterations. ----------------
   {
     core::SpriteSystem system(spritebench::DefaultSpriteConfig(args));
+    spritebench::MaybeEnableTracing(args, system);
     for (size_t idx : bed.split().train) system.RecordQuery(bed.query(idx));
     system.ClearNetworkStats();  // charge query insertion to the searchers
     SPRITE_CHECK_OK(system.ShareCorpus(bed.corpus()));
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
                     static_cast<double>(queries),
                 system.ring().stats().hops.Mean());
     spritebench::MaybeWriteMetricsJson(args, system);
+    spritebench::MaybeWriteTraceFiles(args, system);
   }
 
   std::printf(

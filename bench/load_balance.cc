@@ -81,6 +81,7 @@ LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
   core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
   config.use_hot_term_cache = caching;
   core::SpriteSystem system(config);
+  if (caching) spritebench::MaybeEnableTracing(args, system);
   SPRITE_CHECK_OK(eval::TrainSystem(system, bed, bed.split().train, 3));
 
   // Warm-up third of the stream: peers observe the live query popularity
@@ -101,9 +102,18 @@ LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
   for (size_t idx : measured) {
     (void)system.Search(bed.query(idx), 20, /*record=*/false);
   }
+  // Per-peer load gauges + skew stats through the registry, so the BENCH
+  // JSON carries the distribution the table below only summarizes.
+  system.ExportLoadMetrics();
+  std::printf("  (query-load skew: max/mean=%.2f gini=%.3f)\n",
+              system.metrics().gauge("load.queries.max_mean_ratio"),
+              system.metrics().gauge("load.queries.gini"));
   // Dump the instrumented (caching-on) run: it exercises the full search
   // path including cache-served lists.
-  if (caching) spritebench::MaybeWriteMetricsJson(args, system);
+  if (caching) {
+    spritebench::MaybeWriteMetricsJson(args, system);
+    spritebench::MaybeWriteTraceFiles(args, system);
+  }
   return Profile(system, HotTerms(bed, measured, 8));
 }
 

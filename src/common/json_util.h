@@ -1,0 +1,19 @@
+#ifndef SPRITE_COMMON_JSON_UTIL_H_
+#define SPRITE_COMMON_JSON_UTIL_H_
+
+#include <string>
+
+namespace sprite {
+
+// Minimal JSON string escaping (quotes, backslashes, control characters).
+// Metric/span names are identifiers, but a malformed value must never
+// produce invalid JSON. Shared by the metrics snapshot and trace exporters.
+std::string JsonEscape(const std::string& s);
+
+// Renders a double as a JSON number token. JSON has no NaN/Inf literals;
+// non-finite values are clamped to null.
+std::string JsonNumber(double v);
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_JSON_UTIL_H_

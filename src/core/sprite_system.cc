@@ -39,7 +39,52 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
   // joins above) is excluded, matching the ClearStats() baseline.
   net_.AttachMetrics(&metrics_);
   ring_.AttachMetrics(&metrics_);
+  tracer_.set_hop_cost_ms(latency_.HopsMs(1));
+  ring_.AttachTracer(&tracer_);
+  net_.AttachTracer(&tracer_);
   UpdateMembershipGauges();
+}
+
+std::string SpriteSystem::PeerNameOf(PeerId id) const {
+  const dht::ChordNode* node = ring_.node(id);
+  if (node != nullptr && !node->name.empty()) return node->name;
+  return StrFormat("peer-%llu", static_cast<unsigned long long>(id));
+}
+
+void SpriteSystem::ExportLoadMetrics() {
+  std::vector<double> postings;
+  std::vector<double> queries;
+  for (const auto& [id, peer] : indexing_) {
+    const dht::ChordNode* node = ring_.node(id);
+    if (node == nullptr || !node->alive) continue;
+    const double p = static_cast<double>(peer.num_postings());
+    auto qit = query_load_.find(id);
+    const double q =
+        qit == query_load_.end() ? 0.0 : static_cast<double>(qit->second);
+    const std::string label =
+        StrFormat("peer-%llu", static_cast<unsigned long long>(id));
+    metrics_.Set("load.postings", label, p);
+    metrics_.Set("load.queries", label, q);
+    postings.push_back(p);
+    queries.push_back(q);
+  }
+  const auto summarize = [this](const std::string& prefix,
+                                const std::vector<double>& values) {
+    double sum = 0.0;
+    double max = 0.0;
+    for (double v : values) {
+      sum += v;
+      max = std::max(max, v);
+    }
+    metrics_.Set(prefix + ".max", max);
+    metrics_.Set(prefix + ".mean",
+                 values.empty() ? 0.0
+                                : sum / static_cast<double>(values.size()));
+    metrics_.Set(prefix + ".max_mean_ratio", obs::MaxMeanRatio(values));
+    metrics_.Set(prefix + ".gini", obs::GiniCoefficient(values));
+  };
+  summarize("load.postings", postings);
+  summarize("load.queries", queries);
 }
 
 void SpriteSystem::UpdateMembershipGauges() {
@@ -86,19 +131,30 @@ PostingEntry SpriteSystem::MakePosting(const OwnedDocument& owned,
 
 Status SpriteSystem::PublishTerm(PeerId owner, const std::string& term,
                                  const PostingEntry& entry) {
+  obs::ScopedSpan span(&tracer_, "publish.term", PeerNameOf(owner));
+  span.Annotate("term", term);
   StatusOr<PeerId> target = RouteToTerm(owner, term);
   if (!target.ok()) return target.status();
   net_.Count(p2p::MessageType::kPublishTerm,
              p2p::kTermBytes + p2p::kPostingEntryBytes);
+  tracer_.clock().AdvanceMs(
+      latency_.RequestMs(1) +
+      latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes +
+                          p2p::kPostingEntryBytes));
   indexing_.at(target.value()).AddPosting(term, entry);
   return Status::OK();
 }
 
 Status SpriteSystem::WithdrawTerm(PeerId owner, const std::string& term,
                                   DocId doc) {
+  obs::ScopedSpan span(&tracer_, "withdraw.term", PeerNameOf(owner));
+  span.Annotate("term", term);
   StatusOr<PeerId> target = RouteToTerm(owner, term);
   if (!target.ok()) return target.status();
   net_.Count(p2p::MessageType::kWithdrawTerm, p2p::kTermBytes);
+  tracer_.clock().AdvanceMs(
+      latency_.RequestMs(1) +
+      latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes));
   indexing_.at(target.value()).RemovePosting(term, doc);
   return Status::OK();
 }
@@ -115,6 +171,8 @@ Status SpriteSystem::ShareDocument(const corpus::Document& doc) {
   // ids with ring positions.
   uint64_t mix = 0x9e3779b97f4a7c15ULL * (doc.id + 1);
   const PeerId owner_id = PickPeer(mix);
+  obs::ScopedSpan span(&tracer_, "share.document", PeerNameOf(owner_id));
+  span.Annotate("doc", StrFormat("%u", doc.id));
   OwnerPeer& owner = owners_.at(owner_id);
   OwnedDocument& owned = owner.AdoptDocument(&doc);
   doc_owner_[doc.id] = owner_id;
@@ -149,13 +207,18 @@ void SpriteSystem::RecordQuery(const corpus::Query& query) {
   const QueryRecord record = MakeQueryRecord(query);
 
   const PeerId origin = PickPeer(record.hash_key);
+  obs::ScopedSpan span(&tracer_, "record.query", PeerNameOf(origin));
+  span.Annotate("query", StrFormat("%u", query.id));
   // One history entry per responsible peer: a peer covering several of the
   // query's terms must not burn several slots of its bounded history on the
   // same issuance (the per-term lookups still happen — the origin needs
   // them to find the peers).
   std::unordered_set<PeerId> recorded_at;
   for (const std::string& term : record.terms) {
+    obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(origin));
+    route_span.Annotate("term", term);
     StatusOr<PeerId> target = RouteToTerm(origin, term);
+    route_span.End();
     if (!target.ok()) continue;  // unreachable arc: this copy is lost
     if (recorded_at.insert(target.value()).second) {
       indexing_.at(target.value()).RecordQuery(record);
@@ -183,6 +246,14 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
       PickPeer(ring_.space().KeyForString(query.CanonicalKey()) ^
                (0x517cc1b727220a95ULL * (query.id + 1)) ^
                (0x2545f4914f6cdd1dULL * issuance));
+
+  // The root span of the whole operation: its route/fetch/rank children
+  // advance the simulated clock by exactly the per-phase latency-model
+  // costs, so the tree's summed durations reproduce the
+  // latency.search.*_ms observations below.
+  obs::ScopedSpan search_span(&tracer_, "search", PeerNameOf(querying_peer));
+  search_span.Annotate("query", StrFormat("%u", query.id));
+  search_span.Annotate("terms", StrFormat("%zu", terms.size()));
 
   // Searching phase: visit each term's indexing peer and pull the inverted
   // list plus metadata. With hot-term caching on, a contacted peer also
@@ -212,13 +283,21 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     const std::string& term = terms[(start + ti) % terms.size()];
     if (resolved.count(term) > 0) continue;
     int hops = 0;
+    obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(querying_peer));
+    route_span.Annotate("term", term);
     StatusOr<PeerId> target = RouteToTerm(querying_peer, term, &hops);
+    route_span.End();
     if (!target.ok()) {
       ++skipped_terms;
       if (config_.skip_unreachable_terms) continue;  // Section 7, scheme 1
       return target.status();
     }
     route_hops += static_cast<uint64_t>(hops);
+    // One fetch span per query term, attributed to the indexing peer that
+    // serves the exchange (hot-term-cache extras ride in its response).
+    obs::ScopedSpan fetch_span(&tracer_, "fetch", PeerNameOf(target.value()));
+    const uint64_t fetch_bytes_before = fetch_bytes;
+    const size_t postings_before = fetched_postings;
     const size_t request_payload =
         p2p::kTermBytes + (rec.has_value() ? p2p::kQueryRecordBytes : 0);
     net_.Count(p2p::MessageType::kQueryRequest, request_payload);
@@ -266,12 +345,31 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
         lists.push_back(std::move(extra));
       }
     }
+
+    // The fetch phase cost of this exchange: one request round trip plus
+    // the serialized request/response bytes (linear, so per-term spans sum
+    // to the aggregate fetch_ms below).
+    tracer_.clock().AdvanceMs(
+        latency_.RequestMs(1) +
+        latency_.TransferMs(fetch_bytes - fetch_bytes_before));
+    fetch_span.Annotate("term", term);
+    fetch_span.Annotate(
+        "peer_id",
+        StrFormat("%llu", static_cast<unsigned long long>(target.value())));
+    fetch_span.Annotate(
+        "bytes", StrFormat("%llu", static_cast<unsigned long long>(
+                                       fetch_bytes - fetch_bytes_before)));
+    fetch_span.Annotate(
+        "postings", StrFormat("%zu", fetched_postings - postings_before));
   }
 
   // Ranking at the querying peer: consolidate per-document entries and
   // apply the Lee et al. similarity. The document frequency is the indexed
   // document frequency n'_k (the list length) and N is the fixed constant
   // of Section 4.
+  obs::ScopedSpan rank_span(&tracer_, "rank", PeerNameOf(querying_peer));
+  rank_span.Annotate("postings", StrFormat("%zu", fetched_postings));
+  tracer_.clock().AdvanceMs(latency_.RankMs(fetched_postings));
   std::unordered_map<DocId, double> dot;
   std::unordered_map<DocId, uint32_t> distinct_terms;
   for (const RetrievedList& rl : lists) {
@@ -293,6 +391,7 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     if (score > 0.0) results.push_back({doc, score});
   }
   ir::SortRankedList(results, k);
+  rank_span.End();
 
   // Per-phase accounting: routing (sequential hops), fetching (request
   // round trips + payload transfer), ranking (local merge over the
@@ -311,6 +410,9 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   metrics_.Observe("latency.search.fetch_ms", fetch_ms);
   metrics_.Observe("latency.search.rank_ms", rank_ms);
   metrics_.Observe("latency.search.total_ms", route_ms + fetch_ms + rank_ms);
+  search_span.Annotate("results", StrFormat("%zu", results.size()));
+  search_span.Annotate("total_ms",
+                       StrFormat("%.3f", route_ms + fetch_ms + rank_ms));
   return results;
 }
 
@@ -328,15 +430,23 @@ void SpriteSystem::ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
 
 void SpriteSystem::RunLearningIteration() {
   metrics_.Add("learning.iterations");
+  obs::ScopedSpan iter_span(&tracer_, "learning.iteration", "system");
   for (auto& [owner_id, owner] : owners_) {
     const dht::ChordNode* node = ring_.node(owner_id);
     if (node == nullptr || !node->alive) continue;
     for (auto& [doc_id, owned] : owner.mutable_documents()) {
       if (config_.selection == TermSelectionPolicy::kStaticFrequency) {
+        obs::ScopedSpan grow_span(&tracer_, "learning.grow",
+                                  PeerNameOf(owner_id));
+        grow_span.Annotate("doc", StrFormat("%u", doc_id));
         OwnerPeer::IndexUpdate update = owner.GrowStatic(owned, config_);
         ApplyIndexUpdate(owner_id, owned, update);
         continue;
       }
+
+      obs::ScopedSpan poll_span(&tracer_, "learning.poll",
+                                PeerNameOf(owner_id));
+      poll_span.Annotate("doc", StrFormat("%u", doc_id));
 
       // Group the document's current terms by responsible indexing peer.
       const std::vector<std::string> poll_terms = owned.index_terms;
@@ -344,7 +454,10 @@ void SpriteSystem::RunLearningIteration() {
       uint64_t poll_hops = 0;
       for (const std::string& term : poll_terms) {
         int hops = 0;
+        obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(owner_id));
+        route_span.Annotate("term", term);
         StatusOr<PeerId> target = RouteToTerm(owner_id, term, &hops);
+        route_span.End();
         if (target.ok()) {
           by_peer[target.value()].push_back(term);
           poll_hops += static_cast<uint64_t>(hops);
@@ -356,6 +469,10 @@ void SpriteSystem::RunLearningIteration() {
       std::vector<const QueryRecord*> pulled;
       uint64_t poll_bytes = 0;
       for (const auto& [peer_id, my_terms] : by_peer) {
+        obs::ScopedSpan exchange_span(&tracer_, "poll.exchange",
+                                      PeerNameOf(peer_id));
+        uint64_t exchange_bytes =
+            p2p::kMessageHeaderBytes + poll_terms.size() * p2p::kTermBytes;
         net_.Count(p2p::MessageType::kPollRequest,
                    poll_terms.size() * p2p::kTermBytes);
         poll_bytes +=
@@ -367,7 +484,12 @@ void SpriteSystem::RunLearningIteration() {
                    recs.size() * p2p::kQueryRecordBytes);
         poll_bytes +=
             p2p::kMessageHeaderBytes + recs.size() * p2p::kQueryRecordBytes;
+        exchange_bytes +=
+            p2p::kMessageHeaderBytes + recs.size() * p2p::kQueryRecordBytes;
         pulled.insert(pulled.end(), recs.begin(), recs.end());
+        tracer_.clock().AdvanceMs(latency_.RequestMs(1) +
+                                  latency_.TransferMs(exchange_bytes));
+        exchange_span.Annotate("queries", StrFormat("%zu", recs.size()));
       }
       // Advance the cursors only for terms whose indexing peer was
       // actually polled. A term whose route failed keeps its old cursor:
@@ -393,10 +515,13 @@ void SpriteSystem::RunLearningIteration() {
 
 void SpriteSystem::ReplicateIndexes() {
   if (config_.replication_factor == 0) return;
+  obs::ScopedSpan run_span(&tracer_, "replication.run", "system");
   for (auto& [peer_id, peer] : indexing_) {
     const dht::ChordNode* node = ring_.node(peer_id);
     if (node == nullptr || !node->alive) continue;
     if (peer.num_terms() == 0) continue;
+    obs::ScopedSpan push_span(&tracer_, "replication.push",
+                              PeerNameOf(peer_id));
     const std::vector<PeerId> succs =
         ring_.SuccessorsOf(peer_id, config_.replication_factor);
     uint64_t push_bytes = 0;
@@ -416,7 +541,12 @@ void SpriteSystem::ReplicateIndexes() {
       // Successors are one overlay hop away; the transfer dominates.
       metrics_.Observe("latency.replication.push_ms",
                        latency_.OperationMs(0, pushes, push_bytes));
+      tracer_.clock().AdvanceMs(latency_.OperationMs(0, pushes, push_bytes));
     }
+    push_span.Annotate("pushes", StrFormat(
+        "%llu", static_cast<unsigned long long>(pushes)));
+    push_span.Annotate("bytes", StrFormat(
+        "%llu", static_cast<unsigned long long>(push_bytes)));
   }
 }
 
@@ -501,6 +631,8 @@ Status SpriteSystem::UnshareDocument(DocId doc) {
     return Status::NotFound(StrFormat("document %u is not shared", doc));
   }
   const PeerId owner_id = it->second;
+  obs::ScopedSpan span(&tracer_, "unshare.document", PeerNameOf(owner_id));
+  span.Annotate("doc", StrFormat("%u", doc));
   OwnerPeer& owner = owners_.at(owner_id);
   OwnedDocument* owned = owner.document(doc);
   SPRITE_CHECK(owned != nullptr);
@@ -521,6 +653,8 @@ Status SpriteSystem::UpdateDocument(const corpus::Document& doc) {
     return Status::InvalidArgument("updated document is empty; unshare it");
   }
   const PeerId owner_id = it->second;
+  obs::ScopedSpan span(&tracer_, "update.document", PeerNameOf(owner_id));
+  span.Annotate("doc", StrFormat("%u", doc.id));
   OwnedDocument* owned = owners_.at(owner_id).document(doc.id);
   SPRITE_CHECK(owned != nullptr);
 
@@ -553,6 +687,7 @@ StatusOr<PeerId> SpriteSystem::JoinPeer(const std::string& name) {
 }
 
 PeerId SpriteSystem::CompleteJoin(PeerId id) {
+  obs::ScopedSpan span(&tracer_, "peer.join", PeerNameOf(id));
   indexing_.emplace(id, IndexingPeer(id, config_.history_capacity));
   owners_.emplace(id, OwnerPeer(id));
   peer_ids_.insert(
@@ -571,17 +706,25 @@ PeerId SpriteSystem::CompleteJoin(PeerId id) {
           return owner.ok() && owner.value() == id;
         });
     IndexingPeer& newcomer = indexing_.at(id);
+    uint64_t handoff_bytes = 0;
     for (auto& [term, plist] : handoff.lists) {
-      net_.Count(p2p::MessageType::kKeyTransfer,
-                 p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes);
+      const size_t payload =
+          p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes;
+      net_.Count(p2p::MessageType::kKeyTransfer, payload);
+      handoff_bytes += p2p::kMessageHeaderBytes + payload;
       for (const PostingEntry& entry : plist) {
         newcomer.AddPosting(term, entry);
       }
     }
     for (const QueryRecord& record : handoff.records) {
       net_.Count(p2p::MessageType::kKeyTransfer, p2p::kQueryRecordBytes);
+      handoff_bytes += p2p::kMessageHeaderBytes + p2p::kQueryRecordBytes;
       newcomer.RecordQuery(record);
     }
+    tracer_.clock().AdvanceMs(latency_.TransferMs(handoff_bytes));
+    span.Annotate("handoff_bytes",
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(handoff_bytes)));
   }
   metrics_.Add("peers.joined");
   UpdateMembershipGauges();
@@ -590,6 +733,7 @@ PeerId SpriteSystem::CompleteJoin(PeerId id) {
 
 Status SpriteSystem::RebalanceRange() {
   metrics_.Add("rebalance.attempts");
+  obs::ScopedSpan rebalance_span(&tracer_, "rebalance", "system");
   if (ring_.num_alive() < 3) {
     return Status::FailedPrecondition("need at least three alive peers");
   }
@@ -647,6 +791,7 @@ Status SpriteSystem::LeavePeer(PeerId id) {
   if (ring_.num_alive() <= 1) {
     return Status::FailedPrecondition("cannot drain the last peer");
   }
+  obs::ScopedSpan span(&tracer_, "peer.leave", PeerNameOf(id));
 
   // Hand every primary inverted list and cached query to the successor.
   const std::vector<PeerId> succs = ring_.SuccessorsOf(id, 1);
@@ -654,17 +799,25 @@ Status SpriteSystem::LeavePeer(PeerId id) {
   IndexingPeer& successor = indexing_.at(succs[0]);
   IndexingPeer::Handoff handoff = indexing_.at(id).ExtractEntries(
       [](const std::string&) { return true; });
+  uint64_t handoff_bytes = 0;
   for (auto& [term, plist] : handoff.lists) {
-    net_.Count(p2p::MessageType::kKeyTransfer,
-               p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes);
+    const size_t payload =
+        p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes;
+    net_.Count(p2p::MessageType::kKeyTransfer, payload);
+    handoff_bytes += p2p::kMessageHeaderBytes + payload;
     for (const PostingEntry& entry : plist) {
       successor.AddPosting(term, entry);
     }
   }
   for (const QueryRecord& record : handoff.records) {
     net_.Count(p2p::MessageType::kKeyTransfer, p2p::kQueryRecordBytes);
+    handoff_bytes += p2p::kMessageHeaderBytes + p2p::kQueryRecordBytes;
     successor.RecordQuery(record);
   }
+  tracer_.clock().AdvanceMs(latency_.TransferMs(handoff_bytes));
+  span.Annotate("handoff_bytes",
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(handoff_bytes)));
 
   // Patch the ring first so re-owned documents never pick the leaver.
   SPRITE_RETURN_IF_ERROR(ring_.Leave(id));
@@ -705,14 +858,19 @@ size_t SpriteSystem::RunHeartbeats() {
   size_t republished = 0;
   uint64_t probe_hops = 0;
   uint64_t probe_bytes = 0;
+  obs::ScopedSpan round_span(&tracer_, "heartbeat.round", "system");
   for (auto& [owner_id, owner] : owners_) {
     const dht::ChordNode* node = ring_.node(owner_id);
     if (node == nullptr || !node->alive) continue;
     for (auto& [doc_id, owned] : owner.mutable_documents()) {
       for (const std::string& term : owned.index_terms) {
         int hops = 0;
+        obs::ScopedSpan probe_span(&tracer_, "heartbeat.probe",
+                                   PeerNameOf(owner_id));
+        probe_span.Annotate("term", term);
         StatusOr<PeerId> target = RouteToTerm(owner_id, term, &hops);
         if (!target.ok()) continue;  // arc unreachable; retry next period
+        const uint64_t bytes_before = probe_bytes;
         net_.Count(p2p::MessageType::kHeartbeat, p2p::kTermBytes);
         ++probes;
         probe_hops += static_cast<uint64_t>(hops);
@@ -728,6 +886,9 @@ size_t SpriteSystem::RunHeartbeats() {
           peer.AddPosting(term, MakePosting(owned, term, owner_id));
           ++republished;
         }
+        tracer_.clock().AdvanceMs(
+            latency_.RequestMs(1) +
+            latency_.TransferMs(probe_bytes - bytes_before));
       }
     }
   }
@@ -803,6 +964,9 @@ size_t SpriteSystem::RunHotTermCaching(size_t top_terms) {
 StatusOr<ir::RankedList> SpriteSystem::SearchWithExpansion(
     const corpus::Query& query, size_t k, size_t extra_terms,
     size_t feedback_docs) {
+  // The inner Search() calls and the feedback fetch nest under this root.
+  obs::ScopedSpan span(&tracer_, "search.expanded", "system");
+  span.Annotate("query", StrFormat("%u", query.id));
   StatusOr<ir::RankedList> initial =
       Search(query, std::max(k, feedback_docs), /*record=*/true);
   if (!initial.ok()) return initial.status();
@@ -817,6 +981,8 @@ StatusOr<ir::RankedList> SpriteSystem::SearchWithExpansion(
   // needs no global statistics).
   const size_t depth = std::min(feedback_docs, initial->size());
   std::vector<const corpus::Document*> feedback;
+  obs::ScopedSpan fetch_span(&tracer_, "feedback.fetch", "system");
+  uint64_t feedback_bytes = 0;
   for (size_t i = 0; i < depth; ++i) {
     const DocId doc = (*initial)[i].doc;
     auto owner_it = doc_owner_.find(doc);
@@ -827,8 +993,15 @@ StatusOr<ir::RankedList> SpriteSystem::SearchWithExpansion(
     net_.Count(p2p::MessageType::kQueryRequest, p2p::kTermBytes);
     net_.Count(p2p::MessageType::kQueryResponse,
                static_cast<size_t>(owned->content->length()) * 6);
+    feedback_bytes += 2 * p2p::kMessageHeaderBytes + p2p::kTermBytes +
+                      static_cast<uint64_t>(owned->content->length()) * 6;
     feedback.push_back(owned->content);
   }
+  tracer_.clock().AdvanceMs(
+      latency_.RequestMs(feedback.size()) +
+      latency_.TransferMs(feedback_bytes));
+  fetch_span.Annotate("docs", StrFormat("%zu", feedback.size()));
+  fetch_span.End();
 
   // Score co-occurring candidate terms within the feedback set: damped
   // term frequency times a feedback-set IDF, so terms concentrated in a

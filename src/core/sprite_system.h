@@ -17,6 +17,7 @@
 #include "ir/ranked_list.h"
 #include "obs/latency_model.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "p2p/network.h"
 
 namespace sprite::core {
@@ -143,6 +144,8 @@ class SpriteSystem {
   const dht::ChordRing& ring() const { return ring_; }
   dht::ChordRing& mutable_ring() { return ring_; }
   const p2p::NetworkStats& network_stats() const { return net_.stats(); }
+  // Resets the traffic accounting; the accountant also drops its mirrored
+  // net.* counters from the registry so both views stay in sync.
   void ClearNetworkStats() { net_.Clear(); }
   // The observability registry: per-phase counters and latency histograms
   // for search (route/fetch/rank), learning polls, heartbeats, replication
@@ -151,7 +154,25 @@ class SpriteSystem {
   // ToJson() produce the BENCH_*.json payload.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::MetricsRegistry& mutable_metrics() { return metrics_; }
-  void ClearMetrics() { metrics_.Clear(); }
+  // Full observability reset: registry, traffic accounting, and Chord
+  // routing stats all return to a blank post-setup baseline together
+  // (clearing only one view would leave the mirrors disagreeing).
+  void ClearMetrics() {
+    metrics_.Clear();
+    net_.Clear();
+    ring_.ClearStats();
+    UpdateMembershipGauges();
+  }
+  // The tracer: span trees over a simulated clock for every instrumented
+  // operation (search, publish/withdraw, learning, heartbeats, replication,
+  // membership). Disabled by default; enable via
+  // mutable_tracer().set_enabled(true).
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::Tracer& mutable_tracer() { return tracer_; }
+  // Publishes per-peer load gauges ("load.postings"/"load.queries", one
+  // label per alive peer) plus skew summaries (max, mean, max/mean ratio,
+  // Gini) into the registry. Call before Snapshot() in load experiments.
+  void ExportLoadMetrics();
   // The latency model derived from SpriteConfig's hop RTT and bandwidth.
   const obs::LatencyModel& latency_model() const { return latency_; }
   const SpriteConfig& config() const { return config_; }
@@ -176,6 +197,8 @@ class SpriteSystem {
   QueryRecord MakeQueryRecord(const corpus::Query& query);
   // Refreshes the peers.alive / peers.total gauges after membership events.
   void UpdateMembershipGauges();
+  // Ring node name of `id` ("peer42"), or a synthesized "peer-<id>".
+  std::string PeerNameOf(PeerId id) const;
   // A deterministic alive peer derived from `hash` (e.g. who issues a
   // query, who owns a document).
   PeerId PickPeer(uint64_t hash) const;
@@ -192,8 +215,9 @@ class SpriteSystem {
                         const OwnerPeer::IndexUpdate& update);
 
   SpriteConfig config_;
-  // Declared before ring_ and net_, which hold pointers into it.
+  // Declared before ring_ and net_, which hold pointers into them.
   obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   obs::LatencyModel latency_;
   dht::ChordRing ring_;
   p2p::NetworkAccountant net_;

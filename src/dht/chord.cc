@@ -27,6 +27,28 @@ bool ChordRing::IsAlive(uint64_t id) const {
   return n != nullptr && n->alive;
 }
 
+void ChordRing::ClearStats() {
+  stats_.Clear();
+  if (metrics_ != nullptr) {
+    metrics_->EraseByName("chord.lookups");
+    metrics_->EraseByName("chord.failed_lookups");
+    metrics_->EraseByName("chord.lookup_hops");
+  }
+}
+
+void ChordRing::TraceHop(const ChordNode* to) {
+  // Hops only become spans inside an instrumented operation; maintenance
+  // lookups (join, fix_fingers) outside any span stay untraced.
+  if (tracer_ == nullptr || !tracer_->InActiveSpan()) return;
+  const std::string peer =
+      (to != nullptr && !to->name.empty())
+          ? to->name
+          : StrFormat("node%llu",
+                      static_cast<unsigned long long>(to ? to->id : 0));
+  obs::ScopedSpan hop(tracer_, "chord.hop", peer);
+  tracer_->clock().AdvanceMs(tracer_->hop_cost_ms());
+}
+
 std::vector<uint64_t> ChordRing::AliveIds() const {
   std::vector<uint64_t> ids;
   ids.reserve(alive_count_);
@@ -132,7 +154,10 @@ StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
     }
     const uint64_t succ = succ_or.value();
     if (space_.InHalfOpenInterval(key, n->id, succ)) {
-      if (succ != n->id) ++hops;  // final forward to the responsible node
+      if (succ != n->id) {
+        ++hops;  // final forward to the responsible node
+        TraceHop(node(succ));
+      }
       stats_.hop_messages += static_cast<uint64_t>(hops);
       stats_.hops.Add(hops);
       if (metrics_ != nullptr) metrics_->Observe("chord.lookup_hops", hops);
@@ -143,6 +168,7 @@ StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
     n = node(next);
     SPRITE_CHECK(n != nullptr);
     ++hops;
+    TraceHop(n);
   }
   ++stats_.failed_lookups;
   if (metrics_ != nullptr) metrics_->Add("chord.failed_lookups");

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "dht/id_space.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sprite::dht {
 
@@ -119,7 +120,9 @@ class ChordRing {
   std::vector<uint64_t> AliveIds() const;
 
   const ChordStats& stats() const { return stats_; }
-  void ClearStats() { stats_.Clear(); }
+  // Resets routing stats and drops the mirrored chord.* registry metrics,
+  // so both views stay in sync across resets.
+  void ClearStats();
   const IdSpace& space() const { return space_; }
 
   // Mirrors lookup accounting ("chord.lookups", "chord.failed_lookups",
@@ -127,9 +130,18 @@ class ChordRing {
   // registry must outlive this ring.
   void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  // Emits one "chord.hop" child span per routing hop (advancing the
+  // tracer's simulated clock by its per-hop cost) whenever a lookup runs
+  // inside an active span. Pass nullptr to detach. The tracer must outlive
+  // this ring.
+  void AttachTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   ChordNode* MutableNode(uint64_t id);
   bool IsAlive(uint64_t id) const;
+  // One routed hop to `to`: span + simulated-clock advance (traced ops
+  // only).
+  void TraceHop(const ChordNode* to);
   // First alive entry of n's successor chain (successor, then list).
   StatusOr<uint64_t> FirstAliveSuccessor(const ChordNode& n) const;
   // Highest finger of `n` strictly inside (n.id, key) that is alive.
@@ -144,6 +156,7 @@ class ChordRing {
   size_t alive_count_ = 0;
   ChordStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sprite::dht

@@ -1,52 +1,14 @@
 #include "obs/metrics.h"
 
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
 
+#include "common/json_util.h"
 #include "common/string_util.h"
 
 namespace sprite::obs {
 
 namespace {
-
-// Minimal JSON string escaping; metric names/labels are identifiers, but a
-// malformed snapshot must never produce invalid JSON.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// JSON has no NaN/Inf literals; clamp them to null.
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "null";
-  return StrFormat("%.6g", v);
-}
 
 void AppendId(std::string& out, const MetricId& id) {
   out += StrFormat("\"name\":\"%s\"", JsonEscape(id.name).c_str());
@@ -112,6 +74,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       s.max = hist.max();
       s.p50 = hist.Percentile(50);
       s.p90 = hist.Percentile(90);
+      s.p95 = hist.Percentile(95);
       s.p99 = hist.Percentile(99);
     }
     snap.histograms.push_back(std::move(s));
@@ -123,6 +86,26 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+}
+
+namespace {
+
+template <typename Map>
+void EraseName(Map& map, const std::string& name) {
+  // MetricId ordering is (name, label), so all labels of `name` form one
+  // contiguous range.
+  auto first = map.lower_bound(MetricId{name, ""});
+  auto last = first;
+  while (last != map.end() && last->first.name == name) ++last;
+  map.erase(first, last);
+}
+
+}  // namespace
+
+void MetricsRegistry::EraseByName(const std::string& name) {
+  EraseName(counters_, name);
+  EraseName(gauges_, name);
+  EraseName(histograms_, name);
 }
 
 std::string MetricsSnapshot::ToJson() const {
@@ -149,11 +132,11 @@ std::string MetricsSnapshot::ToJson() const {
     AppendId(out, h.id);
     out += StrFormat(
         ",\"count\":%zu,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,"
-        "\"p50\":%s,\"p90\":%s,\"p99\":%s}",
+        "\"p50\":%s,\"p90\":%s,\"p95\":%s,\"p99\":%s}",
         h.count, JsonNumber(h.sum).c_str(), JsonNumber(h.mean).c_str(),
         JsonNumber(h.min).c_str(), JsonNumber(h.max).c_str(),
         JsonNumber(h.p50).c_str(), JsonNumber(h.p90).c_str(),
-        JsonNumber(h.p99).c_str());
+        JsonNumber(h.p95).c_str(), JsonNumber(h.p99).c_str());
   }
   out += "\n  ]\n}\n";
   return out;
@@ -190,6 +173,33 @@ const GaugeSample* MetricsSnapshot::FindGauge(const std::string& name,
 const HistogramSample* MetricsSnapshot::FindHistogram(
     const std::string& name, const std::string& label) const {
   return FindById(histograms, name, label);
+}
+
+double MaxMeanRatio(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double max = values[0];
+  for (double v : values) {
+    sum += v;
+    max = std::max(max, v);
+  }
+  if (sum <= 0.0) return 0.0;
+  return max / (sum / static_cast<double>(values.size()));
+}
+
+double GiniCoefficient(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  double weighted = 0.0;
+  const double n = static_cast<double>(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    sum += sorted[i];
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  if (sum <= 0.0) return 0.0;
+  return (2.0 * weighted) / (n * sum) - (n + 1.0) / n;
 }
 
 bool WriteJsonFile(const std::string& path, const std::string& json) {

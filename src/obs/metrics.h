@@ -47,6 +47,7 @@ struct HistogramSample {
   double max = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
 };
 
@@ -110,6 +111,10 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
   void Clear();
+  // Removes every counter/gauge/histogram whose name matches exactly,
+  // across all labels. Used by component resets (e.g. the network
+  // accountant dropping its mirrored net.* counters).
+  void EraseByName(const std::string& name);
 
   size_t num_counters() const { return counters_.size(); }
   size_t num_gauges() const { return gauges_.size(); }
@@ -124,6 +129,16 @@ class MetricsRegistry {
 // Writes `json` to `path` (creating/truncating the file). Shared by the
 // benches' --metrics-json flag and the CLI.
 bool WriteJsonFile(const std::string& path, const std::string& json);
+
+// --- Load-skew statistics -------------------------------------------------
+// Both return 0 for empty input or an all-zero distribution.
+
+// max(values) / mean(values): 1.0 means perfectly even load.
+double MaxMeanRatio(const std::vector<double>& values);
+
+// Gini coefficient in [0, 1): 0 means perfectly even load, values near 1
+// mean a few peers carry almost everything.
+double GiniCoefficient(const std::vector<double>& values);
 
 }  // namespace sprite::obs
 

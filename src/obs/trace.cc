@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/json_util.h"
+#include "common/string_util.h"
+
+namespace sprite::obs {
+
+void Tracer::set_enabled(bool on) {
+  if (enabled_ && !stack_.empty()) {
+    // Abort the half-built operation rather than exporting a broken tree.
+    stack_.clear();
+    active_ = Trace{};
+  }
+  enabled_ = on;
+}
+
+void Tracer::set_options(TraceOptions options) {
+  SPRITE_CHECK(stack_.empty());
+  options_ = options;
+  while (ring_.size() > options_.max_traces) ring_.pop_front();
+}
+
+TraceContext Tracer::BeginSpan(const std::string& name,
+                               const std::string& peer) {
+  if (!enabled_) return {};
+  if (stack_.empty()) {
+    ++started_;
+    active_ = Trace{};
+    active_.id = next_trace_id_++;
+    active_.start_ms = clock_.now_ms();
+  }
+  Span s;
+  s.trace_id = active_.id;
+  s.id = next_span_id_++;
+  s.parent_id = stack_.empty() ? 0 : active_.spans[stack_.back()].id;
+  s.name = name;
+  s.peer = peer;
+  s.start_ms = clock_.now_ms();
+  s.end_ms = s.start_ms;
+  stack_.push_back(active_.spans.size());
+  active_.spans.push_back(std::move(s));
+  return {active_.id, active_.spans[stack_.back()].id};
+}
+
+void Tracer::EndSpan() {
+  if (!enabled_ || stack_.empty()) return;
+  active_.spans[stack_.back()].end_ms = clock_.now_ms();
+  stack_.pop_back();
+  if (stack_.empty()) FinishTrace();
+}
+
+TraceContext Tracer::current() const {
+  if (!InActiveSpan()) return {};
+  return {active_.id, active_.spans[stack_.back()].id};
+}
+
+void Tracer::Annotate(const std::string& key, std::string value) {
+  if (!InActiveSpan()) return;
+  active_.spans[stack_.back()].annotations[key] = std::move(value);
+}
+
+void Tracer::AnnotateAdd(const std::string& key, uint64_t delta) {
+  if (!InActiveSpan()) return;
+  std::string& slot = active_.spans[stack_.back()].annotations[key];
+  uint64_t current = 0;
+  if (!slot.empty()) current = std::strtoull(slot.c_str(), nullptr, 10);
+  slot = StrFormat("%llu", static_cast<unsigned long long>(current + delta));
+}
+
+void Tracer::AnnotateSpan(SpanId id, const std::string& key,
+                          std::string value) {
+  if (!enabled_) return;
+  for (auto it = active_.spans.rbegin(); it != active_.spans.rend(); ++it) {
+    if (it->id == id) {
+      it->annotations[key] = std::move(value);
+      return;
+    }
+  }
+}
+
+void Tracer::FinishTrace() {
+  active_.end_ms = clock_.now_ms();
+  const double dur = active_.duration_ms();
+  const bool sampled =
+      options_.sample_every > 0 && started_ % options_.sample_every == 0;
+  if (sampled && options_.max_traces > 0) {
+    ring_.push_back(active_);
+    while (ring_.size() > options_.max_traces) ring_.pop_front();
+  }
+  if (options_.keep_slowest > 0) {
+    if (slowest_.size() < options_.keep_slowest) {
+      slowest_.push_back(std::move(active_));
+    } else {
+      size_t min_i = 0;
+      for (size_t i = 1; i < slowest_.size(); ++i) {
+        if (slowest_[i].duration_ms() < slowest_[min_i].duration_ms()) {
+          min_i = i;
+        }
+      }
+      if (dur > slowest_[min_i].duration_ms()) {
+        slowest_[min_i] = std::move(active_);
+      }
+    }
+  }
+  active_ = Trace{};
+}
+
+std::vector<const Trace*> Tracer::Retained() const {
+  std::vector<const Trace*> out;
+  out.reserve(ring_.size() + slowest_.size());
+  for (const Trace& t : ring_) out.push_back(&t);
+  for (const Trace& t : slowest_) {
+    bool dup = false;
+    for (const Trace& r : ring_) {
+      if (r.id == t.id) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(&t);
+  }
+  std::sort(out.begin(), out.end(), [](const Trace* a, const Trace* b) {
+    if (a->start_ms != b->start_ms) return a->start_ms < b->start_ms;
+    return a->id < b->id;
+  });
+  return out;
+}
+
+namespace {
+
+void AppendAnnotations(std::string& out, const Span& s, bool leading_comma) {
+  for (const auto& [key, value] : s.annotations) {
+    if (leading_comma) out += ',';
+    out += StrFormat("\"%s\":\"%s\"", JsonEscape(key).c_str(),
+                     JsonEscape(value).c_str());
+    leading_comma = true;
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ToPerfettoJson() const {
+  const std::vector<const Trace*> traces = Retained();
+  // One pseudo-thread per peer, numbered in first-appearance order.
+  std::map<std::string, int> tid;
+  std::vector<std::string> tid_order;
+  for (const Trace* t : traces) {
+    for (const Span& s : t->spans) {
+      if (tid.emplace(s.peer, static_cast<int>(tid.size()) + 1).second) {
+        tid_order.push_back(s.peer);
+      }
+    }
+  }
+
+  std::string out = StrFormat(
+      "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      "\"format\":\"sprite-trace\",\"traces_started\":%llu,"
+      "\"traces_retained\":%zu},\"traceEvents\":[\n",
+      static_cast<unsigned long long>(started_), traces.size());
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const std::string& peer : tid_order) {
+    sep();
+    out += StrFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        tid.at(peer), JsonEscape(peer).c_str());
+  }
+  for (const Trace* t : traces) {
+    for (const Span& s : t->spans) {
+      sep();
+      out += StrFormat(
+          "{\"name\":\"%s\",\"cat\":\"sprite\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{"
+          "\"trace\":%llu,\"span\":%llu,\"parent\":%llu,\"peer\":\"%s\"",
+          JsonEscape(s.name).c_str(), s.start_ms * 1000.0,
+          s.duration_ms() * 1000.0, tid.at(s.peer),
+          static_cast<unsigned long long>(s.trace_id),
+          static_cast<unsigned long long>(s.id),
+          static_cast<unsigned long long>(s.parent_id),
+          JsonEscape(s.peer).c_str());
+      AppendAnnotations(out, s, /*leading_comma=*/true);
+      out += "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::ToJsonl() const {
+  const std::vector<const Trace*> traces = Retained();
+  size_t spans = 0;
+  for (const Trace* t : traces) spans += t->spans.size();
+  std::string out = StrFormat(
+      "{\"format\":\"sprite-trace-jsonl\",\"traces_started\":%llu,"
+      "\"traces_retained\":%zu,\"spans\":%zu}\n",
+      static_cast<unsigned long long>(started_), traces.size(), spans);
+  for (const Trace* t : traces) {
+    for (const Span& s : t->spans) {
+      out += StrFormat(
+          "{\"trace\":%llu,\"span\":%llu,\"parent\":%llu,\"name\":\"%s\","
+          "\"peer\":\"%s\",\"start_ms\":%.3f,\"dur_ms\":%.3f",
+          static_cast<unsigned long long>(s.trace_id),
+          static_cast<unsigned long long>(s.id),
+          static_cast<unsigned long long>(s.parent_id),
+          JsonEscape(s.name).c_str(), JsonEscape(s.peer).c_str(),
+          s.start_ms, s.duration_ms());
+      if (!s.annotations.empty()) {
+        out += ",\"ann\":{";
+        AppendAnnotations(out, s, /*leading_comma=*/false);
+        out += "}";
+      }
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace sprite::obs

@@ -1,0 +1,200 @@
+#ifndef SPRITE_OBS_TRACE_H_
+#define SPRITE_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sprite::obs {
+
+// Simulated wall clock. The simulation executes everything as instantaneous
+// in-process calls; instrumented operations advance this clock by their
+// LatencyModel cost as they run, so spans carry coherent timestamps (a
+// global timeline) instead of bare durations. Deterministic by
+// construction: identical runs advance the clock identically.
+class SimClock {
+ public:
+  double now_ms() const { return now_ms_; }
+  // Advances simulated time; negative or NaN deltas are ignored.
+  void AdvanceMs(double ms) {
+    if (ms > 0.0) now_ms_ += ms;
+  }
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+using SpanId = uint64_t;
+
+// Identifies the span an operation is currently executing under; the
+// simulator is synchronous, so context propagates implicitly through the
+// tracer's span stack and this struct mostly serves annotation targeting
+// and tests.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  SpanId span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+// One timed, named unit of work attributed to a peer. parent_id == 0 marks
+// the root of an operation. Annotations are sorted key/value strings so
+// exports are deterministic.
+struct Span {
+  uint64_t trace_id = 0;
+  SpanId id = 0;
+  SpanId parent_id = 0;
+  std::string name;
+  std::string peer;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::map<std::string, std::string> annotations;
+
+  double duration_ms() const { return end_ms - start_ms; }
+};
+
+// One finished operation: the root span plus every descendant, in begin
+// order (root first).
+struct Trace {
+  uint64_t id = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::vector<Span> spans;
+
+  double duration_ms() const { return end_ms - start_ms; }
+  const Span* root() const {
+    for (const Span& s : spans) {
+      if (s.parent_id == 0) return &s;
+    }
+    return nullptr;
+  }
+};
+
+// Retention policy. Every operation is traced while it runs; at finish it
+// is kept if it is the Nth started operation (sample_every; 1 keeps all,
+// 0 keeps none by sampling) and/or among the keep_slowest slowest
+// operations seen so far. Sampled traces live in a ring buffer of
+// max_traces, so memory stays bounded no matter how long the run is.
+struct TraceOptions {
+  size_t sample_every = 1;
+  size_t max_traces = 2048;
+  size_t keep_slowest = 16;
+};
+
+// The tracer: a span stack over a SimClock with bounded retention and two
+// exporters (Chrome trace-event JSON for Perfetto, structured JSONL).
+// Disabled by default — BeginSpan/Annotate are cheap no-ops until
+// set_enabled(true). Single-threaded, like the simulator.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceOptions options) : options_(options) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  // Toggling mid-operation aborts the operation's trace (the spans of a
+  // half-built tree would be misleading either way).
+  void set_enabled(bool on);
+  // Must not be called while a trace is active.
+  void set_options(TraceOptions options);
+  const TraceOptions& options() const { return options_; }
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+
+  // Cost of one overlay routing hop, advanced by ChordRing per hop span.
+  void set_hop_cost_ms(double ms) { hop_cost_ms_ = ms; }
+  double hop_cost_ms() const { return hop_cost_ms_; }
+
+  // Opens a span. With an empty stack this starts a new operation (a new
+  // trace); otherwise the span nests under the innermost open span.
+  // Returns an invalid context when the tracer is disabled.
+  TraceContext BeginSpan(const std::string& name, const std::string& peer);
+  // Closes the innermost open span at the current clock; finishing the
+  // root applies the retention policy.
+  void EndSpan();
+
+  // True when a span is open (an operation is being traced).
+  bool InActiveSpan() const { return enabled_ && !stack_.empty(); }
+  TraceContext current() const;
+
+  // Annotates the innermost open span (used by layers that do not hold a
+  // context, e.g. the NetworkAccountant).
+  void Annotate(const std::string& key, std::string value);
+  // Accumulates a numeric annotation on the innermost open span.
+  void AnnotateAdd(const std::string& key, uint64_t delta);
+  // Annotates a specific open span of the active trace by id.
+  void AnnotateSpan(SpanId id, const std::string& key, std::string value);
+
+  // --- Retention / export ----------------------------------------------
+  uint64_t num_started() const { return started_; }
+  // Sampled ring buffer ∪ slowest-K, deduplicated, ordered by start time.
+  std::vector<const Trace*> Retained() const;
+  size_t num_retained() const { return Retained().size(); }
+
+  // Chrome trace-event JSON ("X" complete events, one pseudo-thread per
+  // peer) — load in Perfetto (ui.perfetto.dev) or chrome://tracing.
+  std::string ToPerfettoJson() const;
+  // One JSON object per line per span; first line is a header record.
+  // Input format of `sprite_cli trace-report`.
+  std::string ToJsonl() const;
+
+ private:
+  void FinishTrace();
+
+  TraceOptions options_;
+  bool enabled_ = false;
+  SimClock clock_;
+  double hop_cost_ms_ = 50.0;
+  uint64_t next_trace_id_ = 1;
+  uint64_t next_span_id_ = 1;
+  uint64_t started_ = 0;
+  Trace active_;
+  std::vector<size_t> stack_;  // indices into active_.spans
+  std::deque<Trace> ring_;
+  std::vector<Trace> slowest_;
+};
+
+// RAII span guard: begins a span on construction (no-op when `tracer` is
+// null or disabled) and ends it on destruction or explicit End().
+// Annotations target this span specifically, so they are safe after child
+// spans have opened and closed.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, const std::string& peer)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      ctx_ = tracer_->BeginSpan(name, peer);
+      open_ = ctx_.valid();
+    }
+  }
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Annotate(const std::string& key, std::string value) {
+    if (open_) tracer_->AnnotateSpan(ctx_.span_id, key, std::move(value));
+  }
+  void End() {
+    if (open_) {
+      tracer_->EndSpan();
+      open_ = false;
+    }
+  }
+  const TraceContext& context() const { return ctx_; }
+
+ private:
+  Tracer* tracer_;
+  TraceContext ctx_;
+  bool open_ = false;
+};
+
+}  // namespace sprite::obs
+
+#endif  // SPRITE_OBS_TRACE_H_

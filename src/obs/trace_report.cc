@@ -1,0 +1,336 @@
+#include "obs/trace_report.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace sprite::obs {
+
+namespace {
+
+// --- Line-oriented JSON extraction ---------------------------------------
+// Both exporters emit exactly one event per line, so the "parser" only has
+// to pull known keys out of a flat object — no general JSON machinery.
+
+std::string JsonUnescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16));
+          out += static_cast<char>(code & 0xff);
+          i += 4;
+        }
+        break;
+      default:
+        out += s[i];  // \" \\ \/ and anything unknown: keep the char
+    }
+  }
+  return out;
+}
+
+// Reads the JSON string whose opening quote is at `pos`; returns the
+// position just past the closing quote, or npos when unterminated.
+size_t ReadJsonString(const std::string& s, size_t pos, std::string* out) {
+  if (pos >= s.size() || s[pos] != '"') return std::string::npos;
+  std::string raw;
+  for (size_t i = pos + 1; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      raw += s[i];
+      raw += s[i + 1];
+      ++i;
+      continue;
+    }
+    if (s[i] == '"') {
+      *out = JsonUnescape(raw);
+      return i + 1;
+    }
+    raw += s[i];
+  }
+  return std::string::npos;
+}
+
+bool FindJsonString(const std::string& line, const std::string& key,
+                    std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  return ReadJsonString(line, pos + needle.size() - 1, out) !=
+         std::string::npos;
+}
+
+bool FindJsonNumber(const std::string& line, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+// Parses the flat object starting at the '{' at `pos` into key -> value
+// strings (numbers kept as written). The exporters never nest objects
+// inside `args`/`ann`, so one level suffices.
+bool ParseFlatObject(const std::string& s, size_t pos,
+                     std::map<std::string, std::string>* kv) {
+  if (pos >= s.size() || s[pos] != '{') return false;
+  size_t i = pos + 1;
+  while (i < s.size()) {
+    if (s[i] == '}') return true;
+    if (s[i] == ',' || s[i] == ' ') {
+      ++i;
+      continue;
+    }
+    std::string key;
+    i = ReadJsonString(s, i, &key);
+    if (i == std::string::npos || i >= s.size() || s[i] != ':') return false;
+    ++i;
+    std::string value;
+    if (s[i] == '"') {
+      i = ReadJsonString(s, i, &value);
+      if (i == std::string::npos) return false;
+    } else {
+      const size_t end = s.find_first_of(",}", i);
+      if (end == std::string::npos) return false;
+      value = s.substr(i, end - i);
+      i = end;
+    }
+    (*kv)[key] = value;
+  }
+  return false;
+}
+
+uint64_t ToU64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+bool ParsePerfettoLine(const std::string& line, TraceSpanRecord* rec) {
+  const size_t args_pos = line.find("\"args\":{");
+  if (args_pos == std::string::npos) return false;
+  std::map<std::string, std::string> args;
+  if (!ParseFlatObject(line, args_pos + 7, &args)) return false;
+  if (!args.count("trace") || !args.count("span")) return false;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  if (!FindJsonString(line, "name", &rec->name) ||
+      !FindJsonNumber(line, "ts", &ts_us) ||
+      !FindJsonNumber(line, "dur", &dur_us)) {
+    return false;
+  }
+  rec->start_ms = ts_us / 1000.0;
+  rec->dur_ms = dur_us / 1000.0;
+  rec->trace_id = ToU64(args["trace"]);
+  rec->span_id = ToU64(args["span"]);
+  rec->parent_id = ToU64(args["parent"]);
+  rec->peer = args["peer"];
+  for (auto& [key, value] : args) {
+    if (key == "trace" || key == "span" || key == "parent" || key == "peer") {
+      continue;
+    }
+    rec->annotations[key] = value;
+  }
+  return true;
+}
+
+bool ParseJsonlLine(const std::string& line, TraceSpanRecord* rec) {
+  double trace = 0.0;
+  double span = 0.0;
+  double parent = 0.0;
+  if (!FindJsonNumber(line, "trace", &trace) ||
+      !FindJsonNumber(line, "span", &span) ||
+      !FindJsonNumber(line, "parent", &parent) ||
+      !FindJsonString(line, "name", &rec->name) ||
+      !FindJsonString(line, "peer", &rec->peer) ||
+      !FindJsonNumber(line, "start_ms", &rec->start_ms) ||
+      !FindJsonNumber(line, "dur_ms", &rec->dur_ms)) {
+    return false;
+  }
+  rec->trace_id = static_cast<uint64_t>(trace);
+  rec->span_id = static_cast<uint64_t>(span);
+  rec->parent_id = static_cast<uint64_t>(parent);
+  const size_t ann_pos = line.find("\"ann\":{");
+  if (ann_pos != std::string::npos) {
+    ParseFlatObject(line, ann_pos + 6, &rec->annotations);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseTraceDump(const std::string& content,
+                    std::vector<TraceSpanRecord>* spans, std::string* error) {
+  spans->clear();
+  size_t start = 0;
+  bool saw_any_line = false;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    const std::string line = content.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    saw_any_line = true;
+    // Headers, footers, and metadata events carry no span.
+    if (line.find("\"ph\":\"M\"") != std::string::npos) continue;
+    TraceSpanRecord rec;
+    if (line.find("\"ph\":\"X\"") != std::string::npos) {
+      if (ParsePerfettoLine(line, &rec)) spans->push_back(std::move(rec));
+    } else if (line.find("\"dur_ms\"") != std::string::npos) {
+      if (ParseJsonlLine(line, &rec)) spans->push_back(std::move(rec));
+    }
+  }
+  if (spans->empty()) {
+    if (error != nullptr) {
+      *error = saw_any_line ? "no span events found in trace dump"
+                            : "empty trace dump";
+    }
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct PhaseAgg {
+  size_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+};
+
+void RenderTree(const std::vector<TraceSpanRecord>& spans,
+                const std::map<uint64_t, std::vector<size_t>>& children,
+                size_t idx, int depth, std::string* out) {
+  const TraceSpanRecord& s = spans[idx];
+  *out += StrFormat("  %*s%s [%s] %.3f ms", depth * 2, "", s.name.c_str(),
+                    s.peer.c_str(), s.dur_ms);
+  for (const auto& [key, value] : s.annotations) {
+    *out += StrFormat(" %s=%s", key.c_str(), value.c_str());
+  }
+  *out += "\n";
+  auto it = children.find(s.span_id);
+  if (it == children.end()) return;
+  for (size_t child : it->second) {
+    RenderTree(spans, children, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderTraceReport(const std::vector<TraceSpanRecord>& spans,
+                              size_t top_k) {
+  // Span ids are globally unique across traces, so flat maps suffice.
+  std::map<uint64_t, std::vector<size_t>> children;  // parent span id -> idx
+  std::map<uint64_t, double> child_sum;              // span id -> Σ child dur
+  std::map<uint64_t, size_t> trace_ids;              // trace id -> span count
+  for (size_t i = 0; i < spans.size(); ++i) {
+    trace_ids[spans[i].trace_id]++;
+    if (spans[i].parent_id != 0) {
+      children[spans[i].parent_id].push_back(i);
+      child_sum[spans[i].parent_id] += spans[i].dur_ms;
+    }
+  }
+
+  std::string out = StrFormat("=== Trace report: %zu spans, %zu traces ===\n",
+                              spans.size(), trace_ids.size());
+
+  // --- Critical-path breakdown per phase (self time) ---------------------
+  std::map<std::string, PhaseAgg> phases;
+  for (const TraceSpanRecord& s : spans) {
+    PhaseAgg& agg = phases[s.name];
+    agg.count++;
+    agg.total_ms += s.dur_ms;
+    auto it = child_sum.find(s.span_id);
+    agg.self_ms += std::max(0.0, s.dur_ms - (it == child_sum.end()
+                                                 ? 0.0
+                                                 : it->second));
+  }
+  double total_self = 0.0;
+  for (const auto& [name, agg] : phases) total_self += agg.self_ms;
+  std::vector<std::pair<std::string, PhaseAgg>> by_self(phases.begin(),
+                                                        phases.end());
+  std::sort(by_self.begin(), by_self.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_ms != b.second.self_ms) {
+      return a.second.self_ms > b.second.self_ms;
+    }
+    return a.first < b.first;
+  });
+  out += "\n-- Phase breakdown (self time = duration minus children) --\n";
+  out += StrFormat("  %-28s %8s %14s %14s %7s\n", "phase", "count", "total_ms",
+                   "self_ms", "self%");
+  for (const auto& [name, agg] : by_self) {
+    out += StrFormat("  %-28s %8zu %14.3f %14.3f %6.1f%%\n", name.c_str(),
+                     agg.count, agg.total_ms, agg.self_ms,
+                     total_self > 0.0 ? 100.0 * agg.self_ms / total_self : 0.0);
+  }
+
+  // --- Top-K slowest searches as span trees ------------------------------
+  std::vector<size_t> search_roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent_id == 0 && spans[i].name == "search") {
+      search_roots.push_back(i);
+    }
+  }
+  std::sort(search_roots.begin(), search_roots.end(),
+            [&spans](size_t a, size_t b) {
+              if (spans[a].dur_ms != spans[b].dur_ms) {
+                return spans[a].dur_ms > spans[b].dur_ms;
+              }
+              return spans[a].trace_id < spans[b].trace_id;
+            });
+  if (search_roots.size() > top_k) search_roots.resize(top_k);
+  out += StrFormat("\n-- Top %zu slowest searches --\n", search_roots.size());
+  for (size_t rank = 0; rank < search_roots.size(); ++rank) {
+    const TraceSpanRecord& root = spans[search_roots[rank]];
+    out += StrFormat(" #%zu trace %llu: %.3f ms\n", rank + 1,
+                     static_cast<unsigned long long>(root.trace_id),
+                     root.dur_ms);
+    RenderTree(spans, children, search_roots[rank], 1, &out);
+  }
+
+  // --- Per-peer busy time ------------------------------------------------
+  std::map<std::string, double> busy;  // peer -> Σ self time
+  for (const TraceSpanRecord& s : spans) {
+    auto it = child_sum.find(s.span_id);
+    busy[s.peer] += std::max(
+        0.0, s.dur_ms - (it == child_sum.end() ? 0.0 : it->second));
+  }
+  std::vector<std::pair<std::string, double>> by_busy(busy.begin(),
+                                                      busy.end());
+  std::sort(by_busy.begin(), by_busy.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  out += "\n-- Per-peer busy time (self ms) --\n";
+  std::vector<double> busy_values;
+  for (const auto& [peer, ms] : by_busy) {
+    out += StrFormat("  %-16s %14.3f\n", peer.c_str(), ms);
+    busy_values.push_back(ms);
+  }
+  out += StrFormat("  peers=%zu max/mean=%.3f gini=%.3f\n", busy_values.size(),
+                   MaxMeanRatio(busy_values), GiniCoefficient(busy_values));
+  return out;
+}
+
+}  // namespace sprite::obs

@@ -1,0 +1,40 @@
+#ifndef SPRITE_OBS_TRACE_REPORT_H_
+#define SPRITE_OBS_TRACE_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sprite::obs {
+
+// One span parsed back out of a trace dump — the offline mirror of Span,
+// format-agnostic (times normalized to milliseconds).
+struct TraceSpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  std::string peer;
+  double start_ms = 0.0;
+  double dur_ms = 0.0;
+  std::map<std::string, std::string> annotations;
+};
+
+// Parses a trace dump produced by Tracer::ToPerfettoJson() or
+// Tracer::ToJsonl() (both emit one event per line, which is what makes a
+// full JSON parser unnecessary). Returns false and sets `error` when no
+// span lines parse; unrecognized lines are skipped.
+bool ParseTraceDump(const std::string& content,
+                    std::vector<TraceSpanRecord>* spans, std::string* error);
+
+// Renders the human-readable analysis printed by `sprite_cli trace-report`:
+// per-phase critical-path breakdown (self time, i.e. duration minus child
+// durations), the top_k slowest search operations as indented span trees,
+// and per-peer busy time with skew stats.
+std::string RenderTraceReport(const std::vector<TraceSpanRecord>& spans,
+                              size_t top_k);
+
+}  // namespace sprite::obs
+
+#endif  // SPRITE_OBS_TRACE_REPORT_H_

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "p2p/message.h"
 
 namespace sprite::p2p {
@@ -49,12 +50,20 @@ class NetworkAccountant {
   // must outlive this accountant.
   void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  // Annotates per-message-type msg/byte totals onto the innermost active
+  // span ("net.<Type>.msgs" / "net.<Type>.bytes"). Pass nullptr to detach.
+  // The tracer must outlive this accountant.
+  void AttachTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   const NetworkStats& stats() const { return stats_; }
-  void Clear() { stats_.Clear(); }
+  // Resets the stats and drops the mirrored net.* registry counters, so
+  // both views stay in sync across resets.
+  void Clear();
 
  private:
   NetworkStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sprite::p2p

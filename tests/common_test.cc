@@ -1,8 +1,9 @@
 // Unit tests for src/common: Status, MD5, SHA-1, RNG, Zipf, string
-// utilities and the histogram.
+// utilities, JSON helpers and the histogram.
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/histogram.h"
+#include "common/json_util.h"
 #include "common/md5.h"
 #include "common/rng.h"
 #include "common/sha1.h"
@@ -447,6 +449,51 @@ TEST(HistogramTest, SummaryMentionsCount) {
   Histogram h;
   h.Add(2.0);
   EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram single;
+  single.Add(7.5);
+  // Every percentile of a one-sample distribution is that sample.
+  EXPECT_DOUBLE_EQ(single.Percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(single.Percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(single.Percentile(95), 7.5);
+  EXPECT_DOUBLE_EQ(single.Percentile(100), 7.5);
+
+  Histogram pair;
+  pair.Add(10.0);
+  pair.Add(20.0);
+  EXPECT_DOUBLE_EQ(pair.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(pair.Percentile(100), 20.0);
+}
+
+// -------------------------------------------------------------- json util
+
+TEST(JsonUtilTest, EscapeHandlesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\rc\td"), "a\\nb\\rc\\td");
+}
+
+TEST(JsonUtilTest, EscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(std::string("\x00", 1)), "\\u0000");
+  EXPECT_EQ(JsonEscape("\x1f"), "\\u001f");
+  // 0x20 (space) and above pass through untouched.
+  EXPECT_EQ(JsonEscape(" ~"), " ~");
+}
+
+TEST(JsonUtilTest, NumberFormatsFiniteValues) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+  EXPECT_EQ(JsonNumber(-13.0), "-13");
+}
+
+TEST(JsonUtilTest, NumberMapsNonFiniteToNull) {
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
 }
 
 }  // namespace

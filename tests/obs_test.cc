@@ -99,8 +99,24 @@ TEST(MetricsRegistryTest, SnapshotPercentilesAreExact) {
   EXPECT_GE(d->p50, 50.0);
   EXPECT_LE(d->p50, 51.0);
   EXPECT_GE(d->p90, 90.0);
+  EXPECT_DOUBLE_EQ(d->p95, 95.0);
   EXPECT_GE(d->p99, 99.0);
   EXPECT_LE(d->p99, 100.0);
+}
+
+TEST(MetricsRegistryTest, EraseByNameRemovesEveryLabel) {
+  MetricsRegistry reg;
+  reg.Add("net.messages", "Query", 3);
+  reg.Add("net.messages", "Publish", 1);
+  reg.Add("net.bytes", "Query", 64);
+  reg.Set("net.messages", "gaugeish", 1.0);
+  reg.Observe("net.messages", "histish", 2.0);
+  reg.EraseByName("net.messages");
+  EXPECT_EQ(reg.counter("net.messages", "Query"), 0u);
+  EXPECT_EQ(reg.counter("net.messages", "Publish"), 0u);
+  EXPECT_EQ(reg.counter("net.bytes", "Query"), 64u);  // untouched
+  EXPECT_DOUBLE_EQ(reg.gauge("net.messages", "gaugeish"), 0.0);
+  EXPECT_EQ(reg.histogram("net.messages", "histish"), nullptr);
 }
 
 TEST(MetricsRegistryTest, ClearResetsEverything) {
@@ -135,6 +151,7 @@ TEST(MetricsSnapshotTest, ToJsonContainsAllSections) {
   EXPECT_NE(json.find("\"peers.alive\""), std::string::npos);
   EXPECT_NE(json.find("\"latency.search.total_ms\""), std::string::npos);
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
   // Unlabeled metrics omit the label field entirely.
   EXPECT_EQ(json.find("\"label\":\"\""), std::string::npos);
 }
@@ -171,6 +188,26 @@ TEST(MetricsSnapshotTest, WriteJsonFileRoundTrips) {
   std::remove(path.c_str());
   ASSERT_EQ(n, json.size());
   EXPECT_EQ(read_back, json);
+}
+
+TEST(LoadSkewTest, MaxMeanRatioBasics) {
+  EXPECT_DOUBLE_EQ(MaxMeanRatio({}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxMeanRatio({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxMeanRatio({2.0, 2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(MaxMeanRatio({0.0, 0.0, 4.0}), 3.0);
+}
+
+TEST(LoadSkewTest, GiniCoefficientBasics) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({5.0, 5.0, 5.0, 5.0}), 0.0);
+  // One peer carries everything: (2*4*4)/(4*4) - 5/4 = 0.75.
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0.0, 0.0, 0.0, 4.0}), 0.75);
+  // Skew is order-independent.
+  EXPECT_DOUBLE_EQ(GiniCoefficient({4.0, 0.0, 0.0, 0.0}), 0.75);
+  // More even distributions score lower.
+  EXPECT_LT(GiniCoefficient({1.0, 2.0, 3.0, 4.0}),
+            GiniCoefficient({0.0, 0.0, 1.0, 9.0}));
 }
 
 TEST(LatencyModelTest, ComponentsAreAdditiveAndLinear) {
@@ -310,6 +347,84 @@ TEST_F(ObsIntegrationTest, ChordLookupsAreMirrored) {
   const Histogram* hops = m.histogram("chord.lookup_hops");
   ASSERT_NE(hops, nullptr);
   EXPECT_GT(hops->count(), 0u);
+}
+
+// Regression: the raw NetworkStats and the mirrored net.* counters must
+// reset together — a bench that calls ClearNetworkStats() between phases
+// used to leave the registry still holding the pre-reset totals.
+TEST_F(ObsIntegrationTest, ClearNetworkStatsResetsMirrorCounters) {
+  core::SpriteSystem system(SmallConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  const MetricsRegistry& m = system.metrics();
+  ASSERT_GT(system.network_stats().TotalMessages(), 0u);
+  ASSERT_GT(m.counter("net.messages", "PublishTerm"), 0u);
+
+  system.ClearNetworkStats();
+  EXPECT_EQ(system.network_stats().TotalMessages(), 0u);
+  EXPECT_EQ(system.network_stats().TotalBytes(), 0u);
+  MetricsSnapshot snap = system.metrics().Snapshot();
+  for (const CounterSample& c : snap.counters) {
+    EXPECT_NE(c.id.name, "net.messages") << c.id.label;
+    EXPECT_NE(c.id.name, "net.bytes") << c.id.label;
+  }
+
+  // Both views agree again after new traffic.
+  ASSERT_TRUE(system.Search(Q(9, {"cat", "dog"}), 10).ok());
+  uint64_t mirrored = 0;
+  for (const CounterSample& c : system.metrics().Snapshot().counters) {
+    if (c.id.name == "net.messages") mirrored += c.value;
+  }
+  EXPECT_EQ(mirrored, system.network_stats().TotalMessages());
+}
+
+// Same story for the chord.* mirrors behind ChordRing::ClearStats().
+TEST_F(ObsIntegrationTest, ClearRingStatsResetsMirrorCounters) {
+  core::SpriteSystem system(SmallConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  ASSERT_GT(system.metrics().counter("chord.lookups"), 0u);
+  system.mutable_ring().ClearStats();
+  EXPECT_EQ(system.ring().stats().lookups, 0u);
+  EXPECT_EQ(system.metrics().counter("chord.lookups"), 0u);
+  EXPECT_EQ(system.metrics().counter("chord.failed_lookups"), 0u);
+  EXPECT_EQ(system.metrics().histogram("chord.lookup_hops"), nullptr);
+}
+
+// ClearMetrics wipes every view at once and restores the membership
+// gauges, so post-clear snapshots stay truthful.
+TEST_F(ObsIntegrationTest, ClearMetricsLeavesViewsConsistent) {
+  core::SpriteSystem system(SmallConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  ASSERT_TRUE(system.Search(Q(1, {"cat"}), 10).ok());
+  system.ClearMetrics();
+  EXPECT_EQ(system.metrics().counter("search.queries"), 0u);
+  EXPECT_EQ(system.network_stats().TotalMessages(), 0u);
+  EXPECT_EQ(system.ring().stats().lookups, 0u);
+  EXPECT_DOUBLE_EQ(system.metrics().gauge("peers.alive"), 16.0);
+  EXPECT_DOUBLE_EQ(system.metrics().gauge("peers.total"), 16.0);
+}
+
+TEST_F(ObsIntegrationTest, ExportLoadMetricsPublishesGaugesAndSkew) {
+  core::SpriteSystem system(SmallConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  ASSERT_TRUE(system.Search(Q(1, {"cat", "dog"}), 10).ok());
+  ASSERT_TRUE(system.Search(Q(2, {"cat"}), 10).ok());
+  system.ExportLoadMetrics();
+
+  const MetricsRegistry& m = system.metrics();
+  EXPECT_GT(m.gauge("load.postings.max"), 0.0);
+  EXPECT_GT(m.gauge("load.postings.mean"), 0.0);
+  EXPECT_GE(m.gauge("load.postings.max_mean_ratio"), 1.0);
+  EXPECT_GE(m.gauge("load.postings.gini"), 0.0);
+  EXPECT_GT(m.gauge("load.queries.max"), 0.0);
+  EXPECT_GE(m.gauge("load.queries.max_mean_ratio"), 1.0);
+
+  // Per-peer gauges are labeled peer-<id>.
+  MetricsSnapshot snap = m.Snapshot();
+  size_t labeled = 0;
+  for (const GaugeSample& g : snap.gauges) {
+    if (g.id.name == "load.postings" && !g.id.label.empty()) ++labeled;
+  }
+  EXPECT_GT(labeled, 0u);
 }
 
 }  // namespace

@@ -13,6 +13,27 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== observability smoke: metrics + trace exports parse =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./build/bench/fig4a_num_answers --docs=200 --peers=16 \
+  --metrics-json="$SMOKE_DIR/metrics.json" \
+  --trace-json="$SMOKE_DIR/trace.json" \
+  --trace-jsonl="$SMOKE_DIR/trace.jsonl" >/dev/null
+python3 -m json.tool "$SMOKE_DIR/metrics.json" >/dev/null
+python3 -m json.tool "$SMOKE_DIR/trace.json" >/dev/null
+python3 - "$SMOKE_DIR/trace.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert lines, "empty trace.jsonl"
+assert lines[0].get("format") == "sprite-trace-jsonl", lines[0]
+assert any("dur_ms" in rec for rec in lines[1:]), "no span records"
+EOF
+./build/tools/sprite_cli trace-report "$SMOKE_DIR/trace.jsonl" --top=3 \
+  >/dev/null
+echo "observability smoke OK"
+
 if [ "${1:-}" = "--asan" ]; then
   echo "== sanitizers: ASan + UBSan build =="
   cmake -B build-asan -S . \

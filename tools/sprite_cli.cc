@@ -12,6 +12,11 @@
 //       SPRITE and the eSearch baseline — i.e. reproduce the paper's
 //       Section 6 pipeline on real data.
 //
+//   sprite_cli trace-report <trace-file> [--top=N]
+//       Analyze a trace dump written by --trace-json/--trace-jsonl (here
+//       or by any bench): critical-path breakdown per phase, the top-N
+//       slowest searches as span trees, and per-peer busy time.
+//
 // Common options:
 //   --peers=N     network size                (default 64)
 //   --terms=N     max index terms/document    (default 20)
@@ -20,9 +25,15 @@
 //   --seed=N      RNG seed                    (default 42)
 //   --metrics-json=PATH  dump the system's observability snapshot
 //                 (counters + simulated-latency histograms) as JSON
+//   --trace-json=PATH    enable tracing; dump span trees as Chrome
+//                 trace-event JSON (open at ui.perfetto.dev)
+//   --trace-jsonl=PATH   enable tracing; dump one JSON span per line
+//                 (input of `sprite_cli trace-report`)
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,6 +44,7 @@
 #include "corpus/trec.h"
 #include "ir/centralized_index.h"
 #include "ir/metrics.h"
+#include "obs/trace_report.h"
 #include "querygen/workload.h"
 #include "text/analyzer.h"
 
@@ -47,11 +59,15 @@ struct Options {
   size_t k = 20;
   uint64_t seed = 42;
   std::string metrics_json;  // empty: no dump
+  std::string trace_json;    // empty: no Perfetto dump
+  std::string trace_jsonl;   // empty: no JSONL dump
 };
 
 Options ParseOptions(int argc, char** argv, int first) {
   Options o;
   constexpr const char kMetricsFlag[] = "--metrics-json=";
+  constexpr const char kTraceFlag[] = "--trace-json=";
+  constexpr const char kTraceJsonlFlag[] = "--trace-jsonl=";
   for (int i = first; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::sscanf(argv[i], "--peers=%llu", &v) == 1) o.peers = v;
@@ -62,8 +78,22 @@ Options ParseOptions(int argc, char** argv, int first) {
     if (std::strncmp(argv[i], kMetricsFlag, sizeof(kMetricsFlag) - 1) == 0) {
       o.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
     }
+    if (std::strncmp(argv[i], kTraceJsonlFlag,
+                     sizeof(kTraceJsonlFlag) - 1) == 0) {
+      o.trace_jsonl = argv[i] + sizeof(kTraceJsonlFlag) - 1;
+    } else if (std::strncmp(argv[i], kTraceFlag,
+                            sizeof(kTraceFlag) - 1) == 0) {
+      o.trace_json = argv[i] + sizeof(kTraceFlag) - 1;
+    }
   }
   return o;
+}
+
+// Enables tracing when a --trace-json/--trace-jsonl flag was given. Call
+// before the instrumented work.
+void MaybeEnableTracing(const Options& options, core::SpriteSystem& system) {
+  if (options.trace_json.empty() && options.trace_jsonl.empty()) return;
+  system.mutable_tracer().set_enabled(true);
 }
 
 // Dumps the system's metrics snapshot when --metrics-json was given.
@@ -76,6 +106,27 @@ void MaybeDumpMetrics(const Options& options,
   } else {
     std::fprintf(stderr, "failed to write metrics to %s\n",
                  options.metrics_json.c_str());
+  }
+}
+
+// Dumps the retained trace trees in the requested format(s).
+void MaybeDumpTraces(const Options& options,
+                     const core::SpriteSystem& system) {
+  const auto write = [](const std::string& path, const std::string& body,
+                        const char* what) {
+    if (path.empty()) return;
+    if (obs::WriteJsonFile(path, body)) {
+      std::printf("%s trace written to %s\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s trace to %s\n", what,
+                   path.c_str());
+    }
+  };
+  if (!options.trace_json.empty()) {
+    write(options.trace_json, system.tracer().ToPerfettoJson(), "perfetto");
+  }
+  if (!options.trace_jsonl.empty()) {
+    write(options.trace_jsonl, system.tracer().ToJsonl(), "jsonl");
   }
 }
 
@@ -107,6 +158,7 @@ int CmdSearch(int argc, char** argv) {
               corpus.vocabulary_size());
 
   core::SpriteSystem system(MakeConfig(options));
+  MaybeEnableTracing(options, system);
   Status shared = system.ShareCorpus(corpus);
   if (!shared.ok()) {
     std::fprintf(stderr, "error: %s\n", shared.ToString().c_str());
@@ -143,6 +195,7 @@ int CmdSearch(int argc, char** argv) {
   }
   std::printf("\nDHT cost: %s\n", system.ring().stats().hops.Summary().c_str());
   MaybeDumpMetrics(options, system);
+  MaybeDumpTraces(options, system);
   return 0;
 }
 
@@ -209,6 +262,7 @@ int CmdEvaluateTrec(int argc, char** argv) {
   std::printf("\nSPRITE (%zu terms, %zu learning iterations):\n",
               options.terms, options.iters);
   core::SpriteSystem sprite_system(MakeConfig(options));
+  MaybeEnableTracing(options, sprite_system);
   for (size_t idx : split.train) sprite_system.RecordQuery(queries[idx]);
   SPRITE_CHECK_OK(sprite_system.ShareCorpus(corpus));
   for (size_t i = 0; i < options.iters; ++i) {
@@ -222,6 +276,35 @@ int CmdEvaluateTrec(int argc, char** argv) {
   SPRITE_CHECK_OK(esearch.ShareCorpus(corpus));
   evaluate(esearch);
   MaybeDumpMetrics(options, sprite_system);
+  MaybeDumpTraces(options, sprite_system);
+  return 0;
+}
+
+int CmdTraceReport(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: sprite_cli trace-report <trace-file> [--top=N]\n");
+    return 2;
+  }
+  size_t top_k = 5;
+  for (int i = 3; i < argc; ++i) {
+    unsigned long long v = 0;
+    if (std::sscanf(argv[i], "--top=%llu", &v) == 1) top_k = v;
+  }
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<obs::TraceSpanRecord> spans;
+  std::string error;
+  if (!obs::ParseTraceDump(buffer.str(), &spans, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s", obs::RenderTraceReport(spans, top_k).c_str());
   return 0;
 }
 
@@ -234,12 +317,17 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "evaluate-trec") == 0) {
     return CmdEvaluateTrec(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "trace-report") == 0) {
+    return CmdTraceReport(argc, argv);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  sprite_cli search <corpus.tsv> \"<keywords>\" [options]\n"
                "  sprite_cli evaluate-trec <docs> <topics> <qrels> "
                "[options]\n"
-               "options: --peers=N --terms=N --iters=N --k=N --seed=N "
-               "--metrics-json=PATH\n");
+               "  sprite_cli trace-report <trace-file> [--top=N]\n"
+               "options: --peers=N --terms=N --iters=N --k=N --seed=N\n"
+               "         --metrics-json=PATH --trace-json=PATH "
+               "--trace-jsonl=PATH\n");
   return 2;
 }
