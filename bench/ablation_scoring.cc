@@ -19,13 +19,23 @@ using namespace sprite;
 eval::EvalResult RunVariant(const spritebench::BenchArgs& args,
                             const eval::TestBed& bed,
                             core::LearningScoreVariant variant,
-                            size_t history_capacity) {
+                            size_t history_capacity,
+                            bool instrument = false) {
   core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
   config.score_variant = variant;
   config.history_capacity = history_capacity;
   core::SpriteSystem system(config);
+  // The dump flags instrument the paper variant at full history capacity;
+  // dumping every ablation cell would overwrite the same files.
+  if (instrument) spritebench::MaybeEnableTracing(args, system);
   SPRITE_CHECK_OK(eval::TrainSystem(system, bed, bed.split().train, 3));
-  return eval::EvaluateSystem(system, bed, bed.split().test, 20);
+  eval::EvalResult result =
+      eval::EvaluateSystem(system, bed, bed.split().test, 20);
+  if (instrument) {
+    spritebench::MaybeWriteMetricsJson(args, system);
+    spritebench::MaybeWriteTraceFiles(args, system);
+  }
+  return result;
 }
 
 }  // namespace
@@ -52,7 +62,10 @@ int main(int argc, char** argv) {
   std::printf("score variant                    |  P ratio |  R ratio\n");
   std::printf("---------------------------------+----------+---------\n");
   for (const auto& v : kVariants) {
-    eval::EvalResult r = RunVariant(args, bed, v.variant, 4096);
+    eval::EvalResult r =
+        RunVariant(args, bed, v.variant, 4096,
+                   /*instrument=*/v.variant ==
+                       core::LearningScoreVariant::kQScoreLogQf);
     std::printf("%-32s |   %5.3f  |   %5.3f\n", v.name, r.ratio.precision,
                 r.ratio.recall);
   }

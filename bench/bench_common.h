@@ -24,6 +24,8 @@ namespace spritebench {
 // --trace-json=PATH / --trace-jsonl=PATH enable distributed tracing and
 // dump the retained span trees as Chrome trace-event JSON (Perfetto) /
 // structured JSONL.
+// --cache=on|off|blind selects the querying-peer cache mode on benches
+// that honour it (cache_effect; see ApplyCacheMode).
 struct BenchArgs {
   size_t docs = 3000;
   size_t peers = 64;
@@ -31,6 +33,7 @@ struct BenchArgs {
   std::string metrics_json;  // empty: no dump
   std::string trace_json;    // empty: no Perfetto dump
   std::string trace_jsonl;   // empty: no JSONL dump
+  std::string cache;         // "", "on", "off", "blind"
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -38,6 +41,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   constexpr const char kMetricsFlag[] = "--metrics-json=";
   constexpr const char kTraceFlag[] = "--trace-json=";
   constexpr const char kTraceJsonlFlag[] = "--trace-jsonl=";
+  constexpr const char kCacheFlag[] = "--cache=";
   for (int i = 1; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::sscanf(argv[i], "--docs=%llu", &v) == 1) {
@@ -55,9 +59,24 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kTraceFlag,
                             sizeof(kTraceFlag) - 1) == 0) {
       args.trace_json = argv[i] + sizeof(kTraceFlag) - 1;
+    } else if (std::strncmp(argv[i], kCacheFlag,
+                            sizeof(kCacheFlag) - 1) == 0) {
+      args.cache = argv[i] + sizeof(kCacheFlag) - 1;
     }
   }
   return args;
+}
+
+// Applies --cache= to `config`: "on" enables both querying-peer tiers with
+// version validation, "blind" enables them without validation (staleness
+// is measured instead of prevented), "off"/"" leaves caching disabled.
+inline void ApplyCacheMode(const BenchArgs& args,
+                           sprite::core::SpriteConfig& config) {
+  if (args.cache == "on" || args.cache == "blind") {
+    config.enable_result_cache = true;
+    config.enable_posting_cache = true;
+    config.cache_validate = args.cache == "on";
+  }
 }
 
 // Turns on tracing for `sys` when a --trace-json/--trace-jsonl flag was

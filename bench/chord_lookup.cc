@@ -8,14 +8,79 @@
 #include <cstdio>
 #include <cmath>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "dht/chord.h"
 #include "dht/kademlia.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+// This bench has no SpriteSystem, so the --metrics-json/--trace-json
+// flags instrument a standalone registry + tracer attached to both
+// overlays: a converged 256-peer Chord ring and Kademlia network resolve
+// the same term keys, with each lookup a root span whose chord.hop /
+// kad.hop children carry the per-hop cost.
+void RunInstrumentedSample(const spritebench::BenchArgs& args) {
+  using namespace sprite;
+  if (args.metrics_json.empty() && args.trace_json.empty() &&
+      args.trace_jsonl.empty()) {
+    return;
+  }
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_hop_cost_ms(50.0);
+
+  dht::ChordRing chord(dht::ChordOptions{32, 8});
+  dht::KademliaNetwork kad(dht::KademliaOptions{32, 8});
+  for (size_t i = 0; i < 256; ++i) {
+    SPRITE_CHECK(chord.Join("peer" + std::to_string(i)).ok());
+    SPRITE_CHECK(kad.Join("peer" + std::to_string(i)).ok());
+  }
+  chord.BuildPerfect();
+  kad.BuildPerfect();
+  chord.ClearStats();
+  kad.ClearStats();
+  chord.AttachMetrics(&metrics);
+  kad.AttachMetrics(&metrics);
+  chord.AttachTracer(&tracer);
+  kad.AttachTracer(&tracer);
+
+  for (int i = 0; i < 500; ++i) {
+    const std::string term = "term" + std::to_string(i);
+    {
+      obs::ScopedSpan span(&tracer, "chord.lookup", "bench");
+      span.Annotate("term", term);
+      SPRITE_CHECK(chord.Lookup(chord.space().KeyForString(term)).ok());
+    }
+    {
+      obs::ScopedSpan span(&tracer, "kad.lookup", "bench");
+      span.Annotate("term", term);
+      SPRITE_CHECK(kad.Lookup(kad.space().KeyForString(term)).ok());
+    }
+  }
+
+  const auto write = [](const std::string& path, const std::string& body,
+                        const char* what) {
+    if (path.empty()) return;
+    if (obs::WriteJsonFile(path, body)) {
+      std::printf("%s written to %s\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s to %s\n", what, path.c_str());
+    }
+  };
+  write(args.metrics_json, metrics.Snapshot().ToJson(), "metrics");
+  write(args.trace_json, tracer.ToPerfettoJson(), "perfetto trace");
+  write(args.trace_jsonl, tracer.ToJsonl(), "jsonl trace");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sprite;
-  (void)argc;
-  (void)argv;
+  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
 
   std::printf("== Chord lookup hops vs network size (Supp-2) ==\n\n");
   std::printf("%8s | %10s | %8s | %8s | %14s\n", "peers", "mean hops", "p95",
@@ -93,5 +158,7 @@ int main(int argc, char** argv) {
     std::printf("%8zu | %12.2f | %12.2f\n", n, chord.stats().hops.Mean(),
                 kad.stats().hops.Mean());
   }
+
+  RunInstrumentedSample(args);
   return 0;
 }

@@ -26,16 +26,24 @@ struct Row {
 };
 
 Row RunAtBudget(const spritebench::BenchArgs& args, const eval::TestBed& bed,
-                const std::vector<size_t>& stream, size_t num_terms) {
+                const std::vector<size_t>& stream, size_t num_terms,
+                bool instrument = false) {
   // num_terms = 5 initial + 5 per learning iteration.
   const size_t iterations = (num_terms - 5) / 5;
 
   core::SpriteConfig sprite_config =
       spritebench::DefaultSpriteConfig(args, num_terms);
   core::SpriteSystem sprite_sys(sprite_config);
+  // The dump flags instrument one designated SPRITE run (the largest Zipf
+  // budget); dumping every cell would overwrite the same files six times.
+  if (instrument) spritebench::MaybeEnableTracing(args, sprite_sys);
   SPRITE_CHECK_OK(eval::TrainSystem(sprite_sys, bed, stream, iterations));
   eval::EvalResult s =
       eval::EvaluateSystem(sprite_sys, bed, bed.split().test, 20);
+  if (instrument) {
+    spritebench::MaybeWriteMetricsJson(args, sprite_sys);
+    spritebench::MaybeWriteTraceFiles(args, sprite_sys);
+  }
 
   core::SpriteSystem esearch_sys(core::MakeESearchConfig(
       spritebench::DefaultSpriteConfig(args), num_terms));
@@ -72,7 +80,8 @@ int main(int argc, char** argv) {
               "----------------------------------------\n");
   for (size_t terms : {5u, 10u, 15u, 20u, 25u, 30u}) {
     Row wor = RunAtBudget(args, bed, wor_stream, terms);
-    Row wz = RunAtBudget(args, bed, zipf.issuances, terms);
+    Row wz = RunAtBudget(args, bed, zipf.issuances, terms,
+                         /*instrument=*/terms == 30);
     std::printf(
         "%6zu |   %5.3f / %5.3f     %5.3f / %5.3f   |   %5.3f / %5.3f"
         "     %5.3f / %5.3f\n",

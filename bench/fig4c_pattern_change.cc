@@ -59,6 +59,9 @@ int main(int argc, char** argv) {
   esearch_config.terms_per_iteration = 5;
   core::SpriteSystem esearch_sys(esearch_config);
 
+  // The dump flags instrument the SPRITE system across all ten iterations
+  // (record + evaluate + learn), including the pattern change at 6.
+  spritebench::MaybeEnableTracing(args, sprite_sys);
   SPRITE_CHECK_OK(sprite_sys.ShareCorpus(bed.corpus()));
   SPRITE_CHECK_OK(esearch_sys.ShareCorpus(bed.corpus()));
 
@@ -78,5 +81,7 @@ int main(int argc, char** argv) {
       "\n(ratios to centralized at 20 answers; paper: SPRITE dips when the\n"
       " unseen group B arrives at iteration 6 and recovers within one\n"
       " iteration; eSearch is flat after reaching its 30-term cap)\n");
+  spritebench::MaybeWriteMetricsJson(args, sprite_sys);
+  spritebench::MaybeWriteTraceFiles(args, sprite_sys);
   return 0;
 }

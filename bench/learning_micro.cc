@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "core/learning.h"
 
@@ -97,3 +98,29 @@ void BM_NaiveRelearning(benchmark::State& state) {
 
 BENCHMARK(BM_IncrementalLearning)->Arg(100)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_NaiveRelearning)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Custom main instead of benchmark_main: the micro-benchmarks above
+// measure free functions and produce no metrics of their own, so the
+// shared --metrics-json/--trace-json/--trace-jsonl flags instrument a
+// small end-to-end learning run (record + share + three iterations) and
+// dump that system's registry and traces.
+int main(int argc, char** argv) {
+  using namespace sprite;
+  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
+  // Initialize strips the --benchmark_* flags and ignores ours.
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!args.metrics_json.empty() || !args.trace_json.empty() ||
+      !args.trace_jsonl.empty()) {
+    eval::TestBed bed =
+        eval::TestBed::Build(spritebench::DefaultExperiment(args));
+    core::SpriteSystem sys(spritebench::DefaultSpriteConfig(args));
+    spritebench::MaybeEnableTracing(args, sys);
+    SPRITE_CHECK_OK(eval::TrainSystem(sys, bed, bed.split().train, 3));
+    spritebench::MaybeWriteMetricsJson(args, sys);
+    spritebench::MaybeWriteTraceFiles(args, sys);
+  }
+  return 0;
+}

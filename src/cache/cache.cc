@@ -1,0 +1,217 @@
+#include "cache/cache.h"
+
+#include <utility>
+
+namespace sprite::cache {
+
+const char* CacheTierPrefix(CacheTier tier) {
+  return tier == CacheTier::kResult ? "cache.result" : "cache.posting";
+}
+
+std::string ResultCacheKey(std::vector<std::string> terms, size_t k) {
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  std::string key;
+  for (const std::string& term : terms) {
+    key += term;
+    key += '\x1f';  // unit separator: cannot occur in tokenized terms
+  }
+  key += '#';
+  key += std::to_string(k);
+  return key;
+}
+
+size_t CachedResultBytes(const CachedResult& value) {
+  // A ScoredDoc is a doc id + score; a source is a term, an address, and a
+  // version.
+  size_t bytes = value.results.size() * (sizeof(core::DocId) + sizeof(double));
+  for (const auto& [term, source] : value.sources) {
+    (void)source;
+    bytes += term.size() + sizeof(PeerId) + p2p::kVersionBytes;
+  }
+  return bytes;
+}
+
+size_t CachedPostingsBytes(const CachedPostings& value) {
+  return value.postings.size() * p2p::kPostingEntryBytes + sizeof(PeerId) +
+         p2p::kVersionBytes;
+}
+
+void CacheManager::Bump(CacheTier tier, FieldPtr field, uint64_t delta) {
+  if (delta == 0) return;
+  CacheTierStats& stats = MutableStats(tier);
+  stats.*field += delta;
+  if (metrics_ == nullptr) return;
+  const std::string prefix = CacheTierPrefix(tier);
+  // Mirror under the exact field name so ClearStats() can erase by name.
+  if (field == &CacheTierStats::lookups) {
+    metrics_->Add(prefix + ".lookups", delta);
+  } else if (field == &CacheTierStats::hits) {
+    metrics_->Add(prefix + ".hits", delta);
+  } else if (field == &CacheTierStats::misses) {
+    metrics_->Add(prefix + ".misses", delta);
+  } else if (field == &CacheTierStats::inserts) {
+    metrics_->Add(prefix + ".inserts", delta);
+  } else if (field == &CacheTierStats::evictions) {
+    metrics_->Add(prefix + ".evictions", delta);
+  } else if (field == &CacheTierStats::ttl_expirations) {
+    metrics_->Add(prefix + ".ttl_expirations", delta);
+  } else if (field == &CacheTierStats::invalidations) {
+    metrics_->Add(prefix + ".invalidations", delta);
+  } else if (field == &CacheTierStats::validations) {
+    metrics_->Add(prefix + ".validations", delta);
+  } else if (field == &CacheTierStats::stale_rejects) {
+    metrics_->Add(prefix + ".stale_rejects", delta);
+  } else if (field == &CacheTierStats::stale_serves) {
+    metrics_->Add(prefix + ".stale_serves", delta);
+  }
+}
+
+void CacheManager::PublishGauges(CacheTier tier) {
+  if (metrics_ == nullptr) return;
+  const std::string prefix = CacheTierPrefix(tier);
+  metrics_->Set(prefix + ".entries", static_cast<double>(entries(tier)));
+  metrics_->Set(prefix + ".bytes", static_cast<double>(bytes(tier)));
+}
+
+LruTtlCache<CachedResult>& CacheManager::ResultTierFor(PeerId peer) {
+  auto it = result_tiers_.find(peer);
+  if (it == result_tiers_.end()) {
+    it = result_tiers_
+             .emplace(peer, LruTtlCache<CachedResult>(options_.result_limits))
+             .first;
+  }
+  return it->second;
+}
+
+LruTtlCache<CachedPostings>& CacheManager::PostingTierFor(PeerId peer) {
+  auto it = posting_tiers_.find(peer);
+  if (it == posting_tiers_.end()) {
+    it = posting_tiers_
+             .emplace(peer,
+                      LruTtlCache<CachedPostings>(options_.posting_limits))
+             .first;
+  }
+  return it->second;
+}
+
+const CachedResult* CacheManager::LookupResult(PeerId peer,
+                                               const std::string& key,
+                                               double now_ms) {
+  if (!options_.result_enabled) return nullptr;
+  Bump(CacheTier::kResult, &CacheTierStats::lookups);
+  auto outcome = ResultTierFor(peer).Get(key, now_ms);
+  if (outcome.value != nullptr) {
+    Bump(CacheTier::kResult, &CacheTierStats::hits);
+    return outcome.value;
+  }
+  Bump(CacheTier::kResult, &CacheTierStats::misses);
+  if (outcome.expired) {
+    Bump(CacheTier::kResult, &CacheTierStats::ttl_expirations);
+    PublishGauges(CacheTier::kResult);
+  }
+  return nullptr;
+}
+
+void CacheManager::InsertResult(PeerId peer, const std::string& key,
+                                CachedResult value, double now_ms) {
+  if (!options_.result_enabled) return;
+  const size_t value_bytes = CachedResultBytes(value);
+  auto outcome =
+      ResultTierFor(peer).Put(key, std::move(value), value_bytes, now_ms);
+  Bump(CacheTier::kResult, &CacheTierStats::inserts);
+  Bump(CacheTier::kResult, &CacheTierStats::evictions, outcome.evicted);
+  PublishGauges(CacheTier::kResult);
+}
+
+void CacheManager::InvalidateResult(PeerId peer, const std::string& key) {
+  if (!options_.result_enabled) return;
+  if (ResultTierFor(peer).Erase(key)) {
+    Bump(CacheTier::kResult, &CacheTierStats::invalidations);
+    PublishGauges(CacheTier::kResult);
+  }
+}
+
+const CachedPostings* CacheManager::LookupPostings(PeerId peer,
+                                                   const std::string& term,
+                                                   double now_ms) {
+  if (!options_.posting_enabled) return nullptr;
+  Bump(CacheTier::kPosting, &CacheTierStats::lookups);
+  auto outcome = PostingTierFor(peer).Get(term, now_ms);
+  if (outcome.value != nullptr) {
+    Bump(CacheTier::kPosting, &CacheTierStats::hits);
+    return outcome.value;
+  }
+  Bump(CacheTier::kPosting, &CacheTierStats::misses);
+  if (outcome.expired) {
+    Bump(CacheTier::kPosting, &CacheTierStats::ttl_expirations);
+    PublishGauges(CacheTier::kPosting);
+  }
+  return nullptr;
+}
+
+void CacheManager::InsertPostings(PeerId peer, const std::string& term,
+                                  CachedPostings value, double now_ms) {
+  if (!options_.posting_enabled) return;
+  const size_t value_bytes = CachedPostingsBytes(value);
+  auto outcome =
+      PostingTierFor(peer).Put(term, std::move(value), value_bytes, now_ms);
+  Bump(CacheTier::kPosting, &CacheTierStats::inserts);
+  Bump(CacheTier::kPosting, &CacheTierStats::evictions, outcome.evicted);
+  PublishGauges(CacheTier::kPosting);
+}
+
+void CacheManager::InvalidatePostings(PeerId peer, const std::string& term) {
+  if (!options_.posting_enabled) return;
+  if (PostingTierFor(peer).Erase(term)) {
+    Bump(CacheTier::kPosting, &CacheTierStats::invalidations);
+    PublishGauges(CacheTier::kPosting);
+  }
+}
+
+size_t CacheManager::entries(CacheTier tier) const {
+  size_t total = 0;
+  if (tier == CacheTier::kResult) {
+    for (const auto& [peer, cache] : result_tiers_) total += cache.entries();
+  } else {
+    for (const auto& [peer, cache] : posting_tiers_) total += cache.entries();
+  }
+  return total;
+}
+
+size_t CacheManager::bytes(CacheTier tier) const {
+  size_t total = 0;
+  if (tier == CacheTier::kResult) {
+    for (const auto& [peer, cache] : result_tiers_) total += cache.bytes();
+  } else {
+    for (const auto& [peer, cache] : posting_tiers_) total += cache.bytes();
+  }
+  return total;
+}
+
+void CacheManager::ClearStats() {
+  result_stats_ = CacheTierStats{};
+  posting_stats_ = CacheTierStats{};
+  if (metrics_ != nullptr) {
+    for (CacheTier tier : {CacheTier::kResult, CacheTier::kPosting}) {
+      const std::string prefix = CacheTierPrefix(tier);
+      for (const char* field :
+           {".lookups", ".hits", ".misses", ".inserts", ".evictions",
+            ".ttl_expirations", ".invalidations", ".validations",
+            ".stale_rejects", ".stale_serves"}) {
+        metrics_->EraseByName(prefix + field);
+      }
+      // The contents survive a stats reset, so the occupancy gauges are
+      // re-published instead of erased.
+      PublishGauges(tier);
+    }
+  }
+}
+
+void CacheManager::Clear() {
+  for (auto& [peer, cache] : result_tiers_) cache.Clear();
+  for (auto& [peer, cache] : posting_tiers_) cache.Clear();
+  ClearStats();
+}
+
+}  // namespace sprite::cache

@@ -1,0 +1,175 @@
+#ifndef SPRITE_CACHE_CACHE_H_
+#define SPRITE_CACHE_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "core/types.h"
+#include "ir/ranked_list.h"
+#include "obs/metrics.h"
+#include "p2p/message.h"
+
+namespace sprite::cache {
+
+using core::PeerId;
+
+// Where a cached term's inverted list came from: the indexing peer that
+// served it and that peer's term version at serving time. The version-check
+// protocol (DESIGN.md §9) compares this triple against the live index; a
+// peer that died, lost responsibility for the term, or mutated the list
+// since fails the check.
+struct TermSource {
+  PeerId peer = 0;
+  uint64_t version = 0;
+};
+
+// A materialized top-k answer, cached at the querying peer under the
+// normalized term-set key. `sources` records, per query term, the
+// provenance the entry was built from — the entry is only as fresh as
+// every one of them.
+struct CachedResult {
+  ir::RankedList results;
+  std::map<std::string, TermSource> sources;  // ordered: deterministic
+};
+
+// One term's inverted list, cached at the querying peer so multi-term
+// queries sharing a hot term skip the DHT fetch while still re-ranking
+// locally.
+struct CachedPostings {
+  std::vector<core::PostingEntry> postings;
+  TermSource source;
+};
+
+// Normalized result-cache key: sorted deduplicated terms plus the cutoff k
+// (a top-5 answer must not satisfy a top-50 request). Order-insensitive,
+// so "dog cat" and "cat dog" share an entry.
+std::string ResultCacheKey(std::vector<std::string> terms, size_t k);
+
+// Byte estimates used for the caches' capacity accounting, derived from
+// the same wire-size constants as the traffic accountant.
+size_t CachedResultBytes(const CachedResult& value);
+size_t CachedPostingsBytes(const CachedPostings& value);
+
+enum class CacheTier { kResult, kPosting };
+
+// Event counts of one tier, aggregated over every per-peer cache instance.
+// Each field is mirrored into the metrics registry under
+// "cache.<tier>.<field>"; ClearStats() keeps both views in sync.
+struct CacheTierStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;        // pushed out by capacity (LRU order)
+  uint64_t ttl_expirations = 0;  // evicted on lookup past the TTL
+  uint64_t invalidations = 0;    // explicitly dropped (failed validation)
+  uint64_t validations = 0;      // version-check exchanges performed
+  uint64_t stale_rejects = 0;    // validation failed; entry dropped
+  uint64_t stale_serves = 0;     // blind mode served a stale entry
+
+  double HitRate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+struct CacheOptions {
+  bool result_enabled = false;
+  bool posting_enabled = false;
+  // Validate entries with a version-check exchange before serving. When
+  // false, hits within the TTL are served blindly (zero traffic) and
+  // staleness is only measured, not prevented.
+  bool validate = true;
+  CacheLimits result_limits;   // per querying peer
+  CacheLimits posting_limits;  // per querying peer
+};
+
+// The querying-peer cache tiers of the whole deployment: one result cache
+// and one posting cache per peer, plus the aggregated statistics and their
+// metrics-registry mirrors. The validation protocol itself runs in
+// SpriteSystem (where the ring and the indexing peers live); its outcomes
+// are reported back here via the Note*() methods.
+class CacheManager {
+ public:
+  explicit CacheManager(CacheOptions options) : options_(options) {}
+
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  // Attach after construction, like the network accountant: mirrored
+  // cache.* metrics appear in `metrics` from then on.
+  void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  bool enabled() const {
+    return options_.result_enabled || options_.posting_enabled;
+  }
+  bool result_enabled() const { return options_.result_enabled; }
+  bool posting_enabled() const { return options_.posting_enabled; }
+  bool validate() const { return options_.validate; }
+  void set_validate(bool validate) { options_.validate = validate; }
+  const CacheOptions& options() const { return options_; }
+
+  // --- Result tier ------------------------------------------------------
+  // Counts a hit or miss; nullptr on miss (including TTL expiry). The
+  // pointer stays valid until the next mutating call for the same peer.
+  const CachedResult* LookupResult(PeerId peer, const std::string& key,
+                                   double now_ms);
+  void InsertResult(PeerId peer, const std::string& key, CachedResult value,
+                    double now_ms);
+  void InvalidateResult(PeerId peer, const std::string& key);
+
+  // --- Posting tier -----------------------------------------------------
+  const CachedPostings* LookupPostings(PeerId peer, const std::string& term,
+                                       double now_ms);
+  void InsertPostings(PeerId peer, const std::string& term,
+                      CachedPostings value, double now_ms);
+  void InvalidatePostings(PeerId peer, const std::string& term);
+
+  // --- Validation outcomes (reported by the search path) ----------------
+  void NoteValidation(CacheTier tier) { Bump(tier, &CacheTierStats::validations); }
+  void NoteStaleReject(CacheTier tier) { Bump(tier, &CacheTierStats::stale_rejects); }
+  void NoteStaleServe(CacheTier tier) { Bump(tier, &CacheTierStats::stale_serves); }
+
+  const CacheTierStats& stats(CacheTier tier) const {
+    return tier == CacheTier::kResult ? result_stats_ : posting_stats_;
+  }
+  size_t entries(CacheTier tier) const;
+  size_t bytes(CacheTier tier) const;
+
+  // Zeroes the statistics and erases the mirrored cache.* metrics so the
+  // two views reset together; cached contents survive (a metrics reset
+  // must not cool the caches). Re-publishes the entries/bytes gauges.
+  void ClearStats();
+  // Full reset: statistics and contents.
+  void Clear();
+
+ private:
+  using FieldPtr = uint64_t CacheTierStats::*;
+
+  CacheTierStats& MutableStats(CacheTier tier) {
+    return tier == CacheTier::kResult ? result_stats_ : posting_stats_;
+  }
+  void Bump(CacheTier tier, FieldPtr field, uint64_t delta = 1);
+  void PublishGauges(CacheTier tier);
+  LruTtlCache<CachedResult>& ResultTierFor(PeerId peer);
+  LruTtlCache<CachedPostings>& PostingTierFor(PeerId peer);
+
+  CacheOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::map<PeerId, LruTtlCache<CachedResult>> result_tiers_;
+  std::map<PeerId, LruTtlCache<CachedPostings>> posting_tiers_;
+  CacheTierStats result_stats_;
+  CacheTierStats posting_stats_;
+};
+
+// "cache.result" / "cache.posting" — the metric-name prefix of a tier.
+const char* CacheTierPrefix(CacheTier tier);
+
+}  // namespace sprite::cache
+
+#endif  // SPRITE_CACHE_CACHE_H_

@@ -1,0 +1,127 @@
+#ifndef SPRITE_CACHE_LRU_CACHE_H_
+#define SPRITE_CACHE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace sprite::cache {
+
+// Capacity and freshness limits of one cache instance. Time is whatever
+// monotone millisecond scale the caller passes in — the simulated clock in
+// production use — so the policy stays clock-agnostic and deterministic.
+struct CacheLimits {
+  size_t max_entries = 0;  // 0: unlimited
+  size_t max_bytes = 0;    // 0: unlimited
+  double ttl_ms = 0.0;     // 0: entries never expire
+};
+
+// An LRU map with per-entry TTL and dual capacity limits (entries and
+// bytes). The cache keeps no statistics of its own; every operation
+// reports what happened so the owner (CacheManager) can aggregate counts
+// across many per-peer instances without double bookkeeping.
+template <typename V>
+class LruTtlCache {
+ public:
+  explicit LruTtlCache(CacheLimits limits) : limits_(limits) {}
+
+  struct GetOutcome {
+    V* value = nullptr;  // nullptr: miss
+    bool expired = false;  // the miss evicted a TTL-expired entry
+  };
+  // Looks up `key` at time `now_ms`. A live hit moves the entry to the
+  // MRU position; an expired entry is evicted and reported as a miss.
+  GetOutcome Get(const std::string& key, double now_ms) {
+    GetOutcome outcome;
+    auto it = map_.find(key);
+    if (it == map_.end()) return outcome;
+    if (Expired(*it->second, now_ms)) {
+      bytes_ -= it->second->bytes;
+      lru_.erase(it->second);
+      map_.erase(it);
+      outcome.expired = true;
+      return outcome;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    outcome.value = &it->second->value;
+    return outcome;
+  }
+
+  struct PutOutcome {
+    bool replaced = false;  // overwrote an existing entry
+    size_t evicted = 0;     // LRU entries pushed out by the capacity limits
+  };
+  // Inserts (or refreshes) `key` at the MRU position. `value_bytes` is the
+  // caller's estimate of the payload size; the key's own bytes are added
+  // on top. The newest entry is never evicted by its own insertion, even
+  // when it alone exceeds max_bytes.
+  PutOutcome Put(const std::string& key, V value, size_t value_bytes,
+                 double now_ms) {
+    PutOutcome outcome;
+    const size_t entry_bytes = value_bytes + key.size();
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      bytes_ -= it->second->bytes;
+      lru_.erase(it->second);
+      map_.erase(it);
+      outcome.replaced = true;
+    }
+    lru_.push_front(Entry{key, std::move(value), entry_bytes, now_ms});
+    map_[key] = lru_.begin();
+    bytes_ += entry_bytes;
+    while (lru_.size() > 1 && OverCapacity()) {
+      auto victim = std::prev(lru_.end());
+      bytes_ -= victim->bytes;
+      map_.erase(victim->key);
+      lru_.erase(victim);
+      ++outcome.evicted;
+    }
+    return outcome;
+  }
+
+  // Drops `key` (invalidation). Returns whether it was present.
+  bool Erase(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  size_t entries() const { return map_.size(); }
+  size_t bytes() const { return bytes_; }
+
+  void Clear() {
+    lru_.clear();
+    map_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    V value;
+    size_t bytes = 0;
+    double stored_at_ms = 0.0;
+  };
+
+  bool Expired(const Entry& entry, double now_ms) const {
+    return limits_.ttl_ms > 0.0 && now_ms - entry.stored_at_ms > limits_.ttl_ms;
+  }
+  bool OverCapacity() const {
+    return (limits_.max_entries > 0 && map_.size() > limits_.max_entries) ||
+           (limits_.max_bytes > 0 && bytes_ > limits_.max_bytes);
+  }
+
+  CacheLimits limits_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> map_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace sprite::cache
+
+#endif  // SPRITE_CACHE_LRU_CACHE_H_

@@ -66,6 +66,24 @@ struct SpriteConfig {
   // 1.25e6 B/s == 10 Mbit/s, a conservative broadband uplink.
   double bandwidth_bytes_per_sec = 1.25e6;
 
+  // --- Querying-peer caching (src/cache) --------------------------------
+  // Query-result cache: normalized term-set key -> top-k ranked list.
+  bool enable_result_cache = false;
+  // Posting cache: term -> inverted list, so multi-term queries sharing a
+  // hot term skip its DHT fetch and re-rank locally.
+  bool enable_posting_cache = false;
+  // Validate cached entries with a version-check message before serving.
+  // When false, hits within the TTL are served blindly (zero traffic) and
+  // the stale-serve rate is measured instead.
+  bool cache_validate = true;
+  // Per-querying-peer capacities; 0 means unlimited.
+  size_t result_cache_entries = 256;
+  size_t result_cache_bytes = 256 * 1024;
+  size_t posting_cache_entries = 512;
+  size_t posting_cache_bytes = 1024 * 1024;
+  // Entry lifetime on the simulated clock; 0 disables expiry.
+  double cache_ttl_ms = 0.0;
+
   // --- Extensions (Section 7) -------------------------------------------
   // Successor replicas kept per indexing peer; 0 disables replication.
   size_t replication_factor = 0;

@@ -11,11 +11,17 @@ void IndexingPeer::AddPosting(const std::string& term,
   auto& plist = index_[term];
   for (auto& p : plist) {
     if (p.doc == entry.doc) {
-      p = entry;
+      // Re-publishing an unchanged posting (e.g. a heartbeat repair that
+      // raced nothing) must not invalidate downstream caches.
+      if (!(p == entry)) {
+        p = entry;
+        ++term_versions_[term];
+      }
       return;
     }
   }
   plist.push_back(entry);
+  ++term_versions_[term];
 }
 
 namespace {
@@ -42,9 +48,13 @@ bool IndexingPeer::RemovePosting(const std::string& term, DocId doc) {
   // A withdrawal must also scrub the local replica and hot-term cache:
   // otherwise Postings()'s replica fallback (and Search()'s cache path)
   // would resurrect the document after its owner withdrew it.
-  EraseFromStore(replicas_, term, doc);
-  EraseFromStore(cache_, term, doc);
-  return EraseFromStore(index_, term, doc);
+  const bool replica_erased = EraseFromStore(replicas_, term, doc);
+  const bool cache_erased = EraseFromStore(cache_, term, doc);
+  const bool primary_erased = EraseFromStore(index_, term, doc);
+  if (replica_erased || cache_erased || primary_erased) {
+    ++term_versions_[term];
+  }
+  return primary_erased;
 }
 
 const std::vector<PostingEntry>* IndexingPeer::Postings(
@@ -85,7 +95,18 @@ std::vector<std::string> IndexingPeer::IndexedTerms() const {
 
 void IndexingPeer::StoreReplica(const std::string& term,
                                 std::vector<PostingEntry> postings) {
-  replicas_[term] = std::move(postings);
+  auto& slot = replicas_[term];
+  // Replication runs periodically; only an actual content change bumps
+  // the term version (Postings() may serve the replica as a fallback).
+  if (slot != postings) {
+    slot = std::move(postings);
+    ++term_versions_[term];
+  }
+}
+
+uint64_t IndexingPeer::TermVersion(const std::string& term) const {
+  auto it = term_versions_.find(term);
+  return it == term_versions_.end() ? 0 : it->second;
 }
 
 void IndexingPeer::CachePostings(const std::string& term,

@@ -48,6 +48,16 @@ class IndexingPeer {
     return index_;
   }
 
+  // --- Term versions (cache invalidation, src/cache) ---------------------
+  // Monotone per-term change counter: bumped whenever the serveable
+  // postings of `term` change here (primary add/remove, replica refresh,
+  // withdrawal scrubs). 0 means the term was never stored on this peer.
+  // Counters are never reset or handed off, so a (peer, term, version)
+  // triple identifies exactly one state of the list — the invariant the
+  // version-check protocol of the query caches relies on. A term that
+  // moves to another peer fails the checker's responsibility test instead.
+  uint64_t TermVersion(const std::string& term) const;
+
   // --- Replica store (Section 7) ----------------------------------------
   void StoreReplica(const std::string& term,
                     std::vector<PostingEntry> postings);
@@ -127,6 +137,7 @@ class IndexingPeer {
   std::unordered_map<std::string, std::vector<PostingEntry>> index_;
   std::unordered_map<std::string, std::vector<PostingEntry>> replicas_;
   std::unordered_map<std::string, std::vector<PostingEntry>> cache_;
+  std::unordered_map<std::string, uint64_t> term_versions_;
   std::deque<QueryRecord> history_;  // oldest at front
 };
 

@@ -18,7 +18,15 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
       latency_(obs::LatencyParams{config.hop_rtt_ms,
                                   config.bandwidth_bytes_per_sec,
                                   obs::LatencyParams{}.rank_ms_per_posting}),
-      ring_(dht::ChordOptions{config.id_bits, config.successor_list_size}) {
+      ring_(dht::ChordOptions{config.id_bits, config.successor_list_size}),
+      cache_(cache::CacheOptions{
+          config.enable_result_cache, config.enable_posting_cache,
+          config.cache_validate,
+          cache::CacheLimits{config.result_cache_entries,
+                             config.result_cache_bytes, config.cache_ttl_ms},
+          cache::CacheLimits{config.posting_cache_entries,
+                             config.posting_cache_bytes,
+                             config.cache_ttl_ms}}) {
   SPRITE_CHECK(config_.num_peers >= 1);
   SPRITE_CHECK(config_.initial_terms >= 1);
   SPRITE_CHECK(config_.max_index_terms >= config_.initial_terms);
@@ -39,6 +47,7 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
   // joins above) is excluded, matching the ClearStats() baseline.
   net_.AttachMetrics(&metrics_);
   ring_.AttachMetrics(&metrics_);
+  cache_.AttachMetrics(&metrics_);
   tracer_.set_hop_cost_ms(latency_.HopsMs(1));
   ring_.AttachTracer(&tracer_);
   net_.AttachTracer(&tracer_);
@@ -226,6 +235,85 @@ void SpriteSystem::RecordQuery(const corpus::Query& query) {
   }
 }
 
+bool SpriteSystem::ValidateCachedSources(
+    const std::vector<std::pair<std::string, cache::TermSource>>& sources,
+    const std::optional<QueryRecord>& rec,
+    std::unordered_set<PeerId>& recorded_at, uint64_t& requests,
+    uint64_t& bytes) {
+  // Group the cached terms by source peer: one round trip verifies all of
+  // a peer's terms at once.
+  std::map<PeerId, std::vector<const std::pair<std::string, cache::TermSource>*>>
+      by_peer;
+  for (const auto& source : sources) {
+    by_peer[source.second.peer].push_back(&source);
+  }
+  bool all_current = true;
+  for (const auto& [peer_id, items] : by_peer) {
+    obs::ScopedSpan span(&tracer_, "cache.validate", PeerNameOf(peer_id));
+    span.Annotate("terms", StrFormat("%zu", items.size()));
+    // The entry cached the source's address, so the probe is a direct
+    // exchange — no Chord routing.
+    uint64_t exchange_bytes = 0;
+    const size_t request_payload =
+        items.size() * (p2p::kTermBytes + p2p::kVersionBytes) +
+        (rec.has_value() ? p2p::kQueryRecordBytes : 0);
+    net_.Count(p2p::MessageType::kVersionCheck, request_payload);
+    ++requests;
+    exchange_bytes += p2p::kMessageHeaderBytes + request_payload;
+    const dht::ChordNode* node = ring_.node(peer_id);
+    const bool alive = node != nullptr && node->alive;
+    bool current = alive;
+    if (alive) {
+      query_load_[peer_id] += 1;
+      metrics_.Add("peer.queries_served",
+                   StrFormat("peer-%llu",
+                             static_cast<unsigned long long>(peer_id)),
+                   1);
+      if (rec.has_value() && recorded_at.insert(peer_id).second) {
+        indexing_.at(peer_id).RecordQuery(*rec);
+      }
+      for (const auto* item : items) {
+        const StatusOr<uint64_t> responsible =
+            ring_.ResponsibleNode(ring_.space().KeyForString(item->first));
+        if (!responsible.ok() || responsible.value() != peer_id ||
+            indexing_.at(peer_id).TermVersion(item->first) !=
+                item->second.version) {
+          current = false;
+          break;
+        }
+      }
+      // The verdict response; a dead peer's probe just times out after
+      // the request round trip.
+      net_.Count(p2p::MessageType::kVersionCheck, p2p::kVersionBytes);
+      exchange_bytes += p2p::kMessageHeaderBytes + p2p::kVersionBytes;
+    }
+    bytes += exchange_bytes;
+    tracer_.clock().AdvanceMs(latency_.RequestMs(1) +
+                              latency_.TransferMs(exchange_bytes));
+    span.Annotate("outcome", !alive ? "dead" : current ? "current" : "stale");
+    if (!current) all_current = false;
+  }
+  return all_current;
+}
+
+bool SpriteSystem::CachedSourcesStale(
+    const std::vector<std::pair<std::string, cache::TermSource>>& sources)
+    const {
+  for (const auto& [term, source] : sources) {
+    const dht::ChordNode* node = ring_.node(source.peer);
+    if (node == nullptr || !node->alive) return true;
+    const StatusOr<uint64_t> responsible =
+        ring_.ResponsibleNode(ring_.space().KeyForString(term));
+    if (!responsible.ok() || responsible.value() != source.peer) return true;
+    auto it = indexing_.find(source.peer);
+    if (it == indexing_.end() ||
+        it->second.TermVersion(term) != source.version) {
+      return true;
+    }
+  }
+  return false;
+}
+
 StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
                                               size_t k, bool record) {
   if (query.empty()) {
@@ -255,6 +343,66 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   search_span.Annotate("query", StrFormat("%u", query.id));
   search_span.Annotate("terms", StrFormat("%zu", terms.size()));
 
+  // --- Query-result cache fast path (src/cache) -------------------------
+  // A validated hit answers the query for the cost of the version probes;
+  // a blind (cache_validate=false) hit is free but may serve stale
+  // results, which the stale_serves counter measures against the live
+  // index instead of hiding.
+  std::string result_key;
+  if (cache_.result_enabled()) {
+    result_key = cache::ResultCacheKey(terms, k);
+    obs::ScopedSpan cache_span(&tracer_, "cache.lookup",
+                               PeerNameOf(querying_peer));
+    cache_span.Annotate("tier", "result");
+    const cache::CachedResult* hit = cache_.LookupResult(
+        querying_peer, result_key, tracer_.clock().now_ms());
+    bool serve = false;
+    const char* outcome = "miss";
+    uint64_t check_requests = 0;
+    uint64_t check_bytes = 0;
+    if (hit != nullptr && cache_.validate()) {
+      const std::vector<std::pair<std::string, cache::TermSource>> sources(
+          hit->sources.begin(), hit->sources.end());
+      cache_.NoteValidation(cache::CacheTier::kResult);
+      if (ValidateCachedSources(sources, rec, recorded_at, check_requests,
+                                check_bytes)) {
+        serve = true;
+        outcome = "hit";
+      } else {
+        outcome = "stale";
+        cache_.NoteStaleReject(cache::CacheTier::kResult);
+        cache_.InvalidateResult(querying_peer, result_key);
+        hit = nullptr;  // dangling after the erase; refetch below
+      }
+    } else if (hit != nullptr) {
+      serve = true;
+      outcome = "hit";
+      if (CachedSourcesStale({hit->sources.begin(), hit->sources.end()})) {
+        cache_.NoteStaleServe(cache::CacheTier::kResult);
+      }
+    }
+    cache_span.Annotate("outcome", outcome);
+    if (serve) {
+      // The hit's only cost is the validation exchanges, which belong to
+      // the fetch phase; routing and ranking are skipped entirely.
+      const double check_ms = latency_.RequestMs(check_requests) +
+                              latency_.TransferMs(check_bytes);
+      metrics_.Add("search.queries");
+      metrics_.Observe("search.route_hops", 0.0);
+      metrics_.Observe("search.postings_fetched", 0.0);
+      metrics_.Observe("search.results",
+                       static_cast<double>(hit->results.size()));
+      metrics_.Observe("latency.search.route_ms", 0.0);
+      metrics_.Observe("latency.search.fetch_ms", check_ms);
+      metrics_.Observe("latency.search.rank_ms", 0.0);
+      metrics_.Observe("latency.search.total_ms", check_ms);
+      search_span.Annotate("cache", "hit");
+      search_span.Annotate("results", StrFormat("%zu", hit->results.size()));
+      search_span.Annotate("total_ms", StrFormat("%.3f", check_ms));
+      return hit->results;
+    }
+  }
+
   // Searching phase: visit each term's indexing peer and pull the inverted
   // list plus metadata. With hot-term caching on, a contacted peer also
   // serves cached lists for the query's other terms, saving their lookups
@@ -279,9 +427,56 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   uint64_t fetch_bytes = 0;
   size_t fetched_postings = 0;
   size_t skipped_terms = 0;
+  // Provenance of each term's list, collected for the result-cache entry.
+  // A result is only cacheable when every term has a known source (no
+  // skipped terms, no hot-term-cache extras of unknown version).
+  std::map<std::string, cache::TermSource> sources_used;
   for (size_t ti = 0; ti < terms.size(); ++ti) {
     const std::string& term = terms[(start + ti) % terms.size()];
     if (resolved.count(term) > 0) continue;
+
+    // --- Posting-cache path (src/cache): skip the DHT fetch ------------
+    if (cache_.posting_enabled()) {
+      obs::ScopedSpan cache_span(&tracer_, "cache.lookup",
+                                 PeerNameOf(querying_peer));
+      cache_span.Annotate("tier", "posting");
+      cache_span.Annotate("term", term);
+      const cache::CachedPostings* hit = cache_.LookupPostings(
+          querying_peer, term, tracer_.clock().now_ms());
+      bool serve = false;
+      const char* outcome = "miss";
+      if (hit != nullptr && cache_.validate()) {
+        cache_.NoteValidation(cache::CacheTier::kPosting);
+        if (ValidateCachedSources({{term, hit->source}}, rec, recorded_at,
+                                  fetch_requests, fetch_bytes)) {
+          serve = true;
+          outcome = "hit";
+        } else {
+          outcome = "stale";
+          cache_.NoteStaleReject(cache::CacheTier::kPosting);
+          cache_.InvalidatePostings(querying_peer, term);
+          hit = nullptr;  // dangling after the erase; fetch below
+        }
+      } else if (hit != nullptr) {
+        serve = true;
+        outcome = "hit";
+        if (CachedSourcesStale({{term, hit->source}})) {
+          cache_.NoteStaleServe(cache::CacheTier::kPosting);
+        }
+      }
+      cache_span.Annotate("outcome", outcome);
+      if (serve) {
+        RetrievedList rl;
+        rl.term = term;
+        rl.postings = hit->postings;
+        fetched_postings += rl.postings.size();
+        sources_used.emplace(term, hit->source);
+        resolved.insert(term);
+        lists.push_back(std::move(rl));
+        continue;
+      }
+    }
+
     int hops = 0;
     obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(querying_peer));
     route_span.Annotate("term", term);
@@ -323,6 +518,18 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     fetch_bytes += p2p::kMessageHeaderBytes + response_payload;
     fetched_postings += rl.postings.size();
     resolved.insert(term);
+    // The response carries the serving peer's term version (one uint64),
+    // which is what makes the fetched list cacheable and later checkable.
+    const cache::TermSource term_source{target.value(),
+                                        peer.TermVersion(term)};
+    sources_used.emplace(term, term_source);
+    if (cache_.posting_enabled()) {
+      cache::CachedPostings entry;
+      entry.postings = rl.postings;
+      entry.source = term_source;
+      cache_.InsertPostings(querying_peer, term, std::move(entry),
+                            tracer_.clock().now_ms());
+    }
     lists.push_back(std::move(rl));
 
     if (config_.use_hot_term_cache) {
@@ -392,6 +599,20 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   }
   ir::SortRankedList(results, k);
   rank_span.End();
+
+  // Materialize the answer at the querying peer. Only a fully attributable
+  // result is cacheable: every term fetched from (or validated against) a
+  // known source, none skipped, none served by a hot-term-cache extra —
+  // otherwise a later version check could pass while part of the answer
+  // has no version at all.
+  if (cache_.result_enabled() && skipped_terms == 0 &&
+      sources_used.size() == terms.size()) {
+    cache::CachedResult entry;
+    entry.results = results;
+    entry.sources = std::move(sources_used);
+    cache_.InsertResult(querying_peer, result_key, std::move(entry),
+                        tracer_.clock().now_ms());
+  }
 
   // Per-phase accounting: routing (sequential hops), fetching (request
   // round trips + payload transfer), ranking (local merge over the

@@ -2,10 +2,14 @@
 #define SPRITE_CORE_SPRITE_SYSTEM_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "cache/cache.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/indexing_peer.h"
@@ -161,6 +165,7 @@ class SpriteSystem {
     metrics_.Clear();
     net_.Clear();
     ring_.ClearStats();
+    cache_.ClearStats();  // stats only: cached contents stay warm
     UpdateMembershipGauges();
   }
   // The tracer: span trees over a simulated clock for every instrumented
@@ -173,6 +178,11 @@ class SpriteSystem {
   // label per alive peer) plus skew summaries (max, mean, max/mean ratio,
   // Gini) into the registry. Call before Snapshot() in load experiments.
   void ExportLoadMetrics();
+  // The querying-peer cache tiers (src/cache): result + posting caches
+  // with learning-aware version validation. Disabled unless
+  // SpriteConfig::enable_result_cache / enable_posting_cache is set.
+  const cache::CacheManager& query_cache() const { return cache_; }
+  cache::CacheManager& mutable_query_cache() { return cache_; }
   // The latency model derived from SpriteConfig's hop RTT and bandwidth.
   const obs::LatencyModel& latency_model() const { return latency_; }
   const SpriteConfig& config() const { return config_; }
@@ -208,6 +218,24 @@ class SpriteSystem {
   // node already on the ring and pulls the key-arc handoff from its
   // successor.
   PeerId CompleteJoin(PeerId id);
+  // Runs the version-check protocol for a cached entry built from
+  // `sources`: one direct kVersionCheck exchange per distinct source peer
+  // (the querying peer cached the addresses with the entry, so no Chord
+  // routing happens). A piggybacked query record rides along exactly like
+  // on a normal fetch. Returns whether every source is alive, still
+  // responsible for its term, and at the cached version; the exchanges'
+  // request/byte costs are accumulated into `requests`/`bytes`.
+  bool ValidateCachedSources(
+      const std::vector<std::pair<std::string, cache::TermSource>>& sources,
+      const std::optional<QueryRecord>& rec,
+      std::unordered_set<PeerId>& recorded_at, uint64_t& requests,
+      uint64_t& bytes);
+  // Oracle staleness test for blind (cache_validate=false) serving: would
+  // the version check have failed? Costs no messages; it only feeds the
+  // cache.*.stale_serves counters so staleness is measured, not hidden.
+  bool CachedSourcesStale(
+      const std::vector<std::pair<std::string, cache::TermSource>>& sources)
+      const;
   Status PublishTerm(PeerId owner, const std::string& term,
                      const PostingEntry& entry);
   Status WithdrawTerm(PeerId owner, const std::string& term, DocId doc);
@@ -221,6 +249,7 @@ class SpriteSystem {
   obs::LatencyModel latency_;
   dht::ChordRing ring_;
   p2p::NetworkAccountant net_;
+  cache::CacheManager cache_;
   std::map<PeerId, IndexingPeer> indexing_;
   std::map<PeerId, OwnerPeer> owners_;
   std::vector<PeerId> peer_ids_;  // sorted, as constructed

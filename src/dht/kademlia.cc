@@ -13,6 +13,28 @@ KademliaNetwork::KademliaNetwork(KademliaOptions options)
   SPRITE_CHECK(options_.bucket_size >= 1);
 }
 
+void KademliaNetwork::ClearStats() {
+  stats_.Clear();
+  if (metrics_ != nullptr) {
+    metrics_->EraseByName("kad.lookups");
+    metrics_->EraseByName("kad.failed_lookups");
+    metrics_->EraseByName("kad.lookup_hops");
+  }
+}
+
+void KademliaNetwork::TraceHop(const KademliaNode* to) {
+  // Hops only become spans inside an instrumented operation; maintenance
+  // lookups (join, refresh) outside any span stay untraced.
+  if (tracer_ == nullptr || !tracer_->InActiveSpan()) return;
+  const std::string peer =
+      (to != nullptr && !to->name.empty())
+          ? to->name
+          : StrFormat("node%llu",
+                      static_cast<unsigned long long>(to ? to->id : 0));
+  obs::ScopedSpan hop(tracer_, "kad.hop", peer);
+  tracer_->clock().AdvanceMs(tracer_->hop_cost_ms());
+}
+
 KademliaNode* KademliaNetwork::MutableNode(uint64_t id) {
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.get();
@@ -132,9 +154,11 @@ StatusOr<KademliaNetwork::LookupResult> KademliaNetwork::LookupInternal(
   const KademliaNode* origin = node(from);
   if (origin == nullptr || !origin->alive) {
     ++stats_.failed_lookups;
+    if (metrics_ != nullptr) metrics_->Add("kad.failed_lookups");
     return Status::InvalidArgument("lookup origin is not an alive node");
   }
   ++stats_.lookups;
+  if (metrics_ != nullptr) metrics_->Add("kad.lookups");
 
   // The paper's iterative FIND_NODE: keep a shortlist of the k closest
   // candidates seen, repeatedly query the closest not-yet-queried one for
@@ -183,16 +207,19 @@ StatusOr<KademliaNetwork::LookupResult> KademliaNetwork::LookupInternal(
     ++hops;
     const KademliaNode* n = node(next);
     SPRITE_CHECK(n != nullptr);
+    TraceHop(n);
     for (const auto& bucket : n->buckets) {
       for (uint64_t contact : bucket) offer(contact);
     }
   }
   if (shortlist.empty()) {
     ++stats_.failed_lookups;
+    if (metrics_ != nullptr) metrics_->Add("kad.failed_lookups");
     return Status::Unavailable("lookup found no alive candidates");
   }
   stats_.hop_messages += static_cast<uint64_t>(hops);
   stats_.hops.Add(hops);
+  if (metrics_ != nullptr) metrics_->Observe("kad.lookup_hops", hops);
   return LookupResult{shortlist.front(), hops};
 }
 

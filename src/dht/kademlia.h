@@ -10,6 +10,8 @@
 #include "common/histogram.h"
 #include "common/status.h"
 #include "dht/id_space.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sprite::dht {
 
@@ -101,8 +103,20 @@ class KademliaNetwork {
   const KademliaNode* node(uint64_t id) const;
   std::vector<uint64_t> AliveIds() const;
   const KademliaStats& stats() const { return stats_; }
-  void ClearStats() { stats_.Clear(); }
+  // Resets the stats; mirrored kad.* registry metrics are erased in the
+  // same call so the two views can never diverge (the contract ChordRing::
+  // ClearStats established).
+  void ClearStats();
   const IdSpace& space() const { return space_; }
+
+  // Mirrors lookup stats into `metrics` ("kad.lookups",
+  // "kad.failed_lookups", "kad.lookup_hops") from now on, matching the
+  // chord.* mirrors of ChordRing. Pass nullptr to detach.
+  void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Emits one "kad.hop" child span per queried node when a lookup runs
+  // inside an instrumented operation, advancing the simulated clock by the
+  // tracer's hop cost. Pass nullptr to detach.
+  void AttachTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // Bucket index for a contact at XOR distance `distance` (> 0): the
   // position of the highest set bit, counted from the top. Exposed for
@@ -124,12 +138,16 @@ class KademliaNetwork {
   uint64_t ClosestKnown(const KademliaNode& node, uint64_t key) const;
   // One bucket-refresh pass for a node.
   void RefreshNode(uint64_t id);
+  // Emits the per-hop span for querying `to` (no-op outside a span).
+  void TraceHop(const KademliaNode* to);
 
   IdSpace space_;
   KademliaOptions options_;
   std::map<uint64_t, std::unique_ptr<KademliaNode>> nodes_;
   size_t alive_count_ = 0;
   KademliaStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sprite::dht

@@ -285,6 +285,36 @@ std::string RenderTraceReport(const std::vector<TraceSpanRecord>& spans,
                      total_self > 0.0 ? 100.0 * agg.self_ms / total_self : 0.0);
   }
 
+  // --- Cache lookups by tier and outcome ---------------------------------
+  // "cache.lookup" spans are annotated tier=result|posting and
+  // outcome=hit|miss|stale (DESIGN.md §9); absent when caching is off.
+  std::map<std::string, std::map<std::string, size_t>> cache_tiers;
+  for (const TraceSpanRecord& s : spans) {
+    if (s.name != "cache.lookup") continue;
+    auto tier = s.annotations.find("tier");
+    auto outcome = s.annotations.find("outcome");
+    if (tier == s.annotations.end() || outcome == s.annotations.end()) {
+      continue;
+    }
+    cache_tiers[tier->second][outcome->second]++;
+  }
+  if (!cache_tiers.empty()) {
+    out += "\n-- Cache lookups (tier x outcome) --\n";
+    out += StrFormat("  %-10s %8s %8s %8s %8s %9s\n", "tier", "lookups", "hit",
+                     "miss", "stale", "hit rate");
+    for (const auto& [tier, outcomes] : cache_tiers) {
+      size_t lookups = 0;
+      for (const auto& [outcome, n] : outcomes) lookups += n;
+      const auto count = [&outcomes](const char* key) -> size_t {
+        auto it = outcomes.find(key);
+        return it == outcomes.end() ? 0 : it->second;
+      };
+      out += StrFormat("  %-10s %8zu %8zu %8zu %8zu %8.1f%%\n", tier.c_str(),
+                       lookups, count("hit"), count("miss"), count("stale"),
+                       lookups > 0 ? 100.0 * count("hit") / lookups : 0.0);
+    }
+  }
+
   // --- Top-K slowest searches as span trees ------------------------------
   std::vector<size_t> search_roots;
   for (size_t i = 0; i < spans.size(); ++i) {

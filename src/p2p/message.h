@@ -26,9 +26,11 @@ enum class MessageType : uint8_t {
   kHeartbeat,        // owner -> indexing peer: liveness probe
   kKeyTransfer,      // successor -> joining peer: responsibility handoff
   kCachePush,        // indexing peer -> co-term peer: hot-term cache (LAR)
+  kVersionCheck,     // querying peer -> indexing peer: cached-entry
+                     // freshness probe (term versions in, verdict out)
 };
 
-inline constexpr int kNumMessageTypes = 12;
+inline constexpr int kNumMessageTypes = 13;
 
 // Stable display name, e.g. "PublishTerm".
 std::string_view MessageTypeName(MessageType type);
@@ -40,6 +42,7 @@ inline constexpr size_t kLookupHopBytes = 64;
 inline constexpr size_t kPostingEntryBytes = 32;  // doc id, owner, tf, len
 inline constexpr size_t kTermBytes = 12;          // average term payload
 inline constexpr size_t kQueryRecordBytes = 40;   // cached query payload
+inline constexpr size_t kVersionBytes = 8;        // one uint64 term version
 
 }  // namespace sprite::p2p
 

@@ -30,6 +30,8 @@ std::string_view MessageTypeName(MessageType type) {
       return "KeyTransfer";
     case MessageType::kCachePush:
       return "CachePush";
+    case MessageType::kVersionCheck:
+      return "VersionCheck";
   }
   return "Unknown";
 }

@@ -237,6 +237,47 @@ TEST(ExtensionsTest, RebalanceRangeNeedsThreePeers) {
             StatusCode::kFailedPrecondition);
 }
 
+// The query caches must not leak results across key spaces: an expanded
+// search's fused answer never lands under the unexpanded key, and a warm
+// plain-result cache never short-circuits the expansion pipeline into
+// returning something an uncached system would not.
+TEST(ExtensionsTest, ExpansionDoesNotPoisonTheResultCache) {
+  corpus::SyntheticDataset ds = SmallDataset(23);
+  SpriteConfig cached_config = BaseConfig();
+  cached_config.enable_result_cache = true;
+  cached_config.enable_posting_cache = true;
+  SpriteSystem cached(cached_config);
+  SpriteSystem plain(BaseConfig());
+  ASSERT_TRUE(cached.ShareCorpus(ds.corpus).ok());
+  ASSERT_TRUE(plain.ShareCorpus(ds.corpus).ok());
+
+  const corpus::Query& q = ds.base_queries[0];
+  auto baseline = cached.Search(q, 20, false);
+  ASSERT_TRUE(baseline.ok());
+
+  // Interleave plain and expanded issuances at many querying peers (the
+  // caches are per peer). The expanded pipeline internally runs plain
+  // searches over the same terms, so its issuances both read and fill the
+  // shared tiers — and must not corrupt them.
+  for (int i = 0; i < 24; ++i) {
+    auto expanded_cached = cached.SearchWithExpansion(q, 20, 3, 5);
+    auto expanded_plain = plain.SearchWithExpansion(q, 20, 3, 5);
+    ASSERT_TRUE(expanded_cached.ok());
+    ASSERT_TRUE(expanded_plain.ok());
+    // Vice versa: warm caches must not change what expansion returns.
+    EXPECT_EQ(expanded_cached.value(), expanded_plain.value());
+
+    auto repeat = cached.Search(q, 20, false);
+    ASSERT_TRUE(repeat.ok());
+    // The unexpanded key still maps to the plain answer, byte for byte.
+    EXPECT_EQ(repeat.value(), baseline.value());
+  }
+  EXPECT_GT(cached.query_cache()
+                .stats(cache::CacheTier::kResult)
+                .hits,
+            0u);
+}
+
 TEST(ExtensionsTest, ExpansionImprovesOrPreservesRecallOnSyntheticBed) {
   corpus::SyntheticDataset ds = SmallDataset(17);
   SpriteSystem system(BaseConfig());

@@ -13,6 +13,8 @@
 #include "common/rng.h"
 #include "dht/chord.h"
 #include "dht/kademlia.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sprite::dht {
 namespace {
@@ -198,6 +200,74 @@ TEST(KademliaTest, ChordAndKademliaBothProvideSpritePrimitives) {
     EXPECT_EQ(chord.SuccessorsOf(cres->node, 2).size(), 2u);
     EXPECT_EQ(kad.ClosestNodes(kkey, 2).size(), 2u);
   }
+}
+
+// Observability parity with ChordRing: the kad.* registry mirrors match
+// the raw stats sample for sample.
+TEST(KademliaTest, AttachedRegistryMirrorsLookupStats) {
+  obs::MetricsRegistry metrics;
+  KademliaNetwork net = MakeNetwork(16);
+  net.BuildPerfect();
+  net.ClearStats();
+  net.AttachMetrics(&metrics);
+  (void)net.Lookup(123);
+  (void)net.Lookup(456);
+  EXPECT_EQ(metrics.counter("kad.lookups"), net.stats().lookups);
+  const Histogram* hops = metrics.histogram("kad.lookup_hops");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_EQ(hops->count(), net.stats().hops.count());
+  EXPECT_DOUBLE_EQ(hops->Mean(), net.stats().hops.Mean());
+}
+
+// Regression: ClearStats() must drop the mirrored kad.* counters together
+// with the raw stats — the same reset contract as ChordRing::ClearStats().
+TEST(KademliaTest, ClearStatsErasesMirroredCounters) {
+  obs::MetricsRegistry metrics;
+  KademliaNetwork net = MakeNetwork(16);
+  net.BuildPerfect();
+  net.AttachMetrics(&metrics);
+  (void)net.Lookup(123);
+  ASSERT_GT(metrics.counter("kad.lookups"), 0u);
+
+  net.ClearStats();
+  EXPECT_EQ(net.stats().lookups, 0u);
+  EXPECT_EQ(metrics.counter("kad.lookups"), 0u);
+  EXPECT_EQ(metrics.counter("kad.failed_lookups"), 0u);
+  EXPECT_EQ(metrics.histogram("kad.lookup_hops"), nullptr);
+
+  // Both views agree again after new lookups.
+  (void)net.Lookup(77);
+  EXPECT_EQ(metrics.counter("kad.lookups"), net.stats().lookups);
+}
+
+// Inside an active span every queried node becomes a kad.hop child that
+// advances the simulated clock by the hop cost, mirroring chord.hop.
+TEST(KademliaTest, LookupsEmitHopSpansInsideActiveSpan) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_hop_cost_ms(50.0);
+  KademliaNetwork net = MakeNetwork(16);
+  net.BuildPerfect();
+  net.ClearStats();
+  net.AttachTracer(&tracer);
+
+  (void)net.Lookup(123);  // outside any span: nothing is traced
+  EXPECT_EQ(tracer.num_started(), 0u);
+
+  {
+    obs::ScopedSpan span(&tracer, "kad.lookup", "bench");
+    ASSERT_TRUE(net.Lookup(456).ok());
+  }
+  ASSERT_EQ(tracer.num_retained(), 1u);
+  const obs::Trace* trace = tracer.Retained()[0];
+  size_t hop_spans = 0;
+  for (const obs::Span& s : trace->spans) {
+    if (s.name == "kad.hop") ++hop_spans;
+  }
+  EXPECT_GT(hop_spans, 0u);
+  ASSERT_NE(trace->root(), nullptr);
+  EXPECT_DOUBLE_EQ(trace->root()->duration_ms(),
+                   50.0 * static_cast<double>(hop_spans));
 }
 
 // Parameterized oracle-agreement sweep.

@@ -389,6 +389,49 @@ TEST_F(ObsIntegrationTest, ClearRingStatsResetsMirrorCounters) {
   EXPECT_EQ(system.metrics().histogram("chord.lookup_hops"), nullptr);
 }
 
+// And for the cache.* mirrors: ClearMetrics() must zero the CacheManager
+// stats together with the mirrored counters — while keeping the cached
+// contents warm, with the occupancy gauges still reflecting them.
+TEST_F(ObsIntegrationTest, ClearMetricsResetsCacheMirrorsButKeepsContents) {
+  core::SpriteConfig config = SmallConfig();
+  config.enable_result_cache = true;
+  config.enable_posting_cache = true;
+  core::SpriteSystem system(config);
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  // 20 issuances over 16 peers: the pigeonhole guarantees hits.
+  for (uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(system.Search(Q(1, {"cat", "dog"}), 10, false).ok());
+  }
+  const cache::CacheManager& cm = system.query_cache();
+  const cache::CacheTierStats& rs = cm.stats(cache::CacheTier::kResult);
+  ASSERT_GT(rs.hits, 0u);
+  ASSERT_EQ(system.metrics().counter("cache.result.hits"), rs.hits);
+  ASSERT_EQ(system.metrics().counter("cache.result.lookups"), rs.lookups);
+  const size_t entries = cm.entries(cache::CacheTier::kResult);
+  ASSERT_GT(entries, 0u);
+
+  system.ClearMetrics();
+
+  EXPECT_EQ(rs.lookups, 0u);
+  EXPECT_EQ(rs.hits, 0u);
+  EXPECT_EQ(cm.stats(cache::CacheTier::kPosting).lookups, 0u);
+  EXPECT_EQ(system.metrics().counter("cache.result.lookups"), 0u);
+  EXPECT_EQ(system.metrics().counter("cache.result.hits"), 0u);
+  EXPECT_EQ(system.metrics().counter("cache.posting.lookups"), 0u);
+  // Contents survive: same occupancy, gauges republished, and the very
+  // next issuance can still hit without refilling.
+  EXPECT_EQ(cm.entries(cache::CacheTier::kResult), entries);
+  EXPECT_DOUBLE_EQ(system.metrics().gauge("cache.result.entries"),
+                   static_cast<double>(entries));
+
+  for (uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(system.Search(Q(2, {"cat", "dog"}), 10, false).ok());
+  }
+  EXPECT_GT(rs.hits, 0u);
+  EXPECT_EQ(system.metrics().counter("cache.result.hits"), rs.hits);
+  EXPECT_EQ(system.metrics().counter("cache.result.lookups"), rs.lookups);
+}
+
 // ClearMetrics wipes every view at once and restores the membership
 // gauges, so post-clear snapshots stay truthful.
 TEST_F(ObsIntegrationTest, ClearMetricsLeavesViewsConsistent) {

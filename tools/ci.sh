@@ -34,6 +34,34 @@ EOF
   >/dev/null
 echo "observability smoke OK"
 
+echo "== cache smoke: hit rate, cache=off parity, determinism =="
+./build/bench/cache_effect --docs=200 --peers=16 --cache=on \
+  --metrics-json="$SMOKE_DIR/cache_on.json" \
+  --trace-json="$SMOKE_DIR/cache_on_trace.json" \
+  --trace-jsonl="$SMOKE_DIR/cache_on_trace.jsonl" >/dev/null
+./build/bench/cache_effect --docs=200 --peers=16 --cache=off \
+  --metrics-json="$SMOKE_DIR/cache_off.json" >/dev/null
+python3 - "$SMOKE_DIR/cache_on.json" "$SMOKE_DIR/cache_off.json" <<'EOF'
+import json, sys
+def gauges(path):
+    with open(path) as f:
+        return {g["name"]: g["value"] for g in json.load(f)["gauges"]}
+on, off = gauges(sys.argv[1]), gauges(sys.argv[2])
+assert on["bench.repeat.hit_rate"] > 0, on["bench.repeat.hit_rate"]
+assert on["bench.repeat.results_identical"] == 1.0
+assert on["bench.repeat.net_bytes.cached"] < on["bench.repeat.net_bytes.baseline"]
+assert off["bench.repeat.hit_rate"] == 0, off["bench.repeat.hit_rate"]
+EOF
+# Same seed twice with caching on must produce byte-identical dumps.
+./build/bench/cache_effect --docs=200 --peers=16 --cache=on \
+  --metrics-json="$SMOKE_DIR/cache_on2.json" \
+  --trace-json="$SMOKE_DIR/cache_on2_trace.json" \
+  --trace-jsonl="$SMOKE_DIR/cache_on2_trace.jsonl" >/dev/null
+cmp "$SMOKE_DIR/cache_on.json" "$SMOKE_DIR/cache_on2.json"
+cmp "$SMOKE_DIR/cache_on_trace.json" "$SMOKE_DIR/cache_on2_trace.json"
+cmp "$SMOKE_DIR/cache_on_trace.jsonl" "$SMOKE_DIR/cache_on2_trace.jsonl"
+echo "cache smoke OK"
+
 if [ "${1:-}" = "--asan" ]; then
   echo "== sanitizers: ASan + UBSan build =="
   cmake -B build-asan -S . \

@@ -23,6 +23,9 @@
 //   --iters=N     learning iterations         (default 3)
 //   --k=N         answers per query           (default 20)
 //   --seed=N      RNG seed                    (default 42)
+//   --cache=MODE  querying-peer caches (DESIGN.md §9): "off" (default),
+//                 "on" (result + posting tiers, version-validated), or
+//                 "blind" (serve within the TTL without validation)
 //   --metrics-json=PATH  dump the system's observability snapshot
 //                 (counters + simulated-latency histograms) as JSON
 //   --trace-json=PATH    enable tracing; dump span trees as Chrome
@@ -37,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "core/sprite_system.h"
@@ -58,6 +62,7 @@ struct Options {
   size_t iters = 3;
   size_t k = 20;
   uint64_t seed = 42;
+  std::string cache;         // "", "on", "off", "blind"
   std::string metrics_json;  // empty: no dump
   std::string trace_json;    // empty: no Perfetto dump
   std::string trace_jsonl;   // empty: no JSONL dump
@@ -68,6 +73,7 @@ Options ParseOptions(int argc, char** argv, int first) {
   constexpr const char kMetricsFlag[] = "--metrics-json=";
   constexpr const char kTraceFlag[] = "--trace-json=";
   constexpr const char kTraceJsonlFlag[] = "--trace-jsonl=";
+  constexpr const char kCacheFlag[] = "--cache=";
   for (int i = first; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::sscanf(argv[i], "--peers=%llu", &v) == 1) o.peers = v;
@@ -75,6 +81,9 @@ Options ParseOptions(int argc, char** argv, int first) {
     if (std::sscanf(argv[i], "--iters=%llu", &v) == 1) o.iters = v;
     if (std::sscanf(argv[i], "--k=%llu", &v) == 1) o.k = v;
     if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) o.seed = v;
+    if (std::strncmp(argv[i], kCacheFlag, sizeof(kCacheFlag) - 1) == 0) {
+      o.cache = argv[i] + sizeof(kCacheFlag) - 1;
+    }
     if (std::strncmp(argv[i], kMetricsFlag, sizeof(kMetricsFlag) - 1) == 0) {
       o.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
     }
@@ -137,7 +146,28 @@ core::SpriteConfig MakeConfig(const Options& o) {
   config.terms_per_iteration = 5;
   config.max_index_terms = o.terms;
   config.seed = o.seed;
+  if (o.cache == "on" || o.cache == "blind") {
+    config.enable_result_cache = true;
+    config.enable_posting_cache = true;
+    config.cache_validate = o.cache == "on";
+  }
   return config;
+}
+
+// One summary line per enabled cache tier, after the searches ran.
+void MaybePrintCacheStats(const core::SpriteSystem& system) {
+  const cache::CacheManager& cm = system.query_cache();
+  if (!cm.enabled()) return;
+  for (cache::CacheTier tier :
+       {cache::CacheTier::kResult, cache::CacheTier::kPosting}) {
+    const cache::CacheTierStats& s = cm.stats(tier);
+    std::printf("%s: %llu lookups, hit rate %.3f, %llu stale %s\n",
+                cache::CacheTierPrefix(tier),
+                static_cast<unsigned long long>(s.lookups), s.HitRate(),
+                static_cast<unsigned long long>(
+                    cm.validate() ? s.stale_rejects : s.stale_serves),
+                cm.validate() ? "rejects" : "serves");
+  }
 }
 
 int CmdSearch(int argc, char** argv) {
@@ -194,6 +224,7 @@ int CmdSearch(int argc, char** argv) {
                 corpus.doc(scored.doc).title.c_str(), scored.score);
   }
   std::printf("\nDHT cost: %s\n", system.ring().stats().hops.Summary().c_str());
+  MaybePrintCacheStats(system);
   MaybeDumpMetrics(options, system);
   MaybeDumpTraces(options, system);
   return 0;
@@ -275,6 +306,7 @@ int CmdEvaluateTrec(int argc, char** argv) {
       core::MakeESearchConfig(MakeConfig(options), options.terms));
   SPRITE_CHECK_OK(esearch.ShareCorpus(corpus));
   evaluate(esearch);
+  MaybePrintCacheStats(sprite_system);
   MaybeDumpMetrics(options, sprite_system);
   MaybeDumpTraces(options, sprite_system);
   return 0;
@@ -327,7 +359,7 @@ int main(int argc, char** argv) {
                "[options]\n"
                "  sprite_cli trace-report <trace-file> [--top=N]\n"
                "options: --peers=N --terms=N --iters=N --k=N --seed=N\n"
-               "         --metrics-json=PATH --trace-json=PATH "
-               "--trace-jsonl=PATH\n");
+               "         --cache=on|off|blind --metrics-json=PATH\n"
+               "         --trace-json=PATH --trace-jsonl=PATH\n");
   return 2;
 }
