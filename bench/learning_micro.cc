@@ -45,7 +45,8 @@ Workload MakeWorkload(size_t history_size) {
     q.hash_key = rng.NextUint64();
     const size_t len = 2 + rng.NextUint64(4);
     for (size_t j = 0; j < len; ++j) {
-      q.terms.push_back(vocab[rng.NextUint64(vocab.size())]);
+      q.terms.push_back(sprite::text::TermDict::Global().Intern(
+          vocab[rng.NextUint64(vocab.size())]));
     }
     w.history.push_back(std::move(q));
   }

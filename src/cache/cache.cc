@@ -8,32 +8,39 @@ const char* CacheTierPrefix(CacheTier tier) {
   return tier == CacheTier::kResult ? "cache.result" : "cache.posting";
 }
 
-std::string ResultCacheKey(std::vector<std::string> terms, size_t k) {
+ResultKey MakeResultKey(std::vector<TermId> terms, size_t k) {
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-  std::string key;
-  for (const std::string& term : terms) {
-    key += term;
-    key += '\x1f';  // unit separator: cannot occur in tokenized terms
-  }
-  key += '#';
-  key += std::to_string(k);
+  ResultKey key;
+  key.terms = std::move(terms);
+  key.k = static_cast<uint32_t>(k);
   return key;
+}
+
+size_t ResultKeyWireBytes(const ResultKey& key) {
+  // The bytes of the legacy string key this struct replaces — each term
+  // spelling plus a separator, then '#' and the decimal k — so byte caps
+  // behave identically to the string-keyed implementation.
+  const core::TermDict& dict = core::TermDict::Global();
+  size_t bytes = 0;
+  for (const TermId id : key.terms) bytes += dict.TermOf(id).size() + 1;
+  return bytes + 1 + std::to_string(key.k).size();
 }
 
 size_t CachedResultBytes(const CachedResult& value) {
   // A ScoredDoc is a doc id + score; a source is a term, an address, and a
   // version.
+  const core::TermDict& dict = core::TermDict::Global();
   size_t bytes = value.results.size() * (sizeof(core::DocId) + sizeof(double));
   for (const auto& [term, source] : value.sources) {
     (void)source;
-    bytes += term.size() + sizeof(PeerId) + p2p::kVersionBytes;
+    bytes += dict.TermOf(term).size() + sizeof(PeerId) + p2p::kVersionBytes;
   }
   return bytes;
 }
 
 size_t CachedPostingsBytes(const CachedPostings& value) {
-  return value.postings.size() * p2p::kPostingEntryBytes + sizeof(PeerId) +
+  return value.postings->size() * p2p::kPostingEntryBytes + sizeof(PeerId) +
          p2p::kVersionBytes;
 }
 
@@ -74,29 +81,25 @@ void CacheManager::PublishGauges(CacheTier tier) {
   metrics_->Set(prefix + ".bytes", static_cast<double>(bytes(tier)));
 }
 
-LruTtlCache<CachedResult>& CacheManager::ResultTierFor(PeerId peer) {
+CacheManager::ResultTier& CacheManager::ResultTierFor(PeerId peer) {
   auto it = result_tiers_.find(peer);
   if (it == result_tiers_.end()) {
-    it = result_tiers_
-             .emplace(peer, LruTtlCache<CachedResult>(options_.result_limits))
-             .first;
+    it = result_tiers_.emplace(peer, ResultTier(options_.result_limits)).first;
   }
   return it->second;
 }
 
-LruTtlCache<CachedPostings>& CacheManager::PostingTierFor(PeerId peer) {
+CacheManager::PostingTier& CacheManager::PostingTierFor(PeerId peer) {
   auto it = posting_tiers_.find(peer);
   if (it == posting_tiers_.end()) {
-    it = posting_tiers_
-             .emplace(peer,
-                      LruTtlCache<CachedPostings>(options_.posting_limits))
+    it = posting_tiers_.emplace(peer, PostingTier(options_.posting_limits))
              .first;
   }
   return it->second;
 }
 
 const CachedResult* CacheManager::LookupResult(PeerId peer,
-                                               const std::string& key,
+                                               const ResultKey& key,
                                                double now_ms) {
   if (!options_.result_enabled) return nullptr;
   Bump(CacheTier::kResult, &CacheTierStats::lookups);
@@ -113,18 +116,18 @@ const CachedResult* CacheManager::LookupResult(PeerId peer,
   return nullptr;
 }
 
-void CacheManager::InsertResult(PeerId peer, const std::string& key,
+void CacheManager::InsertResult(PeerId peer, const ResultKey& key,
                                 CachedResult value, double now_ms) {
   if (!options_.result_enabled) return;
-  const size_t value_bytes = CachedResultBytes(value);
+  const size_t entry_bytes = CachedResultBytes(value) + ResultKeyWireBytes(key);
   auto outcome =
-      ResultTierFor(peer).Put(key, std::move(value), value_bytes, now_ms);
+      ResultTierFor(peer).Put(key, std::move(value), entry_bytes, now_ms);
   Bump(CacheTier::kResult, &CacheTierStats::inserts);
   Bump(CacheTier::kResult, &CacheTierStats::evictions, outcome.evicted);
   PublishGauges(CacheTier::kResult);
 }
 
-void CacheManager::InvalidateResult(PeerId peer, const std::string& key) {
+void CacheManager::InvalidateResult(PeerId peer, const ResultKey& key) {
   if (!options_.result_enabled) return;
   if (ResultTierFor(peer).Erase(key)) {
     Bump(CacheTier::kResult, &CacheTierStats::invalidations);
@@ -132,8 +135,7 @@ void CacheManager::InvalidateResult(PeerId peer, const std::string& key) {
   }
 }
 
-const CachedPostings* CacheManager::LookupPostings(PeerId peer,
-                                                   const std::string& term,
+const CachedPostings* CacheManager::LookupPostings(PeerId peer, TermId term,
                                                    double now_ms) {
   if (!options_.posting_enabled) return nullptr;
   Bump(CacheTier::kPosting, &CacheTierStats::lookups);
@@ -150,18 +152,21 @@ const CachedPostings* CacheManager::LookupPostings(PeerId peer,
   return nullptr;
 }
 
-void CacheManager::InsertPostings(PeerId peer, const std::string& term,
+void CacheManager::InsertPostings(PeerId peer, TermId term,
                                   CachedPostings value, double now_ms) {
   if (!options_.posting_enabled) return;
-  const size_t value_bytes = CachedPostingsBytes(value);
+  // The interned key charges its spelling's length, like the string key
+  // it replaces.
+  const size_t entry_bytes = CachedPostingsBytes(value) +
+                             core::TermDict::Global().TermOf(term).size();
   auto outcome =
-      PostingTierFor(peer).Put(term, std::move(value), value_bytes, now_ms);
+      PostingTierFor(peer).Put(term, std::move(value), entry_bytes, now_ms);
   Bump(CacheTier::kPosting, &CacheTierStats::inserts);
   Bump(CacheTier::kPosting, &CacheTierStats::evictions, outcome.evicted);
   PublishGauges(CacheTier::kPosting);
 }
 
-void CacheManager::InvalidatePostings(PeerId peer, const std::string& term) {
+void CacheManager::InvalidatePostings(PeerId peer, TermId term) {
   if (!options_.posting_enabled) return;
   if (PostingTierFor(peer).Erase(term)) {
     Bump(CacheTier::kPosting, &CacheTierStats::invalidations);

@@ -12,10 +12,12 @@
 #include "ir/ranked_list.h"
 #include "obs/metrics.h"
 #include "p2p/message.h"
+#include "text/term_dict.h"
 
 namespace sprite::cache {
 
 using core::PeerId;
+using core::TermId;
 
 // Where a cached term's inverted list came from: the indexing peer that
 // served it and that peer's term version at serving time. The version-check
@@ -33,24 +35,53 @@ struct TermSource {
 // every one of them.
 struct CachedResult {
   ir::RankedList results;
-  std::map<std::string, TermSource> sources;  // ordered: deterministic
+  std::map<TermId, TermSource> sources;  // ordered: deterministic
 };
 
 // One term's inverted list, cached at the querying peer so multi-term
 // queries sharing a hot term skip the DHT fetch while still re-ranking
-// locally.
+// locally. The list is a shared snapshot — frozen by the copy-on-write
+// discipline of the peers, so a stale cache entry can never see later
+// mutations.
 struct CachedPostings {
-  std::vector<core::PostingEntry> postings;
+  core::PostingListPtr postings;
   TermSource source;
 };
 
-// Normalized result-cache key: sorted deduplicated terms plus the cutoff k
-// (a top-5 answer must not satisfy a top-50 request). Order-insensitive,
+// Normalized result-cache key: sorted deduplicated TermIds plus the cutoff
+// k (a top-5 answer must not satisfy a top-50 request). Order-insensitive,
 // so "dog cat" and "cat dog" share an entry.
-std::string ResultCacheKey(std::vector<std::string> terms, size_t k);
+struct ResultKey {
+  std::vector<TermId> terms;  // sorted + deduplicated by MakeResultKey
+  uint32_t k = 0;
+
+  friend bool operator==(const ResultKey& a, const ResultKey& b) {
+    return a.k == b.k && a.terms == b.terms;
+  }
+};
+
+struct ResultKeyHash {
+  size_t operator()(const ResultKey& key) const {
+    // FNV-1a over the ids and k.
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    for (const TermId id : key.terms) mix(id);
+    mix(key.k);
+    return static_cast<size_t>(h);
+  }
+};
+
+ResultKey MakeResultKey(std::vector<TermId> terms, size_t k);
 
 // Byte estimates used for the caches' capacity accounting, derived from
-// the same wire-size constants as the traffic accountant.
+// the same wire-size constants as the traffic accountant. Interned keys
+// still charge what their spellings would occupy on the wire (resolved
+// through the global TermDict), so occupancy gauges and eviction order are
+// independent of the in-memory key representation.
+size_t ResultKeyWireBytes(const ResultKey& key);
 size_t CachedResultBytes(const CachedResult& value);
 size_t CachedPostingsBytes(const CachedPostings& value);
 
@@ -117,18 +148,18 @@ class CacheManager {
   // --- Result tier ------------------------------------------------------
   // Counts a hit or miss; nullptr on miss (including TTL expiry). The
   // pointer stays valid until the next mutating call for the same peer.
-  const CachedResult* LookupResult(PeerId peer, const std::string& key,
+  const CachedResult* LookupResult(PeerId peer, const ResultKey& key,
                                    double now_ms);
-  void InsertResult(PeerId peer, const std::string& key, CachedResult value,
+  void InsertResult(PeerId peer, const ResultKey& key, CachedResult value,
                     double now_ms);
-  void InvalidateResult(PeerId peer, const std::string& key);
+  void InvalidateResult(PeerId peer, const ResultKey& key);
 
   // --- Posting tier -----------------------------------------------------
-  const CachedPostings* LookupPostings(PeerId peer, const std::string& term,
+  const CachedPostings* LookupPostings(PeerId peer, TermId term,
                                        double now_ms);
-  void InsertPostings(PeerId peer, const std::string& term,
-                      CachedPostings value, double now_ms);
-  void InvalidatePostings(PeerId peer, const std::string& term);
+  void InsertPostings(PeerId peer, TermId term, CachedPostings value,
+                      double now_ms);
+  void InvalidatePostings(PeerId peer, TermId term);
 
   // --- Validation outcomes (reported by the search path) ----------------
   void NoteValidation(CacheTier tier) { Bump(tier, &CacheTierStats::validations); }
@@ -150,19 +181,21 @@ class CacheManager {
 
  private:
   using FieldPtr = uint64_t CacheTierStats::*;
+  using ResultTier = LruTtlCache<ResultKey, CachedResult, ResultKeyHash>;
+  using PostingTier = LruTtlCache<TermId, CachedPostings>;
 
   CacheTierStats& MutableStats(CacheTier tier) {
     return tier == CacheTier::kResult ? result_stats_ : posting_stats_;
   }
   void Bump(CacheTier tier, FieldPtr field, uint64_t delta = 1);
   void PublishGauges(CacheTier tier);
-  LruTtlCache<CachedResult>& ResultTierFor(PeerId peer);
-  LruTtlCache<CachedPostings>& PostingTierFor(PeerId peer);
+  ResultTier& ResultTierFor(PeerId peer);
+  PostingTier& PostingTierFor(PeerId peer);
 
   CacheOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
-  std::map<PeerId, LruTtlCache<CachedResult>> result_tiers_;
-  std::map<PeerId, LruTtlCache<CachedPostings>> posting_tiers_;
+  std::map<PeerId, ResultTier> result_tiers_;
+  std::map<PeerId, PostingTier> posting_tiers_;
   CacheTierStats result_stats_;
   CacheTierStats posting_stats_;
 };

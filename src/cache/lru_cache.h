@@ -2,8 +2,8 @@
 #define SPRITE_CACHE_LRU_CACHE_H_
 
 #include <cstddef>
+#include <functional>
 #include <list>
-#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -19,10 +19,11 @@ struct CacheLimits {
 };
 
 // An LRU map with per-entry TTL and dual capacity limits (entries and
-// bytes). The cache keeps no statistics of its own; every operation
-// reports what happened so the owner (CacheManager) can aggregate counts
-// across many per-peer instances without double bookkeeping.
-template <typename V>
+// bytes), generic over the key type (interned ids in production; anything
+// hashable in tests). The cache keeps no statistics of its own; every
+// operation reports what happened so the owner (CacheManager) can aggregate
+// counts across many per-peer instances without double bookkeeping.
+template <typename K, typename V, typename Hash = std::hash<K>>
 class LruTtlCache {
  public:
   explicit LruTtlCache(CacheLimits limits) : limits_(limits) {}
@@ -33,7 +34,7 @@ class LruTtlCache {
   };
   // Looks up `key` at time `now_ms`. A live hit moves the entry to the
   // MRU position; an expired entry is evicted and reported as a miss.
-  GetOutcome Get(const std::string& key, double now_ms) {
+  GetOutcome Get(const K& key, double now_ms) {
     GetOutcome outcome;
     auto it = map_.find(key);
     if (it == map_.end()) return outcome;
@@ -53,14 +54,14 @@ class LruTtlCache {
     bool replaced = false;  // overwrote an existing entry
     size_t evicted = 0;     // LRU entries pushed out by the capacity limits
   };
-  // Inserts (or refreshes) `key` at the MRU position. `value_bytes` is the
-  // caller's estimate of the payload size; the key's own bytes are added
-  // on top. The newest entry is never evicted by its own insertion, even
-  // when it alone exceeds max_bytes.
-  PutOutcome Put(const std::string& key, V value, size_t value_bytes,
-                 double now_ms) {
+  // Inserts (or refreshes) `key` at the MRU position. `entry_bytes` is the
+  // caller's estimate of the full entry footprint — payload plus the wire
+  // form of the key (an interned key still charges what its spelling would
+  // occupy on the wire, so byte caps are representation-independent). The
+  // newest entry is never evicted by its own insertion, even when it alone
+  // exceeds max_bytes.
+  PutOutcome Put(const K& key, V value, size_t entry_bytes, double now_ms) {
     PutOutcome outcome;
-    const size_t entry_bytes = value_bytes + key.size();
     auto it = map_.find(key);
     if (it != map_.end()) {
       bytes_ -= it->second->bytes;
@@ -82,7 +83,7 @@ class LruTtlCache {
   }
 
   // Drops `key` (invalidation). Returns whether it was present.
-  bool Erase(const std::string& key) {
+  bool Erase(const K& key) {
     auto it = map_.find(key);
     if (it == map_.end()) return false;
     bytes_ -= it->second->bytes;
@@ -102,7 +103,7 @@ class LruTtlCache {
 
  private:
   struct Entry {
-    std::string key;
+    K key;
     V value;
     size_t bytes = 0;
     double stored_at_ms = 0.0;
@@ -118,7 +119,7 @@ class LruTtlCache {
 
   CacheLimits limits_;
   std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, typename std::list<Entry>::iterator> map_;
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map_;
   size_t bytes_ = 0;
 };
 

@@ -1,0 +1,31 @@
+#ifndef SPRITE_COMMON_TOPK_H_
+#define SPRITE_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace sprite {
+
+// Bounded top-k selection: leaves the best min(k, v.size()) elements under
+// `cmp` in sorted order at the front of `v` and truncates the rest, paying
+// O(n + k log k) instead of the O(n log n) of a full sort. k == 0 means
+// "all" (full sort, no truncation).
+//
+// `cmp` must be a strict total order (every tie broken deterministically);
+// under that contract the surviving prefix is byte-identical to what
+// std::sort + resize would produce.
+template <class Vec, class Cmp>
+void TopKInPlace(Vec& v, size_t k, Cmp cmp) {
+  if (k == 0 || k >= v.size()) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  const auto mid = v.begin() + static_cast<std::ptrdiff_t>(k);
+  std::nth_element(v.begin(), mid, v.end(), cmp);
+  std::sort(v.begin(), mid, cmp);
+  v.resize(k);
+}
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_TOPK_H_

@@ -6,45 +6,59 @@
 
 namespace sprite::core {
 
-void IndexingPeer::AddPosting(const std::string& term,
-                              const PostingEntry& entry) {
-  auto& plist = index_[term];
-  for (auto& p : plist) {
-    if (p.doc == entry.doc) {
-      // Re-publishing an unchanged posting (e.g. a heartbeat repair that
-      // raced nothing) must not invalidate downstream caches.
-      if (!(p == entry)) {
-        p = entry;
-        ++term_versions_[term];
-      }
-      return;
-    }
-  }
-  plist.push_back(entry);
-  ++term_versions_[term];
-}
-
 namespace {
+
+using Store = std::unordered_map<TermId, std::shared_ptr<PostingList>>;
+
+// Copy-on-write access to a list slot: materializes an empty list, and
+// clones a list some snapshot still shares, before the caller mutates it.
+PostingList& Mutable(std::shared_ptr<PostingList>& slot) {
+  if (!slot) {
+    slot = std::make_shared<PostingList>();
+  } else if (slot.use_count() > 1) {
+    slot = std::make_shared<PostingList>(*slot);
+  }
+  return *slot;
+}
 
 // Erases `doc`'s posting from `store[term]`, dropping the list when it
 // empties. Returns whether a posting was removed.
-bool EraseFromStore(
-    std::unordered_map<std::string, std::vector<PostingEntry>>& store,
-    const std::string& term, DocId doc) {
+bool EraseFromStore(Store& store, TermId term, DocId doc) {
   auto it = store.find(term);
   if (it == store.end()) return false;
-  auto& plist = it->second;
+  const PostingList& plist = *it->second;
   auto pos = std::find_if(plist.begin(), plist.end(),
                           [doc](const PostingEntry& p) { return p.doc == doc; });
   if (pos == plist.end()) return false;
-  plist.erase(pos);
-  if (plist.empty()) store.erase(it);
+  PostingList& owned = Mutable(it->second);
+  owned.erase(owned.begin() + (pos - plist.begin()));
+  if (owned.empty()) store.erase(it);
   return true;
 }
 
 }  // namespace
 
-bool IndexingPeer::RemovePosting(const std::string& term, DocId doc) {
+void IndexingPeer::AddPosting(TermId term, const PostingEntry& entry) {
+  auto& slot = index_[term];
+  if (slot) {
+    const PostingList& plist = *slot;
+    for (size_t i = 0; i < plist.size(); ++i) {
+      if (plist[i].doc == entry.doc) {
+        // Re-publishing an unchanged posting (e.g. a heartbeat repair that
+        // raced nothing) must not invalidate downstream caches.
+        if (!(plist[i] == entry)) {
+          Mutable(slot)[i] = entry;
+          ++term_versions_[term];
+        }
+        return;
+      }
+    }
+  }
+  Mutable(slot).push_back(entry);
+  ++term_versions_[term];
+}
+
+bool IndexingPeer::RemovePosting(TermId term, DocId doc) {
   // A withdrawal must also scrub the local replica and hot-term cache:
   // otherwise Postings()'s replica fallback (and Search()'s cache path)
   // would resurrect the document after its owner withdrew it.
@@ -57,24 +71,23 @@ bool IndexingPeer::RemovePosting(const std::string& term, DocId doc) {
   return primary_erased;
 }
 
-const std::vector<PostingEntry>* IndexingPeer::Postings(
-    const std::string& term) const {
+PostingListPtr IndexingPeer::Postings(TermId term) const {
   auto it = index_.find(term);
-  if (it != index_.end()) return &it->second;
+  if (it != index_.end()) return it->second;
   auto rit = replicas_.find(term);
-  if (rit != replicas_.end()) return &rit->second;
+  if (rit != replicas_.end()) return rit->second;
   return nullptr;
 }
 
-uint32_t IndexingPeer::IndexedDocFreq(const std::string& term) const {
+uint32_t IndexingPeer::IndexedDocFreq(TermId term) const {
   auto it = index_.find(term);
-  return it == index_.end() ? 0 : static_cast<uint32_t>(it->second.size());
+  return it == index_.end() ? 0 : static_cast<uint32_t>(it->second->size());
 }
 
-bool IndexingPeer::HasPosting(const std::string& term, DocId doc) const {
+bool IndexingPeer::HasPosting(TermId term, DocId doc) const {
   auto it = index_.find(term);
   if (it == index_.end()) return false;
-  for (const PostingEntry& p : it->second) {
+  for (const PostingEntry& p : *it->second) {
     if (p.doc == doc) return true;
   }
   return false;
@@ -82,42 +95,40 @@ bool IndexingPeer::HasPosting(const std::string& term, DocId doc) const {
 
 size_t IndexingPeer::num_postings() const {
   size_t n = 0;
-  for (const auto& [_, plist] : index_) n += plist.size();
+  for (const auto& [_, plist] : index_) n += plist->size();
   return n;
 }
 
-std::vector<std::string> IndexingPeer::IndexedTerms() const {
-  std::vector<std::string> terms;
+std::vector<TermId> IndexingPeer::IndexedTerms() const {
+  std::vector<TermId> terms;
   terms.reserve(index_.size());
   for (const auto& [term, _] : index_) terms.push_back(term);
   return terms;
 }
 
-void IndexingPeer::StoreReplica(const std::string& term,
-                                std::vector<PostingEntry> postings) {
+void IndexingPeer::StoreReplica(TermId term, PostingListPtr postings) {
   auto& slot = replicas_[term];
   // Replication runs periodically; only an actual content change bumps
   // the term version (Postings() may serve the replica as a fallback).
-  if (slot != postings) {
-    slot = std::move(postings);
-    ++term_versions_[term];
-  }
+  const bool changed = slot ? *slot != *postings : !postings->empty();
+  // Adopting the shared snapshot is safe: every mutation path goes through
+  // Mutable(), which clones while the producer still holds its reference.
+  slot = std::const_pointer_cast<PostingList>(std::move(postings));
+  if (changed) ++term_versions_[term];
 }
 
-uint64_t IndexingPeer::TermVersion(const std::string& term) const {
+uint64_t IndexingPeer::TermVersion(TermId term) const {
   auto it = term_versions_.find(term);
   return it == term_versions_.end() ? 0 : it->second;
 }
 
-void IndexingPeer::CachePostings(const std::string& term,
-                                 std::vector<PostingEntry> postings) {
-  cache_[term] = std::move(postings);
+void IndexingPeer::CachePostings(TermId term, PostingListPtr postings) {
+  cache_[term] = std::const_pointer_cast<PostingList>(std::move(postings));
 }
 
-const std::vector<PostingEntry>* IndexingPeer::CachedPostings(
-    const std::string& term) const {
+PostingListPtr IndexingPeer::CachedPostings(TermId term) const {
   auto it = cache_.find(term);
-  return it == cache_.end() ? nullptr : &it->second;
+  return it == cache_.end() ? nullptr : it->second;
 }
 
 void IndexingPeer::RecordQuery(const QueryRecord& record) {
@@ -142,23 +153,25 @@ size_t ClosestTermIndex(const std::vector<uint64_t>& term_keys,
 }
 
 std::vector<const QueryRecord*> IndexingPeer::CollectQueriesForPoll(
-    const std::vector<std::string>& poll_terms,
-    const std::vector<std::string>& my_terms,
-    const std::unordered_map<std::string, uint64_t>& cursor,
+    const std::vector<TermId>& poll_terms,
+    const std::vector<uint64_t>& poll_keys,
+    const std::vector<TermId>& my_terms,
+    const std::unordered_map<TermId, uint64_t>& cursor,
     const dht::IdSpace& space) const {
+  SPRITE_CHECK(poll_terms.size() == poll_keys.size());
   std::vector<const QueryRecord*> out;
   if (history_.empty() || my_terms.empty()) return out;
+  out.reserve(history_.size());
 
-  // Precompute the ring keys of the polled terms once per poll (the paper
-  // notes the hashes can even be precomputed offline).
-  std::vector<uint64_t> poll_keys(poll_terms.size());
-  for (size_t i = 0; i < poll_terms.size(); ++i) {
-    poll_keys[i] = space.KeyForString(poll_terms[i]);
-  }
+  // Scratch buffers hoisted out of the per-query loop.
+  std::vector<size_t> contained;
+  std::vector<uint64_t> contained_keys;
+  contained.reserve(poll_terms.size());
+  contained_keys.reserve(poll_terms.size());
 
   for (const QueryRecord& q : history_) {
     // Which of the polled terms does this query contain?
-    std::vector<size_t> contained;
+    contained.clear();
     for (size_t i = 0; i < poll_terms.size(); ++i) {
       if (std::find(q.terms.begin(), q.terms.end(), poll_terms[i]) !=
           q.terms.end()) {
@@ -168,12 +181,11 @@ std::vector<const QueryRecord*> IndexingPeer::CollectQueriesForPoll(
     if (contained.empty()) continue;
 
     // Closest-hash dedup: exactly one contained term "owns" the query.
-    std::vector<uint64_t> contained_keys;
-    contained_keys.reserve(contained.size());
+    contained_keys.clear();
     for (size_t i : contained) contained_keys.push_back(poll_keys[i]);
     const size_t winner_local =
         ClosestTermIndex(contained_keys, q.hash_key, space);
-    const std::string& winner = poll_terms[contained[winner_local]];
+    const TermId winner = poll_terms[contained[winner_local]];
 
     if (std::find(my_terms.begin(), my_terms.end(), winner) ==
         my_terms.end()) {

@@ -2,8 +2,9 @@
 #define SPRITE_CORE_INDEXING_PEER_H_
 
 #include <deque>
-#include <string>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -15,6 +16,13 @@ namespace sprite::core {
 // terms the overlay assigns to this node, plus a bounded history of
 // recently issued queries that contain one of those terms. Also holds the
 // replica store used by the Section-7 replication extension.
+//
+// All stores are keyed by interned TermId (strings live only in the
+// TermDict), and every inverted list sits behind a shared_ptr: fetches hand
+// out immutable snapshots without copying, while mutators copy-on-write
+// when a snapshot is still alive elsewhere — so a list captured by a cache
+// or an in-flight search stays frozen, exactly as if it had been deep-
+// copied.
 class IndexingPeer {
  public:
   IndexingPeer(PeerId id, size_t history_capacity)
@@ -24,26 +32,27 @@ class IndexingPeer {
 
   // --- Inverted index ---------------------------------------------------
   // Adds (or overwrites) the posting of `entry.doc` in `term`'s list.
-  void AddPosting(const std::string& term, const PostingEntry& entry);
+  void AddPosting(TermId term, const PostingEntry& entry);
   // Removes `doc`'s posting from the primary list AND from this peer's
   // replica store and hot-term cache (a withdrawn document must not be
   // resurrected by the replica fallback below). Returns false when no
   // primary posting was present.
-  bool RemovePosting(const std::string& term, DocId doc);
-  // The inverted list of `term` (nullptr when the term is not indexed
-  // here). Falls back to the replica store when the primary has nothing,
-  // so a successor holding replicas can serve a failed peer's terms.
-  const std::vector<PostingEntry>* Postings(const std::string& term) const;
+  bool RemovePosting(TermId term, DocId doc);
+  // A snapshot of `term`'s inverted list (nullptr when the term is not
+  // indexed here). Falls back to the replica store when the primary has
+  // nothing, so a successor holding replicas can serve a failed peer's
+  // terms. The snapshot stays valid (and frozen) across later mutations.
+  PostingListPtr Postings(TermId term) const;
   // Indexed document frequency n'_k: length of the primary inverted list.
-  uint32_t IndexedDocFreq(const std::string& term) const;
+  uint32_t IndexedDocFreq(TermId term) const;
   // Whether `doc` has a primary posting under `term`.
-  bool HasPosting(const std::string& term, DocId doc) const;
+  bool HasPosting(TermId term, DocId doc) const;
 
   size_t num_terms() const { return index_.size(); }
   size_t num_postings() const;
   // Terms this peer currently indexes, unordered.
-  std::vector<std::string> IndexedTerms() const;
-  const std::unordered_map<std::string, std::vector<PostingEntry>>& index()
+  std::vector<TermId> IndexedTerms() const;
+  const std::unordered_map<TermId, std::shared_ptr<PostingList>>& index()
       const {
     return index_;
   }
@@ -56,23 +65,20 @@ class IndexingPeer {
   // triple identifies exactly one state of the list — the invariant the
   // version-check protocol of the query caches relies on. A term that
   // moves to another peer fails the checker's responsibility test instead.
-  uint64_t TermVersion(const std::string& term) const;
+  uint64_t TermVersion(TermId term) const;
 
   // --- Replica store (Section 7) ----------------------------------------
-  void StoreReplica(const std::string& term,
-                    std::vector<PostingEntry> postings);
+  void StoreReplica(TermId term, PostingListPtr postings);
   void ClearReplicas() { replicas_.clear(); }
   size_t num_replica_terms() const { return replicas_.size(); }
 
   // --- Hot-term cache (Section 7, LAR-style load balancing) --------------
   // Caches another peer's inverted list for a hot term so queries that hit
   // this peer for a co-occurring term need not contact the hot peer.
-  void CachePostings(const std::string& term,
-                     std::vector<PostingEntry> postings);
+  void CachePostings(TermId term, PostingListPtr postings);
   // The cached list for `term`, or nullptr. Unlike Postings(), this never
   // consults the primary index.
-  const std::vector<PostingEntry>* CachedPostings(
-      const std::string& term) const;
+  PostingListPtr CachedPostings(TermId term) const;
   void ClearCache() { cache_.clear(); }
   size_t num_cached_terms() const { return cache_.size(); }
 
@@ -83,12 +89,13 @@ class IndexingPeer {
   // term). Records whose every responsible term moved away are dropped
   // from this peer's history.
   struct Handoff {
-    std::vector<std::pair<std::string, std::vector<PostingEntry>>> lists;
+    std::vector<std::pair<TermId, std::shared_ptr<PostingList>>> lists;
     std::vector<QueryRecord> records;
   };
   template <typename Pred>
   Handoff ExtractEntries(const Pred& should_move) {
     Handoff handoff;
+    handoff.lists.reserve(index_.size());
     for (auto it = index_.begin(); it != index_.end();) {
       if (should_move(it->first)) {
         handoff.lists.emplace_back(it->first, std::move(it->second));
@@ -97,10 +104,11 @@ class IndexingPeer {
         ++it;
       }
     }
+    handoff.records.reserve(history_.size());
     std::deque<QueryRecord> kept;
     for (auto& record : history_) {
       bool moves = false, stays = false;
-      for (const auto& term : record.terms) {
+      for (const TermId term : record.terms) {
         (should_move(term) ? moves : stays) = true;
       }
       if (moves) handoff.records.push_back(record);
@@ -116,7 +124,9 @@ class IndexingPeer {
   const std::deque<QueryRecord>& history() const { return history_; }
 
   // Handles an index-update poll (Section 3). `poll_terms` are ALL global
-  // index terms of the polled document; `my_terms` the subset this peer is
+  // index terms of the polled document, `poll_keys` their ring keys
+  // (precomputed by the caller from the TermDict — the paper notes the
+  // hashes can be precomputed offline); `my_terms` the subset this peer is
   // responsible for; `cursor` maps each of my_terms to the last seq already
   // pulled for it. A cached query is returned iff
   //  (1) it contains at least one of my_terms,
@@ -126,18 +136,19 @@ class IndexingPeer {
   //      exactly one peer return each query — and
   //  (3) its seq is newer than that closest term's cursor.
   std::vector<const QueryRecord*> CollectQueriesForPoll(
-      const std::vector<std::string>& poll_terms,
-      const std::vector<std::string>& my_terms,
-      const std::unordered_map<std::string, uint64_t>& cursor,
+      const std::vector<TermId>& poll_terms,
+      const std::vector<uint64_t>& poll_keys,
+      const std::vector<TermId>& my_terms,
+      const std::unordered_map<TermId, uint64_t>& cursor,
       const dht::IdSpace& space) const;
 
  private:
   PeerId id_;
   size_t history_capacity_;
-  std::unordered_map<std::string, std::vector<PostingEntry>> index_;
-  std::unordered_map<std::string, std::vector<PostingEntry>> replicas_;
-  std::unordered_map<std::string, std::vector<PostingEntry>> cache_;
-  std::unordered_map<std::string, uint64_t> term_versions_;
+  std::unordered_map<TermId, std::shared_ptr<PostingList>> index_;
+  std::unordered_map<TermId, std::shared_ptr<PostingList>> replicas_;
+  std::unordered_map<TermId, std::shared_ptr<PostingList>> cache_;
+  std::unordered_map<TermId, uint64_t> term_versions_;
   std::deque<QueryRecord> history_;  // oldest at front
 };
 

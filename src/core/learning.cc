@@ -16,6 +16,18 @@ double QScore(const std::vector<std::string>& query_terms,
          static_cast<double>(query_terms.size());
 }
 
+double QScore(const std::vector<TermId>& query_terms,
+              const text::TermVector& doc) {
+  if (query_terms.empty()) return 0.0;
+  const TermDict& dict = TermDict::Global();
+  size_t matched = 0;
+  for (const TermId t : query_terms) {
+    if (doc.Contains(dict.TermOf(t))) ++matched;
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(query_terms.size());
+}
+
 double TermScore(const TermLearningStats& stats,
                  LearningScoreVariant variant) {
   if (stats.query_freq == 0) return 0.0;
@@ -74,9 +86,11 @@ std::vector<ScoredTerm> ProcessQueriesAndRank(
   // per-term loop of the listing): for every new query, compute its query
   // score once, then fold it into the stats of each of its terms that the
   // document actually contains (t_ij ∈ D).
+  const TermDict& dict = TermDict::Global();
   for (const QueryRecord* q : new_queries) {
     const double qs = QScore(q->terms, doc);
-    for (const auto& term : q->terms) {
+    for (const TermId id : q->terms) {
+      const std::string& term = dict.TermOf(id);
       if (!doc.Contains(term)) continue;
       TermLearningStats& st = stats[term];
       st.query_freq += 1;                                // QF is cumulative
@@ -90,9 +104,11 @@ std::vector<ScoredTerm> NaiveRank(const text::TermVector& doc,
                                   const std::vector<QueryRecord>& all_queries,
                                   LearningScoreVariant variant) {
   std::unordered_map<std::string, TermLearningStats> stats;
+  const TermDict& dict = TermDict::Global();
   for (const QueryRecord& q : all_queries) {
     const double qs = QScore(q.terms, doc);
-    for (const auto& term : q.terms) {
+    for (const TermId id : q.terms) {
+      const std::string& term = dict.TermOf(id);
       if (!doc.Contains(term)) continue;
       TermLearningStats& st = stats[term];
       st.query_freq += 1;

@@ -32,6 +32,10 @@ struct ScoredTerm {
 // qScore(Q, D) = |Q ∩ D| / |Q| (Section 5.3). Empty queries score 0.
 double QScore(const std::vector<std::string>& query_terms,
               const text::TermVector& doc);
+// Same, for a query carried as interned TermIds (resolved through the
+// global TermDict — learning statistics stay keyed by spelling).
+double QScore(const std::vector<TermId>& query_terms,
+              const text::TermVector& doc);
 
 // Score(t, D) = qScore_best * log10(QF) for the paper's variant; the other
 // variants exist for the ablation study.

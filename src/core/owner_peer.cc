@@ -129,7 +129,10 @@ OwnerPeer::IndexUpdate OwnerPeer::LearnAndRetune(
 
   // Drop cursors of withdrawn terms; re-adding the term later re-pulls its
   // history from scratch (the owner-side processed set keeps that exact).
-  for (const std::string& term : update.remove) doc.poll_cursor.erase(term);
+  for (const std::string& term : update.remove) {
+    const TermId id = text::TermDict::Global().Lookup(term);
+    if (id != text::kInvalidTermId) doc.poll_cursor.erase(id);
+  }
 
   return update;
 }

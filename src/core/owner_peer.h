@@ -21,9 +21,9 @@ struct OwnedDocument {
   std::vector<std::string> index_terms;
   // Algorithm-1 statistics per term (best qScore, cumulative QF).
   std::unordered_map<std::string, TermLearningStats> stats;
-  // Per-term poll cursor: the newest history seq already pulled via that
-  // term, so index-update polls stay incremental.
-  std::unordered_map<std::string, uint64_t> poll_cursor;
+  // Per-term poll cursor, keyed by interned TermId: the newest history seq
+  // already pulled via that term, so index-update polls stay incremental.
+  std::unordered_map<TermId, uint64_t> poll_cursor;
   // Seqs of query issuances already folded into `stats`. The paper's
   // closest-term rule dedups within one poll; across iterations the winner
   // term of a query can change as the index-term set grows, so a returned

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/topk.h"
 #include "ir/similarity.h"
 
 namespace sprite::core {
@@ -34,11 +35,12 @@ std::vector<std::string> LocalContextExpander::ExpansionTerms(
 
   std::vector<std::pair<std::string, double>> ranked(scores.begin(),
                                                      scores.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+  // Bounded selection: identical winners and order to the former full
+  // sort + resize, without sorting the losing tail.
+  TopKInPlace(ranked, num_extra, [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
   });
-  if (ranked.size() > num_extra) ranked.resize(num_extra);
 
   std::vector<std::string> out;
   out.reserve(ranked.size());

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/md5.h"
 #include "common/string_util.h"
+#include "common/topk.h"
 #include "ir/similarity.h"
 
 namespace sprite::core {
@@ -114,10 +115,10 @@ PeerId SpriteSystem::PickPeer(uint64_t hash) const {
   return 0;
 }
 
-StatusOr<PeerId> SpriteSystem::RouteToTerm(PeerId from,
-                                           const std::string& term,
+StatusOr<PeerId> SpriteSystem::RouteToTerm(PeerId from, TermId term,
                                            int* hops_out) {
-  const uint64_t key = ring_.space().KeyForString(term);
+  // Interned terms carry their MD5 key; routing hashes nothing.
+  const uint64_t key = RingKeyOf(term);
   StatusOr<dht::ChordRing::LookupResult> res = ring_.FindSuccessor(from, key);
   if (!res.ok()) return res.status();
   net_.CountLookupHops(res->hops);
@@ -142,7 +143,8 @@ Status SpriteSystem::PublishTerm(PeerId owner, const std::string& term,
                                  const PostingEntry& entry) {
   obs::ScopedSpan span(&tracer_, "publish.term", PeerNameOf(owner));
   span.Annotate("term", term);
-  StatusOr<PeerId> target = RouteToTerm(owner, term);
+  const TermId id = TermDict::Global().Intern(term);
+  StatusOr<PeerId> target = RouteToTerm(owner, id);
   if (!target.ok()) return target.status();
   net_.Count(p2p::MessageType::kPublishTerm,
              p2p::kTermBytes + p2p::kPostingEntryBytes);
@@ -150,7 +152,7 @@ Status SpriteSystem::PublishTerm(PeerId owner, const std::string& term,
       latency_.RequestMs(1) +
       latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes +
                           p2p::kPostingEntryBytes));
-  indexing_.at(target.value()).AddPosting(term, entry);
+  indexing_.at(target.value()).AddPosting(id, entry);
   return Status::OK();
 }
 
@@ -158,13 +160,14 @@ Status SpriteSystem::WithdrawTerm(PeerId owner, const std::string& term,
                                   DocId doc) {
   obs::ScopedSpan span(&tracer_, "withdraw.term", PeerNameOf(owner));
   span.Annotate("term", term);
-  StatusOr<PeerId> target = RouteToTerm(owner, term);
+  const TermId id = TermDict::Global().Intern(term);
+  StatusOr<PeerId> target = RouteToTerm(owner, id);
   if (!target.ok()) return target.status();
   net_.Count(p2p::MessageType::kWithdrawTerm, p2p::kTermBytes);
   tracer_.clock().AdvanceMs(
       latency_.RequestMs(1) +
       latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes));
-  indexing_.at(target.value()).RemovePosting(term, doc);
+  indexing_.at(target.value()).RemovePosting(id, doc);
   return Status::OK();
 }
 
@@ -205,7 +208,12 @@ Status SpriteSystem::ShareCorpus(const corpus::Corpus& corpus) {
 QueryRecord SpriteSystem::MakeQueryRecord(const corpus::Query& query) {
   QueryRecord record;
   record.id = query.id;
-  record.terms = corpus::DedupTerms(query.terms);
+  TermDict& dict = TermDict::Global();
+  const std::vector<std::string> deduped = corpus::DedupTerms(query.terms);
+  record.terms.reserve(deduped.size());
+  for (const std::string& term : deduped) {
+    record.terms.push_back(dict.Intern(term));
+  }
   record.hash_key = ring_.space().KeyForString(query.CanonicalKey());
   record.seq = ++seq_counter_;
   return record;
@@ -223,9 +231,10 @@ void SpriteSystem::RecordQuery(const corpus::Query& query) {
   // same issuance (the per-term lookups still happen — the origin needs
   // them to find the peers).
   std::unordered_set<PeerId> recorded_at;
-  for (const std::string& term : record.terms) {
+  const TermDict& dict = TermDict::Global();
+  for (const TermId term : record.terms) {
     obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(origin));
-    route_span.Annotate("term", term);
+    route_span.Annotate("term", dict.TermOf(term));
     StatusOr<PeerId> target = RouteToTerm(origin, term);
     route_span.End();
     if (!target.ok()) continue;  // unreachable arc: this copy is lost
@@ -236,13 +245,13 @@ void SpriteSystem::RecordQuery(const corpus::Query& query) {
 }
 
 bool SpriteSystem::ValidateCachedSources(
-    const std::vector<std::pair<std::string, cache::TermSource>>& sources,
+    const std::vector<std::pair<TermId, cache::TermSource>>& sources,
     const std::optional<QueryRecord>& rec,
     std::unordered_set<PeerId>& recorded_at, uint64_t& requests,
     uint64_t& bytes) {
   // Group the cached terms by source peer: one round trip verifies all of
   // a peer's terms at once.
-  std::map<PeerId, std::vector<const std::pair<std::string, cache::TermSource>*>>
+  std::map<PeerId, std::vector<const std::pair<TermId, cache::TermSource>*>>
       by_peer;
   for (const auto& source : sources) {
     by_peer[source.second.peer].push_back(&source);
@@ -274,7 +283,7 @@ bool SpriteSystem::ValidateCachedSources(
       }
       for (const auto* item : items) {
         const StatusOr<uint64_t> responsible =
-            ring_.ResponsibleNode(ring_.space().KeyForString(item->first));
+            ring_.ResponsibleNode(RingKeyOf(item->first));
         if (!responsible.ok() || responsible.value() != peer_id ||
             indexing_.at(peer_id).TermVersion(item->first) !=
                 item->second.version) {
@@ -297,13 +306,12 @@ bool SpriteSystem::ValidateCachedSources(
 }
 
 bool SpriteSystem::CachedSourcesStale(
-    const std::vector<std::pair<std::string, cache::TermSource>>& sources)
-    const {
+    const std::vector<std::pair<TermId, cache::TermSource>>& sources) const {
   for (const auto& [term, source] : sources) {
     const dht::ChordNode* node = ring_.node(source.peer);
     if (node == nullptr || !node->alive) return true;
     const StatusOr<uint64_t> responsible =
-        ring_.ResponsibleNode(ring_.space().KeyForString(term));
+        ring_.ResponsibleNode(RingKeyOf(term));
     if (!responsible.ok() || responsible.value() != source.peer) return true;
     auto it = indexing_.find(source.peer);
     if (it == indexing_.end() ||
@@ -329,10 +337,19 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   if (record) rec = MakeQueryRecord(query);
   std::unordered_set<PeerId> recorded_at;
 
-  const std::vector<std::string> terms = corpus::DedupTerms(query.terms);
+  TermDict& dict = TermDict::Global();
+  std::vector<TermId> terms;
+  {
+    const std::vector<std::string> deduped = corpus::DedupTerms(query.terms);
+    terms.reserve(deduped.size());
+    for (const std::string& term : deduped) terms.push_back(dict.Intern(term));
+  }
+  // The query's canonical hash is needed up to three times (querying-peer
+  // choice, record, contact rotation); compute the MD5 once.
+  const uint64_t canonical_key =
+      ring_.space().KeyForString(query.CanonicalKey());
   const PeerId querying_peer =
-      PickPeer(ring_.space().KeyForString(query.CanonicalKey()) ^
-               (0x517cc1b727220a95ULL * (query.id + 1)) ^
+      PickPeer(canonical_key ^ (0x517cc1b727220a95ULL * (query.id + 1)) ^
                (0x2545f4914f6cdd1dULL * issuance));
 
   // The root span of the whole operation: its route/fetch/rank children
@@ -348,9 +365,9 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   // a blind (cache_validate=false) hit is free but may serve stale
   // results, which the stale_serves counter measures against the live
   // index instead of hiding.
-  std::string result_key;
+  cache::ResultKey result_key;
   if (cache_.result_enabled()) {
-    result_key = cache::ResultCacheKey(terms, k);
+    result_key = cache::MakeResultKey(terms, k);
     obs::ScopedSpan cache_span(&tracer_, "cache.lookup",
                                PeerNameOf(querying_peer));
     cache_span.Annotate("tier", "result");
@@ -361,7 +378,7 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     uint64_t check_requests = 0;
     uint64_t check_bytes = 0;
     if (hit != nullptr && cache_.validate()) {
-      const std::vector<std::pair<std::string, cache::TermSource>> sources(
+      const std::vector<std::pair<TermId, cache::TermSource>> sources(
           hit->sources.begin(), hit->sources.end());
       cache_.NoteValidation(cache::CacheTier::kResult);
       if (ValidateCachedSources(sources, rec, recorded_at, check_requests,
@@ -410,7 +427,7 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   // contacted").
   std::vector<RetrievedList> lists;
   lists.reserve(terms.size());
-  std::unordered_set<std::string> resolved;
+  std::unordered_set<TermId> resolved;
   // With caching enabled, different queriers start from different term
   // positions; first contact — and with it the serving load of cached hot
   // pairs — then spreads across the terms' peers instead of always landing
@@ -418,9 +435,7 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   size_t start = 0;
   if (config_.use_hot_term_cache && terms.size() > 1) {
     start = static_cast<size_t>(
-        (ring_.space().KeyForString(query.CanonicalKey()) ^
-         (issuance * 0x9e3779b97f4a7c15ULL)) %
-        terms.size());
+        (canonical_key ^ (issuance * 0x9e3779b97f4a7c15ULL)) % terms.size());
   }
   uint64_t route_hops = 0;
   uint64_t fetch_requests = 0;
@@ -430,9 +445,9 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   // Provenance of each term's list, collected for the result-cache entry.
   // A result is only cacheable when every term has a known source (no
   // skipped terms, no hot-term-cache extras of unknown version).
-  std::map<std::string, cache::TermSource> sources_used;
+  std::map<TermId, cache::TermSource> sources_used;
   for (size_t ti = 0; ti < terms.size(); ++ti) {
-    const std::string& term = terms[(start + ti) % terms.size()];
+    const TermId term = terms[(start + ti) % terms.size()];
     if (resolved.count(term) > 0) continue;
 
     // --- Posting-cache path (src/cache): skip the DHT fetch ------------
@@ -440,7 +455,7 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
       obs::ScopedSpan cache_span(&tracer_, "cache.lookup",
                                  PeerNameOf(querying_peer));
       cache_span.Annotate("tier", "posting");
-      cache_span.Annotate("term", term);
+      cache_span.Annotate("term", dict.TermOf(term));
       const cache::CachedPostings* hit = cache_.LookupPostings(
           querying_peer, term, tracer_.clock().now_ms());
       bool serve = false;
@@ -468,8 +483,8 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
       if (serve) {
         RetrievedList rl;
         rl.term = term;
-        rl.postings = hit->postings;
-        fetched_postings += rl.postings.size();
+        rl.postings = hit->postings;  // shared snapshot, no copy
+        fetched_postings += rl.postings->size();
         sources_used.emplace(term, hit->source);
         resolved.insert(term);
         lists.push_back(std::move(rl));
@@ -479,7 +494,7 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
 
     int hops = 0;
     obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(querying_peer));
-    route_span.Annotate("term", term);
+    route_span.Annotate("term", dict.TermOf(term));
     StatusOr<PeerId> target = RouteToTerm(querying_peer, term, &hops);
     route_span.End();
     if (!target.ok()) {
@@ -509,14 +524,16 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     }
     RetrievedList rl;
     rl.term = term;
-    if (const std::vector<PostingEntry>* plist = peer.Postings(term)) {
-      rl.postings = *plist;
-    }
+    // Zero-copy fetch: share the peer's immutable snapshot instead of
+    // copying the vector; the response bytes are accounted as if the full
+    // list had crossed the (simulated) wire.
+    PostingListPtr plist = peer.Postings(term);
+    rl.postings = plist != nullptr ? std::move(plist) : EmptyPostingList();
     const size_t response_payload =
-        rl.postings.size() * p2p::kPostingEntryBytes;
+        rl.postings->size() * p2p::kPostingEntryBytes;
     net_.Count(p2p::MessageType::kQueryResponse, response_payload);
     fetch_bytes += p2p::kMessageHeaderBytes + response_payload;
-    fetched_postings += rl.postings.size();
+    fetched_postings += rl.postings->size();
     resolved.insert(term);
     // The response carries the serving peer's term version (one uint64),
     // which is what makes the fetched list cacheable and later checkable.
@@ -533,21 +550,20 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     lists.push_back(std::move(rl));
 
     if (config_.use_hot_term_cache) {
-      for (const std::string& other : terms) {
+      for (const TermId other : terms) {
         if (resolved.count(other) > 0) continue;
-        const std::vector<PostingEntry>* cached =
-            peer.CachedPostings(other);
+        PostingListPtr cached = peer.CachedPostings(other);
         if (cached == nullptr) continue;
         // The cached list rides in the same response as the direct
         // request, so it adds bytes but no extra request load.
         RetrievedList extra;
         extra.term = other;
-        extra.postings = *cached;
+        extra.postings = std::move(cached);
         const size_t cached_payload =
-            extra.postings.size() * p2p::kPostingEntryBytes;
+            extra.postings->size() * p2p::kPostingEntryBytes;
         net_.Count(p2p::MessageType::kQueryResponse, cached_payload);
         fetch_bytes += p2p::kMessageHeaderBytes + cached_payload;
-        fetched_postings += extra.postings.size();
+        fetched_postings += extra.postings->size();
         resolved.insert(other);
         lists.push_back(std::move(extra));
       }
@@ -559,7 +575,7 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     tracer_.clock().AdvanceMs(
         latency_.RequestMs(1) +
         latency_.TransferMs(fetch_bytes - fetch_bytes_before));
-    fetch_span.Annotate("term", term);
+    fetch_span.Annotate("term", dict.TermOf(term));
     fetch_span.Annotate(
         "peer_id",
         StrFormat("%llu", static_cast<unsigned long long>(target.value())));
@@ -577,24 +593,37 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   obs::ScopedSpan rank_span(&tracer_, "rank", PeerNameOf(querying_peer));
   rank_span.Annotate("postings", StrFormat("%zu", fetched_postings));
   tracer_.clock().AdvanceMs(latency_.RankMs(fetched_postings));
-  std::unordered_map<DocId, double> dot;
-  std::unordered_map<DocId, uint32_t> distinct_terms;
+  // One hash probe per posting: dot product and distinct-term count live in
+  // the same accumulator slot. Reserving for the posting total bounds the
+  // bucket count once instead of rehashing as candidates appear.
+  struct Accum {
+    double dot = 0.0;
+    uint32_t distinct_terms = 0;
+  };
+  std::unordered_map<DocId, Accum> acc;
+  acc.reserve(fetched_postings);
   for (const RetrievedList& rl : lists) {
-    if (rl.postings.empty()) continue;
+    if (rl.postings->empty()) continue;
+    // The per-term IDF is hoisted out of the posting loop: Idf(N, n'_k)
+    // depends only on the list, so it is computed once per retrieved list.
+    // The per-posting product keeps the exact association
+    // (wq * ntf) * idf — hoisting wq*idf would change the floating-point
+    // rounding and break bit-identical scores.
     const double idf =
         ir::Idf(config_.idf_corpus_size,
-                static_cast<uint32_t>(rl.postings.size()));
+                static_cast<uint32_t>(rl.postings->size()));
     if (idf == 0.0) continue;
     const double wq = idf;  // unit query-term frequency
-    for (const PostingEntry& p : rl.postings) {
-      dot[p.doc] += wq * p.NormalizedTf() * idf;
-      distinct_terms[p.doc] = p.num_distinct_terms;
+    for (const PostingEntry& p : *rl.postings) {
+      Accum& a = acc[p.doc];
+      a.dot += wq * p.NormalizedTf() * idf;
+      a.distinct_terms = p.num_distinct_terms;
     }
   }
   ir::RankedList results;
-  results.reserve(dot.size());
-  for (const auto& [doc, d] : dot) {
-    const double score = ir::LeeNormalize(d, distinct_terms[doc]);
+  results.reserve(acc.size());
+  for (const auto& [doc, a] : acc) {
+    const double score = ir::LeeNormalize(a.dot, a.distinct_terms);
     if (score > 0.0) results.push_back({doc, score});
   }
   ir::SortRankedList(results, k);
@@ -670,13 +699,24 @@ void SpriteSystem::RunLearningIteration() {
       poll_span.Annotate("doc", StrFormat("%u", doc_id));
 
       // Group the document's current terms by responsible indexing peer.
-      const std::vector<std::string> poll_terms = owned.index_terms;
-      std::map<PeerId, std::vector<std::string>> by_peer;
+      // Terms are interned once here; their ring keys come precomputed
+      // from the dictionary (no MD5 on the poll path).
+      TermDict& dict = TermDict::Global();
+      std::vector<TermId> poll_terms;
+      std::vector<uint64_t> poll_keys;
+      poll_terms.reserve(owned.index_terms.size());
+      poll_keys.reserve(owned.index_terms.size());
+      for (const std::string& term : owned.index_terms) {
+        const TermId id = dict.Intern(term);
+        poll_terms.push_back(id);
+        poll_keys.push_back(RingKeyOf(id));
+      }
+      std::map<PeerId, std::vector<TermId>> by_peer;
       uint64_t poll_hops = 0;
-      for (const std::string& term : poll_terms) {
+      for (const TermId term : poll_terms) {
         int hops = 0;
         obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(owner_id));
-        route_span.Annotate("term", term);
+        route_span.Annotate("term", dict.TermOf(term));
         StatusOr<PeerId> target = RouteToTerm(owner_id, term, &hops);
         route_span.End();
         if (target.ok()) {
@@ -700,7 +740,7 @@ void SpriteSystem::RunLearningIteration() {
             p2p::kMessageHeaderBytes + poll_terms.size() * p2p::kTermBytes;
         const IndexingPeer& peer = indexing_.at(peer_id);
         std::vector<const QueryRecord*> recs = peer.CollectQueriesForPoll(
-            poll_terms, my_terms, owned.poll_cursor, ring_.space());
+            poll_terms, poll_keys, my_terms, owned.poll_cursor, ring_.space());
         net_.Count(p2p::MessageType::kPollResponse,
                    recs.size() * p2p::kQueryRecordBytes);
         poll_bytes +=
@@ -717,7 +757,7 @@ void SpriteSystem::RunLearningIteration() {
       // the queries cached at its (temporarily unreachable) peer have not
       // been offered yet and must still be pulled once the arc heals.
       for (const auto& [peer_id, my_terms] : by_peer) {
-        for (const std::string& term : my_terms) {
+        for (const TermId term : my_terms) {
           owned.poll_cursor[term] = seq_counter_;
         }
       }
@@ -750,10 +790,12 @@ void SpriteSystem::ReplicateIndexes() {
     for (const auto& [term, plist] : peer.index()) {
       for (PeerId s : succs) {
         const size_t payload =
-            p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes;
+            p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes;
         net_.Count(p2p::MessageType::kReplicate, payload);
         push_bytes += p2p::kMessageHeaderBytes + payload;
         ++pushes;
+        // The successor adopts a shared snapshot; copy-on-write at either
+        // end keeps replica and primary independent without a deep copy.
         indexing_.at(s).StoreReplica(term, plist);
       }
     }
@@ -787,26 +829,34 @@ void SpriteSystem::StabilizeNetwork(int rounds) {
 size_t SpriteSystem::RunOverloadAdvisories(uint32_t threshold) {
   // Collect the overloaded (peer, term) pairs first; owners mutate the
   // indexes while we act on the advisories.
+  const TermDict& dict = TermDict::Global();
   struct Advisory {
-    std::string term;
-    std::vector<PostingEntry> postings;
+    TermId term = kInvalidTermId;
+    PostingListPtr postings;  // shared snapshot, frozen by copy-on-write
   };
   std::vector<Advisory> advisories;
   for (const auto& [peer_id, peer] : indexing_) {
     const dht::ChordNode* node = ring_.node(peer_id);
     if (node == nullptr || !node->alive) continue;
     for (const auto& [term, plist] : peer.index()) {
-      if (plist.size() > threshold) advisories.push_back({term, plist});
+      if (plist->size() > threshold) advisories.push_back({term, plist});
     }
   }
+  // Id-keyed stores iterate in hash order; process advisories in spelling
+  // order so replacement choices are stable across runs and platforms.
+  std::sort(advisories.begin(), advisories.end(),
+            [&dict](const Advisory& a, const Advisory& b) {
+              return dict.TermOf(a.term) < dict.TermOf(b.term);
+            });
 
   size_t replacements = 0;
   for (const Advisory& adv : advisories) {
-    for (const PostingEntry& posting : adv.postings) {
+    const std::string& adv_term = dict.TermOf(adv.term);
+    for (const PostingEntry& posting : *adv.postings) {
       auto owner_it = owners_.find(posting.owner);
       if (owner_it == owners_.end()) continue;
       OwnedDocument* owned = owner_it->second.document(posting.doc);
-      if (owned == nullptr || !owned->IsIndexed(adv.term)) continue;
+      if (owned == nullptr || !owned->IsIndexed(adv_term)) continue;
       net_.Count(p2p::MessageType::kAdvisory, p2p::kTermBytes);
 
       // The owner discards the popular term and publishes an analogously
@@ -816,23 +866,23 @@ size_t SpriteSystem::RunOverloadAdvisories(uint32_t threshold) {
       std::vector<ScoredTerm> ranked = ProcessQueriesAndRank(
           owned->content->terms, owned->stats, {}, config_.score_variant);
       for (const ScoredTerm& cand : ranked) {
-        if (cand.term != adv.term && !owned->IsIndexed(cand.term)) {
+        if (cand.term != adv_term && !owned->IsIndexed(cand.term)) {
           replacement = cand.term;
           break;
         }
       }
       if (replacement.empty()) {
         for (const auto& tf : owned->content->terms.SortedTerms()) {
-          if (tf.term != adv.term && !owned->IsIndexed(tf.term)) {
+          if (tf.term != adv_term && !owned->IsIndexed(tf.term)) {
             replacement = tf.term;
             break;
           }
         }
       }
 
-      WithdrawTerm(posting.owner, adv.term, posting.doc);
+      WithdrawTerm(posting.owner, adv_term, posting.doc);
       auto it = std::find(owned->index_terms.begin(),
-                          owned->index_terms.end(), adv.term);
+                          owned->index_terms.end(), adv_term);
       if (it != owned->index_terms.end()) owned->index_terms.erase(it);
       owned->poll_cursor.erase(adv.term);
       if (!replacement.empty()) {
@@ -888,7 +938,8 @@ Status SpriteSystem::UpdateDocument(const corpus::Document& doc) {
     if (!doc.ContainsTerm(term)) {
       WithdrawTerm(owner_id, term, doc.id);
       owned->stats.erase(term);
-      owned->poll_cursor.erase(term);
+      const TermId id = TermDict::Global().Lookup(term);
+      if (id != kInvalidTermId) owned->poll_cursor.erase(id);
     } else {
       kept.push_back(term);
     }
@@ -919,21 +970,19 @@ PeerId SpriteSystem::CompleteJoin(PeerId id) {
   const std::vector<PeerId> succs = ring_.SuccessorsOf(id, 1);
   if (!succs.empty() && succs[0] != id) {
     IndexingPeer& successor = indexing_.at(succs[0]);
-    const dht::IdSpace& space = ring_.space();
     IndexingPeer::Handoff handoff =
-        successor.ExtractEntries([&](const std::string& term) {
-          StatusOr<uint64_t> owner = ring_.ResponsibleNode(
-              space.KeyForString(term));
+        successor.ExtractEntries([&](TermId term) {
+          StatusOr<uint64_t> owner = ring_.ResponsibleNode(RingKeyOf(term));
           return owner.ok() && owner.value() == id;
         });
     IndexingPeer& newcomer = indexing_.at(id);
     uint64_t handoff_bytes = 0;
     for (auto& [term, plist] : handoff.lists) {
       const size_t payload =
-          p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes;
+          p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes;
       net_.Count(p2p::MessageType::kKeyTransfer, payload);
       handoff_bytes += p2p::kMessageHeaderBytes + payload;
-      for (const PostingEntry& entry : plist) {
+      for (const PostingEntry& entry : *plist) {
         newcomer.AddPosting(term, entry);
       }
     }
@@ -1018,15 +1067,15 @@ Status SpriteSystem::LeavePeer(PeerId id) {
   const std::vector<PeerId> succs = ring_.SuccessorsOf(id, 1);
   SPRITE_CHECK(!succs.empty());
   IndexingPeer& successor = indexing_.at(succs[0]);
-  IndexingPeer::Handoff handoff = indexing_.at(id).ExtractEntries(
-      [](const std::string&) { return true; });
+  IndexingPeer::Handoff handoff =
+      indexing_.at(id).ExtractEntries([](TermId) { return true; });
   uint64_t handoff_bytes = 0;
   for (auto& [term, plist] : handoff.lists) {
     const size_t payload =
-        p2p::kTermBytes + plist.size() * p2p::kPostingEntryBytes;
+        p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes;
     net_.Count(p2p::MessageType::kKeyTransfer, payload);
     handoff_bytes += p2p::kMessageHeaderBytes + payload;
-    for (const PostingEntry& entry : plist) {
+    for (const PostingEntry& entry : *plist) {
       successor.AddPosting(term, entry);
     }
   }
@@ -1085,11 +1134,12 @@ size_t SpriteSystem::RunHeartbeats() {
     if (node == nullptr || !node->alive) continue;
     for (auto& [doc_id, owned] : owner.mutable_documents()) {
       for (const std::string& term : owned.index_terms) {
+        const TermId id = TermDict::Global().Intern(term);
         int hops = 0;
         obs::ScopedSpan probe_span(&tracer_, "heartbeat.probe",
                                    PeerNameOf(owner_id));
         probe_span.Annotate("term", term);
-        StatusOr<PeerId> target = RouteToTerm(owner_id, term, &hops);
+        StatusOr<PeerId> target = RouteToTerm(owner_id, id, &hops);
         if (!target.ok()) continue;  // arc unreachable; retry next period
         const uint64_t bytes_before = probe_bytes;
         net_.Count(p2p::MessageType::kHeartbeat, p2p::kTermBytes);
@@ -1099,12 +1149,12 @@ size_t SpriteSystem::RunHeartbeats() {
         // A live peer that lost the posting (e.g. responsibility moved to
         // it after an unreplicated failure) gets it re-published.
         IndexingPeer& peer = indexing_.at(target.value());
-        if (!peer.HasPosting(term, doc_id)) {
+        if (!peer.HasPosting(id, doc_id)) {
           net_.Count(p2p::MessageType::kPublishTerm,
                      p2p::kTermBytes + p2p::kPostingEntryBytes);
           probe_bytes += p2p::kMessageHeaderBytes + p2p::kTermBytes +
                          p2p::kPostingEntryBytes;
-          peer.AddPosting(term, MakePosting(owned, term, owner_id));
+          peer.AddPosting(id, MakePosting(owned, term, owner_id));
           ++republished;
         }
         tracer_.clock().AdvanceMs(
@@ -1122,10 +1172,12 @@ size_t SpriteSystem::RunHeartbeats() {
 }
 
 size_t SpriteSystem::RunHotTermCaching(size_t top_terms) {
+  if (top_terms == 0) return 0;
   // Aggregate query frequencies and co-occurrences over the peers' caches,
   // deduplicating issuances (one query is stored at several peers).
+  const TermDict& dict = TermDict::Global();
   std::unordered_set<uint64_t> seen;
-  std::unordered_map<std::string, uint64_t> qf;
+  std::unordered_map<TermId, uint64_t> qf;
   std::vector<const QueryRecord*> unique_records;
   for (const auto& [peer_id, peer] : indexing_) {
     const dht::ChordNode* node = ring_.node(peer_id);
@@ -1133,49 +1185,48 @@ size_t SpriteSystem::RunHotTermCaching(size_t top_terms) {
     for (const QueryRecord& record : peer.history()) {
       if (!seen.insert(record.seq).second) continue;
       unique_records.push_back(&record);
-      for (const std::string& term : record.terms) qf[term] += 1;
+      for (const TermId term : record.terms) qf[term] += 1;
     }
   }
 
-  std::vector<std::pair<std::string, uint64_t>> ranked(qf.begin(), qf.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+  // Bounded selection of the hottest terms: qf desc, spelling asc (the
+  // same order the string-keyed full sort produced), cost O(n + k log k).
+  std::vector<std::pair<TermId, uint64_t>> ranked(qf.begin(), qf.end());
+  TopKInPlace(ranked, top_terms, [&dict](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
+    return dict.TermOf(a.first) < dict.TermOf(b.first);
   });
-  if (ranked.size() > top_terms) ranked.resize(top_terms);
 
   size_t placements = 0;
   for (const auto& [hot, _] : ranked) {
-    StatusOr<uint64_t> hot_peer =
-        ring_.ResponsibleNode(ring_.space().KeyForString(hot));
+    StatusOr<uint64_t> hot_peer = ring_.ResponsibleNode(RingKeyOf(hot));
     if (!hot_peer.ok()) continue;
-    const std::vector<PostingEntry>* plist =
-        indexing_.at(hot_peer.value()).Postings(hot);
+    PostingListPtr plist = indexing_.at(hot_peer.value()).Postings(hot);
     if (plist == nullptr || plist->empty()) continue;
 
     // Terms that co-occur with the hot term in cached queries — their
     // peers receive the hot term's list.
-    std::unordered_set<std::string> co_terms;
+    std::unordered_set<TermId> co_terms;
     for (const QueryRecord* record : unique_records) {
       if (std::find(record->terms.begin(), record->terms.end(), hot) ==
           record->terms.end()) {
         continue;
       }
-      for (const std::string& other : record->terms) {
+      for (const TermId other : record->terms) {
         if (other != hot) co_terms.insert(other);
       }
     }
-    for (const std::string& co : co_terms) {
-      StatusOr<uint64_t> target =
-          ring_.ResponsibleNode(ring_.space().KeyForString(co));
+    for (const TermId co : co_terms) {
+      StatusOr<uint64_t> target = ring_.ResponsibleNode(RingKeyOf(co));
       if (!target.ok() || target.value() == hot_peer.value()) continue;
       // The hot term's list goes to the co-term's peer: queries that reach
       // the co-term's peer first then never contact the hot peer at all
       // (the contact order rotates per issuance, so most multi-term
-      // queries start at a non-hot term).
+      // queries start at a non-hot term). The pushed list is a shared
+      // snapshot; the bytes are accounted as a full transfer.
       net_.Count(p2p::MessageType::kCachePush,
                  p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes);
-      indexing_.at(target.value()).CachePostings(hot, *plist);
+      indexing_.at(target.value()).CachePostings(hot, plist);
       ++placements;
     }
   }
@@ -1243,11 +1294,13 @@ StatusOr<ir::RankedList> SpriteSystem::SearchWithExpansion(
     const double idf = std::log((f + 1.0) / static_cast<double>(df[term]));
     candidates.emplace_back(score * idf, term);
   }
-  std::sort(candidates.begin(), candidates.end(), [](const auto& a,
-                                                     const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  });
+  // Only the top extra_terms candidates are ever consumed; bounded
+  // selection replaces the full sort (same comparator, same winners).
+  TopKInPlace(candidates, extra_terms,
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
 
   // Expansion terms are evidence, not the user's words: retrieve with them
   // separately and fuse at reduced weight, so they can surface missed

@@ -198,10 +198,16 @@ class SpriteSystem {
   void ClearQueryLoad() { query_load_.clear(); }
 
  private:
+  // The ring key of an interned term: the TermDict's precomputed MD5
+  // prefix truncated into this ring's id space — bit-for-bit what
+  // IdSpace::KeyForString(spelling) computes, without hashing.
+  uint64_t RingKeyOf(TermId term) const {
+    return ring_.space().Truncate(TermDict::Global().RawKeyOf(term));
+  }
   // Routes from `from` to the peer responsible for `term`, counting hops.
   // When `hops_out` is non-null it receives the hop count of this lookup
   // (untouched on failure), so callers can attribute per-phase latency.
-  StatusOr<PeerId> RouteToTerm(PeerId from, const std::string& term,
+  StatusOr<PeerId> RouteToTerm(PeerId from, TermId term,
                                int* hops_out = nullptr);
   // Stamps a new issuance: deduped terms, ring hash key, fresh seq.
   QueryRecord MakeQueryRecord(const corpus::Query& query);
@@ -226,7 +232,7 @@ class SpriteSystem {
   // responsible for its term, and at the cached version; the exchanges'
   // request/byte costs are accumulated into `requests`/`bytes`.
   bool ValidateCachedSources(
-      const std::vector<std::pair<std::string, cache::TermSource>>& sources,
+      const std::vector<std::pair<TermId, cache::TermSource>>& sources,
       const std::optional<QueryRecord>& rec,
       std::unordered_set<PeerId>& recorded_at, uint64_t& requests,
       uint64_t& bytes);
@@ -234,8 +240,7 @@ class SpriteSystem {
   // the version check have failed? Costs no messages; it only feeds the
   // cache.*.stale_serves counters so staleness is measured, not hidden.
   bool CachedSourcesStale(
-      const std::vector<std::pair<std::string, cache::TermSource>>& sources)
-      const;
+      const std::vector<std::pair<TermId, cache::TermSource>>& sources) const;
   Status PublishTerm(PeerId owner, const std::string& term,
                      const PostingEntry& entry);
   Status WithdrawTerm(PeerId owner, const std::string& term, DocId doc);

@@ -2,18 +2,23 @@
 #define SPRITE_CORE_TYPES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "corpus/document.h"
 #include "corpus/query.h"
 #include "p2p/message.h"
+#include "text/term_dict.h"
 
 namespace sprite::core {
 
 using corpus::DocId;
 using corpus::QueryId;
 using p2p::PeerId;
+using text::kInvalidTermId;
+using text::TermDict;
+using text::TermId;
 
 // One entry of a term's distributed inverted list — the metadata of
 // Section 5.1(a): the document, its owner peer's address, the term
@@ -47,17 +52,32 @@ struct PostingEntry {
 // a unique id of this issuance.
 struct QueryRecord {
   QueryId id = 0;
-  std::vector<std::string> terms;
+  std::vector<TermId> terms;
   uint64_t hash_key = 0;
   uint64_t seq = 0;
 };
 
+// A term's inverted list. Peers hold lists behind shared_ptr so a fetch
+// during query processing shares an immutable snapshot instead of deep-
+// copying the vector; mutators copy-on-write before touching a shared list
+// (so a snapshot handed out earlier stays frozen, exactly like the deep
+// copy it replaces).
+using PostingList = std::vector<PostingEntry>;
+using PostingListPtr = std::shared_ptr<const PostingList>;
+
 // The result of fetching one term's inverted list during query processing.
-// The *indexed document frequency* n'_k of Section 4 is postings.size().
+// The *indexed document frequency* n'_k of Section 4 is postings->size().
+// `postings` is never null: unknown terms share a static empty list.
 struct RetrievedList {
-  std::string term;
-  std::vector<PostingEntry> postings;
+  TermId term = kInvalidTermId;
+  PostingListPtr postings;
 };
+
+// The shared empty list used when a term has no postings anywhere.
+inline const PostingListPtr& EmptyPostingList() {
+  static const PostingListPtr empty = std::make_shared<PostingList>();
+  return empty;
+}
 
 }  // namespace sprite::core
 

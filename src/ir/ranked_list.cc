@@ -1,16 +1,17 @@
 #include "ir/ranked_list.h"
 
-#include <algorithm>
+#include "common/topk.h"
 
 namespace sprite::ir {
 
 void SortRankedList(RankedList& entries, size_t k) {
-  std::sort(entries.begin(), entries.end(),
-            [](const ScoredDoc& a, const ScoredDoc& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-  if (k > 0 && entries.size() > k) entries.resize(k);
+  // Bounded selection: (score desc, doc asc) is a total order over the
+  // distinct docs of a ranked list, so the surviving top-k prefix is
+  // byte-identical to a full sort + truncate.
+  TopKInPlace(entries, k, [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
 }
 
 int FindRank(const RankedList& list, corpus::DocId doc) {

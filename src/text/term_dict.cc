@@ -1,0 +1,28 @@
+#include "text/term_dict.h"
+
+#include "common/md5.h"
+
+namespace sprite::text {
+
+TermId TermDict::Intern(std::string_view term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  raw_keys_.push_back(Md5Prefix64(term));
+  // Key the map by the stable deque-owned spelling, not the caller's view.
+  ids_.emplace(std::string_view(terms_.back()), id);
+  return id;
+}
+
+TermId TermDict::Lookup(std::string_view term) const {
+  auto it = ids_.find(term);
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+TermDict& TermDict::Global() {
+  static TermDict dict;
+  return dict;
+}
+
+}  // namespace sprite::text

@@ -1,0 +1,69 @@
+#ifndef SPRITE_TEXT_TERM_DICT_H_
+#define SPRITE_TEXT_TERM_DICT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sprite::text {
+
+// A compact integer handle for an interned term. Ids are assigned densely
+// in first-intern order, so the same corpus processed in the same order
+// yields the same ids (and the same precomputed ring keys) on every run.
+using TermId = uint32_t;
+
+// Sentinel returned by Lookup for terms never interned.
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+// Bidirectional std::string <-> TermId dictionary with the term's 64-bit
+// MD5 key prefix computed once at intern time. Everything inside the system
+// (inverted-list keys, query records, poll cursors, cache tiers, DHT key
+// derivation) is keyed on TermId; strings survive only at the
+// corpus/analyzer boundary and in exported JSON, recovered via TermOf.
+//
+// The ring key of a term in an m-bit IdSpace is space.Truncate(RawKeyOf(id))
+// — bit-for-bit the value IdSpace::KeyForString(term) would compute, minus
+// the per-lookup MD5.
+//
+// Instantiable for tests (two dictionaries fed the same terms in the same
+// order agree on every id and key); the system itself shares Global().
+// Single-threaded by design, like the rest of the simulation.
+class TermDict {
+ public:
+  TermDict() = default;
+  TermDict(const TermDict&) = delete;
+  TermDict& operator=(const TermDict&) = delete;
+
+  // Returns the id of `term`, interning it (and hashing it, once) on first
+  // sight.
+  TermId Intern(std::string_view term);
+
+  // Returns the id of `term`, or kInvalidTermId if it was never interned.
+  TermId Lookup(std::string_view term) const;
+
+  // Round-trips an id back to its spelling. `id` must have come from this
+  // dictionary.
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  // The term's precomputed Md5Prefix64, untruncated. Callers derive the
+  // ring key with IdSpace::Truncate.
+  uint64_t RawKeyOf(TermId id) const { return raw_keys_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  // The process-wide dictionary used by the live system.
+  static TermDict& Global();
+
+ private:
+  // deque: stable references for TermOf across later interns.
+  std::deque<std::string> terms_;
+  std::vector<uint64_t> raw_keys_;
+  std::unordered_map<std::string_view, TermId> ids_;
+};
+
+}  // namespace sprite::text
+
+#endif  // SPRITE_TEXT_TERM_DICT_H_

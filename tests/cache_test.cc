@@ -20,15 +20,23 @@
 #include "corpus/corpus.h"
 #include "obs/metrics.h"
 #include "p2p/message.h"
+#include "text/term_dict.h"
 #include "text/term_vector.h"
 
 namespace sprite::cache {
 namespace {
 
+// Interns a spelling in the global dictionary (the one the system uses).
+TermId T(const char* term) { return text::TermDict::Global().Intern(term); }
+
+core::PostingListPtr PL(std::vector<core::PostingEntry> entries) {
+  return std::make_shared<core::PostingList>(std::move(entries));
+}
+
 // --- LruTtlCache --------------------------------------------------------
 
 TEST(LruTtlCacheTest, HitRefreshesRecencyAndCapEvictsLru) {
-  LruTtlCache<int> c(CacheLimits{/*max_entries=*/3, 0, 0.0});
+  LruTtlCache<std::string, int> c(CacheLimits{/*max_entries=*/3, 0, 0.0});
   c.Put("a", 1, 8, 0.0);
   c.Put("b", 2, 8, 0.0);
   c.Put("c", 3, 8, 0.0);
@@ -43,29 +51,41 @@ TEST(LruTtlCacheTest, HitRefreshesRecencyAndCapEvictsLru) {
   EXPECT_NE(c.Get("d", 0.0).value, nullptr);
 }
 
-TEST(LruTtlCacheTest, ByteCapCountsKeysAndEvictsInLruOrder) {
-  LruTtlCache<int> c(CacheLimits{0, /*max_bytes=*/30, 0.0});
-  c.Put("aa", 1, 8, 0.0);  // 10 bytes
-  c.Put("bb", 2, 8, 0.0);  // 20 bytes
-  c.Put("cc", 3, 8, 0.0);  // 30 bytes: at the cap, nothing evicted
+TEST(LruTtlCacheTest, ByteCapChargesCallerBytesAndEvictsInLruOrder) {
+  LruTtlCache<std::string, int> c(CacheLimits{0, /*max_bytes=*/30, 0.0});
+  // entry_bytes is the caller's total footprint (payload + wire key).
+  c.Put("aa", 1, 10, 0.0);  // 10 bytes
+  c.Put("bb", 2, 10, 0.0);  // 20 bytes
+  c.Put("cc", 3, 10, 0.0);  // 30 bytes: at the cap, nothing evicted
   EXPECT_EQ(c.entries(), 3u);
   EXPECT_EQ(c.bytes(), 30u);
 
-  const auto put = c.Put("dd", 4, 8, 0.0);  // 40 > 30: evict "aa"
+  const auto put = c.Put("dd", 4, 10, 0.0);  // 40 > 30: evict "aa"
   EXPECT_EQ(put.evicted, 1u);
   EXPECT_EQ(c.bytes(), 30u);
   EXPECT_EQ(c.Get("aa", 0.0).value, nullptr);
 }
 
 TEST(LruTtlCacheTest, OversizedNewestEntryIsKept) {
-  LruTtlCache<int> c(CacheLimits{0, /*max_bytes=*/10, 0.0});
+  LruTtlCache<std::string, int> c(CacheLimits{0, /*max_bytes=*/10, 0.0});
   c.Put("k", 1, 100, 0.0);
   EXPECT_EQ(c.entries(), 1u);
   EXPECT_NE(c.Get("k", 0.0).value, nullptr);
 }
 
+TEST(LruTtlCacheTest, InternedKeysWorkUnchanged) {
+  // The production posting tier keys on TermId; the policy is agnostic.
+  LruTtlCache<TermId, int> c(CacheLimits{/*max_entries=*/2, 0, 0.0});
+  c.Put(T("cat"), 1, 8, 0.0);
+  c.Put(T("dog"), 2, 8, 0.0);
+  ASSERT_NE(c.Get(T("cat"), 0.0).value, nullptr);
+  c.Put(T("emu"), 3, 8, 0.0);  // evicts "dog", the LRU entry
+  EXPECT_EQ(c.Get(T("dog"), 0.0).value, nullptr);
+  EXPECT_NE(c.Get(T("emu"), 0.0).value, nullptr);
+}
+
 TEST(LruTtlCacheTest, TtlExpiresOnLookup) {
-  LruTtlCache<int> c(CacheLimits{0, 0, /*ttl_ms=*/100.0});
+  LruTtlCache<std::string, int> c(CacheLimits{0, 0, /*ttl_ms=*/100.0});
   c.Put("k", 1, 8, /*now_ms=*/0.0);
   EXPECT_NE(c.Get("k", 100.0).value, nullptr);  // exactly at the TTL: live
 
@@ -79,12 +99,12 @@ TEST(LruTtlCacheTest, TtlExpiresOnLookup) {
 }
 
 TEST(LruTtlCacheTest, ReplaceAndEraseKeepByteAccounting) {
-  LruTtlCache<std::string> c(CacheLimits{});
+  LruTtlCache<std::string, std::string> c(CacheLimits{});
   c.Put("k", "v1", 10, 0.0);
-  const auto put = c.Put("k", "v2", 4, 1.0);
+  const auto put = c.Put("k", "v2", 5, 1.0);
   EXPECT_TRUE(put.replaced);
   EXPECT_EQ(c.entries(), 1u);
-  EXPECT_EQ(c.bytes(), 4u + 1u);
+  EXPECT_EQ(c.bytes(), 5u);
   EXPECT_EQ(*c.Get("k", 1.0).value, "v2");
 
   EXPECT_TRUE(c.Erase("k"));
@@ -92,22 +112,41 @@ TEST(LruTtlCacheTest, ReplaceAndEraseKeepByteAccounting) {
   EXPECT_EQ(c.bytes(), 0u);
 }
 
-// --- ResultCacheKey -----------------------------------------------------
+// --- ResultKey ----------------------------------------------------------
 
-TEST(ResultCacheKeyTest, NormalizesOrderAndDuplicates) {
-  const std::string key = ResultCacheKey({"dog", "cat"}, 10);
-  EXPECT_EQ(key, ResultCacheKey({"cat", "dog"}, 10));
-  EXPECT_EQ(key, ResultCacheKey({"dog", "cat", "dog"}, 10));
-  EXPECT_NE(key, ResultCacheKey({"cat"}, 10));
+ResultKey RK(std::vector<const char*> terms, size_t k) {
+  std::vector<TermId> ids;
+  ids.reserve(terms.size());
+  for (const char* term : terms) ids.push_back(T(term));
+  return MakeResultKey(std::move(ids), k);
 }
 
-TEST(ResultCacheKeyTest, CutoffIsPartOfTheKey) {
-  EXPECT_NE(ResultCacheKey({"cat"}, 5), ResultCacheKey({"cat"}, 50));
+TEST(ResultKeyTest, NormalizesOrderAndDuplicates) {
+  const ResultKey key = RK({"dog", "cat"}, 10);
+  EXPECT_EQ(key, RK({"cat", "dog"}, 10));
+  EXPECT_EQ(key, RK({"dog", "cat", "dog"}, 10));
+  EXPECT_FALSE(key == RK({"cat"}, 10));
+  EXPECT_NE(ResultKeyHash{}(key), ResultKeyHash{}(RK({"cat"}, 10)));
 }
 
-TEST(ResultCacheKeyTest, JoinerCannotCollideAcrossTermBoundaries) {
-  // "ab"+"c" vs "a"+"bc": the separator keeps the keys distinct.
-  EXPECT_NE(ResultCacheKey({"ab", "c"}, 10), ResultCacheKey({"a", "bc"}, 10));
+TEST(ResultKeyTest, CutoffIsPartOfTheKey) {
+  EXPECT_FALSE(RK({"cat"}, 5) == RK({"cat"}, 50));
+}
+
+TEST(ResultKeyTest, DistinctTermsNeverShareAKey) {
+  // Interned ids are per-spelling, so the string-era boundary collision
+  // ("ab"+"c" vs "a"+"bc") is impossible by construction.
+  EXPECT_FALSE(RK({"ab", "c"}, 10) == RK({"a", "bc"}, 10));
+}
+
+TEST(ResultKeyTest, WireBytesMatchTheLegacyStringKey) {
+  // The legacy key was "<term>\x1f" per sorted term, then '#' + decimal k;
+  // the interned key still charges exactly those bytes, so byte caps and
+  // occupancy gauges are representation-independent.
+  EXPECT_EQ(ResultKeyWireBytes(RK({"cat", "dog"}, 10)),
+            std::string("cat\x1f" "dog\x1f" "#10").size());
+  EXPECT_EQ(ResultKeyWireBytes(RK({"a"}, 5)),
+            std::string("a\x1f" "#5").size());
 }
 
 // --- IndexingPeer term versions ----------------------------------------
@@ -124,46 +163,50 @@ core::PostingEntry P(core::DocId doc, uint32_t tf) {
 
 TEST(TermVersionTest, BumpsOnContentChangeOnly) {
   core::IndexingPeer peer(1, 8);
-  EXPECT_EQ(peer.TermVersion("cat"), 0u);
+  EXPECT_EQ(peer.TermVersion(T("cat")), 0u);
 
-  peer.AddPosting("cat", P(1, 3));
-  EXPECT_EQ(peer.TermVersion("cat"), 1u);
-  peer.AddPosting("cat", P(1, 3));  // identical re-publish (heartbeat)
-  EXPECT_EQ(peer.TermVersion("cat"), 1u);
-  peer.AddPosting("cat", P(1, 4));  // changed term frequency
-  EXPECT_EQ(peer.TermVersion("cat"), 2u);
-  peer.AddPosting("cat", P(2, 1));  // new document appended
-  EXPECT_EQ(peer.TermVersion("cat"), 3u);
-  EXPECT_EQ(peer.TermVersion("dog"), 0u);
+  peer.AddPosting(T("cat"), P(1, 3));
+  EXPECT_EQ(peer.TermVersion(T("cat")), 1u);
+  peer.AddPosting(T("cat"), P(1, 3));  // identical re-publish (heartbeat)
+  EXPECT_EQ(peer.TermVersion(T("cat")), 1u);
+  peer.AddPosting(T("cat"), P(1, 4));  // changed term frequency
+  EXPECT_EQ(peer.TermVersion(T("cat")), 2u);
+  peer.AddPosting(T("cat"), P(2, 1));  // new document appended
+  EXPECT_EQ(peer.TermVersion(T("cat")), 3u);
+  EXPECT_EQ(peer.TermVersion(T("dog")), 0u);
 }
 
 TEST(TermVersionTest, RemovePostingBumpsWhenAnyStoreChanges) {
   core::IndexingPeer peer(1, 8);
-  peer.AddPosting("cat", P(1, 3));
-  const uint64_t v = peer.TermVersion("cat");
+  peer.AddPosting(T("cat"), P(1, 3));
+  const uint64_t v = peer.TermVersion(T("cat"));
 
-  EXPECT_FALSE(peer.RemovePosting("cat", 99));  // absent: nothing changed
-  EXPECT_EQ(peer.TermVersion("cat"), v);
-  EXPECT_TRUE(peer.RemovePosting("cat", 1));
-  EXPECT_EQ(peer.TermVersion("cat"), v + 1);
+  EXPECT_FALSE(peer.RemovePosting(T("cat"), 99));  // absent: nothing changed
+  EXPECT_EQ(peer.TermVersion(T("cat")), v);
+  EXPECT_TRUE(peer.RemovePosting(T("cat"), 1));
+  EXPECT_EQ(peer.TermVersion(T("cat")), v + 1);
 
   // A withdrawal that only scrubs the replica store still changes what
   // this peer can serve, so it must bump too (even though it returns
   // false: no primary posting was present).
-  peer.StoreReplica("dog", {P(7, 2)});
-  const uint64_t dog_v = peer.TermVersion("dog");
-  EXPECT_FALSE(peer.RemovePosting("dog", 7));
-  EXPECT_EQ(peer.TermVersion("dog"), dog_v + 1);
+  peer.StoreReplica(T("dog"), PL({P(7, 2)}));
+  const uint64_t dog_v = peer.TermVersion(T("dog"));
+  EXPECT_FALSE(peer.RemovePosting(T("dog"), 7));
+  EXPECT_EQ(peer.TermVersion(T("dog")), dog_v + 1);
 }
 
 TEST(TermVersionTest, StoreReplicaBumpsOnlyWhenContentDiffers) {
   core::IndexingPeer peer(1, 8);
-  peer.StoreReplica("cat", {P(1, 3)});
-  EXPECT_EQ(peer.TermVersion("cat"), 1u);
-  peer.StoreReplica("cat", {P(1, 3)});  // periodic refresh, same content
-  EXPECT_EQ(peer.TermVersion("cat"), 1u);
-  peer.StoreReplica("cat", {P(1, 3), P(2, 1)});
-  EXPECT_EQ(peer.TermVersion("cat"), 2u);
+  peer.StoreReplica(T("cat"), PL({P(1, 3)}));
+  EXPECT_EQ(peer.TermVersion(T("cat")), 1u);
+  // Periodic refresh, same content — even as a distinct snapshot object.
+  peer.StoreReplica(T("cat"), PL({P(1, 3)}));
+  EXPECT_EQ(peer.TermVersion(T("cat")), 1u);
+  peer.StoreReplica(T("cat"), PL({P(1, 3), P(2, 1)}));
+  EXPECT_EQ(peer.TermVersion(T("cat")), 2u);
+  // An empty snapshot over an empty slot is not a change either.
+  peer.StoreReplica(T("emu"), PL({}));
+  EXPECT_EQ(peer.TermVersion(T("emu")), 0u);
 }
 
 // --- CacheManager -------------------------------------------------------
@@ -171,7 +214,7 @@ TEST(TermVersionTest, StoreReplicaBumpsOnlyWhenContentDiffers) {
 CachedResult MakeResult(core::DocId doc, PeerId peer, uint64_t version) {
   CachedResult r;
   r.results.push_back({doc, 1.0});
-  r.sources["cat"] = TermSource{peer, version};
+  r.sources[T("cat")] = TermSource{peer, version};
   return r;
 }
 
@@ -183,7 +226,7 @@ TEST(CacheManagerTest, StatsAndRegistryMirrorsAgree) {
   CacheManager cm(options);
   cm.AttachMetrics(&registry);
 
-  const std::string key = ResultCacheKey({"cat"}, 10);
+  const ResultKey key = RK({"cat"}, 10);
   EXPECT_EQ(cm.LookupResult(1, key, 0.0), nullptr);
   cm.InsertResult(1, key, MakeResult(5, 2, 1), 0.0);
   ASSERT_NE(cm.LookupResult(1, key, 0.0), nullptr);
@@ -218,12 +261,12 @@ TEST(CacheManagerTest, ClearStatsResetsBothViewsButKeepsContents) {
   CacheManager cm(options);
   cm.AttachMetrics(&registry);
 
-  const std::string key = ResultCacheKey({"cat"}, 10);
+  const ResultKey key = RK({"cat"}, 10);
   cm.InsertResult(1, key, MakeResult(5, 2, 1), 0.0);
   CachedPostings cp;
-  cp.postings.push_back(P(5, 3));
+  cp.postings = PL({P(5, 3)});
   cp.source = TermSource{2, 1};
-  cm.InsertPostings(1, "cat", std::move(cp), 0.0);
+  cm.InsertPostings(1, T("cat"), std::move(cp), 0.0);
   ASSERT_NE(cm.LookupResult(1, key, 0.0), nullptr);
 
   cm.ClearStats();

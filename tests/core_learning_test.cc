@@ -20,29 +20,48 @@ text::TermVector TV(const std::vector<std::string>& tokens) {
   return text::TermVector::FromTokens(tokens);
 }
 
+// Spelled-out query (the overload resolution needs an lvalue of the right
+// type now that QScore also accepts interned TermIds).
+std::vector<std::string> Q(std::vector<std::string> terms) { return terms; }
+
+std::vector<TermId> Ids(const std::vector<std::string>& terms) {
+  std::vector<TermId> ids;
+  for (const std::string& term : terms) {
+    ids.push_back(text::TermDict::Global().Intern(term));
+  }
+  return ids;
+}
+
 // ------------------------------------------------------------------ QScore
 
 TEST(QScoreTest, FullOverlap) {
-  EXPECT_DOUBLE_EQ(QScore({"a", "b"}, TV({"a", "b", "c"})), 1.0);
+  EXPECT_DOUBLE_EQ(QScore(Q({"a", "b"}), TV({"a", "b", "c"})), 1.0);
 }
 
 TEST(QScoreTest, PartialOverlap) {
-  EXPECT_DOUBLE_EQ(QScore({"a", "b", "x", "y"}, TV({"a", "b", "c"})), 0.5);
+  EXPECT_DOUBLE_EQ(QScore(Q({"a", "b", "x", "y"}), TV({"a", "b", "c"})), 0.5);
 }
 
 TEST(QScoreTest, NoOverlap) {
-  EXPECT_DOUBLE_EQ(QScore({"x", "y"}, TV({"a", "b"})), 0.0);
+  EXPECT_DOUBLE_EQ(QScore(Q({"x", "y"}), TV({"a", "b"})), 0.0);
 }
 
 TEST(QScoreTest, EmptyQueryIsZero) {
-  EXPECT_DOUBLE_EQ(QScore({}, TV({"a"})), 0.0);
+  EXPECT_DOUBLE_EQ(QScore(Q({}), TV({"a"})), 0.0);
 }
 
 TEST(QScoreTest, DenominatorIsQuerySizeNotDocSize) {
   // 3 of 4 query terms occur in the document.
-  EXPECT_DOUBLE_EQ(QScore({"a", "b", "c", "z"},
+  EXPECT_DOUBLE_EQ(QScore(Q({"a", "b", "c", "z"}),
                           TV({"a", "b", "c", "d", "e", "f", "g"})),
                    0.75);
+}
+
+TEST(QScoreTest, InternedOverloadAgreesWithStrings) {
+  const std::vector<std::string> q{"a", "b", "x", "y"};
+  const text::TermVector doc = TV({"a", "b", "c"});
+  EXPECT_DOUBLE_EQ(QScore(Ids(q), doc), QScore(q, doc));
+  EXPECT_DOUBLE_EQ(QScore(std::vector<TermId>{}, doc), 0.0);
 }
 
 // --------------------------------------------------------------- TermScore
@@ -106,10 +125,10 @@ TEST(RankingTest, OrderByScoreThenQfThenTfThenTerm) {
 
 // ---------------------------------------------------- ProcessQueriesAndRank
 
-QueryRecord QR(uint64_t seq, std::vector<std::string> terms) {
+QueryRecord QR(uint64_t seq, const std::vector<std::string>& terms) {
   QueryRecord r;
   r.id = static_cast<QueryId>(seq);
-  r.terms = std::move(terms);
+  r.terms = Ids(terms);
   r.hash_key = seq * 7919;
   r.seq = seq;
   return r;

@@ -25,82 +25,140 @@ PostingEntry Posting(DocId doc, uint32_t tf = 1, uint32_t len = 10,
   return PostingEntry{doc, /*owner=*/99, tf, len, distinct};
 }
 
+// Interns a spelling in the global dictionary (the one the system uses).
+TermId T(const std::string& term) {
+  return text::TermDict::Global().Intern(term);
+}
+
+std::vector<TermId> Ts(const std::vector<std::string>& terms) {
+  std::vector<TermId> ids;
+  ids.reserve(terms.size());
+  for (const std::string& term : terms) ids.push_back(T(term));
+  return ids;
+}
+
+PostingListPtr PL(std::vector<PostingEntry> entries) {
+  return std::make_shared<PostingList>(std::move(entries));
+}
+
+// Adapter keeping the poll tests in the string domain: interns the terms
+// and derives the ring keys the caller of CollectQueriesForPoll now
+// precomputes from the TermDict.
+std::vector<const QueryRecord*> Poll(
+    const IndexingPeer& peer, const std::vector<std::string>& poll_terms,
+    const std::vector<std::string>& my_terms,
+    const std::unordered_map<std::string, uint64_t>& cursor,
+    const dht::IdSpace& space) {
+  const text::TermDict& dict = text::TermDict::Global();
+  std::vector<TermId> poll_ids = Ts(poll_terms);
+  std::vector<uint64_t> poll_keys;
+  poll_keys.reserve(poll_ids.size());
+  for (const TermId id : poll_ids) {
+    poll_keys.push_back(space.Truncate(dict.RawKeyOf(id)));
+  }
+  std::unordered_map<TermId, uint64_t> id_cursor;
+  for (const auto& [term, seq] : cursor) id_cursor[T(term)] = seq;
+  return peer.CollectQueriesForPoll(poll_ids, poll_keys, Ts(my_terms),
+                                    id_cursor, space);
+}
+
 // ------------------------------------------------------------ IndexingPeer
 
 TEST(IndexingPeerTest, AddAndFetchPostings) {
   IndexingPeer peer(1, 100);
-  peer.AddPosting("cat", Posting(0, 3));
-  peer.AddPosting("cat", Posting(1, 1));
-  peer.AddPosting("dog", Posting(0, 2));
-  ASSERT_NE(peer.Postings("cat"), nullptr);
-  EXPECT_EQ(peer.Postings("cat")->size(), 2u);
-  EXPECT_EQ(peer.IndexedDocFreq("cat"), 2u);
-  EXPECT_EQ(peer.IndexedDocFreq("fish"), 0u);
+  peer.AddPosting(T("cat"), Posting(0, 3));
+  peer.AddPosting(T("cat"), Posting(1, 1));
+  peer.AddPosting(T("dog"), Posting(0, 2));
+  ASSERT_NE(peer.Postings(T("cat")), nullptr);
+  EXPECT_EQ(peer.Postings(T("cat"))->size(), 2u);
+  EXPECT_EQ(peer.IndexedDocFreq(T("cat")), 2u);
+  EXPECT_EQ(peer.IndexedDocFreq(T("fish")), 0u);
   EXPECT_EQ(peer.num_terms(), 2u);
   EXPECT_EQ(peer.num_postings(), 3u);
-  EXPECT_EQ(peer.Postings("fish"), nullptr);
+  EXPECT_EQ(peer.Postings(T("fish")), nullptr);
 }
 
 TEST(IndexingPeerTest, AddPostingOverwritesSameDoc) {
   IndexingPeer peer(1, 100);
-  peer.AddPosting("cat", Posting(0, 3));
-  peer.AddPosting("cat", Posting(0, 7));
-  ASSERT_EQ(peer.Postings("cat")->size(), 1u);
-  EXPECT_EQ(peer.Postings("cat")->front().term_freq, 7u);
+  peer.AddPosting(T("cat"), Posting(0, 3));
+  peer.AddPosting(T("cat"), Posting(0, 7));
+  ASSERT_EQ(peer.Postings(T("cat"))->size(), 1u);
+  EXPECT_EQ(peer.Postings(T("cat"))->front().term_freq, 7u);
 }
 
 TEST(IndexingPeerTest, RemovePosting) {
   IndexingPeer peer(1, 100);
-  peer.AddPosting("cat", Posting(0));
-  peer.AddPosting("cat", Posting(1));
-  EXPECT_TRUE(peer.RemovePosting("cat", 0));
-  EXPECT_FALSE(peer.RemovePosting("cat", 0));     // already gone
-  EXPECT_FALSE(peer.RemovePosting("none", 0));    // unknown term
-  EXPECT_EQ(peer.IndexedDocFreq("cat"), 1u);
-  EXPECT_TRUE(peer.RemovePosting("cat", 1));
-  EXPECT_EQ(peer.Postings("cat"), nullptr);       // empty list pruned
+  peer.AddPosting(T("cat"), Posting(0));
+  peer.AddPosting(T("cat"), Posting(1));
+  EXPECT_TRUE(peer.RemovePosting(T("cat"), 0));
+  EXPECT_FALSE(peer.RemovePosting(T("cat"), 0));   // already gone
+  EXPECT_FALSE(peer.RemovePosting(T("none"), 0));  // unknown term
+  EXPECT_EQ(peer.IndexedDocFreq(T("cat")), 1u);
+  EXPECT_TRUE(peer.RemovePosting(T("cat"), 1));
+  EXPECT_EQ(peer.Postings(T("cat")), nullptr);     // empty list pruned
   EXPECT_EQ(peer.num_terms(), 0u);
 }
 
 TEST(IndexingPeerTest, ReplicaServesWhenPrimaryAbsent) {
   IndexingPeer peer(1, 100);
-  peer.StoreReplica("cat", {Posting(3)});
-  ASSERT_NE(peer.Postings("cat"), nullptr);
-  EXPECT_EQ(peer.Postings("cat")->front().doc, 3u);
+  peer.StoreReplica(T("cat"), PL({Posting(3)}));
+  ASSERT_NE(peer.Postings(T("cat")), nullptr);
+  EXPECT_EQ(peer.Postings(T("cat"))->front().doc, 3u);
   // Replica does not count toward the primary indexed document frequency.
-  EXPECT_EQ(peer.IndexedDocFreq("cat"), 0u);
+  EXPECT_EQ(peer.IndexedDocFreq(T("cat")), 0u);
   EXPECT_EQ(peer.num_replica_terms(), 1u);
   peer.ClearReplicas();
-  EXPECT_EQ(peer.Postings("cat"), nullptr);
+  EXPECT_EQ(peer.Postings(T("cat")), nullptr);
 }
 
 TEST(IndexingPeerTest, PrimaryShadowsReplica) {
   IndexingPeer peer(1, 100);
-  peer.StoreReplica("cat", {Posting(3)});
-  peer.AddPosting("cat", Posting(5));
-  EXPECT_EQ(peer.Postings("cat")->front().doc, 5u);
+  peer.StoreReplica(T("cat"), PL({Posting(3)}));
+  peer.AddPosting(T("cat"), Posting(5));
+  EXPECT_EQ(peer.Postings(T("cat"))->front().doc, 5u);
+}
+
+// A fetched snapshot must stay frozen across later mutations — the
+// copy-on-write guarantee the zero-copy fetch path relies on.
+TEST(IndexingPeerTest, SnapshotIsImmuneToLaterMutations) {
+  IndexingPeer peer(1, 100);
+  peer.AddPosting(T("cat"), Posting(1, 3));
+  PostingListPtr snapshot = peer.Postings(T("cat"));
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_EQ(snapshot->size(), 1u);
+
+  peer.AddPosting(T("cat"), Posting(2, 5));  // append
+  peer.AddPosting(T("cat"), Posting(1, 9));  // overwrite doc 1
+  peer.RemovePosting(T("cat"), 1);           // remove doc 1
+
+  EXPECT_EQ(snapshot->size(), 1u);
+  EXPECT_EQ(snapshot->front().doc, 1u);
+  EXPECT_EQ(snapshot->front().term_freq, 3u);
+  // The live list moved on without doc 1.
+  ASSERT_NE(peer.Postings(T("cat")), nullptr);
+  EXPECT_EQ(peer.Postings(T("cat"))->front().doc, 2u);
 }
 
 // Regression: a withdrawal must scrub the local replica and hot-term cache
 // too, or the replica fallback above resurrects the withdrawn document.
 TEST(IndexingPeerTest, RemovePostingScrubsReplicaAndCache) {
   IndexingPeer peer(1, 100);
-  peer.AddPosting("cat", Posting(7));
-  peer.StoreReplica("cat", {Posting(7), Posting(8)});
-  peer.CachePostings("cat", {Posting(7)});
+  peer.AddPosting(T("cat"), Posting(7));
+  peer.StoreReplica(T("cat"), PL({Posting(7), Posting(8)}));
+  peer.CachePostings(T("cat"), PL({Posting(7)}));
 
-  EXPECT_TRUE(peer.RemovePosting("cat", 7));
+  EXPECT_TRUE(peer.RemovePosting(T("cat"), 7));
 
   // Primary gone; the fallback may serve the replica, but never doc 7.
-  const std::vector<PostingEntry>* served = peer.Postings("cat");
+  PostingListPtr served = peer.Postings(T("cat"));
   ASSERT_NE(served, nullptr);  // doc 8's replica survives
   for (const PostingEntry& p : *served) EXPECT_NE(p.doc, 7u);
-  const std::vector<PostingEntry>* cached = peer.CachedPostings("cat");
+  PostingListPtr cached = peer.CachedPostings(T("cat"));
   EXPECT_EQ(cached, nullptr);  // cache emptied and pruned
 
   // Removing the survivor empties the replica store as well.
-  EXPECT_FALSE(peer.RemovePosting("cat", 8));  // no primary posting
-  EXPECT_EQ(peer.Postings("cat"), nullptr);
+  EXPECT_FALSE(peer.RemovePosting(T("cat"), 8));  // no primary posting
+  EXPECT_EQ(peer.Postings(T("cat")), nullptr);
   EXPECT_EQ(peer.num_replica_terms(), 0u);
 }
 
@@ -109,7 +167,7 @@ TEST(IndexingPeerTest, HistoryEvictsOldest) {
   for (uint64_t i = 1; i <= 5; ++i) {
     QueryRecord r;
     r.seq = i;
-    r.terms = {"t"};
+    r.terms = {T("t")};
     peer.RecordQuery(r);
   }
   ASSERT_EQ(peer.history().size(), 3u);
@@ -155,10 +213,10 @@ class PollTest : public ::testing::Test {
   QueryRecord MakeRecord(uint64_t seq, std::vector<std::string> terms) {
     QueryRecord r;
     r.id = static_cast<QueryId>(seq);
-    r.terms = std::move(terms);
-    corpus::Query q{r.id, r.terms};
+    corpus::Query q{r.id, terms};
     r.hash_key = space_.KeyForString(q.CanonicalKey());
     r.seq = seq;
+    r.terms = Ts(terms);
     return r;
   }
 
@@ -169,7 +227,7 @@ class PollTest : public ::testing::Test {
 TEST_F(PollTest, ReturnsQueriesContainingMyTerms) {
   peer_.RecordQuery(MakeRecord(1, {"alpha", "zzz"}));
   peer_.RecordQuery(MakeRecord(2, {"unrelated"}));
-  auto got = peer_.CollectQueriesForPoll({"alpha"}, {"alpha"}, {}, space_);
+  auto got = Poll(peer_, {"alpha"}, {"alpha"}, {}, space_);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0]->seq, 1u);
 }
@@ -178,14 +236,14 @@ TEST_F(PollTest, CursorFiltersOldQueries) {
   peer_.RecordQuery(MakeRecord(1, {"alpha"}));
   peer_.RecordQuery(MakeRecord(5, {"alpha"}));
   std::unordered_map<std::string, uint64_t> cursor{{"alpha", 3}};
-  auto got = peer_.CollectQueriesForPoll({"alpha"}, {"alpha"}, cursor, space_);
+  auto got = Poll(peer_, {"alpha"}, {"alpha"}, cursor, space_);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0]->seq, 5u);
 }
 
 TEST_F(PollTest, EmptyMyTermsReturnsNothing) {
   peer_.RecordQuery(MakeRecord(1, {"alpha"}));
-  EXPECT_TRUE(peer_.CollectQueriesForPoll({"alpha"}, {}, {}, space_).empty());
+  EXPECT_TRUE(Poll(peer_, {"alpha"}, {}, {}, space_).empty());
 }
 
 // The dedup property of Section 3: when a query contains several of the
@@ -205,18 +263,15 @@ TEST_F(PollTest, EachQueryReturnedByExactlyOnePartition) {
     for (size_t i = 0; i < poll_terms.size(); ++i) {
       ((mask >> i) & 1 ? terms_a : terms_b).push_back(poll_terms[i]);
     }
-    const size_t got =
-        peer_a.CollectQueriesForPoll(poll_terms, terms_a, {}, space_).size() +
-        peer_b.CollectQueriesForPoll(poll_terms, terms_b, {}, space_).size();
+    const size_t got = Poll(peer_a, poll_terms, terms_a, {}, space_).size() +
+                       Poll(peer_b, poll_terms, terms_b, {}, space_).size();
     EXPECT_EQ(got, 1u) << "mask " << mask;
   }
 }
 
 TEST_F(PollTest, QueryWithoutAnyPolledTermIgnored) {
   peer_.RecordQuery(MakeRecord(1, {"other"}));
-  EXPECT_TRUE(peer_.CollectQueriesForPoll({"alpha", "beta"}, {"alpha"}, {},
-                                          space_)
-                  .empty());
+  EXPECT_TRUE(Poll(peer_, {"alpha", "beta"}, {"alpha"}, {}, space_).empty());
 }
 
 // ----------------------------------------------------------------- Owner
@@ -245,10 +300,10 @@ TEST(OwnerPeerTest, AdoptAndLookup) {
   EXPECT_EQ(owner.id(), 7u);
 }
 
-QueryRecord Rec(uint64_t seq, std::vector<std::string> terms) {
+QueryRecord Rec(uint64_t seq, const std::vector<std::string>& terms) {
   QueryRecord r;
   r.id = static_cast<QueryId>(seq);
-  r.terms = std::move(terms);
+  r.terms = Ts(terms);
   r.hash_key = seq;
   r.seq = seq;
   return r;

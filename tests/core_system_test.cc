@@ -327,7 +327,8 @@ TEST_F(SpriteSystemTest, JoinPeerTakesOverItsKeyArc) {
     const PeerId responsible = system.ring().ResponsibleNode(key).value();
     const IndexingPeer* peer = system.indexing_peer(responsible);
     ASSERT_NE(peer, nullptr);
-    EXPECT_GT(peer->IndexedDocFreq(term), 0u) << term;
+    EXPECT_GT(peer->IndexedDocFreq(text::TermDict::Global().Intern(term)), 0u)
+        << term;
   }
   auto result = system.Search(Q(2, {"cat"}), 10, false);
   ASSERT_TRUE(result.ok());

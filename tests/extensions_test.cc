@@ -61,7 +61,8 @@ SpriteConfig BaseConfig() {
         return ::testing::AssertionFailure() << "no responsible peer";
       }
       const IndexingPeer* peer = system.indexing_peer(peer_id.value());
-      if (peer == nullptr || !peer->HasPosting(term, doc.id)) {
+      if (peer == nullptr ||
+          !peer->HasPosting(text::TermDict::Global().Intern(term), doc.id)) {
         return ::testing::AssertionFailure()
                << "doc " << doc.id << " term '" << term
                << "' missing at peer " << peer_id.value();

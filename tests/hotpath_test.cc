@@ -1,0 +1,234 @@
+// Tests for the hot-path machinery: TermDict interning (determinism,
+// unknown lookup, round-trip, ring-key equivalence with the string hash),
+// bounded top-k selection (byte-identical prefix vs. a full sort), the
+// hoisted per-term IDF (same scores as recomputing IDF per posting), and
+// whole-system determinism — identical seeds yield byte-identical ranked
+// lists and observability dumps with the interned representation.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/topk.h"
+#include "core/sprite_system.h"
+#include "corpus/corpus.h"
+#include "dht/id_space.h"
+#include "ir/ranked_list.h"
+#include "ir/similarity.h"
+#include "text/term_dict.h"
+
+namespace sprite {
+namespace {
+
+// ------------------------------------------------------------- TermDict
+
+TEST(TermDictTest, InternAssignsDenseIdsInFirstSightOrder) {
+  text::TermDict dict;
+  EXPECT_EQ(dict.Intern("cat"), 0u);
+  EXPECT_EQ(dict.Intern("dog"), 1u);
+  EXPECT_EQ(dict.Intern("cat"), 0u);  // idempotent
+  EXPECT_EQ(dict.Intern("emu"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TermDictTest, DeterministicAcrossInstances) {
+  // Two dictionaries fed the same terms in the same order agree on every
+  // id and precomputed key — the property that makes a re-run of the same
+  // seeded workload reproduce the same ring placement.
+  const std::vector<std::string> corpus_order{"pet", "cat", "dog", "cat",
+                                              "feline", "pet", "whisker"};
+  text::TermDict a, b;
+  for (const std::string& term : corpus_order) {
+    const text::TermId ia = a.Intern(term);
+    const text::TermId ib = b.Intern(term);
+    EXPECT_EQ(ia, ib) << term;
+    EXPECT_EQ(a.RawKeyOf(ia), b.RawKeyOf(ib)) << term;
+  }
+}
+
+TEST(TermDictTest, LookupOfUnknownTermIsInvalid) {
+  text::TermDict dict;
+  dict.Intern("cat");
+  EXPECT_EQ(dict.Lookup("dog"), text::kInvalidTermId);
+  EXPECT_EQ(dict.Lookup(""), text::kInvalidTermId);
+  EXPECT_EQ(dict.Lookup("cat"), 0u);
+}
+
+TEST(TermDictTest, RoundTripRecoversSpelling) {
+  text::TermDict dict;
+  const std::vector<std::string> terms{"alpha", "beta", "", "x"};
+  for (const std::string& term : terms) {
+    EXPECT_EQ(dict.TermOf(dict.Intern(term)), term);
+  }
+}
+
+TEST(TermDictTest, PrecomputedRingKeyMatchesStringHash) {
+  // The whole point of interning: space.Truncate(RawKeyOf(id)) must be
+  // bit-for-bit what the seed computed per lookup via KeyForString.
+  text::TermDict dict;
+  for (int bits : {8, 16, 32}) {
+    dht::IdSpace space(bits);
+    for (const std::string& term :
+         {"cat", "dog", "supercalifragilistic", ""}) {
+      const text::TermId id = dict.Intern(term);
+      EXPECT_EQ(space.Truncate(dict.RawKeyOf(id)), space.KeyForString(term))
+          << term << " @" << bits << " bits";
+    }
+  }
+}
+
+TEST(TermDictTest, SpellingReferencesSurviveRehash) {
+  // TermOf hands out references; they must stay valid as the dictionary
+  // grows (the spellings live in a deque, not a reallocating vector).
+  text::TermDict dict;
+  const std::string& first = dict.TermOf(dict.Intern("first"));
+  for (int i = 0; i < 5000; ++i) dict.Intern("t" + std::to_string(i));
+  EXPECT_EQ(first, "first");
+}
+
+// ----------------------------------------------------------- TopKInPlace
+
+TEST(TopKTest, PrefixMatchesFullSortExactly) {
+  Rng rng(42);
+  const auto cmp = [](const std::pair<double, uint32_t>& a,
+                      const std::pair<double, uint32_t>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // strict total order
+  };
+  for (const size_t n : {0u, 1u, 7u, 100u, 1000u}) {
+    std::vector<std::pair<double, uint32_t>> data;
+    for (size_t i = 0; i < n; ++i) {
+      // Coarse scores force plenty of ties through the tie-breaker.
+      data.emplace_back(static_cast<double>(rng.NextUint64(8)),
+                        static_cast<uint32_t>(rng.NextUint64(1000)));
+    }
+    for (const size_t k : {0u, 1u, 5u, 99u, 1000u, 5000u}) {
+      std::vector<std::pair<double, uint32_t>> sorted = data;
+      std::sort(sorted.begin(), sorted.end(), cmp);
+      if (k != 0 && sorted.size() > k) sorted.resize(k);
+
+      std::vector<std::pair<double, uint32_t>> topk = data;
+      TopKInPlace(topk, k, cmp);
+      EXPECT_EQ(topk, sorted) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(TopKTest, ZeroKMeansFullSortWithoutTruncation) {
+  std::vector<int> v{3, 1, 2};
+  TopKInPlace(v, 0, std::less<int>());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TopKTest, SortRankedListTruncatesDeterministically) {
+  ir::RankedList list{{5, 1.0}, {2, 2.0}, {9, 1.0}, {1, 2.0}, {7, 0.5}};
+  ir::SortRankedList(list, 3);
+  // score desc, doc asc on ties: (1,2.0) (2,2.0) (5,1.0).
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].doc, 1u);
+  EXPECT_EQ(list[1].doc, 2u);
+  EXPECT_EQ(list[2].doc, 5u);
+}
+
+// ------------------------------------------------------------ IDF hoist
+
+TEST(IdfHoistTest, HoistedIdfScoresMatchPerPostingRecompute) {
+  // The scoring loop computes Idf(N, n'_k) once per retrieved list and
+  // accumulates wq * ntf * idf per posting. Recomputing the IDF inside the
+  // posting loop must yield bit-identical sums: Idf is deterministic and
+  // the association of the product is unchanged.
+  Rng rng(7);
+  const double corpus_size = 25000.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t len = 1 + rng.NextUint64(200);
+    std::vector<std::pair<uint32_t, double>> postings;  // (doc, ntf)
+    for (size_t i = 0; i < len; ++i) {
+      postings.emplace_back(
+          static_cast<uint32_t>(rng.NextUint64(300)),
+          static_cast<double>(1 + rng.NextUint64(9)) /
+              static_cast<double>(10 + rng.NextUint64(90)));
+    }
+
+    std::unordered_map<uint32_t, double> hoisted, per_posting;
+    const double idf =
+        ir::Idf(corpus_size, static_cast<uint32_t>(postings.size()));
+    const double wq = idf;
+    for (const auto& [doc, ntf] : postings) {
+      hoisted[doc] += wq * ntf * idf;
+    }
+    for (const auto& [doc, ntf] : postings) {
+      const double inner_idf =
+          ir::Idf(corpus_size, static_cast<uint32_t>(postings.size()));
+      per_posting[doc] += inner_idf * ntf * inner_idf;
+    }
+    ASSERT_EQ(hoisted.size(), per_posting.size());
+    for (const auto& [doc, sum] : hoisted) {
+      // Exact double equality: same operations in the same order.
+      EXPECT_EQ(sum, per_posting.at(doc)) << "trial " << trial;
+    }
+  }
+}
+
+// ------------------------------------- whole-system determinism (interned)
+
+text::TermVector TV(const std::vector<std::string>& tokens) {
+  return text::TermVector::FromTokens(tokens);
+}
+
+struct RunDump {
+  std::string ranked;
+  std::string metrics;
+  std::string trace;
+};
+
+RunDump SeededRun(uint64_t seed) {
+  corpus::Corpus corpus;
+  corpus.AddDocument(
+      TV({"cat", "cat", "cat", "feline", "feline", "whisker", "purr"}));
+  corpus.AddDocument(
+      TV({"dog", "dog", "dog", "canine", "canine", "leash", "bark"}));
+  corpus.AddDocument(TV({"pet", "pet", "cat", "dog", "food"}));
+
+  core::SpriteConfig config;
+  config.num_peers = 16;
+  config.initial_terms = 2;
+  config.terms_per_iteration = 2;
+  config.max_index_terms = 6;
+  config.seed = seed;
+  core::SpriteSystem system(config);
+  system.mutable_tracer().set_enabled(true);
+  SPRITE_CHECK_OK(system.ShareCorpus(corpus));
+  system.RecordQuery(corpus::Query{1, {"cat", "dog"}});
+  system.RunLearningIteration();
+
+  RunDump dump;
+  for (corpus::QueryId qid = 2; qid < 6; ++qid) {
+    auto result =
+        system.Search(corpus::Query{qid, {"cat", "dog", "pet"}}, 10, false);
+    SPRITE_CHECK(result.ok());
+    for (const ir::ScoredDoc& scored : *result) {
+      dump.ranked += std::to_string(scored.doc) + ":" +
+                     StrFormat("%.17g", scored.score) + ";";
+    }
+  }
+  dump.metrics = system.metrics().Snapshot().ToJson();
+  dump.trace = system.tracer().ToJsonl();
+  return dump;
+}
+
+TEST(InternedDeterminismTest, IdenticalSeedsByteIdenticalOutputs) {
+  const RunDump a = SeededRun(7);
+  const RunDump b = SeededRun(7);
+  EXPECT_EQ(a.ranked, b.ranked);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_FALSE(a.ranked.empty());
+}
+
+}  // namespace
+}  // namespace sprite

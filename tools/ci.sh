@@ -62,6 +62,23 @@ cmp "$SMOKE_DIR/cache_on_trace.json" "$SMOKE_DIR/cache_on2_trace.json"
 cmp "$SMOKE_DIR/cache_on_trace.jsonl" "$SMOKE_DIR/cache_on2_trace.jsonl"
 echo "cache smoke OK"
 
+echo "== perf smoke: hot-path speedups and ranked-output identity =="
+# hotpath_micro exits non-zero itself when the legacy and fast pipelines'
+# ranked lists differ; the JSON check below additionally insists every
+# measured speedup is at least break-even on this small corpus.
+./build/bench/hotpath_micro --docs=300 --peers=16 --rounds=2 \
+  --out="$SMOKE_DIR/hotpath.json" >/dev/null
+python3 - "$SMOKE_DIR/hotpath.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["end_to_end"]["identical_results"] is True, report["end_to_end"]
+for section, body in report["micro"].items():
+    assert body["speedup"] >= 1.0, (section, body)
+assert report["end_to_end"]["speedup"] >= 1.0, report["end_to_end"]
+EOF
+echo "perf smoke OK"
+
 if [ "${1:-}" = "--asan" ]; then
   echo "== sanitizers: ASan + UBSan build =="
   cmake -B build-asan -S . \
