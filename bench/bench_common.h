@@ -6,11 +6,16 @@
 // query generator) and reports precision/recall as ratios to the
 // centralized baseline, exactly like Section 6.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <vector>
 
+#include "common/json_util.h"
+#include "common/string_util.h"
 #include "core/sprite_system.h"
 #include "eval/experiment.h"
 
@@ -26,6 +31,14 @@ namespace spritebench {
 // structured JSONL.
 // --cache=on|off|blind selects the querying-peer cache mode on benches
 // that honour it (cache_effect; see ApplyCacheMode).
+// --timeseries-jsonl=PATH / --timeseries-csv=PATH enable the per-round
+// time-series recorder and dump the captured points (one per learning
+// round / capture site).
+// --slo-jsonl=PATH dumps fired SLO alerts; --slo-recall-drop= /
+// --slo-gini-max= / --slo-stale-spike= / --slo-p95-ms= arm the watchdog's
+// four stock rules (see ApplySloRules).
+// --learning-curve-json=PATH writes the per-round recall/cost trajectory
+// (benches that run TrainSystemWithConvergence).
 struct BenchArgs {
   size_t docs = 3000;
   size_t peers = 64;
@@ -34,6 +47,15 @@ struct BenchArgs {
   std::string trace_json;    // empty: no Perfetto dump
   std::string trace_jsonl;   // empty: no JSONL dump
   std::string cache;         // "", "on", "off", "blind"
+  std::string timeseries_jsonl;     // empty: no time-series JSONL dump
+  std::string timeseries_csv;       // empty: no time-series CSV dump
+  std::string slo_jsonl;            // empty: no alert dump
+  std::string learning_curve_json;  // empty: no convergence dump
+  // SLO rule thresholds; NaN = rule not armed.
+  double slo_recall_drop = std::numeric_limits<double>::quiet_NaN();
+  double slo_gini_max = std::numeric_limits<double>::quiet_NaN();
+  double slo_stale_spike = std::numeric_limits<double>::quiet_NaN();
+  double slo_p95_ms = std::numeric_limits<double>::quiet_NaN();
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -42,14 +64,27 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   constexpr const char kTraceFlag[] = "--trace-json=";
   constexpr const char kTraceJsonlFlag[] = "--trace-jsonl=";
   constexpr const char kCacheFlag[] = "--cache=";
+  constexpr const char kTimeSeriesJsonlFlag[] = "--timeseries-jsonl=";
+  constexpr const char kTimeSeriesCsvFlag[] = "--timeseries-csv=";
+  constexpr const char kSloJsonlFlag[] = "--slo-jsonl=";
+  constexpr const char kLearningCurveFlag[] = "--learning-curve-json=";
   for (int i = 1; i < argc; ++i) {
     unsigned long long v = 0;
+    double d = 0.0;
     if (std::sscanf(argv[i], "--docs=%llu", &v) == 1) {
       args.docs = static_cast<size_t>(v);
     } else if (std::sscanf(argv[i], "--peers=%llu", &v) == 1) {
       args.peers = static_cast<size_t>(v);
     } else if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) {
       args.seed = v;
+    } else if (std::sscanf(argv[i], "--slo-recall-drop=%lf", &d) == 1) {
+      args.slo_recall_drop = d;
+    } else if (std::sscanf(argv[i], "--slo-gini-max=%lf", &d) == 1) {
+      args.slo_gini_max = d;
+    } else if (std::sscanf(argv[i], "--slo-stale-spike=%lf", &d) == 1) {
+      args.slo_stale_spike = d;
+    } else if (std::sscanf(argv[i], "--slo-p95-ms=%lf", &d) == 1) {
+      args.slo_p95_ms = d;
     } else if (std::strncmp(argv[i], kMetricsFlag,
                             sizeof(kMetricsFlag) - 1) == 0) {
       args.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
@@ -62,9 +97,119 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kCacheFlag,
                             sizeof(kCacheFlag) - 1) == 0) {
       args.cache = argv[i] + sizeof(kCacheFlag) - 1;
+    } else if (std::strncmp(argv[i], kTimeSeriesJsonlFlag,
+                            sizeof(kTimeSeriesJsonlFlag) - 1) == 0) {
+      args.timeseries_jsonl = argv[i] + sizeof(kTimeSeriesJsonlFlag) - 1;
+    } else if (std::strncmp(argv[i], kTimeSeriesCsvFlag,
+                            sizeof(kTimeSeriesCsvFlag) - 1) == 0) {
+      args.timeseries_csv = argv[i] + sizeof(kTimeSeriesCsvFlag) - 1;
+    } else if (std::strncmp(argv[i], kSloJsonlFlag,
+                            sizeof(kSloJsonlFlag) - 1) == 0) {
+      args.slo_jsonl = argv[i] + sizeof(kSloJsonlFlag) - 1;
+    } else if (std::strncmp(argv[i], kLearningCurveFlag,
+                            sizeof(kLearningCurveFlag) - 1) == 0) {
+      args.learning_curve_json = argv[i] + sizeof(kLearningCurveFlag) - 1;
     }
   }
   return args;
+}
+
+// True when any flag asked for per-round telemetry (time-series dumps, the
+// convergence JSON, or an armed SLO rule — alerts are only evaluated at
+// capture points, so they imply the recorder too).
+inline bool WantsTimeSeries(const BenchArgs& args) {
+  return !args.timeseries_jsonl.empty() || !args.timeseries_csv.empty() ||
+         !args.slo_jsonl.empty() || !args.learning_curve_json.empty() ||
+         !std::isnan(args.slo_recall_drop) || !std::isnan(args.slo_gini_max) ||
+         !std::isnan(args.slo_stale_spike) || !std::isnan(args.slo_p95_ms);
+}
+
+// Applies the telemetry flags to `config` (call before constructing the
+// system): enables the time-series recorder when any per-round output was
+// requested.
+inline void ApplyObsFlags(const BenchArgs& args,
+                          sprite::core::SpriteConfig& config) {
+  if (WantsTimeSeries(args)) config.enable_timeseries = true;
+}
+
+// Arms the watchdog's stock rules on `sys` from the --slo-* thresholds:
+//   recall-drop        delta_drop on bench.recall_ratio (per round)
+//   posting-gini-bound upper_bound on load.postings.gini
+//   stale-serve-spike  spike on cache.result.stale_serves
+//   search-p95-budget  upper_bound on latency.search.total_ms.p95
+inline void ApplySloRules(const BenchArgs& args,
+                          sprite::core::SpriteSystem& sys) {
+  sprite::obs::SloWatchdog& slo = sys.mutable_slo();
+  if (!std::isnan(args.slo_recall_drop)) {
+    slo.AddRule({"recall-drop", "bench.recall_ratio",
+                 sprite::obs::SloRuleKind::kDeltaDrop, args.slo_recall_drop});
+  }
+  if (!std::isnan(args.slo_gini_max)) {
+    slo.AddRule({"posting-gini-bound", "load.postings.gini",
+                 sprite::obs::SloRuleKind::kUpperBound, args.slo_gini_max});
+  }
+  if (!std::isnan(args.slo_stale_spike)) {
+    slo.AddRule({"stale-serve-spike", "cache.result.stale_serves",
+                 sprite::obs::SloRuleKind::kSpike, args.slo_stale_spike});
+  }
+  if (!std::isnan(args.slo_p95_ms)) {
+    slo.AddRule({"search-p95-budget", "latency.search.total_ms.p95",
+                 sprite::obs::SloRuleKind::kUpperBound, args.slo_p95_ms});
+  }
+}
+
+// Writes the recorder's JSONL/CSV dumps and the watchdog's alert JSONL to
+// their flag paths; no-op for unset flags. Call after the measured phase.
+inline void MaybeWriteTimeSeries(const BenchArgs& args,
+                                 const sprite::core::SpriteSystem& sys) {
+  const auto write = [](const std::string& path, const std::string& body,
+                        const char* what) {
+    if (path.empty()) return;
+    if (sprite::obs::WriteJsonFile(path, body)) {
+      std::printf("%s written to %s\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s to %s\n", what, path.c_str());
+    }
+  };
+  write(args.timeseries_jsonl, sys.timeseries().ToJsonl(),
+        "timeseries jsonl");
+  write(args.timeseries_csv, sys.timeseries().ToCsv(), "timeseries csv");
+  write(args.slo_jsonl, sys.slo().ToJsonl(), "slo alerts");
+}
+
+// Writes the convergence trajectory as one JSON object (the committed
+// BENCH_learning_curve.json format): bench meta + one entry per round with
+// the precision/recall ratios and the cumulative index/traffic cost.
+inline void MaybeWriteLearningCurveJson(
+    const BenchArgs& args,
+    const std::vector<sprite::eval::ConvergencePoint>& points) {
+  if (args.learning_curve_json.empty()) return;
+  std::string json = "{\n";
+  json += sprite::StrFormat(
+      "  \"bench\": \"fig4a_num_answers\",\n  \"docs\": %zu,\n"
+      "  \"peers\": %zu,\n  \"seed\": %llu,\n  \"rounds\": [",
+      args.docs, args.peers, static_cast<unsigned long long>(args.seed));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const sprite::eval::ConvergencePoint& p = points[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += sprite::StrFormat(
+        "    {\"round\": %llu, \"precision_ratio\": %s, "
+        "\"recall_ratio\": %s, \"indexed_terms\": %zu, "
+        "\"net_messages\": %llu, \"net_bytes\": %llu}",
+        static_cast<unsigned long long>(p.round),
+        sprite::JsonNumber(p.eval.ratio.precision).c_str(),
+        sprite::JsonNumber(p.eval.ratio.recall).c_str(), p.indexed_terms,
+        static_cast<unsigned long long>(p.net_messages),
+        static_cast<unsigned long long>(p.net_bytes));
+  }
+  json += "\n  ]\n}\n";
+  if (sprite::obs::WriteJsonFile(args.learning_curve_json, json)) {
+    std::printf("learning curve written to %s\n",
+                args.learning_curve_json.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write learning curve to %s\n",
+                 args.learning_curve_json.c_str());
+  }
 }
 
 // Applies --cache= to `config`: "on" enables both querying-peer tiers with

@@ -96,7 +96,9 @@ int main(int argc, char** argv) {
 
   core::SpriteConfig cached_config = spritebench::DefaultSpriteConfig(args);
   spritebench::ApplyCacheMode(args, cached_config);
+  spritebench::ApplyObsFlags(args, cached_config);
   core::SpriteSystem cached(cached_config);
+  spritebench::ApplySloRules(args, cached);
   core::SpriteSystem baseline(spritebench::DefaultSpriteConfig(args));
 
   SPRITE_CHECK_OK(eval::TrainSystem(cached, bed, bed.split().train, 3));
@@ -146,6 +148,10 @@ int main(int argc, char** argv) {
   reg.Set("bench.repeat.search_mean_ms.cached", mean_ms_on);
   reg.Set("bench.repeat.search_mean_ms.baseline", mean_ms_off);
   reg.Set("bench.repeat.results_identical", identical ? 1.0 : 0.0);
+  // First retained point: ClearMetrics above wiped anything captured during
+  // warm-up, so the series is repeat -> stale and a stale-serve spike rule
+  // compares exactly those two phases.
+  cached.CaptureTimeSeriesPoint("repeat");
 
   std::printf("repeat phase (%zu issuances, Zipf slope 1.0)\n",
               stream.size());
@@ -197,6 +203,7 @@ int main(int argc, char** argv) {
     reg.Set("bench.stale.stale_serves", static_cast<double>(serves));
     reg.Set("bench.stale.reject_rate", reject_rate);
     reg.Set("bench.stale.serve_rate", serve_rate);
+    cached.CaptureTimeSeriesPoint("stale");
 
     std::printf("\nstale phase (%zu recorded issuances + 1 learning "
                 "iteration + replay)\n",
@@ -214,6 +221,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  spritebench::MaybeWriteTimeSeries(args, cached);
   spritebench::MaybeWriteMetricsJson(args, cached);
   spritebench::MaybeWriteTraceFiles(args, cached);
   return 0;

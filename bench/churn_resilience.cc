@@ -21,10 +21,27 @@ Outcome Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
             double fail_fraction, size_t replication, bool instrument) {
   core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
   config.replication_factor = replication;
+  if (instrument) spritebench::ApplyObsFlags(args, config);
   core::SpriteSystem system(config);
-  if (instrument) spritebench::MaybeEnableTracing(args, system);
+  const bool telemetry = instrument && spritebench::WantsTimeSeries(args);
+  if (instrument) {
+    spritebench::MaybeEnableTracing(args, system);
+    spritebench::ApplySloRules(args, system);
+  }
   SPRITE_CHECK_OK(eval::TrainSystem(system, bed, bed.split().train, 3));
   if (replication > 0) system.ReplicateIndexes();
+  if (telemetry) {
+    // Healthy-network baseline point; the post-failure point below lets a
+    // recall-drop rule quantify what churn cost despite replication.
+    eval::EvalResult healthy =
+        eval::EvaluateSystem(system, bed, bed.split().test, 20);
+    obs::MetricsRegistry& m = system.mutable_metrics();
+    m.Set("bench.precision_ratio", healthy.ratio.precision);
+    m.Set("bench.recall_ratio", healthy.ratio.recall);
+    m.Set("bench.alive_peers",
+          static_cast<double>(system.ring().num_alive()));
+    system.CaptureTimeSeriesPoint("trained");
+  }
 
   // Fail a random fraction of peers, then let the ring stabilize.
   std::vector<uint64_t> ids = system.ring().AliveIds();
@@ -39,6 +56,15 @@ Outcome Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
   system.mutable_ring().ClearStats();
 
   eval::EvalResult r = eval::EvaluateSystem(system, bed, bed.split().test, 20);
+  if (telemetry) {
+    obs::MetricsRegistry& m = system.mutable_metrics();
+    m.Set("bench.precision_ratio", r.ratio.precision);
+    m.Set("bench.recall_ratio", r.ratio.recall);
+    m.Set("bench.alive_peers",
+          static_cast<double>(system.ring().num_alive()));
+    system.CaptureTimeSeriesPoint("post-failure");
+    spritebench::MaybeWriteTimeSeries(args, system);
+  }
   if (instrument) spritebench::MaybeWriteTraceFiles(args, system);
   return Outcome{r.ratio.precision, r.ratio.recall,
                  system.ring().stats().failed_lookups};

@@ -33,14 +33,29 @@ Row RunAtBudget(const spritebench::BenchArgs& args, const eval::TestBed& bed,
 
   core::SpriteConfig sprite_config =
       spritebench::DefaultSpriteConfig(args, num_terms);
-  core::SpriteSystem sprite_sys(sprite_config);
   // The dump flags instrument one designated SPRITE run (the largest Zipf
   // budget); dumping every cell would overwrite the same files six times.
-  if (instrument) spritebench::MaybeEnableTracing(args, sprite_sys);
-  SPRITE_CHECK_OK(eval::TrainSystem(sprite_sys, bed, stream, iterations));
-  eval::EvalResult s =
-      eval::EvaluateSystem(sprite_sys, bed, bed.split().test, 20);
+  if (instrument) spritebench::ApplyObsFlags(args, sprite_config);
+  core::SpriteSystem sprite_sys(sprite_config);
   if (instrument) {
+    spritebench::MaybeEnableTracing(args, sprite_sys);
+    spritebench::ApplySloRules(args, sprite_sys);
+  }
+  eval::EvalResult s;
+  if (instrument && spritebench::WantsTimeSeries(args)) {
+    // Per-round telemetry for the instrumented cell: one point per
+    // learning round, the Fig. 4(b) convergence at this term budget.
+    StatusOr<std::vector<eval::ConvergencePoint>> points =
+        eval::TrainSystemWithConvergence(sprite_sys, bed, stream, iterations,
+                                         bed.split().test, /*answers=*/20);
+    SPRITE_CHECK_OK(points.status());
+    s = points->back().eval;
+  } else {
+    SPRITE_CHECK_OK(eval::TrainSystem(sprite_sys, bed, stream, iterations));
+    s = eval::EvaluateSystem(sprite_sys, bed, bed.split().test, 20);
+  }
+  if (instrument) {
+    spritebench::MaybeWriteTimeSeries(args, sprite_sys);
     spritebench::MaybeWriteMetricsJson(args, sprite_sys);
     spritebench::MaybeWriteTraceFiles(args, sprite_sys);
   }

@@ -50,8 +50,10 @@ int main(int argc, char** argv) {
   querygen::PatternGroups groups =
       querygen::SplitByOrigin(bed.workload(), group_rng);
 
-  core::SpriteSystem sprite_sys(
-      spritebench::DefaultSpriteConfig(args, /*max_terms=*/30));
+  core::SpriteConfig sprite_config =
+      spritebench::DefaultSpriteConfig(args, /*max_terms=*/30);
+  spritebench::ApplyObsFlags(args, sprite_config);
+  core::SpriteSystem sprite_sys(sprite_config);
   // eSearch grows by 5 frequency terms per iteration until the same cap.
   core::SpriteConfig esearch_config =
       core::MakeESearchConfig(spritebench::DefaultSpriteConfig(args), 5);
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
   // The dump flags instrument the SPRITE system across all ten iterations
   // (record + evaluate + learn), including the pattern change at 6.
   spritebench::MaybeEnableTracing(args, sprite_sys);
+  spritebench::ApplySloRules(args, sprite_sys);
   SPRITE_CHECK_OK(sprite_sys.ShareCorpus(bed.corpus()));
   SPRITE_CHECK_OK(esearch_sys.ShareCorpus(bed.corpus()));
 
@@ -73,6 +76,15 @@ int main(int argc, char** argv) {
         iteration <= 5 ? groups.group_a : groups.group_b;
     IterationResult s = RunIteration(sprite_sys, bed, group);
     IterationResult e = RunIteration(esearch_sys, bed, group);
+    // One time-series point per iteration (before the learning step the
+    // SLO rules compare against the next iteration): the Fig. 4(c) dip at
+    // the pattern change shows up as a recall-drop alert.
+    obs::MetricsRegistry& metrics = sprite_sys.mutable_metrics();
+    metrics.Set("bench.iteration", static_cast<double>(iteration));
+    metrics.Set("bench.group", iteration <= 5 ? 0.0 : 1.0);
+    metrics.Set("bench.precision_ratio", s.precision);
+    metrics.Set("bench.recall_ratio", s.recall);
+    sprite_sys.CaptureTimeSeriesPoint("iteration");
     std::printf("%5d |   %c   |   %6.3f / %6.3f  |   %6.3f / %6.3f\n",
                 iteration, iteration <= 5 ? 'A' : 'B', s.precision, s.recall,
                 e.precision, e.recall);
@@ -81,6 +93,7 @@ int main(int argc, char** argv) {
       "\n(ratios to centralized at 20 answers; paper: SPRITE dips when the\n"
       " unseen group B arrives at iteration 6 and recovers within one\n"
       " iteration; eSearch is flat after reaching its 30-term cap)\n");
+  spritebench::MaybeWriteTimeSeries(args, sprite_sys);
   spritebench::MaybeWriteMetricsJson(args, sprite_sys);
   spritebench::MaybeWriteTraceFiles(args, sprite_sys);
   return 0;

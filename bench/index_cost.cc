@@ -63,17 +63,35 @@ int main(int argc, char** argv) {
 
   // --- SPRITE: 5 initial terms + 3 learning iterations. ----------------
   {
-    core::SpriteSystem system(spritebench::DefaultSpriteConfig(args));
+    core::SpriteConfig sprite_config = spritebench::DefaultSpriteConfig(args);
+    spritebench::ApplyObsFlags(args, sprite_config);
+    core::SpriteSystem system(sprite_config);
     spritebench::MaybeEnableTracing(args, system);
+    spritebench::ApplySloRules(args, system);
+    // Per-phase cost gauges the time series carries (the per-message-type
+    // net.* counters are labeled and thus not captured into points).
+    const auto capture = [&](const char* label) {
+      system.mutable_metrics().Set(
+          "bench.net_messages",
+          static_cast<double>(system.network_stats().TotalMessages()));
+      system.mutable_metrics().Set(
+          "bench.net_bytes",
+          static_cast<double>(system.network_stats().TotalBytes()));
+      system.CaptureTimeSeriesPoint(label);
+    };
     for (size_t idx : bed.split().train) system.RecordQuery(bed.query(idx));
     system.ClearNetworkStats();  // charge query insertion to the searchers
     SPRITE_CHECK_OK(system.ShareCorpus(bed.corpus()));
     PrintCost("SPRITE", system.network_stats(), n);
+    capture("construction");
 
     std::printf("\nmaintenance (3 SPRITE learning iterations: polls, "
                 "publications, withdrawals):\n");
     system.ClearNetworkStats();
-    for (int i = 0; i < 3; ++i) system.RunLearningIteration();
+    for (int i = 0; i < 3; ++i) {
+      system.RunLearningIteration();
+      capture("maintenance");
+    }
     PrintCost("SPRITE", system.network_stats(), n);
     std::printf("%s", system.network_stats().ToString().c_str());
 
@@ -94,6 +112,8 @@ int main(int argc, char** argv) {
                 static_cast<double>(net.TotalBytes()) /
                     static_cast<double>(queries),
                 system.ring().stats().hops.Mean());
+    capture("search");
+    spritebench::MaybeWriteTimeSeries(args, system);
     spritebench::MaybeWriteMetricsJson(args, system);
     spritebench::MaybeWriteTraceFiles(args, system);
   }

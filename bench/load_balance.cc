@@ -80,8 +80,14 @@ LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
                 const std::vector<size_t>& stream, bool caching) {
   core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
   config.use_hot_term_cache = caching;
+  // Telemetry instruments the caching-on run only (same convention as the
+  // metrics/trace dumps below).
+  if (caching) spritebench::ApplyObsFlags(args, config);
   core::SpriteSystem system(config);
-  if (caching) spritebench::MaybeEnableTracing(args, system);
+  if (caching) {
+    spritebench::MaybeEnableTracing(args, system);
+    spritebench::ApplySloRules(args, system);
+  }
   SPRITE_CHECK_OK(eval::TrainSystem(system, bed, bed.split().train, 3));
 
   // Warm-up third of the stream: peers observe the live query popularity
@@ -94,6 +100,10 @@ LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
   if (caching) {
     const size_t placements = system.RunHotTermCaching(/*top_terms=*/8);
     std::printf("  (hot-term caching: %zu cache placements)\n", placements);
+    // Skew after the warm-up third, before the load counters reset: the
+    // point the gini-bound SLO rule sees first.
+    system.ExportLoadMetrics();
+    system.CaptureTimeSeriesPoint("warmup");
   }
   system.ClearQueryLoad();
   system.mutable_ring().ClearStats();
@@ -111,6 +121,8 @@ LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
   // Dump the instrumented (caching-on) run: it exercises the full search
   // path including cache-served lists.
   if (caching) {
+    system.CaptureTimeSeriesPoint("measured");
+    spritebench::MaybeWriteTimeSeries(args, system);
     spritebench::MaybeWriteMetricsJson(args, system);
     spritebench::MaybeWriteTraceFiles(args, system);
   }

@@ -65,6 +65,19 @@ struct SpriteConfig {
   double hop_rtt_ms = 50.0;
   // 1.25e6 B/s == 10 Mbit/s, a conservative broadband uplink.
   double bandwidth_bytes_per_sec = 1.25e6;
+  // Record periodic metric snapshots (obs::TimeSeriesRecorder) keyed by
+  // simulated time and learning round; benches capture one point per
+  // round to export the paper's Fig. 4 convergence curves.
+  bool enable_timeseries = false;
+  // Ring-buffer retention of the time series.
+  size_t timeseries_capacity = 1024;
+  // Record per-search score decompositions and per-round learning
+  // decisions (obs::ExplainRecorder), surfaced by `sprite_cli explain`
+  // and `sprite_cli learning-ledger`.
+  bool enable_explain = false;
+  // Retained search decompositions (learning decisions have their own,
+  // much larger, default bound).
+  size_t explain_search_capacity = 64;
 
   // --- Querying-peer caching (src/cache) --------------------------------
   // Query-result cache: normalized term-set key -> top-k ranked list.

@@ -37,7 +37,7 @@ std::vector<std::string> OwnerPeer::SelectInitialTerms(
 
 OwnerPeer::IndexUpdate OwnerPeer::LearnAndRetune(
     OwnedDocument& doc, const std::vector<const QueryRecord*>& pulled,
-    const SpriteConfig& config) const {
+    const SpriteConfig& config, std::vector<ScoredTerm>* ranked_out) const {
   SPRITE_CHECK(doc.content != nullptr);
 
   // Keep only issuances not yet folded into the statistics.
@@ -49,6 +49,7 @@ OwnerPeer::IndexUpdate OwnerPeer::LearnAndRetune(
 
   const std::vector<ScoredTerm> ranked = ProcessQueriesAndRank(
       doc.content->terms, doc.stats, fresh, config.score_variant);
+  if (ranked_out != nullptr) *ranked_out = ranked;
 
   IndexUpdate update;
 

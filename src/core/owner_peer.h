@@ -69,10 +69,14 @@ class OwnerPeer {
   // terms by Score, adds up to `terms_per_iteration` new terms and evicts
   // the lowest-ranked ones beyond `max_index_terms`. Mutates `doc` to the
   // new index set and returns what changed (the caller publishes/withdraws
-  // through the DHT and does the message accounting).
+  // through the DHT and does the message accounting). When `ranked_out` is
+  // non-null it receives the full Score(t,D) ranking the verdicts were
+  // drawn from (for the explain ledger).
   IndexUpdate LearnAndRetune(OwnedDocument& doc,
                              const std::vector<const QueryRecord*>& pulled,
-                             const SpriteConfig& config) const;
+                             const SpriteConfig& config,
+                             std::vector<ScoredTerm>* ranked_out = nullptr)
+      const;
 
   // eSearch growth step: statically adds the next most frequent unindexed
   // terms (no query feedback). Never evicts.

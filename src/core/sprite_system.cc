@@ -27,7 +27,14 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
                              config.result_cache_bytes, config.cache_ttl_ms},
           cache::CacheLimits{config.posting_cache_entries,
                              config.posting_cache_bytes,
-                             config.cache_ttl_ms}}) {
+                             config.cache_ttl_ms}}),
+      timeseries_(obs::TimeSeriesOptions{config.timeseries_capacity,
+                                         {},
+                                         {},
+                                         {}}),
+      explain_(obs::ExplainOptions{config.explain_search_capacity,
+                                   obs::ExplainOptions{}.max_candidates,
+                                   obs::ExplainOptions{}.decision_capacity}) {
   SPRITE_CHECK(config_.num_peers >= 1);
   SPRITE_CHECK(config_.initial_terms >= 1);
   SPRITE_CHECK(config_.max_index_terms >= config_.initial_terms);
@@ -49,9 +56,15 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
   net_.AttachMetrics(&metrics_);
   ring_.AttachMetrics(&metrics_);
   cache_.AttachMetrics(&metrics_);
+  timeseries_.AttachMetrics(&metrics_);
+  explain_.AttachMetrics(&metrics_);
+  slo_.AttachMetrics(&metrics_);
+  timeseries_.set_enabled(config_.enable_timeseries);
+  explain_.set_enabled(config_.enable_explain);
   tracer_.set_hop_cost_ms(latency_.HopsMs(1));
   ring_.AttachTracer(&tracer_);
   net_.AttachTracer(&tracer_);
+  slo_.AttachTracer(&tracer_);
   UpdateMembershipGauges();
 }
 
@@ -95,6 +108,110 @@ void SpriteSystem::ExportLoadMetrics() {
   };
   summarize("load.postings", postings);
   summarize("load.queries", queries);
+}
+
+const obs::TimeSeriesPoint* SpriteSystem::CaptureTimeSeriesPoint(
+    const std::string& label) {
+  if (!timeseries_.enabled()) return nullptr;
+  // Copy the previous point out before capturing: the ring may evict it,
+  // which would invalidate the reference the watchdog compares against.
+  std::optional<obs::TimeSeriesPoint> prev;
+  if (timeseries_.latest() != nullptr) prev = *timeseries_.latest();
+  const obs::TimeSeriesPoint* point = timeseries_.Capture(
+      metrics_.Snapshot(), learning_round_, tracer_.clock().now_ms(), label);
+  if (point == nullptr) return nullptr;
+  slo_.Evaluate(*point, prev.has_value() ? &*prev : nullptr);
+  return point;
+}
+
+const char* MissCauseName(MissCause cause) {
+  switch (cause) {
+    case MissCause::kNeverIndexed:
+      return "never-indexed";
+    case MissCause::kWithdrawn:
+      return "withdrawn";
+    case MissCause::kChurnLost:
+      return "churn-lost";
+  }
+  return "unknown";
+}
+
+bool SpriteSystem::TermServesDoc(TermId term, DocId doc) const {
+  const StatusOr<uint64_t> responsible =
+      ring_.ResponsibleNode(RingKeyOf(term));
+  if (!responsible.ok()) return false;
+  auto it = indexing_.find(responsible.value());
+  if (it == indexing_.end()) return false;
+  const PostingListPtr plist = it->second.Postings(term);
+  if (plist == nullptr) return false;
+  for (const PostingEntry& p : *plist) {
+    if (p.doc == doc) return true;
+  }
+  return false;
+}
+
+std::vector<MissAttribution> SpriteSystem::AttributeMisses(
+    const corpus::Query& query, const std::vector<DocId>& missed) const {
+  std::vector<MissAttribution> out;
+  out.reserve(missed.size());
+  TermDict& dict = TermDict::Global();
+  const std::vector<std::string> terms = corpus::DedupTerms(query.terms);
+  for (const DocId doc : missed) {
+    MissAttribution attr;
+    attr.doc = doc;
+    const OwnedDocument* owned = nullptr;
+    if (auto oit = doc_owner_.find(doc); oit != doc_owner_.end()) {
+      owned = owners_.at(oit->second).document(doc);
+    }
+    // Scan the query terms for the strongest witness: a term in the doc's
+    // *current* index set that the responsible peer cannot serve proves
+    // churn; otherwise a term once published but since removed proves a
+    // learning withdrawal; otherwise no query term was ever indexed.
+    bool found_withdrawn = false;
+    std::string withdrawn_term;
+    std::string never_term;
+    bool done = false;
+    for (const std::string& term : terms) {
+      // A term absent from the document can never be one of its index
+      // terms; it says nothing about why the doc was missed.
+      if (owned != nullptr && owned->content->terms.Count(term) == 0) {
+        continue;
+      }
+      const TermId id = dict.Lookup(term);
+      if (owned != nullptr && owned->IsIndexed(term)) {
+        if (id == kInvalidTermId || !TermServesDoc(id, doc)) {
+          attr.cause = MissCause::kChurnLost;
+          attr.term = term;
+          done = true;
+          break;
+        }
+        continue;  // indexed and serveable: not this term's fault
+      }
+      if (id != kInvalidTermId && explain_.EverPublished(doc, id)) {
+        if (!found_withdrawn) {
+          found_withdrawn = true;
+          withdrawn_term = term;
+        }
+      } else if (never_term.empty()) {
+        never_term = term;
+      }
+    }
+    if (!done) {
+      if (found_withdrawn) {
+        attr.cause = MissCause::kWithdrawn;
+        attr.term = withdrawn_term;
+      } else {
+        // Also the fallback when every in-doc query term is indexed and
+        // serveable (a doc ranked below a finite-k cutoff): the weakest
+        // diagnosis, with the first query term as a nominal witness.
+        attr.cause = MissCause::kNeverIndexed;
+        attr.term = never_term.empty() && !terms.empty() ? terms.front()
+                                                         : never_term;
+      }
+    }
+    out.push_back(std::move(attr));
+  }
+  return out;
 }
 
 void SpriteSystem::UpdateMembershipGauges() {
@@ -153,6 +270,10 @@ Status SpriteSystem::PublishTerm(PeerId owner, const std::string& term,
       latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes +
                           p2p::kPostingEntryBytes));
   indexing_.at(target.value()).AddPosting(id, entry);
+  // Feed the miss-attribution ledger: this (doc, term) pair has now been
+  // published at least once, so a later absence means withdrawn (or
+  // churn), not never-indexed.
+  explain_.NotePublish(entry.doc, id);
   return Status::OK();
 }
 
@@ -344,6 +465,21 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     terms.reserve(deduped.size());
     for (const std::string& term : deduped) terms.push_back(dict.Intern(term));
   }
+  // Explain ledger (enable_explain): per-term provenance and per-candidate
+  // score contributions, collected only when the recorder is on so the hot
+  // path stays untouched otherwise.
+  const bool explain_on = explain_.enabled();
+  std::vector<obs::TermExplain> term_explains;
+  std::unordered_map<TermId, size_t> term_explain_idx;
+  std::string query_spelling;
+  if (explain_on) {
+    term_explains.reserve(terms.size());
+    for (const TermId term : terms) {
+      if (!query_spelling.empty()) query_spelling += ' ';
+      query_spelling += dict.TermOf(term);
+    }
+  }
+
   // The query's canonical hash is needed up to three times (querying-peer
   // choice, record, contact rotation); compute the MD5 once.
   const uint64_t canonical_key =
@@ -416,6 +552,27 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
       search_span.Annotate("cache", "hit");
       search_span.Annotate("results", StrFormat("%zu", hit->results.size()));
       search_span.Annotate("total_ms", StrFormat("%.3f", check_ms));
+      if (explain_on) {
+        obs::SearchExplain se;
+        se.issuance = issuance;
+        se.query = query_spelling;
+        se.k = k;
+        se.served_from_result_cache = true;
+        for (const auto& [term, source] : hit->sources) {
+          obs::TermExplain te;
+          te.term = dict.TermOf(term);
+          te.peer = source.peer;
+          te.from_cache = true;
+          se.terms.push_back(std::move(te));
+        }
+        for (const auto& r : hit->results) {
+          obs::CandidateExplain ce;
+          ce.doc = r.doc;
+          ce.score = r.score;
+          se.candidates.push_back(std::move(ce));
+        }
+        explain_.RecordSearch(std::move(se));
+      }
       return hit->results;
     }
   }
@@ -487,6 +644,15 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
         fetched_postings += rl.postings->size();
         sources_used.emplace(term, hit->source);
         resolved.insert(term);
+        if (explain_on) {
+          obs::TermExplain te;
+          te.term = dict.TermOf(term);
+          te.peer = hit->source.peer;
+          te.indexed_df = static_cast<uint32_t>(rl.postings->size());
+          te.from_cache = true;
+          term_explain_idx[term] = term_explains.size();
+          term_explains.push_back(std::move(te));
+        }
         lists.push_back(std::move(rl));
         continue;
       }
@@ -499,6 +665,13 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     route_span.End();
     if (!target.ok()) {
       ++skipped_terms;
+      if (explain_on) {
+        obs::TermExplain te;
+        te.term = dict.TermOf(term);
+        te.skipped = true;
+        term_explain_idx[term] = term_explains.size();
+        term_explains.push_back(std::move(te));
+      }
       if (config_.skip_unreachable_terms) continue;  // Section 7, scheme 1
       return target.status();
     }
@@ -540,6 +713,14 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     const cache::TermSource term_source{target.value(),
                                         peer.TermVersion(term)};
     sources_used.emplace(term, term_source);
+    if (explain_on) {
+      obs::TermExplain te;
+      te.term = dict.TermOf(term);
+      te.peer = target.value();
+      te.indexed_df = static_cast<uint32_t>(rl.postings->size());
+      term_explain_idx[term] = term_explains.size();
+      term_explains.push_back(std::move(te));
+    }
     if (cache_.posting_enabled()) {
       cache::CachedPostings entry;
       entry.postings = rl.postings;
@@ -565,6 +746,15 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
         fetch_bytes += p2p::kMessageHeaderBytes + cached_payload;
         fetched_postings += extra.postings->size();
         resolved.insert(other);
+        if (explain_on) {
+          obs::TermExplain te;
+          te.term = dict.TermOf(other);
+          te.peer = target.value();  // the hot cache that served the list
+          te.indexed_df = static_cast<uint32_t>(extra.postings->size());
+          te.from_cache = true;
+          term_explain_idx[other] = term_explains.size();
+          term_explains.push_back(std::move(te));
+        }
         lists.push_back(std::move(extra));
       }
     }
@@ -602,6 +792,10 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   };
   std::unordered_map<DocId, Accum> acc;
   acc.reserve(fetched_postings);
+  // Per-doc (term, w_Qj*w_ij) contributions, collected only for the
+  // explain ledger.
+  std::unordered_map<DocId, std::vector<std::pair<std::string, double>>>
+      contribs;
   for (const RetrievedList& rl : lists) {
     if (rl.postings->empty()) continue;
     // The per-term IDF is hoisted out of the posting loop: Idf(N, n'_k)
@@ -612,12 +806,20 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     const double idf =
         ir::Idf(config_.idf_corpus_size,
                 static_cast<uint32_t>(rl.postings->size()));
+    if (explain_on) {
+      if (auto it = term_explain_idx.find(rl.term);
+          it != term_explain_idx.end()) {
+        term_explains[it->second].idf = idf;
+      }
+    }
     if (idf == 0.0) continue;
     const double wq = idf;  // unit query-term frequency
     for (const PostingEntry& p : *rl.postings) {
       Accum& a = acc[p.doc];
-      a.dot += wq * p.NormalizedTf() * idf;
+      const double w = wq * p.NormalizedTf() * idf;
+      a.dot += w;
       a.distinct_terms = p.num_distinct_terms;
+      if (explain_on) contribs[p.doc].push_back({dict.TermOf(rl.term), w});
     }
   }
   ir::RankedList results;
@@ -663,6 +865,29 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   search_span.Annotate("results", StrFormat("%zu", results.size()));
   search_span.Annotate("total_ms",
                        StrFormat("%.3f", route_ms + fetch_ms + rank_ms));
+  if (explain_on) {
+    obs::SearchExplain se;
+    se.issuance = issuance;
+    se.query = query_spelling;
+    se.k = k;
+    se.terms = std::move(term_explains);
+    const size_t keep =
+        std::min(results.size(), explain_.options().max_candidates);
+    se.candidates.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      obs::CandidateExplain ce;
+      ce.doc = results[i].doc;
+      ce.score = results[i].score;
+      if (auto it = acc.find(results[i].doc); it != acc.end()) {
+        ce.distinct_terms = it->second.distinct_terms;
+      }
+      if (auto it = contribs.find(results[i].doc); it != contribs.end()) {
+        ce.contributions = std::move(it->second);
+      }
+      se.candidates.push_back(std::move(ce));
+    }
+    explain_.RecordSearch(std::move(se));
+  }
   return results;
 }
 
@@ -680,6 +905,7 @@ void SpriteSystem::ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
 
 void SpriteSystem::RunLearningIteration() {
   metrics_.Add("learning.iterations");
+  ++learning_round_;
   obs::ScopedSpan iter_span(&tracer_, "learning.iteration", "system");
   for (auto& [owner_id, owner] : owners_) {
     const dht::ChordNode* node = ring_.node(owner_id);
@@ -691,6 +917,9 @@ void SpriteSystem::RunLearningIteration() {
         grow_span.Annotate("doc", StrFormat("%u", doc_id));
         OwnerPeer::IndexUpdate update = owner.GrowStatic(owned, config_);
         ApplyIndexUpdate(owner_id, owned, update);
+        if (explain_.enabled()) {
+          RecordLearningDecisions(owner_id, doc_id, owned, {}, update);
+        }
         continue;
       }
 
@@ -767,11 +996,43 @@ void SpriteSystem::RunLearningIteration() {
           "latency.learning.poll_ms",
           latency_.OperationMs(poll_hops, by_peer.size(), poll_bytes));
 
-      OwnerPeer::IndexUpdate update =
-          owner.LearnAndRetune(owned, pulled, config_);
+      std::vector<ScoredTerm> ranked;
+      OwnerPeer::IndexUpdate update = owner.LearnAndRetune(
+          owned, pulled, config_, explain_.enabled() ? &ranked : nullptr);
       ApplyIndexUpdate(owner_id, owned, update);
+      if (explain_.enabled()) {
+        RecordLearningDecisions(owner_id, doc_id, owned, ranked, update);
+      }
     }
   }
+}
+
+void SpriteSystem::RecordLearningDecisions(
+    PeerId owner_id, DocId doc, const OwnedDocument& owned,
+    const std::vector<ScoredTerm>& ranked,
+    const OwnerPeer::IndexUpdate& update) {
+  std::unordered_map<std::string, const ScoredTerm*> by_term;
+  by_term.reserve(ranked.size());
+  for (const ScoredTerm& st : ranked) by_term[st.term] = &st;
+  const auto record = [&](const std::string& term, const char* verdict) {
+    obs::LearningDecision d;
+    d.round = learning_round_;
+    d.doc = doc;
+    d.owner = owner_id;
+    d.term = term;
+    d.verdict = verdict;
+    if (auto it = by_term.find(term); it != by_term.end()) {
+      d.score = it->second->score;
+      d.query_freq = it->second->query_freq;
+    }
+    if (auto it = owned.stats.find(term); it != owned.stats.end()) {
+      d.qscore = it->second.best_qscore;
+      d.query_freq = it->second.query_freq;
+    }
+    explain_.RecordDecision(std::move(d));
+  };
+  for (const std::string& term : update.remove) record(term, "withdraw");
+  for (const std::string& term : update.add) record(term, "publish");
 }
 
 void SpriteSystem::ReplicateIndexes() {

@@ -19,12 +19,39 @@
 #include "corpus/query.h"
 #include "dht/chord.h"
 #include "ir/ranked_list.h"
+#include "obs/explain.h"
 #include "obs/latency_model.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "p2p/network.h"
 
 namespace sprite::core {
+
+// Why a relevant document was absent from a search's results, for the
+// explain ledger's miss attribution (ISSUE 5). Ordered by specificity:
+// churn-lost beats withdrawn beats never-indexed when several terms of the
+// missed doc tell different stories.
+enum class MissCause {
+  // No query term was ever published as a global index term of the doc.
+  kNeverIndexed,
+  // A query term was published once but later withdrawn by learning.
+  kWithdrawn,
+  // A query term is in the doc's current index set, but the responsible
+  // peer cannot serve its posting (failed without a replica, or the
+  // posting vanished in a handoff gap).
+  kChurnLost,
+};
+
+const char* MissCauseName(MissCause cause);
+
+// One missed document with its diagnosed cause and the witnessing term.
+struct MissAttribution {
+  DocId doc = 0;
+  MissCause cause = MissCause::kNeverIndexed;
+  std::string term;  // the query term that witnesses the cause
+};
 
 // The complete simulated SPRITE deployment (Section 3): a Chord ring of
 // peers, each playing both the owner-peer and indexing-peer roles, plus the
@@ -158,14 +185,18 @@ class SpriteSystem {
   // ToJson() produce the BENCH_*.json payload.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::MetricsRegistry& mutable_metrics() { return metrics_; }
-  // Full observability reset: registry, traffic accounting, and Chord
-  // routing stats all return to a blank post-setup baseline together
-  // (clearing only one view would leave the mirrors disagreeing).
+  // Full observability reset: registry, traffic accounting, Chord routing
+  // stats, time-series buffer, explain ledgers and SLO alert state all
+  // return to a blank post-setup baseline together (clearing only one
+  // view would leave the mirrors disagreeing).
   void ClearMetrics() {
     metrics_.Clear();
     net_.Clear();
     ring_.ClearStats();
     cache_.ClearStats();  // stats only: cached contents stay warm
+    timeseries_.Clear();
+    explain_.Clear();
+    slo_.ClearAlerts();  // alerts only: rules are configuration
     UpdateMembershipGauges();
   }
   // The tracer: span trees over a simulated clock for every instrumented
@@ -183,6 +214,36 @@ class SpriteSystem {
   // SpriteConfig::enable_result_cache / enable_posting_cache is set.
   const cache::CacheManager& query_cache() const { return cache_; }
   cache::CacheManager& mutable_query_cache() { return cache_; }
+  // The time-series recorder (enabled via SpriteConfig::enable_timeseries
+  // or set_enabled): snapshots of unlabeled registry metrics keyed by
+  // simulated time and learning round, exported as JSONL/CSV by benches.
+  const obs::TimeSeriesRecorder& timeseries() const { return timeseries_; }
+  obs::TimeSeriesRecorder& mutable_timeseries() { return timeseries_; }
+  // Captures one time-series point (labelled with the capture site, e.g.
+  // "round" or "post-failure") from the current registry state and
+  // evaluates the SLO rules against it. Returns the stored point, or
+  // nullptr when the recorder is disabled.
+  const obs::TimeSeriesPoint* CaptureTimeSeriesPoint(
+      const std::string& label);
+  // The explain recorder (enabled via SpriteConfig::enable_explain):
+  // per-search score decompositions and the owner-side learning decision
+  // ledger behind `sprite_cli explain` / `sprite_cli learning-ledger`.
+  const obs::ExplainRecorder& explainer() const { return explain_; }
+  obs::ExplainRecorder& mutable_explainer() { return explain_; }
+  // Diagnoses why each of `missed` (docs a reference ranking returned but
+  // this system did not) was absent: never-indexed, withdrawn by
+  // learning, or churn-lost. Requires enable_explain (the withdrawn
+  // diagnosis needs the publication ledger); one attribution per doc.
+  std::vector<MissAttribution> AttributeMisses(
+      const corpus::Query& query, const std::vector<DocId>& missed) const;
+  // The SLO watchdog: declarative threshold rules evaluated at every
+  // time-series capture; alerts mirror into the registry ("slo.alerts")
+  // and the trace stream.
+  const obs::SloWatchdog& slo() const { return slo_; }
+  obs::SloWatchdog& mutable_slo() { return slo_; }
+  // Completed learning iterations since construction (the time-series
+  // round key).
+  uint64_t learning_round() const { return learning_round_; }
   // The latency model derived from SpriteConfig's hop RTT and bandwidth.
   const obs::LatencyModel& latency_model() const { return latency_; }
   const SpriteConfig& config() const { return config_; }
@@ -246,6 +307,16 @@ class SpriteSystem {
   Status WithdrawTerm(PeerId owner, const std::string& term, DocId doc);
   void ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
                         const OwnerPeer::IndexUpdate& update);
+  // Explain-ledger hook: records one LearningDecision per publish/withdraw
+  // verdict of this round's update, with the Score(t,D) inputs looked up
+  // in `ranked` (empty under kStaticFrequency) and `owned.stats`.
+  void RecordLearningDecisions(PeerId owner_id, DocId doc,
+                               const OwnedDocument& owned,
+                               const std::vector<ScoredTerm>& ranked,
+                               const OwnerPeer::IndexUpdate& update);
+  // True when the peer currently responsible for `term` can serve a
+  // posting for `doc` (primary or replica fallback).
+  bool TermServesDoc(TermId term, DocId doc) const;
 
   SpriteConfig config_;
   // Declared before ring_ and net_, which hold pointers into them.
@@ -255,6 +326,9 @@ class SpriteSystem {
   dht::ChordRing ring_;
   p2p::NetworkAccountant net_;
   cache::CacheManager cache_;
+  obs::TimeSeriesRecorder timeseries_;
+  obs::ExplainRecorder explain_;
+  obs::SloWatchdog slo_;
   std::map<PeerId, IndexingPeer> indexing_;
   std::map<PeerId, OwnerPeer> owners_;
   std::vector<PeerId> peer_ids_;  // sorted, as constructed
@@ -265,6 +339,9 @@ class SpriteSystem {
   // treated as coming from different users (querying peer and term-contact
   // order vary deterministically with it).
   uint64_t search_counter_ = 0;
+  // Completed learning iterations, keying time-series points and the
+  // explain ledger's decision rounds.
+  uint64_t learning_round_ = 0;
 };
 
 // A SpriteConfig configured as the basic eSearch baseline of Section 6:

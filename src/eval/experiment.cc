@@ -33,6 +33,43 @@ Status TrainSystem(core::SpriteSystem& system, const TestBed& bed,
   return Status::OK();
 }
 
+StatusOr<std::vector<ConvergencePoint>> TrainSystemWithConvergence(
+    core::SpriteSystem& system, const TestBed& bed,
+    const std::vector<size_t>& stream, size_t iterations,
+    const std::vector<size_t>& eval_queries, size_t answers) {
+  for (size_t idx : stream) {
+    system.RecordQuery(bed.query(idx));
+  }
+  SPRITE_RETURN_IF_ERROR(system.ShareCorpus(bed.corpus()));
+
+  std::vector<ConvergencePoint> points;
+  points.reserve(iterations + 1);
+  for (size_t round = 0; round <= iterations; ++round) {
+    if (round > 0) system.RunLearningIteration();
+    ConvergencePoint point;
+    point.round = system.learning_round();
+    point.eval = EvaluateSystem(system, bed, eval_queries, answers);
+    point.indexed_terms = system.TotalIndexedTerms();
+    point.net_messages = system.network_stats().TotalMessages();
+    point.net_bytes = system.network_stats().TotalBytes();
+    // Unlabeled bench gauges: the convergence quantities the time-series
+    // recorder captures (labeled per-peer/per-message metrics are not
+    // carried into points) and the SLO rules watch.
+    obs::MetricsRegistry& metrics = system.mutable_metrics();
+    metrics.Set("bench.round", static_cast<double>(point.round));
+    metrics.Set("bench.precision_ratio", point.eval.ratio.precision);
+    metrics.Set("bench.recall_ratio", point.eval.ratio.recall);
+    metrics.Set("bench.indexed_terms",
+                static_cast<double>(point.indexed_terms));
+    metrics.Set("bench.net_messages",
+                static_cast<double>(point.net_messages));
+    metrics.Set("bench.net_bytes", static_cast<double>(point.net_bytes));
+    system.CaptureTimeSeriesPoint("round");
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 EvalResult EvaluateSystem(core::SpriteSystem& system, const TestBed& bed,
                           const std::vector<size_t>& queries, size_t answers,
                           const std::vector<double>* weights) {

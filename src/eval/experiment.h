@@ -68,6 +68,28 @@ struct EvalResult {
 Status TrainSystem(core::SpriteSystem& system, const TestBed& bed,
                    const std::vector<size_t>& stream, size_t iterations);
 
+// One point of a Fig. 4 convergence curve: the evaluation after `round`
+// learning iterations plus the index/traffic state it cost to get there.
+struct ConvergencePoint {
+  uint64_t round = 0;
+  EvalResult eval;
+  size_t indexed_terms = 0;    // sum of |index terms| over shared docs
+  uint64_t net_messages = 0;   // cumulative, since system construction
+  uint64_t net_bytes = 0;
+};
+
+// TrainSystem with per-round instrumentation: evaluates on `eval_queries`
+// at cutoff `answers` after sharing (round 0) and after every learning
+// iteration, publishing the ratios as unlabeled `bench.*` gauges and
+// capturing one time-series point (label "round") per evaluation when the
+// system's recorder is enabled. Returns `iterations + 1` points; the last
+// one is byte-identical to what a plain TrainSystem-then-EvaluateSystem
+// run measures (evaluation does not record into histories).
+StatusOr<std::vector<ConvergencePoint>> TrainSystemWithConvergence(
+    core::SpriteSystem& system, const TestBed& bed,
+    const std::vector<size_t>& stream, size_t iterations,
+    const std::vector<size_t>& eval_queries, size_t answers);
+
 // Evaluates `system` on the given workload queries: top-`answers` retrieval
 // compared against the centralized baseline on the same queries.
 // `weights` (aligned with `queries`) enables popularity-weighted averaging;

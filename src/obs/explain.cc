@@ -1,0 +1,114 @@
+#include "obs/explain.h"
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+
+namespace sprite::obs {
+
+namespace {
+
+uint64_t PublishKey(uint32_t doc, uint32_t term) {
+  return (static_cast<uint64_t>(doc) << 32) | term;
+}
+
+}  // namespace
+
+ExplainRecorder::ExplainRecorder(ExplainOptions options)
+    : options_(options) {
+  if (options_.search_capacity == 0) options_.search_capacity = 1;
+  if (options_.decision_capacity == 0) options_.decision_capacity = 1;
+}
+
+void ExplainRecorder::RecordSearch(SearchExplain search) {
+  if (!enabled_) return;
+  if (search.candidates.size() > options_.max_candidates) {
+    search.candidates.resize(options_.max_candidates);
+  }
+  searches_.push_back(std::move(search));
+  while (searches_.size() > options_.search_capacity) searches_.pop_front();
+  if (metrics_ != nullptr) metrics_->Add("explain.searches");
+}
+
+void ExplainRecorder::RecordDecision(LearningDecision decision) {
+  if (!enabled_) return;
+  decisions_.push_back(std::move(decision));
+  while (decisions_.size() > options_.decision_capacity) {
+    decisions_.pop_front();
+  }
+  if (metrics_ != nullptr) metrics_->Add("explain.decisions");
+}
+
+void ExplainRecorder::NotePublish(uint32_t doc, uint32_t term) {
+  if (!enabled_) return;
+  published_.insert(PublishKey(doc, term));
+}
+
+bool ExplainRecorder::EverPublished(uint32_t doc, uint32_t term) const {
+  return published_.count(PublishKey(doc, term)) > 0;
+}
+
+void ExplainRecorder::Clear() {
+  searches_.clear();
+  decisions_.clear();
+  published_.clear();
+  if (metrics_ != nullptr) {
+    metrics_->EraseByName("explain.searches");
+    metrics_->EraseByName("explain.decisions");
+  }
+}
+
+std::string ExplainRecorder::ToJsonl() const {
+  std::string out = StrFormat(
+      "{\"format\":\"sprite-explain-jsonl\",\"searches\":%zu,"
+      "\"decisions\":%zu}\n",
+      searches_.size(), decisions_.size());
+  for (const LearningDecision& d : decisions_) {
+    out += StrFormat(
+        "{\"type\":\"decision\",\"round\":%llu,\"doc\":%u,\"owner\":%llu,"
+        "\"term\":\"%s\",\"qscore\":%s,\"query_freq\":%llu,\"score\":%s,"
+        "\"verdict\":\"%s\"}\n",
+        static_cast<unsigned long long>(d.round), d.doc,
+        static_cast<unsigned long long>(d.owner), JsonEscape(d.term).c_str(),
+        JsonNumber(d.qscore).c_str(),
+        static_cast<unsigned long long>(d.query_freq),
+        JsonNumber(d.score).c_str(), JsonEscape(d.verdict).c_str());
+  }
+  for (const SearchExplain& s : searches_) {
+    out += StrFormat(
+        "{\"type\":\"search\",\"issuance\":%llu,\"query\":\"%s\",\"k\":%zu,"
+        "\"result_cache\":%s,\"terms\":[",
+        static_cast<unsigned long long>(s.issuance),
+        JsonEscape(s.query).c_str(), s.k,
+        s.served_from_result_cache ? "true" : "false");
+    for (size_t i = 0; i < s.terms.size(); ++i) {
+      const TermExplain& t = s.terms[i];
+      out += StrFormat(
+          "%s{\"term\":\"%s\",\"peer\":%llu,\"indexed_df\":%u,\"idf\":%s,"
+          "\"from_cache\":%s,\"skipped\":%s}",
+          i == 0 ? "" : ",", JsonEscape(t.term).c_str(),
+          static_cast<unsigned long long>(t.peer), t.indexed_df,
+          JsonNumber(t.idf).c_str(), t.from_cache ? "true" : "false",
+          t.skipped ? "true" : "false");
+    }
+    out += "],\"candidates\":[";
+    for (size_t i = 0; i < s.candidates.size(); ++i) {
+      const CandidateExplain& c = s.candidates[i];
+      out += StrFormat(
+          "%s{\"doc\":%u,\"score\":%s,\"distinct_terms\":%u,"
+          "\"contributions\":[",
+          i == 0 ? "" : ",", c.doc, JsonNumber(c.score).c_str(),
+          c.distinct_terms);
+      for (size_t j = 0; j < c.contributions.size(); ++j) {
+        out += StrFormat("%s{\"term\":\"%s\",\"weight\":%s}",
+                         j == 0 ? "" : ",",
+                         JsonEscape(c.contributions[j].first).c_str(),
+                         JsonNumber(c.contributions[j].second).c_str());
+      }
+      out += "]}";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+}  // namespace sprite::obs

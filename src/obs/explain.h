@@ -1,0 +1,126 @@
+#ifndef SPRITE_OBS_EXPLAIN_H_
+#define SPRITE_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sprite::obs {
+
+struct ExplainOptions {
+  size_t search_capacity = 64;       // retained search decompositions
+  size_t max_candidates = 20;        // ranked docs kept per search
+  size_t decision_capacity = 65536;  // retained learning decisions
+};
+
+// One query term's slice of a search: who was responsible for it, the
+// posting-list size n'_k it answered with, and the IDF weight that every
+// w_Qj*w_ij contribution below was computed from.
+struct TermExplain {
+  std::string term;
+  uint64_t peer = 0;        // responsible indexing peer (0 when skipped)
+  uint32_t indexed_df = 0;  // n'_k: postings fetched for this term
+  double idf = 0.0;
+  bool from_cache = false;  // served by the querying peer's cache
+  bool skipped = false;     // unreachable term skipped by policy
+};
+
+// One ranked candidate with its per-term score contributions
+// (term, w_Qj*w_ij) in query-term order; their sum is the unnormalized
+// dot product behind `score`. `distinct_terms` is the document's distinct
+// term count — the Lee-ranking normalization denominator, not the number
+// of matched query terms (that is `contributions.size()`).
+struct CandidateExplain {
+  uint32_t doc = 0;
+  double score = 0.0;
+  uint32_t distinct_terms = 0;
+  std::vector<std::pair<std::string, double>> contributions;
+};
+
+// Full decomposition of one search.
+struct SearchExplain {
+  uint64_t issuance = 0;  // search sequence number
+  std::string query;      // normalized query spelling, space-joined
+  size_t k = 0;
+  bool served_from_result_cache = false;
+  std::vector<TermExplain> terms;
+  std::vector<CandidateExplain> candidates;
+};
+
+// One owner-side tuning verdict: the Score(t,D)=qScore*log10(QF) inputs
+// behind a publish or withdraw of `term` on `doc` in `round`. `score` is
+// -1 for terms that were never queried (the learner's eviction sentinel).
+struct LearningDecision {
+  uint64_t round = 0;
+  uint32_t doc = 0;
+  uint64_t owner = 0;
+  std::string term;
+  double qscore = 0.0;
+  uint64_t query_freq = 0;
+  double score = -1.0;
+  std::string verdict;  // "publish" | "withdraw"
+};
+
+// Bounded ledgers of search decompositions and learning decisions, plus a
+// publication set used for miss attribution ("was this (doc, term) pair
+// ever published?" distinguishes withdrawn-by-learning from
+// never-indexed). Disabled by default; Record* are no-ops until
+// set_enabled(true).
+class ExplainRecorder {
+ public:
+  ExplainRecorder() = default;
+  explicit ExplainRecorder(ExplainOptions options);
+
+  ExplainRecorder(const ExplainRecorder&) = delete;
+  ExplainRecorder& operator=(const ExplainRecorder&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Mirrors `explain.searches` / `explain.decisions` into `registry`.
+  void AttachMetrics(MetricsRegistry* registry) { metrics_ = registry; }
+
+  void RecordSearch(SearchExplain search);
+  void RecordDecision(LearningDecision decision);
+
+  // Marks (doc, term-id) as having been published to the global index at
+  // least once since the last Clear().
+  void NotePublish(uint32_t doc, uint32_t term);
+  bool EverPublished(uint32_t doc, uint32_t term) const;
+
+  const std::deque<SearchExplain>& searches() const { return searches_; }
+  const std::deque<LearningDecision>& decisions() const { return decisions_; }
+  // Latest retained search, or nullptr when empty.
+  const SearchExplain* latest_search() const {
+    return searches_.empty() ? nullptr : &searches_.back();
+  }
+
+  // Drops ledgers, the publication set, and the mirrored counters. Note:
+  // after a reset, miss attribution is relative to the post-reset epoch
+  // (a pre-reset publish followed by a withdraw reads as never-indexed).
+  void Clear();
+
+  // Header {"format":"sprite-explain-jsonl",...} then one record per
+  // decision ({"type":"decision",...}) and per search
+  // ({"type":"search",...}). Deterministic for identical runs.
+  std::string ToJsonl() const;
+
+  const ExplainOptions& options() const { return options_; }
+
+ private:
+  ExplainOptions options_;
+  bool enabled_ = false;
+  MetricsRegistry* metrics_ = nullptr;
+  std::deque<SearchExplain> searches_;
+  std::deque<LearningDecision> decisions_;
+  std::set<uint64_t> published_;  // (doc << 32) | term-id
+};
+
+}  // namespace sprite::obs
+
+#endif  // SPRITE_OBS_EXPLAIN_H_

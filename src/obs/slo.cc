@@ -1,0 +1,145 @@
+#include "obs/slo.h"
+
+#include <cmath>
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+
+namespace sprite::obs {
+
+const char* SloRuleKindName(SloRuleKind kind) {
+  switch (kind) {
+    case SloRuleKind::kDeltaDrop:
+      return "delta_drop";
+    case SloRuleKind::kUpperBound:
+      return "upper_bound";
+    case SloRuleKind::kSpike:
+      return "spike";
+  }
+  return "unknown";
+}
+
+bool ResolveTimeSeriesMetric(const TimeSeriesPoint& point,
+                             const std::string& metric, double* out) {
+  if (auto it = point.gauges.find(metric); it != point.gauges.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (auto it = point.counters.find(metric); it != point.counters.end()) {
+    *out = static_cast<double>(it->second);
+    return true;
+  }
+  const size_t dot = metric.rfind('.');
+  if (dot == std::string::npos || dot == 0) return false;
+  const std::string name = metric.substr(0, dot);
+  const std::string field = metric.substr(dot + 1);
+  auto it = point.histograms.find(name);
+  if (it == point.histograms.end()) return false;
+  const HistogramView& h = it->second;
+  if (field == "count") {
+    *out = static_cast<double>(h.count);
+  } else if (field == "sum") {
+    *out = h.sum;
+  } else if (field == "mean") {
+    *out = h.mean;
+  } else if (field == "p50") {
+    *out = h.p50;
+  } else if (field == "p90") {
+    *out = h.p90;
+  } else if (field == "p95") {
+    *out = h.p95;
+  } else if (field == "p99") {
+    *out = h.p99;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+size_t SloWatchdog::Evaluate(const TimeSeriesPoint& point,
+                             const TimeSeriesPoint* prev) {
+  size_t fired = 0;
+  for (const SloRule& rule : rules_) {
+    double value = 0.0;
+    if (!ResolveTimeSeriesMetric(point, rule.metric, &value)) continue;
+    double previous = 0.0;
+    bool has_previous = false;
+    if (rule.kind != SloRuleKind::kUpperBound && prev != nullptr) {
+      has_previous = ResolveTimeSeriesMetric(*prev, rule.metric, &previous);
+    }
+    bool fire = false;
+    switch (rule.kind) {
+      case SloRuleKind::kDeltaDrop:
+        fire = has_previous && (previous - value) > rule.threshold;
+        break;
+      case SloRuleKind::kUpperBound:
+        fire = value > rule.threshold;
+        break;
+      case SloRuleKind::kSpike:
+        fire = has_previous && (value - previous) > rule.threshold;
+        break;
+    }
+    if (!fire) continue;
+    ++fired;
+    SloAlert alert;
+    alert.rule = rule.name;
+    alert.metric = rule.metric;
+    alert.kind = rule.kind;
+    alert.point_index = point.index;
+    alert.round = point.round;
+    alert.sim_time_ms = point.sim_time_ms;
+    alert.value = value;
+    alert.previous = previous;
+    alert.has_previous = has_previous;
+    alert.threshold = rule.threshold;
+    alerts_.push_back(alert);
+    if (metrics_ != nullptr) {
+      metrics_->Add("slo.alerts");
+      metrics_->Add("slo.alerts", rule.name, 1);
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      // A zero-duration marker span; the clock does not advance, so the
+      // alert costs no simulated time.
+      tracer_->BeginSpan("slo.alert", "system");
+      tracer_->Annotate("rule", rule.name);
+      tracer_->Annotate("metric", rule.metric);
+      tracer_->Annotate("kind", SloRuleKindName(rule.kind));
+      tracer_->Annotate("value", JsonNumber(value));
+      tracer_->Annotate("threshold", JsonNumber(rule.threshold));
+      if (has_previous) tracer_->Annotate("previous", JsonNumber(previous));
+      tracer_->EndSpan();
+    }
+  }
+  return fired;
+}
+
+void SloWatchdog::ClearAlerts() {
+  alerts_.clear();
+  if (metrics_ != nullptr) metrics_->EraseByName("slo.alerts");
+}
+
+std::string SloWatchdog::ToJsonl() const {
+  std::string out =
+      StrFormat("{\"format\":\"sprite-slo-jsonl\",\"alerts\":%zu,"
+                "\"rules\":%zu}\n",
+                alerts_.size(), rules_.size());
+  for (const SloAlert& a : alerts_) {
+    out += StrFormat(
+        "{\"rule\":\"%s\",\"metric\":\"%s\",\"kind\":\"%s\","
+        "\"point_index\":%llu,\"round\":%llu,\"sim_time_ms\":%s,"
+        "\"value\":%s,\"threshold\":%s",
+        JsonEscape(a.rule).c_str(), JsonEscape(a.metric).c_str(),
+        SloRuleKindName(a.kind),
+        static_cast<unsigned long long>(a.point_index),
+        static_cast<unsigned long long>(a.round),
+        JsonNumber(a.sim_time_ms).c_str(), JsonNumber(a.value).c_str(),
+        JsonNumber(a.threshold).c_str());
+    if (a.has_previous) {
+      out += StrFormat(",\"previous\":%s", JsonNumber(a.previous).c_str());
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace sprite::obs

@@ -1,0 +1,103 @@
+#ifndef SPRITE_OBS_SLO_H_
+#define SPRITE_OBS_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace sprite::obs {
+
+// How a rule compares the observed metric against its threshold.
+enum class SloRuleKind {
+  // Fires when the metric *dropped* by more than `threshold` since the
+  // previous point: (prev - value) > threshold. Needs a previous point.
+  // A negative threshold means "failed to improve by at least
+  // |threshold|", useful for asserting monotone convergence.
+  kDeltaDrop,
+  // Fires when the metric exceeds `threshold` at this point.
+  kUpperBound,
+  // Fires when the metric *rose* by more than `threshold` since the
+  // previous point: (value - prev) > threshold. Needs a previous point.
+  kSpike,
+};
+
+const char* SloRuleKindName(SloRuleKind kind);
+
+// One declarative threshold rule over the time series. `metric` names a
+// captured gauge or counter, or a histogram field as
+// "<histogram>.<count|sum|mean|p50|p90|p95|p99>"
+// (e.g. "latency.search.total_ms.p95").
+struct SloRule {
+  std::string name;    // stable identifier, used as the alert label
+  std::string metric;  // time-series key the rule watches
+  SloRuleKind kind = SloRuleKind::kUpperBound;
+  double threshold = 0.0;
+};
+
+// One structured alert: which rule fired, at which point, and the values
+// that tripped it. `previous` is only meaningful when `has_previous` is
+// set, which never happens for kUpperBound rules (they don't use one).
+struct SloAlert {
+  std::string rule;
+  std::string metric;
+  SloRuleKind kind = SloRuleKind::kUpperBound;
+  uint64_t point_index = 0;
+  uint64_t round = 0;
+  double sim_time_ms = 0.0;
+  double value = 0.0;
+  double previous = 0.0;
+  bool has_previous = false;
+  double threshold = 0.0;
+};
+
+// Evaluates declarative threshold rules against successive time-series
+// points and emits structured alerts into the metrics registry
+// (`slo.alerts` total + per-rule label) and the trace stream (a zero-cost
+// `slo.alert` span annotated with the rule and values).
+class SloWatchdog {
+ public:
+  SloWatchdog() = default;
+
+  SloWatchdog(const SloWatchdog&) = delete;
+  SloWatchdog& operator=(const SloWatchdog&) = delete;
+
+  void AddRule(SloRule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<SloRule>& rules() const { return rules_; }
+
+  void AttachMetrics(MetricsRegistry* registry) { metrics_ = registry; }
+  void AttachTracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Evaluates every rule against `point` (with `prev` as the previous
+  // retained point, or nullptr at the first capture). Returns how many
+  // rules fired.
+  size_t Evaluate(const TimeSeriesPoint& point, const TimeSeriesPoint* prev);
+
+  const std::vector<SloAlert>& alerts() const { return alerts_; }
+
+  // Drops recorded alerts and erases the mirrored registry counters;
+  // rules survive (§8: resets clear *state*, not configuration).
+  void ClearAlerts();
+
+  // Header {"format":"sprite-slo-jsonl","alerts":N,"rules":M} followed by
+  // one record per alert. Deterministic for identical runs.
+  std::string ToJsonl() const;
+
+ private:
+  std::vector<SloRule> rules_;
+  std::vector<SloAlert> alerts_;
+  MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
+};
+
+// Resolves `metric` within a captured point: gauges, then counters (as
+// double), then "<histogram>.<field>". Returns false when absent.
+bool ResolveTimeSeriesMetric(const TimeSeriesPoint& point,
+                             const std::string& metric, double* out);
+
+}  // namespace sprite::obs
+
+#endif  // SPRITE_OBS_SLO_H_

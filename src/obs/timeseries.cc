@@ -1,0 +1,215 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+
+namespace sprite::obs {
+
+namespace {
+
+bool Selected(const std::vector<std::string>& selection,
+              const std::string& name) {
+  if (selection.empty()) return true;
+  return std::find(selection.begin(), selection.end(), name) !=
+         selection.end();
+}
+
+}  // namespace
+
+TimeSeriesRecorder::TimeSeriesRecorder(TimeSeriesOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+const TimeSeriesPoint* TimeSeriesRecorder::Capture(
+    const MetricsSnapshot& snapshot, uint64_t round, double sim_time_ms,
+    const std::string& label) {
+  if (!enabled_) return nullptr;
+  TimeSeriesPoint point;
+  point.index = next_index_++;
+  point.round = round;
+  point.sim_time_ms = sim_time_ms;
+  point.label = label;
+  for (const CounterSample& c : snapshot.counters) {
+    if (!c.id.label.empty()) continue;
+    if (!Selected(options_.counters, c.id.name)) continue;
+    point.counters[c.id.name] = c.value;
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    if (!g.id.label.empty()) continue;
+    if (!Selected(options_.gauges, g.id.name)) continue;
+    point.gauges[g.id.name] = g.value;
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    if (!h.id.label.empty()) continue;
+    if (!Selected(options_.histograms, h.id.name)) continue;
+    HistogramView view;
+    view.count = h.count;
+    view.sum = h.sum;
+    view.mean = h.mean;
+    view.p50 = h.p50;
+    view.p90 = h.p90;
+    view.p95 = h.p95;
+    view.p99 = h.p99;
+    point.histograms[h.id.name] = view;
+  }
+  points_.push_back(std::move(point));
+  while (points_.size() > options_.capacity) points_.pop_front();
+  if (metrics_ != nullptr) metrics_->Add("timeseries.points");
+  return &points_.back();
+}
+
+void TimeSeriesRecorder::Clear() {
+  points_.clear();
+  next_index_ = 0;
+  if (metrics_ != nullptr) metrics_->EraseByName("timeseries.points");
+}
+
+std::string TimeSeriesRecorder::ToJsonl() const {
+  std::string out = StrFormat(
+      "{\"format\":\"sprite-timeseries-jsonl\",\"points\":%zu,"
+      "\"captured\":%llu}\n",
+      points_.size(), static_cast<unsigned long long>(next_index_));
+  const TimeSeriesPoint* prev = nullptr;
+  for (const TimeSeriesPoint& p : points_) {
+    out += StrFormat(
+        "{\"index\":%llu,\"round\":%llu,\"sim_time_ms\":%s,\"label\":\"%s\"",
+        static_cast<unsigned long long>(p.index),
+        static_cast<unsigned long long>(p.round),
+        JsonNumber(p.sim_time_ms).c_str(), JsonEscape(p.label).c_str());
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, total] : p.counters) {
+      uint64_t base = 0;
+      if (prev != nullptr) {
+        auto it = prev->counters.find(name);
+        if (it != prev->counters.end()) base = it->second;
+      }
+      // A counter can shrink across a point if the component owning its
+      // mirror was reset mid-run; clamp the delta at zero.
+      const uint64_t delta = total >= base ? total - base : 0;
+      out += StrFormat("%s\"%s\":{\"total\":%llu,\"delta\":%llu}",
+                       first ? "" : ",", JsonEscape(name).c_str(),
+                       static_cast<unsigned long long>(total),
+                       static_cast<unsigned long long>(delta));
+      first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : p.gauges) {
+      out += StrFormat("%s\"%s\":%s", first ? "" : ",",
+                       JsonEscape(name).c_str(), JsonNumber(value).c_str());
+      first = false;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : p.histograms) {
+      out += StrFormat(
+          "%s\"%s\":{\"count\":%llu,\"sum\":%s,\"mean\":%s,\"p50\":%s,"
+          "\"p90\":%s,\"p95\":%s,\"p99\":%s}",
+          first ? "" : ",", JsonEscape(name).c_str(),
+          static_cast<unsigned long long>(h.count), JsonNumber(h.sum).c_str(),
+          JsonNumber(h.mean).c_str(), JsonNumber(h.p50).c_str(),
+          JsonNumber(h.p90).c_str(), JsonNumber(h.p95).c_str(),
+          JsonNumber(h.p99).c_str());
+      first = false;
+    }
+    out += "}}\n";
+    prev = &p;
+  }
+  return out;
+}
+
+namespace {
+
+std::string CsvCell(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string TimeSeriesRecorder::ToCsv() const {
+  std::set<std::string> counter_keys;
+  std::set<std::string> gauge_keys;
+  std::set<std::string> hist_keys;
+  for (const TimeSeriesPoint& p : points_) {
+    for (const auto& [name, _] : p.counters) counter_keys.insert(name);
+    for (const auto& [name, _] : p.gauges) gauge_keys.insert(name);
+    for (const auto& [name, _] : p.histograms) hist_keys.insert(name);
+  }
+  static const char* kHistFields[] = {"count", "sum",  "mean", "p50",
+                                      "p90",   "p95", "p99"};
+  std::string out = "index,round,sim_time_ms,label";
+  for (const std::string& name : counter_keys) {
+    const std::string cell = CsvCell("c." + name);
+    out += StrFormat(",%s,%s.delta", cell.c_str(), cell.c_str());
+  }
+  for (const std::string& name : gauge_keys) {
+    out += ',';
+    out += CsvCell("g." + name);
+  }
+  for (const std::string& name : hist_keys) {
+    for (const char* field : kHistFields) {
+      out += ',';
+      out += CsvCell("h." + name + "." + field);
+    }
+  }
+  out += '\n';
+  const TimeSeriesPoint* prev = nullptr;
+  for (const TimeSeriesPoint& p : points_) {
+    out += StrFormat("%llu,%llu,%s,%s",
+                     static_cast<unsigned long long>(p.index),
+                     static_cast<unsigned long long>(p.round),
+                     JsonNumber(p.sim_time_ms).c_str(),
+                     CsvCell(p.label).c_str());
+    for (const std::string& name : counter_keys) {
+      auto it = p.counters.find(name);
+      if (it == p.counters.end()) {
+        out += ",,";
+        continue;
+      }
+      uint64_t base = 0;
+      if (prev != nullptr) {
+        auto pit = prev->counters.find(name);
+        if (pit != prev->counters.end()) base = pit->second;
+      }
+      const uint64_t delta = it->second >= base ? it->second - base : 0;
+      out += StrFormat(",%llu,%llu",
+                       static_cast<unsigned long long>(it->second),
+                       static_cast<unsigned long long>(delta));
+    }
+    for (const std::string& name : gauge_keys) {
+      auto it = p.gauges.find(name);
+      out += ',';
+      if (it != p.gauges.end()) out += JsonNumber(it->second);
+    }
+    for (const std::string& name : hist_keys) {
+      auto it = p.histograms.find(name);
+      if (it == p.histograms.end()) {
+        out += ",,,,,,,";
+        continue;
+      }
+      const HistogramView& h = it->second;
+      out += StrFormat(",%llu,%s,%s,%s,%s,%s,%s",
+                       static_cast<unsigned long long>(h.count),
+                       JsonNumber(h.sum).c_str(), JsonNumber(h.mean).c_str(),
+                       JsonNumber(h.p50).c_str(), JsonNumber(h.p90).c_str(),
+                       JsonNumber(h.p95).c_str(), JsonNumber(h.p99).c_str());
+    }
+    out += '\n';
+    prev = &p;
+  }
+  return out;
+}
+
+}  // namespace sprite::obs

@@ -1,0 +1,118 @@
+#ifndef SPRITE_OBS_TIMESERIES_H_
+#define SPRITE_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sprite::obs {
+
+// Selects which metrics a TimeSeriesRecorder captures and how many points
+// it retains. An empty selection list for a kind means "every unlabeled
+// metric of that kind present in the snapshot"; a non-empty list restricts
+// capture to the named metrics (their unlabeled instances). Labeled metrics
+// (per-peer, per-message-type) are never captured — callers that want a
+// per-round view of labeled data publish an unlabeled aggregate gauge first
+// (the benches' `bench.*` convention).
+struct TimeSeriesOptions {
+  size_t capacity = 1024;  // ring-buffer retention, oldest evicted first
+  std::vector<std::string> counters;
+  std::vector<std::string> gauges;
+  std::vector<std::string> histograms;
+};
+
+// Percentile summary of one histogram at capture time.
+struct HistogramView {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// One captured point: the selected metrics at a given simulated time and
+// learning round. `index` is the monotone capture sequence number (it keeps
+// counting across ring evictions), `label` names the capture site
+// ("round", "post-failure", ...). Counter values are cumulative; the
+// exporters derive deltas against the previous *retained* point.
+struct TimeSeriesPoint {
+  uint64_t index = 0;
+  uint64_t round = 0;
+  double sim_time_ms = 0.0;
+  std::string label;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramView> histograms;
+};
+
+// Records periodic snapshots of selected registry metrics into a bounded
+// ring, keyed by simulated time and learning round, and exports them as
+// JSONL (one record per point, delta-vs-cumulative counter views) or CSV.
+// Disabled by default: Capture() is a no-op returning nullptr until
+// set_enabled(true), so the recorder costs nothing when off.
+class TimeSeriesRecorder {
+ public:
+  TimeSeriesRecorder() = default;
+  explicit TimeSeriesRecorder(TimeSeriesOptions options);
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Mirrors `timeseries.points` into `registry` (§8 contract: Clear()
+  // erases the mirror together with the buffer).
+  void AttachMetrics(MetricsRegistry* registry) { metrics_ = registry; }
+
+  // Captures one point from `snapshot`. Returns the stored point (valid
+  // until the next Capture or Clear), or nullptr when disabled.
+  const TimeSeriesPoint* Capture(const MetricsSnapshot& snapshot,
+                                 uint64_t round, double sim_time_ms,
+                                 const std::string& label);
+
+  const std::deque<TimeSeriesPoint>& points() const { return points_; }
+  // Latest retained point, or nullptr when empty.
+  const TimeSeriesPoint* latest() const {
+    return points_.empty() ? nullptr : &points_.back();
+  }
+  // Total points ever captured, including ones evicted from the ring.
+  uint64_t num_captured() const { return next_index_; }
+
+  // Drops every retained point, resets the capture sequence, and erases the
+  // mirrored registry counter. Enabled/options are preserved.
+  void Clear();
+
+  // One JSON object per line: a header record
+  //   {"format":"sprite-timeseries-jsonl","points":N,"captured":M}
+  // then per-point records. Counters render as
+  //   {"total":<cumulative>,"delta":<vs previous retained point>}
+  // (the first retained point's delta equals its total). Deterministic:
+  // identical capture sequences yield byte-identical output.
+  std::string ToJsonl() const;
+
+  // CSV with one row per point. Columns: index,round,sim_time_ms,label,
+  // then the sorted union of captured keys as c.<name> / c.<name>.delta /
+  // g.<name> / h.<name>.<field>. Cells for keys absent from a point are
+  // empty.
+  std::string ToCsv() const;
+
+  const TimeSeriesOptions& options() const { return options_; }
+
+ private:
+  TimeSeriesOptions options_;
+  bool enabled_ = false;
+  MetricsRegistry* metrics_ = nullptr;
+  std::deque<TimeSeriesPoint> points_;
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace sprite::obs
+
+#endif  // SPRITE_OBS_TIMESERIES_H_

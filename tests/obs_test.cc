@@ -3,16 +3,22 @@
 // the simulated-latency model, and the SpriteSystem integration that feeds
 // per-phase metrics from the live system.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/sprite_system.h"
 #include "corpus/corpus.h"
+#include "ir/centralized_index.h"
+#include "obs/explain.h"
 #include "obs/latency_model.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 
 namespace sprite::obs {
 namespace {
@@ -188,6 +194,33 @@ TEST(MetricsSnapshotTest, WriteJsonFileRoundTrips) {
   std::remove(path.c_str());
   ASSERT_EQ(n, json.size());
   EXPECT_EQ(read_back, json);
+}
+
+// Count/sum/percentile consistency of a histogram snapshot on a fully
+// known distribution (the integers 1..100). The nearest-rank percentile
+// definition makes every expected value exact.
+TEST(MetricsRegistryTest, HistogramSnapshotConsistentOnKnownDistribution) {
+  MetricsRegistry reg;
+  for (int v = 1; v <= 100; ++v) {
+    reg.Observe("d", static_cast<double>(v));
+  }
+  const HistogramSample* d = reg.Snapshot().FindHistogram("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count, 100u);
+  EXPECT_DOUBLE_EQ(d->sum, 5050.0);
+  EXPECT_DOUBLE_EQ(d->mean, d->sum / static_cast<double>(d->count));
+  EXPECT_DOUBLE_EQ(d->min, 1.0);
+  EXPECT_DOUBLE_EQ(d->max, 100.0);
+  EXPECT_DOUBLE_EQ(d->p50, 50.0);
+  EXPECT_DOUBLE_EQ(d->p90, 90.0);
+  EXPECT_DOUBLE_EQ(d->p95, 95.0);
+  EXPECT_DOUBLE_EQ(d->p99, 99.0);
+  // Percentiles are monotone and bounded by the observed extremes.
+  EXPECT_LE(d->min, d->p50);
+  EXPECT_LE(d->p50, d->p90);
+  EXPECT_LE(d->p90, d->p95);
+  EXPECT_LE(d->p95, d->p99);
+  EXPECT_LE(d->p99, d->max);
 }
 
 TEST(LoadSkewTest, MaxMeanRatioBasics) {
@@ -468,6 +501,471 @@ TEST_F(ObsIntegrationTest, ExportLoadMetricsPublishesGaugesAndSkew) {
     if (g.id.name == "load.postings" && !g.id.label.empty()) ++labeled;
   }
   EXPECT_GT(labeled, 0u);
+}
+
+// --- Time-series recorder ----------------------------------------------
+
+TEST(TimeSeriesTest, DisabledCaptureIsNoOp) {
+  MetricsRegistry reg;
+  reg.Add("c", 3);
+  TimeSeriesRecorder rec;
+  EXPECT_EQ(rec.Capture(reg.Snapshot(), 0, 0.0, "x"), nullptr);
+  EXPECT_TRUE(rec.points().empty());
+  EXPECT_EQ(rec.num_captured(), 0u);
+}
+
+TEST(TimeSeriesTest, CapturesUnlabeledMetricsWithCounterDeltas) {
+  MetricsRegistry reg;
+  reg.Add("c", 5);
+  reg.Add("c", "some-label", 99);  // labeled: never captured
+  reg.Set("g", 1.5);
+  reg.Observe("h", 10.0);
+  MetricsRegistry mirror;
+  TimeSeriesRecorder rec;
+  rec.AttachMetrics(&mirror);
+  rec.set_enabled(true);
+
+  const TimeSeriesPoint* p1 = rec.Capture(reg.Snapshot(), 1, 100.0, "a");
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->index, 0u);
+  EXPECT_EQ(p1->round, 1u);
+  EXPECT_DOUBLE_EQ(p1->sim_time_ms, 100.0);
+  EXPECT_EQ(p1->label, "a");
+  ASSERT_EQ(p1->counters.count("c"), 1u);
+  EXPECT_EQ(p1->counters.at("c"), 5u);
+  EXPECT_DOUBLE_EQ(p1->gauges.at("g"), 1.5);
+  EXPECT_EQ(p1->histograms.at("h").count, 1u);
+  EXPECT_EQ(p1->counters.size(), 1u);  // the labeled instance is excluded
+
+  reg.Add("c", 2);
+  const TimeSeriesPoint* p2 = rec.Capture(reg.Snapshot(), 2, 200.0, "b");
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->counters.at("c"), 7u);
+  EXPECT_EQ(mirror.counter("timeseries.points"), 2u);
+
+  const std::string jsonl = rec.ToJsonl();
+  EXPECT_NE(jsonl.find("\"format\":\"sprite-timeseries-jsonl\""),
+            std::string::npos);
+  // Cumulative + delta views: the second point gained 2 on 'c'.
+  EXPECT_NE(jsonl.find("\"total\":7,\"delta\":2"), std::string::npos);
+  // First point's delta equals its total.
+  EXPECT_NE(jsonl.find("\"total\":5,\"delta\":5"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, SelectionListsRestrictCapture) {
+  MetricsRegistry reg;
+  reg.Add("keep", 1);
+  reg.Add("drop", 1);
+  reg.Set("keep.g", 1.0);
+  reg.Set("drop.g", 2.0);
+  TimeSeriesOptions options;
+  options.counters = {"keep"};
+  options.gauges = {"keep.g"};
+  TimeSeriesRecorder rec(options);
+  rec.set_enabled(true);
+  const TimeSeriesPoint* p = rec.Capture(reg.Snapshot(), 0, 0.0, "");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->counters.count("keep"), 1u);
+  EXPECT_EQ(p->counters.count("drop"), 0u);
+  EXPECT_EQ(p->gauges.count("keep.g"), 1u);
+  EXPECT_EQ(p->gauges.count("drop.g"), 0u);
+}
+
+TEST(TimeSeriesTest, RingRetentionEvictsOldestAndClearResets) {
+  MetricsRegistry reg;
+  reg.Add("c", 1);
+  MetricsRegistry mirror;
+  TimeSeriesOptions options;
+  options.capacity = 2;
+  TimeSeriesRecorder rec(options);
+  rec.AttachMetrics(&mirror);
+  rec.set_enabled(true);
+  for (uint64_t i = 0; i < 3; ++i) {
+    reg.Add("c", 1);
+    ASSERT_NE(rec.Capture(reg.Snapshot(), i, 0.0, "p"), nullptr);
+  }
+  ASSERT_EQ(rec.points().size(), 2u);
+  EXPECT_EQ(rec.num_captured(), 3u);
+  EXPECT_EQ(rec.points().front().index, 1u);  // index 0 evicted
+  EXPECT_EQ(rec.points().back().index, 2u);
+  EXPECT_EQ(mirror.counter("timeseries.points"), 3u);
+
+  rec.Clear();
+  EXPECT_TRUE(rec.points().empty());
+  EXPECT_EQ(rec.num_captured(), 0u);
+  EXPECT_EQ(mirror.counter("timeseries.points"), 0u);
+  EXPECT_TRUE(rec.enabled());  // configuration survives the reset
+
+  // The sequence restarts from zero, as a fresh epoch.
+  ASSERT_NE(rec.Capture(reg.Snapshot(), 9, 0.0, "q"), nullptr);
+  EXPECT_EQ(rec.points().front().index, 0u);
+}
+
+TEST(TimeSeriesTest, CsvHasStableColumnsAndEmptyCells) {
+  MetricsRegistry reg;
+  reg.Add("c", 4);
+  TimeSeriesRecorder rec;
+  rec.set_enabled(true);
+  ASSERT_NE(rec.Capture(reg.Snapshot(), 0, 1.0, "one"), nullptr);
+  reg.Set("late.g", 7.0);  // appears only from the second point on
+  ASSERT_NE(rec.Capture(reg.Snapshot(), 1, 2.0, "two"), nullptr);
+  const std::string csv = rec.ToCsv();
+  EXPECT_EQ(csv.rfind("index,round,sim_time_ms,label", 0), 0u);
+  EXPECT_NE(csv.find("c.c,c.c.delta"), std::string::npos);
+  EXPECT_NE(csv.find("g.late.g"), std::string::npos);
+  // Three lines: header + two points.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+// --- SLO watchdog -------------------------------------------------------
+
+TimeSeriesPoint MakePoint(uint64_t index, double recall, uint64_t queries) {
+  TimeSeriesPoint p;
+  p.index = index;
+  p.round = index;
+  p.gauges["bench.recall_ratio"] = recall;
+  p.counters["search.queries"] = queries;
+  HistogramView h;
+  h.count = 10;
+  h.p95 = 120.0;
+  p.histograms["latency.search.total_ms"] = h;
+  return p;
+}
+
+TEST(SloTest, ResolveTimeSeriesMetricFindsEveryKind) {
+  TimeSeriesPoint p = MakePoint(0, 0.8, 42);
+  double v = 0.0;
+  ASSERT_TRUE(ResolveTimeSeriesMetric(p, "bench.recall_ratio", &v));
+  EXPECT_DOUBLE_EQ(v, 0.8);
+  ASSERT_TRUE(ResolveTimeSeriesMetric(p, "search.queries", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+  ASSERT_TRUE(ResolveTimeSeriesMetric(p, "latency.search.total_ms.p95", &v));
+  EXPECT_DOUBLE_EQ(v, 120.0);
+  ASSERT_TRUE(ResolveTimeSeriesMetric(p, "latency.search.total_ms.count", &v));
+  EXPECT_DOUBLE_EQ(v, 10.0);
+  EXPECT_FALSE(ResolveTimeSeriesMetric(p, "absent", &v));
+  EXPECT_FALSE(ResolveTimeSeriesMetric(p, "latency.search.total_ms.p42", &v));
+}
+
+TEST(SloTest, UpperBoundFiresOnlyAboveThreshold) {
+  SloWatchdog dog;
+  dog.AddRule({"p95-budget", "latency.search.total_ms.p95",
+               SloRuleKind::kUpperBound, 150.0});
+  TimeSeriesPoint ok = MakePoint(0, 0.8, 1);
+  EXPECT_EQ(dog.Evaluate(ok, nullptr), 0u);
+  TimeSeriesPoint slow = MakePoint(1, 0.8, 2);
+  slow.histograms["latency.search.total_ms"].p95 = 151.0;
+  EXPECT_EQ(dog.Evaluate(slow, &ok), 1u);
+  ASSERT_EQ(dog.alerts().size(), 1u);
+  EXPECT_EQ(dog.alerts()[0].rule, "p95-budget");
+  EXPECT_DOUBLE_EQ(dog.alerts()[0].value, 151.0);
+  EXPECT_FALSE(dog.alerts()[0].has_previous);
+}
+
+TEST(SloTest, DeltaDropComparesAgainstPrevious) {
+  SloWatchdog dog;
+  dog.AddRule({"recall-drop", "bench.recall_ratio", SloRuleKind::kDeltaDrop,
+               0.05});
+  TimeSeriesPoint first = MakePoint(0, 0.80, 1);
+  // No previous point: delta rules cannot fire at the first capture.
+  EXPECT_EQ(dog.Evaluate(first, nullptr), 0u);
+  TimeSeriesPoint dip = MakePoint(1, 0.70, 2);
+  EXPECT_EQ(dog.Evaluate(dip, &first), 1u);
+  ASSERT_EQ(dog.alerts().size(), 1u);
+  EXPECT_TRUE(dog.alerts()[0].has_previous);
+  EXPECT_DOUBLE_EQ(dog.alerts()[0].previous, 0.80);
+  EXPECT_DOUBLE_EQ(dog.alerts()[0].value, 0.70);
+  // A small dip within the threshold stays quiet.
+  TimeSeriesPoint small = MakePoint(2, 0.66, 3);
+  EXPECT_EQ(dog.Evaluate(small, &dip), 0u);
+}
+
+TEST(SloTest, NegativeDeltaDropThresholdAssertsImprovement) {
+  // threshold -0.02 means "fire unless the metric improved by > 0.02" —
+  // the convergence watchdog tools/ci.sh arms on the Fig. 4(a) curve.
+  SloWatchdog dog;
+  dog.AddRule({"must-improve", "bench.recall_ratio", SloRuleKind::kDeltaDrop,
+               -0.02});
+  TimeSeriesPoint a = MakePoint(0, 0.60, 1);
+  TimeSeriesPoint improved = MakePoint(1, 0.70, 2);
+  EXPECT_EQ(dog.Evaluate(improved, &a), 0u);
+  TimeSeriesPoint flat = MakePoint(2, 0.71, 3);
+  EXPECT_EQ(dog.Evaluate(flat, &improved), 1u);  // +0.01 < required +0.02
+}
+
+TEST(SloTest, SpikeFiresOnRise) {
+  SloWatchdog dog;
+  dog.AddRule({"stale-spike", "search.queries", SloRuleKind::kSpike, 5.0});
+  TimeSeriesPoint a = MakePoint(0, 0.8, 10);
+  TimeSeriesPoint b = MakePoint(1, 0.8, 14);
+  EXPECT_EQ(dog.Evaluate(b, &a), 0u);  // +4 <= 5
+  TimeSeriesPoint c = MakePoint(2, 0.8, 20);
+  EXPECT_EQ(dog.Evaluate(c, &b), 1u);  // +6 > 5
+}
+
+TEST(SloTest, AlertsMirroredIntoRegistryAndCleared) {
+  MetricsRegistry reg;
+  SloWatchdog dog;
+  dog.AttachMetrics(&reg);
+  dog.AddRule({"bound", "bench.recall_ratio", SloRuleKind::kUpperBound, 0.5});
+  TimeSeriesPoint p = MakePoint(0, 0.9, 1);
+  EXPECT_EQ(dog.Evaluate(p, nullptr), 1u);
+  EXPECT_EQ(reg.counter("slo.alerts"), 1u);
+  EXPECT_EQ(reg.counter("slo.alerts", "bound"), 1u);
+  EXPECT_NE(dog.ToJsonl().find("\"format\":\"sprite-slo-jsonl\""),
+            std::string::npos);
+
+  dog.ClearAlerts();
+  EXPECT_TRUE(dog.alerts().empty());
+  EXPECT_EQ(reg.counter("slo.alerts"), 0u);
+  EXPECT_EQ(reg.counter("slo.alerts", "bound"), 0u);
+  // §8: resets clear state, not configuration.
+  EXPECT_EQ(dog.rules().size(), 1u);
+}
+
+// --- Explain ledger + miss attribution + §8 reset audit -----------------
+
+core::SpriteConfig TelemetryConfig() {
+  core::SpriteConfig c = SmallConfig();
+  c.enable_timeseries = true;
+  c.enable_explain = true;
+  return c;
+}
+
+TEST_F(ObsIntegrationTest, ExplainDecomposesSearch) {
+  core::SpriteSystem system(TelemetryConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  ASSERT_TRUE(system.Search(Q(1, {"cat", "dog"}), 10).ok());
+
+  const SearchExplain* ex = system.explainer().latest_search();
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->query, "cat dog");
+  EXPECT_FALSE(ex->served_from_result_cache);
+  ASSERT_EQ(ex->terms.size(), 2u);
+  for (const TermExplain& t : ex->terms) {
+    EXPECT_FALSE(t.skipped);
+    EXPECT_NE(t.peer, 0u);
+    EXPECT_GT(t.indexed_df, 0u);  // both terms are initially indexed
+    EXPECT_GT(t.idf, 0.0);
+  }
+  ASSERT_FALSE(ex->candidates.empty());
+  for (const CandidateExplain& c : ex->candidates) {
+    EXPECT_GT(c.score, 0.0);
+    // The normalization denominator: the doc's distinct terms, at least
+    // as many as the query terms that matched it.
+    EXPECT_GE(c.distinct_terms, c.contributions.size());
+    ASSERT_FALSE(c.contributions.empty());
+    for (const auto& [term, w] : c.contributions) {
+      EXPECT_TRUE(term == "cat" || term == "dog") << term;
+      EXPECT_GT(w, 0.0);
+    }
+  }
+  EXPECT_EQ(system.metrics().counter("explain.searches"), 1u);
+}
+
+TEST_F(ObsIntegrationTest, ExplainLedgerRecordsPublishAndWithdraw) {
+  core::SpriteConfig config = TelemetryConfig();
+  config.max_index_terms = 2;       // at the cap: adding forces eviction
+  config.terms_per_iteration = 1;
+  core::SpriteSystem system(config);
+  // The query must share an indexed term ("cat") with doc 0: owners only
+  // discover queries by polling the peers of their *indexed* terms, so a
+  // pure-"whisker" query would sit at peer(whisker), never polled.
+  system.RecordQuery(Q(1, {"cat", "whisker"}));
+  system.RecordQuery(Q(2, {"cat", "whisker"}));
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  system.RunLearningIteration();
+
+  const auto& decisions = system.explainer().decisions();
+  ASSERT_FALSE(decisions.empty());
+  bool published_whisker = false, withdrew_initial = false;
+  for (const LearningDecision& d : decisions) {
+    EXPECT_EQ(d.round, 1u);
+    if (d.verdict == "publish" && d.term == "whisker") {
+      published_whisker = true;
+      EXPECT_GT(d.qscore, 0.0);
+      EXPECT_GE(d.query_freq, 2u);
+      EXPECT_GE(d.score, 0.0);  // Score(t,D) = qScore * log10(QF)
+    }
+    if (d.verdict == "withdraw") {
+      withdrew_initial = true;
+      // The evicted term was never queried: the learner's -1 sentinel.
+      EXPECT_LT(d.score, 0.0);
+    }
+  }
+  EXPECT_TRUE(published_whisker);
+  EXPECT_TRUE(withdrew_initial);
+  EXPECT_EQ(system.metrics().counter("explain.decisions"),
+            decisions.size());
+}
+
+TEST_F(ObsIntegrationTest, MissAttributionNeverIndexed) {
+  core::SpriteSystem system(TelemetryConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  // "purr" is below doc 0's two initial index terms and no learning ran.
+  auto results = system.Search(Q(1, {"purr"}), 0, /*record=*/false);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+  auto attribution = system.AttributeMisses(Q(1, {"purr"}), {0});
+  ASSERT_EQ(attribution.size(), 1u);
+  EXPECT_EQ(attribution[0].doc, 0u);
+  EXPECT_EQ(attribution[0].cause, core::MissCause::kNeverIndexed);
+  EXPECT_EQ(attribution[0].term, "purr");
+}
+
+TEST_F(ObsIntegrationTest, MissAttributionWithdrawnByLearning) {
+  core::SpriteConfig config = TelemetryConfig();
+  config.max_index_terms = 2;
+  config.terms_per_iteration = 1;
+  core::SpriteSystem system(config);
+  system.RecordQuery(Q(1, {"cat", "whisker"}));
+  system.RecordQuery(Q(2, {"cat", "whisker"}));
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  system.RunLearningIteration();
+
+  // Find the term learning evicted from doc 0 and query exactly it.
+  std::string withdrawn;
+  for (const LearningDecision& d : system.explainer().decisions()) {
+    if (d.verdict == "withdraw" && d.doc == 0) withdrawn = d.term;
+  }
+  ASSERT_FALSE(withdrawn.empty());
+  auto results = system.Search(Q(3, {withdrawn}), 0, /*record=*/false);
+  ASSERT_TRUE(results.ok());
+  for (const auto& scored : *results) EXPECT_NE(scored.doc, 0u);
+  auto attribution = system.AttributeMisses(Q(3, {withdrawn}), {0});
+  ASSERT_EQ(attribution.size(), 1u);
+  EXPECT_EQ(attribution[0].cause, core::MissCause::kWithdrawn);
+  EXPECT_EQ(attribution[0].term, withdrawn);
+}
+
+TEST_F(ObsIntegrationTest, MissAttributionChurnLost) {
+  core::SpriteSystem system(TelemetryConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  // Kill the indexing peer responsible for "cat"; with replication off its
+  // postings are gone even though the owners still list the term.
+  auto node = system.ring().ResponsibleNode(
+      system.ring().space().KeyForString("cat"));
+  ASSERT_TRUE(node.ok());
+  ASSERT_TRUE(system.FailPeer(node.value()).ok());
+  system.StabilizeNetwork(2);
+
+  auto results = system.Search(Q(1, {"cat"}), 0, /*record=*/false);
+  ASSERT_TRUE(results.ok());
+  for (const auto& scored : *results) EXPECT_NE(scored.doc, 0u);
+  auto attribution = system.AttributeMisses(Q(1, {"cat"}), {0});
+  ASSERT_EQ(attribution.size(), 1u);
+  EXPECT_EQ(attribution[0].cause, core::MissCause::kChurnLost);
+  EXPECT_EQ(attribution[0].term, "cat");
+}
+
+// Every document the centralized oracle retrieves but SPRITE (at k = 0,
+// i.e. no ranking cutoff) does not must be attributed to exactly one of
+// the three causes — the ISSUE's structural guarantee.
+TEST_F(ObsIntegrationTest, EveryMissAgainstCentralizedIsAttributed) {
+  core::SpriteSystem system(TelemetryConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  ir::CentralizedIndex centralized(corpus_);
+
+  const std::vector<corpus::Query> queries = {
+      Q(1, {"cat", "dog"}), Q(2, {"purr"}), Q(3, {"leash", "bark"}),
+      Q(4, {"pet", "food"})};
+  for (const corpus::Query& q : queries) {
+    auto results = system.Search(q, 0, /*record=*/false);
+    ASSERT_TRUE(results.ok());
+    std::vector<bool> got(corpus_.num_docs(), false);
+    for (const auto& scored : *results) got[scored.doc] = true;
+    std::vector<corpus::DocId> missed;
+    for (const auto& scored : centralized.Search(q, 0)) {
+      if (!got[scored.doc]) missed.push_back(scored.doc);
+    }
+    auto attribution = system.AttributeMisses(q, missed);
+    ASSERT_EQ(attribution.size(), missed.size());
+    for (size_t i = 0; i < missed.size(); ++i) {
+      EXPECT_EQ(attribution[i].doc, missed[i]);
+      EXPECT_FALSE(attribution[i].term.empty());
+      const char* name = core::MissCauseName(attribution[i].cause);
+      EXPECT_TRUE(std::string(name) == "never-indexed" ||
+                  std::string(name) == "withdrawn-by-learning" ||
+                  std::string(name) == "churn-lost")
+          << name;
+    }
+  }
+}
+
+// §8 reset audit: ClearMetrics() must zero the time-series buffer, both
+// explain ledgers, and the alert state together with their mirrored
+// counters — and each subsystem must keep working afterwards.
+TEST_F(ObsIntegrationTest, ClearMetricsResetsTelemetryLedgersAndMirrors) {
+  core::SpriteSystem system(TelemetryConfig());
+  system.mutable_slo().AddRule(
+      {"alive-bound", "peers.alive", SloRuleKind::kUpperBound, 1.0});
+  system.RecordQuery(Q(1, {"cat", "whisker"}));
+  system.RecordQuery(Q(2, {"cat", "whisker"}));
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  system.RunLearningIteration();
+  ASSERT_TRUE(system.Search(Q(3, {"cat"}), 10).ok());
+  ASSERT_NE(system.CaptureTimeSeriesPoint("audit"), nullptr);
+
+  ASSERT_FALSE(system.timeseries().points().empty());
+  ASSERT_FALSE(system.explainer().searches().empty());
+  ASSERT_FALSE(system.explainer().decisions().empty());
+  ASSERT_FALSE(system.slo().alerts().empty());  // 16 alive peers > 1.0
+  const MetricsRegistry& m = system.metrics();
+  ASSERT_GT(m.counter("timeseries.points"), 0u);
+  ASSERT_GT(m.counter("explain.searches"), 0u);
+  ASSERT_GT(m.counter("explain.decisions"), 0u);
+  ASSERT_GT(m.counter("slo.alerts"), 0u);
+
+  system.ClearMetrics();
+
+  EXPECT_TRUE(system.timeseries().points().empty());
+  EXPECT_EQ(system.timeseries().num_captured(), 0u);
+  EXPECT_TRUE(system.explainer().searches().empty());
+  EXPECT_TRUE(system.explainer().decisions().empty());
+  EXPECT_TRUE(system.slo().alerts().empty());
+  EXPECT_EQ(m.counter("timeseries.points"), 0u);
+  EXPECT_EQ(m.counter("explain.searches"), 0u);
+  EXPECT_EQ(m.counter("explain.decisions"), 0u);
+  EXPECT_EQ(m.counter("slo.alerts"), 0u);
+  // Rules are configuration, not state: they survive.
+  EXPECT_EQ(system.slo().rules().size(), 1u);
+
+  // The subsystems stay live after the reset.
+  ASSERT_TRUE(system.Search(Q(4, {"dog"}), 10).ok());
+  EXPECT_EQ(system.explainer().searches().size(), 1u);
+  const TimeSeriesPoint* p = system.CaptureTimeSeriesPoint("fresh");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->index, 0u);  // fresh epoch
+  EXPECT_EQ(m.counter("slo.alerts", "alive-bound"), 1u);  // re-fires
+}
+
+// §8 determinism contract: identical seeds and identical operation
+// sequences must yield byte-identical telemetry dumps.
+TEST_F(ObsIntegrationTest, TelemetryDumpsAreDeterministic) {
+  auto run = [this]() {
+    core::SpriteSystem system(TelemetryConfig());
+    system.mutable_slo().AddRule(
+        {"recall-drop", "bench.recall_ratio", SloRuleKind::kDeltaDrop, 0.1});
+    system.RecordQuery(Q(1, {"whisker"}));
+    EXPECT_TRUE(system.ShareCorpus(corpus_).ok());
+    system.RunLearningIteration();
+    EXPECT_TRUE(system.Search(Q(2, {"cat", "dog"}), 10).ok());
+    system.mutable_metrics().Set("bench.recall_ratio", 0.9);
+    system.CaptureTimeSeriesPoint("a");
+    system.mutable_metrics().Set("bench.recall_ratio", 0.5);
+    system.CaptureTimeSeriesPoint("b");  // drop of 0.4 > 0.1: one alert
+    EXPECT_EQ(system.slo().alerts().size(), 1u);
+    return std::make_tuple(system.timeseries().ToJsonl(),
+                           system.timeseries().ToCsv(),
+                           system.explainer().ToJsonl(),
+                           system.slo().ToJsonl());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(std::get<0>(first), std::get<0>(second));
+  EXPECT_EQ(std::get<1>(first), std::get<1>(second));
+  EXPECT_EQ(std::get<2>(first), std::get<2>(second));
+  EXPECT_EQ(std::get<3>(first), std::get<3>(second));
 }
 
 }  // namespace

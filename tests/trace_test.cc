@@ -5,6 +5,7 @@
 // tree sums to the latency.search.total_ms observation, deterministically
 // across identical runs.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -430,6 +431,85 @@ TEST(TraceIntegrationTest, RetentionStaysBoundedOnTheLiveSystem) {
   EXPECT_EQ(system.tracer().num_started(), 50u);
   EXPECT_LE(system.tracer().num_retained(),
             options.max_traces + options.keep_slowest);
+}
+
+// --- Report edge cases --------------------------------------------------
+
+TEST(TraceReportTest, EmptyTraceDumpIsARecognizedError) {
+  std::vector<TraceSpanRecord> spans;
+  std::string error;
+  EXPECT_FALSE(ParseTraceDump("", &spans, &error));
+  EXPECT_FALSE(error.empty());
+
+  // A dump from an enabled tracer that never traced anything parses to
+  // the same recognized error (header line only, no spans).
+  Tracer t;
+  t.set_enabled(true);
+  spans.clear();
+  error.clear();
+  EXPECT_FALSE(ParseTraceDump(t.ToJsonl(), &spans, &error));
+  EXPECT_FALSE(error.empty());
+
+  // The renderer itself tolerates an empty span list without crashing.
+  EXPECT_FALSE(RenderTraceReport({}, 5).empty());
+}
+
+TEST(TraceReportTest, SingleSpanTraceRendersItsFullDuration) {
+  Tracer t;
+  t.set_enabled(true);
+  t.BeginSpan("lonely", "peer-x");
+  t.clock().AdvanceMs(42.0);
+  t.EndSpan();
+
+  std::vector<TraceSpanRecord> spans;
+  std::string error;
+  ASSERT_TRUE(ParseTraceDump(t.ToJsonl(), &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_DOUBLE_EQ(spans[0].dur_ms, 42.0);
+  // With no children, the span's self time is its full duration.
+  const std::string report = RenderTraceReport(spans, 1);
+  EXPECT_NE(report.find("lonely"), std::string::npos);
+  EXPECT_NE(report.find("peer-x"), std::string::npos);
+  EXPECT_NE(report.find("42"), std::string::npos);
+}
+
+TEST(TraceReportTest, WrappedSlowestRingStillReportsTheSlowest) {
+  TraceOptions options;
+  options.sample_every = 1;
+  options.max_traces = 2;
+  options.keep_slowest = 2;
+  Tracer t(options);
+  t.set_enabled(true);
+  // The slowest operations (90 ms, 70 ms) land early and mid-stream, so
+  // the 2-entry sampling ring evicts them and the slowest-K reservoir
+  // must replace its own contents as slower traces arrive ("wrap").
+  const double durations[] = {10, 20, 90, 30, 15, 25, 70, 5, 12, 18};
+  // Root name "search": the report's slowest-K section only considers
+  // search operations.
+  for (double d : durations) RunTrace(t, d, "search");
+  EXPECT_LE(t.num_retained(), options.max_traces + options.keep_slowest);
+
+  std::vector<TraceSpanRecord> spans;
+  std::string error;
+  ASSERT_TRUE(ParseTraceDump(t.ToJsonl(), &spans, &error)) << error;
+  std::vector<double> root_durations;
+  for (const TraceSpanRecord& s : spans) {
+    if (s.parent_id == 0) root_durations.push_back(s.dur_ms);
+  }
+  EXPECT_LE(root_durations.size(), 4u);
+  // The reservoir held on to exactly the two slowest operations.
+  EXPECT_NE(std::find(root_durations.begin(), root_durations.end(), 90.0),
+            root_durations.end());
+  EXPECT_NE(std::find(root_durations.begin(), root_durations.end(), 70.0),
+            root_durations.end());
+  // And they survive into the rendered slowest-K section, slowest first.
+  const std::string report = RenderTraceReport(spans, 2);
+  const size_t at90 = report.find("90.0");
+  const size_t at70 = report.find("70.0");
+  EXPECT_NE(at90, std::string::npos);
+  EXPECT_NE(at70, std::string::npos);
+  EXPECT_LT(at90, at70);
 }
 
 }  // namespace

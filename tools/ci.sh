@@ -79,6 +79,44 @@ assert report["end_to_end"]["speedup"] >= 1.0, report["end_to_end"]
 EOF
 echo "perf smoke OK"
 
+echo "== telemetry smoke: per-round time series, SLO alert, determinism =="
+# One time-series record per learning round; the final record's recall
+# gauge must equal the end-state metrics gauge exactly; the seeded
+# recall-drop rule ("improve by >= 0.02 each round") fires exactly once
+# at this scale (the round-3 flattening tail).
+./build/bench/fig4a_num_answers --docs=200 --peers=16 \
+  --timeseries-jsonl="$SMOKE_DIR/ts.jsonl" \
+  --timeseries-csv="$SMOKE_DIR/ts.csv" \
+  --slo-recall-drop=-0.02 --slo-jsonl="$SMOKE_DIR/slo.jsonl" \
+  --metrics-json="$SMOKE_DIR/ts_metrics.json" >/dev/null
+python3 - "$SMOKE_DIR/ts.jsonl" "$SMOKE_DIR/slo.jsonl" \
+  "$SMOKE_DIR/ts_metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert lines[0].get("format") == "sprite-timeseries-jsonl", lines[0]
+points = lines[1:]
+assert [p["round"] for p in points] == [0, 1, 2, 3], points
+with open(sys.argv[3]) as f:
+    gauges = {g["name"]: g["value"] for g in json.load(f)["gauges"]}
+final = points[-1]["gauges"]["bench.recall_ratio"]
+assert final == gauges["bench.recall_ratio"], (final, gauges["bench.recall_ratio"])
+with open(sys.argv[2]) as f:
+    slo = [json.loads(line) for line in f if line.strip()]
+assert slo[0].get("format") == "sprite-slo-jsonl", slo[0]
+alerts = [a for a in slo[1:] if a.get("rule") == "recall-drop"]
+assert len(alerts) == 1, alerts
+EOF
+# Same seed twice must produce byte-identical telemetry dumps.
+./build/bench/fig4a_num_answers --docs=200 --peers=16 \
+  --timeseries-jsonl="$SMOKE_DIR/ts2.jsonl" \
+  --timeseries-csv="$SMOKE_DIR/ts2.csv" \
+  --slo-recall-drop=-0.02 --slo-jsonl="$SMOKE_DIR/slo2.jsonl" >/dev/null
+cmp "$SMOKE_DIR/ts.jsonl" "$SMOKE_DIR/ts2.jsonl"
+cmp "$SMOKE_DIR/ts.csv" "$SMOKE_DIR/ts2.csv"
+cmp "$SMOKE_DIR/slo.jsonl" "$SMOKE_DIR/slo2.jsonl"
+echo "telemetry smoke OK"
+
 if [ "${1:-}" = "--asan" ]; then
   echo "== sanitizers: ASan + UBSan build =="
   cmake -B build-asan -S . \

@@ -17,6 +17,20 @@
 //       or by any bench): critical-path breakdown per phase, the top-N
 //       slowest searches as span trees, and per-peer busy time.
 //
+//   sprite_cli explain <corpus.tsv> "<keywords>" [options]
+//       Like `search`, but teaches the network the query (--train
+//       issuances + --iters learning rounds) and then explains one
+//       search end to end: which peer served each query term (with n'_k
+//       and IDF), the per-term w_Qj*w_ij contribution behind every
+//       ranked answer, and — against the centralized oracle — why each
+//       relevant-but-missed document was missed (never-indexed,
+//       withdrawn-by-learning, or churn-lost).
+//
+//   sprite_cli learning-ledger <corpus.tsv> "<keywords>" [options]
+//       Same training setup, but prints the per-round decision ledger:
+//       every publish/withdraw verdict with its Score(t,D) =
+//       qScore * log10(QF) inputs (Section 5's Algorithm 1).
+//
 // Common options:
 //   --peers=N     network size                (default 64)
 //   --terms=N     max index terms/document    (default 20)
@@ -32,12 +46,18 @@
 //                 trace-event JSON (open at ui.perfetto.dev)
 //   --trace-jsonl=PATH   enable tracing; dump one JSON span per line
 //                 (input of `sprite_cli trace-report`)
+//   --train=N     (explain/learning-ledger) times the query is recorded
+//                 into peer histories before learning   (default 8)
+//   --explain-jsonl=PATH (explain/learning-ledger) dump the explain
+//                 ledger (decisions + search decompositions) as JSONL
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/cache.h"
@@ -62,10 +82,12 @@ struct Options {
   size_t iters = 3;
   size_t k = 20;
   uint64_t seed = 42;
+  size_t train = 8;          // explain/learning-ledger: recorded issuances
   std::string cache;         // "", "on", "off", "blind"
   std::string metrics_json;  // empty: no dump
   std::string trace_json;    // empty: no Perfetto dump
   std::string trace_jsonl;   // empty: no JSONL dump
+  std::string explain_jsonl; // empty: no explain-ledger dump
 };
 
 Options ParseOptions(int argc, char** argv, int first) {
@@ -74,9 +96,11 @@ Options ParseOptions(int argc, char** argv, int first) {
   constexpr const char kTraceFlag[] = "--trace-json=";
   constexpr const char kTraceJsonlFlag[] = "--trace-jsonl=";
   constexpr const char kCacheFlag[] = "--cache=";
+  constexpr const char kExplainJsonlFlag[] = "--explain-jsonl=";
   for (int i = first; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::sscanf(argv[i], "--peers=%llu", &v) == 1) o.peers = v;
+    if (std::sscanf(argv[i], "--train=%llu", &v) == 1) o.train = v;
     if (std::sscanf(argv[i], "--terms=%llu", &v) == 1) o.terms = v;
     if (std::sscanf(argv[i], "--iters=%llu", &v) == 1) o.iters = v;
     if (std::sscanf(argv[i], "--k=%llu", &v) == 1) o.k = v;
@@ -86,6 +110,10 @@ Options ParseOptions(int argc, char** argv, int first) {
     }
     if (std::strncmp(argv[i], kMetricsFlag, sizeof(kMetricsFlag) - 1) == 0) {
       o.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
+    }
+    if (std::strncmp(argv[i], kExplainJsonlFlag,
+                     sizeof(kExplainJsonlFlag) - 1) == 0) {
+      o.explain_jsonl = argv[i] + sizeof(kExplainJsonlFlag) - 1;
     }
     if (std::strncmp(argv[i], kTraceJsonlFlag,
                      sizeof(kTraceJsonlFlag) - 1) == 0) {
@@ -312,6 +340,197 @@ int CmdEvaluateTrec(int argc, char** argv) {
   return 0;
 }
 
+// Dumps the explain ledger when --explain-jsonl was given.
+void MaybeDumpExplain(const Options& options,
+                      const core::SpriteSystem& system) {
+  if (options.explain_jsonl.empty()) return;
+  if (obs::WriteJsonFile(options.explain_jsonl,
+                         system.explainer().ToJsonl())) {
+    std::printf("explain ledger written to %s\n",
+                options.explain_jsonl.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write explain ledger to %s\n",
+                 options.explain_jsonl.c_str());
+  }
+}
+
+// Shared setup for explain/learning-ledger: loads the TSV corpus, builds
+// a system with the explain ledger on, records the query --train times
+// (so learning has a QF signal), shares the corpus, and runs --iters
+// learning rounds. Returns 0 on success, else a process exit code.
+int SetupExplainedSystem(const char* corpus_path, const char* keywords,
+                         const Options& options, corpus::Corpus& corpus,
+                         corpus::Query& query,
+                         std::unique_ptr<core::SpriteSystem>& system) {
+  text::Analyzer analyzer;
+  auto loaded = corpus::LoadCorpusFromTsv(corpus_path, analyzer, corpus);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu documents (%zu distinct terms)\n", loaded.value(),
+              corpus.vocabulary_size());
+
+  query.id = 1;
+  query.terms = corpus::DedupTerms(analyzer.Analyze(keywords));
+  if (query.empty()) {
+    std::fprintf(stderr, "error: query is empty after analysis\n");
+    return 2;
+  }
+  std::printf("analyzed query:");
+  for (const auto& t : query.terms) std::printf(" %s", t.c_str());
+  std::printf("\n");
+
+  core::SpriteConfig config = MakeConfig(options);
+  config.enable_explain = true;
+  system = std::make_unique<core::SpriteSystem>(config);
+  MaybeEnableTracing(options, *system);
+  for (size_t i = 0; i < options.train; ++i) system->RecordQuery(query);
+  Status shared = system->ShareCorpus(corpus);
+  if (!shared.ok()) {
+    std::fprintf(stderr, "error: %s\n", shared.ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < options.iters; ++i) system->RunLearningIteration();
+  std::printf("trained: %zu recorded issuances, %zu learning rounds\n\n",
+              options.train, options.iters);
+  return 0;
+}
+
+int CmdExplain(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: sprite_cli explain <corpus.tsv> \"<keywords>\"\n");
+    return 2;
+  }
+  const Options options = ParseOptions(argc, argv, 4);
+  corpus::Corpus corpus;
+  corpus::Query query;
+  std::unique_ptr<core::SpriteSystem> system;
+  int rc = SetupExplainedSystem(argv[2], argv[3], options, corpus, query,
+                                system);
+  if (rc != 0) return rc;
+
+  // k == 0 ranks every candidate the served posting lists contain, so a
+  // document absent from the results is structurally missing — one of
+  // the three miss causes — never a ranking cutoff.
+  auto results = system->Search(query, 0, /*record=*/false);
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  const obs::SearchExplain* ex = system->explainer().latest_search();
+  SPRITE_CHECK(ex != nullptr);
+
+  std::printf("term routing (n'_k = postings fetched):\n");
+  for (const obs::TermExplain& t : ex->terms) {
+    if (t.skipped) {
+      std::printf("  %-20s unreachable — skipped (Section 7 policy)\n",
+                  t.term.c_str());
+    } else {
+      std::printf("  %-20s peer-%llu  n'_k=%-5u idf=%.3f%s\n",
+                  t.term.c_str(), static_cast<unsigned long long>(t.peer),
+                  t.indexed_df, t.idf, t.from_cache ? "  [cache]" : "");
+    }
+  }
+
+  const size_t shown = std::min<size_t>(
+      options.k == 0 ? results->size() : options.k, results->size());
+  std::printf("\nranked answers (top %zu of %zu candidates):\n", shown,
+              results->size());
+  for (size_t i = 0; i < shown; ++i) {
+    const auto& scored = (*results)[i];
+    std::printf("%3zu. %-32s %.4f\n", i + 1,
+                corpus.doc(scored.doc).title.c_str(), scored.score);
+    for (const obs::CandidateExplain& c : ex->candidates) {
+      if (c.doc != scored.doc) continue;
+      for (const auto& [term, w] : c.contributions) {
+        std::printf("       %-20s w_Qj*w_ij = %+.4f\n", term.c_str(), w);
+      }
+      break;
+    }
+  }
+
+  // Miss attribution against the centralized oracle over the same corpus.
+  ir::CentralizedIndex centralized(corpus);
+  ir::RankedList full = centralized.Search(query, 0);
+  std::unordered_set<corpus::DocId> retrieved;
+  for (const auto& scored : *results) retrieved.insert(scored.doc);
+  std::vector<corpus::DocId> missed;
+  for (const auto& scored : full) {
+    if (retrieved.count(scored.doc) == 0) missed.push_back(scored.doc);
+  }
+  if (missed.empty()) {
+    std::printf("\nno misses: every document the centralized oracle can "
+                "reach was retrieved\n");
+  } else {
+    std::printf("\nmissed vs centralized oracle (%zu of %zu docs):\n",
+                missed.size(), full.size());
+    for (const core::MissAttribution& a :
+         system->AttributeMisses(query, missed)) {
+      std::printf("  %-32s %-21s (witness term: %s)\n",
+                  corpus.doc(a.doc).title.c_str(),
+                  core::MissCauseName(a.cause), a.term.c_str());
+    }
+  }
+
+  MaybeDumpExplain(options, *system);
+  MaybeDumpMetrics(options, *system);
+  MaybeDumpTraces(options, *system);
+  return 0;
+}
+
+int CmdLearningLedger(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(
+        stderr,
+        "usage: sprite_cli learning-ledger <corpus.tsv> \"<keywords>\"\n");
+    return 2;
+  }
+  const Options options = ParseOptions(argc, argv, 4);
+  corpus::Corpus corpus;
+  corpus::Query query;
+  std::unique_ptr<core::SpriteSystem> system;
+  int rc = SetupExplainedSystem(argv[2], argv[3], options, corpus, query,
+                                system);
+  if (rc != 0) return rc;
+
+  const auto& decisions = system->explainer().decisions();
+  if (decisions.empty()) {
+    std::printf("no tuning decisions: the learned index already matches "
+                "the term budget\n");
+    return 0;
+  }
+  size_t publishes = 0, withdraws = 0;
+  uint64_t round = 0;
+  for (const obs::LearningDecision& d : decisions) {
+    if (d.round != round) {
+      round = d.round;
+      std::printf("round %llu:\n", static_cast<unsigned long long>(round));
+    }
+    if (d.verdict == "publish") {
+      ++publishes;
+    } else {
+      ++withdraws;
+    }
+    std::printf("  %-8s %-28s %-20s", d.verdict.c_str(),
+                corpus.doc(d.doc).title.c_str(), d.term.c_str());
+    if (d.score >= 0.0) {
+      std::printf(" Score=%.3f (qScore=%.3f, QF=%llu)\n", d.score, d.qscore,
+                  static_cast<unsigned long long>(d.query_freq));
+    } else {
+      std::printf(" (never queried — Algorithm 1 eviction)\n");
+    }
+  }
+  std::printf("\n%zu publications, %zu withdrawals across %zu learning "
+              "rounds\n",
+              publishes, withdraws, options.iters);
+  MaybeDumpExplain(options, *system);
+  MaybeDumpMetrics(options, *system);
+  MaybeDumpTraces(options, *system);
+  return 0;
+}
+
 int CmdTraceReport(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
@@ -352,14 +571,24 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "trace-report") == 0) {
     return CmdTraceReport(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "explain") == 0) {
+    return CmdExplain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "learning-ledger") == 0) {
+    return CmdLearningLedger(argc, argv);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  sprite_cli search <corpus.tsv> \"<keywords>\" [options]\n"
                "  sprite_cli evaluate-trec <docs> <topics> <qrels> "
                "[options]\n"
                "  sprite_cli trace-report <trace-file> [--top=N]\n"
+               "  sprite_cli explain <corpus.tsv> \"<keywords>\" [options]\n"
+               "  sprite_cli learning-ledger <corpus.tsv> \"<keywords>\" "
+               "[options]\n"
                "options: --peers=N --terms=N --iters=N --k=N --seed=N\n"
                "         --cache=on|off|blind --metrics-json=PATH\n"
-               "         --trace-json=PATH --trace-jsonl=PATH\n");
+               "         --trace-json=PATH --trace-jsonl=PATH\n"
+               "         --train=N --explain-jsonl=PATH\n");
   return 2;
 }
