@@ -24,6 +24,9 @@ namespace spritebench {
 // Paper defaults (Section 6.2), scaled to laptop size: the paper uses
 // 348,565 TREC9 documents; we default to a few thousand synthetic ones.
 // Override with --docs=N / --peers=N / --seed=N on any bench binary.
+// --threads=N shards the epoch engine's plan phases across N worker
+// threads (DESIGN.md §12); every value of N produces byte-identical
+// results and dumps for a given seed.
 // --metrics-json=PATH additionally dumps the instrumented system's
 // observability snapshot (counters + latency histograms) as BENCH JSON.
 // --trace-json=PATH / --trace-jsonl=PATH enable distributed tracing and
@@ -43,6 +46,7 @@ struct BenchArgs {
   size_t docs = 3000;
   size_t peers = 64;
   uint64_t seed = 42;
+  size_t threads = 1;
   std::string metrics_json;  // empty: no dump
   std::string trace_json;    // empty: no Perfetto dump
   std::string trace_jsonl;   // empty: no JSONL dump
@@ -77,6 +81,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.peers = static_cast<size_t>(v);
     } else if (std::sscanf(argv[i], "--seed=%llu", &v) == 1) {
       args.seed = v;
+    } else if (std::sscanf(argv[i], "--threads=%llu", &v) == 1) {
+      args.threads = static_cast<size_t>(v);
     } else if (std::sscanf(argv[i], "--slo-recall-drop=%lf", &d) == 1) {
       args.slo_recall_drop = d;
     } else if (std::sscanf(argv[i], "--slo-gini-max=%lf", &d) == 1) {
@@ -294,6 +300,7 @@ inline sprite::core::SpriteConfig DefaultSpriteConfig(const BenchArgs& args,
   c.terms_per_iteration = 5;
   c.max_index_terms = max_terms;
   c.seed = args.seed;
+  c.num_threads = args.threads;
   return c;
 }
 

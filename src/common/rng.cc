@@ -106,6 +106,14 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   return idx;
 }
 
+Rng Rng::ForStream(uint64_t seed, uint64_t stream) {
+  // Golden-ratio spacing keeps adjacent stream ids far apart in the
+  // SplitMix64 state space; two mixing steps decorrelate the low bits.
+  uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  (void)SplitMix64(s);
+  return Rng(SplitMix64(s));
+}
+
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
 }  // namespace sprite

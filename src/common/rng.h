@@ -2,6 +2,7 @@
 #define SPRITE_COMMON_RNG_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/check.h"
@@ -60,6 +61,13 @@ class Rng {
   // draws in one component then cannot perturb another.
   Rng Fork();
 
+  // Derives the substream for (seed, stream) as a pure function of both:
+  // unlike Fork(), the result does not depend on this-or-any generator's
+  // current state, so stream i draws identically no matter when — or on
+  // which thread — the other streams were touched. The sharded engine
+  // keys streams by peer id.
+  static Rng ForStream(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t state_[4];
   bool has_gaussian_ = false;
@@ -68,6 +76,30 @@ class Rng {
 
 // SplitMix64 step; exposed for tests and for cheap stateless mixing.
 uint64_t SplitMix64(uint64_t& state);
+
+// Lazily materialized per-stream generators over one base seed. Each
+// stream's generator comes from Rng::ForStream(seed, stream), so its draw
+// sequence is a function of (seed, stream) alone: peer-processing order,
+// thread scheduling, and the presence of other streams cannot change it.
+class RngPool {
+ public:
+  explicit RngPool(uint64_t seed) : seed_(seed) {}
+
+  // The generator of `stream`, created on first use.
+  Rng& ForStream(uint64_t stream) {
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) {
+      it = streams_.emplace(stream, Rng::ForStream(seed_, stream)).first;
+    }
+    return it->second;
+  }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  std::map<uint64_t, Rng> streams_;
+};
 
 }  // namespace sprite
 

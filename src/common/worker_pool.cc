@@ -1,0 +1,76 @@
+#include "common/worker_pool.h"
+
+namespace sprite {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  const size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::RunBatch() {
+  size_t done_here = 0;
+  for (;;) {
+    const size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch_size_) break;
+    (*fn_)(i);
+    ++done_here;
+  }
+  if (done_here > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ -= done_here;
+    if (pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    ++pending_workers_;
+    lock.unlock();
+    RunBatch();
+    lock.lock();
+    --pending_workers_;
+    if (pending_workers_ == 0 && pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  // A straggler from the previous batch may still be draining an empty
+  // cursor; batch state must not change underneath it.
+  done_cv_.wait(lock, [&] { return pending_workers_ == 0 && pending_ == 0; });
+  fn_ = &fn;
+  batch_size_ = n;
+  cursor_.store(0, std::memory_order_relaxed);
+  pending_ = n;
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+  RunBatch();
+  lock.lock();
+  done_cv_.wait(lock, [&] { return pending_ == 0 && pending_workers_ == 0; });
+}
+
+}  // namespace sprite

@@ -1,0 +1,62 @@
+#ifndef SPRITE_COMMON_WORKER_POOL_H_
+#define SPRITE_COMMON_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sprite {
+
+// A fixed pool of worker threads for the simulation engine's plan phases.
+//
+// ParallelFor(n, fn) invokes fn(i) for every i in [0, n) and returns once
+// all invocations finished (a barrier). Work items are claimed with an
+// atomic cursor, so the *schedule* is nondeterministic — callers must only
+// submit independent, effect-free units (each unit writes its own slot)
+// and apply shared effects after the barrier in index order. With
+// num_threads <= 1 (or n == 1) everything runs inline on the caller, which
+// is byte-identical to the multi-threaded path by the contract above.
+//
+// The pool keeps num_threads - 1 workers parked on a condition variable;
+// the calling thread participates as the final worker, so a pool of N uses
+// exactly N threads during a ParallelFor and zero CPU between calls.
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Runs fn(0) .. fn(n-1), each exactly once, and blocks until all are
+  // done. Not reentrant: fn must not call ParallelFor on the same pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims and runs items of the current batch until the cursor is spent.
+  void RunBatch();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Batch state, guarded by mu_ (cursor is atomic for the claim fast path).
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t batch_size_ = 0;
+  std::atomic<size_t> cursor_{0};
+  size_t pending_ = 0;         // items not yet finished
+  size_t pending_workers_ = 0; // workers currently inside RunBatch
+  uint64_t generation_ = 0;    // bumps per batch so workers wake exactly once
+  bool shutdown_ = false;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_WORKER_POOL_H_

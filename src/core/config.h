@@ -104,6 +104,15 @@ struct SpriteConfig {
   // by SpriteSystem::RunHotTermCaching).
   bool use_hot_term_cache = false;
 
+  // --- Execution --------------------------------------------------------
+  // Worker threads of the sharded epoch engine (DESIGN.md §12). Batch
+  // entry points (SearchEpoch, RecordQueryEpoch, ShareCorpus, learning
+  // iterations) plan peers in parallel across this many threads and commit
+  // effects at a barrier in a fixed order, so every thread count produces
+  // byte-identical metrics, traces, and dumps. 1 = plan inline on the
+  // caller (the classic single-threaded engine).
+  size_t num_threads = 1;
+
   uint64_t seed = 1;
 };
 

@@ -103,6 +103,9 @@ std::vector<TermId> IndexingPeer::IndexedTerms() const {
   std::vector<TermId> terms;
   terms.reserve(index_.size());
   for (const auto& [term, _] : index_) terms.push_back(term);
+  // Callers feed this into replication, advisories, and dumps; hand them a
+  // pinned order rather than the map's hash order.
+  std::sort(terms.begin(), terms.end());
   return terms;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SPRITE_CORE_INDEXING_PEER_H_
 #define SPRITE_CORE_INDEXING_PEER_H_
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -50,7 +51,7 @@ class IndexingPeer {
 
   size_t num_terms() const { return index_.size(); }
   size_t num_postings() const;
-  // Terms this peer currently indexes, unordered.
+  // Terms this peer currently indexes, sorted by TermId.
   std::vector<TermId> IndexedTerms() const;
   const std::unordered_map<TermId, std::shared_ptr<PostingList>>& index()
       const {
@@ -104,6 +105,12 @@ class IndexingPeer {
         ++it;
       }
     }
+    // The index iterates in hash order, which depends on the hash seed and
+    // standard-library internals. The handoff's order is observable — it
+    // fixes the receiving peer's insertion order and the transfer's
+    // accounting order — so pin it to the term ids.
+    std::sort(handoff.lists.begin(), handoff.lists.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     handoff.records.reserve(history_.size());
     std::deque<QueryRecord> kept;
     for (auto& record : history_) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
@@ -11,6 +12,7 @@
 #include "common/string_util.h"
 #include "common/topk.h"
 #include "ir/similarity.h"
+#include "p2p/epoch_queue.h"
 
 namespace sprite::core {
 
@@ -66,6 +68,14 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
   net_.AttachTracer(&tracer_);
   slo_.AttachTracer(&tracer_);
   UpdateMembershipGauges();
+}
+
+WorkerPool& SpriteSystem::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(
+        std::max<size_t>(size_t{1}, config_.num_threads));
+  }
+  return *pool_;
 }
 
 std::string SpriteSystem::PeerNameOf(PeerId id) const {
@@ -258,18 +268,30 @@ PostingEntry SpriteSystem::MakePosting(const OwnedDocument& owned,
 
 Status SpriteSystem::PublishTerm(PeerId owner, const std::string& term,
                                  const PostingEntry& entry) {
+  // Intern and route plan have no observable effects, so splitting them off
+  // here keeps this path byte-identical to the pre-epoch implementation.
+  const TermId id = TermDict::Global().Intern(term);
+  return PublishTermRouted(owner, term, id,
+                           ring_.PlanFindSuccessor(owner, RingKeyOf(id)),
+                           entry);
+}
+
+Status SpriteSystem::PublishTermRouted(PeerId owner, const std::string& term,
+                                       TermId id,
+                                       const dht::ChordRing::LookupPlan& route,
+                                       const PostingEntry& entry) {
   obs::ScopedSpan span(&tracer_, "publish.term", PeerNameOf(owner));
   span.Annotate("term", term);
-  const TermId id = TermDict::Global().Intern(term);
-  StatusOr<PeerId> target = RouteToTerm(owner, id);
+  StatusOr<dht::ChordRing::LookupResult> target = ring_.CommitLookup(route);
   if (!target.ok()) return target.status();
+  net_.CountLookupHops(target->hops);
   net_.Count(p2p::MessageType::kPublishTerm,
              p2p::kTermBytes + p2p::kPostingEntryBytes);
   tracer_.clock().AdvanceMs(
       latency_.RequestMs(1) +
       latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes +
                           p2p::kPostingEntryBytes));
-  indexing_.at(target.value()).AddPosting(id, entry);
+  indexing_.at(target->node).AddPosting(id, entry);
   // Feed the miss-attribution ledger: this (doc, term) pair has now been
   // published at least once, so a later absence means withdrawn (or
   // churn), not never-indexed.
@@ -279,16 +301,25 @@ Status SpriteSystem::PublishTerm(PeerId owner, const std::string& term,
 
 Status SpriteSystem::WithdrawTerm(PeerId owner, const std::string& term,
                                   DocId doc) {
+  const TermId id = TermDict::Global().Intern(term);
+  return WithdrawTermRouted(owner, term, id,
+                            ring_.PlanFindSuccessor(owner, RingKeyOf(id)),
+                            doc);
+}
+
+Status SpriteSystem::WithdrawTermRouted(
+    PeerId owner, const std::string& term, TermId id,
+    const dht::ChordRing::LookupPlan& route, DocId doc) {
   obs::ScopedSpan span(&tracer_, "withdraw.term", PeerNameOf(owner));
   span.Annotate("term", term);
-  const TermId id = TermDict::Global().Intern(term);
-  StatusOr<PeerId> target = RouteToTerm(owner, id);
+  StatusOr<dht::ChordRing::LookupResult> target = ring_.CommitLookup(route);
   if (!target.ok()) return target.status();
+  net_.CountLookupHops(target->hops);
   net_.Count(p2p::MessageType::kWithdrawTerm, p2p::kTermBytes);
   tracer_.clock().AdvanceMs(
       latency_.RequestMs(1) +
       latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes));
-  indexing_.at(target.value()).RemovePosting(id, doc);
+  indexing_.at(target->node).RemovePosting(id, doc);
   return Status::OK();
 }
 
@@ -320,10 +351,72 @@ Status SpriteSystem::ShareDocument(const corpus::Document& doc) {
 }
 
 Status SpriteSystem::ShareCorpus(const corpus::Corpus& corpus) {
+  // Epochized document sharing: one parallel plan pass over the whole
+  // batch (owner choice, initial-term selection, publish routes are all
+  // pure), then a sequential commit in document order that is
+  // effect-identical to a loop of ShareDocument() calls.
+  struct SharePlan {
+    const corpus::Document* doc = nullptr;
+    PeerId owner = 0;
+    std::vector<std::string> initial;  // selection order
+    std::vector<TermId> ids;           // parallel to `initial`
+    std::vector<dht::ChordRing::LookupPlan> routes;  // parallel to `initial`
+  };
+  // Prologue (sequential): validate and intern in document order. The
+  // first invalid document truncates the batch exactly where the
+  // sequential loop would have stopped — earlier documents still share.
+  Status deferred = Status::OK();
+  std::vector<SharePlan> plans;
+  plans.reserve(corpus.docs().size());
+  TermDict& dict = TermDict::Global();
+  std::unordered_set<DocId> in_batch;
   for (const corpus::Document& doc : corpus.docs()) {
-    SPRITE_RETURN_IF_ERROR(ShareDocument(doc));
+    if (doc.terms.empty()) {
+      deferred = Status::InvalidArgument("cannot share an empty document");
+      break;
+    }
+    if (doc_owner_.count(doc.id) > 0 || !in_batch.insert(doc.id).second) {
+      deferred = Status::AlreadyExists(
+          StrFormat("document %u is already shared", doc.id));
+      break;
+    }
+    SharePlan plan;
+    plan.doc = &doc;
+    plan.initial = OwnerPeer::SelectInitialTerms(doc, config_.initial_terms);
+    plan.ids.reserve(plan.initial.size());
+    for (const std::string& term : plan.initial) {
+      plan.ids.push_back(dict.Intern(term));
+    }
+    plans.push_back(std::move(plan));
   }
-  return Status::OK();
+  // Plan (parallel, effect-free).
+  pool().ParallelFor(plans.size(), [&](size_t i) {
+    SharePlan& plan = plans[i];
+    // Mixing the id avoids correlating document ids with ring positions
+    // (the same derivation ShareDocument uses).
+    plan.owner = PickPeer(0x9e3779b97f4a7c15ULL * (plan.doc->id + 1));
+    plan.routes.reserve(plan.ids.size());
+    for (const TermId id : plan.ids) {
+      plan.routes.push_back(ring_.PlanFindSuccessor(plan.owner, RingKeyOf(id)));
+    }
+  });
+  // Commit (sequential, document order): adopt and publish; a routing
+  // failure surfaces mid-batch exactly like the sequential loop would.
+  for (SharePlan& plan : plans) {
+    const corpus::Document& doc = *plan.doc;
+    obs::ScopedSpan span(&tracer_, "share.document", PeerNameOf(plan.owner));
+    span.Annotate("doc", StrFormat("%u", doc.id));
+    OwnerPeer& owner = owners_.at(plan.owner);
+    OwnedDocument& owned = owner.AdoptDocument(&doc);
+    doc_owner_[doc.id] = plan.owner;
+    owned.index_terms = plan.initial;
+    for (size_t t = 0; t < plan.initial.size(); ++t) {
+      SPRITE_RETURN_IF_ERROR(PublishTermRouted(
+          plan.owner, plan.initial[t], plan.ids[t], plan.routes[t],
+          MakePosting(owned, plan.initial[t], plan.owner)));
+    }
+  }
+  return deferred;
 }
 
 QueryRecord SpriteSystem::MakeQueryRecord(const corpus::Query& query) {
@@ -445,22 +538,35 @@ bool SpriteSystem::CachedSourcesStale(
 
 StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
                                               size_t k, bool record) {
+  return SearchImpl(query, k, record, /*plan=*/nullptr);
+}
+
+StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
+                                                  size_t k, bool record,
+                                                  const SearchPlan* plan) {
   if (query.empty()) {
     return Status::InvalidArgument("empty query");
   }
-  const uint64_t issuance = ++search_counter_;
+  const uint64_t issuance =
+      plan != nullptr ? plan->issuance : ++search_counter_;
   // The issuance's record piggybacks on the search's own term requests
   // below (Section 3's normal operation): each directly contacted peer
   // caches it in the same exchange, costing extra bytes but no additional
   // Chord lookups or messages. Standalone RecordQuery() stays available
   // for seeding history without executing the query.
   std::optional<QueryRecord> rec;
-  if (record) rec = MakeQueryRecord(query);
+  if (plan != nullptr) {
+    rec = plan->rec;
+  } else if (record) {
+    rec = MakeQueryRecord(query);
+  }
   std::unordered_set<PeerId> recorded_at;
 
   TermDict& dict = TermDict::Global();
   std::vector<TermId> terms;
-  {
+  if (plan != nullptr) {
+    terms = plan->terms;
+  } else {
     const std::vector<std::string> deduped = corpus::DedupTerms(query.terms);
     terms.reserve(deduped.size());
     for (const std::string& term : deduped) terms.push_back(dict.Intern(term));
@@ -481,12 +587,17 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   }
 
   // The query's canonical hash is needed up to three times (querying-peer
-  // choice, record, contact rotation); compute the MD5 once.
+  // choice, record, contact rotation); compute the MD5 once — or take it
+  // from the plan, which already did.
   const uint64_t canonical_key =
-      ring_.space().KeyForString(query.CanonicalKey());
+      plan != nullptr ? plan->canonical_key
+                      : ring_.space().KeyForString(query.CanonicalKey());
   const PeerId querying_peer =
-      PickPeer(canonical_key ^ (0x517cc1b727220a95ULL * (query.id + 1)) ^
-               (0x2545f4914f6cdd1dULL * issuance));
+      plan != nullptr
+          ? plan->querying_peer
+          : PickPeer(canonical_key ^
+                     (0x517cc1b727220a95ULL * (query.id + 1)) ^
+                     (0x2545f4914f6cdd1dULL * issuance));
 
   // The root span of the whole operation: its route/fetch/rank children
   // advance the simulated clock by exactly the per-phase latency-model
@@ -590,7 +701,9 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   // pairs — then spreads across the terms' peers instead of always landing
   // on the first (typically hottest) term's peer.
   size_t start = 0;
-  if (config_.use_hot_term_cache && terms.size() > 1) {
+  if (plan != nullptr) {
+    start = plan->start;
+  } else if (config_.use_hot_term_cache && terms.size() > 1) {
     start = static_cast<size_t>(
         (canonical_key ^ (issuance * 0x9e3779b97f4a7c15ULL)) % terms.size());
   }
@@ -604,7 +717,8 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   // skipped terms, no hot-term-cache extras of unknown version).
   std::map<TermId, cache::TermSource> sources_used;
   for (size_t ti = 0; ti < terms.size(); ++ti) {
-    const TermId term = terms[(start + ti) % terms.size()];
+    const size_t term_idx = (start + ti) % terms.size();
+    const TermId term = terms[term_idx];
     if (resolved.count(term) > 0) continue;
 
     // --- Posting-cache path (src/cache): skip the DHT fetch ------------
@@ -661,7 +775,22 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     int hops = 0;
     obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(querying_peer));
     route_span.Annotate("term", dict.TermOf(term));
-    StatusOr<PeerId> target = RouteToTerm(querying_peer, term, &hops);
+    StatusOr<PeerId> target = Status::Internal("unrouted");
+    if (plan != nullptr) {
+      // Committing the planned route replays the exact lookup effect
+      // stream (ring stats, chord.* metrics, hop traces) of RouteToTerm.
+      StatusOr<dht::ChordRing::LookupResult> res =
+          ring_.CommitLookup(plan->routes[term_idx]);
+      if (res.ok()) {
+        net_.CountLookupHops(res->hops);
+        hops = res->hops;
+        target = res->node;
+      } else {
+        target = res.status();
+      }
+    } else {
+      target = RouteToTerm(querying_peer, term, &hops);
+    }
     route_span.End();
     if (!target.ok()) {
       ++skipped_terms;
@@ -783,6 +912,21 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   obs::ScopedSpan rank_span(&tracer_, "rank", PeerNameOf(querying_peer));
   rank_span.Annotate("postings", StrFormat("%zu", fetched_postings));
   tracer_.clock().AdvanceMs(latency_.RankMs(fetched_postings));
+  // The plan's pre-ranking is reusable iff the commit fetched exactly the
+  // snapshots the plan ranked — same lists, same order, by pointer
+  // identity — and no explain decomposition is needed. The accumulation
+  // below is then bit-for-bit the same arithmetic over the same inputs.
+  bool reuse_planned_rank = plan != nullptr && plan->has_ranked &&
+                            !explain_on &&
+                            lists.size() == plan->ranked_over.size();
+  if (reuse_planned_rank) {
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (lists[i].postings.get() != plan->ranked_over[i].get()) {
+        reuse_planned_rank = false;
+        break;
+      }
+    }
+  }
   // One hash probe per posting: dot product and distinct-term count live in
   // the same accumulator slot. Reserving for the posting total bounds the
   // bucket count once instead of rehashing as candidates appear.
@@ -791,44 +935,48 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
     uint32_t distinct_terms = 0;
   };
   std::unordered_map<DocId, Accum> acc;
-  acc.reserve(fetched_postings);
   // Per-doc (term, w_Qj*w_ij) contributions, collected only for the
   // explain ledger.
   std::unordered_map<DocId, std::vector<std::pair<std::string, double>>>
       contribs;
-  for (const RetrievedList& rl : lists) {
-    if (rl.postings->empty()) continue;
-    // The per-term IDF is hoisted out of the posting loop: Idf(N, n'_k)
-    // depends only on the list, so it is computed once per retrieved list.
-    // The per-posting product keeps the exact association
-    // (wq * ntf) * idf — hoisting wq*idf would change the floating-point
-    // rounding and break bit-identical scores.
-    const double idf =
-        ir::Idf(config_.idf_corpus_size,
-                static_cast<uint32_t>(rl.postings->size()));
-    if (explain_on) {
-      if (auto it = term_explain_idx.find(rl.term);
-          it != term_explain_idx.end()) {
-        term_explains[it->second].idf = idf;
+  ir::RankedList results;
+  if (reuse_planned_rank) {
+    results = plan->ranked;
+  } else {
+    acc.reserve(fetched_postings);
+    for (const RetrievedList& rl : lists) {
+      if (rl.postings->empty()) continue;
+      // The per-term IDF is hoisted out of the posting loop: Idf(N, n'_k)
+      // depends only on the list, so it is computed once per retrieved
+      // list. The per-posting product keeps the exact association
+      // (wq * ntf) * idf — hoisting wq*idf would change the floating-point
+      // rounding and break bit-identical scores.
+      const double idf =
+          ir::Idf(config_.idf_corpus_size,
+                  static_cast<uint32_t>(rl.postings->size()));
+      if (explain_on) {
+        if (auto it = term_explain_idx.find(rl.term);
+            it != term_explain_idx.end()) {
+          term_explains[it->second].idf = idf;
+        }
+      }
+      if (idf == 0.0) continue;
+      const double wq = idf;  // unit query-term frequency
+      for (const PostingEntry& p : *rl.postings) {
+        Accum& a = acc[p.doc];
+        const double w = wq * p.NormalizedTf() * idf;
+        a.dot += w;
+        a.distinct_terms = p.num_distinct_terms;
+        if (explain_on) contribs[p.doc].push_back({dict.TermOf(rl.term), w});
       }
     }
-    if (idf == 0.0) continue;
-    const double wq = idf;  // unit query-term frequency
-    for (const PostingEntry& p : *rl.postings) {
-      Accum& a = acc[p.doc];
-      const double w = wq * p.NormalizedTf() * idf;
-      a.dot += w;
-      a.distinct_terms = p.num_distinct_terms;
-      if (explain_on) contribs[p.doc].push_back({dict.TermOf(rl.term), w});
+    results.reserve(acc.size());
+    for (const auto& [doc, a] : acc) {
+      const double score = ir::LeeNormalize(a.dot, a.distinct_terms);
+      if (score > 0.0) results.push_back({doc, score});
     }
+    ir::SortRankedList(results, k);
   }
-  ir::RankedList results;
-  results.reserve(acc.size());
-  for (const auto& [doc, a] : acc) {
-    const double score = ir::LeeNormalize(a.dot, a.distinct_terms);
-    if (score > 0.0) results.push_back({doc, score});
-  }
-  ir::SortRankedList(results, k);
   rank_span.End();
 
   // Materialize the answer at the querying peer. Only a fully attributable
@@ -891,6 +1039,188 @@ StatusOr<ir::RankedList> SpriteSystem::Search(const corpus::Query& query,
   return results;
 }
 
+void SpriteSystem::PlanSearch(const corpus::Query& query, size_t k,
+                              SearchPlan& plan) const {
+  plan.canonical_key = ring_.space().KeyForString(query.CanonicalKey());
+  plan.querying_peer =
+      PickPeer(plan.canonical_key ^
+               (0x517cc1b727220a95ULL * (query.id + 1)) ^
+               (0x2545f4914f6cdd1dULL * plan.issuance));
+  plan.start = 0;
+  if (config_.use_hot_term_cache && plan.terms.size() > 1) {
+    plan.start = static_cast<size_t>(
+        (plan.canonical_key ^ (plan.issuance * 0x9e3779b97f4a7c15ULL)) %
+        plan.terms.size());
+  }
+  plan.routes.reserve(plan.terms.size());
+  for (const TermId term : plan.terms) {
+    plan.routes.push_back(
+        ring_.PlanFindSuccessor(plan.querying_peer, RingKeyOf(term)));
+  }
+  // Optimistic pre-ranking, attempted only when the commit will walk the
+  // plain no-cache fetch path (the cache tiers, hot-term extras, and the
+  // explain decomposition all change what ranking must observe). Nothing
+  // mutates a posting list between plan and commit — searches only read
+  // the indexes — so the snapshots gathered here are normally the very
+  // lists the commit fetches; the commit verifies that by pointer identity
+  // and falls back to live ranking otherwise.
+  if (explain_.enabled() || cache_.enabled() || config_.use_hot_term_cache) {
+    return;
+  }
+  size_t fetched = 0;
+  plan.ranked_over.reserve(plan.terms.size());
+  for (size_t i = 0; i < plan.terms.size(); ++i) {
+    if (plan.routes[i].outcome != dht::ChordRing::LookupOutcome::kOk) {
+      // With skip_unreachable_terms off the commit fails mid-query; do not
+      // pre-rank a result that will never be returned.
+      if (!config_.skip_unreachable_terms) return;
+      continue;
+    }
+    const IndexingPeer& peer = indexing_.at(plan.routes[i].result.node);
+    PostingListPtr plist = peer.Postings(plan.terms[i]);
+    plan.ranked_over.push_back(plist != nullptr ? std::move(plist)
+                                                : EmptyPostingList());
+    fetched += plan.ranked_over.back()->size();
+  }
+  // Mirror SearchImpl's accumulation exactly (same reserve, same
+  // per-posting association) so the reused scores are bit-identical.
+  struct Accum {
+    double dot = 0.0;
+    uint32_t distinct_terms = 0;
+  };
+  std::unordered_map<DocId, Accum> acc;
+  acc.reserve(fetched);
+  for (const PostingListPtr& plist : plan.ranked_over) {
+    if (plist->empty()) continue;
+    const double idf = ir::Idf(config_.idf_corpus_size,
+                               static_cast<uint32_t>(plist->size()));
+    if (idf == 0.0) continue;
+    const double wq = idf;  // unit query-term frequency
+    for (const PostingEntry& p : *plist) {
+      Accum& a = acc[p.doc];
+      const double w = wq * p.NormalizedTf() * idf;
+      a.dot += w;
+      a.distinct_terms = p.num_distinct_terms;
+    }
+  }
+  plan.ranked.reserve(acc.size());
+  for (const auto& [doc, a] : acc) {
+    const double score = ir::LeeNormalize(a.dot, a.distinct_terms);
+    if (score > 0.0) plan.ranked.push_back({doc, score});
+  }
+  ir::SortRankedList(plan.ranked, k);
+  plan.has_ranked = true;
+}
+
+std::vector<StatusOr<ir::RankedList>> SpriteSystem::SearchEpoch(
+    const std::vector<const corpus::Query*>& queries, size_t k, bool record) {
+  std::vector<StatusOr<ir::RankedList>> out;
+  out.reserve(queries.size());
+  // Fixed chunk size: the prologue batches issuance/seq assignment per
+  // chunk, so chunk boundaries are part of the observable schedule and
+  // must not vary with the thread count.
+  constexpr size_t kChunk = 64;
+  TermDict& dict = TermDict::Global();
+  for (size_t base = 0; base < queries.size(); base += kChunk) {
+    const size_t n = std::min(kChunk, queries.size() - base);
+    std::vector<SearchPlan> plans(n);
+    std::vector<char> planned(n, 0);
+    // Prologue (sequential, batch order): the schedule-sensitive steps —
+    // issuance numbers, record seqs, and term interning — happen here,
+    // exactly as a sequential loop of Search() calls would order them.
+    for (size_t i = 0; i < n; ++i) {
+      const corpus::Query& q = *queries[base + i];
+      if (q.empty()) continue;  // SearchImpl rejects it before counting
+      SearchPlan& plan = plans[i];
+      plan.issuance = ++search_counter_;
+      if (record) plan.rec = MakeQueryRecord(q);
+      const std::vector<std::string> deduped = corpus::DedupTerms(q.terms);
+      plan.terms.reserve(deduped.size());
+      for (const std::string& term : deduped) {
+        plan.terms.push_back(dict.Intern(term));
+      }
+      planned[i] = 1;
+    }
+    // Plan (parallel, effect-free).
+    pool().ParallelFor(n, [&](size_t i) {
+      if (planned[i] != 0) PlanSearch(*queries[base + i], k, plans[i]);
+    });
+    // Commit (sequential, batch order): every effect — traffic, spans,
+    // cache mutations, history appends, metrics — replays in the legacy
+    // order, against live state.
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(SearchImpl(*queries[base + i], k, record,
+                               planned[i] != 0 ? &plans[i] : nullptr));
+    }
+  }
+  return out;
+}
+
+void SpriteSystem::RecordQueryEpoch(
+    const std::vector<const corpus::Query*>& queries) {
+  struct RecordPlan {
+    QueryRecord rec;
+    uint32_t query_id = 0;
+    PeerId origin = 0;
+    std::vector<dht::ChordRing::LookupPlan> routes;  // parallel to rec.terms
+  };
+  constexpr size_t kChunk = 64;
+  TermDict& dict = TermDict::Global();
+  for (size_t base = 0; base < queries.size(); base += kChunk) {
+    const size_t n = std::min(kChunk, queries.size() - base);
+    // Prologue (sequential): seq assignment and interning in query order.
+    std::vector<RecordPlan> plans;
+    plans.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const corpus::Query& q = *queries[base + i];
+      if (q.empty()) continue;  // RecordQuery ignores empty queries
+      RecordPlan plan;
+      plan.rec = MakeQueryRecord(q);
+      plan.query_id = q.id;
+      plans.push_back(std::move(plan));
+    }
+    // Plan (parallel): pick the origin and plan one lookup per term. Each
+    // history append is staged as a (peer, seq) message; the origin dedups
+    // per query exactly like the sequential path (one record per
+    // responsible peer, first successful route wins).
+    p2p::EpochQueue<QueryRecord> inbound;
+    pool().ParallelFor(plans.size(), [&](size_t i) {
+      RecordPlan& plan = plans[i];
+      plan.origin = PickPeer(plan.rec.hash_key);
+      plan.routes.reserve(plan.rec.terms.size());
+      std::unordered_set<PeerId> recorded_at;
+      for (const TermId term : plan.rec.terms) {
+        plan.routes.push_back(
+            ring_.PlanFindSuccessor(plan.origin, RingKeyOf(term)));
+        const dht::ChordRing::LookupPlan& route = plan.routes.back();
+        if (route.outcome == dht::ChordRing::LookupOutcome::kOk &&
+            recorded_at.insert(route.result.node).second) {
+          inbound.Push(route.result.node, plan.rec.seq, plan.rec);
+        }
+      }
+    });
+    // Commit (sequential, query order): replay the routing effect stream —
+    // spans, lookup stats, hop traffic — then drain the queue so every
+    // peer's bounded history receives its records in (peer, seq) order,
+    // which per peer is exactly the sequential engine's append order.
+    for (const RecordPlan& plan : plans) {
+      obs::ScopedSpan span(&tracer_, "record.query", PeerNameOf(plan.origin));
+      span.Annotate("query", StrFormat("%u", plan.query_id));
+      for (size_t t = 0; t < plan.rec.terms.size(); ++t) {
+        obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(plan.origin));
+        route_span.Annotate("term", dict.TermOf(plan.rec.terms[t]));
+        StatusOr<dht::ChordRing::LookupResult> target =
+            ring_.CommitLookup(plan.routes[t]);
+        route_span.End();
+        if (target.ok()) net_.CountLookupHops(target->hops);
+      }
+    }
+    inbound.DrainInOrder([this](p2p::EpochQueue<QueryRecord>::Message& m) {
+      indexing_.at(m.peer).RecordQuery(m.payload);
+    });
+  }
+}
+
 void SpriteSystem::ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
                                     const OwnerPeer::IndexUpdate& update) {
   metrics_.Add("learning.terms_removed", update.remove.size());
@@ -907,102 +1237,168 @@ void SpriteSystem::RunLearningIteration() {
   metrics_.Add("learning.iterations");
   ++learning_round_;
   obs::ScopedSpan iter_span(&tracer_, "learning.iteration", "system");
+
+  // One work unit per (alive owner, document), in the deterministic
+  // std::map order the sequential loop iterated.
+  struct LearnUnit {
+    PeerId owner_id = 0;
+    DocId doc_id = 0;
+    OwnerPeer* owner = nullptr;
+    OwnedDocument* owned = nullptr;
+    // kLearned plan outputs.
+    std::vector<TermId> poll_terms;
+    std::vector<uint64_t> poll_keys;
+    std::vector<dht::ChordRing::LookupPlan> routes;  // parallel to poll_terms
+    std::map<PeerId, std::vector<TermId>> by_peer;
+    std::vector<size_t> recs_per_peer;  // in by_peer iteration order
+    uint64_t poll_hops = 0;
+    size_t pulled_count = 0;
+    // Common outputs.
+    OwnerPeer::IndexUpdate update;
+    std::vector<ScoredTerm> ranked;
+  };
+  std::vector<LearnUnit> units;
   for (auto& [owner_id, owner] : owners_) {
     const dht::ChordNode* node = ring_.node(owner_id);
     if (node == nullptr || !node->alive) continue;
     for (auto& [doc_id, owned] : owner.mutable_documents()) {
-      if (config_.selection == TermSelectionPolicy::kStaticFrequency) {
-        obs::ScopedSpan grow_span(&tracer_, "learning.grow",
-                                  PeerNameOf(owner_id));
-        grow_span.Annotate("doc", StrFormat("%u", doc_id));
-        OwnerPeer::IndexUpdate update = owner.GrowStatic(owned, config_);
-        ApplyIndexUpdate(owner_id, owned, update);
-        if (explain_.enabled()) {
-          RecordLearningDecisions(owner_id, doc_id, owned, {}, update);
-        }
-        continue;
-      }
+      LearnUnit unit;
+      unit.owner_id = owner_id;
+      unit.doc_id = doc_id;
+      unit.owner = &owner;
+      unit.owned = &owned;
+      units.push_back(std::move(unit));
+    }
+  }
 
-      obs::ScopedSpan poll_span(&tracer_, "learning.poll",
-                                PeerNameOf(owner_id));
-      poll_span.Annotate("doc", StrFormat("%u", doc_id));
+  const bool is_static =
+      config_.selection == TermSelectionPolicy::kStaticFrequency;
+  const bool explain_on = explain_.enabled();
 
-      // Group the document's current terms by responsible indexing peer.
-      // Terms are interned once here; their ring keys come precomputed
-      // from the dictionary (no MD5 on the poll path).
-      TermDict& dict = TermDict::Global();
-      std::vector<TermId> poll_terms;
-      std::vector<uint64_t> poll_keys;
-      poll_terms.reserve(owned.index_terms.size());
-      poll_keys.reserve(owned.index_terms.size());
-      for (const std::string& term : owned.index_terms) {
-        const TermId id = dict.Intern(term);
-        poll_terms.push_back(id);
-        poll_keys.push_back(RingKeyOf(id));
+  // Plan (parallel): route planning, history polling and the Algorithm-1
+  // retune touch only unit-local state — `owned` belongs to exactly one
+  // unit, the peers' query histories and the ring are only read — so the
+  // units are independent and this plan-all-then-commit-all schedule is
+  // effect-equivalent to the sequential per-document interleaving.
+  pool().ParallelFor(units.size(), [&](size_t u) {
+    LearnUnit& unit = units[u];
+    OwnedDocument& owned = *unit.owned;
+    if (is_static) {
+      unit.update = unit.owner->GrowStatic(owned, config_);
+      return;
+    }
+    // Group the document's current terms by responsible indexing peer.
+    // Index terms were interned when first published, so these Intern
+    // calls are lookups — a worker can never assign a new
+    // (schedule-dependent) id here. Ring keys come precomputed from the
+    // dictionary (no MD5 on the poll path).
+    TermDict& dict = TermDict::Global();
+    unit.poll_terms.reserve(owned.index_terms.size());
+    unit.poll_keys.reserve(owned.index_terms.size());
+    for (const std::string& term : owned.index_terms) {
+      const TermId id = dict.Intern(term);
+      unit.poll_terms.push_back(id);
+      unit.poll_keys.push_back(RingKeyOf(id));
+    }
+    unit.routes.reserve(unit.poll_terms.size());
+    for (size_t t = 0; t < unit.poll_terms.size(); ++t) {
+      unit.routes.push_back(
+          ring_.PlanFindSuccessor(unit.owner_id, unit.poll_keys[t]));
+      const dht::ChordRing::LookupPlan& route = unit.routes.back();
+      if (route.outcome == dht::ChordRing::LookupOutcome::kOk) {
+        unit.by_peer[route.result.node].push_back(unit.poll_terms[t]);
+        unit.poll_hops += static_cast<uint64_t>(route.result.hops);
       }
-      std::map<PeerId, std::vector<TermId>> by_peer;
-      uint64_t poll_hops = 0;
-      for (const TermId term : poll_terms) {
-        int hops = 0;
-        obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(owner_id));
-        route_span.Annotate("term", dict.TermOf(term));
-        StatusOr<PeerId> target = RouteToTerm(owner_id, term, &hops);
-        route_span.End();
-        if (target.ok()) {
-          by_peer[target.value()].push_back(term);
-          poll_hops += static_cast<uint64_t>(hops);
-        }
-      }
+    }
+    // Pull the deduplicated incremental query history from each peer.
+    std::vector<const QueryRecord*> pulled;
+    unit.recs_per_peer.reserve(unit.by_peer.size());
+    for (const auto& [peer_id, my_terms] : unit.by_peer) {
+      std::vector<const QueryRecord*> recs =
+          indexing_.at(peer_id).CollectQueriesForPoll(
+              unit.poll_terms, unit.poll_keys, my_terms, owned.poll_cursor,
+              ring_.space());
+      unit.recs_per_peer.push_back(recs.size());
+      pulled.insert(pulled.end(), recs.begin(), recs.end());
+    }
+    unit.pulled_count = pulled.size();
+    unit.update = unit.owner->LearnAndRetune(
+        owned, pulled, config_, explain_on ? &unit.ranked : nullptr);
+  });
 
-      // Poll each peer with the full term list (Section 3's index update
-      // message) and pull the deduplicated incremental query history.
-      std::vector<const QueryRecord*> pulled;
-      uint64_t poll_bytes = 0;
-      for (const auto& [peer_id, my_terms] : by_peer) {
-        obs::ScopedSpan exchange_span(&tracer_, "poll.exchange",
-                                      PeerNameOf(peer_id));
-        uint64_t exchange_bytes =
-            p2p::kMessageHeaderBytes + poll_terms.size() * p2p::kTermBytes;
-        net_.Count(p2p::MessageType::kPollRequest,
-                   poll_terms.size() * p2p::kTermBytes);
-        poll_bytes +=
-            p2p::kMessageHeaderBytes + poll_terms.size() * p2p::kTermBytes;
-        const IndexingPeer& peer = indexing_.at(peer_id);
-        std::vector<const QueryRecord*> recs = peer.CollectQueriesForPoll(
-            poll_terms, poll_keys, my_terms, owned.poll_cursor, ring_.space());
-        net_.Count(p2p::MessageType::kPollResponse,
-                   recs.size() * p2p::kQueryRecordBytes);
-        poll_bytes +=
-            p2p::kMessageHeaderBytes + recs.size() * p2p::kQueryRecordBytes;
-        exchange_bytes +=
-            p2p::kMessageHeaderBytes + recs.size() * p2p::kQueryRecordBytes;
-        pulled.insert(pulled.end(), recs.begin(), recs.end());
-        tracer_.clock().AdvanceMs(latency_.RequestMs(1) +
-                                  latency_.TransferMs(exchange_bytes));
-        exchange_span.Annotate("queries", StrFormat("%zu", recs.size()));
+  // Commit (sequential, unit order): replay the effect stream — spans,
+  // lookup stats, poll traffic, cursor advances, metrics, publications —
+  // exactly as the sequential engine ordered it.
+  TermDict& dict = TermDict::Global();
+  for (LearnUnit& unit : units) {
+    OwnedDocument& owned = *unit.owned;
+    if (is_static) {
+      obs::ScopedSpan grow_span(&tracer_, "learning.grow",
+                                PeerNameOf(unit.owner_id));
+      grow_span.Annotate("doc", StrFormat("%u", unit.doc_id));
+      ApplyIndexUpdate(unit.owner_id, owned, unit.update);
+      if (explain_on) {
+        RecordLearningDecisions(unit.owner_id, unit.doc_id, owned, {},
+                                unit.update);
       }
-      // Advance the cursors only for terms whose indexing peer was
-      // actually polled. A term whose route failed keeps its old cursor:
-      // the queries cached at its (temporarily unreachable) peer have not
-      // been offered yet and must still be pulled once the arc heals.
-      for (const auto& [peer_id, my_terms] : by_peer) {
-        for (const TermId term : my_terms) {
-          owned.poll_cursor[term] = seq_counter_;
-        }
-      }
-      metrics_.Add("learning.polls", by_peer.size());
-      metrics_.Add("learning.pulled_queries", pulled.size());
-      metrics_.Observe(
-          "latency.learning.poll_ms",
-          latency_.OperationMs(poll_hops, by_peer.size(), poll_bytes));
+      continue;
+    }
 
-      std::vector<ScoredTerm> ranked;
-      OwnerPeer::IndexUpdate update = owner.LearnAndRetune(
-          owned, pulled, config_, explain_.enabled() ? &ranked : nullptr);
-      ApplyIndexUpdate(owner_id, owned, update);
-      if (explain_.enabled()) {
-        RecordLearningDecisions(owner_id, doc_id, owned, ranked, update);
+    obs::ScopedSpan poll_span(&tracer_, "learning.poll",
+                              PeerNameOf(unit.owner_id));
+    poll_span.Annotate("doc", StrFormat("%u", unit.doc_id));
+    for (size_t t = 0; t < unit.poll_terms.size(); ++t) {
+      obs::ScopedSpan route_span(&tracer_, "route",
+                                 PeerNameOf(unit.owner_id));
+      route_span.Annotate("term", dict.TermOf(unit.poll_terms[t]));
+      StatusOr<dht::ChordRing::LookupResult> target =
+          ring_.CommitLookup(unit.routes[t]);
+      route_span.End();
+      if (target.ok()) net_.CountLookupHops(target->hops);
+    }
+
+    // Poll each peer with the full term list (Section 3's index update
+    // message); the pulled records were gathered in the plan phase.
+    uint64_t poll_bytes = 0;
+    size_t peer_idx = 0;
+    for (const auto& [peer_id, my_terms] : unit.by_peer) {
+      const size_t nrecs = unit.recs_per_peer[peer_idx++];
+      obs::ScopedSpan exchange_span(&tracer_, "poll.exchange",
+                                    PeerNameOf(peer_id));
+      uint64_t exchange_bytes =
+          p2p::kMessageHeaderBytes + unit.poll_terms.size() * p2p::kTermBytes;
+      net_.Count(p2p::MessageType::kPollRequest,
+                 unit.poll_terms.size() * p2p::kTermBytes);
+      poll_bytes +=
+          p2p::kMessageHeaderBytes + unit.poll_terms.size() * p2p::kTermBytes;
+      net_.Count(p2p::MessageType::kPollResponse,
+                 nrecs * p2p::kQueryRecordBytes);
+      poll_bytes += p2p::kMessageHeaderBytes + nrecs * p2p::kQueryRecordBytes;
+      exchange_bytes +=
+          p2p::kMessageHeaderBytes + nrecs * p2p::kQueryRecordBytes;
+      tracer_.clock().AdvanceMs(latency_.RequestMs(1) +
+                                latency_.TransferMs(exchange_bytes));
+      exchange_span.Annotate("queries", StrFormat("%zu", nrecs));
+    }
+    // Advance the cursors only for terms whose indexing peer was
+    // actually polled. A term whose route failed keeps its old cursor:
+    // the queries cached at its (temporarily unreachable) peer have not
+    // been offered yet and must still be pulled once the arc heals.
+    for (const auto& [peer_id, my_terms] : unit.by_peer) {
+      for (const TermId term : my_terms) {
+        owned.poll_cursor[term] = seq_counter_;
       }
+    }
+    metrics_.Add("learning.polls", unit.by_peer.size());
+    metrics_.Add("learning.pulled_queries", unit.pulled_count);
+    metrics_.Observe("latency.learning.poll_ms",
+                     latency_.OperationMs(unit.poll_hops,
+                                          unit.by_peer.size(), poll_bytes));
+
+    ApplyIndexUpdate(unit.owner_id, owned, unit.update);
+    if (explain_on) {
+      RecordLearningDecisions(unit.owner_id, unit.doc_id, owned, unit.ranked,
+                              unit.update);
     }
   }
 }
@@ -1048,7 +1444,14 @@ void SpriteSystem::ReplicateIndexes() {
         ring_.SuccessorsOf(peer_id, config_.replication_factor);
     uint64_t push_bytes = 0;
     uint64_t pushes = 0;
-    for (const auto& [term, plist] : peer.index()) {
+    // The index iterates in hash order; the push order fixes each
+    // successor's replica-store insertion order and the message stream, so
+    // pin it to the term ids.
+    std::vector<std::pair<TermId, std::shared_ptr<PostingList>>> lists(
+        peer.index().begin(), peer.index().end());
+    std::sort(lists.begin(), lists.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [term, plist] : lists) {
       for (PeerId s : succs) {
         const size_t payload =
             p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes;
@@ -1093,6 +1496,7 @@ size_t SpriteSystem::RunOverloadAdvisories(uint32_t threshold) {
   const TermDict& dict = TermDict::Global();
   struct Advisory {
     TermId term = kInvalidTermId;
+    PeerId peer_id = 0;
     PostingListPtr postings;  // shared snapshot, frozen by copy-on-write
   };
   std::vector<Advisory> advisories;
@@ -1100,14 +1504,20 @@ size_t SpriteSystem::RunOverloadAdvisories(uint32_t threshold) {
     const dht::ChordNode* node = ring_.node(peer_id);
     if (node == nullptr || !node->alive) continue;
     for (const auto& [term, plist] : peer.index()) {
-      if (plist->size() > threshold) advisories.push_back({term, plist});
+      if (plist->size() > threshold) advisories.push_back({term, peer_id, plist});
     }
   }
   // Id-keyed stores iterate in hash order; process advisories in spelling
-  // order so replacement choices are stable across runs and platforms.
+  // order so replacement choices are stable across runs and platforms. The
+  // same term can be overloaded on two peers at once (a replica left behind
+  // by churn), and std::sort is not stable — break spelling ties on the
+  // holding peer so those duplicates keep a fixed relative order too.
   std::sort(advisories.begin(), advisories.end(),
             [&dict](const Advisory& a, const Advisory& b) {
-              return dict.TermOf(a.term) < dict.TermOf(b.term);
+              const std::string& sa = dict.TermOf(a.term);
+              const std::string& sb = dict.TermOf(b.term);
+              if (sa != sb) return sa < sb;
+              return a.peer_id < b.peer_id;
             });
 
   size_t replacements = 0;
@@ -1467,16 +1877,24 @@ size_t SpriteSystem::RunHotTermCaching(size_t top_terms) {
 
     // Terms that co-occur with the hot term in cached queries — their
     // peers receive the hot term's list.
-    std::unordered_set<TermId> co_terms;
+    std::unordered_set<TermId> co_set;
     for (const QueryRecord* record : unique_records) {
       if (std::find(record->terms.begin(), record->terms.end(), hot) ==
           record->terms.end()) {
         continue;
       }
       for (const TermId other : record->terms) {
-        if (other != hot) co_terms.insert(other);
+        if (other != hot) co_set.insert(other);
       }
     }
+    // The set iterates in hash order, which would make the cache-push
+    // message stream (and tie-breaks among co-terms) run-dependent; push
+    // in spelling order instead.
+    std::vector<TermId> co_terms(co_set.begin(), co_set.end());
+    std::sort(co_terms.begin(), co_terms.end(),
+              [&dict](TermId a, TermId b) {
+                return dict.TermOf(a) < dict.TermOf(b);
+              });
     for (const TermId co : co_terms) {
       StatusOr<uint64_t> target = ring_.ResponsibleNode(RingKeyOf(co));
       if (!target.ok() || target.value() == hot_peer.value()) continue;

@@ -2,6 +2,7 @@
 #define SPRITE_CORE_SPRITE_SYSTEM_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,7 @@
 
 #include "cache/cache.h"
 #include "common/status.h"
+#include "common/worker_pool.h"
 #include "core/config.h"
 #include "core/indexing_peer.h"
 #include "core/owner_peer.h"
@@ -95,6 +97,28 @@ class SpriteSystem {
   // but no extra Chord lookups or messages.
   StatusOr<ir::RankedList> Search(const corpus::Query& query, size_t k,
                                   bool record = true);
+
+  // --- Sharded epoch engine (DESIGN.md §12) --------------------------------
+  // Batch entry points that split each operation into a pure *plan* phase —
+  // fanned out across `SpriteConfig::num_threads` workers — and a
+  // sequential *commit* phase that replays every effect (traffic, spans,
+  // caches, histories, metrics) in batch order. The contract: for any
+  // thread count, a batch call is byte-identical to the equivalent loop of
+  // single-operation calls, so dumps produced at --threads=8 compare equal
+  // to --threads=1.
+  //
+  // Executes `queries` in order; element i of the result corresponds to
+  // queries[i] (an empty query yields its InvalidArgument status, exactly
+  // like Search). Queries are processed in fixed-size chunks whose
+  // boundaries do not depend on the thread count.
+  std::vector<StatusOr<ir::RankedList>> SearchEpoch(
+      const std::vector<const corpus::Query*>& queries, size_t k,
+      bool record = true);
+  // Caches each query of the batch at its responsible indexing peers, as if
+  // RecordQuery had been called once per query in order. Routing plans are
+  // computed in parallel; the resulting history appends are funneled
+  // through a per-peer message queue drained in (peer id, seq) order.
+  void RecordQueryEpoch(const std::vector<const corpus::Query*>& queries);
 
   // --- Index tuning --------------------------------------------------------
   // One learning period: every owner peer polls the indexing peers of each
@@ -305,6 +329,51 @@ class SpriteSystem {
   Status PublishTerm(PeerId owner, const std::string& term,
                      const PostingEntry& entry);
   Status WithdrawTerm(PeerId owner, const std::string& term, DocId doc);
+  // Commit halves of PublishTerm/WithdrawTerm for the epoch engine: `id`
+  // is the already-interned term and `route` its precomputed lookup plan
+  // (from ring().PlanFindSuccessor). Replays the exact effect stream of
+  // the unplanned variants.
+  Status PublishTermRouted(PeerId owner, const std::string& term, TermId id,
+                           const dht::ChordRing::LookupPlan& route,
+                           const PostingEntry& entry);
+  Status WithdrawTermRouted(PeerId owner, const std::string& term, TermId id,
+                            const dht::ChordRing::LookupPlan& route,
+                            DocId doc);
+
+  // Everything SearchImpl consumes that can be precomputed without side
+  // effects. The prologue (sequential) assigns the issuance, record and
+  // interned terms; PlanSearch (parallel, const) fills in the rest.
+  struct SearchPlan {
+    // Prologue.
+    uint64_t issuance = 0;
+    std::optional<QueryRecord> rec;
+    std::vector<TermId> terms;  // deduplicated, in query order
+    // Plan phase.
+    uint64_t canonical_key = 0;
+    PeerId querying_peer = 0;
+    size_t start = 0;  // contact rotation offset
+    std::vector<dht::ChordRing::LookupPlan> routes;  // parallel to `terms`
+    // Optimistic pre-ranking over the posting-list snapshots the plan saw.
+    // The commit reuses `ranked` only when it fetched exactly the lists in
+    // `ranked_over` (pointer identity), in order — otherwise it ranks live.
+    std::vector<PostingListPtr> ranked_over;
+    ir::RankedList ranked;
+    bool has_ranked = false;
+  };
+  // Pure plan phase for one query; safe to call concurrently with other
+  // plans (const: reads the ring, indexes and dictionary, mutates only
+  // `plan`). The prologue fields of `plan` must already be set.
+  void PlanSearch(const corpus::Query& query, size_t k,
+                  SearchPlan& plan) const;
+  // The search engine. With plan == nullptr this is exactly the legacy
+  // single-query path (Search delegates here); with a plan, precomputed
+  // routing and ranking are injected while every effect — cache traffic,
+  // spans, histories, metrics — replays in the legacy order.
+  StatusOr<ir::RankedList> SearchImpl(const corpus::Query& query, size_t k,
+                                      bool record, const SearchPlan* plan);
+  // The worker pool of the epoch engine, sized by config_.num_threads
+  // (lazily constructed so single-operation use never spawns threads).
+  WorkerPool& pool();
   void ApplyIndexUpdate(PeerId owner_id, OwnedDocument& owned,
                         const OwnerPeer::IndexUpdate& update);
   // Explain-ledger hook: records one LearningDecision per publish/withdraw
@@ -329,6 +398,7 @@ class SpriteSystem {
   obs::TimeSeriesRecorder timeseries_;
   obs::ExplainRecorder explain_;
   obs::SloWatchdog slo_;
+  std::unique_ptr<WorkerPool> pool_;
   std::map<PeerId, IndexingPeer> indexing_;
   std::map<PeerId, OwnerPeer> owners_;
   std::vector<PeerId> peer_ids_;  // sorted, as constructed

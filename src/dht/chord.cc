@@ -120,59 +120,84 @@ uint64_t ChordRing::ClosestPrecedingAlive(const ChordNode& n,
   return best;
 }
 
-StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
-                                                           uint64_t key) {
+ChordRing::LookupPlan ChordRing::PlanFindSuccessor(uint64_t from,
+                                                   uint64_t key) const {
+  LookupPlan plan;
   key = space_.Truncate(key);
   const ChordNode* n = node(from);
   if (n == nullptr || !n->alive) {
-    ++stats_.failed_lookups;
-    if (metrics_ != nullptr) metrics_->Add("chord.failed_lookups");
-    return Status::InvalidArgument("lookup origin is not an alive node");
+    plan.outcome = LookupOutcome::kBadOrigin;
+    plan.error = "lookup origin is not an alive node";
+    return plan;
   }
-  ++stats_.lookups;
-  if (metrics_ != nullptr) metrics_->Add("chord.lookups");
   int hops = 0;
   // In a converged N-node ring a lookup takes O(log N) hops; the bound only
   // trips when routing state is badly broken.
   const int limit = static_cast<int>(2 * alive_count_ + 64);
   while (hops <= limit) {
     if (key == n->id) {
-      stats_.hop_messages += static_cast<uint64_t>(hops);
-      stats_.hops.Add(hops);
-      if (metrics_ != nullptr) metrics_->Observe("chord.lookup_hops", hops);
       const uint64_t pred =
           (n->predecessor.has_value() && IsAlive(*n->predecessor))
               ? *n->predecessor
               : n->id;
-      return LookupResult{n->id, pred, hops};
+      plan.outcome = LookupOutcome::kOk;
+      plan.result = LookupResult{n->id, pred, hops};
+      return plan;
     }
     StatusOr<uint64_t> succ_or = FirstAliveSuccessor(*n);
     if (!succ_or.ok()) {
-      ++stats_.failed_lookups;
-      if (metrics_ != nullptr) metrics_->Add("chord.failed_lookups");
-      return succ_or.status();
+      plan.outcome = LookupOutcome::kNoSuccessor;
+      plan.error = succ_or.status().message();
+      return plan;
     }
     const uint64_t succ = succ_or.value();
     if (space_.InHalfOpenInterval(key, n->id, succ)) {
       if (succ != n->id) {
         ++hops;  // final forward to the responsible node
-        TraceHop(node(succ));
+        plan.path.push_back(succ);
       }
-      stats_.hop_messages += static_cast<uint64_t>(hops);
-      stats_.hops.Add(hops);
-      if (metrics_ != nullptr) metrics_->Observe("chord.lookup_hops", hops);
-      return LookupResult{succ, n->id, hops};
+      plan.outcome = LookupOutcome::kOk;
+      plan.result = LookupResult{succ, n->id, hops};
+      return plan;
     }
     uint64_t next = ClosestPrecedingAlive(*n, key);
     if (next == n->id) next = succ;  // no finger helps: crawl the ring
     n = node(next);
     SPRITE_CHECK(n != nullptr);
     ++hops;
-    TraceHop(n);
+    plan.path.push_back(n->id);
+  }
+  plan.outcome = LookupOutcome::kNoConvergence;
+  plan.error = "routing did not converge (ring too damaged)";
+  return plan;
+}
+
+StatusOr<ChordRing::LookupResult> ChordRing::CommitLookup(
+    const LookupPlan& plan) {
+  if (plan.outcome == LookupOutcome::kBadOrigin) {
+    ++stats_.failed_lookups;
+    if (metrics_ != nullptr) metrics_->Add("chord.failed_lookups");
+    return Status::InvalidArgument(plan.error);
+  }
+  ++stats_.lookups;
+  if (metrics_ != nullptr) metrics_->Add("chord.lookups");
+  for (uint64_t hop : plan.path) TraceHop(node(hop));
+  if (plan.outcome == LookupOutcome::kOk) {
+    stats_.hop_messages += static_cast<uint64_t>(plan.result.hops);
+    stats_.hops.Add(plan.result.hops);
+    if (metrics_ != nullptr) {
+      metrics_->Observe("chord.lookup_hops", plan.result.hops);
+    }
+    return plan.result;
   }
   ++stats_.failed_lookups;
   if (metrics_ != nullptr) metrics_->Add("chord.failed_lookups");
-  return Status::Unavailable("routing did not converge (ring too damaged)");
+  return Status::Unavailable(plan.error);
+}
+
+StatusOr<ChordRing::LookupResult> ChordRing::FindSuccessor(uint64_t from,
+                                                           uint64_t key) {
+  return CommitLookup(PlanFindSuccessor(from, key));
 }
 
 StatusOr<ChordRing::LookupResult> ChordRing::Lookup(uint64_t key) {

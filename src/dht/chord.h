@@ -104,6 +104,32 @@ class ChordRing {
   // Iterative find_successor starting at `from`. Counts stats. Fails with
   // kUnavailable if routing cannot make progress (e.g. massive failures).
   StatusOr<LookupResult> FindSuccessor(uint64_t from, uint64_t key);
+
+  // How a planned lookup ended; mirrors the live traversal's exit paths.
+  enum class LookupOutcome {
+    kBadOrigin,      // `from` missing or dead (no lookup counted)
+    kOk,             // result valid
+    kNoSuccessor,    // a traversed node had no alive successor
+    kNoConvergence,  // hop limit hit (ring too damaged)
+  };
+  // The routing decision of one lookup, separated from its side effects.
+  // The epoch engine plans lookups concurrently (const) and replays their
+  // effects sequentially at the barrier, so stats, spans, and the simulated
+  // clock observe them in a deterministic order.
+  struct LookupPlan {
+    LookupOutcome outcome = LookupOutcome::kBadOrigin;
+    LookupResult result;         // valid iff outcome == kOk
+    std::vector<uint64_t> path;  // hop targets, in traversal order
+    std::string error;           // status message for failed outcomes
+  };
+  // Pure routing: computes exactly the traversal FindSuccessor would
+  // perform, without touching stats, mirrored metrics, spans, or the
+  // clock. Safe to call concurrently while no one mutates the ring.
+  LookupPlan PlanFindSuccessor(uint64_t from, uint64_t key) const;
+  // Applies a plan's observable effects — stats, mirrored metrics, one
+  // "chord.hop" span (+ clock advance) per path entry — exactly as the
+  // live traversal would, and returns its result/status.
+  StatusOr<LookupResult> CommitLookup(const LookupPlan& plan);
   // Convenience: lookup from a deterministic origin node.
   StatusOr<LookupResult> Lookup(uint64_t key);
   // Oracle responsibility (no traffic, no stats): successor(key).

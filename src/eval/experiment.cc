@@ -21,11 +21,22 @@ TestBed TestBed::Build(const ExperimentOptions& options) {
   return bed;
 }
 
+namespace {
+
+// Batches a workload slice into query pointers for the epoch entry points.
+std::vector<const corpus::Query*> GatherQueries(
+    const TestBed& bed, const std::vector<size_t>& indices) {
+  std::vector<const corpus::Query*> out;
+  out.reserve(indices.size());
+  for (size_t idx : indices) out.push_back(&bed.query(idx));
+  return out;
+}
+
+}  // namespace
+
 Status TrainSystem(core::SpriteSystem& system, const TestBed& bed,
                    const std::vector<size_t>& stream, size_t iterations) {
-  for (size_t idx : stream) {
-    system.RecordQuery(bed.query(idx));
-  }
+  system.RecordQueryEpoch(GatherQueries(bed, stream));
   SPRITE_RETURN_IF_ERROR(system.ShareCorpus(bed.corpus()));
   for (size_t i = 0; i < iterations; ++i) {
     system.RunLearningIteration();
@@ -37,9 +48,7 @@ StatusOr<std::vector<ConvergencePoint>> TrainSystemWithConvergence(
     core::SpriteSystem& system, const TestBed& bed,
     const std::vector<size_t>& stream, size_t iterations,
     const std::vector<size_t>& eval_queries, size_t answers) {
-  for (size_t idx : stream) {
-    system.RecordQuery(bed.query(idx));
-  }
+  system.RecordQueryEpoch(GatherQueries(bed, stream));
   SPRITE_RETURN_IF_ERROR(system.ShareCorpus(bed.corpus()));
 
   std::vector<ConvergencePoint> points;
@@ -79,14 +88,16 @@ EvalResult EvaluateSystem(core::SpriteSystem& system, const TestBed& bed,
   sys_prs.reserve(queries.size());
   central_prs.reserve(queries.size());
 
-  for (size_t idx : queries) {
-    const corpus::Query& q = bed.query(idx);
+  std::vector<StatusOr<ir::RankedList>> results =
+      system.SearchEpoch(GatherQueries(bed, queries), answers,
+                         /*record=*/false);
+  SPRITE_CHECK(results.size() == queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const corpus::Query& q = bed.query(queries[i]);
     const auto& relevant = bed.workload().judgments.Relevant(q.id);
 
-    StatusOr<ir::RankedList> result =
-        system.Search(q, answers, /*record=*/false);
     ir::RankedList sys_list =
-        result.ok() ? std::move(result).value() : ir::RankedList{};
+        results[i].ok() ? std::move(results[i]).value() : ir::RankedList{};
     sys_prs.push_back(ir::EvaluateTopK(sys_list, answers, relevant));
 
     const ir::RankedList central_list = bed.centralized().Search(q, answers);

@@ -1,0 +1,87 @@
+#ifndef SPRITE_P2P_EPOCH_QUEUE_H_
+#define SPRITE_P2P_EPOCH_QUEUE_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace sprite::p2p {
+
+// Per-peer inbound message queues for the epoch engine. During the
+// parallel plan phase any thread may Push() a message addressed to a peer;
+// at the epoch barrier the single-threaded commit drains everything in
+// (peer id, seq) order. The drain order is a pure function of the pushed
+// set — never of thread scheduling — so identical epochs deliver
+// identically at any thread count.
+//
+// `seq` is the sender-assigned issuance number (pre-assigned before the
+// plan fans out), which makes (peer, seq) a total order over messages:
+// each peer receives its messages exactly as the sequential engine would
+// have delivered them.
+template <typename Payload>
+class EpochQueue {
+ public:
+  struct Message {
+    uint64_t peer = 0;  // destination
+    uint64_t seq = 0;   // sender-side issuance order
+    Payload payload;
+  };
+
+  // Thread-safe; callable from any plan worker.
+  void Push(uint64_t peer, uint64_t seq, Payload payload) {
+    Shard& shard = shards_[ShardOf(peer)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.messages.push_back(Message{peer, seq, std::move(payload)});
+  }
+
+  // Drains every queued message in ascending (peer, seq) order. Must be
+  // called from the barrier (no concurrent Push). The queue is empty
+  // afterwards and may be reused for the next epoch.
+  template <typename Fn>
+  void DrainInOrder(Fn&& fn) {
+    std::vector<Message> all;
+    for (Shard& shard : shards_) {
+      all.insert(all.end(), std::make_move_iterator(shard.messages.begin()),
+                 std::make_move_iterator(shard.messages.end()));
+      shard.messages.clear();
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Message& a, const Message& b) {
+                       if (a.peer != b.peer) return a.peer < b.peer;
+                       return a.seq < b.seq;
+                     });
+    for (Message& m : all) fn(m);
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.messages.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Message> messages;
+  };
+
+  static size_t ShardOf(uint64_t peer) {
+    // Fibonacci mix so clustered peer ids spread across shards.
+    return static_cast<size_t>((peer * 0x9e3779b97f4a7c15ULL) >> 60) %
+           kNumShards;
+  }
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace sprite::p2p
+
+#endif  // SPRITE_P2P_EPOCH_QUEUE_H_

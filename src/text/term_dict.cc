@@ -1,21 +1,48 @@
 #include "text/term_dict.h"
 
+#include <mutex>
+
+#include "common/check.h"
 #include "common/md5.h"
 
 namespace sprite::text {
 
 TermId TermDict::Intern(std::string_view term) {
+  {
+    // Fast path: already interned. Reader lock only.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(term);
+    if (it != ids_.end()) return it->second;
+  }
+  // Hash outside the lock; recheck under the writer lock (another thread
+  // may have interned the same spelling between the two lock scopes).
+  const uint64_t raw_key = Md5Prefix64(term);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(term);
   if (it != ids_.end()) return it->second;
-  const TermId id = static_cast<TermId>(terms_.size());
-  terms_.emplace_back(term);
-  raw_keys_.push_back(Md5Prefix64(term));
-  // Key the map by the stable deque-owned spelling, not the caller's view.
-  ids_.emplace(std::string_view(terms_.back()), id);
+
+  const uint32_t id = size_.load(std::memory_order_relaxed);
+  SPRITE_CHECK(id < kMaxSlabs * kSlabSize);
+  const size_t slab_index = id >> kSlabBits;
+  if (slab_index == slab_storage_.size()) {
+    slab_storage_.push_back(std::make_unique<Slab>());
+    // Publish the slab before publishing any id that resolves into it.
+    slabs_[slab_index].store(slab_storage_.back().get(),
+                             std::memory_order_release);
+  }
+  SlabEntry& entry =
+      slab_storage_[slab_index]->entries[id & (kSlabSize - 1)];
+  entry.term = std::string(term);
+  entry.raw_key = raw_key;
+  // Key the map by the stable slab-owned spelling, not the caller's view.
+  ids_.emplace(std::string_view(entry.term), id);
+  // Release so a reader that sees size() > id also sees the entry.
+  size_.store(id + 1, std::memory_order_release);
   return id;
 }
 
 TermId TermDict::Lookup(std::string_view term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(term);
   return it == ids_.end() ? kInvalidTermId : it->second;
 }

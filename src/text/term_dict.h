@@ -1,8 +1,11 @@
 #ifndef SPRITE_TEXT_TERM_DICT_H_
 #define SPRITE_TEXT_TERM_DICT_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -30,7 +33,17 @@ inline constexpr TermId kInvalidTermId = UINT32_MAX;
 //
 // Instantiable for tests (two dictionaries fed the same terms in the same
 // order agree on every id and key); the system itself shares Global().
-// Single-threaded by design, like the rest of the simulation.
+//
+// Thread safety: safe for concurrent readers with occasional writers, as
+// the sharded epoch engine requires. Id-to-term resolution (TermOf /
+// RawKeyOf) is lock-free: entries live in fixed-size slabs published via
+// atomic pointers, so a resolved id never observes a moving backing store.
+// String-to-id resolution takes a reader lock; Intern takes the writer
+// lock only for first-sight terms, and assigns ids under it in arrival
+// order — for a given insertion order the assignment is identical to the
+// old single-threaded dictionary. Deterministic engines must still intern
+// new spellings from a sequential section (the epoch prologue): concurrent
+// first-sight interns are safe but their arrival order is the schedule's.
 class TermDict {
  public:
   TermDict() = default;
@@ -45,23 +58,48 @@ class TermDict {
   TermId Lookup(std::string_view term) const;
 
   // Round-trips an id back to its spelling. `id` must have come from this
-  // dictionary.
-  const std::string& TermOf(TermId id) const { return terms_[id]; }
+  // dictionary. Lock-free; the reference is stable forever.
+  const std::string& TermOf(TermId id) const { return Entry(id).term; }
 
   // The term's precomputed Md5Prefix64, untruncated. Callers derive the
-  // ring key with IdSpace::Truncate.
-  uint64_t RawKeyOf(TermId id) const { return raw_keys_[id]; }
+  // ring key with IdSpace::Truncate. Lock-free.
+  uint64_t RawKeyOf(TermId id) const { return Entry(id).raw_key; }
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
 
   // The process-wide dictionary used by the live system.
   static TermDict& Global();
 
  private:
-  // deque: stable references for TermOf across later interns.
-  std::deque<std::string> terms_;
-  std::vector<uint64_t> raw_keys_;
+  struct Slab;
+  // Fixed-capacity slab directory: kMaxSlabs * kSlabSize ids. 2^27 terms
+  // is far beyond any corpus here; the directory itself costs 256 KiB.
+  static constexpr size_t kSlabBits = 12;
+  static constexpr size_t kSlabSize = size_t{1} << kSlabBits;
+  static constexpr size_t kMaxSlabs = size_t{1} << 15;
+
+  struct SlabEntry {
+    std::string term;
+    uint64_t raw_key = 0;
+  };
+  struct Slab {
+    std::array<SlabEntry, kSlabSize> entries;
+  };
+
+  const SlabEntry& Entry(TermId id) const {
+    const Slab* slab =
+        slabs_[id >> kSlabBits].load(std::memory_order_acquire);
+    return slab->entries[id & (kSlabSize - 1)];
+  }
+
+  // Guards ids_ (reader/writer) and slab growth/entry writes (writer).
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string_view, TermId> ids_;
+  std::vector<std::unique_ptr<Slab>> slab_storage_;
+  std::array<std::atomic<Slab*>, kMaxSlabs> slabs_{};
+  std::atomic<uint32_t> size_{0};
 };
 
 }  // namespace sprite::text

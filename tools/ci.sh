@@ -1,9 +1,10 @@
 #!/bin/sh
 # Minimal CI for the repo: the tier-1 verify (ROADMAP.md) plus an
-# ASan/UBSan build of the test suite.
+# ASan/UBSan or TSan build of the test suite.
 #
 #   tools/ci.sh          # tier-1 only
-#   tools/ci.sh --asan   # tier-1, then rebuild and retest under sanitizers
+#   tools/ci.sh --asan   # tier-1, then rebuild and retest under ASan/UBSan
+#   tools/ci.sh --tsan   # tier-1, then rebuild and retest under TSan
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -116,6 +117,38 @@ cmp "$SMOKE_DIR/ts.jsonl" "$SMOKE_DIR/ts2.jsonl"
 cmp "$SMOKE_DIR/ts.csv" "$SMOKE_DIR/ts2.csv"
 cmp "$SMOKE_DIR/slo.jsonl" "$SMOKE_DIR/slo2.jsonl"
 echo "telemetry smoke OK"
+
+echo "== parallel smoke: threads=1 vs threads=4 dumps are byte-identical =="
+# The epoch engine's contract (DESIGN.md §12): for a given seed, every
+# thread count produces the same metrics, trace, and time-series bytes.
+./build/bench/fig4a_num_answers --docs=200 --peers=16 --threads=1 \
+  --metrics-json="$SMOKE_DIR/par1.json" \
+  --trace-jsonl="$SMOKE_DIR/par1_trace.jsonl" \
+  --timeseries-csv="$SMOKE_DIR/par1_ts.csv" >"$SMOKE_DIR/par1.out"
+./build/bench/fig4a_num_answers --docs=200 --peers=16 --threads=4 \
+  --metrics-json="$SMOKE_DIR/par4.json" \
+  --trace-jsonl="$SMOKE_DIR/par4_trace.jsonl" \
+  --timeseries-csv="$SMOKE_DIR/par4_ts.csv" >"$SMOKE_DIR/par4.out"
+cmp "$SMOKE_DIR/par1.json" "$SMOKE_DIR/par4.json"
+cmp "$SMOKE_DIR/par1_trace.jsonl" "$SMOKE_DIR/par4_trace.jsonl"
+cmp "$SMOKE_DIR/par1_ts.csv" "$SMOKE_DIR/par4_ts.csv"
+grep -v 'written to' "$SMOKE_DIR/par1.out" >"$SMOKE_DIR/par1.tbl"
+grep -v 'written to' "$SMOKE_DIR/par4.out" >"$SMOKE_DIR/par4.tbl"
+cmp "$SMOKE_DIR/par1.tbl" "$SMOKE_DIR/par4.tbl"
+echo "parallel smoke OK"
+
+if [ "${1:-}" = "--tsan" ]; then
+  echo "== sanitizers: TSan build, parallel suite at 4 threads =="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+    >/dev/null
+  cmake --build build-tsan -j --target parallel_test fig4a_num_answers
+  ./build-tsan/tests/parallel_test
+  ./build-tsan/bench/fig4a_num_answers --docs=200 --peers=16 --threads=4 \
+    >/dev/null
+  echo "TSan OK"
+fi
 
 if [ "${1:-}" = "--asan" ]; then
   echo "== sanitizers: ASan + UBSan build =="
