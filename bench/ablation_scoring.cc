@@ -20,13 +20,16 @@ eval::EvalResult RunVariant(const spritebench::BenchArgs& args,
                             const eval::TestBed& bed,
                             core::LearningScoreVariant variant,
                             size_t history_capacity,
+                            spritebench::PerfRecorder& perf,
                             bool instrument = false) {
   core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
   config.score_variant = variant;
   config.history_capacity = history_capacity;
-  core::SpriteSystem system(config);
   // The dump flags instrument the paper variant at full history capacity;
-  // dumping every ablation cell would overwrite the same files.
+  // dumping every ablation cell would overwrite the same files. The perf
+  // sidecar's profiler/worker capture follows the same convention.
+  if (instrument) perf.ApplyConfig(config);
+  core::SpriteSystem system(config);
   if (instrument) spritebench::MaybeEnableTracing(args, system);
   SPRITE_CHECK_OK(eval::TrainSystem(system, bed, bed.split().train, 3));
   eval::EvalResult result =
@@ -34,6 +37,7 @@ eval::EvalResult RunVariant(const spritebench::BenchArgs& args,
   if (instrument) {
     spritebench::MaybeWriteMetricsJson(args, system);
     spritebench::MaybeWriteTraceFiles(args, system);
+    perf.CaptureSystem(system);
   }
   return result;
 }
@@ -59,24 +63,32 @@ int main(int argc, char** argv) {
       {"log10(QF) only    [no qScore]", core::LearningScoreVariant::kQfOnly},
   };
 
-  std::printf("score variant                    |  P ratio |  R ratio\n");
-  std::printf("---------------------------------+----------+---------\n");
-  for (const auto& v : kVariants) {
-    eval::EvalResult r =
-        RunVariant(args, bed, v.variant, 4096,
-                   /*instrument=*/v.variant ==
-                       core::LearningScoreVariant::kQScoreLogQf);
-    std::printf("%-32s |   %5.3f  |   %5.3f\n", v.name, r.ratio.precision,
-                r.ratio.recall);
-  }
+  spritebench::PerfRecorder perf(args, "ablation_scoring");
+  do {
+    {
+      spritebench::PerfRecorder::Phase phase(perf, "score_variants");
+      std::printf("score variant                    |  P ratio |  R ratio\n");
+      std::printf("---------------------------------+----------+---------\n");
+      for (const auto& v : kVariants) {
+        eval::EvalResult r =
+            RunVariant(args, bed, v.variant, 4096, perf,
+                       /*instrument=*/v.variant ==
+                           core::LearningScoreVariant::kQScoreLogQf);
+        std::printf("%-32s |   %5.3f  |   %5.3f\n", v.name, r.ratio.precision,
+                    r.ratio.recall);
+      }
+    }
 
-  std::printf("\nhistory capacity (paper variant) |  P ratio |  R ratio\n");
-  std::printf("---------------------------------+----------+---------\n");
-  for (size_t capacity : {8u, 32u, 128u, 512u, 4096u}) {
-    eval::EvalResult r = RunVariant(
-        args, bed, core::LearningScoreVariant::kQScoreLogQf, capacity);
-    std::printf("%6zu queries/peer             |   %5.3f  |   %5.3f\n",
-                capacity, r.ratio.precision, r.ratio.recall);
-  }
+    spritebench::PerfRecorder::Phase phase(perf, "history_sweep");
+    std::printf("\nhistory capacity (paper variant) |  P ratio |  R ratio\n");
+    std::printf("---------------------------------+----------+---------\n");
+    for (size_t capacity : {8u, 32u, 128u, 512u, 4096u}) {
+      eval::EvalResult r = RunVariant(
+          args, bed, core::LearningScoreVariant::kQScoreLogQf, capacity, perf);
+      std::printf("%6zu queries/peer             |   %5.3f  |   %5.3f\n",
+                  capacity, r.ratio.precision, r.ratio.recall);
+    }
+  } while (perf.NextRep());
+  perf.WriteReport();
   return 0;
 }

@@ -6,18 +6,29 @@
 // query generator) and reports precision/recall as ratios to the
 // centralized baseline, exactly like Section 6.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json_util.h"
 #include "common/string_util.h"
 #include "core/sprite_system.h"
 #include "eval/experiment.h"
+#include "obs/perf.h"
+
+// Build provenance for the perf sidecar, injected by bench/CMakeLists.txt.
+#ifndef SPRITE_GIT_COMMIT
+#define SPRITE_GIT_COMMIT "unknown"
+#endif
+#ifndef SPRITE_BUILD_TYPE
+#define SPRITE_BUILD_TYPE "unknown"
+#endif
 
 namespace spritebench {
 
@@ -42,6 +53,11 @@ namespace spritebench {
 // four stock rules (see ApplySloRules).
 // --learning-curve-json=PATH writes the per-round recall/cost trajectory
 // (benches that run TrainSystemWithConvergence).
+// --perf-json=PATH runs the workload --perf-warmup (default 1) + --perf-reps
+// (default 3) times and writes the host-side performance sidecar (wall
+// times per phase with min/median/stddev, RSS/CPU, worker-pool utilization,
+// perf.* profiler histograms; DESIGN.md §13). Simulated outputs are
+// byte-identical with or without it.
 struct BenchArgs {
   size_t docs = 3000;
   size_t peers = 64;
@@ -55,6 +71,9 @@ struct BenchArgs {
   std::string timeseries_csv;       // empty: no time-series CSV dump
   std::string slo_jsonl;            // empty: no alert dump
   std::string learning_curve_json;  // empty: no convergence dump
+  std::string perf_json;            // empty: no perf sidecar (single run)
+  size_t perf_warmup = 1;           // discarded repetitions
+  size_t perf_reps = 3;             // measured repetitions
   // SLO rule thresholds; NaN = rule not armed.
   double slo_recall_drop = std::numeric_limits<double>::quiet_NaN();
   double slo_gini_max = std::numeric_limits<double>::quiet_NaN();
@@ -72,6 +91,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   constexpr const char kTimeSeriesCsvFlag[] = "--timeseries-csv=";
   constexpr const char kSloJsonlFlag[] = "--slo-jsonl=";
   constexpr const char kLearningCurveFlag[] = "--learning-curve-json=";
+  constexpr const char kPerfJsonFlag[] = "--perf-json=";
   for (int i = 1; i < argc; ++i) {
     unsigned long long v = 0;
     double d = 0.0;
@@ -83,6 +103,10 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.seed = v;
     } else if (std::sscanf(argv[i], "--threads=%llu", &v) == 1) {
       args.threads = static_cast<size_t>(v);
+    } else if (std::sscanf(argv[i], "--perf-warmup=%llu", &v) == 1) {
+      args.perf_warmup = static_cast<size_t>(v);
+    } else if (std::sscanf(argv[i], "--perf-reps=%llu", &v) == 1) {
+      args.perf_reps = static_cast<size_t>(v);
     } else if (std::sscanf(argv[i], "--slo-recall-drop=%lf", &d) == 1) {
       args.slo_recall_drop = d;
     } else if (std::sscanf(argv[i], "--slo-gini-max=%lf", &d) == 1) {
@@ -115,10 +139,144 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kLearningCurveFlag,
                             sizeof(kLearningCurveFlag) - 1) == 0) {
       args.learning_curve_json = argv[i] + sizeof(kLearningCurveFlag) - 1;
+    } else if (std::strncmp(argv[i], kPerfJsonFlag,
+                            sizeof(kPerfJsonFlag) - 1) == 0) {
+      args.perf_json = argv[i] + sizeof(kPerfJsonFlag) - 1;
     }
   }
   return args;
 }
+
+// Drives the --perf-json repetition harness (DESIGN.md §13). Usage:
+//
+//   PerfRecorder perf(args, "fig4a_num_answers");
+//   do {
+//     PerfRecorder::Phase setup(perf, "setup");
+//     ...build the system (perf.ApplyConfig(config) first)...
+//     setup.Stop();
+//     { PerfRecorder::Phase run(perf, "train"); ...workload...; }
+//     perf.CaptureSystem(sys);
+//   } while (perf.NextRep());
+//   perf.WriteReport();
+//
+// Without --perf-json the body runs exactly once and every call here is a
+// no-op, so the plain bench behaviour (and its deterministic dumps —
+// rewritten identically on every repetition) is unchanged. With it, the
+// body runs perf_warmup discarded + perf_reps measured times; each
+// measured rep contributes one wall-time sample per phase, and the final
+// rep also samples process resources per phase and captures the system's
+// perf.* histograms and worker-pool utilization.
+class PerfRecorder {
+ public:
+  PerfRecorder(const BenchArgs& args, const char* bench)
+      : enabled_(!args.perf_json.empty()),
+        path_(args.perf_json),
+        warmup_(enabled_ ? args.perf_warmup : 0),
+        measured_(enabled_ ? std::max<size_t>(size_t{1}, args.perf_reps)
+                           : 1) {
+    report_.env.bench = bench;
+    report_.env.git_commit = SPRITE_GIT_COMMIT;
+    report_.env.build_type = SPRITE_BUILD_TYPE;
+    report_.env.nproc = std::thread::hardware_concurrency();
+    report_.env.threads = args.threads;
+    report_.env.docs = args.docs;
+    report_.env.peers = args.peers;
+    report_.env.seed = args.seed;
+    report_.env.warmup = warmup_;
+    report_.env.measured_reps = measured_;
+  }
+
+  bool enabled() const { return enabled_; }
+  // Whether the current repetition's samples are kept (post-warmup).
+  bool measuring() const { return enabled_ && rep_ >= warmup_; }
+  bool last_rep() const { return rep_ + 1 >= warmup_ + measured_; }
+
+  // Advances the rep loop; false ends it (always immediately when the
+  // harness is off).
+  bool NextRep() {
+    ++rep_;
+    return enabled_ && rep_ < warmup_ + measured_;
+  }
+
+  // Call on the bench's SpriteConfig before constructing the system so the
+  // wall profiler is live during profiled runs.
+  void ApplyConfig(sprite::core::SpriteConfig& config) {
+    if (enabled_) config.enable_wall_profiler = true;
+  }
+
+  // Call once per rep after the workload; only the final rep's snapshot is
+  // kept (cumulative over that whole run).
+  void CaptureSystem(const sprite::core::SpriteSystem& sys) {
+    if (!enabled_ || !last_rep()) return;
+    report_.wall = sys.profiler().Snapshot();
+    report_.workers = sys.pool_stats();
+    report_.has_workers = true;
+  }
+
+  // RAII wall timer over one bench phase of the current repetition.
+  class Phase {
+   public:
+    Phase(PerfRecorder& rec, const char* name)
+        : rec_(rec.enabled_ ? &rec : nullptr),
+          name_(name),
+          start_ns_(rec.enabled_ ? sprite::obs::MonotonicNowNs() : 0) {}
+    ~Phase() { Stop(); }
+    Phase(const Phase&) = delete;
+    Phase& operator=(const Phase&) = delete;
+    void Stop() {
+      if (rec_ == nullptr) return;
+      rec_->RecordPhaseNs(name_, sprite::obs::MonotonicNowNs() - start_ns_);
+      rec_ = nullptr;
+    }
+
+   private:
+    PerfRecorder* rec_;
+    const char* name_;
+    uint64_t start_ns_;
+  };
+
+  void WriteReport() {
+    if (!enabled_) return;
+    const std::string json = report_.ToJson();
+    if (sprite::obs::WriteJsonFile(path_, json)) {
+      std::printf("perf sidecar written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write perf sidecar to %s\n",
+                   path_.c_str());
+    }
+  }
+
+ private:
+  friend class Phase;
+
+  void RecordPhaseNs(const char* name, uint64_t ns) {
+    if (!measuring()) return;
+    sprite::obs::PerfPhaseStat* slot = nullptr;
+    for (sprite::obs::PerfPhaseStat& p : report_.phases) {
+      if (p.name == name) {
+        slot = &p;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      report_.phases.emplace_back();
+      slot = &report_.phases.back();
+      slot->name = name;
+    }
+    slot->wall_ms.Add(static_cast<double>(ns) / 1e6);
+    if (last_rep()) {
+      slot->resources = sprite::obs::SampleResources();
+      slot->has_resources = true;
+    }
+  }
+
+  const bool enabled_;
+  const std::string path_;
+  const size_t warmup_;
+  const size_t measured_;
+  size_t rep_ = 0;
+  sprite::obs::PerfReport report_;
+};
 
 // True when any flag asked for per-round telemetry (time-series dumps, the
 // convergence JSON, or an armed SLO rule — alerts are only evaluated at

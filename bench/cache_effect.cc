@@ -82,21 +82,17 @@ double MeanSearchMs(const core::SpriteSystem& sys) {
   return h == nullptr ? 0.0 : h->Mean();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
-  if (args.cache.empty()) args.cache = "on";
-  spritebench::PrintHeader("Cache effect: result + posting tiers (§9)",
-                           args);
-  std::printf("   mode: --cache=%s\n\n", args.cache.c_str());
-
-  eval::TestBed bed =
-      eval::TestBed::Build(spritebench::DefaultExperiment(args));
-
+// One full cache comparison over a prebuilt bed + stream; repeated per
+// --perf-json repetition (deterministic, so every pass prints the same
+// numbers and rewrites identical dumps).
+void RunOnce(const spritebench::BenchArgs& args, const eval::TestBed& bed,
+             const std::vector<size_t>& stream,
+             spritebench::PerfRecorder& perf) {
+  spritebench::PerfRecorder::Phase train_phase(perf, "train");
   core::SpriteConfig cached_config = spritebench::DefaultSpriteConfig(args);
   spritebench::ApplyCacheMode(args, cached_config);
   spritebench::ApplyObsFlags(args, cached_config);
+  perf.ApplyConfig(cached_config);
   core::SpriteSystem cached(cached_config);
   spritebench::ApplySloRules(args, cached);
   core::SpriteSystem baseline(spritebench::DefaultSpriteConfig(args));
@@ -104,19 +100,17 @@ int main(int argc, char** argv) {
   SPRITE_CHECK_OK(eval::TrainSystem(cached, bed, bed.split().train, 3));
   SPRITE_CHECK_OK(eval::TrainSystem(baseline, bed, bed.split().train, 3));
 
-  Rng stream_rng(args.seed * 101 + 13);
-  const querygen::ZipfStream zipf = querygen::MakeZipfStream(
-      bed.split().test, /*num_issuances=*/bed.split().test.size() * 10,
-      /*slope=*/1.0, stream_rng);
-  const std::vector<size_t>& stream = zipf.issuances;
-
   spritebench::MaybeEnableTracing(args, cached);
+  train_phase.Stop();
 
   // --- warm: fill the tiers, throw the numbers away ----------------------
+  spritebench::PerfRecorder::Phase warm_phase(perf, "warm");
   Replay(cached, bed, stream, /*record=*/false);
   Replay(baseline, bed, stream, /*record=*/false);
+  warm_phase.Stop();
 
   // --- repeat: measured head-to-head over the identical stream -----------
+  spritebench::PerfRecorder::Phase repeat_phase(perf, "repeat");
   cached.ClearMetrics();
   baseline.ClearMetrics();
   const std::vector<ir::RankedList> on_results =
@@ -174,8 +168,10 @@ int main(int argc, char** argv) {
               mean_ms_on, mean_ms_off);
   std::printf("  ranked results byte-identical to baseline: %s\n",
               identical ? "yes" : "NO");
+  repeat_phase.Stop();
 
   // --- stale: learning churns the index under live caches ----------------
+  spritebench::PerfRecorder::Phase stale_phase(perf, "stale");
   if (cached.query_cache().enabled()) {
     const size_t slice = std::min<size_t>(stream.size(), 300);
     const std::vector<size_t> sub(stream.begin(), stream.begin() + slice);
@@ -221,8 +217,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  stale_phase.Stop();
+
   spritebench::MaybeWriteTimeSeries(args, cached);
   spritebench::MaybeWriteMetricsJson(args, cached);
   spritebench::MaybeWriteTraceFiles(args, cached);
+  perf.CaptureSystem(cached);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
+  if (args.cache.empty()) args.cache = "on";
+  spritebench::PrintHeader("Cache effect: result + posting tiers (§9)",
+                           args);
+  std::printf("   mode: --cache=%s\n\n", args.cache.c_str());
+
+  eval::TestBed bed =
+      eval::TestBed::Build(spritebench::DefaultExperiment(args));
+
+  Rng stream_rng(args.seed * 101 + 13);
+  const querygen::ZipfStream zipf = querygen::MakeZipfStream(
+      bed.split().test, /*num_issuances=*/bed.split().test.size() * 10,
+      /*slope=*/1.0, stream_rng);
+
+  spritebench::PerfRecorder perf(args, "cache_effect");
+  do {
+    RunOnce(args, bed, zipf.issuances, perf);
+  } while (perf.NextRep());
+  perf.WriteReport();
   return 0;
 }

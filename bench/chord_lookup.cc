@@ -76,89 +76,113 @@ void RunInstrumentedSample(const spritebench::BenchArgs& args) {
   write(args.trace_jsonl, tracer.ToJsonl(), "jsonl trace");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+// One full bench pass; the hop tables are seeded-deterministic, so every
+// --perf-json repetition prints identical rows. No SpriteSystem here, so
+// the perf sidecar carries phase timings and resources but no worker-pool
+// or wall-profiler sections.
+void RunOnce(const spritebench::BenchArgs& args,
+             spritebench::PerfRecorder& perf) {
   using namespace sprite;
-  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
 
   std::printf("== Chord lookup hops vs network size (Supp-2) ==\n\n");
   std::printf("%8s | %10s | %8s | %8s | %14s\n", "peers", "mean hops", "p95",
               "max", "0.5*log2(N)");
   std::printf("---------+------------+----------+----------+--------------\n");
 
-  for (size_t n : {16u, 64u, 256u, 1024u, 4096u}) {
-    dht::ChordRing ring(dht::ChordOptions{32, 8});
-    for (size_t i = 0; i < n; ++i) {
-      auto id = ring.Join("peer" + std::to_string(i));
-      SPRITE_CHECK(id.ok());
-    }
-    ring.BuildPerfect();
-    ring.ClearStats();
+  {
+    spritebench::PerfRecorder::Phase phase(perf, "hop_sweep");
+    for (size_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+      dht::ChordRing ring(dht::ChordOptions{32, 8});
+      for (size_t i = 0; i < n; ++i) {
+        auto id = ring.Join("peer" + std::to_string(i));
+        SPRITE_CHECK(id.ok());
+      }
+      ring.BuildPerfect();
+      ring.ClearStats();
 
-    Rng rng(n * 2654435761ULL + 1);
-    for (int i = 0; i < 2000; ++i) {
-      auto res = ring.Lookup(ring.space().Truncate(rng.NextUint64()));
-      SPRITE_CHECK(res.ok());
+      Rng rng(n * 2654435761ULL + 1);
+      for (int i = 0; i < 2000; ++i) {
+        auto res = ring.Lookup(ring.space().Truncate(rng.NextUint64()));
+        SPRITE_CHECK(res.ok());
+      }
+      const auto& hops = ring.stats().hops;
+      std::printf("%8zu | %10.2f | %8.0f | %8.0f | %14.2f\n", n, hops.Mean(),
+                  hops.Percentile(95), hops.max(),
+                  0.5 * std::log2(static_cast<double>(n)));
     }
-    const auto& hops = ring.stats().hops;
-    std::printf("%8zu | %10.2f | %8.0f | %8.0f | %14.2f\n", n, hops.Mean(),
-                hops.Percentile(95), hops.max(),
-                0.5 * std::log2(static_cast<double>(n)));
   }
 
   // Churn: fail 25% of a 1024-node ring, stabilize, verify lookups.
-  std::printf("\nchurn: failing 25%% of 1024 peers, then 3 stabilization "
-              "rounds\n");
-  dht::ChordRing ring(dht::ChordOptions{32, 8});
-  for (size_t i = 0; i < 1024; ++i) {
-    SPRITE_CHECK(ring.Join("peer" + std::to_string(i)).ok());
-  }
-  ring.BuildPerfect();
-  std::vector<uint64_t> ids = ring.AliveIds();
-  Rng churn_rng(99);
-  churn_rng.Shuffle(ids);
-  for (size_t i = 0; i < 256; ++i) SPRITE_CHECK(ring.Fail(ids[i]).ok());
-  ring.StabilizeAll(3);
-  ring.ClearStats();
+  {
+    spritebench::PerfRecorder::Phase phase(perf, "churn");
+    std::printf("\nchurn: failing 25%% of 1024 peers, then 3 stabilization "
+                "rounds\n");
+    dht::ChordRing ring(dht::ChordOptions{32, 8});
+    for (size_t i = 0; i < 1024; ++i) {
+      SPRITE_CHECK(ring.Join("peer" + std::to_string(i)).ok());
+    }
+    ring.BuildPerfect();
+    std::vector<uint64_t> ids = ring.AliveIds();
+    Rng churn_rng(99);
+    churn_rng.Shuffle(ids);
+    for (size_t i = 0; i < 256; ++i) SPRITE_CHECK(ring.Fail(ids[i]).ok());
+    ring.StabilizeAll(3);
+    ring.ClearStats();
 
-  Rng rng(4242);
-  size_t ok = 0, failed = 0;
-  for (int i = 0; i < 2000; ++i) {
-    auto res = ring.Lookup(ring.space().Truncate(rng.NextUint64()));
-    res.ok() ? ++ok : ++failed;
+    Rng rng(4242);
+    size_t ok = 0, failed = 0;
+    for (int i = 0; i < 2000; ++i) {
+      auto res = ring.Lookup(ring.space().Truncate(rng.NextUint64()));
+      res.ok() ? ++ok : ++failed;
+    }
+    std::printf("  lookups ok %zu / failed %zu, mean hops %.2f (was ~%.2f "
+                "pre-churn)\n",
+                ok, failed, ring.stats().hops.Mean(),
+                0.5 * std::log2(768.0));
   }
-  std::printf("  lookups ok %zu / failed %zu, mean hops %.2f (was ~%.2f "
-              "pre-churn)\n",
-              ok, failed, ring.stats().hops.Mean(),
-              0.5 * std::log2(768.0));
 
   // The paper: "there is nothing in our central idea that depends on
   // Chord". The same term keys resolve to a unique owner with logarithmic
   // cost on a Kademlia overlay too.
-  std::printf("\noverlay comparison: lookup hops for the same term keys\n");
-  std::printf("%8s | %12s | %12s\n", "peers", "Chord", "Kademlia");
-  std::printf("---------+--------------+-------------\n");
-  for (size_t n : {64u, 256u, 1024u}) {
-    dht::ChordRing chord(dht::ChordOptions{32, 8});
-    dht::KademliaNetwork kad(dht::KademliaOptions{32, 8});
-    for (size_t i = 0; i < n; ++i) {
-      SPRITE_CHECK(chord.Join("peer" + std::to_string(i)).ok());
-      SPRITE_CHECK(kad.Join("peer" + std::to_string(i)).ok());
+  {
+    spritebench::PerfRecorder::Phase phase(perf, "overlay_compare");
+    std::printf("\noverlay comparison: lookup hops for the same term keys\n");
+    std::printf("%8s | %12s | %12s\n", "peers", "Chord", "Kademlia");
+    std::printf("---------+--------------+-------------\n");
+    for (size_t n : {64u, 256u, 1024u}) {
+      dht::ChordRing chord(dht::ChordOptions{32, 8});
+      dht::KademliaNetwork kad(dht::KademliaOptions{32, 8});
+      for (size_t i = 0; i < n; ++i) {
+        SPRITE_CHECK(chord.Join("peer" + std::to_string(i)).ok());
+        SPRITE_CHECK(kad.Join("peer" + std::to_string(i)).ok());
+      }
+      chord.BuildPerfect();
+      kad.BuildPerfect();
+      chord.ClearStats();
+      kad.ClearStats();
+      for (int i = 0; i < 1000; ++i) {
+        const std::string term = "term" + std::to_string(i);
+        SPRITE_CHECK(chord.Lookup(chord.space().KeyForString(term)).ok());
+        SPRITE_CHECK(kad.Lookup(kad.space().KeyForString(term)).ok());
+      }
+      std::printf("%8zu | %12.2f | %12.2f\n", n, chord.stats().hops.Mean(),
+                  kad.stats().hops.Mean());
     }
-    chord.BuildPerfect();
-    kad.BuildPerfect();
-    chord.ClearStats();
-    kad.ClearStats();
-    for (int i = 0; i < 1000; ++i) {
-      const std::string term = "term" + std::to_string(i);
-      SPRITE_CHECK(chord.Lookup(chord.space().KeyForString(term)).ok());
-      SPRITE_CHECK(kad.Lookup(kad.space().KeyForString(term)).ok());
-    }
-    std::printf("%8zu | %12.2f | %12.2f\n", n, chord.stats().hops.Mean(),
-                kad.stats().hops.Mean());
   }
 
   RunInstrumentedSample(args);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sprite;
+  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
+
+  spritebench::PerfRecorder perf(args, "chord_lookup");
+  do {
+    RunOnce(args, perf);
+  } while (perf.NextRep());
+  perf.WriteReport();
   return 0;
 }

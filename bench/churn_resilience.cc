@@ -18,10 +18,14 @@ struct Outcome {
 };
 
 Outcome Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
-            double fail_fraction, size_t replication, bool instrument) {
+            double fail_fraction, size_t replication,
+            spritebench::PerfRecorder& perf, bool instrument) {
   core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
   config.replication_factor = replication;
-  if (instrument) spritebench::ApplyObsFlags(args, config);
+  if (instrument) {
+    spritebench::ApplyObsFlags(args, config);
+    perf.ApplyConfig(config);
+  }
   core::SpriteSystem system(config);
   const bool telemetry = instrument && spritebench::WantsTimeSeries(args);
   if (instrument) {
@@ -65,7 +69,10 @@ Outcome Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
     system.CaptureTimeSeriesPoint("post-failure");
     spritebench::MaybeWriteTimeSeries(args, system);
   }
-  if (instrument) spritebench::MaybeWriteTraceFiles(args, system);
+  if (instrument) {
+    spritebench::MaybeWriteTraceFiles(args, system);
+    perf.CaptureSystem(system);
+  }
   return Outcome{r.ratio.precision, r.ratio.recall,
                  system.ring().stats().failed_lookups};
 }
@@ -81,20 +88,25 @@ int main(int argc, char** argv) {
   eval::TestBed bed =
       eval::TestBed::Build(spritebench::DefaultExperiment(args));
 
-  std::printf("%8s | %22s | %22s\n", "failed", "no replication (P/R)",
-              "replication r=2 (P/R)");
-  std::printf("---------+------------------------+----------------------\n");
-  for (double f : {0.0, 0.1, 0.25, 0.5}) {
-    Outcome none = Run(args, bed, f, 0, /*instrument=*/false);
-    // Trace (when requested) the harshest replicated run: searches routing
-    // around half the network being gone.
-    Outcome repl = Run(args, bed, f, 2, /*instrument=*/f == 0.5);
-    std::printf("  %4.0f%%  |    %6.3f / %6.3f    |    %6.3f / %6.3f\n",
-                f * 100.0, none.precision, none.recall, repl.precision,
-                repl.recall);
-  }
-  std::printf(
-      "\n(the paper: with index replication in successor peers, 'peer\n"
-      " failure will have little impact in SPRITE')\n");
+  spritebench::PerfRecorder perf(args, "churn_resilience");
+  do {
+    spritebench::PerfRecorder::Phase phase(perf, "failure_sweep");
+    std::printf("%8s | %22s | %22s\n", "failed", "no replication (P/R)",
+                "replication r=2 (P/R)");
+    std::printf("---------+------------------------+----------------------\n");
+    for (double f : {0.0, 0.1, 0.25, 0.5}) {
+      Outcome none = Run(args, bed, f, 0, perf, /*instrument=*/false);
+      // Trace (when requested) the harshest replicated run: searches routing
+      // around half the network being gone.
+      Outcome repl = Run(args, bed, f, 2, perf, /*instrument=*/f == 0.5);
+      std::printf("  %4.0f%%  |    %6.3f / %6.3f    |    %6.3f / %6.3f\n",
+                  f * 100.0, none.precision, none.recall, repl.precision,
+                  repl.recall);
+    }
+    std::printf(
+        "\n(the paper: with index replication in successor peers, 'peer\n"
+        " failure will have little impact in SPRITE')\n");
+  } while (perf.NextRep());
+  perf.WriteReport();
   return 0;
 }

@@ -27,7 +27,7 @@ struct Row {
 
 Row RunAtBudget(const spritebench::BenchArgs& args, const eval::TestBed& bed,
                 const std::vector<size_t>& stream, size_t num_terms,
-                bool instrument = false) {
+                spritebench::PerfRecorder& perf, bool instrument = false) {
   // num_terms = 5 initial + 5 per learning iteration.
   const size_t iterations = (num_terms - 5) / 5;
 
@@ -35,7 +35,12 @@ Row RunAtBudget(const spritebench::BenchArgs& args, const eval::TestBed& bed,
       spritebench::DefaultSpriteConfig(args, num_terms);
   // The dump flags instrument one designated SPRITE run (the largest Zipf
   // budget); dumping every cell would overwrite the same files six times.
-  if (instrument) spritebench::ApplyObsFlags(args, sprite_config);
+  // The perf sidecar follows the same convention: the wall-profiler and
+  // worker-pool capture come from the instrumented cell.
+  if (instrument) {
+    spritebench::ApplyObsFlags(args, sprite_config);
+    perf.ApplyConfig(sprite_config);
+  }
   core::SpriteSystem sprite_sys(sprite_config);
   if (instrument) {
     spritebench::MaybeEnableTracing(args, sprite_sys);
@@ -58,6 +63,7 @@ Row RunAtBudget(const spritebench::BenchArgs& args, const eval::TestBed& bed,
     spritebench::MaybeWriteTimeSeries(args, sprite_sys);
     spritebench::MaybeWriteMetricsJson(args, sprite_sys);
     spritebench::MaybeWriteTraceFiles(args, sprite_sys);
+    perf.CaptureSystem(sprite_sys);
   }
 
   core::SpriteSystem esearch_sys(core::MakeESearchConfig(
@@ -87,24 +93,30 @@ int main(int argc, char** argv) {
       bed.split().train, /*num_issuances=*/bed.split().train.size() * 6,
       /*slope=*/0.5, stream_rng);
 
-  std::printf("%6s | %-19s %-19s | %-19s %-19s\n", "", "SPRITE w/o-r",
-              "eSearch w/o-r", "SPRITE w-zipf", "eSearch w-zipf");
-  std::printf("%6s | %-19s %-19s | %-19s %-19s\n", "terms", "P / R", "P / R",
-              "P / R", "P / R");
-  std::printf("-------+-----------------------------------------+"
-              "----------------------------------------\n");
-  for (size_t terms : {5u, 10u, 15u, 20u, 25u, 30u}) {
-    Row wor = RunAtBudget(args, bed, wor_stream, terms);
-    Row wz = RunAtBudget(args, bed, zipf.issuances, terms,
-                         /*instrument=*/terms == 30);
+  spritebench::PerfRecorder perf(args, "fig4b_num_terms");
+  do {
+    spritebench::PerfRecorder::Phase sweep_phase(perf, "sweep");
+    std::printf("%6s | %-19s %-19s | %-19s %-19s\n", "", "SPRITE w/o-r",
+                "eSearch w/o-r", "SPRITE w-zipf", "eSearch w-zipf");
+    std::printf("%6s | %-19s %-19s | %-19s %-19s\n", "terms", "P / R", "P / R",
+                "P / R", "P / R");
+    std::printf("-------+-----------------------------------------+"
+                "----------------------------------------\n");
+    for (size_t terms : {5u, 10u, 15u, 20u, 25u, 30u}) {
+      Row wor = RunAtBudget(args, bed, wor_stream, terms, perf);
+      Row wz = RunAtBudget(args, bed, zipf.issuances, terms, perf,
+                           /*instrument=*/terms == 30);
+      std::printf(
+          "%6zu |   %5.3f / %5.3f     %5.3f / %5.3f   |   %5.3f / %5.3f"
+          "     %5.3f / %5.3f\n",
+          terms, wor.sprite_p, wor.sprite_r, wor.esearch_p, wor.esearch_r,
+          wz.sprite_p, wz.sprite_r, wz.esearch_p, wz.esearch_r);
+    }
     std::printf(
-        "%6zu |   %5.3f / %5.3f     %5.3f / %5.3f   |   %5.3f / %5.3f"
-        "     %5.3f / %5.3f\n",
-        terms, wor.sprite_p, wor.sprite_r, wor.esearch_p, wor.esearch_r,
-        wz.sprite_p, wz.sprite_r, wz.esearch_p, wz.esearch_r);
-  }
-  std::printf(
-      "\n(ratios to centralized at 20 answers; paper: identical at 5 terms,\n"
-      " SPRITE > eSearch at equal budgets, SPRITE@20 ~ eSearch@30)\n");
+        "\n(ratios to centralized at 20 answers; paper: identical at 5 "
+        "terms,\n SPRITE > eSearch at equal budgets, SPRITE@20 ~ "
+        "eSearch@30)\n");
+  } while (perf.NextRep());
+  perf.WriteReport();
   return 0;
 }

@@ -50,51 +50,61 @@ int main(int argc, char** argv) {
   querygen::PatternGroups groups =
       querygen::SplitByOrigin(bed.workload(), group_rng);
 
-  core::SpriteConfig sprite_config =
-      spritebench::DefaultSpriteConfig(args, /*max_terms=*/30);
-  spritebench::ApplyObsFlags(args, sprite_config);
-  core::SpriteSystem sprite_sys(sprite_config);
-  // eSearch grows by 5 frequency terms per iteration until the same cap.
-  core::SpriteConfig esearch_config =
-      core::MakeESearchConfig(spritebench::DefaultSpriteConfig(args), 5);
-  esearch_config.max_index_terms = 30;
-  esearch_config.terms_per_iteration = 5;
-  core::SpriteSystem esearch_sys(esearch_config);
+  spritebench::PerfRecorder perf(args, "fig4c_pattern_change");
+  do {
+    spritebench::PerfRecorder::Phase setup_phase(perf, "setup");
+    core::SpriteConfig sprite_config =
+        spritebench::DefaultSpriteConfig(args, /*max_terms=*/30);
+    spritebench::ApplyObsFlags(args, sprite_config);
+    perf.ApplyConfig(sprite_config);
+    core::SpriteSystem sprite_sys(sprite_config);
+    // eSearch grows by 5 frequency terms per iteration until the same cap.
+    core::SpriteConfig esearch_config =
+        core::MakeESearchConfig(spritebench::DefaultSpriteConfig(args), 5);
+    esearch_config.max_index_terms = 30;
+    esearch_config.terms_per_iteration = 5;
+    core::SpriteSystem esearch_sys(esearch_config);
 
-  // The dump flags instrument the SPRITE system across all ten iterations
-  // (record + evaluate + learn), including the pattern change at 6.
-  spritebench::MaybeEnableTracing(args, sprite_sys);
-  spritebench::ApplySloRules(args, sprite_sys);
-  SPRITE_CHECK_OK(sprite_sys.ShareCorpus(bed.corpus()));
-  SPRITE_CHECK_OK(esearch_sys.ShareCorpus(bed.corpus()));
+    // The dump flags instrument the SPRITE system across all ten iterations
+    // (record + evaluate + learn), including the pattern change at 6.
+    spritebench::MaybeEnableTracing(args, sprite_sys);
+    spritebench::ApplySloRules(args, sprite_sys);
+    SPRITE_CHECK_OK(sprite_sys.ShareCorpus(bed.corpus()));
+    SPRITE_CHECK_OK(esearch_sys.ShareCorpus(bed.corpus()));
+    setup_phase.Stop();
 
-  std::printf("%5s | %5s | %18s | %18s\n", "iter", "group", "SPRITE (P / R)",
-              "eSearch (P / R)");
-  std::printf("------+-------+--------------------+-------------------\n");
-  for (int iteration = 1; iteration <= 10; ++iteration) {
-    const std::vector<size_t>& group =
-        iteration <= 5 ? groups.group_a : groups.group_b;
-    IterationResult s = RunIteration(sprite_sys, bed, group);
-    IterationResult e = RunIteration(esearch_sys, bed, group);
-    // One time-series point per iteration (before the learning step the
-    // SLO rules compare against the next iteration): the Fig. 4(c) dip at
-    // the pattern change shows up as a recall-drop alert.
-    obs::MetricsRegistry& metrics = sprite_sys.mutable_metrics();
-    metrics.Set("bench.iteration", static_cast<double>(iteration));
-    metrics.Set("bench.group", iteration <= 5 ? 0.0 : 1.0);
-    metrics.Set("bench.precision_ratio", s.precision);
-    metrics.Set("bench.recall_ratio", s.recall);
-    sprite_sys.CaptureTimeSeriesPoint("iteration");
-    std::printf("%5d |   %c   |   %6.3f / %6.3f  |   %6.3f / %6.3f\n",
-                iteration, iteration <= 5 ? 'A' : 'B', s.precision, s.recall,
-                e.precision, e.recall);
-  }
-  std::printf(
-      "\n(ratios to centralized at 20 answers; paper: SPRITE dips when the\n"
-      " unseen group B arrives at iteration 6 and recovers within one\n"
-      " iteration; eSearch is flat after reaching its 30-term cap)\n");
-  spritebench::MaybeWriteTimeSeries(args, sprite_sys);
-  spritebench::MaybeWriteMetricsJson(args, sprite_sys);
-  spritebench::MaybeWriteTraceFiles(args, sprite_sys);
+    spritebench::PerfRecorder::Phase iter_phase(perf, "iterations");
+    std::printf("%5s | %5s | %18s | %18s\n", "iter", "group", "SPRITE (P / R)",
+                "eSearch (P / R)");
+    std::printf("------+-------+--------------------+-------------------\n");
+    for (int iteration = 1; iteration <= 10; ++iteration) {
+      const std::vector<size_t>& group =
+          iteration <= 5 ? groups.group_a : groups.group_b;
+      IterationResult s = RunIteration(sprite_sys, bed, group);
+      IterationResult e = RunIteration(esearch_sys, bed, group);
+      // One time-series point per iteration (before the learning step the
+      // SLO rules compare against the next iteration): the Fig. 4(c) dip at
+      // the pattern change shows up as a recall-drop alert.
+      obs::MetricsRegistry& metrics = sprite_sys.mutable_metrics();
+      metrics.Set("bench.iteration", static_cast<double>(iteration));
+      metrics.Set("bench.group", iteration <= 5 ? 0.0 : 1.0);
+      metrics.Set("bench.precision_ratio", s.precision);
+      metrics.Set("bench.recall_ratio", s.recall);
+      sprite_sys.CaptureTimeSeriesPoint("iteration");
+      std::printf("%5d |   %c   |   %6.3f / %6.3f  |   %6.3f / %6.3f\n",
+                  iteration, iteration <= 5 ? 'A' : 'B', s.precision, s.recall,
+                  e.precision, e.recall);
+    }
+    iter_phase.Stop();
+    std::printf(
+        "\n(ratios to centralized at 20 answers; paper: SPRITE dips when the\n"
+        " unseen group B arrives at iteration 6 and recovers within one\n"
+        " iteration; eSearch is flat after reaching its 30-term cap)\n");
+    spritebench::MaybeWriteTimeSeries(args, sprite_sys);
+    spritebench::MaybeWriteMetricsJson(args, sprite_sys);
+    spritebench::MaybeWriteTraceFiles(args, sprite_sys);
+    perf.CaptureSystem(sprite_sys);
+  } while (perf.NextRep());
+  perf.WriteReport();
   return 0;
 }

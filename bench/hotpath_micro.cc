@@ -206,33 +206,19 @@ double RunFast(const core::SpriteSystem& sys, const eval::TestBed& bed,
   return MsSince(start);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
-  std::string out_path = "BENCH_hotpath.json";
-  size_t rounds = 3;
-  for (int i = 1; i < argc; ++i) {
-    unsigned long long v = 0;
-    if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out_path = argv[i] + 6;
-    } else if (std::sscanf(argv[i], "--rounds=%llu", &v) == 1) {
-      rounds = static_cast<size_t>(v);
-    }
-  }
-  if (rounds == 0) rounds = 1;
-  spritebench::PrintHeader("Hot-path micro-benchmark", args);
-
-  eval::TestBed bed = eval::TestBed::Build(spritebench::DefaultExperiment(args));
-  core::SpriteSystem sys(spritebench::DefaultSpriteConfig(args));
-  SPRITE_CHECK_OK(
-      eval::TrainSystem(sys, bed, bed.split().train, /*iterations=*/3));
-
+// One full measurement pass. The wall-clock numbers naturally differ
+// between passes — that spread is exactly what the --perf-json phase
+// statistics (min/median/stddev over reps) summarize. The JSON report is
+// rewritten each pass, so it holds the final rep's numbers.
+int RunOnce(const spritebench::BenchArgs& args, const eval::TestBed& bed,
+            const core::SpriteSystem& sys, const std::string& out_path,
+            size_t rounds, spritebench::PerfRecorder& perf) {
   const dht::IdSpace& space = sys.ring().space();
   const text::TermDict& dict = text::TermDict::Global();
   const std::vector<std::string> vocab = WorkloadVocabulary(bed);
 
   // --- 1. term -> ring key ------------------------------------------------
+  spritebench::PerfRecorder::Phase key_phase(perf, "term_key");
   std::vector<text::TermId> vocab_ids;
   vocab_ids.reserve(vocab.size());
   for (const std::string& term : vocab) {
@@ -259,8 +245,10 @@ int main(int argc, char** argv) {
     interned_ms = MsSince(t1);
     Sink(s);
   }
+  key_phase.Stop();
 
   // --- 2. posting-list fetch: deep copy vs shared view --------------------
+  spritebench::PerfRecorder::Phase fetch_phase(perf, "fetch");
   std::vector<core::PostingListPtr> live_lists;
   size_t live_entries = 0;
   for (const uint64_t id : sys.ring().AliveIds()) {
@@ -300,8 +288,10 @@ int main(int argc, char** argv) {
     shared_view_ms = MsSince(t1);
     Sink(s);
   }
+  fetch_phase.Stop();
 
   // --- 3. top-k selection: full sort vs bounded selection -----------------
+  spritebench::PerfRecorder::Phase rank_phase(perf, "rank");
   constexpr size_t kRankCandidates = 20000;
   constexpr size_t kTopK = 10;
   constexpr size_t kRankReps = 300;
@@ -336,8 +326,10 @@ int main(int argc, char** argv) {
     topk_ms = MsSince(t1);
     Sink(s);
   }
+  rank_phase.Stop();
 
   // --- 4. end-to-end fetch+rank over the test workload --------------------
+  spritebench::PerfRecorder::Phase e2e_phase(perf, "end_to_end");
   constexpr size_t kAnswers = 10;
   std::string legacy_dump, fast_dump;
   // Untimed verification pass (serialization stays out of the timings).
@@ -349,6 +341,7 @@ int main(int argc, char** argv) {
     legacy_ms += RunLegacy(sys, bed, kAnswers, /*collect=*/false, nullptr);
     fast_ms += RunFast(sys, bed, kAnswers, /*collect=*/false, nullptr);
   }
+  e2e_phase.Stop();
   const size_t test_queries = bed.split().test.size();
   const double per_query = 1000.0 / std::max<size_t>(1, test_queries * rounds);
 
@@ -412,4 +405,44 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
+  std::string out_path = "BENCH_hotpath.json";
+  size_t rounds = 3;
+  for (int i = 1; i < argc; ++i) {
+    unsigned long long v = 0;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::sscanf(argv[i], "--rounds=%llu", &v) == 1) {
+      rounds = static_cast<size_t>(v);
+    }
+  }
+  if (rounds == 0) rounds = 1;
+  spritebench::PrintHeader("Hot-path micro-benchmark", args);
+
+  spritebench::PerfRecorder perf(args, "hotpath_micro");
+  spritebench::PerfRecorder::Phase setup_phase(perf, "setup");
+  eval::TestBed bed = eval::TestBed::Build(spritebench::DefaultExperiment(args));
+  // The trained system is reused across --perf-json reps: it is read-only
+  // for every measured section, and its wall profiler (enabled through the
+  // usual config toggle) accumulates the TrainSystem hot paths.
+  core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
+  perf.ApplyConfig(config);
+  core::SpriteSystem sys(config);
+  SPRITE_CHECK_OK(
+      eval::TrainSystem(sys, bed, bed.split().train, /*iterations=*/3));
+  setup_phase.Stop();
+
+  int rc = 0;
+  do {
+    rc = RunOnce(args, bed, sys, out_path, rounds, perf);
+    if (rc != 0) return rc;
+  } while (perf.NextRep());
+  perf.CaptureSystem(sys);
+  perf.WriteReport();
+  return rc;
 }

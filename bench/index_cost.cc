@@ -30,20 +30,15 @@ void PrintCost(const char* label, const p2p::NetworkStats& stats,
                   static_cast<double>(num_docs));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
-  args.docs = std::min<size_t>(args.docs, 1500);  // full indexing is heavy
-  spritebench::PrintHeader(
-      "Index construction & maintenance cost (Supp-1)", args);
-
-  eval::TestBed bed =
-      eval::TestBed::Build(spritebench::DefaultExperiment(args));
+// One full cost comparison; repeated per --perf-json repetition (the
+// traffic tables are deterministic, so every pass prints the same rows).
+void RunOnce(const spritebench::BenchArgs& args, const eval::TestBed& bed,
+             spritebench::PerfRecorder& perf) {
   const size_t n = bed.corpus().num_docs();
 
   // --- Full indexing: every distinct term of every document. -----------
   {
+    spritebench::PerfRecorder::Phase phase(perf, "full_indexing");
     // Model it as eSearch with an unbounded term budget.
     core::SpriteConfig config = core::MakeESearchConfig(
         spritebench::DefaultSpriteConfig(args), 1u << 20);
@@ -55,6 +50,7 @@ int main(int argc, char** argv) {
 
   // --- eSearch: top-20 frequent terms. -----------------------------------
   {
+    spritebench::PerfRecorder::Phase phase(perf, "esearch");
     core::SpriteSystem system(
         core::MakeESearchConfig(spritebench::DefaultSpriteConfig(args), 20));
     SPRITE_CHECK_OK(system.ShareCorpus(bed.corpus()));
@@ -63,8 +59,10 @@ int main(int argc, char** argv) {
 
   // --- SPRITE: 5 initial terms + 3 learning iterations. ----------------
   {
+    spritebench::PerfRecorder::Phase phase(perf, "sprite");
     core::SpriteConfig sprite_config = spritebench::DefaultSpriteConfig(args);
     spritebench::ApplyObsFlags(args, sprite_config);
+    perf.ApplyConfig(sprite_config);
     core::SpriteSystem system(sprite_config);
     spritebench::MaybeEnableTracing(args, system);
     spritebench::ApplySloRules(args, system);
@@ -116,10 +114,29 @@ int main(int argc, char** argv) {
     spritebench::MaybeWriteTimeSeries(args, system);
     spritebench::MaybeWriteMetricsJson(args, system);
     spritebench::MaybeWriteTraceFiles(args, system);
+    perf.CaptureSystem(system);
   }
 
   std::printf(
       "\n(the gap between 'full' and the selective systems is the paper's\n"
       " motivation: indexing every term of every document is impractical)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
+  args.docs = std::min<size_t>(args.docs, 1500);  // full indexing is heavy
+  spritebench::PrintHeader(
+      "Index construction & maintenance cost (Supp-1)", args);
+
+  eval::TestBed bed =
+      eval::TestBed::Build(spritebench::DefaultExperiment(args));
+
+  spritebench::PerfRecorder perf(args, "index_cost");
+  do {
+    RunOnce(args, bed, perf);
+  } while (perf.NextRep());
+  perf.WriteReport();
   return 0;
 }

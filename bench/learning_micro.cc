@@ -104,24 +104,46 @@ BENCHMARK(BM_NaiveRelearning)->Arg(100)->Arg(1000)->Arg(10000);
 // measure free functions and produce no metrics of their own, so the
 // shared --metrics-json/--trace-json/--trace-jsonl flags instrument a
 // small end-to-end learning run (record + share + three iterations) and
-// dump that system's registry and traces.
+// dump that system's registry and traces. --perf-json wraps both the
+// google-benchmark suite and that sample run in the repetition harness
+// (google-benchmark already repeats internally, so the phase statistics
+// mostly capture run-to-run spread of the whole suite).
 int main(int argc, char** argv) {
   using namespace sprite;
   const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
   // Initialize strips the --benchmark_* flags and ignores ours.
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
 
-  if (!args.metrics_json.empty() || !args.trace_json.empty() ||
-      !args.trace_jsonl.empty()) {
-    eval::TestBed bed =
-        eval::TestBed::Build(spritebench::DefaultExperiment(args));
-    core::SpriteSystem sys(spritebench::DefaultSpriteConfig(args));
-    spritebench::MaybeEnableTracing(args, sys);
-    SPRITE_CHECK_OK(eval::TrainSystem(sys, bed, bed.split().train, 3));
-    spritebench::MaybeWriteMetricsJson(args, sys);
-    spritebench::MaybeWriteTraceFiles(args, sys);
-  }
+  spritebench::PerfRecorder perf(args, "learning_micro");
+  const bool wants_sample = !args.metrics_json.empty() ||
+                            !args.trace_json.empty() ||
+                            !args.trace_jsonl.empty() || perf.enabled();
+  // The google-benchmark suite self-times internally (each benchmark loops
+  // to its min_time), so it runs once — on the first measured rep — rather
+  // than once per rep; benchmark 1.7.1 also cannot survive a second
+  // RunSpecifiedBenchmarks() call in one process.
+  bool suite_ran = false;
+  do {
+    if (!suite_ran && (!perf.enabled() || perf.measuring())) {
+      spritebench::PerfRecorder::Phase phase(perf, "google_benchmark");
+      benchmark::RunSpecifiedBenchmarks();
+      suite_ran = true;
+    }
+    if (wants_sample) {
+      spritebench::PerfRecorder::Phase phase(perf, "instrumented_sample");
+      eval::TestBed bed =
+          eval::TestBed::Build(spritebench::DefaultExperiment(args));
+      core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
+      perf.ApplyConfig(config);
+      core::SpriteSystem sys(config);
+      spritebench::MaybeEnableTracing(args, sys);
+      SPRITE_CHECK_OK(eval::TrainSystem(sys, bed, bed.split().train, 3));
+      spritebench::MaybeWriteMetricsJson(args, sys);
+      spritebench::MaybeWriteTraceFiles(args, sys);
+      perf.CaptureSystem(sys);
+    }
+  } while (perf.NextRep());
+  perf.WriteReport();
+  benchmark::Shutdown();
   return 0;
 }

@@ -77,12 +77,18 @@ LoadProfile Profile(const core::SpriteSystem& system,
 }
 
 LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
-                const std::vector<size_t>& stream, bool caching) {
+                const std::vector<size_t>& stream,
+                spritebench::PerfRecorder& perf, bool caching) {
+  spritebench::PerfRecorder::Phase phase(perf,
+                                         caching ? "caching" : "no_caching");
   core::SpriteConfig config = spritebench::DefaultSpriteConfig(args);
   config.use_hot_term_cache = caching;
   // Telemetry instruments the caching-on run only (same convention as the
   // metrics/trace dumps below).
-  if (caching) spritebench::ApplyObsFlags(args, config);
+  if (caching) {
+    spritebench::ApplyObsFlags(args, config);
+    perf.ApplyConfig(config);
+  }
   core::SpriteSystem system(config);
   if (caching) {
     spritebench::MaybeEnableTracing(args, system);
@@ -125,6 +131,7 @@ LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
     spritebench::MaybeWriteTimeSeries(args, system);
     spritebench::MaybeWriteMetricsJson(args, system);
     spritebench::MaybeWriteTraceFiles(args, system);
+    perf.CaptureSystem(system);
   }
   return Profile(system, HotTerms(bed, measured, 8));
 }
@@ -148,23 +155,27 @@ int main(int argc, char** argv) {
               "queries\n\n",
               stream.issuances.size(), bed.split().test.size());
 
-  LoadProfile off = Run(args, bed, stream.issuances, false);
-  LoadProfile on = Run(args, bed, stream.issuances, true);
+  spritebench::PerfRecorder perf(args, "load_balance");
+  do {
+    LoadProfile off = Run(args, bed, stream.issuances, perf, false);
+    LoadProfile on = Run(args, bed, stream.issuances, perf, true);
 
-  std::printf("\n%22s | %12s | %12s\n", "", "no caching", "with caching");
-  std::printf("-----------------------+--------------+-------------\n");
-  std::printf("%22s | %12.1f | %12.1f\n", "mean load/peer", off.mean,
-              on.mean);
-  std::printf("%22s | %12.1f | %12.1f\n", "hot terms' home peers",
-              off.hot_peer_load, on.hot_peer_load);
-  std::printf("%22s | %12llu | %12llu\n", "max single peer",
-              static_cast<unsigned long long>(off.max),
-              static_cast<unsigned long long>(on.max));
-  std::printf("%22s | %12llu | %12llu\n", "DHT lookups",
-              static_cast<unsigned long long>(off.lookups),
-              static_cast<unsigned long long>(on.lookups));
-  std::printf(
-      "\n(caching hot terms at co-occurring peers takes load off the hot\n"
-      " peers and skips their lookups entirely, as Section 7 describes)\n");
+    std::printf("\n%22s | %12s | %12s\n", "", "no caching", "with caching");
+    std::printf("-----------------------+--------------+-------------\n");
+    std::printf("%22s | %12.1f | %12.1f\n", "mean load/peer", off.mean,
+                on.mean);
+    std::printf("%22s | %12.1f | %12.1f\n", "hot terms' home peers",
+                off.hot_peer_load, on.hot_peer_load);
+    std::printf("%22s | %12llu | %12llu\n", "max single peer",
+                static_cast<unsigned long long>(off.max),
+                static_cast<unsigned long long>(on.max));
+    std::printf("%22s | %12llu | %12llu\n", "DHT lookups",
+                static_cast<unsigned long long>(off.lookups),
+                static_cast<unsigned long long>(on.lookups));
+    std::printf(
+        "\n(caching hot terms at co-occurring peers takes load off the hot\n"
+        " peers and skips their lookups entirely, as Section 7 describes)\n");
+  } while (perf.NextRep());
+  perf.WriteReport();
   return 0;
 }

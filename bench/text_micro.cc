@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "common/md5.h"
 #include "common/rng.h"
 #include "common/sha1.h"
@@ -113,3 +114,28 @@ BENCHMARK(BM_AnalyzeDocument);
 BENCHMARK(BM_Md5TermKey);
 BENCHMARK(BM_Md5Block)->Arg(64)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_Sha1Block)->Arg(4096);
+
+// Custom main instead of benchmark_main (which rejects unknown flags):
+// parse the shared bench flags first, then let benchmark::Initialize strip
+// its own. --perf-json wraps the whole suite in the repetition harness; no
+// SpriteSystem exists here, so the sidecar reports phase wall times and
+// resources without profiler/worker sections.
+int main(int argc, char** argv) {
+  const spritebench::BenchArgs args = spritebench::ParseBenchArgs(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  spritebench::PerfRecorder perf(args, "text_micro");
+  // The suite self-times internally, so it runs once — on the first
+  // measured rep — rather than once per rep; benchmark 1.7.1 also cannot
+  // survive a second RunSpecifiedBenchmarks() call in one process.
+  bool suite_ran = false;
+  do {
+    if (!suite_ran && (!perf.enabled() || perf.measuring())) {
+      spritebench::PerfRecorder::Phase phase(perf, "google_benchmark");
+      benchmark::RunSpecifiedBenchmarks();
+      suite_ran = true;
+    }
+  } while (perf.NextRep());
+  perf.WriteReport();
+  benchmark::Shutdown();
+  return 0;
+}

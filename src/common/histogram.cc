@@ -8,23 +8,84 @@
 
 namespace sprite {
 
+uint64_t Histogram::NextRand() {
+  // xorshift64*: cheap, stateful, and deliberately fixed-seeded — the
+  // reservoir must not depend on any global randomness source.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return rng_state_ * 0x2545f4914f6cdd1dull;
+}
+
 void Histogram::Add(double value) {
-  samples_.push_back(value);
+  ++count_;
   sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  if (cap_ == 0 || samples_.size() < cap_) {
+    samples_.push_back(value);
+  } else {
+    // Algorithm R: the new sample replaces a random slot with probability
+    // cap/count, keeping the reservoir a uniform sample of the stream.
+    const uint64_t j = NextRand() % count_;
+    if (j < cap_) samples_[j] = value;
+  }
   sorted_valid_ = false;
 }
 
 void Histogram::Merge(const Histogram& other) {
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
   sum_ += other.sum_;
+  if (cap_ == 0) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  } else {
+    for (double v : other.samples_) {
+      if (samples_.size() < cap_) {
+        samples_.push_back(v);
+      } else {
+        const uint64_t j = NextRand() % count_;
+        if (j < cap_) samples_[j] = v;
+      }
+    }
+  }
   sorted_valid_ = false;
 }
 
 void Histogram::Clear() {
   samples_.clear();
   sorted_.clear();
+  count_ = 0;
   sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  sorted_valid_ = false;
+  rng_state_ = 0x9e3779b97f4a7c15ull;
+}
+
+void Histogram::SetSampleCap(size_t cap) {
+  cap_ = cap;
+  if (cap_ == 0 || samples_.size() <= cap_) return;
+  // Uniform downsample to the new cap: partial Fisher-Yates selection.
+  for (size_t i = 0; i < cap_; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(NextRand() % (samples_.size() - i));
+    std::swap(samples_[i], samples_[j]);
+  }
+  samples_.resize(cap_);
+  samples_.shrink_to_fit();
   sorted_valid_ = false;
 }
 
@@ -37,23 +98,23 @@ void Histogram::EnsureSorted() const {
 }
 
 double Histogram::min() const {
-  SPRITE_CHECK(!samples_.empty());
-  EnsureSorted();
-  return sorted_.front();
+  SPRITE_CHECK(count_ > 0);
+  return min_;
 }
 
 double Histogram::max() const {
-  SPRITE_CHECK(!samples_.empty());
-  EnsureSorted();
-  return sorted_.back();
+  SPRITE_CHECK(count_ > 0);
+  return max_;
 }
 
 double Histogram::Mean() const {
-  if (samples_.empty()) return 0.0;
-  return sum_ / static_cast<double>(samples_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
 double Histogram::StdDev() const {
+  // Over the retained samples: exact below the cap, reservoir-approximate
+  // above it (the reservoir is a uniform sample of the stream).
   if (samples_.size() < 2) return 0.0;
   const double mean = Mean();
   double acc = 0.0;
@@ -62,7 +123,7 @@ double Histogram::StdDev() const {
 }
 
 double Histogram::Percentile(double p) const {
-  SPRITE_CHECK(!samples_.empty());
+  SPRITE_CHECK(count_ > 0);
   SPRITE_CHECK(p >= 0.0 && p <= 100.0);
   EnsureSorted();
   if (p <= 0.0) return sorted_.front();
@@ -72,7 +133,7 @@ double Histogram::Percentile(double p) const {
 }
 
 std::string Histogram::Summary() const {
-  if (samples_.empty()) return "count=0";
+  if (count_ == 0) return "count=0";
   return StrFormat("count=%zu mean=%.3f p50=%.3f p95=%.3f max=%.3f", count(),
                    Mean(), Percentile(50), Percentile(95), max());
 }

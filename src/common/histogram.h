@@ -10,8 +10,13 @@ namespace sprite {
 
 // Accumulates scalar samples and reports summary statistics. Used by the
 // simulation layer (hop counts, message sizes) and the benchmark harness.
-// Percentiles are exact (samples are retained), which is fine at the scale
-// of a simulation run.
+//
+// By default every sample is retained, so percentiles are exact — fine at
+// the scale of a simulation run. SetSampleCap(cap) bounds retention for
+// long-running collectors (the host-side perf histograms): count, sum,
+// mean, min and max stay exact, while percentiles and StdDev are computed
+// over a uniform reservoir of `cap` samples (Vitter's Algorithm R with a
+// fixed-seed generator, so repeated runs see the same reservoir).
 class Histogram {
  public:
   Histogram() = default;
@@ -20,14 +25,24 @@ class Histogram {
   void Merge(const Histogram& other);
   void Clear();
 
-  size_t count() const { return samples_.size(); }
+  // Bounds retained samples; 0 (the default) retains everything. Shrinks
+  // the current retention by uniform downsampling when already above the
+  // new cap. Accuracy above the cap: exact count/sum/mean/min/max,
+  // reservoir-approximate percentiles and StdDev.
+  void SetSampleCap(size_t cap);
+  size_t sample_cap() const { return cap_; }
+  // Samples currently held (== count() until the cap kicks in).
+  size_t retained() const { return samples_.size(); }
+
+  size_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const;
   double max() const;
   double Mean() const;
   double StdDev() const;
 
-  // Exact percentile via nearest-rank; `p` in [0, 100].
+  // Percentile via nearest-rank; `p` in [0, 100]. Exact below the cap,
+  // reservoir-approximate above it.
   double Percentile(double p) const;
 
   // One-line summary: "count=... mean=... p50=... p95=... max=...".
@@ -35,11 +50,17 @@ class Histogram {
 
  private:
   void EnsureSorted() const;
+  uint64_t NextRand();
 
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
+  size_t count_ = 0;
   double sum_ = 0.0;
+  double min_ = 0.0;  // valid when count_ > 0
+  double max_ = 0.0;  // valid when count_ > 0
+  size_t cap_ = 0;    // 0 = unbounded
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
 };
 
 }  // namespace sprite

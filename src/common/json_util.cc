@@ -1,6 +1,7 @@
 #include "common/json_util.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/string_util.h"
 
@@ -40,6 +41,81 @@ std::string JsonEscape(const std::string& s) {
 std::string JsonNumber(double v) {
   if (!std::isfinite(v)) return "null";
   return StrFormat("%.6g", v);
+}
+
+std::string JsonUnescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16));
+          out += static_cast<char>(code & 0xff);
+          i += 4;
+        }
+        break;
+      default:
+        out += s[i];  // \" \\ \/ and anything unknown: keep the char
+    }
+  }
+  return out;
+}
+
+size_t JsonReadString(const std::string& s, size_t pos, std::string* out) {
+  if (pos >= s.size() || s[pos] != '"') return std::string::npos;
+  std::string raw;
+  for (size_t i = pos + 1; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      raw += s[i];
+      raw += s[i + 1];
+      ++i;
+      continue;
+    }
+    if (s[i] == '"') {
+      *out = JsonUnescape(raw);
+      return i + 1;
+    }
+    raw += s[i];
+  }
+  return std::string::npos;
+}
+
+bool JsonFindString(const std::string& line, const std::string& key,
+                    std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  return JsonReadString(line, pos + needle.size() - 1, out) !=
+         std::string::npos;
+}
+
+bool JsonFindNumber(const std::string& line, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace sprite

@@ -1,6 +1,7 @@
 #ifndef SPRITE_COMMON_JSON_UTIL_H_
 #define SPRITE_COMMON_JSON_UTIL_H_
 
+#include <cstddef>
 #include <string>
 
 namespace sprite {
@@ -13,6 +14,27 @@ std::string JsonEscape(const std::string& s);
 // Renders a double as a JSON number token. JSON has no NaN/Inf literals;
 // non-finite values are clamped to null.
 std::string JsonNumber(double v);
+
+// --- Line-oriented JSON reading -------------------------------------------
+// Every exporter in this repo emits one record per line, so tooling pulls
+// known keys out of flat objects with the probes below instead of a JSON
+// DOM. Shared by the trace-report parser and tools/bench_compare.
+
+// Undoes JsonEscape (plus the standard \/ and \uXXXX escapes, the latter
+// truncated to one byte — names here are ASCII identifiers).
+std::string JsonUnescape(const std::string& s);
+
+// Reads the JSON string whose opening quote is at `pos`; returns the
+// position just past the closing quote, or npos when unterminated.
+size_t JsonReadString(const std::string& s, size_t pos, std::string* out);
+
+// Extracts the string value of `"key":"..."` from a single-line record.
+bool JsonFindString(const std::string& line, const std::string& key,
+                    std::string* out);
+
+// Extracts the numeric value of `"key":<number>` from a single-line record.
+bool JsonFindNumber(const std::string& line, const std::string& key,
+                    double* out);
 
 }  // namespace sprite
 

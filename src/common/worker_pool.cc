@@ -1,12 +1,30 @@
 #include "common/worker_pool.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace sprite {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(size_t num_threads) {
   const size_t extra = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(extra);
+  batch_busy_ns_.assign(extra + 1, 0);
+  batch_items_.assign(extra + 1, 0);
+  stats_.threads = extra + 1;
+  stats_.workers.resize(extra + 1);
   for (size_t i = 0; i < extra; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -19,7 +37,8 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void WorkerPool::RunBatch() {
+void WorkerPool::RunBatch(size_t worker) {
+  const uint64_t start_ns = NowNs();
   size_t done_here = 0;
   for (;;) {
     const size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
@@ -27,14 +46,17 @@ void WorkerPool::RunBatch() {
     (*fn_)(i);
     ++done_here;
   }
+  const uint64_t busy_ns = NowNs() - start_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_busy_ns_[worker] += busy_ns;
+  batch_items_[worker] += done_here;
   if (done_here > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
     pending_ -= done_here;
     if (pending_ == 0) done_cv_.notify_all();
   }
 }
 
-void WorkerPool::WorkerLoop() {
+void WorkerPool::WorkerLoop(size_t worker) {
   uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -44,17 +66,47 @@ void WorkerPool::WorkerLoop() {
     seen = generation_;
     ++pending_workers_;
     lock.unlock();
-    RunBatch();
+    RunBatch(worker);
     lock.lock();
     --pending_workers_;
     if (pending_workers_ == 0 && pending_ == 0) done_cv_.notify_all();
   }
 }
 
+void WorkerPool::FoldBatchStats(size_t n) {
+  uint64_t max_busy = 0;
+  uint64_t total_busy = 0;
+  for (size_t w = 0; w < stats_.workers.size(); ++w) {
+    const uint64_t busy = batch_busy_ns_[w];
+    max_busy = std::max(max_busy, busy);
+    total_busy += busy;
+    stats_.workers[w].busy_ns += busy;
+    stats_.workers[w].items += batch_items_[w];
+    if (busy > 0 || batch_items_[w] > 0) ++stats_.workers[w].batches;
+  }
+  const double mean_busy = static_cast<double>(total_busy) /
+                           static_cast<double>(stats_.workers.size());
+  const double imbalance =
+      mean_busy > 0.0 ? static_cast<double>(max_busy) / mean_busy : 0.0;
+  ++stats_.batches;
+  stats_.items += n;
+  stats_.last_imbalance = imbalance;
+  stats_.max_imbalance = std::max(stats_.max_imbalance, imbalance);
+  stats_.imbalance_sum += imbalance;
+}
+
 void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    const uint64_t start_ns = NowNs();
     for (size_t i = 0; i < n; ++i) fn(i);
+    const uint64_t busy_ns = NowNs() - start_ns;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.inline_batches;
+    stats_.items += n;
+    stats_.workers[0].busy_ns += busy_ns;
+    stats_.workers[0].items += n;
+    ++stats_.workers[0].batches;
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
@@ -66,11 +118,29 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   cursor_.store(0, std::memory_order_relaxed);
   pending_ = n;
   ++generation_;
+  std::fill(batch_busy_ns_.begin(), batch_busy_ns_.end(), 0);
+  std::fill(batch_items_.begin(), batch_items_.end(), 0);
   lock.unlock();
   work_cv_.notify_all();
-  RunBatch();
+  RunBatch(0);
   lock.lock();
   done_cv_.wait(lock, [&] { return pending_ == 0 && pending_workers_ == 0; });
+  FoldBatchStats(n);
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WorkerPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t threads = stats_.threads;
+  stats_ = Stats{};
+  stats_.threads = threads;
+  stats_.workers.resize(threads);
+  std::fill(batch_busy_ns_.begin(), batch_busy_ns_.end(), 0);
+  std::fill(batch_items_.begin(), batch_items_.end(), 0);
 }
 
 }  // namespace sprite

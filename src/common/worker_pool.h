@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -24,8 +25,40 @@ namespace sprite {
 // The pool keeps num_threads - 1 workers parked on a condition variable;
 // the calling thread participates as the final worker, so a pool of N uses
 // exactly N threads during a ParallelFor and zero CPU between calls.
+//
+// Utilization accounting (DESIGN.md §13): every batch records per-worker
+// busy wall-nanoseconds and items claimed, plus a per-batch imbalance
+// ratio (max/mean worker busy time — 1.0 is a perfectly level batch).
+// The measurements are host-side only and never feed the deterministic
+// simulation streams; stats() takes a point-in-time snapshot.
 class WorkerPool {
  public:
+  // Cumulative utilization counters, snapshot under the pool's lock.
+  struct WorkerStats {
+    uint64_t busy_ns = 0;  // wall time spent inside ParallelFor batches
+    uint64_t items = 0;    // work items this worker claimed
+    uint64_t batches = 0;  // batches this worker participated in
+  };
+  struct Stats {
+    size_t threads = 1;
+    uint64_t batches = 0;         // fanned-out ParallelFor calls
+    uint64_t inline_batches = 0;  // ran entirely on the caller (n<=1 or
+                                  // single-thread pool)
+    uint64_t items = 0;           // total items across all batches
+    std::vector<WorkerStats> workers;  // size threads; [0] = caller
+    // max/mean worker busy time of the most recent fanned-out batch;
+    // workers that claimed nothing count as zero busy time.
+    double last_imbalance = 0.0;
+    double max_imbalance = 0.0;
+    double imbalance_sum = 0.0;  // over fanned-out batches
+    double MeanImbalance() const {
+      return batches == 0 ? 0.0
+                          : imbalance_sum / static_cast<double>(batches);
+    }
+  };
+
+  // `num_threads` is clamped to at least 1 (a zero-thread pool would have
+  // no one to run the caller's work).
   explicit WorkerPool(size_t num_threads);
   ~WorkerPool();
 
@@ -38,13 +71,19 @@ class WorkerPool {
   // done. Not reentrant: fn must not call ParallelFor on the same pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  Stats stats() const;
+  void ResetStats();
+
  private:
-  void WorkerLoop();
-  // Claims and runs items of the current batch until the cursor is spent.
-  void RunBatch();
+  void WorkerLoop(size_t worker);
+  // Claims and runs items of the current batch until the cursor is spent;
+  // `worker` indexes the per-batch busy/items scratch (0 = caller).
+  void RunBatch(size_t worker);
+  // Folds the finished batch's scratch into stats_ (mu_ held).
+  void FoldBatchStats(size_t n);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   // Batch state, guarded by mu_ (cursor is atomic for the claim fast path).
@@ -55,6 +94,11 @@ class WorkerPool {
   size_t pending_workers_ = 0; // workers currently inside RunBatch
   uint64_t generation_ = 0;    // bumps per batch so workers wake exactly once
   bool shutdown_ = false;
+  // Per-batch scratch (guarded by mu_), cleared when a batch is set up so a
+  // straggler waking after the fold cannot smear into the next batch.
+  std::vector<uint64_t> batch_busy_ns_;
+  std::vector<uint64_t> batch_items_;
+  Stats stats_;
 };
 
 }  // namespace sprite

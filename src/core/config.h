@@ -78,6 +78,12 @@ struct SpriteConfig {
   // Retained search decompositions (learning decisions have their own,
   // much larger, default bound).
   size_t explain_search_capacity = 64;
+  // Host-side wall-clock profiler (obs::WallProfiler, DESIGN.md §13):
+  // scoped timers around the epoch phases and search hot paths, aggregated
+  // under perf.* in a registry separate from the deterministic metrics.
+  // Never affects simulated results or dumps; exported only through the
+  // benches' --perf-json sidecar.
+  bool enable_wall_profiler = false;
 
   // --- Querying-peer caching (src/cache) --------------------------------
   // Query-result cache: normalized term-set key -> top-k ranked list.

@@ -63,6 +63,7 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
   slo_.AttachMetrics(&metrics_);
   timeseries_.set_enabled(config_.enable_timeseries);
   explain_.set_enabled(config_.enable_explain);
+  wall_.set_enabled(config_.enable_wall_profiler);
   tracer_.set_hop_cost_ms(latency_.HopsMs(1));
   ring_.AttachTracer(&tracer_);
   net_.AttachTracer(&tracer_);
@@ -365,6 +366,7 @@ Status SpriteSystem::ShareCorpus(const corpus::Corpus& corpus) {
   // Prologue (sequential): validate and intern in document order. The
   // first invalid document truncates the batch exactly where the
   // sequential loop would have stopped — earlier documents still share.
+  obs::ScopedWallTimer prologue_wall(&wall_, "perf.epoch.share.prologue");
   Status deferred = Status::OK();
   std::vector<SharePlan> plans;
   plans.reserve(corpus.docs().size());
@@ -389,7 +391,9 @@ Status SpriteSystem::ShareCorpus(const corpus::Corpus& corpus) {
     }
     plans.push_back(std::move(plan));
   }
+  prologue_wall.Stop();
   // Plan (parallel, effect-free).
+  obs::ScopedWallTimer plan_wall(&wall_, "perf.epoch.share.plan");
   pool().ParallelFor(plans.size(), [&](size_t i) {
     SharePlan& plan = plans[i];
     // Mixing the id avoids correlating document ids with ring positions
@@ -400,8 +404,10 @@ Status SpriteSystem::ShareCorpus(const corpus::Corpus& corpus) {
       plan.routes.push_back(ring_.PlanFindSuccessor(plan.owner, RingKeyOf(id)));
     }
   });
+  plan_wall.Stop();
   // Commit (sequential, document order): adopt and publish; a routing
   // failure surfaces mid-batch exactly like the sequential loop would.
+  obs::ScopedWallTimer commit_wall(&wall_, "perf.epoch.share.commit");
   for (SharePlan& plan : plans) {
     const corpus::Document& doc = *plan.doc;
     obs::ScopedSpan span(&tracer_, "share.document", PeerNameOf(plan.owner));
@@ -547,6 +553,13 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
   if (query.empty()) {
     return Status::InvalidArgument("empty query");
   }
+  // Host-side wall profiling (DESIGN.md §13): the total timer covers every
+  // exit (including cache-hit fast paths) via its destructor; route/fetch
+  // are accumulated across the term loop and recorded on the full path.
+  obs::ScopedWallTimer total_wall(&wall_, "perf.search.total");
+  const bool wall_on = wall_.enabled();
+  uint64_t route_wall_ns = 0;
+  uint64_t fetch_wall_ns = 0;
   const uint64_t issuance =
       plan != nullptr ? plan->issuance : ++search_counter_;
   // The issuance's record piggybacks on the search's own term requests
@@ -772,6 +785,7 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
       }
     }
 
+    const uint64_t route_start_ns = wall_on ? obs::MonotonicNowNs() : 0;
     int hops = 0;
     obs::ScopedSpan route_span(&tracer_, "route", PeerNameOf(querying_peer));
     route_span.Annotate("term", dict.TermOf(term));
@@ -792,6 +806,7 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
       target = RouteToTerm(querying_peer, term, &hops);
     }
     route_span.End();
+    if (wall_on) route_wall_ns += obs::MonotonicNowNs() - route_start_ns;
     if (!target.ok()) {
       ++skipped_terms;
       if (explain_on) {
@@ -805,6 +820,7 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
       return target.status();
     }
     route_hops += static_cast<uint64_t>(hops);
+    const uint64_t fetch_start_ns = wall_on ? obs::MonotonicNowNs() : 0;
     // One fetch span per query term, attributed to the indexing peer that
     // serves the exchange (hot-term-cache extras ride in its response).
     obs::ScopedSpan fetch_span(&tracer_, "fetch", PeerNameOf(target.value()));
@@ -903,12 +919,14 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
                                        fetch_bytes - fetch_bytes_before)));
     fetch_span.Annotate(
         "postings", StrFormat("%zu", fetched_postings - postings_before));
+    if (wall_on) fetch_wall_ns += obs::MonotonicNowNs() - fetch_start_ns;
   }
 
   // Ranking at the querying peer: consolidate per-document entries and
   // apply the Lee et al. similarity. The document frequency is the indexed
   // document frequency n'_k (the list length) and N is the fixed constant
   // of Section 4.
+  const uint64_t rank_start_ns = wall_on ? obs::MonotonicNowNs() : 0;
   obs::ScopedSpan rank_span(&tracer_, "rank", PeerNameOf(querying_peer));
   rank_span.Annotate("postings", StrFormat("%zu", fetched_postings));
   tracer_.clock().AdvanceMs(latency_.RankMs(fetched_postings));
@@ -978,6 +996,11 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
     ir::SortRankedList(results, k);
   }
   rank_span.End();
+  if (wall_on) {
+    wall_.RecordNs("perf.search.rank", obs::MonotonicNowNs() - rank_start_ns);
+    wall_.RecordNs("perf.search.route", route_wall_ns);
+    wall_.RecordNs("perf.search.fetch", fetch_wall_ns);
+  }
 
   // Materialize the answer at the querying peer. Only a fully attributable
   // result is cacheable: every term fetched from (or validated against) a
@@ -1125,6 +1148,7 @@ std::vector<StatusOr<ir::RankedList>> SpriteSystem::SearchEpoch(
     const size_t n = std::min(kChunk, queries.size() - base);
     std::vector<SearchPlan> plans(n);
     std::vector<char> planned(n, 0);
+    obs::ScopedWallTimer prologue_wall(&wall_, "perf.epoch.search.prologue");
     // Prologue (sequential, batch order): the schedule-sensitive steps —
     // issuance numbers, record seqs, and term interning — happen here,
     // exactly as a sequential loop of Search() calls would order them.
@@ -1141,13 +1165,17 @@ std::vector<StatusOr<ir::RankedList>> SpriteSystem::SearchEpoch(
       }
       planned[i] = 1;
     }
+    prologue_wall.Stop();
     // Plan (parallel, effect-free).
+    obs::ScopedWallTimer plan_wall(&wall_, "perf.epoch.search.plan");
     pool().ParallelFor(n, [&](size_t i) {
       if (planned[i] != 0) PlanSearch(*queries[base + i], k, plans[i]);
     });
+    plan_wall.Stop();
     // Commit (sequential, batch order): every effect — traffic, spans,
     // cache mutations, history appends, metrics — replays in the legacy
     // order, against live state.
+    obs::ScopedWallTimer commit_wall(&wall_, "perf.epoch.search.commit");
     for (size_t i = 0; i < n; ++i) {
       out.push_back(SearchImpl(*queries[base + i], k, record,
                                planned[i] != 0 ? &plans[i] : nullptr));
@@ -1168,6 +1196,7 @@ void SpriteSystem::RecordQueryEpoch(
   TermDict& dict = TermDict::Global();
   for (size_t base = 0; base < queries.size(); base += kChunk) {
     const size_t n = std::min(kChunk, queries.size() - base);
+    obs::ScopedWallTimer prologue_wall(&wall_, "perf.epoch.record.prologue");
     // Prologue (sequential): seq assignment and interning in query order.
     std::vector<RecordPlan> plans;
     plans.reserve(n);
@@ -1183,7 +1212,9 @@ void SpriteSystem::RecordQueryEpoch(
     // history append is staged as a (peer, seq) message; the origin dedups
     // per query exactly like the sequential path (one record per
     // responsible peer, first successful route wins).
+    prologue_wall.Stop();
     p2p::EpochQueue<QueryRecord> inbound;
+    obs::ScopedWallTimer plan_wall(&wall_, "perf.epoch.record.plan");
     pool().ParallelFor(plans.size(), [&](size_t i) {
       RecordPlan& plan = plans[i];
       plan.origin = PickPeer(plan.rec.hash_key);
@@ -1199,10 +1230,12 @@ void SpriteSystem::RecordQueryEpoch(
         }
       }
     });
+    plan_wall.Stop();
     // Commit (sequential, query order): replay the routing effect stream —
     // spans, lookup stats, hop traffic — then drain the queue so every
     // peer's bounded history receives its records in (peer, seq) order,
     // which per peer is exactly the sequential engine's append order.
+    obs::ScopedWallTimer commit_wall(&wall_, "perf.epoch.record.commit");
     for (const RecordPlan& plan : plans) {
       obs::ScopedSpan span(&tracer_, "record.query", PeerNameOf(plan.origin));
       span.Annotate("query", StrFormat("%u", plan.query_id));
@@ -1257,6 +1290,7 @@ void SpriteSystem::RunLearningIteration() {
     OwnerPeer::IndexUpdate update;
     std::vector<ScoredTerm> ranked;
   };
+  obs::ScopedWallTimer prologue_wall(&wall_, "perf.epoch.learning.prologue");
   std::vector<LearnUnit> units;
   for (auto& [owner_id, owner] : owners_) {
     const dht::ChordNode* node = ring_.node(owner_id);
@@ -1274,7 +1308,9 @@ void SpriteSystem::RunLearningIteration() {
   const bool is_static =
       config_.selection == TermSelectionPolicy::kStaticFrequency;
   const bool explain_on = explain_.enabled();
+  prologue_wall.Stop();
 
+  obs::ScopedWallTimer plan_wall(&wall_, "perf.epoch.learning.plan");
   // Plan (parallel): route planning, history polling and the Algorithm-1
   // retune touch only unit-local state — `owned` belongs to exactly one
   // unit, the peers' query histories and the ring are only read — so the
@@ -1326,9 +1362,11 @@ void SpriteSystem::RunLearningIteration() {
         owned, pulled, config_, explain_on ? &unit.ranked : nullptr);
   });
 
+  plan_wall.Stop();
   // Commit (sequential, unit order): replay the effect stream — spans,
   // lookup stats, poll traffic, cursor advances, metrics, publications —
   // exactly as the sequential engine ordered it.
+  obs::ScopedWallTimer commit_wall(&wall_, "perf.epoch.learning.commit");
   TermDict& dict = TermDict::Global();
   for (LearnUnit& unit : units) {
     OwnedDocument& owned = *unit.owned;
@@ -1433,6 +1471,7 @@ void SpriteSystem::RecordLearningDecisions(
 
 void SpriteSystem::ReplicateIndexes() {
   if (config_.replication_factor == 0) return;
+  obs::ScopedWallTimer run_wall(&wall_, "perf.replication.run");
   obs::ScopedSpan run_span(&tracer_, "replication.run", "system");
   for (auto& [peer_id, peer] : indexing_) {
     const dht::ChordNode* node = ring_.node(peer_id);
@@ -1799,6 +1838,7 @@ size_t SpriteSystem::RunHeartbeats() {
   size_t republished = 0;
   uint64_t probe_hops = 0;
   uint64_t probe_bytes = 0;
+  obs::ScopedWallTimer round_wall(&wall_, "perf.heartbeats.run");
   obs::ScopedSpan round_span(&tracer_, "heartbeat.round", "system");
   for (auto& [owner_id, owner] : owners_) {
     const dht::ChordNode* node = ring_.node(owner_id);

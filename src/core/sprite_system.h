@@ -24,6 +24,7 @@
 #include "obs/explain.h"
 #include "obs/latency_model.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -268,6 +269,19 @@ class SpriteSystem {
   // Completed learning iterations since construction (the time-series
   // round key).
   uint64_t learning_round() const { return learning_round_; }
+  // The host-side wall-clock profiler (DESIGN.md §13): perf.* timings
+  // around epoch phases and search hot paths, on the *host* clock, kept in
+  // a registry separate from metrics() so the deterministic dumps never see
+  // wall time. Off unless SpriteConfig::enable_wall_profiler (or
+  // mutable_profiler().set_enabled(true)); disabled sites cost one relaxed
+  // atomic load.
+  const obs::WallProfiler& profiler() const { return wall_; }
+  obs::WallProfiler& mutable_profiler() { return wall_; }
+  // Utilization snapshot of the epoch engine's worker pool (host-side,
+  // like the profiler). Zeros until the pool is first used.
+  WorkerPool::Stats pool_stats() const {
+    return pool_ == nullptr ? WorkerPool::Stats{} : pool_->stats();
+  }
   // The latency model derived from SpriteConfig's hop RTT and bandwidth.
   const obs::LatencyModel& latency_model() const { return latency_; }
   const SpriteConfig& config() const { return config_; }
@@ -398,6 +412,8 @@ class SpriteSystem {
   obs::TimeSeriesRecorder timeseries_;
   obs::ExplainRecorder explain_;
   obs::SloWatchdog slo_;
+  // Host wall-clock observability; independent of every simulated stream.
+  obs::WallProfiler wall_;
   std::unique_ptr<WorkerPool> pool_;
   std::map<PeerId, IndexingPeer> indexing_;
   std::map<PeerId, OwnerPeer> owners_;

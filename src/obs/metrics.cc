@@ -43,7 +43,11 @@ double MetricsRegistry::gauge(const std::string& name,
 
 void MetricsRegistry::Observe(const std::string& name,
                               const std::string& label, double value) {
-  histograms_[MetricId{name, label}].Add(value);
+  auto [it, inserted] = histograms_.try_emplace(MetricId{name, label});
+  if (inserted && default_histogram_cap_ > 0) {
+    it->second.SetSampleCap(default_histogram_cap_);
+  }
+  it->second.Add(value);
 }
 
 const Histogram* MetricsRegistry::histogram(const std::string& name,

@@ -109,6 +109,15 @@ class MetricsRegistry {
   const Histogram* histogram(const std::string& name,
                              const std::string& label = "") const;
 
+  // Sample cap applied to histograms as they are created (existing ones
+  // are untouched). 0 — the default — retains every sample, which keeps
+  // the simulation registries byte-identical to their historical dumps;
+  // long-lived host-side registries (obs::WallProfiler) set a cap so they
+  // stay bounded. See Histogram::SetSampleCap for the accuracy contract.
+  void set_default_histogram_sample_cap(size_t cap) {
+    default_histogram_cap_ = cap;
+  }
+
   MetricsSnapshot Snapshot() const;
   void Clear();
   // Removes every counter/gauge/histogram whose name matches exactly,
@@ -124,6 +133,7 @@ class MetricsRegistry {
   std::map<MetricId, uint64_t> counters_;
   std::map<MetricId, double> gauges_;
   std::map<MetricId, Histogram> histograms_;
+  size_t default_histogram_cap_ = 0;
 };
 
 // Writes `json` to `path` (creating/truncating the file). Shared by the

@@ -1,0 +1,209 @@
+#include "obs/perf.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define SPRITE_HAVE_GETRUSAGE 1
+#endif
+
+namespace sprite::obs {
+
+namespace {
+
+// Keeps each perf histogram's reservoir small; counts/sums stay exact, and
+// an 8K uniform reservoir gives percentiles far tighter than host-clock
+// noise even over million-epoch benches.
+constexpr size_t kPerfHistogramCap = 8192;
+
+}  // namespace
+
+WallProfiler::WallProfiler() {
+  registry_.set_default_histogram_sample_cap(kPerfHistogramCap);
+}
+
+void WallProfiler::RecordNs(const std::string& name, uint64_t ns) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.Observe(name + "_us", static_cast<double>(ns) / 1000.0);
+}
+
+MetricsSnapshot WallProfiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return registry_.Snapshot();
+}
+
+void WallProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.Clear();
+}
+
+ResourceSample SampleResources() {
+  ResourceSample out;
+#ifdef SPRITE_HAVE_GETRUSAGE
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    out.ok = true;
+    out.user_cpu_ms = static_cast<double>(ru.ru_utime.tv_sec) * 1000.0 +
+                      static_cast<double>(ru.ru_utime.tv_usec) / 1000.0;
+    out.sys_cpu_ms = static_cast<double>(ru.ru_stime.tv_sec) * 1000.0 +
+                     static_cast<double>(ru.ru_stime.tv_usec) / 1000.0;
+    out.minor_faults = static_cast<uint64_t>(ru.ru_minflt);
+    out.major_faults = static_cast<uint64_t>(ru.ru_majflt);
+    // ru_maxrss is KiB on Linux, bytes on macOS; only the Linux fallback
+    // matters here and /proc overrides it below when available.
+    out.peak_rss_mb = static_cast<double>(ru.ru_maxrss) / 1024.0;
+  }
+#endif
+#ifdef __linux__
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      long kb = 0;
+      if (std::sscanf(line, "VmRSS: %ld kB", &kb) == 1) {
+        out.rss_mb = static_cast<double>(kb) / 1024.0;
+        out.ok = true;
+      } else if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) {
+        out.peak_rss_mb = static_cast<double>(kb) / 1024.0;
+        out.ok = true;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+  return out;
+}
+
+namespace {
+
+void AppendResources(std::string* out, const ResourceSample& r) {
+  *out += StrFormat(
+      ",\"rss_mb\":%s,\"peak_rss_mb\":%s,\"user_cpu_ms\":%s,"
+      "\"sys_cpu_ms\":%s,\"minor_faults\":%llu,\"major_faults\":%llu",
+      JsonNumber(r.rss_mb).c_str(), JsonNumber(r.peak_rss_mb).c_str(),
+      JsonNumber(r.user_cpu_ms).c_str(), JsonNumber(r.sys_cpu_ms).c_str(),
+      static_cast<unsigned long long>(r.minor_faults),
+      static_cast<unsigned long long>(r.major_faults));
+}
+
+}  // namespace
+
+std::string PerfReport::ToJson() const {
+  // One record per line so tooling (ParsePerfJson, tools/ci.sh) can use the
+  // line-oriented key probes instead of a JSON DOM.
+  std::string out = "{\n\"schema\":\"sprite-perf-v1\",\n";
+  out += StrFormat(
+      "\"env\":{\"bench\":\"%s\",\"git_commit\":\"%s\",\"build_type\":\"%s\","
+      "\"nproc\":%u,\"threads\":%zu,\"docs\":%zu,\"peers\":%zu,"
+      "\"seed\":%llu,\"warmup\":%zu,\"measured_reps\":%zu},\n",
+      JsonEscape(env.bench).c_str(), JsonEscape(env.git_commit).c_str(),
+      JsonEscape(env.build_type).c_str(), env.nproc, env.threads, env.docs,
+      env.peers, static_cast<unsigned long long>(env.seed), env.warmup,
+      env.measured_reps);
+  out += "\"phases\":[";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PerfPhaseStat& p = phases[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat(
+        "{\"phase\":\"%s\",\"reps\":%zu,\"min_ms\":%s,\"median_ms\":%s,"
+        "\"mean_ms\":%s,\"stddev_ms\":%s,\"max_ms\":%s",
+        JsonEscape(p.name).c_str(), p.wall_ms.count(),
+        JsonNumber(p.wall_ms.min()).c_str(),
+        JsonNumber(p.wall_ms.Percentile(50)).c_str(),
+        JsonNumber(p.wall_ms.Mean()).c_str(),
+        JsonNumber(p.wall_ms.StdDev()).c_str(),
+        JsonNumber(p.wall_ms.max()).c_str());
+    if (p.has_resources) AppendResources(&out, p.resources);
+    out += "}";
+  }
+  out += "\n],\n\"wall\":[";
+  bool first = true;
+  for (const HistogramSample& h : wall.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"count\":%zu,\"mean\":%s,\"min\":%s,\"max\":%s,"
+        "\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+        JsonEscape(h.id.name).c_str(), h.count, JsonNumber(h.mean).c_str(),
+        JsonNumber(h.min).c_str(), JsonNumber(h.max).c_str(),
+        JsonNumber(h.p50).c_str(), JsonNumber(h.p95).c_str(),
+        JsonNumber(h.p99).c_str());
+  }
+  out += "\n],\n";
+  if (has_workers) {
+    out += StrFormat(
+        "\"workers\":{\"threads\":%zu,\"batches\":%llu,"
+        "\"inline_batches\":%llu,\"items\":%llu,\"last_imbalance\":%s,"
+        "\"mean_imbalance\":%s,\"max_imbalance\":%s},\n",
+        workers.threads, static_cast<unsigned long long>(workers.batches),
+        static_cast<unsigned long long>(workers.inline_batches),
+        static_cast<unsigned long long>(workers.items),
+        JsonNumber(workers.last_imbalance).c_str(),
+        JsonNumber(workers.MeanImbalance()).c_str(),
+        JsonNumber(workers.max_imbalance).c_str());
+    out += "\"per_worker\":[";
+    for (size_t w = 0; w < workers.workers.size(); ++w) {
+      const WorkerPool::WorkerStats& ws = workers.workers[w];
+      out += w == 0 ? "\n" : ",\n";
+      out += StrFormat(
+          "{\"worker\":%zu,\"busy_ms\":%s,\"items\":%llu,\"batches\":%llu}",
+          w, JsonNumber(static_cast<double>(ws.busy_ns) / 1e6).c_str(),
+          static_cast<unsigned long long>(ws.items),
+          static_cast<unsigned long long>(ws.batches));
+    }
+    out += "\n],\n";
+  }
+  out += "\"end\":true\n}\n";
+  return out;
+}
+
+bool ParsePerfJson(const std::string& content, ParsedPerfReport* out,
+                   std::string* error) {
+  out->phases.clear();
+  bool saw_schema = false;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    const std::string line = content.substr(start, end - start);
+    start = end + 1;
+    if (line.find("\"schema\":\"sprite-perf-v1\"") != std::string::npos) {
+      saw_schema = true;
+    } else if (line.find("\"env\":{") != std::string::npos) {
+      JsonFindString(line, "bench", &out->bench);
+      JsonFindString(line, "git_commit", &out->git_commit);
+      JsonFindNumber(line, "threads", &out->threads);
+      JsonFindNumber(line, "nproc", &out->nproc);
+    } else if (line.find("\"phase\":\"") != std::string::npos) {
+      PerfPhaseSummary p;
+      double reps = 0.0;
+      if (!JsonFindString(line, "phase", &p.name) ||
+          !JsonFindNumber(line, "reps", &reps) ||
+          !JsonFindNumber(line, "min_ms", &p.min_ms) ||
+          !JsonFindNumber(line, "median_ms", &p.median_ms) ||
+          !JsonFindNumber(line, "mean_ms", &p.mean_ms) ||
+          !JsonFindNumber(line, "stddev_ms", &p.stddev_ms) ||
+          !JsonFindNumber(line, "max_ms", &p.max_ms)) {
+        if (error != nullptr) *error = "malformed phase record: " + line;
+        return false;
+      }
+      p.reps = static_cast<size_t>(reps);
+      out->phases.push_back(std::move(p));
+    }
+  }
+  if (!saw_schema) {
+    if (error != nullptr) *error = "missing sprite-perf-v1 schema marker";
+    return false;
+  }
+  if (out->phases.empty()) {
+    if (error != nullptr) *error = "no phase records found";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sprite::obs

@@ -1,0 +1,173 @@
+#ifndef SPRITE_OBS_PERF_H_
+#define SPRITE_OBS_PERF_H_
+
+// Host-side performance observability (DESIGN.md §13): wall-clock
+// profiling, process resource sampling, and the bench perf-JSON sidecar.
+//
+// Everything in this header measures the *host* — steady-clock
+// nanoseconds, RSS, CPU time — as opposed to the simulated clock that the
+// tracer and latency model advance. The two stream families never mix:
+// nothing here writes to a SpriteSystem's metrics registry, tracer, or
+// time series, and nothing here is read by the simulation, so metrics /
+// trace / ranked-result dumps are byte-identical with profiling on or off
+// and at any thread count. Wall-clock data leaves the process only through
+// the sidecar perf JSON (`--perf-json=`).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/worker_pool.h"
+#include "obs/metrics.h"
+
+namespace sprite::obs {
+
+// The host monotonic clock, in nanoseconds since an arbitrary epoch.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Aggregates wall-clock timings into its own private MetricsRegistry under
+// `perf.*` names (histograms, microsecond units). Disabled by default: a
+// disabled profiler never reads the clock and records nothing, so the
+// default path pays one relaxed atomic load per instrumented site.
+// Thread-safe — plan-phase workers may record concurrently.
+//
+// The registry is bounded (histogram sample cap) so long benches cannot
+// grow it without limit; counts/sums stay exact, percentiles become
+// reservoir-approximate past the cap (common/histogram.h).
+class WallProfiler {
+ public:
+  WallProfiler();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Records `ns` as microseconds into the histogram "<name>_us".
+  // No-op (without reading the clock) when disabled.
+  void RecordNs(const std::string& name, uint64_t ns);
+
+  MetricsSnapshot Snapshot() const;
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  MetricsRegistry registry_;
+};
+
+// RAII wall timer: records the scope's elapsed nanoseconds into
+// `profiler` under `name` (a static string). When the profiler is off at
+// construction the timer is inert and never touches the clock.
+class ScopedWallTimer {
+ public:
+  ScopedWallTimer(WallProfiler* profiler, const char* name)
+      : profiler_(profiler != nullptr && profiler->enabled() ? profiler
+                                                             : nullptr),
+        name_(name),
+        start_ns_(profiler_ != nullptr ? MonotonicNowNs() : 0) {}
+  ~ScopedWallTimer() { Stop(); }
+
+  ScopedWallTimer(const ScopedWallTimer&) = delete;
+  ScopedWallTimer& operator=(const ScopedWallTimer&) = delete;
+
+  // Records now; the destructor then does nothing. For timing a prefix of
+  // a scope without an extra brace level.
+  void Stop() {
+    if (profiler_ == nullptr) return;
+    profiler_->RecordNs(name_, MonotonicNowNs() - start_ns_);
+    profiler_ = nullptr;
+  }
+
+ private:
+  WallProfiler* profiler_;
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+// A point-in-time reading of the process's resource usage: RSS from
+// /proc/self/status (Linux; zeros elsewhere) and CPU/fault counters from
+// getrusage. `ok` is false when no source was readable.
+struct ResourceSample {
+  bool ok = false;
+  double rss_mb = 0.0;       // VmRSS
+  double peak_rss_mb = 0.0;  // VmHWM (falls back to ru_maxrss)
+  double user_cpu_ms = 0.0;
+  double sys_cpu_ms = 0.0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+};
+ResourceSample SampleResources();
+
+// --- Bench perf report -----------------------------------------------------
+// The sidecar JSON every bench emits under --perf-json= (schema documented
+// in DESIGN.md §13). One PerfPhaseStat per bench phase; wall_ms holds one
+// sample per measured repetition.
+
+struct PerfPhaseStat {
+  std::string name;
+  Histogram wall_ms;
+  ResourceSample resources;  // sampled at phase end of the final rep
+  bool has_resources = false;
+};
+
+struct PerfEnv {
+  std::string bench;
+  std::string git_commit = "unknown";
+  std::string build_type = "unknown";
+  unsigned nproc = 0;
+  size_t threads = 1;
+  size_t docs = 0;
+  size_t peers = 0;
+  uint64_t seed = 0;
+  size_t warmup = 0;
+  size_t measured_reps = 0;
+};
+
+struct PerfReport {
+  PerfEnv env;
+  std::vector<PerfPhaseStat> phases;
+  // WallProfiler snapshot of the instrumented system (perf.* histograms),
+  // captured on the final measured repetition.
+  MetricsSnapshot wall;
+  WorkerPool::Stats workers;
+  bool has_workers = false;
+
+  std::string ToJson() const;
+};
+
+// --- tools/bench_compare support ------------------------------------------
+// Line-oriented parse of a perf JSON's comparable surface: the per-phase
+// wall-time summaries plus enough env to warn on apples-to-oranges diffs.
+
+struct PerfPhaseSummary {
+  std::string name;
+  size_t reps = 0;
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct ParsedPerfReport {
+  std::string bench;
+  std::string git_commit;
+  double threads = 0.0;
+  double nproc = 0.0;
+  std::vector<PerfPhaseSummary> phases;
+};
+
+bool ParsePerfJson(const std::string& content, ParsedPerfReport* out,
+                   std::string* error);
+
+}  // namespace sprite::obs
+
+#endif  // SPRITE_OBS_PERF_H_

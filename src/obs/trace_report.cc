@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/json_util.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 
@@ -12,84 +13,8 @@ namespace {
 
 // --- Line-oriented JSON extraction ---------------------------------------
 // Both exporters emit exactly one event per line, so the "parser" only has
-// to pull known keys out of a flat object — no general JSON machinery.
-
-std::string JsonUnescape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\' || i + 1 >= s.size()) {
-      out += s[i];
-      continue;
-    }
-    ++i;
-    switch (s[i]) {
-      case 'n':
-        out += '\n';
-        break;
-      case 'r':
-        out += '\r';
-        break;
-      case 't':
-        out += '\t';
-        break;
-      case 'u':
-        if (i + 4 < s.size()) {
-          const unsigned code = static_cast<unsigned>(
-              std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16));
-          out += static_cast<char>(code & 0xff);
-          i += 4;
-        }
-        break;
-      default:
-        out += s[i];  // \" \\ \/ and anything unknown: keep the char
-    }
-  }
-  return out;
-}
-
-// Reads the JSON string whose opening quote is at `pos`; returns the
-// position just past the closing quote, or npos when unterminated.
-size_t ReadJsonString(const std::string& s, size_t pos, std::string* out) {
-  if (pos >= s.size() || s[pos] != '"') return std::string::npos;
-  std::string raw;
-  for (size_t i = pos + 1; i < s.size(); ++i) {
-    if (s[i] == '\\' && i + 1 < s.size()) {
-      raw += s[i];
-      raw += s[i + 1];
-      ++i;
-      continue;
-    }
-    if (s[i] == '"') {
-      *out = JsonUnescape(raw);
-      return i + 1;
-    }
-    raw += s[i];
-  }
-  return std::string::npos;
-}
-
-bool FindJsonString(const std::string& line, const std::string& key,
-                    std::string* out) {
-  const std::string needle = "\"" + key + "\":\"";
-  const size_t pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  return ReadJsonString(line, pos + needle.size() - 1, out) !=
-         std::string::npos;
-}
-
-bool FindJsonNumber(const std::string& line, const std::string& key,
-                    double* out) {
-  const std::string needle = "\"" + key + "\":";
-  const size_t pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  const char* start = line.c_str() + pos + needle.size();
-  char* end = nullptr;
-  const double v = std::strtod(start, &end);
-  if (end == start) return false;
-  *out = v;
-  return true;
-}
+// to pull known keys out of a flat object — the shared line-oriented
+// probes in common/json_util do most of the work.
 
 // Parses the flat object starting at the '{' at `pos` into key -> value
 // strings (numbers kept as written). The exporters never nest objects
@@ -105,12 +30,12 @@ bool ParseFlatObject(const std::string& s, size_t pos,
       continue;
     }
     std::string key;
-    i = ReadJsonString(s, i, &key);
+    i = JsonReadString(s, i, &key);
     if (i == std::string::npos || i >= s.size() || s[i] != ':') return false;
     ++i;
     std::string value;
     if (s[i] == '"') {
-      i = ReadJsonString(s, i, &value);
+      i = JsonReadString(s, i, &value);
       if (i == std::string::npos) return false;
     } else {
       const size_t end = s.find_first_of(",}", i);
@@ -135,9 +60,9 @@ bool ParsePerfettoLine(const std::string& line, TraceSpanRecord* rec) {
   if (!args.count("trace") || !args.count("span")) return false;
   double ts_us = 0.0;
   double dur_us = 0.0;
-  if (!FindJsonString(line, "name", &rec->name) ||
-      !FindJsonNumber(line, "ts", &ts_us) ||
-      !FindJsonNumber(line, "dur", &dur_us)) {
+  if (!JsonFindString(line, "name", &rec->name) ||
+      !JsonFindNumber(line, "ts", &ts_us) ||
+      !JsonFindNumber(line, "dur", &dur_us)) {
     return false;
   }
   rec->start_ms = ts_us / 1000.0;
@@ -159,13 +84,13 @@ bool ParseJsonlLine(const std::string& line, TraceSpanRecord* rec) {
   double trace = 0.0;
   double span = 0.0;
   double parent = 0.0;
-  if (!FindJsonNumber(line, "trace", &trace) ||
-      !FindJsonNumber(line, "span", &span) ||
-      !FindJsonNumber(line, "parent", &parent) ||
-      !FindJsonString(line, "name", &rec->name) ||
-      !FindJsonString(line, "peer", &rec->peer) ||
-      !FindJsonNumber(line, "start_ms", &rec->start_ms) ||
-      !FindJsonNumber(line, "dur_ms", &rec->dur_ms)) {
+  if (!JsonFindNumber(line, "trace", &trace) ||
+      !JsonFindNumber(line, "span", &span) ||
+      !JsonFindNumber(line, "parent", &parent) ||
+      !JsonFindString(line, "name", &rec->name) ||
+      !JsonFindString(line, "peer", &rec->peer) ||
+      !JsonFindNumber(line, "start_ms", &rec->start_ms) ||
+      !JsonFindNumber(line, "dur_ms", &rec->dur_ms)) {
     return false;
   }
   rec->trace_id = static_cast<uint64_t>(trace);

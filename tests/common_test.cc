@@ -467,6 +467,97 @@ TEST(HistogramTest, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(pair.Percentile(100), 20.0);
 }
 
+TEST(HistogramTest, SampleCapExactBelowCap) {
+  Histogram h;
+  h.SetSampleCap(100);
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  // At or below the cap nothing is sampled away: all stats are exact.
+  EXPECT_EQ(h.retained(), 100u);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 95.0);
+  // Sample variance of 1..n is n(n+1)/12.
+  EXPECT_NEAR(h.StdDev(), std::sqrt(100.0 * 101.0 / 12.0), 1e-9);
+}
+
+TEST(HistogramTest, SampleCapKeepsMomentsExactAboveCap) {
+  Histogram capped;
+  capped.SetSampleCap(64);
+  double sum = 0.0;
+  for (int i = 1; i <= 10000; ++i) {
+    capped.Add(i);
+    sum += i;
+  }
+  // Retention is bounded; count/sum/mean/min/max stay exact.
+  EXPECT_EQ(capped.retained(), 64u);
+  EXPECT_EQ(capped.count(), 10000u);
+  EXPECT_DOUBLE_EQ(capped.sum(), sum);
+  EXPECT_DOUBLE_EQ(capped.Mean(), sum / 10000.0);
+  EXPECT_DOUBLE_EQ(capped.min(), 1.0);
+  EXPECT_DOUBLE_EQ(capped.max(), 10000.0);
+  // Percentiles come from a uniform reservoir: approximate, but within
+  // the sample's own range and in the right region for a uniform input.
+  const double p50 = capped.Percentile(50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 10000.0);
+  EXPECT_NEAR(p50, 5000.0, 2500.0);
+}
+
+TEST(HistogramTest, SampleCapIsDeterministic) {
+  // The reservoir uses a fixed-seed generator: two identically-fed
+  // histograms retain identical samples, so perf reports are reproducible.
+  Histogram a, b;
+  a.SetSampleCap(32);
+  b.SetSampleCap(32);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(i * 0.5);
+    b.Add(i * 0.5);
+  }
+  for (double p : {5.0, 25.0, 50.0, 75.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), b.Percentile(p)) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(a.StdDev(), b.StdDev());
+}
+
+TEST(HistogramTest, SetSampleCapDownsamplesExistingRetention) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(i);
+  EXPECT_EQ(h.retained(), 1000u);
+  h.SetSampleCap(50);
+  EXPECT_EQ(h.retained(), 50u);
+  EXPECT_EQ(h.count(), 1000u);       // exact stats survive the shrink
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // Lifting the cap back to 0 stops future eviction but cannot recover
+  // discarded samples.
+  h.SetSampleCap(0);
+  h.Add(5000.0);
+  EXPECT_EQ(h.retained(), 51u);
+  EXPECT_EQ(h.count(), 1001u);
+}
+
+TEST(HistogramTest, SampleCapClearResets) {
+  Histogram h;
+  h.SetSampleCap(16);
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.retained(), 0u);
+  EXPECT_EQ(h.sample_cap(), 16u);  // the cap is configuration, not state
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  EXPECT_EQ(h.retained(), 16u);
+  EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(HistogramTest, UncappedBehaviorUnchanged) {
+  // Default histograms (sim registries) retain everything — the cap is
+  // opt-in, so deterministic metrics dumps are unaffected by its existence.
+  Histogram h;
+  EXPECT_EQ(h.sample_cap(), 0u);
+  for (int i = 1; i <= 5000; ++i) h.Add(i);
+  EXPECT_EQ(h.retained(), 5000u);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 4750.0);
+}
+
 // -------------------------------------------------------------- json util
 
 TEST(JsonUtilTest, EscapeHandlesQuotesAndBackslashes) {

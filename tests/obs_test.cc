@@ -17,6 +17,7 @@
 #include "obs/explain.h"
 #include "obs/latency_model.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 
@@ -966,6 +967,115 @@ TEST_F(ObsIntegrationTest, TelemetryDumpsAreDeterministic) {
   EXPECT_EQ(std::get<1>(first), std::get<1>(second));
   EXPECT_EQ(std::get<2>(first), std::get<2>(second));
   EXPECT_EQ(std::get<3>(first), std::get<3>(second));
+}
+
+// ---------------------------------------------------- wall profiler / perf
+
+TEST(WallProfilerTest, DisabledProfilerRecordsNothing) {
+  WallProfiler prof;
+  EXPECT_FALSE(prof.enabled());
+  prof.RecordNs("perf.test.section", 1000000);
+  {
+    ScopedWallTimer t(&prof, "perf.test.scoped");
+  }
+  const std::string json = prof.Snapshot().ToJson();
+  EXPECT_EQ(json.find("perf.test"), std::string::npos);
+}
+
+TEST(WallProfilerTest, EnabledProfilerRecordsMicroseconds) {
+  WallProfiler prof;
+  prof.set_enabled(true);
+  prof.RecordNs("perf.test.section", 1500000);  // 1.5 ms
+  prof.RecordNs("perf.test.section", 500000);
+  const MetricsSnapshot snap = prof.Snapshot();
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("perf.test.section_us"), std::string::npos);
+  const HistogramSample* h = snap.FindHistogram("perf.test.section_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->max, 1500.0);
+  EXPECT_DOUBLE_EQ(h->min, 500.0);
+  prof.Clear();
+  EXPECT_EQ(prof.Snapshot().ToJson().find("perf.test"), std::string::npos);
+}
+
+TEST(WallProfilerTest, ScopedTimerCapturesElapsedTime) {
+  WallProfiler prof;
+  prof.set_enabled(true);
+  {
+    ScopedWallTimer t(&prof, "perf.test.scope");
+    // Spin a little so elapsed > 0 even on a coarse clock.
+    volatile uint64_t acc = 1;
+    for (int i = 0; i < 100000; ++i) acc = acc * 31 + 7;
+  }
+  const MetricsSnapshot snap = prof.Snapshot();
+  const HistogramSample* h = snap.FindHistogram("perf.test.scope_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_GT(h->max, 0.0);
+}
+
+TEST(PerfTest, SampleResourcesReportsProcessUsage) {
+  const ResourceSample s = SampleResources();
+#if defined(__linux__)
+  ASSERT_TRUE(s.ok);
+  // A running test binary has resident memory and has burned CPU.
+  EXPECT_GT(s.rss_mb, 0.0);
+  EXPECT_GE(s.peak_rss_mb, s.rss_mb * 0.5);  // HWM can lag but not vanish
+  EXPECT_GT(s.user_cpu_ms + s.sys_cpu_ms, 0.0);
+#else
+  (void)s;  // other platforms may report nothing; ok=false is legal
+#endif
+}
+
+TEST(PerfTest, ReportJsonRoundTripsThroughParser) {
+  PerfReport report;
+  report.env.bench = "unit_test_bench";
+  report.env.git_commit = "abc1234";
+  report.env.build_type = "RelWithDebInfo";
+  report.env.nproc = 8;
+  report.env.threads = 2;
+  report.env.docs = 100;
+  report.env.peers = 16;
+  report.env.seed = 42;
+  report.env.warmup = 1;
+  report.env.measured_reps = 3;
+  PerfPhaseStat phase;
+  phase.name = "train";
+  phase.wall_ms.Add(10.0);
+  phase.wall_ms.Add(12.0);
+  phase.wall_ms.Add(11.0);
+  phase.resources = SampleResources();
+  phase.has_resources = true;
+  report.phases.push_back(std::move(phase));
+  report.workers.threads = 2;
+  report.has_workers = true;
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"sprite-perf-v1\""), std::string::npos);
+
+  ParsedPerfReport parsed;
+  std::string error;
+  ASSERT_TRUE(ParsePerfJson(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.bench, "unit_test_bench");
+  EXPECT_EQ(parsed.git_commit, "abc1234");
+  EXPECT_DOUBLE_EQ(parsed.threads, 2.0);
+  EXPECT_DOUBLE_EQ(parsed.nproc, 8.0);
+  ASSERT_EQ(parsed.phases.size(), 1u);
+  EXPECT_EQ(parsed.phases[0].name, "train");
+  EXPECT_EQ(parsed.phases[0].reps, 3u);
+  EXPECT_DOUBLE_EQ(parsed.phases[0].min_ms, 10.0);
+  EXPECT_DOUBLE_EQ(parsed.phases[0].median_ms, 11.0);
+  EXPECT_DOUBLE_EQ(parsed.phases[0].max_ms, 12.0);
+}
+
+TEST(PerfTest, ParseRejectsGarbage) {
+  ParsedPerfReport parsed;
+  std::string error;
+  EXPECT_FALSE(ParsePerfJson("not json at all", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParsePerfJson("{\"schema\": \"wrong-schema\"}", &parsed,
+                             &error));
 }
 
 }  // namespace

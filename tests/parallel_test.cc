@@ -93,6 +93,83 @@ TEST(WorkerPoolTest, ParallelForIsABarrier) {
   EXPECT_EQ(done.load(), 64u);
 }
 
+TEST(WorkerPoolTest, ZeroThreadsClampsToOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(7, [&](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 7);
+  const WorkerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.threads, 1u);
+  ASSERT_EQ(stats.workers.size(), 1u);
+  EXPECT_EQ(stats.workers[0].items, 7u);
+}
+
+TEST(WorkerPoolTest, StatsTrackInlineAndFannedOutBatches) {
+  WorkerPool pool(4);
+
+  // n == 0 is a complete no-op, including for the stats.
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  WorkerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.inline_batches, 0u);
+  EXPECT_EQ(stats.items, 0u);
+
+  // n == 1 takes the inline path: only the caller slot is charged.
+  pool.ParallelFor(1, [](size_t) {});
+  stats = pool.stats();
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.inline_batches, 1u);
+  EXPECT_EQ(stats.items, 1u);
+  ASSERT_EQ(stats.workers.size(), 4u);
+  EXPECT_EQ(stats.workers[0].items, 1u);
+  EXPECT_EQ(stats.workers[0].batches, 1u);
+  EXPECT_EQ(stats.workers[1].items, 0u);
+
+  // A fanned-out batch accounts every item to some worker and computes a
+  // finite imbalance ratio >= 1 (max busy over mean busy). The work spins
+  // long enough that at least one worker's busy time is nonzero on any
+  // clock resolution.
+  std::atomic<uint64_t> sink{0};
+  const auto spin = [&sink](size_t i) {
+    uint64_t acc = i;
+    for (int k = 0; k < 500; ++k) acc = acc * 6364136223846793005ull + 13u;
+    sink.fetch_add(acc, std::memory_order_relaxed);
+  };
+  pool.ParallelFor(256, spin);
+  stats = pool.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.inline_batches, 1u);
+  EXPECT_EQ(stats.items, 257u);
+  uint64_t claimed = 0;
+  for (const WorkerPool::WorkerStats& w : stats.workers) claimed += w.items;
+  EXPECT_EQ(claimed, 257u);
+  EXPECT_GE(stats.last_imbalance, 1.0);
+  EXPECT_GE(stats.max_imbalance, stats.last_imbalance);
+  EXPECT_GT(stats.MeanImbalance(), 0.0);
+
+  // Stats accumulate across batches...
+  pool.ParallelFor(256, spin);
+  stats = pool.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.items, 513u);
+
+  // ...and ResetStats zeroes the counters but keeps the pool geometry.
+  pool.ResetStats();
+  stats = pool.stats();
+  EXPECT_EQ(stats.threads, 4u);
+  ASSERT_EQ(stats.workers.size(), 4u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.inline_batches, 0u);
+  EXPECT_EQ(stats.items, 0u);
+  EXPECT_EQ(stats.workers[0].busy_ns, 0u);
+  EXPECT_EQ(stats.workers[0].items, 0u);
+  EXPECT_EQ(stats.last_imbalance, 0.0);
+  EXPECT_EQ(stats.max_imbalance, 0.0);
+  pool.ParallelFor(16, [](size_t) {});
+  EXPECT_EQ(pool.stats().items, 16u);
+}
+
 // --- Rng substreams -----------------------------------------------------
 
 TEST(RngStreamTest, StreamDrawsIgnoreOtherStreams) {
@@ -266,12 +343,16 @@ struct ScenarioDump {
   std::string metrics;
   std::string trace;
   std::string timeseries;
+  std::string perf;  // wall-profiler snapshot; sidecar-only, never compared
 };
 
 // A fig4a-style workload with churn and the querying-peer caches enabled —
 // every epoch entry point, the learning loop, replication, heartbeats, and
 // membership changes all run. Everything observable is captured.
-ScenarioDump RunScenario(const TestBed& bed, size_t threads) {
+// `profile` turns on the host-side wall profiler (DESIGN.md §13), which by
+// contract must not change a single observable byte.
+ScenarioDump RunScenario(const TestBed& bed, size_t threads,
+                         bool profile = false) {
   SpriteConfig config;
   config.num_peers = 48;
   config.initial_terms = 5;
@@ -284,6 +365,7 @@ ScenarioDump RunScenario(const TestBed& bed, size_t threads) {
   config.replication_factor = 2;
   config.seed = 11;
   config.num_threads = threads;
+  config.enable_wall_profiler = profile;
 
   SpriteSystem sys(config);
   sys.mutable_tracer().set_enabled(true);
@@ -315,6 +397,7 @@ ScenarioDump RunScenario(const TestBed& bed, size_t threads) {
   dump.metrics = sys.metrics().Snapshot().ToJson();
   dump.trace = sys.tracer().ToJsonl();
   dump.timeseries = sys.timeseries().ToCsv();
+  dump.perf = sys.profiler().Snapshot().ToJson();
   return dump;
 }
 
@@ -340,6 +423,23 @@ TEST_F(EpochDeterminismTest, RepeatedRunsAtSameThreadCountAgree) {
   EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.timeseries, b.timeseries);
+}
+
+// The hard observability contract (DESIGN.md §13): the wall profiler sits
+// entirely outside the simulated-clock streams, so turning it on changes
+// no observable byte — while the profiler itself demonstrably recorded.
+TEST_F(EpochDeterminismTest, WallProfilingDoesNotChangeAnyObservableByte) {
+  const ScenarioDump off = RunScenario(*bed_, 2, /*profile=*/false);
+  const ScenarioDump on = RunScenario(*bed_, 2, /*profile=*/true);
+  EXPECT_EQ(off.results, on.results);
+  EXPECT_EQ(off.metrics, on.metrics);
+  EXPECT_EQ(off.trace, on.trace);
+  EXPECT_EQ(off.timeseries, on.timeseries);
+  // The profiled run collected wall samples; the unprofiled one collected
+  // none. Only the sidecar snapshot differs.
+  EXPECT_NE(on.perf.find("perf.epoch.share.plan_us"), std::string::npos);
+  EXPECT_NE(on.perf.find("perf.search.total_us"), std::string::npos);
+  EXPECT_EQ(off.perf.find("perf."), std::string::npos);
 }
 
 }  // namespace

@@ -118,6 +118,81 @@ cmp "$SMOKE_DIR/ts.csv" "$SMOKE_DIR/ts2.csv"
 cmp "$SMOKE_DIR/slo.jsonl" "$SMOKE_DIR/slo2.jsonl"
 echo "telemetry smoke OK"
 
+echo "== perf-json smoke: sidecar schema, bench_compare, profiling identity =="
+# Every bench accepts --perf-json; the sidecar is the ONLY place wall-clock
+# data may appear (DESIGN.md §13). Validate the schema, check bench_compare
+# against itself (clean) and against an injected regression (caught), and
+# confirm profiling on/off leaves the deterministic dumps byte-identical.
+./build/bench/fig4a_num_answers --docs=200 --peers=16 \
+  --perf-json="$SMOKE_DIR/perf.json" --perf-warmup=1 --perf-reps=3 \
+  --metrics-json="$SMOKE_DIR/prof_on.json" \
+  --trace-jsonl="$SMOKE_DIR/prof_on_trace.jsonl" >/dev/null
+python3 - "$SMOKE_DIR/perf.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema"] == "sprite-perf-v1", report.get("schema")
+env = report["env"]
+for key in ("bench", "git_commit", "build_type", "threads", "nproc",
+            "warmup", "measured_reps"):
+    assert key in env, key
+assert env["measured_reps"] >= 3, env
+phases = report["phases"]
+assert phases, "no phase records"
+for p in phases:
+    assert p["reps"] >= 3, p
+    assert p["min_ms"] <= p["median_ms"] <= p["max_ms"], p
+    assert p["stddev_ms"] >= 0, p
+    assert p["peak_rss_mb"] > 0, p
+assert "wall" in report and "workers" in report, list(report)
+EOF
+# Self-comparison must be clean; an inflated median must be caught.
+./build/tools/bench_compare "$SMOKE_DIR/perf.json" "$SMOKE_DIR/perf.json" \
+  >/dev/null
+python3 - "$SMOKE_DIR/perf.json" "$SMOKE_DIR/perf_slow.json" <<'EOF'
+import sys
+with open(sys.argv[1]) as f:
+    lines = f.read().splitlines(keepends=True)
+out, inflated = [], False
+for line in lines:
+    if not inflated and '"phase":' in line and '"median_ms":' in line:
+        import json
+        rec = json.loads(line.rstrip().rstrip(','))
+        rec["median_ms"] = rec["median_ms"] * 10 + 100.0
+        rec["max_ms"] = max(rec["max_ms"], rec["median_ms"])
+        line = json.dumps(rec, separators=(",", ":")) + ",\n"
+        inflated = True
+    out.append(line)
+assert inflated, "no phase line found to inflate"
+with open(sys.argv[2], "w") as f:
+    f.writelines(out)
+EOF
+if ./build/tools/bench_compare "$SMOKE_DIR/perf.json" \
+    "$SMOKE_DIR/perf_slow.json" >/dev/null; then
+  echo "bench_compare missed an injected regression" >&2
+  exit 1
+fi
+echo "bench_compare OK (clean self-diff, injected regression caught)"
+# Profiling must not perturb any deterministic stream: the same bench run
+# without --perf-json produces byte-identical metrics and trace dumps.
+./build/bench/fig4a_num_answers --docs=200 --peers=16 \
+  --metrics-json="$SMOKE_DIR/prof_off.json" \
+  --trace-jsonl="$SMOKE_DIR/prof_off_trace.jsonl" >/dev/null
+cmp "$SMOKE_DIR/prof_on.json" "$SMOKE_DIR/prof_off.json"
+cmp "$SMOKE_DIR/prof_on_trace.jsonl" "$SMOKE_DIR/prof_off_trace.jsonl"
+# On multi-core hosts, print a threads=1 vs threads=4 wall-time table.
+# bench_compare warns about the thread-count mismatch but exits 0 unless
+# threads=4 is strictly slower — i.e. parallelism actively hurt.
+if [ "$(nproc)" -gt 1 ]; then
+  ./build/bench/fig4a_num_answers --docs=200 --peers=16 --threads=4 \
+    --perf-json="$SMOKE_DIR/perf_t4.json" --perf-warmup=1 --perf-reps=3 \
+    >/dev/null
+  ./build/tools/bench_compare "$SMOKE_DIR/perf.json" "$SMOKE_DIR/perf_t4.json"
+else
+  echo "single-core host (nproc=1): skipping threads=1 vs 4 scaling table"
+fi
+echo "perf-json smoke OK"
+
 echo "== parallel smoke: threads=1 vs threads=4 dumps are byte-identical =="
 # The epoch engine's contract (DESIGN.md §12): for a given seed, every
 # thread count produces the same metrics, trace, and time-series bytes.
