@@ -18,9 +18,11 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kFailedPrecondition,
-  kUnavailable,   // e.g. the peer responsible for a key is down
-  kCorruption,    // malformed input data
+  kUnavailable,        // e.g. the peer responsible for a key is down
+  kCorruption,         // malformed input data
   kInternal,
+  kDeadlineExceeded,   // a direct exchange timed out (peer departed or
+                       // unreachable after the configured retries)
 };
 
 // Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -70,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +85,9 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace sprite::core {
 
@@ -33,6 +34,22 @@ struct SpriteConfig {
   size_t num_peers = 64;
   int id_bits = 32;
   size_t successor_list_size = 8;
+
+  // --- Transport (ISSUE 8) ---------------------------------------------
+  // Where a live node binds its sockets (sprite_daemon / `sprite_cli
+  // serve`); 0 picks an ephemeral port. Ignored by the in-process sim
+  // backend, which stays the default everywhere else.
+  std::string listen_host = "127.0.0.1";
+  uint16_t udp_port = 0;   // DHT routing + membership control
+  uint16_t tcp_port = 0;   // bulk posting transfer
+  uint16_t http_port = 0;  // JSON query frontend
+  // Direct-exchange deadline/retry policy, honored by both backends. With
+  // the default send_retries = 0 an unreachable peer costs exactly one
+  // request and no response — the accounting the sim has always used — so
+  // defaults keep every dump byte-identical.
+  double peer_timeout_ms = 1000.0;
+  size_t send_retries = 0;
+  double retry_backoff_ms = 200.0;
 
   // --- Indexing --------------------------------------------------------
   TermSelectionPolicy selection = TermSelectionPolicy::kLearned;

@@ -11,6 +11,7 @@
 #include "common/md5.h"
 #include "common/string_util.h"
 #include "common/topk.h"
+#include "core/ranking.h"
 #include "ir/similarity.h"
 #include "p2p/epoch_queue.h"
 
@@ -68,6 +69,18 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
   ring_.AttachTracer(&tracer_);
   net_.AttachTracer(&tracer_);
   slo_.AttachTracer(&tracer_);
+  // The bus charges direct sends to the legacy accountant and answers
+  // liveness from the ring; retry backoff advances the simulated clock.
+  // Traffic is not double-mirrored into the registry (net.* already is);
+  // only timeouts/retries appear, lazily, as transport.* counters.
+  bus_.ConfigureCostModel(
+      &net_,
+      [this](PeerId id) {
+        const dht::ChordNode* node = ring_.node(id);
+        return node != nullptr && node->alive;
+      },
+      [this](double ms) { tracer_.clock().AdvanceMs(ms); });
+  bus_.mutable_stats().AttachMetrics(&metrics_, /*mirror_traffic=*/false);
   UpdateMembershipGauges();
 }
 
@@ -286,8 +299,9 @@ Status SpriteSystem::PublishTermRouted(PeerId owner, const std::string& term,
   StatusOr<dht::ChordRing::LookupResult> target = ring_.CommitLookup(route);
   if (!target.ok()) return target.status();
   net_.CountLookupHops(target->hops);
-  net_.Count(p2p::MessageType::kPublishTerm,
-             p2p::kTermBytes + p2p::kPostingEntryBytes);
+  (void)bus_.CostSend(target->node, p2p::MessageType::kPublishTerm,
+                      p2p::kTermBytes + p2p::kPostingEntryBytes,
+                      DirectCallOptions());
   tracer_.clock().AdvanceMs(
       latency_.RequestMs(1) +
       latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes +
@@ -316,7 +330,8 @@ Status SpriteSystem::WithdrawTermRouted(
   StatusOr<dht::ChordRing::LookupResult> target = ring_.CommitLookup(route);
   if (!target.ok()) return target.status();
   net_.CountLookupHops(target->hops);
-  net_.Count(p2p::MessageType::kWithdrawTerm, p2p::kTermBytes);
+  (void)bus_.CostSend(target->node, p2p::MessageType::kWithdrawTerm,
+                      p2p::kTermBytes, DirectCallOptions());
   tracer_.clock().AdvanceMs(
       latency_.RequestMs(1) +
       latency_.TransferMs(p2p::kMessageHeaderBytes + p2p::kTermBytes));
@@ -477,22 +492,28 @@ bool SpriteSystem::ValidateCachedSources(
     by_peer[source.second.peer].push_back(&source);
   }
   bool all_current = true;
+  const net::CallOptions direct = DirectCallOptions();
   for (const auto& [peer_id, items] : by_peer) {
     obs::ScopedSpan span(&tracer_, "cache.validate", PeerNameOf(peer_id));
     span.Annotate("terms", StrFormat("%zu", items.size()));
     // The entry cached the source's address, so the probe is a direct
-    // exchange — no Chord routing.
+    // exchange over the transport — no Chord routing. A departed peer
+    // surfaces DeadlineExceeded after the configured retries; every
+    // attempt's request leg is charged (with the default send_retries = 0
+    // that is exactly one request and no response, the accounting this
+    // path has always used).
     uint64_t exchange_bytes = 0;
     const size_t request_payload =
         items.size() * (p2p::kTermBytes + p2p::kVersionBytes) +
         (rec.has_value() ? p2p::kQueryRecordBytes : 0);
-    net_.Count(p2p::MessageType::kVersionCheck, request_payload);
-    ++requests;
-    exchange_bytes += p2p::kMessageHeaderBytes + request_payload;
-    const dht::ChordNode* node = ring_.node(peer_id);
-    const bool alive = node != nullptr && node->alive;
-    bool current = alive;
-    if (alive) {
+    const Status sent = bus_.BeginExchange(
+        peer_id, p2p::MessageType::kVersionCheck, request_payload, direct);
+    const uint64_t attempts =
+        sent.ok() ? 1 : 1 + static_cast<uint64_t>(direct.retries);
+    requests += attempts;
+    exchange_bytes += attempts * (p2p::kMessageHeaderBytes + request_payload);
+    bool current = sent.ok();
+    if (sent.ok()) {
       query_load_[peer_id] += 1;
       metrics_.Add("peer.queries_served",
                    StrFormat("peer-%llu",
@@ -512,14 +533,16 @@ bool SpriteSystem::ValidateCachedSources(
         }
       }
       // The verdict response; a dead peer's probe just times out after
-      // the request round trip.
-      net_.Count(p2p::MessageType::kVersionCheck, p2p::kVersionBytes);
+      // the request round trip(s).
+      bus_.CompleteExchange(p2p::MessageType::kVersionCheck,
+                            p2p::kVersionBytes);
       exchange_bytes += p2p::kMessageHeaderBytes + p2p::kVersionBytes;
     }
     bytes += exchange_bytes;
     tracer_.clock().AdvanceMs(latency_.RequestMs(1) +
                               latency_.TransferMs(exchange_bytes));
-    span.Annotate("outcome", !alive ? "dead" : current ? "current" : "stale");
+    span.Annotate("outcome",
+                  !sent.ok() ? "dead" : current ? "current" : "stale");
     if (!current) all_current = false;
   }
   return all_current;
@@ -828,7 +851,8 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
     const size_t postings_before = fetched_postings;
     const size_t request_payload =
         p2p::kTermBytes + (rec.has_value() ? p2p::kQueryRecordBytes : 0);
-    net_.Count(p2p::MessageType::kQueryRequest, request_payload);
+    (void)bus_.BeginExchange(target.value(), p2p::MessageType::kQueryRequest,
+                             request_payload, DirectCallOptions());
     ++fetch_requests;
     fetch_bytes += p2p::kMessageHeaderBytes + request_payload;
     query_load_[target.value()] += 1;
@@ -849,7 +873,8 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
     rl.postings = plist != nullptr ? std::move(plist) : EmptyPostingList();
     const size_t response_payload =
         rl.postings->size() * p2p::kPostingEntryBytes;
-    net_.Count(p2p::MessageType::kQueryResponse, response_payload);
+    bus_.CompleteExchange(p2p::MessageType::kQueryResponse,
+                          response_payload);
     fetch_bytes += p2p::kMessageHeaderBytes + response_payload;
     fetched_postings += rl.postings->size();
     resolved.insert(term);
@@ -887,7 +912,8 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
         extra.postings = std::move(cached);
         const size_t cached_payload =
             extra.postings->size() * p2p::kPostingEntryBytes;
-        net_.Count(p2p::MessageType::kQueryResponse, cached_payload);
+        bus_.CompleteExchange(p2p::MessageType::kQueryResponse,
+                              cached_payload);
         fetch_bytes += p2p::kMessageHeaderBytes + cached_payload;
         fetched_postings += extra.postings->size();
         resolved.insert(other);
@@ -945,55 +971,39 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
       }
     }
   }
-  // One hash probe per posting: dot product and distinct-term count live in
-  // the same accumulator slot. Reserving for the posting total bounds the
-  // bucket count once instead of rehashing as candidates appear.
-  struct Accum {
-    double dot = 0.0;
-    uint32_t distinct_terms = 0;
-  };
-  std::unordered_map<DocId, Accum> acc;
+  // The accumulation itself lives in core/ranking.h (shared with
+  // PlanSearch's pre-rank and the live ClusterNode); the hooks feed the
+  // explain ledger without perturbing the arithmetic.
+  RankAccumMap acc;
   // Per-doc (term, w_Qj*w_ij) contributions, collected only for the
   // explain ledger.
   std::unordered_map<DocId, std::vector<std::pair<std::string, double>>>
       contribs;
+  struct ExplainHooks {
+    bool on;
+    const std::unordered_map<TermId, size_t>& idx;
+    std::vector<obs::TermExplain>& explains;
+    std::unordered_map<DocId,
+                       std::vector<std::pair<std::string, double>>>& contribs;
+    const TermDict& dict;
+    void OnListIdf(TermId term, double idf) {
+      if (!on) return;
+      if (auto it = idx.find(term); it != idx.end()) {
+        explains[it->second].idf = idf;
+      }
+    }
+    void OnContribution(TermId term, const PostingEntry& p, double w) {
+      if (on) contribs[p.doc].push_back({dict.TermOf(term), w});
+    }
+  };
   ir::RankedList results;
   if (reuse_planned_rank) {
     results = plan->ranked;
   } else {
-    acc.reserve(fetched_postings);
-    for (const RetrievedList& rl : lists) {
-      if (rl.postings->empty()) continue;
-      // The per-term IDF is hoisted out of the posting loop: Idf(N, n'_k)
-      // depends only on the list, so it is computed once per retrieved
-      // list. The per-posting product keeps the exact association
-      // (wq * ntf) * idf — hoisting wq*idf would change the floating-point
-      // rounding and break bit-identical scores.
-      const double idf =
-          ir::Idf(config_.idf_corpus_size,
-                  static_cast<uint32_t>(rl.postings->size()));
-      if (explain_on) {
-        if (auto it = term_explain_idx.find(rl.term);
-            it != term_explain_idx.end()) {
-          term_explains[it->second].idf = idf;
-        }
-      }
-      if (idf == 0.0) continue;
-      const double wq = idf;  // unit query-term frequency
-      for (const PostingEntry& p : *rl.postings) {
-        Accum& a = acc[p.doc];
-        const double w = wq * p.NormalizedTf() * idf;
-        a.dot += w;
-        a.distinct_terms = p.num_distinct_terms;
-        if (explain_on) contribs[p.doc].push_back({dict.TermOf(rl.term), w});
-      }
-    }
-    results.reserve(acc.size());
-    for (const auto& [doc, a] : acc) {
-      const double score = ir::LeeNormalize(a.dot, a.distinct_terms);
-      if (score > 0.0) results.push_back({doc, score});
-    }
-    ir::SortRankedList(results, k);
+    ExplainHooks hooks{explain_on, term_explain_idx, term_explains, contribs,
+                       dict};
+    results = RankRetrievedLists(lists, config_.idf_corpus_size,
+                                 fetched_postings, k, &acc, hooks);
   }
   rank_span.End();
   if (wall_on) {
@@ -1105,33 +1115,11 @@ void SpriteSystem::PlanSearch(const corpus::Query& query, size_t k,
                                                 : EmptyPostingList());
     fetched += plan.ranked_over.back()->size();
   }
-  // Mirror SearchImpl's accumulation exactly (same reserve, same
-  // per-posting association) so the reused scores are bit-identical.
-  struct Accum {
-    double dot = 0.0;
-    uint32_t distinct_terms = 0;
-  };
-  std::unordered_map<DocId, Accum> acc;
-  acc.reserve(fetched);
-  for (const PostingListPtr& plist : plan.ranked_over) {
-    if (plist->empty()) continue;
-    const double idf = ir::Idf(config_.idf_corpus_size,
-                               static_cast<uint32_t>(plist->size()));
-    if (idf == 0.0) continue;
-    const double wq = idf;  // unit query-term frequency
-    for (const PostingEntry& p : *plist) {
-      Accum& a = acc[p.doc];
-      const double w = wq * p.NormalizedTf() * idf;
-      a.dot += w;
-      a.distinct_terms = p.num_distinct_terms;
-    }
-  }
-  plan.ranked.reserve(acc.size());
-  for (const auto& [doc, a] : acc) {
-    const double score = ir::LeeNormalize(a.dot, a.distinct_terms);
-    if (score > 0.0) plan.ranked.push_back({doc, score});
-  }
-  ir::SortRankedList(plan.ranked, k);
+  // core/ranking.h runs the identical accumulation SearchImpl uses (same
+  // reserve, same per-posting association), so the reused scores are
+  // bit-identical.
+  plan.ranked =
+      RankPostingLists(plan.ranked_over, config_.idf_corpus_size, fetched, k);
   plan.has_ranked = true;
 }
 
@@ -1405,12 +1393,13 @@ void SpriteSystem::RunLearningIteration() {
                                     PeerNameOf(peer_id));
       uint64_t exchange_bytes =
           p2p::kMessageHeaderBytes + unit.poll_terms.size() * p2p::kTermBytes;
-      net_.Count(p2p::MessageType::kPollRequest,
-                 unit.poll_terms.size() * p2p::kTermBytes);
+      (void)bus_.BeginExchange(peer_id, p2p::MessageType::kPollRequest,
+                               unit.poll_terms.size() * p2p::kTermBytes,
+                               DirectCallOptions());
       poll_bytes +=
           p2p::kMessageHeaderBytes + unit.poll_terms.size() * p2p::kTermBytes;
-      net_.Count(p2p::MessageType::kPollResponse,
-                 nrecs * p2p::kQueryRecordBytes);
+      bus_.CompleteExchange(p2p::MessageType::kPollResponse,
+                            nrecs * p2p::kQueryRecordBytes);
       poll_bytes += p2p::kMessageHeaderBytes + nrecs * p2p::kQueryRecordBytes;
       exchange_bytes +=
           p2p::kMessageHeaderBytes + nrecs * p2p::kQueryRecordBytes;
@@ -1494,7 +1483,8 @@ void SpriteSystem::ReplicateIndexes() {
       for (PeerId s : succs) {
         const size_t payload =
             p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes;
-        net_.Count(p2p::MessageType::kReplicate, payload);
+        (void)bus_.CostSend(s, p2p::MessageType::kReplicate, payload,
+                            DirectCallOptions());
         push_bytes += p2p::kMessageHeaderBytes + payload;
         ++pushes;
         // The successor adopts a shared snapshot; copy-on-write at either
@@ -1567,7 +1557,8 @@ size_t SpriteSystem::RunOverloadAdvisories(uint32_t threshold) {
       if (owner_it == owners_.end()) continue;
       OwnedDocument* owned = owner_it->second.document(posting.doc);
       if (owned == nullptr || !owned->IsIndexed(adv_term)) continue;
-      net_.Count(p2p::MessageType::kAdvisory, p2p::kTermBytes);
+      (void)bus_.CostSend(posting.owner, p2p::MessageType::kAdvisory,
+                          p2p::kTermBytes, DirectCallOptions());
 
       // The owner discards the popular term and publishes an analogously
       // important one: its best-ranked unindexed candidate, falling back
@@ -1690,14 +1681,16 @@ PeerId SpriteSystem::CompleteJoin(PeerId id) {
     for (auto& [term, plist] : handoff.lists) {
       const size_t payload =
           p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes;
-      net_.Count(p2p::MessageType::kKeyTransfer, payload);
+      (void)bus_.CostSend(id, p2p::MessageType::kKeyTransfer, payload,
+                          DirectCallOptions());
       handoff_bytes += p2p::kMessageHeaderBytes + payload;
       for (const PostingEntry& entry : *plist) {
         newcomer.AddPosting(term, entry);
       }
     }
     for (const QueryRecord& record : handoff.records) {
-      net_.Count(p2p::MessageType::kKeyTransfer, p2p::kQueryRecordBytes);
+      (void)bus_.CostSend(id, p2p::MessageType::kKeyTransfer,
+                          p2p::kQueryRecordBytes, DirectCallOptions());
       handoff_bytes += p2p::kMessageHeaderBytes + p2p::kQueryRecordBytes;
       newcomer.RecordQuery(record);
     }
@@ -1783,14 +1776,16 @@ Status SpriteSystem::LeavePeer(PeerId id) {
   for (auto& [term, plist] : handoff.lists) {
     const size_t payload =
         p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes;
-    net_.Count(p2p::MessageType::kKeyTransfer, payload);
+    (void)bus_.CostSend(succs[0], p2p::MessageType::kKeyTransfer, payload,
+                        DirectCallOptions());
     handoff_bytes += p2p::kMessageHeaderBytes + payload;
     for (const PostingEntry& entry : *plist) {
       successor.AddPosting(term, entry);
     }
   }
   for (const QueryRecord& record : handoff.records) {
-    net_.Count(p2p::MessageType::kKeyTransfer, p2p::kQueryRecordBytes);
+    (void)bus_.CostSend(succs[0], p2p::MessageType::kKeyTransfer,
+                        p2p::kQueryRecordBytes, DirectCallOptions());
     handoff_bytes += p2p::kMessageHeaderBytes + p2p::kQueryRecordBytes;
     successor.RecordQuery(record);
   }
@@ -1853,7 +1848,8 @@ size_t SpriteSystem::RunHeartbeats() {
         StatusOr<PeerId> target = RouteToTerm(owner_id, id, &hops);
         if (!target.ok()) continue;  // arc unreachable; retry next period
         const uint64_t bytes_before = probe_bytes;
-        net_.Count(p2p::MessageType::kHeartbeat, p2p::kTermBytes);
+        (void)bus_.CostSend(target.value(), p2p::MessageType::kHeartbeat,
+                            p2p::kTermBytes, DirectCallOptions());
         ++probes;
         probe_hops += static_cast<uint64_t>(hops);
         probe_bytes += p2p::kMessageHeaderBytes + p2p::kTermBytes;
@@ -1861,8 +1857,10 @@ size_t SpriteSystem::RunHeartbeats() {
         // it after an unreplicated failure) gets it re-published.
         IndexingPeer& peer = indexing_.at(target.value());
         if (!peer.HasPosting(id, doc_id)) {
-          net_.Count(p2p::MessageType::kPublishTerm,
-                     p2p::kTermBytes + p2p::kPostingEntryBytes);
+          (void)bus_.CostSend(target.value(),
+                              p2p::MessageType::kPublishTerm,
+                              p2p::kTermBytes + p2p::kPostingEntryBytes,
+                              DirectCallOptions());
           probe_bytes += p2p::kMessageHeaderBytes + p2p::kTermBytes +
                          p2p::kPostingEntryBytes;
           peer.AddPosting(id, MakePosting(owned, term, owner_id));
@@ -1943,8 +1941,10 @@ size_t SpriteSystem::RunHotTermCaching(size_t top_terms) {
       // (the contact order rotates per issuance, so most multi-term
       // queries start at a non-hot term). The pushed list is a shared
       // snapshot; the bytes are accounted as a full transfer.
-      net_.Count(p2p::MessageType::kCachePush,
-                 p2p::kTermBytes + plist->size() * p2p::kPostingEntryBytes);
+      (void)bus_.CostSend(target.value(), p2p::MessageType::kCachePush,
+                          p2p::kTermBytes +
+                              plist->size() * p2p::kPostingEntryBytes,
+                          DirectCallOptions());
       indexing_.at(target.value()).CachePostings(hot, plist);
       ++placements;
     }
@@ -1981,9 +1981,11 @@ StatusOr<ir::RankedList> SpriteSystem::SearchWithExpansion(
     const OwnedDocument* owned =
         owners_.at(owner_it->second).document(doc);
     if (owned == nullptr) continue;
-    net_.Count(p2p::MessageType::kQueryRequest, p2p::kTermBytes);
-    net_.Count(p2p::MessageType::kQueryResponse,
-               static_cast<size_t>(owned->content->length()) * 6);
+    (void)bus_.BeginExchange(owner_it->second,
+                             p2p::MessageType::kQueryRequest, p2p::kTermBytes,
+                             DirectCallOptions());
+    bus_.CompleteExchange(p2p::MessageType::kQueryResponse,
+                          static_cast<size_t>(owned->content->length()) * 6);
     feedback_bytes += 2 * p2p::kMessageHeaderBytes + p2p::kTermBytes +
                       static_cast<uint64_t>(owned->content->length()) * 6;
     feedback.push_back(owned->content);

@@ -28,6 +28,7 @@
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "net/sim_transport.h"
 #include "p2p/network.h"
 
 namespace sprite::core {
@@ -200,9 +201,23 @@ class SpriteSystem {
   const dht::ChordRing& ring() const { return ring_; }
   dht::ChordRing& mutable_ring() { return ring_; }
   const p2p::NetworkStats& network_stats() const { return net_.stats(); }
+  // The simulated bus every direct send and exchange goes through
+  // (DESIGN.md §14). Its per-type frame/timeout/retry counters mirror the
+  // accountant's view at the transport layer.
+  const net::Transport& transport() const { return bus_; }
+  const net::TransportStats& transport_stats() const { return bus_.stats(); }
+  net::SimTransport& mutable_bus() { return bus_; }
+  // Deadline/retry policy for direct exchanges, from the config knobs.
+  net::CallOptions DirectCallOptions() const {
+    return net::CallOptions{config_.peer_timeout_ms, config_.send_retries,
+                            config_.retry_backoff_ms};
+  }
   // Resets the traffic accounting; the accountant also drops its mirrored
   // net.* counters from the registry so both views stay in sync.
-  void ClearNetworkStats() { net_.Clear(); }
+  void ClearNetworkStats() {
+    net_.Clear();
+    bus_.mutable_stats().Clear();
+  }
   // The observability registry: per-phase counters and latency histograms
   // for search (route/fetch/rank), learning polls, heartbeats, replication
   // and rebalancing, plus the per-message-type traffic mirrored from
@@ -217,6 +232,7 @@ class SpriteSystem {
   void ClearMetrics() {
     metrics_.Clear();
     net_.Clear();
+    bus_.mutable_stats().Clear();
     ring_.ClearStats();
     cache_.ClearStats();  // stats only: cached contents stay warm
     timeseries_.Clear();
@@ -408,6 +424,10 @@ class SpriteSystem {
   obs::LatencyModel latency_;
   dht::ChordRing ring_;
   p2p::NetworkAccountant net_;
+  // The transport seam: direct sends/exchanges are charged through the
+  // bus, which owns the unreachable-peer timeout/retry semantics. Holds
+  // pointers into net_, ring_ and tracer_, so declared after them.
+  net::SimTransport bus_;
   cache::CacheManager cache_;
   obs::TimeSeriesRecorder timeseries_;
   obs::ExplainRecorder explain_;

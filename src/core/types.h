@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "corpus/document.h"
@@ -20,42 +21,16 @@ using text::kInvalidTermId;
 using text::TermDict;
 using text::TermId;
 
-// One entry of a term's distributed inverted list — the metadata of
-// Section 5.1(a): the document, its owner peer's address, the term
-// frequency, the document length, and the distinct-term count needed by the
-// Lee et al. normalization.
-struct PostingEntry {
-  DocId doc = corpus::kInvalidDocId;
-  PeerId owner = 0;
-  uint32_t term_freq = 0;
-  uint32_t doc_length = 0;
-  uint32_t num_distinct_terms = 0;
-
-  // t_ik: term frequency normalized by document length.
-  double NormalizedTf() const {
-    return doc_length == 0 ? 0.0
-                           : static_cast<double>(term_freq) /
-                                 static_cast<double>(doc_length);
-  }
-
-  friend bool operator==(const PostingEntry& a, const PostingEntry& b) {
-    return a.doc == b.doc && a.owner == b.owner &&
-           a.term_freq == b.term_freq && a.doc_length == b.doc_length &&
-           a.num_distinct_terms == b.num_distinct_terms;
-  }
-};
-
-// A query cached at an indexing peer — Section 5.1(b). `hash_key` is the
-// ring key of the query's canonical form, precomputed so the closest-term
-// dedup rule of Section 3 costs only integer comparisons. `seq` is the
-// global issue order, which doubles as the recency for LRU eviction and as
-// a unique id of this issuance.
-struct QueryRecord {
-  QueryId id = 0;
-  std::vector<TermId> terms;
-  uint64_t hash_key = 0;
-  uint64_t seq = 0;
-};
+// The message payload types live in the message layer (p2p/message.h) since
+// ISSUE 8's transport extraction — they cross the wire on publish, fetch,
+// replicate and poll. Core re-exports them under their historical names;
+// p2p::DocId and corpus::DocId are the same underlying type.
+using p2p::PostingEntry;
+using p2p::QueryRecord;
+static_assert(std::is_same_v<p2p::DocId, corpus::DocId>,
+              "message-layer and corpus doc ids must agree");
+static_assert(p2p::kInvalidDocId == corpus::kInvalidDocId,
+              "sentinel doc ids must agree");
 
 // A term's inverted list. Peers hold lists behind shared_ptr so a fetch
 // during query processing shares an immutable snapshot instead of deep-

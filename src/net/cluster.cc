@@ -1,0 +1,477 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/ranking.h"
+#include "corpus/query.h"
+#include "text/term_dict.h"
+
+namespace sprite::net {
+
+using core::TermDict;
+using core::TermId;
+
+ClusterNode::ClusterNode(ClusterOptions options, Transport* transport)
+    : options_(std::move(options)),
+      transport_(transport),
+      space_(options_.config.id_bits),
+      index_(space_.KeyForString(options_.name),
+             options_.config.history_capacity),
+      owner_(index_.id()) {
+  self_.id = index_.id();
+  self_.name = options_.name;
+  members_.push_back(self_);
+}
+
+void ClusterNode::SetEndpoints(const std::string& host, uint16_t udp,
+                               uint16_t tcp, uint16_t http) {
+  self_.host = host;
+  self_.udp_port = udp;
+  self_.tcp_port = tcp;
+  self_.http_port = http;
+  for (wire::NodeInfo& m : members_) {
+    if (m.id == self_.id) m = self_;
+  }
+}
+
+void ClusterNode::AddMember(const wire::NodeInfo& node) {
+  for (wire::NodeInfo& m : members_) {
+    if (m.id == node.id) {
+      m = node;  // refresh the addressing card
+      return;
+    }
+  }
+  members_.push_back(node);
+  std::sort(members_.begin(), members_.end(),
+            [](const wire::NodeInfo& a, const wire::NodeInfo& b) {
+              return a.id < b.id;
+            });
+}
+
+const wire::NodeInfo& ClusterNode::OwnerOfKey(uint64_t key) const {
+  // Successor among the sorted member ids, wrapping to the smallest — the
+  // Chord successor rule over a full membership view.
+  for (const wire::NodeInfo& m : members_) {
+    if (m.id >= key) return m;
+  }
+  return members_.front();
+}
+
+uint64_t ClusterNode::KeyOfTerm(const std::string& term) const {
+  // Same formula as the simulation's ring key: truncate the dictionary's
+  // precomputed MD5 prefix into the id space, so both worlds agree on term
+  // responsibility and on the closest-term dedup winner.
+  TermDict& dict = TermDict::Global();
+  return space_.Truncate(dict.RawKeyOf(dict.Intern(term)));
+}
+
+CallOptions ClusterNode::DirectCallOptions() const {
+  CallOptions opts;
+  opts.timeout_ms = options_.config.peer_timeout_ms;
+  opts.retries = options_.config.send_retries;
+  opts.backoff_ms = options_.config.retry_backoff_ms;
+  return opts;
+}
+
+uint64_t ClusterNode::NextSeq() {
+  // Unique cluster-wide: the issuing node's ring id tags the top half, a
+  // local counter the bottom. NOT globally time-ordered across issuers —
+  // see RunLearningIteration for why cluster polls ignore cursors.
+  return (self_.id << 32) | (++seq_counter_ & 0xffffffffULL);
+}
+
+StatusOr<wire::Frame> ClusterNode::CallMember(const wire::NodeInfo& node,
+                                              wire::Frame frame) {
+  if (node.id == self_.id) {
+    // Self-addressed traffic dispatches directly: the node's own serve
+    // loop is busy driving this very call, so a socket round trip to
+    // ourselves would deadlock.
+    return HandleFrame(frame);
+  }
+  PeerAddress addr;
+  addr.id = node.id;
+  addr.host = node.host;
+  addr.udp_port = node.udp_port;
+  addr.tcp_port = node.tcp_port;
+  return transport_->Call(addr, frame, DirectCallOptions());
+}
+
+Status ClusterNode::Join(const PeerAddress& bootstrap) {
+  wire::JoinRequest req;
+  req.self = self_;
+  req.announce = true;
+  StatusOr<wire::Frame> resp =
+      transport_->Call(bootstrap, ToFrame(req), DirectCallOptions());
+  if (!resp.ok()) return resp.status();
+  StatusOr<wire::JoinResponse> parsed = wire::ParseJoinResponse(*resp);
+  if (!parsed.ok()) return parsed.status();
+  for (const wire::NodeInfo& m : parsed->members) AddMember(m);
+  // Announce to every member we just learned about; the bootstrap already
+  // added us during the first exchange.
+  for (const wire::NodeInfo& m : members_) {
+    if (m.id == self_.id) continue;
+    // Skip the bootstrap, which already added us. Socket callers address
+    // it by host:port (its ring id is unknown before the first exchange);
+    // in-process callers address it by id, where host/port are all empty
+    // and a host:port match would wrongly skip everyone.
+    const bool is_bootstrap =
+        bootstrap.host.empty()
+            ? m.id == bootstrap.id
+            : m.host == bootstrap.host && m.udp_port == bootstrap.udp_port;
+    if (is_bootstrap) continue;
+    StatusOr<wire::Frame> ack = CallMember(m, ToFrame(req));
+    if (!ack.ok()) return ack.status();
+    StatusOr<wire::JoinResponse> theirs = wire::ParseJoinResponse(*ack);
+    if (theirs.ok()) {
+      for (const wire::NodeInfo& node : theirs->members) AddMember(node);
+    }
+  }
+  return Status::OK();
+}
+
+// --- Inbound dispatch -------------------------------------------------------
+
+StatusOr<wire::Frame> ClusterNode::HandleFrame(const wire::Frame& frame) {
+  switch (frame.type) {
+    case p2p::MessageType::kJoinRequest:
+      return HandleJoin(frame);
+    case p2p::MessageType::kLookupRequest:
+      return HandleLookup(frame);
+    case p2p::MessageType::kPublishTerm:
+      return HandlePublish(frame);
+    case p2p::MessageType::kWithdrawTerm:
+      return HandleWithdraw(frame);
+    case p2p::MessageType::kQueryRequest:
+      return HandleQuery(frame);
+    case p2p::MessageType::kPollRequest:
+      return HandlePoll(frame);
+    case p2p::MessageType::kVersionCheck:
+      return HandleVersionCheck(frame);
+    default:
+      return Status::InvalidArgument("cluster node cannot serve this type");
+  }
+}
+
+StatusOr<wire::Frame> ClusterNode::HandleJoin(const wire::Frame& frame) {
+  StatusOr<wire::JoinRequest> req = wire::ParseJoinRequest(frame);
+  if (!req.ok()) return req.status();
+  // Observers (announce unset) get the member list without becoming a
+  // member — `sprite_cli join` uses this as a liveness probe.
+  if (req->announce) AddMember(req->self);
+  wire::JoinResponse resp;
+  resp.members = members_;
+  return ToFrame(resp);
+}
+
+StatusOr<wire::Frame> ClusterNode::HandleLookup(const wire::Frame& frame) {
+  StatusOr<wire::LookupRequest> req = wire::ParseLookupRequest(frame);
+  if (!req.ok()) return req.status();
+  wire::LookupResponse resp;
+  resp.owner = OwnerOfKey(space_.Truncate(req->key));
+  resp.hops = 1;
+  resp.final = true;  // full membership view: every lookup resolves in one hop
+  return ToFrame(resp);
+}
+
+StatusOr<wire::Frame> ClusterNode::HandlePublish(const wire::Frame& frame) {
+  StatusOr<wire::PublishTerm> req = wire::ParsePublishTerm(frame);
+  if (!req.ok()) return req.status();
+  index_.AddPosting(TermDict::Global().Intern(req->term), req->entry);
+  wire::Frame ack;
+  ack.type = p2p::MessageType::kPublishTerm;
+  ack.flags = wire::kFlagResponse;
+  return ack;
+}
+
+StatusOr<wire::Frame> ClusterNode::HandleWithdraw(const wire::Frame& frame) {
+  StatusOr<wire::WithdrawTerm> req = wire::ParseWithdrawTerm(frame);
+  if (!req.ok()) return req.status();
+  index_.RemovePosting(TermDict::Global().Intern(req->term),
+                       static_cast<core::DocId>(req->doc));
+  wire::Frame ack;
+  ack.type = p2p::MessageType::kWithdrawTerm;
+  ack.flags = wire::kFlagResponse;
+  return ack;
+}
+
+void ClusterNode::RecordAtIndex(const wire::WireQueryRecord& record) {
+  // Records travel as spellings; rebuild the local QueryRecord with
+  // re-interned ids. hash_key and seq are cluster-wide values and pass
+  // through unchanged.
+  core::QueryRecord local;
+  local.id = static_cast<core::QueryId>(record.id);
+  local.hash_key = record.hash_key;
+  local.seq = record.seq;
+  TermDict& dict = TermDict::Global();
+  local.terms.reserve(record.terms.size());
+  for (const std::string& term : record.terms) {
+    local.terms.push_back(dict.Intern(term));
+  }
+  index_.RecordQuery(local);
+}
+
+StatusOr<wire::Frame> ClusterNode::HandleQuery(const wire::Frame& frame) {
+  StatusOr<wire::QueryRequest> req = wire::ParseQueryRequest(frame);
+  if (!req.ok()) return req.status();
+  if (req->record.has_value()) RecordAtIndex(*req->record);
+  wire::QueryResponse resp;
+  if (!req->record_only) {
+    const TermId id = TermDict::Global().Intern(req->term);
+    core::PostingListPtr plist = index_.Postings(id);
+    if (plist != nullptr) resp.postings = *plist;
+    resp.version = index_.TermVersion(id);
+  }
+  return ToFrame(resp);
+}
+
+StatusOr<wire::Frame> ClusterNode::HandlePoll(const wire::Frame& frame) {
+  StatusOr<wire::PollRequest> req = wire::ParsePollRequest(frame);
+  if (!req.ok()) return req.status();
+  if (req->my_terms.size() != req->cursors.size()) {
+    return Status::InvalidArgument("poll cursors not parallel to my_terms");
+  }
+  TermDict& dict = TermDict::Global();
+  std::vector<TermId> poll_terms;
+  std::vector<uint64_t> poll_keys;
+  poll_terms.reserve(req->poll_terms.size());
+  poll_keys.reserve(req->poll_terms.size());
+  for (const std::string& term : req->poll_terms) {
+    const TermId id = dict.Intern(term);
+    poll_terms.push_back(id);
+    poll_keys.push_back(space_.Truncate(dict.RawKeyOf(id)));
+  }
+  std::vector<TermId> my_terms;
+  std::unordered_map<TermId, uint64_t> cursor;
+  my_terms.reserve(req->my_terms.size());
+  for (size_t i = 0; i < req->my_terms.size(); ++i) {
+    const TermId id = dict.Intern(req->my_terms[i]);
+    my_terms.push_back(id);
+    cursor[id] = req->cursors[i];
+  }
+  const std::vector<const core::QueryRecord*> records =
+      index_.CollectQueriesForPoll(poll_terms, poll_keys, my_terms, cursor,
+                                   space_);
+  wire::PollResponse resp;
+  resp.records.reserve(records.size());
+  for (const core::QueryRecord* rec : records) {
+    wire::WireQueryRecord out;
+    out.id = rec->id;
+    out.hash_key = rec->hash_key;
+    out.seq = rec->seq;
+    out.terms.reserve(rec->terms.size());
+    for (const TermId id : rec->terms) out.terms.push_back(dict.TermOf(id));
+    resp.records.push_back(std::move(out));
+  }
+  return ToFrame(resp);
+}
+
+StatusOr<wire::Frame> ClusterNode::HandleVersionCheck(
+    const wire::Frame& frame) {
+  StatusOr<wire::VersionCheckRequest> req =
+      wire::ParseVersionCheckRequest(frame);
+  if (!req.ok()) return req.status();
+  if (req->record.has_value()) RecordAtIndex(*req->record);
+  wire::VersionCheckResponse resp;
+  resp.current = 1;
+  for (const auto& [term, version] : req->terms) {
+    // Same two-part test as the sim's checker: still responsible here, and
+    // the list unchanged since the cache captured it.
+    if (OwnerOfKey(KeyOfTerm(term)).id != self_.id ||
+        index_.TermVersion(TermDict::Global().Intern(term)) != version) {
+      resp.current = 0;
+      break;
+    }
+  }
+  return ToFrame(resp);
+}
+
+// --- Document sharing -------------------------------------------------------
+
+Status ClusterNode::ShareDocument(corpus::DocId id, const std::string& title,
+                                  const std::string& text) {
+  auto doc = std::make_unique<corpus::Document>();
+  doc->id = id;
+  doc->title = title;
+  doc->terms = analyzer_.AnalyzeToVector(text);
+  if (doc->terms.length() == 0) {
+    return Status::InvalidArgument("document has no analyzable terms");
+  }
+  core::OwnedDocument& owned = owner_.AdoptDocument(doc.get());
+  owned.index_terms =
+      core::OwnerPeer::SelectInitialTerms(*doc, options_.config.initial_terms);
+  documents_.push_back(std::move(doc));
+  for (const std::string& term : owned.index_terms) {
+    wire::PublishTerm msg;
+    msg.term = term;
+    msg.entry.doc = owned.content->id;
+    msg.entry.owner = self_.id;
+    msg.entry.term_freq = owned.content->terms.Count(term);
+    msg.entry.doc_length = static_cast<uint32_t>(owned.content->length());
+    msg.entry.num_distinct_terms =
+        static_cast<uint32_t>(owned.content->num_distinct_terms());
+    StatusOr<wire::Frame> ack =
+        CallMember(OwnerOfKey(KeyOfTerm(term)), ToFrame(msg));
+    if (!ack.ok()) return ack.status();
+  }
+  return Status::OK();
+}
+
+// --- Query plane ------------------------------------------------------------
+
+wire::WireQueryRecord ClusterNode::MakeWireRecord(
+    const std::vector<std::string>& deduped_terms) {
+  corpus::Query query;
+  query.id = ++record_id_counter_;
+  query.terms = deduped_terms;
+  wire::WireQueryRecord record;
+  record.id = query.id;
+  record.terms = deduped_terms;
+  // Same hash the simulation derives from the canonical key, so the
+  // closest-term dedup rule picks the same winner peer in both worlds.
+  record.hash_key = space_.KeyForString(query.CanonicalKey());
+  record.seq = NextSeq();
+  return record;
+}
+
+Status ClusterNode::RecordQuery(const std::vector<std::string>& raw_terms) {
+  const std::vector<std::string> terms = corpus::DedupTerms(raw_terms);
+  if (terms.empty()) return Status::InvalidArgument("empty query");
+  const wire::WireQueryRecord record = MakeWireRecord(terms);
+  // One record per responsible member, even when it serves several of the
+  // query's terms — exactly one history entry per (member, issuance).
+  std::unordered_set<uint64_t> recorded_at;
+  for (const std::string& term : terms) {
+    const wire::NodeInfo& target = OwnerOfKey(KeyOfTerm(term));
+    if (!recorded_at.insert(target.id).second) continue;
+    wire::QueryRequest req;
+    req.term = term;
+    req.record = record;
+    req.record_only = true;
+    StatusOr<wire::Frame> ack = CallMember(target, ToFrame(req));
+    if (!ack.ok()) return ack.status();
+  }
+  return Status::OK();
+}
+
+StatusOr<ir::RankedList> ClusterNode::Search(
+    const std::vector<std::string>& raw_terms, size_t k) {
+  const std::vector<std::string> terms = corpus::DedupTerms(raw_terms);
+  if (terms.empty()) return Status::InvalidArgument("empty query");
+  TermDict& dict = TermDict::Global();
+  std::vector<core::RetrievedList> lists;
+  lists.reserve(terms.size());
+  size_t fetched = 0;
+  for (const std::string& term : terms) {
+    wire::QueryRequest req;
+    req.term = term;
+    StatusOr<wire::Frame> resp =
+        CallMember(OwnerOfKey(KeyOfTerm(term)), ToFrame(req));
+    if (!resp.ok()) {
+      if (options_.config.skip_unreachable_terms) continue;
+      return resp.status();
+    }
+    StatusOr<wire::QueryResponse> parsed = wire::ParseQueryResponse(*resp);
+    if (!parsed.ok()) return parsed.status();
+    core::RetrievedList rl;
+    rl.term = dict.Intern(term);
+    rl.postings = parsed->postings.empty()
+                      ? core::EmptyPostingList()
+                      : std::make_shared<core::PostingList>(
+                            std::move(parsed->postings));
+    fetched += rl.postings->size();
+    lists.push_back(std::move(rl));
+  }
+  // The simulation's exact ranking arithmetic (core/ranking.h): identical
+  // posting sets in identical list order produce bit-identical scores.
+  return core::RankRetrievedLists(lists, options_.config.idf_corpus_size,
+                                  fetched, k);
+}
+
+Status ClusterNode::RunLearningIteration() {
+  for (auto& [doc_id, owned] : owner_.mutable_documents()) {
+    // Group the document's index terms by responsible member and pull the
+    // deduplicated incremental query history from each — the index-update
+    // poll of Section 3, over real frames instead of the sim bus.
+    std::map<uint64_t, std::vector<std::string>> by_member;
+    for (const std::string& term : owned.index_terms) {
+      by_member[OwnerOfKey(KeyOfTerm(term)).id].push_back(term);
+    }
+    std::vector<core::QueryRecord> pulled_local;
+    TermDict& dict = TermDict::Global();
+    for (const auto& [member_id, my_terms] : by_member) {
+      const wire::NodeInfo* member = nullptr;
+      for (const wire::NodeInfo& m : members_) {
+        if (m.id == member_id) member = &m;
+      }
+      if (member == nullptr) continue;
+      wire::PollRequest poll;
+      poll.poll_terms = owned.index_terms;
+      poll.my_terms = my_terms;
+      // Cluster polls carry zero cursors (full history every round). The
+      // sim's watermark trick is unsound here: wire seqs are namespaced
+      // per issuer ((node id << 32) | counter), so they are not globally
+      // time-ordered and a max-seq cursor could permanently skip a slower
+      // issuer's records. processed_seqs already makes QF exact under
+      // re-pulls, so cursors would only save traffic, never change the
+      // learned index sets.
+      poll.cursors.assign(my_terms.size(), 0);
+      StatusOr<wire::Frame> resp = CallMember(*member, ToFrame(poll));
+      if (!resp.ok()) continue;  // unreachable member: pull it next round
+      StatusOr<wire::PollResponse> parsed = wire::ParsePollResponse(*resp);
+      if (!parsed.ok()) return parsed.status();
+      for (const wire::WireQueryRecord& rec : parsed->records) {
+        core::QueryRecord local;
+        local.id = static_cast<core::QueryId>(rec.id);
+        local.hash_key = rec.hash_key;
+        local.seq = rec.seq;
+        local.terms.reserve(rec.terms.size());
+        for (const std::string& term : rec.terms) {
+          local.terms.push_back(dict.Intern(term));
+        }
+        pulled_local.push_back(std::move(local));
+      }
+    }
+    std::vector<const core::QueryRecord*> pulled;
+    pulled.reserve(pulled_local.size());
+    for (const core::QueryRecord& rec : pulled_local) pulled.push_back(&rec);
+    const core::OwnerPeer::IndexUpdate update =
+        owner_.LearnAndRetune(owned, pulled, options_.config);
+    for (const std::string& term : update.remove) {
+      wire::WithdrawTerm msg;
+      msg.term = term;
+      msg.doc = owned.content->id;
+      StatusOr<wire::Frame> ack =
+          CallMember(OwnerOfKey(KeyOfTerm(term)), ToFrame(msg));
+      if (!ack.ok()) return ack.status();
+    }
+    for (const std::string& term : update.add) {
+      wire::PublishTerm msg;
+      msg.term = term;
+      msg.entry.doc = owned.content->id;
+      msg.entry.owner = self_.id;
+      msg.entry.term_freq = owned.content->terms.Count(term);
+      msg.entry.doc_length = static_cast<uint32_t>(owned.content->length());
+      msg.entry.num_distinct_terms =
+          static_cast<uint32_t>(owned.content->num_distinct_terms());
+      StatusOr<wire::Frame> ack =
+          CallMember(OwnerOfKey(KeyOfTerm(term)), ToFrame(msg));
+      if (!ack.ok()) return ack.status();
+    }
+  }
+  return Status::OK();
+}
+
+ClusterNode::Stats ClusterNode::GetStats() const {
+  Stats s;
+  s.members = members_.size();
+  s.documents = owner_.num_documents();
+  s.indexed_terms = index_.num_terms();
+  s.postings = index_.num_postings();
+  s.history_records = index_.history().size();
+  return s;
+}
+
+}  // namespace sprite::net

@@ -1,0 +1,136 @@
+#ifndef SPRITE_NET_CLUSTER_H_
+#define SPRITE_NET_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/indexing_peer.h"
+#include "core/owner_peer.h"
+#include "corpus/document.h"
+#include "dht/id_space.h"
+#include "ir/ranked_list.h"
+#include "net/transport.h"
+#include "text/analyzer.h"
+
+// A live SPRITE node (DESIGN.md §14): one process in a multi-node cluster,
+// plugging the simulation's peer roles (core::IndexingPeer for the index
+// half, core::OwnerPeer for the document half) onto a real Transport. The
+// sim and the cluster share the role, ranking and learning code; only the
+// medium differs — so a cluster of daemons converges to the same index
+// sets and rankings the simulation predicts (asserted by the multi-process
+// smoke in tools/ci.sh).
+//
+// Membership is a full-view ring: every node knows every member, and the
+// peer responsible for a key is the successor of the key among the sorted
+// member ids (the node with the smallest id >= key, wrapping). Nodes join
+// by asking any bootstrap member for the member list and then announcing
+// themselves to each member.
+//
+// Query records travel as term *spellings* (TermIds are process-local
+// interner handles); receivers re-intern. A record's hash_key and the
+// per-term ring keys use the same formulas as the simulation, so the
+// closest-term dedup rule picks the same winner in both worlds.
+namespace sprite::net {
+
+struct ClusterOptions {
+  // Unique node name; the node's ring id is IdSpace::KeyForString(name).
+  std::string name;
+  core::SpriteConfig config;
+};
+
+class ClusterNode {
+ public:
+  ClusterNode(ClusterOptions options, Transport* transport);
+
+  const wire::NodeInfo& self() const { return self_; }
+  // Where this node's sockets actually listen (filled in by the daemon
+  // once the transport/HTTP ports are bound).
+  void SetEndpoints(const std::string& host, uint16_t udp, uint16_t tcp,
+                    uint16_t http);
+
+  // --- Membership -------------------------------------------------------
+  // Learns the member list from any existing member and announces this
+  // node to each of them. Without a bootstrap the node starts a one-node
+  // cluster (it is always a member of its own view).
+  Status Join(const PeerAddress& bootstrap);
+  void AddMember(const wire::NodeInfo& node);
+  const std::vector<wire::NodeInfo>& members() const { return members_; }
+  // The member responsible for `key` (successor among sorted member ids).
+  const wire::NodeInfo& OwnerOfKey(uint64_t key) const;
+  uint64_t KeyOfTerm(const std::string& term) const;
+
+  // --- Inbound ----------------------------------------------------------
+  // The frame dispatcher; register with the serving transport. Handlers
+  // never make outbound calls, so a cluster of sequential serve loops
+  // cannot deadlock.
+  StatusOr<wire::Frame> HandleFrame(const wire::Frame& frame);
+
+  // --- Document sharing -------------------------------------------------
+  // Analyzes `text`, adopts the document under this node's owner role and
+  // publishes its initial index terms to the responsible members. `id`
+  // must be unique cluster-wide (doc ids ride inside postings).
+  Status ShareDocument(corpus::DocId id, const std::string& title,
+                       const std::string& text);
+
+  // --- Query plane ------------------------------------------------------
+  // Records one query issuance at every member responsible for one of its
+  // terms (the training half of SPRITE's learning loop).
+  Status RecordQuery(const std::vector<std::string>& raw_terms);
+  // One SPRITE learning iteration over the documents owned here: poll the
+  // responsible members for fresh query records, retune each document's
+  // index-term set, publish/withdraw the changes.
+  Status RunLearningIteration();
+  // Fetches each term's inverted list from its responsible member and
+  // ranks locally — the querying-peer algorithm of Section 4, sharing
+  // core/ranking.h with the simulation. k = 0 returns all candidates.
+  StatusOr<ir::RankedList> Search(const std::vector<std::string>& raw_terms,
+                                  size_t k);
+
+  struct Stats {
+    size_t members = 0;
+    size_t documents = 0;
+    size_t indexed_terms = 0;   // terms this node's index half serves
+    size_t postings = 0;
+    size_t history_records = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  StatusOr<wire::Frame> CallMember(const wire::NodeInfo& node,
+                                   wire::Frame frame);
+  CallOptions DirectCallOptions() const;
+  uint64_t NextSeq();
+
+  StatusOr<wire::Frame> HandleJoin(const wire::Frame& frame);
+  StatusOr<wire::Frame> HandleLookup(const wire::Frame& frame);
+  StatusOr<wire::Frame> HandlePublish(const wire::Frame& frame);
+  StatusOr<wire::Frame> HandleWithdraw(const wire::Frame& frame);
+  StatusOr<wire::Frame> HandleQuery(const wire::Frame& frame);
+  StatusOr<wire::Frame> HandlePoll(const wire::Frame& frame);
+  StatusOr<wire::Frame> HandleVersionCheck(const wire::Frame& frame);
+
+  void RecordAtIndex(const wire::WireQueryRecord& record);
+  wire::WireQueryRecord MakeWireRecord(
+      const std::vector<std::string>& deduped_terms);
+
+  ClusterOptions options_;
+  Transport* transport_;
+  dht::IdSpace space_;
+  wire::NodeInfo self_;
+  std::vector<wire::NodeInfo> members_;  // sorted by id, includes self_
+  core::IndexingPeer index_;
+  core::OwnerPeer owner_;
+  // Backing store for owned documents (OwnedDocument keeps a pointer).
+  std::vector<std::unique_ptr<corpus::Document>> documents_;
+  text::Analyzer analyzer_;
+  uint64_t seq_counter_ = 0;
+  uint32_t record_id_counter_ = 0;
+};
+
+}  // namespace sprite::net
+
+#endif  // SPRITE_NET_CLUSTER_H_

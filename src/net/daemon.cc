@@ -1,0 +1,199 @@
+#include "net/daemon.h"
+
+#include <poll.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/query.h"
+
+namespace sprite::net {
+namespace {
+
+std::string FormatScore(double score) {
+  char buf[64];
+  // Round-trippable doubles: the smoke compares cluster scores against the
+  // in-process reference bit-for-bit through this formatting.
+  std::snprintf(buf, sizeof(buf), "%.17g", score);
+  return buf;
+}
+
+HttpResponse JsonError(int status, const std::string& message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = "{\"error\":\"" + JsonEscape(message) + "\"}";
+  return resp;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(options),
+      transport_(dht::IdSpace(options.config.id_bits)
+                     .KeyForString(options.name)),
+      cluster_(ClusterOptions{options.name, options.config}, &transport_) {}
+
+Status Daemon::Start() {
+  SocketTransport::Options topts;
+  topts.host = options_.config.listen_host;
+  topts.udp_port = options_.config.udp_port;
+  topts.tcp_port = options_.config.tcp_port;
+  SPRITE_RETURN_IF_ERROR(transport_.Bind(topts));
+  transport_.set_handler(
+      [this](const wire::Frame& frame) { return cluster_.HandleFrame(frame); });
+  SPRITE_RETURN_IF_ERROR(
+      http_.Bind(options_.config.listen_host, options_.config.http_port));
+  http_.set_handler([this](const HttpRequest& req) { return HandleHttp(req); });
+  cluster_.SetEndpoints(options_.config.listen_host, transport_.udp_port(),
+                        transport_.tcp_port(), http_.port());
+  if (!options_.bootstrap_host.empty() && options_.bootstrap_udp != 0) {
+    PeerAddress bootstrap;
+    bootstrap.host = options_.bootstrap_host;
+    bootstrap.udp_port = options_.bootstrap_udp;
+    SPRITE_RETURN_IF_ERROR(cluster_.Join(bootstrap));
+  }
+  return Status::OK();
+}
+
+void Daemon::PollOnce(int timeout_ms) {
+  struct pollfd fds[3];
+  fds[0] = {transport_.udp_fd(), POLLIN, 0};
+  fds[1] = {transport_.tcp_listen_fd(), POLLIN, 0};
+  fds[2] = {http_.listen_fd(), POLLIN, 0};
+  const int rc = poll(fds, 3, timeout_ms);
+  if (rc <= 0) return;
+  if ((fds[0].revents & POLLIN) != 0) transport_.OnUdpReadable();
+  if ((fds[1].revents & POLLIN) != 0) transport_.OnTcpReadable();
+  if ((fds[2].revents & POLLIN) != 0) http_.OnReadable();
+}
+
+void Daemon::RunUntil(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    PollOnce(100);
+  }
+}
+
+HttpResponse Daemon::HandleHttp(const HttpRequest& req) {
+  HttpResponse resp;
+  if (req.path == "/health") {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"id\":%" PRIu64 "}",
+                  JsonEscape(cluster_.self().name).c_str(),
+                  cluster_.self().id);
+    resp.body = buf;
+    return resp;
+  }
+  if (req.path == "/stats") {
+    const ClusterNode::Stats s = cluster_.GetStats();
+    std::ostringstream out;
+    out << "{\"name\":\"" << JsonEscape(cluster_.self().name) << "\""
+        << ",\"members\":" << s.members << ",\"documents\":" << s.documents
+        << ",\"indexed_terms\":" << s.indexed_terms
+        << ",\"postings\":" << s.postings
+        << ",\"history_records\":" << s.history_records << "}";
+    resp.body = out.str();
+    return resp;
+  }
+  if (req.path == "/members") {
+    std::ostringstream out;
+    out << "[";
+    bool first = true;
+    for (const wire::NodeInfo& m : cluster_.members()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << JsonEscape(m.name) << "\",\"id\":" << m.id
+          << ",\"host\":\"" << JsonEscape(m.host)
+          << "\",\"udp\":" << m.udp_port << ",\"tcp\":" << m.tcp_port
+          << ",\"http\":" << m.http_port << "}";
+    }
+    out << "]";
+    resp.body = out.str();
+    return resp;
+  }
+  if (req.path == "/publish") {
+    if (req.method != "POST") return JsonError(405, "POST a TSV body");
+    std::istringstream in(req.body);
+    std::string line;
+    size_t shared = 0;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      const size_t tab1 = line.find('\t');
+      const size_t tab2 =
+          tab1 == std::string::npos ? std::string::npos
+                                    : line.find('\t', tab1 + 1);
+      if (tab2 == std::string::npos) {
+        return JsonError(400, "line " + std::to_string(lineno) +
+                                  ": want <id>\\t<title>\\t<text>");
+      }
+      const corpus::DocId id = static_cast<corpus::DocId>(
+          std::strtoul(line.substr(0, tab1).c_str(), nullptr, 10));
+      const Status shared_status = cluster_.ShareDocument(
+          id, line.substr(tab1 + 1, tab2 - tab1 - 1), line.substr(tab2 + 1));
+      if (!shared_status.ok()) return JsonError(500, shared_status.message());
+      ++shared;
+    }
+    resp.body = "{\"shared\":" + std::to_string(shared) + "}";
+    return resp;
+  }
+  if (req.path == "/record") {
+    if (req.method != "POST") {
+      return JsonError(405, "POST one raw query per line");
+    }
+    std::istringstream in(req.body);
+    std::string line;
+    size_t recorded = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const std::vector<std::string> terms = analyzer_.Analyze(line);
+      if (terms.empty()) continue;
+      const Status status = cluster_.RecordQuery(terms);
+      if (!status.ok()) return JsonError(500, status.message());
+      ++recorded;
+    }
+    resp.body = "{\"recorded\":" + std::to_string(recorded) + "}";
+    return resp;
+  }
+  if (req.path == "/learn") {
+    if (req.method != "POST") return JsonError(405, "POST to learn");
+    const Status status = cluster_.RunLearningIteration();
+    if (!status.ok()) return JsonError(500, status.message());
+    resp.body = "{\"learned\":true}";
+    return resp;
+  }
+  if (req.path == "/search") {
+    const auto q = req.params.find("q");
+    if (q == req.params.end() || q->second.empty()) {
+      return JsonError(400, "missing ?q=");
+    }
+    size_t k = 20;
+    const auto kit = req.params.find("k");
+    if (kit != req.params.end()) k = std::strtoul(kit->second.c_str(),
+                                                  nullptr, 10);
+    const std::vector<std::string> terms = analyzer_.Analyze(q->second);
+    if (terms.empty()) return JsonError(400, "query has no indexable terms");
+    StatusOr<ir::RankedList> results = cluster_.Search(terms, k);
+    if (!results.ok()) return JsonError(500, results.status().message());
+    std::ostringstream out;
+    out << "{\"results\":[";
+    bool first = true;
+    for (const auto& r : *results) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"doc\":" << r.doc << ",\"score\":" << FormatScore(r.score)
+          << "}";
+    }
+    out << "]}";
+    resp.body = out.str();
+    return resp;
+  }
+  return JsonError(404, "unknown path: " + req.path);
+}
+
+}  // namespace sprite::net

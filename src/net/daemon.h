@@ -1,0 +1,68 @@
+#ifndef SPRITE_NET_DAEMON_H_
+#define SPRITE_NET_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/cluster.h"
+#include "net/http.h"
+#include "net/socket_transport.h"
+#include "text/analyzer.h"
+
+// One live SPRITE process: a SocketTransport (UDP control + TCP bulk), a
+// ClusterNode plugged into it, and an HTTP/JSON frontend, all driven by a
+// single poll loop. Shared between the `sprite_daemon` tool and
+// `sprite_cli serve` so both speak exactly the same protocol.
+namespace sprite::net {
+
+struct DaemonOptions {
+  std::string name = "node";
+  core::SpriteConfig config;  // listen_host + udp/tcp/http ports honored
+  // When set, join this cluster right after binding (host + UDP control
+  // port of any existing member).
+  std::string bootstrap_host;
+  uint16_t bootstrap_udp = 0;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+
+  // Binds the three listeners, wires the frame and HTTP handlers, and (if
+  // a bootstrap was given) joins the cluster.
+  Status Start();
+
+  // Serves until `*stop` becomes true (checked between poll rounds).
+  void RunUntil(const std::atomic<bool>& stop);
+  // One bounded poll round; exposed for in-process tests.
+  void PollOnce(int timeout_ms);
+
+  ClusterNode& cluster() { return cluster_; }
+  SocketTransport& transport() { return transport_; }
+  HttpServer& http() { return http_; }
+
+  // The HTTP surface (also reachable in-process for tests):
+  //   GET  /health               -> {"name","id"}
+  //   GET  /stats                -> membership + index counters
+  //   GET  /members              -> the full member list
+  //   POST /publish              -> TSV body, one "<id>\t<title>\t<text>"
+  //                                 per line; shares each document
+  //   POST /record               -> one raw query per line; analyzes and
+  //                                 records each at the responsible members
+  //   POST /learn                -> one SPRITE learning iteration
+  //   GET  /search?q=...&k=N     -> analyzed query -> ranked {"doc","score"}
+  HttpResponse HandleHttp(const HttpRequest& req);
+
+ private:
+  DaemonOptions options_;
+  SocketTransport transport_;
+  ClusterNode cluster_;
+  HttpServer http_;
+  text::Analyzer analyzer_;
+};
+
+}  // namespace sprite::net
+
+#endif  // SPRITE_NET_DAEMON_H_

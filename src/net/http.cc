@@ -1,0 +1,280 @@
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace sprite::net {
+namespace {
+
+// Per-connection serve deadline and body bound. The frontend handles local
+// smoke traffic; anything slower or larger than this is a client bug.
+constexpr int kServeTimeoutMs = 5000;
+constexpr size_t kMaxRequestBytes = 16 * 1024 * 1024;
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Waits for `events` on `fd`; false on timeout or poll error.
+bool PollFor(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void ParseQueryString(const std::string& qs,
+                      std::map<std::string, std::string>& params) {
+  size_t pos = 0;
+  while (pos < qs.size()) {
+    size_t amp = qs.find('&', pos);
+    if (amp == std::string::npos) amp = qs.size();
+    const std::string pair = qs.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      params[HttpServer::UrlDecode(pair.substr(0, eq))] =
+          HttpServer::UrlDecode(pair.substr(eq + 1));
+    } else if (!pair.empty()) {
+      params[HttpServer::UrlDecode(pair)] = "";
+    }
+    pos = amp + 1;
+  }
+}
+
+}  // namespace
+
+std::string HttpServer::UrlDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size()) {
+      const int hi = HexVal(in[i + 1]);
+      const int lo = HexVal(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+      } else {
+        out.push_back(in[i]);
+      }
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+std::string HttpServer::UrlEncode(const std::string& in) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0 || c == '-' || c == '_' || c == '.' ||
+        c == '~') {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+HttpServer::~HttpServer() { Close(); }
+
+Status HttpServer::Bind(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string use_host = host.empty() ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, use_host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad http listen host: " + use_host);
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("http socket() failed");
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      listen(fd, 32) != 0 || !SetNonBlocking(fd)) {
+    close(fd);
+    return Status::Internal("http bind/listen failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) !=
+      0) {
+    close(fd);
+    return Status::Internal("http getsockname failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void HttpServer::Close() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void HttpServer::OnReadable() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained every pending connection
+    }
+    SetNonBlocking(fd);
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read until the header terminator, then the Content-Length body.
+  std::string raw;
+  size_t header_end = std::string::npos;
+  size_t want = 0;  // total request bytes once the headers are parsed
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+      if (raw.size() > kMaxRequestBytes) return;
+      if (header_end == std::string::npos) {
+        header_end = raw.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+          size_t content_length = 0;
+          // Case-insensitive Content-Length scan over the header block.
+          std::string lower = raw.substr(0, header_end);
+          for (char& c : lower) c = static_cast<char>(std::tolower(c));
+          const size_t cl = lower.find("content-length:");
+          if (cl != std::string::npos) {
+            content_length = std::strtoul(raw.c_str() + cl + 15, nullptr, 10);
+          }
+          if (content_length > kMaxRequestBytes) return;
+          want = header_end + 4 + content_length;
+        }
+      }
+      if (header_end != std::string::npos && raw.size() >= want) break;
+    } else if (n == 0) {
+      if (header_end == std::string::npos || raw.size() < want) return;
+      break;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!PollFor(fd, POLLIN, kServeTimeoutMs)) return;
+    } else if (errno != EINTR) {
+      return;
+    }
+  }
+
+  HttpRequest req;
+  const size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return;
+  const std::string line = raw.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return;
+  req.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    ParseQueryString(target.substr(qmark + 1), req.params);
+    target.resize(qmark);
+  }
+  req.path = UrlDecode(target);
+  req.body = raw.substr(header_end + 4, want - header_end - 4);
+
+  HttpResponse resp;
+  if (handler_) {
+    resp = handler_(req);
+  } else {
+    resp.status = 500;
+    resp.body = "{\"error\":\"no handler\"}";
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    ReasonPhrase(resp.status) +
+                    "\r\nContent-Type: " + resp.content_type +
+                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + resp.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!PollFor(fd, POLLOUT, kServeTimeoutMs)) return;
+    } else if (n < 0 && errno != EINTR) {
+      return;
+    }
+  }
+}
+
+}  // namespace sprite::net

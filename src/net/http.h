@@ -1,0 +1,72 @@
+#ifndef SPRITE_NET_HTTP_H_
+#define SPRITE_NET_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+// A deliberately small HTTP/1.1 server: the JSON query frontend of a live
+// SPRITE daemon (DESIGN.md §14). One request per connection
+// (Connection: close), bodies bounded, no keep-alive, no TLS — enough for
+// `curl` and the multi-process smoke, and nothing more. The daemon's poll
+// loop owns the listening fd and calls OnReadable() when it is ready, the
+// same inversion SocketTransport uses.
+namespace sprite::net {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // decoded path without the query string
+  // Decoded query-string parameters (last wins on duplicates).
+  std::map<std::string, std::string> params;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds and listens; port 0 picks an ephemeral port (see port()).
+  Status Bind(const std::string& host, uint16_t port);
+  void Close();
+
+  int listen_fd() const { return listen_fd_; }
+  uint16_t port() const { return port_; }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  // Accepts and serves every pending connection (one request each).
+  void OnReadable();
+
+  // Percent-decodes a URL component ('+' becomes a space). Exposed for the
+  // CLI's query subcommand and for tests.
+  static std::string UrlDecode(const std::string& in);
+  static std::string UrlEncode(const std::string& in);
+
+ private:
+  void ServeConnection(int fd);
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  Handler handler_;
+};
+
+// Minimal JSON string escaping for the daemon's hand-rolled responses.
+std::string JsonEscape(const std::string& in);
+
+}  // namespace sprite::net
+
+#endif  // SPRITE_NET_HTTP_H_

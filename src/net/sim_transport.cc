@@ -1,0 +1,92 @@
+#include "net/sim_transport.h"
+
+#include <utility>
+
+namespace sprite::net {
+
+namespace {
+
+double BackoffMs(const CallOptions& opts, size_t retry_index) {
+  double wait = opts.backoff_ms;
+  for (size_t i = 0; i < retry_index; ++i) wait *= 2.0;
+  return wait;
+}
+
+}  // namespace
+
+bool SimTransport::Reachable(p2p::PeerId id) const {
+  if (down_.count(id) != 0) return false;
+  if (handlers_.count(id) != 0) return true;
+  // Fall back to the cost-model liveness view when no handler registry is
+  // in use (the SpriteSystem seam).
+  if (reachable_) return reachable_(id);
+  return false;
+}
+
+StatusOr<wire::Frame> SimTransport::Call(const PeerAddress& to,
+                                         const wire::Frame& request,
+                                         const CallOptions& opts) {
+  auto it = handlers_.find(to.id);
+  const bool answering = it != handlers_.end() && down_.count(to.id) == 0;
+  if (!answering) {
+    for (size_t attempt = 0; attempt <= opts.retries; ++attempt) {
+      stats_.CountFrame(request.type, request.wire_size());
+      if (attempt < opts.retries) {
+        stats_.CountRetry(request.type);
+        if (advance_ms_) advance_ms_(BackoffMs(opts, attempt));
+      }
+    }
+    stats_.CountTimeout(request.type);
+    return Status::DeadlineExceeded("peer unreachable on sim bus");
+  }
+  stats_.CountFrame(request.type, request.wire_size());
+  StatusOr<wire::Frame> response = it->second(request);
+  if (response.ok()) {
+    stats_.CountFrame(response->type, response->wire_size());
+  }
+  return response;
+}
+
+Status SimTransport::Send(const PeerAddress& to, const wire::Frame& frame,
+                          const CallOptions& opts) {
+  auto it = handlers_.find(to.id);
+  const bool answering = it != handlers_.end() && down_.count(to.id) == 0;
+  stats_.CountFrame(frame.type, frame.wire_size());
+  if (!answering) {
+    // A one-way send has no acknowledgement, so the loss is silent; it is
+    // still surfaced to the caller since the sim knows.
+    return Status::DeadlineExceeded("peer unreachable on sim bus");
+  }
+  (void)it->second(frame);
+  (void)opts;
+  return Status::OK();
+}
+
+Status SimTransport::CostSend(p2p::PeerId to, p2p::MessageType type,
+                              size_t payload_bytes, const CallOptions& opts) {
+  const size_t wire_bytes = p2p::kMessageHeaderBytes + payload_bytes;
+  const bool up = reachable_ ? reachable_(to) : true;
+  if (up) {
+    if (net_ != nullptr) net_->Count(type, payload_bytes);
+    stats_.CountFrame(type, wire_bytes);
+    return Status::OK();
+  }
+  for (size_t attempt = 0; attempt <= opts.retries; ++attempt) {
+    if (net_ != nullptr) net_->Count(type, payload_bytes);
+    stats_.CountFrame(type, wire_bytes);
+    if (attempt < opts.retries) {
+      stats_.CountRetry(type);
+      if (advance_ms_) advance_ms_(BackoffMs(opts, attempt));
+    }
+  }
+  stats_.CountTimeout(type);
+  return Status::DeadlineExceeded("direct send to departed peer timed out");
+}
+
+void SimTransport::CompleteExchange(p2p::MessageType type,
+                                    size_t payload_bytes) {
+  if (net_ != nullptr) net_->Count(type, payload_bytes);
+  stats_.CountFrame(type, p2p::kMessageHeaderBytes + payload_bytes);
+}
+
+}  // namespace sprite::net

@@ -1,0 +1,416 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace sprite::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Loopback datagrams comfortably carry ~64 KiB; leave header room.
+constexpr size_t kMaxDatagramBytes = 60000;
+
+Status MakeAddr(const std::string& host, uint16_t port, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  const char* h = host.empty() ? "127.0.0.1" : host.c_str();
+  if (inet_pton(AF_INET, h, &out->sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable IPv4 host: " + host);
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal("fcntl(O_NONBLOCK) failed");
+  }
+  return Status::OK();
+}
+
+double RemainingMs(Clock::time_point deadline) {
+  return std::chrono::duration<double, std::milli>(deadline - Clock::now())
+      .count();
+}
+
+// Polls `fd` for `events` until the deadline. Returns OK when ready,
+// DeadlineExceeded on timeout.
+Status PollFor(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    double remaining = RemainingMs(deadline);
+    if (remaining <= 0.0) return Status::DeadlineExceeded("socket wait");
+    pollfd pfd{fd, events, 0};
+    int rc = poll(&pfd, 1, static_cast<int>(remaining) + 1);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::DeadlineExceeded("socket wait");
+    if (errno != EINTR) return Status::Internal("poll failed");
+  }
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                Clock::time_point deadline) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SPRITE_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable("tcp write failed: connection lost");
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, uint8_t* data, size_t size, Clock::time_point deadline) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("tcp read failed: peer closed");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SPRITE_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable("tcp read failed");
+  }
+  return Status::OK();
+}
+
+// Reads one length-prefixed frame from a connected (non-blocking) socket.
+StatusOr<wire::Frame> ReadFrame(int fd, Clock::time_point deadline) {
+  std::vector<uint8_t> buf(wire::kHeaderBytes);
+  SPRITE_RETURN_IF_ERROR(ReadAll(fd, buf.data(), buf.size(), deadline));
+  StatusOr<wire::FrameHeader> header =
+      wire::DecodeHeader(buf.data(), buf.size());
+  if (!header.ok()) return header.status();
+  buf.resize(wire::kHeaderBytes + header->payload_length);
+  SPRITE_RETURN_IF_ERROR(ReadAll(fd, buf.data() + wire::kHeaderBytes,
+                                 header->payload_length, deadline));
+  return wire::DecodeFrame(buf.data(), buf.size());
+}
+
+// Connects with a deadline; returns a non-blocking connected fd.
+StatusOr<int> DialTcp(const sockaddr_in& addr, Clock::time_point deadline) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket(SOCK_STREAM) failed");
+  Status s = SetNonBlocking(fd);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    s = PollFor(fd, POLLOUT, deadline);
+    if (s.ok()) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) s = Status::Unavailable("tcp connect refused");
+    }
+  } else if (rc < 0) {
+    s = Status::Unavailable("tcp connect failed");
+  }
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+double BackoffMs(const CallOptions& opts, size_t retry_index) {
+  double wait = opts.backoff_ms;
+  for (size_t i = 0; i < retry_index; ++i) wait *= 2.0;
+  return wait;
+}
+
+Clock::time_point DeadlineAfterMs(double ms) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+bool SocketTransport::UsesUdp(p2p::MessageType type) {
+  switch (type) {
+    case p2p::MessageType::kJoinRequest:
+    case p2p::MessageType::kJoinResponse:
+    case p2p::MessageType::kLookupRequest:
+    case p2p::MessageType::kLookupResponse:
+    case p2p::MessageType::kLookupHop:
+    case p2p::MessageType::kHeartbeat:
+    case p2p::MessageType::kAdvisory:
+      return true;
+    default:
+      return false;
+  }
+}
+
+SocketTransport::~SocketTransport() { Close(); }
+
+void SocketTransport::Close() {
+  if (udp_fd_ >= 0) ::close(udp_fd_);
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+  udp_fd_ = -1;
+  tcp_listen_fd_ = -1;
+  udp_port_ = 0;
+  tcp_port_ = 0;
+}
+
+Status SocketTransport::Bind(const Options& options) {
+  Close();
+  sockaddr_in addr{};
+  SPRITE_RETURN_IF_ERROR(MakeAddr(options.host, options.udp_port, &addr));
+
+  udp_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (udp_fd_ < 0) return Status::Internal("socket(SOCK_DGRAM) failed");
+  if (::bind(udp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Close();
+    return Status::Unavailable("udp bind failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  SPRITE_RETURN_IF_ERROR(SetNonBlocking(udp_fd_));
+  socklen_t len = sizeof(addr);
+  getsockname(udp_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  udp_port_ = ntohs(addr.sin_port);
+
+  SPRITE_RETURN_IF_ERROR(MakeAddr(options.host, options.tcp_port, &addr));
+  tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (tcp_listen_fd_ < 0) {
+    Close();
+    return Status::Internal("socket(SOCK_STREAM) failed");
+  }
+  int one = 1;
+  setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(tcp_listen_fd_, 32) < 0) {
+    Close();
+    return Status::Unavailable("tcp bind/listen failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  SPRITE_RETURN_IF_ERROR(SetNonBlocking(tcp_listen_fd_));
+  len = sizeof(addr);
+  getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  tcp_port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void SocketTransport::OnUdpReadable() {
+  if (udp_fd_ < 0) return;
+  std::vector<uint8_t> buf(65536);
+  for (;;) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    ssize_t n = ::recvfrom(udp_fd_, buf.data(), buf.size(), 0,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained
+    }
+    StatusOr<wire::Frame> req =
+        wire::DecodeFrame(buf.data(), static_cast<size_t>(n));
+    if (!req.ok() || !handler_) continue;  // drop malformed datagrams
+    stats_.CountFrame(req->type, req->wire_size());
+    StatusOr<wire::Frame> resp = handler_(*req);
+    if (!resp.ok()) continue;  // silence: the caller times out and retries
+    resp->src = self_;
+    resp->dst = req->src;
+    resp->request_id = req->request_id;
+    std::vector<uint8_t> out = wire::EncodeFrame(*resp);
+    if (out.size() > kMaxDatagramBytes) continue;
+    (void)::sendto(udp_fd_, out.data(), out.size(), 0,
+                   reinterpret_cast<sockaddr*>(&from), from_len);
+    stats_.CountFrame(resp->type, resp->wire_size());
+  }
+}
+
+void SocketTransport::OnTcpReadable() {
+  if (tcp_listen_fd_ < 0) return;
+  for (;;) {
+    int fd = ::accept(tcp_listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained
+    }
+    Status nb = SetNonBlocking(fd);
+    if (!nb.ok()) {
+      ::close(fd);
+      continue;
+    }
+    // One frame exchange per connection; a slow/hostile client is cut off
+    // at the serve deadline instead of wedging the loop.
+    auto deadline = Clock::now() + std::chrono::milliseconds(2000);
+    StatusOr<wire::Frame> req = ReadFrame(fd, deadline);
+    if (req.ok() && handler_) {
+      stats_.CountFrame(req->type, req->wire_size());
+      StatusOr<wire::Frame> resp = handler_(*req);
+      if (resp.ok()) {
+        resp->src = self_;
+        resp->dst = req->src;
+        resp->request_id = req->request_id;
+        std::vector<uint8_t> out = wire::EncodeFrame(*resp);
+        if (WriteAll(fd, out.data(), out.size(), deadline).ok()) {
+          stats_.CountFrame(resp->type, resp->wire_size());
+        }
+      }
+    }
+    ::close(fd);
+  }
+}
+
+StatusOr<wire::Frame> SocketTransport::CallUdp(const PeerAddress& to,
+                                               const wire::Frame& request,
+                                               const CallOptions& opts) {
+  sockaddr_in addr{};
+  SPRITE_RETURN_IF_ERROR(MakeAddr(to.host, to.udp_port, &addr));
+  std::vector<uint8_t> out = wire::EncodeFrame(request);
+  if (out.size() > kMaxDatagramBytes) {
+    return Status::InvalidArgument("frame too large for a datagram");
+  }
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return Status::Internal("socket(SOCK_DGRAM) failed");
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  std::vector<uint8_t> buf(65536);
+  Status last = Status::DeadlineExceeded("udp call timed out");
+  for (size_t attempt = 0; attempt <= opts.retries; ++attempt) {
+    if (attempt > 0) {
+      stats_.CountRetry(request.type);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          BackoffMs(opts, attempt - 1)));
+    }
+    (void)::sendto(fd, out.data(), out.size(), 0,
+                   reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    stats_.CountFrame(request.type, request.wire_size());
+    auto deadline = DeadlineAfterMs(opts.timeout_ms);
+    for (;;) {
+      Status ready = PollFor(fd, POLLIN, deadline);
+      if (!ready.ok()) {
+        last = ready;
+        break;  // next attempt
+      }
+      ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+      if (n < 0) continue;
+      StatusOr<wire::Frame> resp =
+          wire::DecodeFrame(buf.data(), static_cast<size_t>(n));
+      // Stale retransmit replies carry an older request_id; keep draining.
+      if (!resp.ok() || resp->request_id != request.request_id) continue;
+      stats_.CountFrame(resp->type, resp->wire_size());
+      ::close(fd);
+      return resp;
+    }
+  }
+  ::close(fd);
+  stats_.CountTimeout(request.type);
+  return last;
+}
+
+StatusOr<wire::Frame> SocketTransport::CallTcp(const PeerAddress& to,
+                                               const wire::Frame& request,
+                                               const CallOptions& opts) {
+  sockaddr_in addr{};
+  SPRITE_RETURN_IF_ERROR(MakeAddr(to.host, to.tcp_port, &addr));
+  std::vector<uint8_t> out = wire::EncodeFrame(request);
+  Status last = Status::DeadlineExceeded("tcp call timed out");
+  for (size_t attempt = 0; attempt <= opts.retries; ++attempt) {
+    if (attempt > 0) {
+      stats_.CountRetry(request.type);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          BackoffMs(opts, attempt - 1)));
+    }
+    auto deadline = DeadlineAfterMs(opts.timeout_ms);
+    StatusOr<int> fd = DialTcp(addr, deadline);
+    if (!fd.ok()) {
+      last = fd.status();
+      continue;
+    }
+    stats_.CountFrame(request.type, request.wire_size());
+    Status sent = WriteAll(*fd, out.data(), out.size(), deadline);
+    if (!sent.ok()) {
+      ::close(*fd);
+      last = sent;
+      continue;
+    }
+    StatusOr<wire::Frame> resp = ReadFrame(*fd, deadline);
+    ::close(*fd);
+    if (resp.ok()) {
+      stats_.CountFrame(resp->type, resp->wire_size());
+      return resp;
+    }
+    last = resp.status();
+  }
+  if (last.IsDeadlineExceeded()) stats_.CountTimeout(request.type);
+  return last;
+}
+
+StatusOr<wire::Frame> SocketTransport::Call(const PeerAddress& to,
+                                            const wire::Frame& request,
+                                            const CallOptions& opts) {
+  wire::Frame req = request;
+  req.src = self_;
+  req.dst = to.id;
+  if (req.request_id == 0) req.request_id = next_request_id_++;
+  return UsesUdp(req.type) ? CallUdp(to, req, opts) : CallTcp(to, req, opts);
+}
+
+Status SocketTransport::Send(const PeerAddress& to, const wire::Frame& frame,
+                             const CallOptions& opts) {
+  wire::Frame f = frame;
+  f.src = self_;
+  f.dst = to.id;
+  if (f.request_id == 0) f.request_id = next_request_id_++;
+  if (UsesUdp(f.type)) {
+    sockaddr_in addr{};
+    SPRITE_RETURN_IF_ERROR(MakeAddr(to.host, to.udp_port, &addr));
+    std::vector<uint8_t> out = wire::EncodeFrame(f);
+    if (out.size() > kMaxDatagramBytes) {
+      return Status::InvalidArgument("frame too large for a datagram");
+    }
+    int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) return Status::Internal("socket(SOCK_DGRAM) failed");
+    (void)::sendto(fd, out.data(), out.size(), 0,
+                   reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+    stats_.CountFrame(f.type, f.wire_size());
+    return Status::OK();
+  }
+  // Bulk one-way: connect, write the frame, close without awaiting a reply.
+  auto deadline = DeadlineAfterMs(opts.timeout_ms);
+  sockaddr_in addr{};
+  SPRITE_RETURN_IF_ERROR(MakeAddr(to.host, to.tcp_port, &addr));
+  StatusOr<int> fd = DialTcp(addr, deadline);
+  if (!fd.ok()) return fd.status();
+  std::vector<uint8_t> out = wire::EncodeFrame(f);
+  Status sent = WriteAll(*fd, out.data(), out.size(), deadline);
+  ::close(*fd);
+  if (sent.ok()) stats_.CountFrame(f.type, f.wire_size());
+  return sent;
+}
+
+}  // namespace sprite::net

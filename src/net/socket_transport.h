@@ -1,0 +1,92 @@
+#ifndef SPRITE_NET_SOCKET_TRANSPORT_H_
+#define SPRITE_NET_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace sprite::net {
+
+// Real-socket Transport over loopback/LAN IPv4:
+//
+//   * UDP carries DHT routing and membership control (join, lookup,
+//     heartbeat, advisory) — small datagrams, request/response matched by
+//     request_id, resent with exponential backoff on silence.
+//   * TCP carries bulk transfer (publish, withdraw, query, poll,
+//     replicate, key transfer, cache push, version check) — one
+//     length-prefixed frame exchange per connection.
+//
+// The transport does not own an event loop. The owner (sprite_daemon, or a
+// test) polls udp_fd()/tcp_listen_fd() and calls OnUdpReadable()/
+// OnTcpReadable() when they fire; inbound requests are dispatched to the
+// registered handler and the reply is written back synchronously. Client
+// calls block the calling thread until a reply or the deadline.
+class SocketTransport : public Transport {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t udp_port = 0;  // 0 = ephemeral
+    uint16_t tcp_port = 0;  // 0 = ephemeral
+  };
+
+  using Handler = std::function<StatusOr<wire::Frame>(const wire::Frame&)>;
+
+  explicit SocketTransport(p2p::PeerId self) : self_(self) {}
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // Opens and binds the UDP socket and the TCP listener. Ephemeral ports
+  // are resolved immediately; read them back via udp_port()/tcp_port().
+  Status Bind(const Options& options);
+  void Close();
+
+  uint16_t udp_port() const { return udp_port_; }
+  uint16_t tcp_port() const { return tcp_port_; }
+  int udp_fd() const { return udp_fd_; }
+  int tcp_listen_fd() const { return tcp_listen_fd_; }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  // Drains every pending datagram / pending connection. The reply frame's
+  // src/dst/request_id are stamped from the request, so handlers only fill
+  // type, flags and payload.
+  void OnUdpReadable();
+  void OnTcpReadable();
+
+  StatusOr<wire::Frame> Call(const PeerAddress& to, const wire::Frame& request,
+                             const CallOptions& opts) override;
+  Status Send(const PeerAddress& to, const wire::Frame& frame,
+              const CallOptions& opts) override;
+  const TransportStats& stats() const override { return stats_; }
+  TransportStats& mutable_stats() { return stats_; }
+
+  // Channel selection: routing/membership control rides UDP, bulk rides
+  // TCP.
+  static bool UsesUdp(p2p::MessageType type);
+
+ private:
+  StatusOr<wire::Frame> CallUdp(const PeerAddress& to,
+                                const wire::Frame& request,
+                                const CallOptions& opts);
+  StatusOr<wire::Frame> CallTcp(const PeerAddress& to,
+                                const wire::Frame& request,
+                                const CallOptions& opts);
+
+  p2p::PeerId self_ = 0;
+  int udp_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  uint16_t udp_port_ = 0;
+  uint16_t tcp_port_ = 0;
+  Handler handler_;
+  TransportStats stats_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace sprite::net
+
+#endif  // SPRITE_NET_SOCKET_TRANSPORT_H_

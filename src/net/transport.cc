@@ -1,0 +1,67 @@
+#include "net/transport.h"
+
+#include <numeric>
+
+namespace sprite::net {
+
+namespace {
+
+std::string Label(p2p::MessageType type) {
+  return std::string(p2p::MessageTypeName(type));
+}
+
+}  // namespace
+
+void TransportStats::CountFrame(p2p::MessageType type, size_t wire_bytes) {
+  frames_[Idx(type)] += 1;
+  bytes_[Idx(type)] += wire_bytes;
+  if (metrics_ != nullptr && mirror_traffic_) {
+    metrics_->Add("transport.frames", Label(type), 1);
+    metrics_->Add("transport.bytes", Label(type), wire_bytes);
+  }
+}
+
+void TransportStats::CountTimeout(p2p::MessageType type) {
+  timeouts_[Idx(type)] += 1;
+  if (metrics_ != nullptr) {
+    metrics_->Add("transport.timeouts", Label(type), 1);
+  }
+}
+
+void TransportStats::CountRetry(p2p::MessageType type) {
+  retries_[Idx(type)] += 1;
+  if (metrics_ != nullptr) {
+    metrics_->Add("transport.retries", Label(type), 1);
+  }
+}
+
+uint64_t TransportStats::TotalFrames() const {
+  return std::accumulate(frames_.begin(), frames_.end(), uint64_t{0});
+}
+
+uint64_t TransportStats::TotalBytes() const {
+  return std::accumulate(bytes_.begin(), bytes_.end(), uint64_t{0});
+}
+
+uint64_t TransportStats::TotalTimeouts() const {
+  return std::accumulate(timeouts_.begin(), timeouts_.end(), uint64_t{0});
+}
+
+uint64_t TransportStats::TotalRetries() const {
+  return std::accumulate(retries_.begin(), retries_.end(), uint64_t{0});
+}
+
+void TransportStats::Clear() {
+  frames_.fill(0);
+  bytes_.fill(0);
+  timeouts_.fill(0);
+  retries_.fill(0);
+  if (metrics_ != nullptr) {
+    metrics_->EraseByName("transport.frames");
+    metrics_->EraseByName("transport.bytes");
+    metrics_->EraseByName("transport.timeouts");
+    metrics_->EraseByName("transport.retries");
+  }
+}
+
+}  // namespace sprite::net

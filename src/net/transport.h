@@ -1,0 +1,113 @@
+#ifndef SPRITE_NET_TRANSPORT_H_
+#define SPRITE_NET_TRANSPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "p2p/message.h"
+#include "net/wire.h"
+
+// The Transport abstraction (DESIGN.md §14): how one SPRITE peer exchanges
+// a wire::Frame with another. Two backends exist —
+//
+//   * SimTransport (net/sim_transport.h): the in-process simulated bus.
+//     Frames are delivered as direct function calls; traffic is charged to
+//     the legacy cost model so every sim bench/test stays byte-identical.
+//   * SocketTransport (net/socket_transport.h): real sockets — UDP for
+//     routing/control, TCP for bulk posting transfer.
+//
+// Unreachable peers are a normal condition, not an error: a Call to a
+// departed peer times out after `CallOptions::retries` resends and surfaces
+// Status::DeadlineExceeded; every attempt is counted in the per-type
+// TransportStats (frames/bytes/timeouts/retries), the transport-layer
+// mirror of p2p::NetworkAccountant.
+namespace sprite::net {
+
+// Where a peer can be reached. In-process backends only need `id`; socket
+// backends use host + the per-channel ports.
+struct PeerAddress {
+  p2p::PeerId id = 0;
+  std::string host;  // empty for in-process transports
+  uint16_t udp_port = 0;
+  uint16_t tcp_port = 0;
+};
+
+// Per-call deadline/retry policy, populated from SpriteConfig's
+// peer_timeout_ms / send_retries / retry_backoff_ms knobs.
+struct CallOptions {
+  // Per-attempt deadline.
+  double timeout_ms = 1000.0;
+  // Extra attempts after the first times out.
+  size_t retries = 0;
+  // Wait before retry k (1-based) is backoff_ms * 2^(k-1).
+  double backoff_ms = 200.0;
+};
+
+// Per-message-type transport counters: frames/bytes actually moved (or, on
+// the sim backend, charged), plus timeouts and retries. Mirrors into an
+// obs registry as "transport.*" counters labeled by message type; Clear()
+// erases the mirrored counters, preserving the repo's reset invariant.
+class TransportStats {
+ public:
+  // `mirror_traffic` controls whether frames/bytes mirror into the
+  // registry. The sim backend disables it — its traffic already mirrors
+  // through NetworkAccountant as net.*, and a second copy would change the
+  // dumps — while timeouts/retries (which the accountant cannot see)
+  // always mirror when a registry is attached.
+  void AttachMetrics(obs::MetricsRegistry* metrics, bool mirror_traffic) {
+    metrics_ = metrics;
+    mirror_traffic_ = mirror_traffic;
+  }
+
+  void CountFrame(p2p::MessageType type, size_t wire_bytes);
+  void CountTimeout(p2p::MessageType type);
+  void CountRetry(p2p::MessageType type);
+
+  uint64_t FramesOf(p2p::MessageType t) const { return frames_[Idx(t)]; }
+  uint64_t BytesOf(p2p::MessageType t) const { return bytes_[Idx(t)]; }
+  uint64_t TimeoutsOf(p2p::MessageType t) const { return timeouts_[Idx(t)]; }
+  uint64_t RetriesOf(p2p::MessageType t) const { return retries_[Idx(t)]; }
+  uint64_t TotalFrames() const;
+  uint64_t TotalBytes() const;
+  uint64_t TotalTimeouts() const;
+  uint64_t TotalRetries() const;
+
+  // Resets the counters and drops every mirrored transport.* registry
+  // counter, so both views stay in sync across resets.
+  void Clear();
+
+ private:
+  static size_t Idx(p2p::MessageType t) { return static_cast<size_t>(t); }
+  std::array<uint64_t, p2p::kNumMessageTypes> frames_{};
+  std::array<uint64_t, p2p::kNumMessageTypes> bytes_{};
+  std::array<uint64_t, p2p::kNumMessageTypes> timeouts_{};
+  std::array<uint64_t, p2p::kNumMessageTypes> retries_{};
+  obs::MetricsRegistry* metrics_ = nullptr;
+  bool mirror_traffic_ = false;
+};
+
+// Abstract frame transport.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // One request/response round trip: sends `request`, returns the peer's
+  // reply. DeadlineExceeded when the peer stays silent through every
+  // attempt; Unavailable when it is known to be gone (e.g. no route).
+  virtual StatusOr<wire::Frame> Call(const PeerAddress& to,
+                                     const wire::Frame& request,
+                                     const CallOptions& opts) = 0;
+
+  // One-way send; no reply is awaited.
+  virtual Status Send(const PeerAddress& to, const wire::Frame& frame,
+                      const CallOptions& opts) = 0;
+
+  virtual const TransportStats& stats() const = 0;
+};
+
+}  // namespace sprite::net
+
+#endif  // SPRITE_NET_TRANSPORT_H_

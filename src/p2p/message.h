@@ -3,16 +3,26 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string_view>
+#include <vector>
+
+#include "text/term_dict.h"
 
 namespace sprite::p2p {
 
 // A peer is addressed by its Chord node identifier.
 using PeerId = uint64_t;
 
-// Application-level message kinds exchanged by SPRITE peers. The simulator
-// does not serialize real packets; it counts messages and estimated bytes
-// per kind so experiments can report communication cost.
+// Documents are identified by the dense ids their corpus assigns (the same
+// value as corpus::DocId; duplicated here so the message layer does not
+// depend on the corpus loader).
+using DocId = uint32_t;
+inline constexpr DocId kInvalidDocId = std::numeric_limits<DocId>::max();
+
+// Application-level message kinds exchanged by SPRITE peers. The simulated
+// bus counts messages and estimated bytes per kind; the socket transport
+// serializes them with the wire protocol of src/net/wire.h.
 enum class MessageType : uint8_t {
   kLookupHop = 0,    // one hop of an iterative Chord lookup
   kPublishTerm,      // owner -> indexing peer: add posting for a term
@@ -28,21 +38,71 @@ enum class MessageType : uint8_t {
   kCachePush,        // indexing peer -> co-term peer: hot-term cache (LAR)
   kVersionCheck,     // querying peer -> indexing peer: cached-entry
                      // freshness probe (term versions in, verdict out)
+  // Transport-control types (src/net): never counted by the simulation's
+  // cost model, only exchanged by live clusters.
+  kJoinRequest,      // newcomer -> member: hello / membership announce
+  kJoinResponse,     // member -> newcomer: full member list
+  kLookupRequest,    // querying node -> member: who owns this key?
+  kLookupResponse,   // member -> querying node: owner (or closer node)
 };
 
-inline constexpr int kNumMessageTypes = 13;
+inline constexpr int kNumMessageTypes = 17;
 
 // Stable display name, e.g. "PublishTerm".
 std::string_view MessageTypeName(MessageType type);
 
 // Rough wire sizes used for byte accounting (header + typical payload
-// units). These only need to be consistent across the compared systems.
+// units). The wire protocol (src/net/wire.h) is engineered so that real
+// frames match these charges for the canonical payload shapes — the
+// byte-accounting parity audit in tests/wire_test.cc pins the residual
+// deltas — so sim benches keep predicting real traffic.
 inline constexpr size_t kMessageHeaderBytes = 48;
 inline constexpr size_t kLookupHopBytes = 64;
 inline constexpr size_t kPostingEntryBytes = 32;  // doc id, owner, tf, len
 inline constexpr size_t kTermBytes = 12;          // average term payload
 inline constexpr size_t kQueryRecordBytes = 40;   // cached query payload
 inline constexpr size_t kVersionBytes = 8;        // one uint64 term version
+
+// One entry of a term's distributed inverted list — the metadata of
+// Section 5.1(a): the document, its owner peer's address, the term
+// frequency, the document length, and the distinct-term count needed by the
+// Lee et al. normalization. This is message payload (it crosses the wire on
+// publish/fetch/replicate), so it lives in the message layer; core
+// re-exports it as core::PostingEntry.
+struct PostingEntry {
+  DocId doc = kInvalidDocId;
+  PeerId owner = 0;
+  uint32_t term_freq = 0;
+  uint32_t doc_length = 0;
+  uint32_t num_distinct_terms = 0;
+
+  // t_ik: term frequency normalized by document length.
+  double NormalizedTf() const {
+    return doc_length == 0 ? 0.0
+                           : static_cast<double>(term_freq) /
+                                 static_cast<double>(doc_length);
+  }
+
+  friend bool operator==(const PostingEntry& a, const PostingEntry& b) {
+    return a.doc == b.doc && a.owner == b.owner &&
+           a.term_freq == b.term_freq && a.doc_length == b.doc_length &&
+           a.num_distinct_terms == b.num_distinct_terms;
+  }
+};
+
+// A query cached at an indexing peer — Section 5.1(b). `hash_key` is the
+// ring key of the query's canonical form, precomputed so the closest-term
+// dedup rule of Section 3 costs only integer comparisons. `seq` is the
+// global issue order, which doubles as the recency for LRU eviction and as
+// a unique id of this issuance. The in-memory form keys terms by interned
+// TermId; on the wire (net::wire::WireQueryRecord) the spellings travel
+// instead, since interner handles are process-local.
+struct QueryRecord {
+  uint32_t id = 0;
+  std::vector<text::TermId> terms;
+  uint64_t hash_key = 0;
+  uint64_t seq = 0;
+};
 
 }  // namespace sprite::p2p
 

@@ -32,6 +32,14 @@ std::string_view MessageTypeName(MessageType type) {
       return "CachePush";
     case MessageType::kVersionCheck:
       return "VersionCheck";
+    case MessageType::kJoinRequest:
+      return "JoinRequest";
+    case MessageType::kJoinResponse:
+      return "JoinResponse";
+    case MessageType::kLookupRequest:
+      return "LookupRequest";
+    case MessageType::kLookupResponse:
+      return "LookupResponse";
   }
   return "Unknown";
 }

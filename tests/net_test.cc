@@ -1,0 +1,370 @@
+// Transport-subsystem tests (ISSUE 8): SimTransport's cost-model seam
+// (legacy-identical accounting, typed unreachable-peer statuses, the
+// retry/backoff knobs), the frame-level sim bus, and a three-node
+// in-process ClusterNode cluster whose join/publish/record/learn/search
+// life cycle must reproduce the simulation's rankings bit for bit — the
+// in-process twin of the multi-process daemon smoke in tools/ci.sh.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sprite_system.h"
+#include "corpus/corpus.h"
+#include "corpus/query.h"
+#include "net/cluster.h"
+#include "net/sim_transport.h"
+#include "net/wire.h"
+#include "p2p/network.h"
+#include "text/analyzer.h"
+
+namespace sprite::net {
+namespace {
+
+using p2p::MessageType;
+
+// --- SimTransport: the cost-model seam --------------------------------------
+
+struct CostFixture {
+  SimTransport bus;
+  p2p::NetworkAccountant net;
+  double clock_ms = 0.0;
+  bool peer_up = true;
+
+  CostFixture() {
+    bus.ConfigureCostModel(
+        &net, [this](p2p::PeerId) { return peer_up; },
+        [this](double ms) { clock_ms += ms; });
+  }
+};
+
+TEST(SimTransportCostTest, AliveSendChargesLegacyBytes) {
+  CostFixture f;
+  const Status sent =
+      f.bus.CostSend(7, MessageType::kPublishTerm, 44, CallOptions{});
+  EXPECT_TRUE(sent.ok());
+  // Exactly what NetworkAccountant::Count(type, 44) has always booked.
+  EXPECT_EQ(f.net.stats().MessagesOf(MessageType::kPublishTerm), 1u);
+  EXPECT_EQ(f.net.stats().BytesOf(MessageType::kPublishTerm),
+            p2p::kMessageHeaderBytes + 44);
+  // The transport-layer mirror agrees and sees no failures.
+  EXPECT_EQ(f.bus.stats().FramesOf(MessageType::kPublishTerm), 1u);
+  EXPECT_EQ(f.bus.stats().BytesOf(MessageType::kPublishTerm),
+            p2p::kMessageHeaderBytes + 44);
+  EXPECT_EQ(f.bus.stats().TotalTimeouts(), 0u);
+  EXPECT_EQ(f.bus.stats().TotalRetries(), 0u);
+  EXPECT_EQ(f.clock_ms, 0.0);
+}
+
+TEST(SimTransportCostTest, DeadSendDefaultsMatchLegacyAccounting) {
+  // The invariant that keeps every sim dump byte-identical: with the
+  // default retries = 0 an unreachable peer costs exactly one request and
+  // no response — plus, new with the transport, a typed status and a
+  // timeout counter the accountant could never express.
+  CostFixture f;
+  f.peer_up = false;
+  const Status sent =
+      f.bus.CostSend(7, MessageType::kVersionCheck, 20, CallOptions{});
+  ASSERT_FALSE(sent.ok());
+  EXPECT_TRUE(sent.IsDeadlineExceeded());
+  EXPECT_EQ(sent.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(f.net.stats().MessagesOf(MessageType::kVersionCheck), 1u);
+  EXPECT_EQ(f.net.stats().BytesOf(MessageType::kVersionCheck),
+            p2p::kMessageHeaderBytes + 20);
+  EXPECT_EQ(f.bus.stats().TimeoutsOf(MessageType::kVersionCheck), 1u);
+  EXPECT_EQ(f.bus.stats().RetriesOf(MessageType::kVersionCheck), 0u);
+  EXPECT_EQ(f.clock_ms, 0.0);  // no retries, no backoff waits
+}
+
+TEST(SimTransportCostTest, DeadSendRetriesChargeEveryAttempt) {
+  CostFixture f;
+  f.peer_up = false;
+  CallOptions opts;
+  opts.retries = 2;
+  opts.backoff_ms = 200.0;
+  const Status sent =
+      f.bus.CostSend(7, MessageType::kVersionCheck, 20, opts);
+  ASSERT_TRUE(sent.IsDeadlineExceeded());
+  // Three request legs hit the wire (1 + 2 retries), each fully charged.
+  EXPECT_EQ(f.net.stats().MessagesOf(MessageType::kVersionCheck), 3u);
+  EXPECT_EQ(f.net.stats().BytesOf(MessageType::kVersionCheck),
+            3 * (p2p::kMessageHeaderBytes + 20));
+  EXPECT_EQ(f.bus.stats().FramesOf(MessageType::kVersionCheck), 3u);
+  EXPECT_EQ(f.bus.stats().RetriesOf(MessageType::kVersionCheck), 2u);
+  EXPECT_EQ(f.bus.stats().TimeoutsOf(MessageType::kVersionCheck), 1u);
+  // Exponential backoff advanced the simulated clock: 200 + 400 ms.
+  EXPECT_EQ(f.clock_ms, 600.0);
+}
+
+TEST(SimTransportCostTest, ExchangeChargesBothLegs) {
+  CostFixture f;
+  const Status sent =
+      f.bus.BeginExchange(3, MessageType::kVersionCheck, 20, CallOptions{});
+  ASSERT_TRUE(sent.ok());
+  f.bus.CompleteExchange(MessageType::kVersionCheck, p2p::kVersionBytes);
+  EXPECT_EQ(f.net.stats().MessagesOf(MessageType::kVersionCheck), 2u);
+  EXPECT_EQ(f.net.stats().BytesOf(MessageType::kVersionCheck),
+            (p2p::kMessageHeaderBytes + 20) +
+                (p2p::kMessageHeaderBytes + p2p::kVersionBytes));
+}
+
+// --- SimTransport: the frame-level bus --------------------------------------
+
+TEST(SimTransportFrameTest, CallDeliversFramesAndCountsBothLegs) {
+  SimTransport bus;
+  wire::Frame seen;
+  bus.Register(5, [&](const wire::Frame& f) -> StatusOr<wire::Frame> {
+    seen = f;
+    wire::Advisory reply;
+    reply.term = "abcdefghij";
+    reply.indexed_df = 3;
+    return wire::ToFrame(reply);
+  });
+  wire::Heartbeat probe;
+  probe.term = "abcdefghij";
+  probe.doc = 9;
+  wire::Frame request = wire::ToFrame(probe);
+  PeerAddress to;
+  to.id = 5;
+  StatusOr<wire::Frame> response = bus.Call(to, request, CallOptions{});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(seen.type, MessageType::kHeartbeat);
+  EXPECT_EQ(response->type, MessageType::kAdvisory);
+  EXPECT_EQ(bus.stats().FramesOf(MessageType::kHeartbeat), 1u);
+  EXPECT_EQ(bus.stats().FramesOf(MessageType::kAdvisory), 1u);
+  EXPECT_EQ(bus.stats().BytesOf(MessageType::kHeartbeat),
+            request.wire_size());
+}
+
+TEST(SimTransportFrameTest, DownPeerSurfacesTypedTimeout) {
+  SimTransport bus;
+  bus.Register(5, [](const wire::Frame& f) -> StatusOr<wire::Frame> {
+    return f;  // echo
+  });
+  bus.SetDown(5, true);
+  wire::Heartbeat probe;
+  probe.term = "abcdefghij";
+  wire::Frame request = wire::ToFrame(probe);
+  PeerAddress to;
+  to.id = 5;
+  CallOptions opts;
+  opts.retries = 1;
+  StatusOr<wire::Frame> response = bus.Call(to, request, opts);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded());
+  EXPECT_EQ(bus.stats().FramesOf(MessageType::kHeartbeat), 2u);
+  EXPECT_EQ(bus.stats().RetriesOf(MessageType::kHeartbeat), 1u);
+  EXPECT_EQ(bus.stats().TimeoutsOf(MessageType::kHeartbeat), 1u);
+  // The partition heals: the same peer answers again.
+  bus.SetDown(5, false);
+  EXPECT_TRUE(bus.Call(to, request, opts).ok());
+}
+
+TEST(SimTransportFrameTest, SendToUnregisteredPeerReportsLoss) {
+  SimTransport bus;
+  wire::Heartbeat probe;
+  probe.term = "abcdefghij";
+  PeerAddress to;
+  to.id = 99;
+  const Status sent = bus.Send(to, wire::ToFrame(probe), CallOptions{});
+  EXPECT_TRUE(sent.IsDeadlineExceeded());
+  EXPECT_EQ(bus.stats().FramesOf(MessageType::kHeartbeat), 1u);
+}
+
+// --- ClusterNode: in-process three-node cluster -----------------------------
+
+const char* const kDocs[][2] = {
+    {"Distributed hash tables",
+     "distributed hash table routing protocols scale lookup chord pastry "
+     "peer structured overlay routing lookup"},
+    {"Text retrieval systems",
+     "text retrieval ranking relevance vector model cosine similarity "
+     "document term weighting retrieval ranking"},
+    {"Peer to peer search",
+     "peer search network overlay gnutella flooding query distributed "
+     "search peer network"},
+    {"Machine learning basics",
+     "machine learning model training gradient feature weight learning "
+     "model training data"},
+    {"Information retrieval evaluation",
+     "information retrieval evaluation precision recall benchmark trec "
+     "judgment relevance evaluation precision"},
+    {"Query driven learning",
+     "query learning feedback cached history adaptive index term selection "
+     "query feedback learning"}};
+
+const char* const kQueries[] = {
+    "distributed hash table lookup", "text retrieval ranking",
+    "peer network search", "query learning feedback"};
+
+class ClusterFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"n0", "n1", "n2"}) {
+      nodes_.push_back(std::make_unique<ClusterNode>(
+          ClusterOptions{name, config_}, &bus_));
+    }
+    for (auto& node : nodes_) {
+      ClusterNode* raw = node.get();
+      bus_.Register(raw->self().id, [raw](const wire::Frame& f) {
+        return raw->HandleFrame(f);
+      });
+    }
+    PeerAddress bootstrap;
+    bootstrap.id = nodes_[0]->self().id;
+    ASSERT_TRUE(nodes_[1]->Join(bootstrap).ok());
+    ASSERT_TRUE(nodes_[2]->Join(bootstrap).ok());
+  }
+
+  std::vector<std::string> Terms(const std::string& raw) const {
+    return analyzer_.Analyze(raw);
+  }
+
+  core::SpriteConfig config_;
+  SimTransport bus_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  text::Analyzer analyzer_;
+};
+
+TEST_F(ClusterFixture, JoinBuildsAConsistentFullView) {
+  for (const auto& node : nodes_) {
+    ASSERT_EQ(node->members().size(), 3u);
+    // Sorted by ring id, and every node sees the same view.
+    for (size_t i = 0; i + 1 < node->members().size(); ++i) {
+      EXPECT_LT(node->members()[i].id, node->members()[i + 1].id);
+    }
+    for (size_t i = 0; i < node->members().size(); ++i) {
+      EXPECT_EQ(node->members()[i].id, nodes_[0]->members()[i].id);
+      EXPECT_EQ(node->members()[i].name, nodes_[0]->members()[i].name);
+    }
+  }
+  // Key ownership is a pure function of the shared view: all nodes agree.
+  for (const char* term : {"chord", "retrieval", "gradient", "recall"}) {
+    const uint64_t key = nodes_[0]->KeyOfTerm(term);
+    const uint64_t owner = nodes_[0]->OwnerOfKey(key).id;
+    EXPECT_EQ(nodes_[1]->OwnerOfKey(key).id, owner);
+    EXPECT_EQ(nodes_[2]->OwnerOfKey(key).id, owner);
+  }
+}
+
+TEST_F(ClusterFixture, LifecycleMatchesSimulationBitForBit) {
+  // The same workload drives the cluster and a reference SpriteSystem in
+  // the training order of eval::TrainSystem (record -> share -> learn);
+  // ranked lists must match score-for-score. This is the in-process twin
+  // of the ci.sh multi-process smoke.
+  constexpr size_t kTrainReps = 3;
+  constexpr size_t kIterations = 2;
+  constexpr size_t kTopK = 10;
+
+  std::vector<corpus::Query> queries;
+  for (size_t i = 0; i < std::size(kQueries); ++i) {
+    queries.push_back(corpus::Query{static_cast<corpus::QueryId>(i + 1),
+                                    corpus::DedupTerms(Terms(kQueries[i]))});
+  }
+
+  // Reference simulation over the identically analyzed corpus.
+  corpus::Corpus corpus;
+  for (const auto& doc : kDocs) {
+    corpus.AddDocument(analyzer_.AnalyzeToVector(doc[1]), doc[0]);
+  }
+  core::SpriteSystem sim(config_);
+  std::vector<const corpus::Query*> stream;
+  for (size_t rep = 0; rep < kTrainReps; ++rep) {
+    for (const corpus::Query& q : queries) stream.push_back(&q);
+  }
+  sim.RecordQueryEpoch(stream);
+  ASSERT_TRUE(sim.ShareCorpus(corpus).ok());
+  for (size_t i = 0; i < kIterations; ++i) sim.RunLearningIteration();
+
+  // The cluster: node 0 issues the training queries, documents are shared
+  // round-robin across the three nodes, every node runs its own learning
+  // iterations (each node only retunes the documents it owns).
+  for (size_t rep = 0; rep < kTrainReps; ++rep) {
+    for (size_t i = 0; i < std::size(kQueries); ++i) {
+      ASSERT_TRUE(nodes_[0]->RecordQuery(Terms(kQueries[i])).ok());
+    }
+  }
+  for (size_t i = 0; i < std::size(kDocs); ++i) {
+    ASSERT_TRUE(nodes_[i % 3]
+                    ->ShareDocument(static_cast<corpus::DocId>(i),
+                                    kDocs[i][0], kDocs[i][1])
+                    .ok());
+  }
+  for (size_t iter = 0; iter < kIterations; ++iter) {
+    for (auto& node : nodes_) ASSERT_TRUE(node->RunLearningIteration().ok());
+  }
+
+  size_t documents = 0, indexed_terms = 0, postings = 0;
+  for (const auto& node : nodes_) {
+    const ClusterNode::Stats stats = node->GetStats();
+    EXPECT_EQ(stats.members, 3u);
+    documents += stats.documents;
+    indexed_terms += stats.indexed_terms;
+    postings += stats.postings;
+  }
+  EXPECT_EQ(documents, std::size(kDocs));
+  EXPECT_GT(indexed_terms, 0u);
+  EXPECT_GE(postings, indexed_terms);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    StatusOr<ir::RankedList> cluster =
+        nodes_[0]->Search(Terms(kQueries[i]), kTopK);
+    StatusOr<ir::RankedList> reference =
+        sim.Search(queries[i], kTopK, /*record=*/false);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    ASSERT_FALSE(reference->empty()) << "query " << i;
+    // ScoredDoc operator== compares doubles exactly: same docs, same
+    // ranks, bit-identical scores.
+    EXPECT_EQ(*cluster, *reference) << "query " << i;
+  }
+}
+
+TEST_F(ClusterFixture, UnreachableMemberIsSkippedNotFatal) {
+  for (size_t i = 0; i < std::size(kDocs); ++i) {
+    ASSERT_TRUE(nodes_[i % 3]
+                    ->ShareDocument(static_cast<corpus::DocId>(i),
+                                    kDocs[i][0], kDocs[i][1])
+                    .ok());
+  }
+  // Find a term whose responsible member is a remote node, then partition
+  // that member.
+  const uint64_t self_id = nodes_[0]->self().id;
+  std::string remote_term;
+  uint64_t victim = 0;
+  for (const char* term : {"chord", "retrieval", "gradient", "recall",
+                           "gnutella", "trec", "feedback"}) {
+    const wire::NodeInfo& owner =
+        nodes_[0]->OwnerOfKey(nodes_[0]->KeyOfTerm(term));
+    if (owner.id != self_id) {
+      remote_term = term;
+      victim = owner.id;
+      break;
+    }
+  }
+  ASSERT_FALSE(remote_term.empty());
+  bus_.SetDown(victim, true);
+
+  // skip_unreachable_terms (the default, Section 7's first failure scheme):
+  // the dead member's terms drop out, the query itself succeeds.
+  StatusOr<ir::RankedList> ranked = nodes_[0]->Search({remote_term}, 10);
+  ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+  EXPECT_TRUE(ranked->empty());
+
+  // Recording at a dead member surfaces the typed timeout, not a hang or a
+  // generic failure.
+  const Status recorded = nodes_[0]->RecordQuery({remote_term});
+  EXPECT_TRUE(recorded.IsDeadlineExceeded());
+  EXPECT_GT(bus_.stats().TotalTimeouts(), 0u);
+
+  // Learning survives the partition (unreachable members are polled again
+  // next round) and search recovers once the member heals.
+  for (auto& node : nodes_) EXPECT_TRUE(node->RunLearningIteration().ok());
+  bus_.SetDown(victim, false);
+  ranked = nodes_[0]->Search({remote_term}, 10);
+  ASSERT_TRUE(ranked.ok());
+}
+
+}  // namespace
+}  // namespace sprite::net

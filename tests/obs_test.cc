@@ -205,7 +205,8 @@ TEST(MetricsRegistryTest, HistogramSnapshotConsistentOnKnownDistribution) {
   for (int v = 1; v <= 100; ++v) {
     reg.Observe("d", static_cast<double>(v));
   }
-  const HistogramSample* d = reg.Snapshot().FindHistogram("d");
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSample* d = snap.FindHistogram("d");
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->count, 100u);
   EXPECT_DOUBLE_EQ(d->sum, 5050.0);

@@ -1,9 +1,18 @@
-// Unit tests for the P2P traffic accounting layer.
+// Unit tests for the P2P traffic accounting layer, plus the
+// unreachable-peer regression of ISSUE 8: a probe to a departed peer must
+// surface a *typed* DeadlineExceeded through the transport seam, honor the
+// SpriteConfig retry/backoff knobs, and keep the default (retries = 0)
+// accounting byte-identical to what the accountant always charged.
 
 #include <gtest/gtest.h>
 
+#include "core/config.h"
+#include "core/sprite_system.h"
+#include "corpus/corpus.h"
+#include "corpus/query.h"
 #include "p2p/message.h"
 #include "p2p/network.h"
+#include "text/term_vector.h"
 
 namespace sprite::p2p {
 namespace {
@@ -62,6 +71,83 @@ TEST(NetworkStatsTest, ToStringListsNonZeroRowsAndTotal) {
   EXPECT_NE(table.find("Heartbeat"), std::string::npos);
   EXPECT_NE(table.find("TOTAL"), std::string::npos);
   EXPECT_EQ(table.find("Replicate"), std::string::npos);  // zero row hidden
+}
+
+// --- Unreachable-peer regression (ISSUE 8) ------------------------------
+
+struct DeadPeerRun {
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  uint64_t version_check_messages = 0;
+};
+
+// Warms a result cache whose entry is sourced at the peer responsible for
+// "cat", abruptly fails that peer, then keeps querying: every validated
+// hit at a previously warmed querying peer probes the dead source. Returns
+// the transport-layer counters of the post-failure phase.
+DeadPeerRun RunDeadPeerScenario(size_t send_retries) {
+  core::SpriteConfig config;
+  config.num_peers = 16;
+  config.initial_terms = 2;
+  config.terms_per_iteration = 2;
+  config.max_index_terms = 6;
+  config.enable_result_cache = true;
+  config.enable_posting_cache = true;
+  config.cache_validate = true;
+  config.send_retries = send_retries;
+
+  corpus::Corpus corpus;
+  corpus.AddDocument(text::TermVector::FromTokens(
+      {"cat", "cat", "cat", "feline", "whisker", "purr"}));
+  corpus.AddDocument(text::TermVector::FromTokens(
+      {"dog", "dog", "dog", "canine", "leash", "bark"}));
+  corpus.AddDocument(
+      text::TermVector::FromTokens({"pet", "cat", "dog", "food"}));
+
+  core::SpriteSystem system(config);
+  EXPECT_TRUE(system.ShareCorpus(corpus).ok());
+  const corpus::Query query{1, {"cat", "dog"}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(system.Search(query, 10, /*record=*/false).ok());
+  }
+  EXPECT_EQ(system.transport_stats().TotalTimeouts(), 0u);
+
+  const uint64_t key = system.ring().space().KeyForString("cat");
+  EXPECT_TRUE(
+      system.FailPeer(system.ring().ResponsibleNode(key).value()).ok());
+  for (int i = 0; i < 20; ++i) {
+    // The departed source never fails the query: the stale entry is
+    // rejected and refetched from the ring's new responsible peer.
+    EXPECT_TRUE(system.Search(query, 10, /*record=*/false).ok());
+  }
+
+  DeadPeerRun run;
+  run.timeouts = system.transport_stats().TotalTimeouts();
+  run.retries = system.transport_stats().TotalRetries();
+  run.version_check_messages =
+      system.network_stats().MessagesOf(MessageType::kVersionCheck);
+  return run;
+}
+
+TEST(UnreachablePeerTest, DefaultsKeepLegacyAccountingAndSurfaceTimeouts) {
+  const DeadPeerRun run = RunDeadPeerScenario(/*send_retries=*/0);
+  // The dead probes are visible as typed transport timeouts...
+  EXPECT_GT(run.timeouts, 0u);
+  // ...and with the default send_retries = 0 nothing is retried, so the
+  // accountant's view stays exactly one request (and no response) per dead
+  // probe — the charge the simulation has always used.
+  EXPECT_EQ(run.retries, 0u);
+}
+
+TEST(UnreachablePeerTest, RetryKnobsChargeEveryAttempt) {
+  const DeadPeerRun baseline = RunDeadPeerScenario(/*send_retries=*/0);
+  const DeadPeerRun retried = RunDeadPeerScenario(/*send_retries=*/2);
+  // The workload is deterministic, so both runs hit the dead peer the same
+  // number of times; the retried run books two extra attempts per probe.
+  EXPECT_EQ(retried.timeouts, baseline.timeouts);
+  EXPECT_EQ(retried.retries, 2 * retried.timeouts);
+  EXPECT_EQ(retried.version_check_messages,
+            baseline.version_check_messages + 2 * baseline.timeouts);
 }
 
 }  // namespace

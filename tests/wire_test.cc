@@ -1,0 +1,512 @@
+// Wire-protocol tests (ISSUE 8): round-trips for every message type,
+// malformed-frame rejection with typed statuses, and the byte-accounting
+// parity audit — the fixed deltas between each message's encoded size and
+// the charge the simulation's NetworkAccountant cost model books for the
+// same send (documented next to each struct in net/wire.h and in
+// DESIGN.md §14). Runs under ASan in tools/ci.sh --asan.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "p2p/message.h"
+
+namespace sprite::net::wire {
+namespace {
+
+using p2p::MessageType;
+
+// The canonical shapes of the sim cost model: 10-character terms (which
+// cost p2p::kTermBytes = 12 with the wire's u16 length prefix) and
+// one-term query records (p2p::kQueryRecordBytes = 40).
+const std::string kTerm = "abcdefghij";
+static_assert(sizeof("abcdefghij") - 1 + 2 == p2p::kTermBytes);
+
+p2p::PostingEntry MakeEntry(uint32_t doc) {
+  p2p::PostingEntry e;
+  e.doc = doc;
+  e.owner = 0x1122334455667788ull;
+  e.term_freq = 7;
+  e.doc_length = 321;
+  e.num_distinct_terms = 45;
+  return e;
+}
+
+WireQueryRecord MakeRecord() {
+  WireQueryRecord rec;
+  rec.id = 9;
+  rec.hash_key = 0xdeadbeefcafef00dull;
+  rec.seq = (42ull << 32) | 17;
+  rec.terms = {kTerm};
+  return rec;
+}
+
+void ExpectEntryEq(const p2p::PostingEntry& a, const p2p::PostingEntry& b) {
+  EXPECT_EQ(a.doc, b.doc);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.term_freq, b.term_freq);
+  EXPECT_EQ(a.doc_length, b.doc_length);
+  EXPECT_EQ(a.num_distinct_terms, b.num_distinct_terms);
+}
+
+void ExpectRecordEq(const WireQueryRecord& a, const WireQueryRecord& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.hash_key, b.hash_key);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.terms, b.terms);
+}
+
+// Encodes, decodes and returns the re-decoded frame, checking the full
+// byte-level cycle (header stamping + CRC) on the way.
+Frame Recode(Frame frame) {
+  frame.src = 100;
+  frame.dst = 200;
+  frame.request_id = 31337;
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  StatusOr<Frame> decoded = DecodeFrame(bytes);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, frame.type);
+  EXPECT_EQ(decoded->flags, frame.flags);
+  EXPECT_EQ(decoded->src, 100u);
+  EXPECT_EQ(decoded->dst, 200u);
+  EXPECT_EQ(decoded->request_id, 31337u);
+  return *decoded;
+}
+
+// --- Round trips, one per message type --------------------------------------
+
+TEST(WireRoundTrip, LookupHop) {
+  LookupHop m;
+  m.key = 0xfeedface12345678ull;
+  m.origin = 4242;
+  auto out = ParseLookupHop(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->key, m.key);
+  EXPECT_EQ(out->origin, m.origin);
+}
+
+TEST(WireRoundTrip, PublishTerm) {
+  PublishTerm m;
+  m.term = kTerm;
+  m.entry = MakeEntry(3);
+  auto out = ParsePublishTerm(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  ExpectEntryEq(out->entry, m.entry);
+}
+
+TEST(WireRoundTrip, WithdrawTerm) {
+  WithdrawTerm m;
+  m.term = kTerm;
+  m.doc = 77;
+  auto out = ParseWithdrawTerm(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  EXPECT_EQ(out->doc, 77u);
+}
+
+TEST(WireRoundTrip, QueryRequestPlain) {
+  QueryRequest m;
+  m.term = kTerm;
+  auto out = ParseQueryRequest(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  EXPECT_FALSE(out->record.has_value());
+  EXPECT_FALSE(out->record_only);
+}
+
+TEST(WireRoundTrip, QueryRequestWithRecord) {
+  QueryRequest m;
+  m.term = kTerm;
+  m.record = MakeRecord();
+  m.record_only = true;
+  const Frame f = Recode(ToFrame(m));
+  EXPECT_NE(f.flags & kFlagHasRecord, 0);
+  EXPECT_NE(f.flags & kFlagRecordOnly, 0);
+  auto out = ParseQueryRequest(f);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  ASSERT_TRUE(out->record.has_value());
+  ExpectRecordEq(*out->record, *m.record);
+  EXPECT_TRUE(out->record_only);
+}
+
+TEST(WireRoundTrip, QueryResponse) {
+  QueryResponse m;
+  m.postings = {MakeEntry(1), MakeEntry(2), MakeEntry(3)};
+  m.version = 12345;
+  auto out = ParseQueryResponse(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->postings.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) ExpectEntryEq(out->postings[i], m.postings[i]);
+  EXPECT_EQ(out->version, 12345u);
+}
+
+TEST(WireRoundTrip, PollRequest) {
+  PollRequest m;
+  m.poll_terms = {kTerm, "zzzzzzzzzz", "qqqqqqqqqq"};
+  m.my_terms = {kTerm, "qqqqqqqqqq"};
+  m.cursors = {11, 22};
+  auto out = ParsePollRequest(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->poll_terms, m.poll_terms);
+  EXPECT_EQ(out->my_terms, m.my_terms);
+  EXPECT_EQ(out->cursors, m.cursors);
+}
+
+TEST(WireRoundTrip, PollResponse) {
+  PollResponse m;
+  m.records = {MakeRecord(), MakeRecord()};
+  m.records[1].seq = 999;
+  m.records[1].terms = {kTerm, "zzzzzzzzzz"};
+  auto out = ParsePollResponse(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->records.size(), 2u);
+  ExpectRecordEq(out->records[0], m.records[0]);
+  ExpectRecordEq(out->records[1], m.records[1]);
+}
+
+TEST(WireRoundTrip, Replicate) {
+  Replicate m;
+  m.term = kTerm;
+  m.postings = {MakeEntry(5)};
+  auto out = ParseReplicate(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  ASSERT_EQ(out->postings.size(), 1u);
+  ExpectEntryEq(out->postings[0], m.postings[0]);
+}
+
+TEST(WireRoundTrip, Advisory) {
+  Advisory m;
+  m.term = kTerm;
+  m.indexed_df = 4321;
+  auto out = ParseAdvisory(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  EXPECT_EQ(out->indexed_df, 4321u);
+}
+
+TEST(WireRoundTrip, Heartbeat) {
+  Heartbeat m;
+  m.term = kTerm;
+  m.doc = 88;
+  auto out = ParseHeartbeat(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  EXPECT_EQ(out->doc, 88u);
+}
+
+TEST(WireRoundTrip, KeyTransfer) {
+  KeyTransfer m;
+  m.term = kTerm;
+  m.postings = {MakeEntry(1), MakeEntry(2)};
+  m.records = {MakeRecord()};
+  auto out = ParseKeyTransfer(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  ASSERT_EQ(out->postings.size(), 2u);
+  ASSERT_EQ(out->records.size(), 1u);
+  ExpectRecordEq(out->records[0], m.records[0]);
+}
+
+TEST(WireRoundTrip, CachePush) {
+  CachePush m;
+  m.term = kTerm;
+  m.postings = {MakeEntry(6), MakeEntry(7)};
+  auto out = ParseCachePush(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  ASSERT_EQ(out->postings.size(), 2u);
+}
+
+TEST(WireRoundTrip, VersionCheckRequest) {
+  VersionCheckRequest m;
+  m.terms = {{kTerm, 3}, {"zzzzzzzzzz", 9}};
+  m.record = MakeRecord();
+  auto out = ParseVersionCheckRequest(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->terms, m.terms);
+  ASSERT_TRUE(out->record.has_value());
+  ExpectRecordEq(*out->record, *m.record);
+}
+
+TEST(WireRoundTrip, VersionCheckResponse) {
+  VersionCheckResponse m;
+  m.current = 1;
+  auto out = ParseVersionCheckResponse(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->current, 1u);
+}
+
+TEST(WireRoundTrip, JoinRequestAndResponse) {
+  JoinRequest m;
+  m.self.id = 777;
+  m.self.name = "n0";
+  m.self.host = "127.0.0.1";
+  m.self.udp_port = 1111;
+  m.self.tcp_port = 2222;
+  m.self.http_port = 3333;
+  m.announce = true;
+  const Frame f = Recode(ToFrame(m));
+  EXPECT_NE(f.flags & kFlagAnnounce, 0);
+  auto out = ParseJoinRequest(f);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->self.id, 777u);
+  EXPECT_EQ(out->self.name, "n0");
+  EXPECT_EQ(out->self.host, "127.0.0.1");
+  EXPECT_EQ(out->self.udp_port, 1111);
+  EXPECT_EQ(out->self.tcp_port, 2222);
+  EXPECT_EQ(out->self.http_port, 3333);
+  EXPECT_TRUE(out->announce);
+
+  JoinResponse r;
+  r.members = {m.self, m.self};
+  r.members[1].id = 778;
+  r.members[1].name = "n1";
+  auto rout = ParseJoinResponse(Recode(ToFrame(r)));
+  ASSERT_TRUE(rout.ok());
+  ASSERT_EQ(rout->members.size(), 2u);
+  EXPECT_EQ(rout->members[0].name, "n0");
+  EXPECT_EQ(rout->members[1].id, 778u);
+}
+
+TEST(WireRoundTrip, LookupRequestAndResponse) {
+  LookupRequest m;
+  m.key = 0xabcdull;
+  m.origin = 55;
+  auto out = ParseLookupRequest(Recode(ToFrame(m)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->key, 0xabcdull);
+  EXPECT_EQ(out->origin, 55u);
+
+  LookupResponse r;
+  r.owner.id = 12;
+  r.owner.name = "n2";
+  r.hops = 3;
+  r.final = true;
+  const Frame f = Recode(ToFrame(r));
+  EXPECT_NE(f.flags & kFlagFinal, 0);
+  auto rout = ParseLookupResponse(f);
+  ASSERT_TRUE(rout.ok());
+  EXPECT_EQ(rout->owner.id, 12u);
+  EXPECT_EQ(rout->hops, 3u);
+  EXPECT_TRUE(rout->final);
+}
+
+// --- Malformed frames -------------------------------------------------------
+
+TEST(WireMalformed, TruncatedFrame) {
+  const std::vector<uint8_t> bytes = EncodeFrame(ToFrame(Heartbeat{kTerm, 1}));
+  for (const size_t cut : {size_t{0}, size_t{10}, kHeaderBytes - 1,
+                           kHeaderBytes, bytes.size() - 1}) {
+    StatusOr<Frame> out = DecodeFrame(bytes.data(), cut);
+    ASSERT_FALSE(out.ok()) << "cut=" << cut;
+    EXPECT_EQ(out.status().code(), StatusCode::kCorruption) << "cut=" << cut;
+  }
+}
+
+TEST(WireMalformed, BadMagic) {
+  std::vector<uint8_t> bytes = EncodeFrame(ToFrame(Heartbeat{kTerm, 1}));
+  bytes[0] ^= 0xff;
+  StatusOr<Frame> out = DecodeFrame(bytes);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireMalformed, UnknownVersion) {
+  std::vector<uint8_t> bytes = EncodeFrame(ToFrame(Heartbeat{kTerm, 1}));
+  bytes[4] = 0x7f;  // version low byte
+  StatusOr<Frame> out = DecodeFrame(bytes);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireMalformed, UnknownMessageType) {
+  std::vector<uint8_t> bytes = EncodeFrame(ToFrame(Heartbeat{kTerm, 1}));
+  bytes[6] = p2p::kNumMessageTypes;
+  StatusOr<Frame> out = DecodeFrame(bytes);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireMalformed, OversizedLength) {
+  std::vector<uint8_t> bytes = EncodeFrame(ToFrame(Heartbeat{kTerm, 1}));
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[8 + i] = static_cast<uint8_t>(huge >> (8 * i));
+  }
+  StatusOr<FrameHeader> header = DecodeHeader(bytes.data(), bytes.size());
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireMalformed, LengthMismatch) {
+  std::vector<uint8_t> bytes = EncodeFrame(ToFrame(Heartbeat{kTerm, 1}));
+  bytes[8] += 1;  // header promises one more payload byte than the buffer
+  StatusOr<Frame> out = DecodeFrame(bytes);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireMalformed, ChecksumMismatch) {
+  std::vector<uint8_t> bytes = EncodeFrame(ToFrame(Heartbeat{kTerm, 1}));
+  bytes.back() ^= 0x01;  // flip one payload bit; CRC must catch it
+  StatusOr<Frame> out = DecodeFrame(bytes);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireMalformed, TruncatedPayload) {
+  Frame f = ToFrame(PublishTerm{kTerm, MakeEntry(1)});
+  f.payload.resize(f.payload.size() - 5);  // typed parse must fail cleanly
+  StatusOr<PublishTerm> out = ParsePublishTerm(f);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireMalformed, TrailingPayloadBytes) {
+  Frame f = ToFrame(Heartbeat{kTerm, 1});
+  f.payload.push_back(0);
+  StatusOr<Heartbeat> out = ParseHeartbeat(f);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireMalformed, WrongTypeTag) {
+  StatusOr<Heartbeat> out = ParseHeartbeat(ToFrame(Advisory{kTerm, 1}));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireMalformed, AbsurdCollectionCount) {
+  // A count field promising more elements than the payload could hold must
+  // be rejected before any allocation is attempted.
+  Frame f = ToFrame(QueryResponse{{MakeEntry(1)}, 1});
+  // postings count is the first u32 of the payload
+  for (int i = 0; i < 4; ++i) f.payload[i] = 0xff;
+  StatusOr<QueryResponse> out = ParseQueryResponse(f);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+// --- Byte-accounting parity audit -------------------------------------------
+//
+// frame bytes == kMessageHeaderBytes + <sim cost-model payload> + Δ, with
+// the canonical shapes above. These deltas are the documented, asserted
+// contract between the sim's accounting and the real wire (DESIGN.md §14);
+// changing an encoder or a cost constant must show up here.
+
+size_t FrameBytes(const Frame& f) { return EncodeFrame(f).size(); }
+
+TEST(WireParity, LookupHop) {
+  // Δ = 0 against the per-hop charge (the sim books hops headerless).
+  EXPECT_EQ(FrameBytes(ToFrame(LookupHop{1, 2})), p2p::kLookupHopBytes);
+}
+
+TEST(WireParity, PublishTerm) {  // Δ = 0
+  EXPECT_EQ(FrameBytes(ToFrame(PublishTerm{kTerm, MakeEntry(1)})),
+            p2p::kMessageHeaderBytes + p2p::kTermBytes +
+                p2p::kPostingEntryBytes);
+}
+
+TEST(WireParity, WithdrawTerm) {  // Δ = +8 (the withdrawn doc id)
+  EXPECT_EQ(FrameBytes(ToFrame(WithdrawTerm{kTerm, 1})),
+            p2p::kMessageHeaderBytes + p2p::kTermBytes + 8);
+}
+
+TEST(WireParity, QueryRequest) {  // Δ = 0
+  EXPECT_EQ(FrameBytes(ToFrame(QueryRequest{kTerm, std::nullopt, false})),
+            p2p::kMessageHeaderBytes + p2p::kTermBytes);
+}
+
+TEST(WireParity, QueryResponse) {  // Δ = +12 (count + term version)
+  const std::vector<p2p::PostingEntry> postings = {MakeEntry(1), MakeEntry(2)};
+  EXPECT_EQ(FrameBytes(ToFrame(QueryResponse{postings, 1})),
+            p2p::kMessageHeaderBytes +
+                postings.size() * p2p::kPostingEntryBytes + 12);
+}
+
+TEST(WireParity, PollRequest) {  // Δ = +8 + 20·|my_terms|
+  PollRequest m;
+  m.poll_terms = {kTerm, "zzzzzzzzzz", "qqqqqqqqqq"};
+  m.my_terms = {kTerm, "qqqqqqqqqq"};
+  m.cursors = {0, 0};
+  EXPECT_EQ(FrameBytes(ToFrame(m)),
+            p2p::kMessageHeaderBytes +
+                m.poll_terms.size() * p2p::kTermBytes + 8 +
+                20 * m.my_terms.size());
+}
+
+TEST(WireParity, PollResponse) {  // Δ = +4 (record count)
+  PollResponse m;
+  m.records = {MakeRecord(), MakeRecord()};
+  EXPECT_EQ(FrameBytes(ToFrame(m)),
+            p2p::kMessageHeaderBytes +
+                m.records.size() * p2p::kQueryRecordBytes + 4);
+}
+
+TEST(WireParity, Replicate) {  // Δ = +4 (posting count)
+  Replicate m;
+  m.term = kTerm;
+  m.postings = {MakeEntry(1), MakeEntry(2), MakeEntry(3)};
+  EXPECT_EQ(FrameBytes(ToFrame(m)),
+            p2p::kMessageHeaderBytes + p2p::kTermBytes +
+                m.postings.size() * p2p::kPostingEntryBytes + 4);
+}
+
+TEST(WireParity, Advisory) {  // Δ = +4 (indexed df)
+  EXPECT_EQ(FrameBytes(ToFrame(Advisory{kTerm, 10})),
+            p2p::kMessageHeaderBytes + p2p::kTermBytes + 4);
+}
+
+TEST(WireParity, Heartbeat) {  // Δ = +8 (probed doc id)
+  EXPECT_EQ(FrameBytes(ToFrame(Heartbeat{kTerm, 1})),
+            p2p::kMessageHeaderBytes + p2p::kTermBytes + 8);
+}
+
+TEST(WireParity, KeyTransferListOnly) {  // Δ = +8 (two counts)
+  KeyTransfer m;
+  m.term = kTerm;
+  m.postings = {MakeEntry(1), MakeEntry(2)};
+  EXPECT_EQ(FrameBytes(ToFrame(m)),
+            p2p::kMessageHeaderBytes + p2p::kTermBytes +
+                m.postings.size() * p2p::kPostingEntryBytes + 8);
+}
+
+TEST(WireParity, CachePush) {  // Δ = +4 (posting count)
+  CachePush m;
+  m.term = kTerm;
+  m.postings = {MakeEntry(1)};
+  EXPECT_EQ(FrameBytes(ToFrame(m)),
+            p2p::kMessageHeaderBytes + p2p::kTermBytes +
+                m.postings.size() * p2p::kPostingEntryBytes + 4);
+}
+
+TEST(WireParity, VersionCheck) {
+  // Request: the sim charges kTermBytes + 8 per checked term; Δ = +4 (the
+  // pair count). Response: exactly kVersionBytes; Δ = 0.
+  VersionCheckRequest m;
+  m.terms = {{kTerm, 1}, {"zzzzzzzzzz", 2}};
+  EXPECT_EQ(FrameBytes(ToFrame(m)),
+            p2p::kMessageHeaderBytes +
+                m.terms.size() * (p2p::kTermBytes + 8) + 4);
+  EXPECT_EQ(FrameBytes(ToFrame(VersionCheckResponse{1})),
+            p2p::kMessageHeaderBytes + p2p::kVersionBytes);
+}
+
+TEST(WireParity, CanonicalRecordMatchesCostConstant) {
+  // One one-term record on the wire weighs exactly what the sim charges
+  // per record (8 id + 8 hash + 8 seq + 4 count + 12 term = 40).
+  PollResponse one;
+  one.records = {MakeRecord()};
+  PollResponse none;
+  EXPECT_EQ(FrameBytes(ToFrame(one)) - FrameBytes(ToFrame(none)),
+            p2p::kQueryRecordBytes);
+}
+
+}  // namespace
+}  // namespace sprite::net::wire

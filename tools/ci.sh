@@ -212,6 +212,26 @@ grep -v 'written to' "$SMOKE_DIR/par4.out" >"$SMOKE_DIR/par4.tbl"
 cmp "$SMOKE_DIR/par1.tbl" "$SMOKE_DIR/par4.tbl"
 echo "parallel smoke OK"
 
+echo "== sim golden guard: dumps byte-identical to pre-transport goldens =="
+# The transport refactor's core promise (ISSUE 8): with the sim backend —
+# the default everywhere — every metric and time-series dump is byte-for-
+# byte what the pre-Transport code produced. The goldens were captured
+# before the seam went in; any accounting drift fails this cmp.
+./build/bench/fig4a_num_answers --docs=200 --peers=16 \
+  --metrics-json="$SMOKE_DIR/golden_metrics.json" \
+  --timeseries-csv="$SMOKE_DIR/golden_ts.csv" >/dev/null
+cmp tests/golden/fig4a_d200_p16_metrics.json "$SMOKE_DIR/golden_metrics.json"
+cmp tests/golden/fig4a_d200_p16_timeseries.csv "$SMOKE_DIR/golden_ts.csv"
+echo "sim golden guard OK"
+
+echo "== cluster smoke: three live daemons vs the simulation =="
+# Multi-process: three sprite_daemon processes on loopback (UDP control +
+# TCP bulk + HTTP frontend) join into a cluster, publish/record/learn, and
+# their search rankings must match `sprite_cli batch` — the same workload
+# through the in-process simulation — score for score.
+python3 tools/cluster_smoke.py build
+echo "cluster smoke OK"
+
 if [ "${1:-}" = "--tsan" ]; then
   echo "== sanitizers: TSan build, parallel suite at 4 threads =="
   cmake -B build-tsan -S . \
@@ -226,6 +246,8 @@ if [ "${1:-}" = "--tsan" ]; then
 fi
 
 if [ "${1:-}" = "--asan" ]; then
+  # Full suite under ASan/UBSan — including wire_test, so every frame
+  # encoder/decoder and malformed-frame path runs with memory checking.
   echo "== sanitizers: ASan + UBSan build =="
   cmake -B build-asan -S . \
     -DCMAKE_BUILD_TYPE=Debug \

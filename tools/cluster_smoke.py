@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Three-daemon loopback smoke for the SPRITE transport subsystem.
+
+Starts three sprite_daemon processes on ephemeral ports, forms a cluster
+via --join, then drives the full life cycle over the HTTP frontend:
+record the training queries, publish documents round-robin, run the
+learning iterations, and search. The ranked results must match an
+in-process `sprite_cli batch` run of the *same* workload score-for-score:
+the cluster and the simulation share the role/ranking/learning code, so a
+live deployment must converge to exactly the rankings the sim predicts
+(DESIGN.md section 14).
+
+Usage: cluster_smoke.py <build_dir>
+"""
+
+import json
+import os
+import select
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.parse
+import urllib.request
+
+TRAIN = 3
+ITERS = 2
+TOP_K = 10
+
+DOCS = [
+    ("Distributed hash tables",
+     "distributed hash table routing protocols scale lookup chord pastry "
+     "peer structured overlay routing lookup"),
+    ("Text retrieval systems",
+     "text retrieval ranking relevance vector model cosine similarity "
+     "document term weighting retrieval ranking"),
+    ("Peer to peer search",
+     "peer search network overlay gnutella flooding query distributed "
+     "search peer network"),
+    ("Machine learning basics",
+     "machine learning model training gradient feature weight learning "
+     "model training data"),
+    ("Information retrieval evaluation",
+     "information retrieval evaluation precision recall benchmark trec "
+     "judgment relevance evaluation precision"),
+    ("Query driven learning",
+     "query learning feedback cached history adaptive index term selection "
+     "query feedback learning"),
+]
+
+QUERIES = [
+    "distributed hash table lookup",
+    "text retrieval ranking",
+    "peer network search",
+    "query learning feedback",
+]
+
+
+def fail(message):
+    print("cluster smoke FAILED: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def read_ready_line(proc, deadline_s=10.0):
+    """Reads the daemon's one READY line, with a timeout."""
+    fd = proc.stdout.fileno()
+    buf = b""
+    deadline = time.monotonic() + deadline_s
+    while b"\n" not in buf:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or proc.poll() is not None:
+            fail("daemon did not print READY (exit=%s, saw %r)"
+                 % (proc.poll(), buf))
+        ready, _, _ = select.select([fd], [], [], remaining)
+        if not ready:
+            continue
+        chunk = os.read(fd, 4096)
+        if not chunk:
+            fail("daemon closed stdout before READY")
+        buf += chunk
+    line = buf.split(b"\n", 1)[0].decode()
+    if not line.startswith("READY "):
+        fail("unexpected daemon banner: %r" % line)
+    ports = dict(kv.split("=", 1) for kv in line.split()[1:])
+    return {"name": ports["name"], "udp": int(ports["udp"]),
+            "tcp": int(ports["tcp"]), "http": int(ports["http"])}
+
+
+def http(method, port, path, body=None, deadline_s=10.0):
+    url = "http://127.0.0.1:%d%s" % (port, path)
+    data = body.encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    deadline = time.monotonic() + deadline_s
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(req, timeout=5) as resp:
+                return resp.read().decode()
+        except OSError as e:  # includes URLError; daemon may still be binding
+            last_error = e
+            time.sleep(0.05)
+    fail("HTTP %s %s never succeeded: %s" % (method, url, last_error))
+
+
+def parse_batch_results(output):
+    """Parses `result <i> <doc>:<score> ...` lines from sprite_cli batch."""
+    results = {}
+    for line in output.splitlines():
+        if not line.startswith("result "):
+            continue
+        parts = line.split()
+        i = int(parts[1])
+        results[i] = [(int(d), float(s)) for d, s in
+                      (p.split(":", 1) for p in parts[2:])]
+    return results
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: cluster_smoke.py <build_dir>")
+    build = sys.argv[1]
+    daemon_bin = os.path.join(build, "tools", "sprite_daemon")
+    cli_bin = os.path.join(build, "tools", "sprite_cli")
+    for binary in (daemon_bin, cli_bin):
+        if not os.access(binary, os.X_OK):
+            fail("missing binary: " + binary)
+
+    workdir = tempfile.mkdtemp(prefix="sprite-smoke-")
+    daemons = []
+    try:
+        # --- In-process reference: the simulation on the same workload ----
+        corpus_tsv = os.path.join(workdir, "corpus.tsv")
+        queries_txt = os.path.join(workdir, "queries.txt")
+        with open(corpus_tsv, "w") as f:
+            for title, text in DOCS:
+                f.write("%s\t%s\n" % (title, text))
+        with open(queries_txt, "w") as f:
+            f.write("\n".join(QUERIES) + "\n")
+        batch = subprocess.run(
+            [cli_bin, "batch", corpus_tsv, queries_txt,
+             "--train=%d" % TRAIN, "--iters=%d" % ITERS, "--k=%d" % TOP_K],
+            capture_output=True, text=True)
+        if batch.returncode != 0:
+            fail("sprite_cli batch failed: " + batch.stderr)
+        reference = parse_batch_results(batch.stdout)
+        if sorted(reference) != list(range(len(QUERIES))):
+            fail("batch reference incomplete: %r" % sorted(reference))
+
+        # --- Boot a three-daemon cluster on ephemeral loopback ports ------
+        def start(name, join=None):
+            cmd = [daemon_bin, "--name=" + name]
+            if join is not None:
+                cmd.append("--join=127.0.0.1:%d" % join)
+            proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                    stderr=subprocess.STDOUT)
+            daemons.append(proc)
+            return read_ready_line(proc)
+
+        nodes = [start("n0")]
+        nodes.append(start("n1", join=nodes[0]["udp"]))
+        nodes.append(start("n2", join=nodes[0]["udp"]))
+
+        # Every node must converge to the same three-member view.
+        for node in nodes:
+            members = json.loads(http("GET", node["http"], "/members"))
+            names = sorted(m["name"] for m in members)
+            if names != ["n0", "n1", "n2"]:
+                fail("%s sees members %r" % (node["name"], names))
+
+        # The observer probe (UDP wire protocol, no HTTP) agrees.
+        probe = subprocess.run(
+            [cli_bin, "join", "127.0.0.1:%d" % nodes[0]["udp"]],
+            capture_output=True, text=True)
+        if probe.returncode != 0:
+            fail("sprite_cli join failed: " + probe.stderr)
+        for name in ("n0", "n1", "n2"):
+            if name not in probe.stdout:
+                fail("observer probe misses %s:\n%s" % (name, probe.stdout))
+
+        # --- Train exactly like the reference: record, publish, learn -----
+        for _ in range(TRAIN):
+            http("POST", nodes[0]["http"], "/record",
+                 "\n".join(QUERIES) + "\n")
+        for i, (title, text) in enumerate(DOCS):
+            http("POST", nodes[i % 3]["http"], "/publish",
+                 "%d\t%s\t%s\n" % (i, title, text))
+        for _ in range(ITERS):
+            for node in nodes:
+                http("POST", node["http"], "/learn")
+
+        # Sanity: the index is spread across the cluster, not parked on one
+        # node.
+        stats = [json.loads(http("GET", n["http"], "/stats")) for n in nodes]
+        if sum(s["documents"] for s in stats) != len(DOCS):
+            fail("documents not all shared: %r" % stats)
+        if sum(1 for s in stats if s["indexed_terms"] > 0) < 2:
+            fail("index terms not distributed: %r" % stats)
+
+        # --- The live rankings must equal the sim's, score for score ------
+        for i, query in enumerate(QUERIES):
+            body = http("GET", nodes[0]["http"],
+                        "/search?q=%s&k=%d"
+                        % (urllib.parse.quote(query), TOP_K))
+            got = [(r["doc"], r["score"])
+                   for r in json.loads(body)["results"]]
+            if got != reference[i]:
+                fail("query %d diverges from sim:\n  cluster: %r\n  sim:    "
+                     " %r" % (i, got, reference[i]))
+            if not got:
+                fail("query %d returned no results" % i)
+
+        # `sprite_cli query` is a thin HTTP client: same body, verbatim.
+        via_cli = subprocess.run(
+            [cli_bin, "query", "127.0.0.1:%d" % nodes[0]["http"],
+             QUERIES[0], "--k=%d" % TOP_K],
+            capture_output=True, text=True)
+        if via_cli.returncode != 0:
+            fail("sprite_cli query failed: " + via_cli.stderr)
+        direct = http("GET", nodes[0]["http"],
+                      "/search?q=%s&k=%d"
+                      % (urllib.parse.quote(QUERIES[0]), TOP_K))
+        if via_cli.stdout.strip() != direct.strip():
+            fail("sprite_cli query body differs from direct HTTP")
+
+        print("cluster smoke: 3 daemons, %d docs, %d queries x%d, %d "
+              "learning iterations - live rankings match the sim"
+              % (len(DOCS), len(QUERIES), TRAIN, ITERS))
+    finally:
+        for proc in daemons:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in daemons:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

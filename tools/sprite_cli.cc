@@ -51,6 +51,13 @@
 //   --explain-jsonl=PATH (explain/learning-ledger) dump the explain
 //                 ledger (decisions + search decompositions) as JSONL
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -68,6 +75,7 @@
 #include "corpus/trec.h"
 #include "ir/centralized_index.h"
 #include "ir/metrics.h"
+#include "net/daemon.h"
 #include "obs/trace_report.h"
 #include "querygen/workload.h"
 #include "text/analyzer.h"
@@ -559,11 +567,285 @@ int CmdTraceReport(int argc, char** argv) {
   return 0;
 }
 
+// --- Live cluster subcommands (ISSUE 8, DESIGN.md §14) ---------------------
+
+std::atomic<bool> g_serve_stop{false};
+
+void OnServeSignal(int) { g_serve_stop.store(true, std::memory_order_relaxed); }
+
+// `sprite_cli serve` — run one live cluster node inline (same engine as
+// sprite_daemon, same READY line).
+int CmdServe(int argc, char** argv) {
+  net::DaemonOptions options;
+  constexpr const char kNameFlag[] = "--name=";
+  constexpr const char kHostFlag[] = "--host=";
+  constexpr const char kJoinFlag[] = "--join=";
+  for (int i = 2; i < argc; ++i) {
+    unsigned long long v = 0;
+    if (std::strncmp(argv[i], kNameFlag, sizeof(kNameFlag) - 1) == 0) {
+      options.name = argv[i] + sizeof(kNameFlag) - 1;
+    } else if (std::strncmp(argv[i], kHostFlag, sizeof(kHostFlag) - 1) == 0) {
+      options.config.listen_host = argv[i] + sizeof(kHostFlag) - 1;
+    } else if (std::strncmp(argv[i], kJoinFlag, sizeof(kJoinFlag) - 1) == 0) {
+      const std::string target = argv[i] + sizeof(kJoinFlag) - 1;
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--join wants HOST:UDPPORT\n");
+        return 2;
+      }
+      options.bootstrap_host = target.substr(0, colon);
+      options.bootstrap_udp = static_cast<uint16_t>(
+          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+    } else if (std::sscanf(argv[i], "--udp=%llu", &v) == 1) {
+      options.config.udp_port = static_cast<uint16_t>(v);
+    } else if (std::sscanf(argv[i], "--tcp=%llu", &v) == 1) {
+      options.config.tcp_port = static_cast<uint16_t>(v);
+    } else if (std::sscanf(argv[i], "--http=%llu", &v) == 1) {
+      options.config.http_port = static_cast<uint16_t>(v);
+    } else if (std::sscanf(argv[i], "--terms=%llu", &v) == 1) {
+      options.config.max_index_terms = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  net::Daemon daemon(options);
+  const Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnServeSignal);
+  std::signal(SIGTERM, OnServeSignal);
+  std::printf("READY name=%s udp=%u tcp=%u http=%u\n", options.name.c_str(),
+              daemon.transport().udp_port(), daemon.transport().tcp_port(),
+              daemon.http().port());
+  std::fflush(stdout);
+  daemon.RunUntil(g_serve_stop);
+  return 0;
+}
+
+// `sprite_cli join <host:udpport>` — ask a live node for its member list
+// without joining (a JoinRequest with the announce flag clear).
+int CmdJoin(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: sprite_cli join <host:udpport>\n");
+    return 2;
+  }
+  const std::string target = argv[2];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "want HOST:UDPPORT, got %s\n", target.c_str());
+    return 2;
+  }
+  net::PeerAddress addr;
+  addr.host = target.substr(0, colon);
+  addr.udp_port = static_cast<uint16_t>(
+      std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  net::SocketTransport transport(/*self=*/0);
+  net::wire::JoinRequest req;
+  req.self.name = "observer";
+  req.announce = false;
+  auto resp = transport.Call(addr, net::wire::ToFrame(req),
+                             net::CallOptions{});
+  if (!resp.ok()) {
+    std::fprintf(stderr, "error: %s\n", resp.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = net::wire::ParseJoinResponse(*resp);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu member(s):\n", parsed->members.size());
+  for (const net::wire::NodeInfo& m : parsed->members) {
+    std::printf("  %-16s id=%020llu %s udp=%u tcp=%u http=%u\n",
+                m.name.c_str(), static_cast<unsigned long long>(m.id),
+                m.host.c_str(), m.udp_port, m.tcp_port, m.http_port);
+  }
+  return 0;
+}
+
+// Minimal blocking HTTP/1.1 GET against a daemon frontend; returns the
+// response body.
+StatusOr<std::string> HttpGet(const std::string& host, uint16_t port,
+                              const std::string& path) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return Status::Unavailable("connect to " + host + ":" +
+                               std::to_string(port) + " failed");
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return Status::Unavailable("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+    } else if (n == 0) {
+      break;
+    } else if (errno != EINTR) {
+      close(fd);
+      return Status::Unavailable("recv failed");
+    }
+  }
+  close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Corruption("malformed HTTP response");
+  }
+  return raw.substr(header_end + 4);
+}
+
+// `sprite_cli query <host:httpport> "<keywords>"` — one search against a
+// live daemon's JSON frontend.
+int CmdQuery(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: sprite_cli query <host:httpport> \"<keywords>\" "
+                 "[--k=N]\n");
+    return 2;
+  }
+  const std::string target = argv[2];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "want HOST:HTTPPORT, got %s\n", target.c_str());
+    return 2;
+  }
+  const Options options = ParseOptions(argc, argv, 4);
+  const std::string path =
+      "/search?q=" + net::HttpServer::UrlEncode(argv[3]) +
+      "&k=" + std::to_string(options.k);
+  auto body = HttpGet(target.substr(0, colon),
+                      static_cast<uint16_t>(std::strtoul(
+                          target.c_str() + colon + 1, nullptr, 10)),
+                      path);
+  if (!body.ok()) {
+    std::fprintf(stderr, "error: %s\n", body.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", body->c_str());
+  return 0;
+}
+
+// `sprite_cli batch <corpus.tsv> <queries.txt>` — the in-process reference
+// for the multi-process smoke: train a simulated SPRITE network on the
+// query list (--train issuances each), share the corpus, learn --iters
+// rounds, then print each query's ranked answers:
+//
+//   result <query-index> <doc>:<score> <doc>:<score> ...
+//
+// Scores print with %.17g; the smoke compares these lines against the live
+// cluster's /search responses.
+int CmdBatch(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: sprite_cli batch <corpus.tsv> <queries.txt> "
+                 "[--train=N --iters=N --k=N ...]\n");
+    return 2;
+  }
+  const Options options = ParseOptions(argc, argv, 4);
+  text::Analyzer analyzer;
+  corpus::Corpus corpus;
+  auto loaded = corpus::LoadCorpusFromTsv(argv[2], analyzer, corpus);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::ifstream in(argv[3]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[3]);
+    return 1;
+  }
+  std::vector<corpus::Query> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    corpus::Query query;
+    query.id = static_cast<corpus::QueryId>(queries.size() + 1);
+    query.terms = corpus::DedupTerms(analyzer.Analyze(line));
+    if (query.empty()) continue;
+    queries.push_back(std::move(query));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "error: no usable queries in %s\n", argv[3]);
+    return 1;
+  }
+
+  core::SpriteSystem system(MakeConfig(options));
+  // Same flow as eval::TrainSystem: record the training stream (each query
+  // --train times), share, then learn.
+  std::vector<const corpus::Query*> stream;
+  stream.reserve(queries.size() * options.train);
+  for (size_t t = 0; t < options.train; ++t) {
+    for (const corpus::Query& query : queries) stream.push_back(&query);
+  }
+  system.RecordQueryEpoch(stream);
+  const Status shared = system.ShareCorpus(corpus);
+  if (!shared.ok()) {
+    std::fprintf(stderr, "error: %s\n", shared.ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < options.iters; ++i) system.RunLearningIteration();
+
+  std::printf("# docs=%zu queries=%zu train=%zu iters=%zu k=%zu\n",
+              loaded.value(), queries.size(), options.train, options.iters,
+              options.k);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto results = system.Search(queries[i], options.k, /*record=*/false);
+    if (!results.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("result %zu", i);
+    for (const auto& r : *results) {
+      std::printf(" %u:%.17g", r.doc, r.score);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "search") == 0) {
     return CmdSearch(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return CmdServe(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "join") == 0) {
+    return CmdJoin(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "query") == 0) {
+    return CmdQuery(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "batch") == 0) {
+    return CmdBatch(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "evaluate-trec") == 0) {
     return CmdEvaluateTrec(argc, argv);
@@ -586,6 +868,11 @@ int main(int argc, char** argv) {
                "  sprite_cli explain <corpus.tsv> \"<keywords>\" [options]\n"
                "  sprite_cli learning-ledger <corpus.tsv> \"<keywords>\" "
                "[options]\n"
+               "  sprite_cli serve [--name= --host= --udp= --tcp= --http= "
+               "--join=HOST:UDPPORT]\n"
+               "  sprite_cli join <host:udpport>\n"
+               "  sprite_cli query <host:httpport> \"<keywords>\" [--k=N]\n"
+               "  sprite_cli batch <corpus.tsv> <queries.txt> [options]\n"
                "options: --peers=N --terms=N --iters=N --k=N --seed=N\n"
                "         --cache=on|off|blind --metrics-json=PATH\n"
                "         --trace-json=PATH --trace-jsonl=PATH\n"

@@ -1,0 +1,89 @@
+// sprite_daemon — one live SPRITE cluster node (DESIGN.md §14).
+//
+// Binds a UDP control socket, a TCP bulk socket and an HTTP/JSON frontend,
+// then serves until SIGINT/SIGTERM. Prints one READY line with the bound
+// ports once it is serving, so scripts can start daemons on ephemeral
+// ports and discover where they landed:
+//
+//   READY name=<name> udp=<port> tcp=<port> http=<port>
+//
+// Usage:
+//   sprite_daemon [--name=NAME] [--host=IP] [--udp=P] [--tcp=P] [--http=P]
+//                 [--join=HOST:UDPPORT] [--terms=N] [--initial-terms=N]
+//                 [--per-iter=N]
+//
+// With --join the daemon joins an existing cluster through any member's
+// UDP control port; without it, it starts a one-node cluster others can
+// join. See README "Running a live cluster".
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/daemon.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sprite::net::DaemonOptions options;
+  constexpr const char kNameFlag[] = "--name=";
+  constexpr const char kHostFlag[] = "--host=";
+  constexpr const char kJoinFlag[] = "--join=";
+  for (int i = 1; i < argc; ++i) {
+    unsigned long long v = 0;
+    if (std::strncmp(argv[i], kNameFlag, sizeof(kNameFlag) - 1) == 0) {
+      options.name = argv[i] + sizeof(kNameFlag) - 1;
+    } else if (std::strncmp(argv[i], kHostFlag, sizeof(kHostFlag) - 1) == 0) {
+      options.config.listen_host = argv[i] + sizeof(kHostFlag) - 1;
+    } else if (std::strncmp(argv[i], kJoinFlag, sizeof(kJoinFlag) - 1) == 0) {
+      const std::string target = argv[i] + sizeof(kJoinFlag) - 1;
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--join wants HOST:UDPPORT\n");
+        return 2;
+      }
+      options.bootstrap_host = target.substr(0, colon);
+      options.bootstrap_udp = static_cast<uint16_t>(
+          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+    } else if (std::sscanf(argv[i], "--udp=%llu", &v) == 1) {
+      options.config.udp_port = static_cast<uint16_t>(v);
+    } else if (std::sscanf(argv[i], "--tcp=%llu", &v) == 1) {
+      options.config.tcp_port = static_cast<uint16_t>(v);
+    } else if (std::sscanf(argv[i], "--http=%llu", &v) == 1) {
+      options.config.http_port = static_cast<uint16_t>(v);
+    } else if (std::sscanf(argv[i], "--terms=%llu", &v) == 1) {
+      options.config.max_index_terms = v;
+    } else if (std::sscanf(argv[i], "--initial-terms=%llu", &v) == 1) {
+      options.config.initial_terms = v;
+    } else if (std::sscanf(argv[i], "--per-iter=%llu", &v) == 1) {
+      options.config.terms_per_iteration = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  sprite::net::Daemon daemon(options);
+  const sprite::Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 std::string(started.message()).c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::printf("READY name=%s udp=%u tcp=%u http=%u\n", options.name.c_str(),
+              daemon.transport().udp_port(), daemon.transport().tcp_port(),
+              daemon.http().port());
+  std::fflush(stdout);
+  daemon.RunUntil(g_stop);
+  return 0;
+}
