@@ -124,6 +124,12 @@ LoadProfile Run(const spritebench::BenchArgs& args, const eval::TestBed& bed,
   std::printf("  (query-load skew: max/mean=%.2f gini=%.3f)\n",
               system.metrics().gauge("load.queries.max_mean_ratio"),
               system.metrics().gauge("load.queries.gini"));
+  // Resident posting bytes across every peer (index + replicas + hot
+  // caches): encoded blocks vs the raw entry vectors they replace.
+  std::printf("  (posting store: raw=%.0fB encoded=%.0fB ratio=%.2fx)\n",
+              system.metrics().gauge("load.posting_bytes_raw.total"),
+              system.metrics().gauge("load.posting_bytes_encoded.total"),
+              system.metrics().gauge("load.posting_compression_ratio"));
   // Dump the instrumented (caching-on) run: it exercises the full search
   // path including cache-served lists.
   if (caching) {

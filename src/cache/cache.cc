@@ -40,7 +40,10 @@ size_t CachedResultBytes(const CachedResult& value) {
 }
 
 size_t CachedPostingsBytes(const CachedPostings& value) {
-  return value.postings->size() * p2p::kPostingEntryBytes + sizeof(PeerId) +
+  // Since ISSUE 9 the posting tier holds compressed lists, so its byte cap
+  // charges what is actually resident: the encoded blocks (raw entries
+  // while a list is still below the compression threshold).
+  return value.postings->encoded_bytes() + sizeof(PeerId) +
          p2p::kVersionBytes;
 }
 

@@ -40,11 +40,12 @@ struct CachedResult {
 
 // One term's inverted list, cached at the querying peer so multi-term
 // queries sharing a hot term skip the DHT fetch while still re-ranking
-// locally. The list is a shared snapshot — frozen by the copy-on-write
-// discipline of the peers, so a stale cache entry can never see later
-// mutations.
+// locally. The list is the indexing peer's immutable compressed store
+// object — frozen by construction, so a stale cache entry can never see
+// later mutations, and the cache holds the encoded blocks (plus their
+// memoized decoded snapshot once ranked), not a deep copy.
 struct CachedPostings {
-  core::PostingListPtr postings;
+  core::StoredPostingsPtr postings;
   TermSource source;
 };
 

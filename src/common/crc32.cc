@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace sprite {
+
+namespace {
+
+const std::array<uint32_t, 256>& Table() {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t size) {
+  const auto& table = Table();
+  for (size_t i = 0; i < size; ++i) {
+    state = table[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  return Crc32Final(Crc32Update(kCrc32Init, data, size));
+}
+
+}  // namespace sprite

@@ -1,0 +1,25 @@
+#ifndef SPRITE_COMMON_CRC32_H_
+#define SPRITE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sprite {
+
+// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. Shared by the
+// wire protocol's frame checksums (net/wire) and the persistent segment
+// footers (store/segment): one checksum discipline across every byte
+// stream that leaves the process.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+// Incremental form for multi-buffer streams: seed with kCrc32Init, fold
+// buffers in order with Crc32Update, close with Crc32Final.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t size);
+inline constexpr uint32_t Crc32Final(uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sprite
+
+#endif  // SPRITE_COMMON_CRC32_H_

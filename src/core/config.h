@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "store/stored_postings.h"
+
 namespace sprite::core {
 
 // How a system chooses the global index terms of a document.
@@ -120,6 +122,21 @@ struct SpriteConfig {
   // Entry lifetime on the simulated clock; 0 disables expiry.
   double cache_ttl_ms = 0.0;
 
+  // --- Posting store + persistence (src/store, DESIGN.md §15) -----------
+  // Postings per compressed block: the skip-table granularity of the
+  // in-memory codec and of flushed segment blobs.
+  size_t store_block_size = 64;
+  // Lists shorter than this stay raw entry vectors (the blob header and
+  // per-list owner table would cost more than the delta coding saves).
+  size_t store_compress_min_entries = 8;
+  // Root directory for the per-peer durable stores (segments + manifest).
+  // Empty disables persistence: Flush()/Recover() fail with
+  // kFailedPrecondition and nothing touches the filesystem.
+  std::string data_dir;
+  // When a peer's live segment count reaches this, the next flush writes
+  // one compacted full segment instead of a delta and drops the old files.
+  size_t store_compact_threshold = 4;
+
   // --- Extensions (Section 7) -------------------------------------------
   // Successor replicas kept per indexing peer; 0 disables replication.
   size_t replication_factor = 0;
@@ -138,6 +155,14 @@ struct SpriteConfig {
 
   uint64_t seed = 1;
 };
+
+// The store knobs in the shape src/store consumes.
+inline store::StoreOptions StoreOptionsFromConfig(const SpriteConfig& config) {
+  store::StoreOptions options;
+  options.block_size = config.store_block_size;
+  options.compress_min_entries = config.store_compress_min_entries;
+  return options;
+}
 
 }  // namespace sprite::core
 

@@ -8,53 +8,34 @@ namespace sprite::core {
 
 namespace {
 
-using Store = std::unordered_map<TermId, std::shared_ptr<PostingList>>;
-
-// Copy-on-write access to a list slot: materializes an empty list, and
-// clones a list some snapshot still shares, before the caller mutates it.
-PostingList& Mutable(std::shared_ptr<PostingList>& slot) {
-  if (!slot) {
-    slot = std::make_shared<PostingList>();
-  } else if (slot.use_count() > 1) {
-    slot = std::make_shared<PostingList>(*slot);
-  }
-  return *slot;
-}
+using Store = std::unordered_map<TermId, StoredPostingsPtr>;
 
 // Erases `doc`'s posting from `store[term]`, dropping the list when it
 // empties. Returns whether a posting was removed.
 bool EraseFromStore(Store& store, TermId term, DocId doc) {
   auto it = store.find(term);
   if (it == store.end()) return false;
-  const PostingList& plist = *it->second;
-  auto pos = std::find_if(plist.begin(), plist.end(),
-                          [doc](const PostingEntry& p) { return p.doc == doc; });
-  if (pos == plist.end()) return false;
-  PostingList& owned = Mutable(it->second);
-  owned.erase(owned.begin() + (pos - plist.begin()));
-  if (owned.empty()) store.erase(it);
+  bool erased = false;
+  StoredPostingsPtr next = it->second->Erased(doc, &erased);
+  if (!erased) return false;
+  if (next->empty()) {
+    store.erase(it);
+  } else {
+    it->second = std::move(next);
+  }
   return true;
 }
 
 }  // namespace
 
 void IndexingPeer::AddPosting(TermId term, const PostingEntry& entry) {
-  auto& slot = index_[term];
-  if (slot) {
-    const PostingList& plist = *slot;
-    for (size_t i = 0; i < plist.size(); ++i) {
-      if (plist[i].doc == entry.doc) {
-        // Re-publishing an unchanged posting (e.g. a heartbeat repair that
-        // raced nothing) must not invalidate downstream caches.
-        if (!(plist[i] == entry)) {
-          Mutable(slot)[i] = entry;
-          ++term_versions_[term];
-        }
-        return;
-      }
-    }
-  }
-  Mutable(slot).push_back(entry);
+  auto [it, inserted] = index_.try_emplace(term, empty_);
+  bool changed = false;
+  StoredPostingsPtr next = it->second->Upserted(entry, &changed);
+  // Re-publishing an unchanged posting (e.g. a heartbeat repair that raced
+  // nothing) must not invalidate downstream caches.
+  if (!changed) return;
+  it->second = std::move(next);
   ++term_versions_[term];
 }
 
@@ -71,12 +52,17 @@ bool IndexingPeer::RemovePosting(TermId term, DocId doc) {
   return primary_erased;
 }
 
-PostingListPtr IndexingPeer::Postings(TermId term) const {
+StoredPostingsPtr IndexingPeer::Stored(TermId term) const {
   auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   auto rit = replicas_.find(term);
   if (rit != replicas_.end()) return rit->second;
   return nullptr;
+}
+
+PostingListPtr IndexingPeer::Postings(TermId term) const {
+  StoredPostingsPtr stored = Stored(term);
+  return stored ? stored->Snapshot() : nullptr;
 }
 
 uint32_t IndexingPeer::IndexedDocFreq(TermId term) const {
@@ -86,11 +72,7 @@ uint32_t IndexingPeer::IndexedDocFreq(TermId term) const {
 
 bool IndexingPeer::HasPosting(TermId term, DocId doc) const {
   auto it = index_.find(term);
-  if (it == index_.end()) return false;
-  for (const PostingEntry& p : *it->second) {
-    if (p.doc == doc) return true;
-  }
-  return false;
+  return it != index_.end() && it->second->FindDoc(doc, nullptr);
 }
 
 size_t IndexingPeer::num_postings() const {
@@ -109,14 +91,40 @@ std::vector<TermId> IndexingPeer::IndexedTerms() const {
   return terms;
 }
 
-void IndexingPeer::StoreReplica(TermId term, PostingListPtr postings) {
+size_t IndexingPeer::PostingBytesRaw() const {
+  size_t n = 0;
+  for (const auto& [_, plist] : index_) n += plist->raw_bytes();
+  for (const auto& [_, plist] : replicas_) n += plist->raw_bytes();
+  for (const auto& [_, plist] : cache_) n += plist->raw_bytes();
+  return n;
+}
+
+size_t IndexingPeer::PostingBytesEncoded() const {
+  size_t n = 0;
+  for (const auto& [_, plist] : index_) n += plist->encoded_bytes();
+  for (const auto& [_, plist] : replicas_) n += plist->encoded_bytes();
+  for (const auto& [_, plist] : cache_) n += plist->encoded_bytes();
+  return n;
+}
+
+void IndexingPeer::RestoreTerm(TermId term, StoredPostingsPtr postings,
+                               uint64_t version) {
+  SPRITE_CHECK(postings != nullptr);
+  if (!postings->empty()) {
+    index_[term] = std::move(postings);
+  }
+  if (version > 0) term_versions_[term] = version;
+}
+
+void IndexingPeer::StoreReplica(TermId term, StoredPostingsPtr postings) {
   auto& slot = replicas_[term];
   // Replication runs periodically; only an actual content change bumps
   // the term version (Postings() may serve the replica as a fallback).
-  const bool changed = slot ? *slot != *postings : !postings->empty();
-  // Adopting the shared snapshot is safe: every mutation path goes through
-  // Mutable(), which clones while the producer still holds its reference.
-  slot = std::const_pointer_cast<PostingList>(std::move(postings));
+  // SameContent's pointer fast path makes the steady-state re-replication
+  // of an unchanged list free.
+  const bool changed =
+      slot ? !slot->SameContent(*postings) : !postings->empty();
+  slot = std::move(postings);
   if (changed) ++term_versions_[term];
 }
 
@@ -125,13 +133,13 @@ uint64_t IndexingPeer::TermVersion(TermId term) const {
   return it == term_versions_.end() ? 0 : it->second;
 }
 
-void IndexingPeer::CachePostings(TermId term, PostingListPtr postings) {
-  cache_[term] = std::const_pointer_cast<PostingList>(std::move(postings));
+void IndexingPeer::CachePostings(TermId term, StoredPostingsPtr postings) {
+  cache_[term] = std::move(postings);
 }
 
 PostingListPtr IndexingPeer::CachedPostings(TermId term) const {
   auto it = cache_.find(term);
-  return it == cache_.end() ? nullptr : it->second;
+  return it == cache_.end() ? nullptr : it->second->Snapshot();
 }
 
 void IndexingPeer::RecordQuery(const QueryRecord& record) {

@@ -10,6 +10,7 @@
 
 #include "core/types.h"
 #include "dht/id_space.h"
+#include "store/stored_postings.h"
 
 namespace sprite::core {
 
@@ -19,17 +20,23 @@ namespace sprite::core {
 // replica store used by the Section-7 replication extension.
 //
 // All stores are keyed by interned TermId (strings live only in the
-// TermDict), and every inverted list sits behind a shared_ptr: fetches hand
-// out immutable snapshots without copying, while mutators copy-on-write
-// when a snapshot is still alive elsewhere — so a list captured by a cache
-// or an in-flight search stays frozen, exactly as if it had been deep-
-// copied.
+// TermDict). Since ISSUE 9 every inverted list is a store::StoredPostings —
+// a compressed, block-encoded list sorted by doc id with a raw tail of
+// recent appends. Fetches hand out immutable decoded snapshots without
+// copying (memoized per list object), while mutators swap in a fresh
+// object — so a list captured by a cache or an in-flight search stays
+// frozen, exactly as if it had been deep-copied.
 class IndexingPeer {
  public:
-  IndexingPeer(PeerId id, size_t history_capacity)
-      : id_(id), history_capacity_(history_capacity) {}
+  IndexingPeer(PeerId id, size_t history_capacity,
+               store::StoreOptions store_options = {})
+      : id_(id),
+        history_capacity_(history_capacity),
+        store_options_(store_options),
+        empty_(store::StoredPostings::Empty(store_options)) {}
 
   PeerId id() const { return id_; }
+  const store::StoreOptions& store_options() const { return store_options_; }
 
   // --- Inverted index ---------------------------------------------------
   // Adds (or overwrites) the posting of `entry.doc` in `term`'s list.
@@ -44,19 +51,28 @@ class IndexingPeer {
   // nothing, so a successor holding replicas can serve a failed peer's
   // terms. The snapshot stays valid (and frozen) across later mutations.
   PostingListPtr Postings(TermId term) const;
+  // The stored (compressed) form behind Postings(), same fallback rule.
+  StoredPostingsPtr Stored(TermId term) const;
   // Indexed document frequency n'_k: length of the primary inverted list.
   uint32_t IndexedDocFreq(TermId term) const;
-  // Whether `doc` has a primary posting under `term`.
+  // Whether `doc` has a primary posting under `term` (skip-table seek,
+  // decodes at most one block).
   bool HasPosting(TermId term, DocId doc) const;
 
   size_t num_terms() const { return index_.size(); }
   size_t num_postings() const;
   // Terms this peer currently indexes, sorted by TermId.
   std::vector<TermId> IndexedTerms() const;
-  const std::unordered_map<TermId, std::shared_ptr<PostingList>>& index()
-      const {
+  const std::unordered_map<TermId, StoredPostingsPtr>& index() const {
     return index_;
   }
+
+  // Resident posting-payload bytes across the primary index, replica store
+  // and hot-term cache: as plain PostingEntry vectors, and as actually
+  // held (sealed blobs + raw tails). Their ratio is the compression the
+  // store buys this peer.
+  size_t PostingBytesRaw() const;
+  size_t PostingBytesEncoded() const;
 
   // --- Term versions (cache invalidation, src/cache) ---------------------
   // Monotone per-term change counter: bumped whenever the serveable
@@ -67,16 +83,24 @@ class IndexingPeer {
   // version-check protocol of the query caches relies on. A term that
   // moves to another peer fails the checker's responsibility test instead.
   uint64_t TermVersion(TermId term) const;
+  const std::unordered_map<TermId, uint64_t>& term_versions() const {
+    return term_versions_;
+  }
+
+  // --- Persistence (src/store, DESIGN.md §15) -----------------------------
+  // Installs a recovered primary list and its version counter verbatim.
+  // Only for segment replay on an otherwise-fresh peer.
+  void RestoreTerm(TermId term, StoredPostingsPtr postings, uint64_t version);
 
   // --- Replica store (Section 7) ----------------------------------------
-  void StoreReplica(TermId term, PostingListPtr postings);
+  void StoreReplica(TermId term, StoredPostingsPtr postings);
   void ClearReplicas() { replicas_.clear(); }
   size_t num_replica_terms() const { return replicas_.size(); }
 
   // --- Hot-term cache (Section 7, LAR-style load balancing) --------------
   // Caches another peer's inverted list for a hot term so queries that hit
   // this peer for a co-occurring term need not contact the hot peer.
-  void CachePostings(TermId term, PostingListPtr postings);
+  void CachePostings(TermId term, StoredPostingsPtr postings);
   // The cached list for `term`, or nullptr. Unlike Postings(), this never
   // consults the primary index.
   PostingListPtr CachedPostings(TermId term) const;
@@ -90,7 +114,7 @@ class IndexingPeer {
   // term). Records whose every responsible term moved away are dropped
   // from this peer's history.
   struct Handoff {
-    std::vector<std::pair<TermId, std::shared_ptr<PostingList>>> lists;
+    std::vector<std::pair<TermId, StoredPostingsPtr>> lists;
     std::vector<QueryRecord> records;
   };
   template <typename Pred>
@@ -152,9 +176,11 @@ class IndexingPeer {
  private:
   PeerId id_;
   size_t history_capacity_;
-  std::unordered_map<TermId, std::shared_ptr<PostingList>> index_;
-  std::unordered_map<TermId, std::shared_ptr<PostingList>> replicas_;
-  std::unordered_map<TermId, std::shared_ptr<PostingList>> cache_;
+  store::StoreOptions store_options_;
+  StoredPostingsPtr empty_;  // shared base for first-time inserts
+  std::unordered_map<TermId, StoredPostingsPtr> index_;
+  std::unordered_map<TermId, StoredPostingsPtr> replicas_;
+  std::unordered_map<TermId, StoredPostingsPtr> cache_;
   std::unordered_map<TermId, uint64_t> term_versions_;
   std::deque<QueryRecord> history_;  // oldest at front
 };

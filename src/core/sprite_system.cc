@@ -46,7 +46,8 @@ SpriteSystem::SpriteSystem(SpriteConfig config)
     SPRITE_CHECK(id.ok());
     peer_ids_.push_back(id.value());
     indexing_.emplace(id.value(),
-                      IndexingPeer(id.value(), config_.history_capacity));
+                      IndexingPeer(id.value(), config_.history_capacity,
+                                   StoreOptionsFromConfig(config_)));
     owners_.emplace(id.value(), OwnerPeer(id.value()));
   }
   std::sort(peer_ids_.begin(), peer_ids_.end());
@@ -101,6 +102,8 @@ std::string SpriteSystem::PeerNameOf(PeerId id) const {
 void SpriteSystem::ExportLoadMetrics() {
   std::vector<double> postings;
   std::vector<double> queries;
+  double bytes_raw_total = 0.0;
+  double bytes_encoded_total = 0.0;
   for (const auto& [id, peer] : indexing_) {
     const dht::ChordNode* node = ring_.node(id);
     if (node == nullptr || !node->alive) continue;
@@ -108,12 +111,20 @@ void SpriteSystem::ExportLoadMetrics() {
     auto qit = query_load_.find(id);
     const double q =
         qit == query_load_.end() ? 0.0 : static_cast<double>(qit->second);
+    const double braw = static_cast<double>(peer.PostingBytesRaw());
+    const double benc = static_cast<double>(peer.PostingBytesEncoded());
     const std::string label =
         StrFormat("peer-%llu", static_cast<unsigned long long>(id));
     metrics_.Set("load.postings", label, p);
     metrics_.Set("load.queries", label, q);
+    // Resident posting bytes (primary + replicas + hot cache), raw vs as
+    // actually stored; their quotient is the peer's compression ratio.
+    metrics_.Set("load.posting_bytes_raw", label, braw);
+    metrics_.Set("load.posting_bytes_encoded", label, benc);
     postings.push_back(p);
     queries.push_back(q);
+    bytes_raw_total += braw;
+    bytes_encoded_total += benc;
   }
   const auto summarize = [this](const std::string& prefix,
                                 const std::vector<double>& values) {
@@ -132,6 +143,12 @@ void SpriteSystem::ExportLoadMetrics() {
   };
   summarize("load.postings", postings);
   summarize("load.queries", queries);
+  metrics_.Set("load.posting_bytes_raw.total", bytes_raw_total);
+  metrics_.Set("load.posting_bytes_encoded.total", bytes_encoded_total);
+  metrics_.Set("load.posting_compression_ratio",
+               bytes_encoded_total == 0.0
+                   ? 1.0
+                   : bytes_raw_total / bytes_encoded_total);
 }
 
 const obs::TimeSeriesPoint* SpriteSystem::CaptureTimeSeriesPoint(
@@ -166,12 +183,8 @@ bool SpriteSystem::TermServesDoc(TermId term, DocId doc) const {
   if (!responsible.ok()) return false;
   auto it = indexing_.find(responsible.value());
   if (it == indexing_.end()) return false;
-  const PostingListPtr plist = it->second.Postings(term);
-  if (plist == nullptr) return false;
-  for (const PostingEntry& p : *plist) {
-    if (p.doc == doc) return true;
-  }
-  return false;
+  const StoredPostingsPtr stored = it->second.Stored(term);
+  return stored != nullptr && stored->FindDoc(doc, nullptr);
 }
 
 std::vector<MissAttribution> SpriteSystem::AttributeMisses(
@@ -790,7 +803,8 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
       if (serve) {
         RetrievedList rl;
         rl.term = term;
-        rl.postings = hit->postings;  // shared snapshot, no copy
+        // The memoized decode: repeated hits share one snapshot.
+        rl.postings = hit->postings->Snapshot();
         fetched_postings += rl.postings->size();
         sources_used.emplace(term, hit->source);
         resolved.insert(term);
@@ -866,10 +880,13 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
     }
     RetrievedList rl;
     rl.term = term;
-    // Zero-copy fetch: share the peer's immutable snapshot instead of
-    // copying the vector; the response bytes are accounted as if the full
-    // list had crossed the (simulated) wire.
-    PostingListPtr plist = peer.Postings(term);
+    // Zero-copy fetch: share the peer's immutable decoded snapshot instead
+    // of copying the vector; the response bytes are accounted as if the
+    // full list had crossed the (simulated) wire. The stored (compressed)
+    // handle is kept alongside for the posting cache, which holds encoded
+    // blocks rather than decoded entries.
+    StoredPostingsPtr stored = peer.Stored(term);
+    PostingListPtr plist = stored != nullptr ? stored->Snapshot() : nullptr;
     rl.postings = plist != nullptr ? std::move(plist) : EmptyPostingList();
     const size_t response_payload =
         rl.postings->size() * p2p::kPostingEntryBytes;
@@ -893,7 +910,9 @@ StatusOr<ir::RankedList> SpriteSystem::SearchImpl(const corpus::Query& query,
     }
     if (cache_.posting_enabled()) {
       cache::CachedPostings entry;
-      entry.postings = rl.postings;
+      entry.postings = stored != nullptr
+                           ? std::move(stored)
+                           : StoredPostings::Empty(peer.store_options());
       entry.source = term_source;
       cache_.InsertPostings(querying_peer, term, std::move(entry),
                             tracer_.clock().now_ms());
@@ -1475,7 +1494,7 @@ void SpriteSystem::ReplicateIndexes() {
     // The index iterates in hash order; the push order fixes each
     // successor's replica-store insertion order and the message stream, so
     // pin it to the term ids.
-    std::vector<std::pair<TermId, std::shared_ptr<PostingList>>> lists(
+    std::vector<std::pair<TermId, StoredPostingsPtr>> lists(
         peer.index().begin(), peer.index().end());
     std::sort(lists.begin(), lists.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -1526,14 +1545,16 @@ size_t SpriteSystem::RunOverloadAdvisories(uint32_t threshold) {
   struct Advisory {
     TermId term = kInvalidTermId;
     PeerId peer_id = 0;
-    PostingListPtr postings;  // shared snapshot, frozen by copy-on-write
+    PostingListPtr postings;  // decoded snapshot, frozen by immutability
   };
   std::vector<Advisory> advisories;
   for (const auto& [peer_id, peer] : indexing_) {
     const dht::ChordNode* node = ring_.node(peer_id);
     if (node == nullptr || !node->alive) continue;
     for (const auto& [term, plist] : peer.index()) {
-      if (plist->size() > threshold) advisories.push_back({term, peer_id, plist});
+      if (plist->size() > threshold) {
+        advisories.push_back({term, peer_id, plist->Snapshot()});
+      }
     }
   }
   // Id-keyed stores iterate in hash order; process advisories in spelling
@@ -1661,7 +1682,8 @@ StatusOr<PeerId> SpriteSystem::JoinPeer(const std::string& name) {
 
 PeerId SpriteSystem::CompleteJoin(PeerId id) {
   obs::ScopedSpan span(&tracer_, "peer.join", PeerNameOf(id));
-  indexing_.emplace(id, IndexingPeer(id, config_.history_capacity));
+  indexing_.emplace(id, IndexingPeer(id, config_.history_capacity,
+                                     StoreOptionsFromConfig(config_)));
   owners_.emplace(id, OwnerPeer(id));
   peer_ids_.insert(
       std::upper_bound(peer_ids_.begin(), peer_ids_.end(), id), id);
@@ -1684,7 +1706,9 @@ PeerId SpriteSystem::CompleteJoin(PeerId id) {
       (void)bus_.CostSend(id, p2p::MessageType::kKeyTransfer, payload,
                           DirectCallOptions());
       handoff_bytes += p2p::kMessageHeaderBytes + payload;
-      for (const PostingEntry& entry : *plist) {
+      // Snapshot order is ascending doc id, so every AddPosting below hits
+      // the append fast path of the receiving store.
+      for (const PostingEntry& entry : *plist->Snapshot()) {
         newcomer.AddPosting(term, entry);
       }
     }
@@ -1779,7 +1803,7 @@ Status SpriteSystem::LeavePeer(PeerId id) {
     (void)bus_.CostSend(succs[0], p2p::MessageType::kKeyTransfer, payload,
                         DirectCallOptions());
     handoff_bytes += p2p::kMessageHeaderBytes + payload;
-    for (const PostingEntry& entry : *plist) {
+    for (const PostingEntry& entry : *plist->Snapshot()) {
       successor.AddPosting(term, entry);
     }
   }
@@ -1910,7 +1934,7 @@ size_t SpriteSystem::RunHotTermCaching(size_t top_terms) {
   for (const auto& [hot, _] : ranked) {
     StatusOr<uint64_t> hot_peer = ring_.ResponsibleNode(RingKeyOf(hot));
     if (!hot_peer.ok()) continue;
-    PostingListPtr plist = indexing_.at(hot_peer.value()).Postings(hot);
+    StoredPostingsPtr plist = indexing_.at(hot_peer.value()).Stored(hot);
     if (plist == nullptr || plist->empty()) continue;
 
     // Terms that co-occur with the hot term in cached queries — their
@@ -2077,6 +2101,65 @@ size_t SpriteSystem::TotalIndexedTerms() const {
     }
   }
   return total;
+}
+
+std::string SpriteSystem::PeerStoreDir(PeerId id) const {
+  // Ring ids are stable across restarts (derived from the peer's name), so
+  // a recovered process maps each directory back to the same peer.
+  return config_.data_dir +
+         StrFormat("/peer-%016llx", static_cast<unsigned long long>(id));
+}
+
+StatusOr<store::PeerStore*> SpriteSystem::StoreFor(PeerId id) {
+  auto it = stores_.find(id);
+  if (it != stores_.end()) return it->second.get();
+  auto ps = std::make_unique<store::PeerStore>(
+      PeerStoreDir(id), id, StoreOptionsFromConfig(config_),
+      config_.store_compact_threshold);
+  SPRITE_RETURN_IF_ERROR(ps->Open());
+  store::PeerStore* raw = ps.get();
+  stores_.emplace(id, std::move(ps));
+  return raw;
+}
+
+Status SpriteSystem::Flush() {
+  if (config_.data_dir.empty()) {
+    return Status::FailedPrecondition("SpriteConfig::data_dir is not set");
+  }
+  const TermDict& dict = TermDict::Global();
+  for (const auto& [peer_id, peer] : indexing_) {
+    const dht::ChordNode* node = ring_.node(peer_id);
+    if (node == nullptr || !node->alive) continue;
+    StatusOr<store::PeerStore*> ps = StoreFor(peer_id);
+    if (!ps.ok()) return ps.status();
+    std::vector<store::PeerStore::TermState> live;
+    live.reserve(peer.index().size());
+    for (const auto& [term, stored] : peer.index()) {
+      store::PeerStore::TermState state;
+      state.term = dict.TermOf(term);
+      state.version = peer.TermVersion(term);
+      state.postings = stored;
+      live.push_back(std::move(state));
+    }
+    SPRITE_RETURN_IF_ERROR((*ps)->Flush(std::move(live)));
+  }
+  return Status::OK();
+}
+
+Status SpriteSystem::Recover() {
+  if (config_.data_dir.empty()) {
+    return Status::FailedPrecondition("SpriteConfig::data_dir is not set");
+  }
+  TermDict& dict = TermDict::Global();
+  for (auto& [peer_id, peer] : indexing_) {
+    StatusOr<store::PeerStore*> ps = StoreFor(peer_id);
+    if (!ps.ok()) return ps.status();
+    for (store::PeerStore::TermState& state : (*ps)->TakeRecovered()) {
+      peer.RestoreTerm(dict.Intern(state.term), std::move(state.postings),
+                       state.version);
+    }
+  }
+  return Status::OK();
 }
 
 const IndexingPeer* SpriteSystem::indexing_peer(PeerId id) const {

@@ -30,6 +30,7 @@
 #include "obs/trace.h"
 #include "net/sim_transport.h"
 #include "p2p/network.h"
+#include "store/peer_store.h"
 
 namespace sprite::core {
 
@@ -312,6 +313,20 @@ class SpriteSystem {
   }
   void ClearQueryLoad() { query_load_.clear(); }
 
+  // --- Persistence (src/store, DESIGN.md §15) ---------------------------
+  // Writes every alive indexing peer's primary index (term spellings,
+  // versions, compressed posting blobs) into its durable store under
+  // SpriteConfig::data_dir — a delta segment per changed peer, or a
+  // compaction when the segment count crosses the threshold. Replicas, hot
+  // caches, and query histories are soft state and stay memory-only.
+  // kFailedPrecondition when data_dir is empty.
+  Status Flush();
+  // Replays each peer's durable store (manifest + segments, CRC-checked)
+  // into the freshly constructed peers: terms are re-interned and the
+  // persisted versions reinstated, so version-check caching stays
+  // consistent across a restart. Call on a new instance before serving.
+  Status Recover();
+
  private:
   // The ring key of an interned term: the TermDict's precomputed MD5
   // prefix truncated into this ring's id space — bit-for-bit what
@@ -435,6 +450,12 @@ class SpriteSystem {
   // Host wall-clock observability; independent of every simulated stream.
   obs::WallProfiler wall_;
   std::unique_ptr<WorkerPool> pool_;
+  // Lazily opened durable stores, one per indexing peer; cached so
+  // repeated flushes stay incremental (delta vs the last flushed
+  // versions). Empty unless data_dir is configured.
+  std::map<PeerId, std::unique_ptr<store::PeerStore>> stores_;
+  StatusOr<store::PeerStore*> StoreFor(PeerId id);
+  std::string PeerStoreDir(PeerId id) const;
   std::map<PeerId, IndexingPeer> indexing_;
   std::map<PeerId, OwnerPeer> owners_;
   std::vector<PeerId> peer_ids_;  // sorted, as constructed

@@ -10,6 +10,7 @@
 #include "corpus/document.h"
 #include "corpus/query.h"
 #include "p2p/message.h"
+#include "store/stored_postings.h"
 #include "text/term_dict.h"
 
 namespace sprite::core {
@@ -39,6 +40,13 @@ static_assert(p2p::kInvalidDocId == corpus::kInvalidDocId,
 // copy it replaces).
 using PostingList = std::vector<PostingEntry>;
 using PostingListPtr = std::shared_ptr<const PostingList>;
+
+// The compressed block-encoded form peers actually hold (src/store,
+// DESIGN.md §15). Snapshot() bridges to PostingListPtr.
+using store::StoredPostings;
+using store::StoredPostingsPtr;
+static_assert(std::is_same_v<store::PostingList, PostingList>,
+              "store and core posting lists must be the same type");
 
 // The result of fetching one term's inverted list during query processing.
 // The *indexed document frequency* n'_k of Section 4 is postings->size().

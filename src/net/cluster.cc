@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/string_util.h"
 #include "core/ranking.h"
 #include "corpus/query.h"
 #include "text/term_dict.h"
@@ -19,7 +20,8 @@ ClusterNode::ClusterNode(ClusterOptions options, Transport* transport)
       transport_(transport),
       space_(options_.config.id_bits),
       index_(space_.KeyForString(options_.name),
-             options_.config.history_capacity),
+             options_.config.history_capacity,
+             core::StoreOptionsFromConfig(options_.config)),
       owner_(index_.id()) {
   self_.id = index_.id();
   self_.name = options_.name;
@@ -460,6 +462,57 @@ Status ClusterNode::RunLearningIteration() {
           CallMember(OwnerOfKey(KeyOfTerm(term)), ToFrame(msg));
       if (!ack.ok()) return ack.status();
     }
+  }
+  return Status::OK();
+}
+
+// --- Persistence ------------------------------------------------------------
+
+StatusOr<store::PeerStore*> ClusterNode::Store() {
+  if (store_ == nullptr) {
+    // Same per-peer directory layout as the simulation's stores, keyed by
+    // the ring id (stable: derived from the node name).
+    auto ps = std::make_unique<store::PeerStore>(
+        options_.config.data_dir +
+            StrFormat("/peer-%016llx",
+                      static_cast<unsigned long long>(self_.id)),
+        self_.id, core::StoreOptionsFromConfig(options_.config),
+        options_.config.store_compact_threshold);
+    SPRITE_RETURN_IF_ERROR(ps->Open());
+    store_ = std::move(ps);
+  }
+  return store_.get();
+}
+
+Status ClusterNode::Flush() {
+  if (options_.config.data_dir.empty()) {
+    return Status::FailedPrecondition("ClusterOptions config.data_dir is not set");
+  }
+  StatusOr<store::PeerStore*> ps = Store();
+  if (!ps.ok()) return ps.status();
+  const TermDict& dict = TermDict::Global();
+  std::vector<store::PeerStore::TermState> live;
+  live.reserve(index_.index().size());
+  for (const auto& [term, stored] : index_.index()) {
+    store::PeerStore::TermState state;
+    state.term = dict.TermOf(term);
+    state.version = index_.TermVersion(term);
+    state.postings = stored;
+    live.push_back(std::move(state));
+  }
+  return (*ps)->Flush(std::move(live));
+}
+
+Status ClusterNode::Recover() {
+  if (options_.config.data_dir.empty()) {
+    return Status::FailedPrecondition("ClusterOptions config.data_dir is not set");
+  }
+  StatusOr<store::PeerStore*> ps = Store();
+  if (!ps.ok()) return ps.status();
+  TermDict& dict = TermDict::Global();
+  for (store::PeerStore::TermState& state : (*ps)->TakeRecovered()) {
+    index_.RestoreTerm(dict.Intern(state.term), std::move(state.postings),
+                       state.version);
   }
   return Status::OK();
 }

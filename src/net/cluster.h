@@ -14,6 +14,7 @@
 #include "dht/id_space.h"
 #include "ir/ranked_list.h"
 #include "net/transport.h"
+#include "store/peer_store.h"
 #include "text/analyzer.h"
 
 // A live SPRITE node (DESIGN.md §14): one process in a multi-node cluster,
@@ -90,6 +91,19 @@ class ClusterNode {
   StatusOr<ir::RankedList> Search(const std::vector<std::string>& raw_terms,
                                   size_t k);
 
+  // --- Persistence (src/store, DESIGN.md §15) ---------------------------
+  // Writes this node's index half (term spellings, versions, compressed
+  // posting blobs) into its durable store under config.data_dir. The ring
+  // id is derived from the node name, so a restarted daemon with the same
+  // name maps back to the same store directory. kFailedPrecondition when
+  // data_dir is empty.
+  Status Flush();
+  // Replays the durable store into the freshly constructed index half;
+  // call after construction, before serving. Re-interns spellings and
+  // reinstates the persisted term versions, so version-check caching stays
+  // consistent across the restart.
+  Status Recover();
+
   struct Stats {
     size_t members = 0;
     size_t documents = 0;
@@ -116,6 +130,9 @@ class ClusterNode {
   void RecordAtIndex(const wire::WireQueryRecord& record);
   wire::WireQueryRecord MakeWireRecord(
       const std::vector<std::string>& deduped_terms);
+  // Lazily opens the durable store (replaying its manifest); cached so
+  // repeated flushes stay incremental.
+  StatusOr<store::PeerStore*> Store();
 
   ClusterOptions options_;
   Transport* transport_;
@@ -127,6 +144,7 @@ class ClusterNode {
   // Backing store for owned documents (OwnedDocument keeps a pointer).
   std::vector<std::unique_ptr<corpus::Document>> documents_;
   text::Analyzer analyzer_;
+  std::unique_ptr<store::PeerStore> store_;  // null until first use
   uint64_t seq_counter_ = 0;
   uint32_t record_id_counter_ = 0;
 };

@@ -51,6 +51,11 @@ Status Daemon::Start() {
   http_.set_handler([this](const HttpRequest& req) { return HandleHttp(req); });
   cluster_.SetEndpoints(options_.config.listen_host, transport_.udp_port(),
                         transport_.tcp_port(), http_.port());
+  // With a data dir configured, replay the durable store before joining:
+  // the node re-enters the cluster already serving the index it persisted.
+  if (!options_.config.data_dir.empty()) {
+    SPRITE_RETURN_IF_ERROR(cluster_.Recover());
+  }
   if (!options_.bootstrap_host.empty() && options_.bootstrap_udp != 0) {
     PeerAddress bootstrap;
     bootstrap.host = options_.bootstrap_host;
@@ -158,6 +163,17 @@ HttpResponse Daemon::HandleHttp(const HttpRequest& req) {
       ++recorded;
     }
     resp.body = "{\"recorded\":" + std::to_string(recorded) + "}";
+    return resp;
+  }
+  if (req.path == "/flush") {
+    if (req.method != "POST") return JsonError(405, "POST to flush");
+    const Status status = cluster_.Flush();
+    if (!status.ok()) {
+      return JsonError(status.code() == StatusCode::kFailedPrecondition ? 400
+                                                                        : 500,
+                       status.message());
+    }
+    resp.body = "{\"flushed\":true}";
     return resp;
   }
   if (req.path == "/learn") {

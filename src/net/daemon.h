@@ -51,6 +51,8 @@ class Daemon {
   //                                 per line; shares each document
   //   POST /record               -> one raw query per line; analyzes and
   //                                 records each at the responsible members
+  //   POST /flush                -> persist the index half to the data dir
+  //                                 (400 when the daemon has no --data-dir)
   //   POST /learn                -> one SPRITE learning iteration
   //   GET  /search?q=...&k=N     -> analyzed query -> ranked {"doc","score"}
   HttpResponse HandleHttp(const HttpRequest& req);

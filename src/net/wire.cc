@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
 
 namespace sprite::net::wire {
@@ -155,23 +156,10 @@ Status WireReader::Finish() const {
 
 // --- CRC32 (IEEE, reflected) ------------------------------------------------
 
+// One checksum discipline across the process boundary: wire frames and the
+// store's segment footers share the common/crc32 implementation.
 uint32_t Crc32(const uint8_t* data, size_t size) {
-  static const auto table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+  return ::sprite::Crc32(data, size);
 }
 
 // --- Frame ------------------------------------------------------------------

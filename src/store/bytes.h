@@ -1,0 +1,33 @@
+#ifndef SPRITE_STORE_BYTES_H_
+#define SPRITE_STORE_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sprite::store {
+
+// A borrowed byte range plus the object that keeps it alive. The codec and
+// segment reader never copy blob bytes: a BytesRef either points into an
+// owned heap buffer or into a memory-mapped segment file, and `owner` pins
+// whichever backing object (vector, MemoryMappedFile) holds the storage.
+struct BytesRef {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+  std::shared_ptr<const void> owner;
+
+  BytesRef() = default;
+  BytesRef(const uint8_t* d, size_t s, std::shared_ptr<const void> o)
+      : data(d), size(s), owner(std::move(o)) {}
+
+  // Wraps a heap buffer, taking ownership.
+  static BytesRef Own(std::vector<uint8_t> bytes) {
+    auto holder = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+    return BytesRef(holder->data(), holder->size(), holder);
+  }
+};
+
+}  // namespace sprite::store
+
+#endif  // SPRITE_STORE_BYTES_H_

@@ -1,0 +1,50 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sprite::store {
+
+StatusOr<std::shared_ptr<const MemoryMappedFile>> MemoryMappedFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    const std::string msg = path + ": " + std::strerror(err);
+    if (err == ENOENT) return Status::NotFound(msg);
+    return Status::Unavailable(msg);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const std::string msg = path + ": " + std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable(msg);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const std::string msg = path + ": mmap: " + std::strerror(errno);
+      ::close(fd);
+      return Status::Unavailable(msg);
+    }
+    data = static_cast<const uint8_t*>(mapped);
+  }
+  ::close(fd);  // the mapping keeps the pages alive
+  return std::shared_ptr<const MemoryMappedFile>(
+      new MemoryMappedFile(path, data, size));
+}
+
+MemoryMappedFile::~MemoryMappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace sprite::store

@@ -1,0 +1,50 @@
+#ifndef SPRITE_STORE_MMAP_FILE_H_
+#define SPRITE_STORE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "store/bytes.h"
+
+namespace sprite::store {
+
+// A read-only memory-mapped file. Segment loads mmap the bytes instead of
+// reading them into the heap, so a recovered index's sealed blobs are
+// backed by the page cache and shared across processes; BytesRef owners
+// pin the mapping for as long as any blob borrows from it.
+class MemoryMappedFile {
+ public:
+  // Maps `path` read-only. kNotFound when the file does not exist,
+  // kUnavailable on other I/O errors. Empty files map to a null span.
+  static StatusOr<std::shared_ptr<const MemoryMappedFile>> Open(
+      const std::string& path);
+
+  ~MemoryMappedFile();
+
+  MemoryMappedFile(const MemoryMappedFile&) = delete;
+  MemoryMappedFile& operator=(const MemoryMappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  // The whole mapping as a BytesRef pinning `self` (which must own this).
+  static BytesRef Span(const std::shared_ptr<const MemoryMappedFile>& self) {
+    return BytesRef(self->data(), self->size(), self);
+  }
+
+ private:
+  MemoryMappedFile(std::string path, const uint8_t* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  const std::string path_;
+  const uint8_t* const data_;
+  const size_t size_;
+};
+
+}  // namespace sprite::store
+
+#endif  // SPRITE_STORE_MMAP_FILE_H_

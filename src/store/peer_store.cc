@@ -1,0 +1,219 @@
+#include "store/peer_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace sprite::store {
+
+namespace {
+
+constexpr char kManifestMagic[] = "SPRMAN1";
+constexpr char kManifestName[] = "MANIFEST";
+
+// mkdir -p: creates every missing component of `dir`.
+Status MakeDirs(const std::string& dir) {
+  std::string prefix;
+  prefix.reserve(dir.size());
+  for (size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      prefix.push_back(dir[i]);
+      continue;
+    }
+    if (!prefix.empty() && prefix != "." && prefix != "..") {
+      if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+        return Status::Unavailable(prefix + ": mkdir: " +
+                                   std::strerror(errno));
+      }
+    }
+    if (i < dir.size()) prefix.push_back('/');
+  }
+  return Status::OK();
+}
+
+std::string SegmentName(uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06" PRIu64 ".dat", index);
+  return buf;
+}
+
+// Parses the numeric part of "seg-<n>.dat"; 0 when the name is foreign.
+uint64_t SegmentIndex(const std::string& name) {
+  uint64_t index = 0;
+  if (std::sscanf(name.c_str(), "seg-%" SCNu64 ".dat", &index) != 1) return 0;
+  return index;
+}
+
+}  // namespace
+
+PeerStore::PeerStore(std::string directory, p2p::PeerId peer_id,
+                     StoreOptions options, size_t compact_threshold)
+    : directory_(std::move(directory)),
+      peer_id_(peer_id),
+      options_(options),
+      compact_threshold_(std::max<size_t>(compact_threshold, 1)) {}
+
+std::string PeerStore::SegmentPath(const std::string& name) const {
+  return directory_ + "/" + name;
+}
+
+Status PeerStore::Open() {
+  SPRITE_RETURN_IF_ERROR(MakeDirs(directory_));
+  const std::string manifest_path = SegmentPath(kManifestName);
+  std::FILE* f = std::fopen(manifest_path.c_str(), "r");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::OK();  // fresh store
+    return Status::Unavailable(manifest_path + ": " + std::strerror(errno));
+  }
+  char line[512];
+  bool saw_magic = false;
+  std::vector<ManifestEntry> entries;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::string text(line);
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.pop_back();
+    }
+    if (text.empty()) continue;
+    if (!saw_magic) {
+      if (text != kManifestMagic) {
+        std::fclose(f);
+        return Status::Corruption(manifest_path + ": bad magic");
+      }
+      saw_magic = true;
+      continue;
+    }
+    char name[256];
+    unsigned crc = 0;
+    uint64_t bytes = 0;
+    if (std::sscanf(text.c_str(), "segment %255s %8x %" SCNu64, name, &crc,
+                    &bytes) != 3) {
+      std::fclose(f);
+      return Status::Corruption(manifest_path + ": bad line: " + text);
+    }
+    entries.push_back(
+        ManifestEntry{name, static_cast<uint32_t>(crc), bytes});
+  }
+  std::fclose(f);
+  if (!saw_magic) {
+    return Status::Corruption(manifest_path + ": empty manifest");
+  }
+
+  // Replay in manifest order: later records override, tombstones erase.
+  std::map<std::string, SegmentRecord> state;
+  for (const ManifestEntry& entry : entries) {
+    StatusOr<std::vector<SegmentRecord>> records =
+        ReadSegment(SegmentPath(entry.name), peer_id_, &entry.crc);
+    if (!records.ok()) {
+      if (records.status().IsNotFound()) {
+        return Status::Corruption(SegmentPath(entry.name) +
+                                  ": listed in manifest but missing");
+      }
+      return records.status();
+    }
+    for (SegmentRecord& record : records.value()) {
+      if (record.tombstone) {
+        state.erase(record.term);
+      } else {
+        state[record.term] = std::move(record);
+      }
+    }
+    next_segment_ = std::max(next_segment_, SegmentIndex(entry.name) + 1);
+  }
+  segments_ = std::move(entries);
+
+  recovered_.clear();
+  recovered_.reserve(state.size());
+  for (auto& [term, record] : state) {
+    StatusOr<CompressedPostingsPtr> parsed =
+        CompressedPostings::Parse(std::move(record.blob));
+    if (!parsed.ok()) return parsed.status();
+    TermState out;
+    out.term = term;
+    out.version = record.version;
+    out.postings =
+        StoredPostings::FromCompressed(std::move(parsed).value(), options_);
+    flushed_versions_[term] = out.version;
+    recovered_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+std::vector<PeerStore::TermState> PeerStore::TakeRecovered() {
+  return std::move(recovered_);
+}
+
+Status PeerStore::WriteManifest() const {
+  std::string text(kManifestMagic);
+  text.push_back('\n');
+  for (const ManifestEntry& entry : segments_) {
+    char line[320];
+    std::snprintf(line, sizeof(line), "segment %s %08x %" PRIu64 "\n",
+                  entry.name.c_str(), entry.crc, entry.bytes);
+    text += line;
+  }
+  return WriteFileAtomic(
+      SegmentPath(kManifestName),
+      std::vector<uint8_t>(text.begin(), text.end()));
+}
+
+Status PeerStore::Flush(std::vector<TermState> live) {
+  std::sort(live.begin(), live.end(),
+            [](const TermState& a, const TermState& b) {
+              return a.term < b.term;
+            });
+
+  const bool compact = segments_.size() >= compact_threshold_;
+  std::vector<SegmentRecordIn> records;
+  std::map<std::string, uint64_t> new_versions;
+  for (const TermState& term : live) {
+    new_versions[term.term] = term.version;
+    const auto it = flushed_versions_.find(term.term);
+    const bool changed =
+        compact || it == flushed_versions_.end() || it->second != term.version;
+    if (!changed) continue;
+    SegmentRecordIn record;
+    record.term = term.term;
+    record.version = term.version;
+    record.blob = term.postings->EncodeAll();
+    records.push_back(std::move(record));
+  }
+  for (const auto& [term, version] : flushed_versions_) {
+    if (new_versions.find(term) != new_versions.end()) continue;
+    if (compact) continue;  // a full segment needs no tombstones
+    SegmentRecordIn tombstone;
+    tombstone.term = term;
+    tombstone.version = version;
+    tombstone.tombstone = true;
+    records.push_back(std::move(tombstone));
+  }
+  if (records.empty() && !compact && !segments_.empty()) {
+    return Status::OK();  // nothing changed since the last flush
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const SegmentRecordIn& a, const SegmentRecordIn& b) {
+              return a.term < b.term;
+            });
+  const std::string name = SegmentName(next_segment_);
+  const std::vector<uint8_t> image = BuildSegment(peer_id_, records);
+  SPRITE_RETURN_IF_ERROR(WriteFileAtomic(SegmentPath(name), image));
+  ++next_segment_;
+
+  std::vector<ManifestEntry> old_segments;
+  if (compact) old_segments = std::move(segments_);
+  if (compact) segments_.clear();
+  segments_.push_back(ManifestEntry{name, SegmentCrc(image), image.size()});
+  SPRITE_RETURN_IF_ERROR(WriteManifest());
+  for (const ManifestEntry& old : old_segments) {
+    std::remove(SegmentPath(old.name).c_str());
+  }
+  flushed_versions_ = std::move(new_versions);
+  return Status::OK();
+}
+
+}  // namespace sprite::store

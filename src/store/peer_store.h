@@ -1,0 +1,83 @@
+#ifndef SPRITE_STORE_PEER_STORE_H_
+#define SPRITE_STORE_PEER_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/segment.h"
+#include "store/stored_postings.h"
+
+namespace sprite::store {
+
+// The durable posting store of one indexing peer: a directory of
+// append-only segment files plus a MANIFEST that fixes their replay order
+// and CRCs (DESIGN.md §15).
+//
+//   <dir>/MANIFEST            text: "SPRMAN1" then one line per live
+//                             segment: "segment <name> <crc32-hex> <bytes>"
+//   <dir>/seg-<n>.dat         segment files, monotonically numbered
+//
+// Flush diffs the live index against the last flushed state and writes one
+// delta segment (changed terms + tombstones for withdrawn ones); recovery
+// replays the manifest in order, later records overriding earlier ones.
+// When the segment count would exceed the compaction threshold, a flush
+// writes one full segment instead and drops the old files. The manifest is
+// replaced atomically (tmp + rename), so a crash between writes leaves the
+// previous consistent state.
+//
+// Only the primary index is persisted: replicas, hot-term caches and query
+// records are soft state the epoch protocols rebuild.
+class PeerStore {
+ public:
+  struct TermState {
+    std::string term;
+    uint64_t version = 0;
+    StoredPostingsPtr postings;
+  };
+
+  PeerStore(std::string directory, p2p::PeerId peer_id, StoreOptions options,
+            size_t compact_threshold);
+
+  // Creates the directory when absent and replays the manifest when
+  // present. kCorruption on a damaged manifest or segment.
+  Status Open();
+
+  // The terms recovered by Open, sorted by spelling; empties the store's
+  // copy. Blobs stay pinned to their segment mappings.
+  std::vector<TermState> TakeRecovered();
+
+  // Persists `live` (the peer's full primary index): writes a delta
+  // segment against the last flushed state, or a full compacted segment
+  // when past the threshold. No-op when nothing changed.
+  Status Flush(std::vector<TermState> live);
+
+  size_t segment_count() const { return segments_.size(); }
+  const std::string& directory() const { return directory_; }
+
+ private:
+  struct ManifestEntry {
+    std::string name;
+    uint32_t crc = 0;
+    uint64_t bytes = 0;
+  };
+
+  std::string SegmentPath(const std::string& name) const;
+  Status WriteManifest() const;
+
+  const std::string directory_;
+  const p2p::PeerId peer_id_;
+  const StoreOptions options_;
+  const size_t compact_threshold_;
+
+  std::vector<ManifestEntry> segments_;
+  std::map<std::string, uint64_t> flushed_versions_;
+  uint64_t next_segment_ = 1;
+  std::vector<TermState> recovered_;
+};
+
+}  // namespace sprite::store
+
+#endif  // SPRITE_STORE_PEER_STORE_H_

@@ -1,0 +1,301 @@
+#include "store/postings.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "store/varint.h"
+
+namespace sprite::store {
+
+namespace {
+
+constexpr uint8_t kMagic0 = 'P';
+constexpr uint8_t kMagic1 = 'B';
+constexpr uint8_t kFormatVersion = 1;
+constexpr size_t kHeaderPrefixBytes = 3;
+
+// Caps that keep size arithmetic far from overflow. The corpus layer hands
+// out dense uint32 doc ids and block sizes are config knobs, so real blobs
+// sit orders of magnitude below these.
+constexpr uint64_t kMaxCount = uint64_t{1} << 32;
+constexpr uint64_t kMaxBlockSize = uint64_t{1} << 20;
+
+Status Corrupt(const char* what) {
+  return Status::Corruption(std::string("posting blob: ") + what);
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint8_t>> EncodePostings(const PostingList& list,
+                                              size_t block_size) {
+  if (block_size == 0 || block_size > kMaxBlockSize) {
+    return Status::InvalidArgument("block_size out of range");
+  }
+  if (list.size() >= kMaxCount) {
+    return Status::InvalidArgument("posting list too large to encode");
+  }
+  std::vector<PeerId> owners;
+  owners.reserve(list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].doc == p2p::kInvalidDocId) {
+      return Status::InvalidArgument("posting has sentinel doc id");
+    }
+    if (i > 0 && list[i].doc <= list[i - 1].doc) {
+      return Status::InvalidArgument(
+          "posting docs must be strictly increasing");
+    }
+    owners.push_back(list[i].owner);
+  }
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderPrefixBytes + 8 + list.size() * 8);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kFormatVersion);
+  PutVarint64(out, list.size());
+  PutVarint64(out, block_size);
+  if (list.empty()) return out;
+
+  PutVarint64(out, list.back().doc);
+  PutVarint64(out, owners.size());
+  for (size_t i = 0; i < owners.size(); ++i) {
+    PutVarint64(out, i == 0 ? owners[0] : owners[i] - owners[i - 1]);
+  }
+
+  const size_t num_blocks = (list.size() + block_size - 1) / block_size;
+
+  // Encode block payloads first so the skip table can carry their lengths.
+  // Each block is columnar: five width bytes, then one bit-packed column
+  // per field at that block's own width (see the format comment in
+  // postings.h).
+  std::vector<uint8_t> payload;
+  payload.reserve(list.size() * 8);
+  std::vector<uint32_t> block_lengths(num_blocks, 0);
+  std::vector<uint64_t> gaps, owner_idx, tfs, lens, distincts;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block_size;
+    const size_t end = std::min(begin + block_size, list.size());
+    const size_t mark = payload.size();
+    gaps.clear();
+    owner_idx.clear();
+    tfs.clear();
+    lens.clear();
+    distincts.clear();
+    for (size_t i = begin; i < end; ++i) {
+      const PostingEntry& e = list[i];
+      if (i > begin) gaps.push_back(e.doc - list[i - 1].doc - 1);
+      const auto it = std::lower_bound(owners.begin(), owners.end(), e.owner);
+      owner_idx.push_back(static_cast<uint64_t>(it - owners.begin()));
+      tfs.push_back(e.term_freq);
+      lens.push_back(e.doc_length);
+      distincts.push_back(e.num_distinct_terms);
+    }
+    const auto width_of = [](const std::vector<uint64_t>& column) {
+      uint64_t max = 0;
+      for (const uint64_t v : column) max = std::max(max, v);
+      return BitWidth(max);
+    };
+    const uint32_t widths[5] = {width_of(gaps), width_of(owner_idx),
+                                width_of(tfs), width_of(lens),
+                                width_of(distincts)};
+    for (const uint32_t w : widths) {
+      payload.push_back(static_cast<uint8_t>(w));
+    }
+    PackBits(payload, gaps.data(), gaps.size(), widths[0]);
+    PackBits(payload, owner_idx.data(), owner_idx.size(), widths[1]);
+    PackBits(payload, tfs.data(), tfs.size(), widths[2]);
+    PackBits(payload, lens.data(), lens.size(), widths[3]);
+    PackBits(payload, distincts.data(), distincts.size(), widths[4]);
+    block_lengths[b] = static_cast<uint32_t>(payload.size() - mark);
+  }
+
+  PutVarint64(out, num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const DocId first = list[b * block_size].doc;
+    const DocId prev_first =
+        b == 0 ? 0 : list[(b - 1) * block_size].doc;
+    PutVarint64(out, b == 0 ? first : first - prev_first);
+    PutVarint64(out, block_lengths[b]);
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+StatusOr<CompressedPostingsPtr> CompressedPostings::Parse(BytesRef blob) {
+  const uint8_t* data = blob.data;
+  const size_t size = blob.size;
+  if (size < kHeaderPrefixBytes) return Corrupt("shorter than header");
+  if (data[0] != kMagic0 || data[1] != kMagic1) return Corrupt("bad magic");
+  if (data[2] != kFormatVersion) return Corrupt("unknown format version");
+
+  size_t pos = kHeaderPrefixBytes;
+  uint64_t count = 0, block_size = 0;
+  if (!GetVarint64(data, size, &pos, &count)) return Corrupt("count");
+  if (!GetVarint64(data, size, &pos, &block_size)) {
+    return Corrupt("block size");
+  }
+  if (count >= kMaxCount) return Corrupt("count out of range");
+  if (block_size == 0 || block_size > kMaxBlockSize) {
+    return Corrupt("block size out of range");
+  }
+
+  auto parsed = std::shared_ptr<CompressedPostings>(new CompressedPostings());
+  parsed->count_ = static_cast<size_t>(count);
+  parsed->block_size_ = static_cast<size_t>(block_size);
+
+  if (count == 0) {
+    if (pos != size) return Corrupt("trailing bytes after empty list");
+    parsed->blob_ = std::move(blob);
+    return CompressedPostingsPtr(std::move(parsed));
+  }
+
+  uint64_t last_doc = 0, num_owners = 0;
+  if (!GetVarint64(data, size, &pos, &last_doc)) return Corrupt("last doc");
+  if (last_doc >= p2p::kInvalidDocId) return Corrupt("last doc out of range");
+  if (!GetVarint64(data, size, &pos, &num_owners)) {
+    return Corrupt("owner count");
+  }
+  if (num_owners == 0 || num_owners > count) {
+    return Corrupt("owner count out of range");
+  }
+  parsed->owners_.reserve(static_cast<size_t>(num_owners));
+  uint64_t owner_acc = 0;
+  for (uint64_t i = 0; i < num_owners; ++i) {
+    uint64_t v = 0;
+    if (!GetVarint64(data, size, &pos, &v)) return Corrupt("owner table");
+    if (i > 0) {
+      if (v == 0) return Corrupt("owner table not strictly increasing");
+      if (v > std::numeric_limits<uint64_t>::max() - owner_acc) {
+        return Corrupt("owner table overflow");
+      }
+      owner_acc += v;
+    } else {
+      owner_acc = v;
+    }
+    parsed->owners_.push_back(owner_acc);
+  }
+
+  uint64_t num_blocks = 0;
+  if (!GetVarint64(data, size, &pos, &num_blocks)) {
+    return Corrupt("block count");
+  }
+  const uint64_t want_blocks = (count + block_size - 1) / block_size;
+  if (num_blocks != want_blocks) return Corrupt("block count mismatch");
+
+  parsed->skips_.reserve(static_cast<size_t>(num_blocks));
+  uint64_t first_acc = 0;
+  uint64_t payload_bytes = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint64_t delta = 0, length = 0;
+    if (!GetVarint64(data, size, &pos, &delta)) return Corrupt("skip table");
+    if (!GetVarint64(data, size, &pos, &length)) return Corrupt("skip table");
+    if (b > 0 && delta == 0) return Corrupt("skip docs not increasing");
+    first_acc = b == 0 ? delta : first_acc + delta;
+    if (first_acc > last_doc) return Corrupt("skip doc past last doc");
+    if (length == 0 || length > size) return Corrupt("block length");
+    Skip skip;
+    skip.first_doc = static_cast<DocId>(first_acc);
+    skip.length = static_cast<uint32_t>(length);
+    payload_bytes += length;
+    parsed->skips_.push_back(skip);
+  }
+  if (payload_bytes != size - pos) return Corrupt("payload extent mismatch");
+  uint64_t offset = pos;
+  for (auto& skip : parsed->skips_) {
+    skip.offset = static_cast<uint32_t>(offset);
+    offset += skip.length;
+  }
+
+  parsed->last_doc_ = static_cast<DocId>(last_doc);
+  parsed->blob_ = std::move(blob);
+  return CompressedPostingsPtr(std::move(parsed));
+}
+
+size_t CompressedPostings::BlockEntries(size_t index) const {
+  if (index + 1 < skips_.size()) return block_size_;
+  return count_ - (skips_.size() - 1) * block_size_;
+}
+
+Status CompressedPostings::DecodeBlock(size_t index, PostingList* out) const {
+  if (index >= skips_.size()) return Corrupt("block index out of range");
+  const Skip& skip = skips_[index];
+  const uint8_t* data = blob_.data;
+  const size_t limit = static_cast<size_t>(skip.offset) + skip.length;
+  size_t pos = skip.offset;
+  const size_t entries = BlockEntries(index);
+  const DocId block_limit = index + 1 < skips_.size()
+                                ? skips_[index + 1].first_doc
+                                : static_cast<DocId>(last_doc_ + 1);
+  if (limit - pos < 5) return Corrupt("block widths truncated");
+  uint32_t widths[5];
+  for (uint32_t& w : widths) {
+    w = data[pos++];
+    if (w > 32) return Corrupt("column width out of range");
+  }
+  std::vector<uint64_t> gaps, owner_idx, tfs, lens, distincts;
+  if (!UnpackBits(data, limit, &pos, entries - 1, widths[0], &gaps) ||
+      !UnpackBits(data, limit, &pos, entries, widths[1], &owner_idx) ||
+      !UnpackBits(data, limit, &pos, entries, widths[2], &tfs) ||
+      !UnpackBits(data, limit, &pos, entries, widths[3], &lens) ||
+      !UnpackBits(data, limit, &pos, entries, widths[4], &distincts)) {
+    return Corrupt("posting columns truncated");
+  }
+  if (pos != limit) return Corrupt("trailing bytes in block");
+  DocId prev = skip.first_doc;
+  for (size_t i = 0; i < entries; ++i) {
+    PostingEntry entry;
+    if (i > 0) {
+      const uint64_t gap = gaps[i - 1] + 1;
+      if (gap > last_doc_ - prev) return Corrupt("doc gap out of range");
+      prev = static_cast<DocId>(prev + gap);
+    }
+    if (prev >= block_limit) return Corrupt("doc past block bound");
+    entry.doc = prev;
+    if (owner_idx[i] >= owners_.size()) return Corrupt("owner index");
+    entry.owner = owners_[owner_idx[i]];
+    entry.term_freq = static_cast<uint32_t>(tfs[i]);
+    entry.doc_length = static_cast<uint32_t>(lens[i]);
+    entry.num_distinct_terms = static_cast<uint32_t>(distincts[i]);
+    out->push_back(entry);
+  }
+  if (index + 1 == skips_.size() && prev != last_doc_) {
+    return Corrupt("last doc mismatch");
+  }
+  return Status::OK();
+}
+
+Status CompressedPostings::DecodeAll(PostingList* out) const {
+  out->reserve(out->size() + count_);
+  for (size_t b = 0; b < skips_.size(); ++b) {
+    SPRITE_RETURN_IF_ERROR(DecodeBlock(b, out));
+  }
+  return Status::OK();
+}
+
+bool CompressedPostings::FindDoc(DocId doc, PostingEntry* out) const {
+  if (count_ == 0 || doc > last_doc_) return false;
+  // Last block whose first_doc <= doc.
+  size_t lo = 0, hi = skips_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (skips_[mid].first_doc <= doc) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (skips_[lo].first_doc > doc) return false;
+  PostingList block;
+  block.reserve(BlockEntries(lo));
+  if (!DecodeBlock(lo, &block).ok()) return false;
+  const auto it = std::lower_bound(
+      block.begin(), block.end(), doc,
+      [](const PostingEntry& e, DocId d) { return e.doc < d; });
+  if (it == block.end() || it->doc != doc) return false;
+  if (out != nullptr) *out = *it;
+  return true;
+}
+
+}  // namespace sprite::store

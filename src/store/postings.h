@@ -1,0 +1,109 @@
+#ifndef SPRITE_STORE_POSTINGS_H_
+#define SPRITE_STORE_POSTINGS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "p2p/message.h"
+#include "store/bytes.h"
+
+namespace sprite::store {
+
+using p2p::DocId;
+using p2p::PeerId;
+using p2p::PostingEntry;
+using PostingList = std::vector<PostingEntry>;
+
+// ---------------------------------------------------------------------------
+// Compressed posting blocks (DESIGN.md §15).
+//
+// A posting list sorted by strictly increasing doc id is encoded into one
+// self-describing blob:
+//
+//   'P' 'B' version=1
+//   varint count                       number of postings
+//   varint block_size                  postings per block (last may be short)
+//   varint last_doc                    doc id of the final posting (count>0)
+//   varint num_owners                  distinct owner peers, sorted
+//   varint owner[0], varint gap...     delta-encoded sorted owner table
+//   varint num_blocks
+//   per block: varint first_doc delta  (block 0 absolute, then gaps >= 1)
+//              varint block_bytes      payload length of the block
+//   block payloads, concatenated
+//
+// A block payload is columnar and bit-packed: five width bytes (bits per
+// value, 0..32, for the doc-gap, owner-index, term_freq, doc_length and
+// num_distinct_terms columns), then the five columns in that order, each
+// packed LSB-first at the block's own width and zero-padded to a byte.
+// The first posting's doc id is the skip entry's first_doc; the gap
+// column holds (doc - prev_doc - 1) for the remaining n-1 postings. The
+// skip table lets FindDoc decode a single block, and lets merges stream
+// block-at-a-time.
+// ---------------------------------------------------------------------------
+
+// Encodes `list` (strictly increasing doc ids, none kInvalidDocId) into a
+// blob. kInvalidArgument on unsorted/duplicate/sentinel doc ids.
+StatusOr<std::vector<uint8_t>> EncodePostings(const PostingList& list,
+                                              size_t block_size);
+
+// A parsed, immutable compressed list. The header (owner + skip tables) is
+// decoded eagerly at Parse; block payloads decode lazily, one block at a
+// time. The blob bytes are borrowed via BytesRef and may live in a
+// memory-mapped segment.
+class CompressedPostings {
+ public:
+  // Structurally validates `blob` (magic, header varints, table monotonic-
+  // ity, block extents covering the payload exactly) without decoding the
+  // blocks. kCorruption on any violation.
+  static StatusOr<std::shared_ptr<const CompressedPostings>> Parse(
+      BytesRef blob);
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  size_t block_size() const { return block_size_; }
+  size_t num_blocks() const { return skips_.size(); }
+  DocId last_doc() const { return last_doc_; }
+  size_t encoded_bytes() const { return blob_.size; }
+  const std::vector<PeerId>& owners() const { return owners_; }
+
+  // Number of postings held by block `index`.
+  size_t BlockEntries(size_t index) const;
+
+  // Appends block `index`'s postings to `out`. kCorruption if the payload
+  // does not decode to exactly the expected entries with strictly
+  // increasing in-range doc ids.
+  Status DecodeBlock(size_t index, PostingList* out) const;
+
+  // Appends every posting to `out` in doc order.
+  Status DecodeAll(PostingList* out) const;
+
+  // Seeks `doc` via the skip table, decoding at most one block. Returns
+  // true and fills `*out` when present; false when absent or when the
+  // containing block fails to decode.
+  bool FindDoc(DocId doc, PostingEntry* out) const;
+
+ private:
+  struct Skip {
+    DocId first_doc = 0;
+    uint32_t offset = 0;  // payload start, absolute within the blob
+    uint32_t length = 0;  // payload bytes
+  };
+
+  CompressedPostings() = default;
+
+  BytesRef blob_;
+  size_t count_ = 0;
+  size_t block_size_ = 0;
+  DocId last_doc_ = 0;
+  std::vector<PeerId> owners_;
+  std::vector<Skip> skips_;
+};
+
+using CompressedPostingsPtr = std::shared_ptr<const CompressedPostings>;
+
+}  // namespace sprite::store
+
+#endif  // SPRITE_STORE_POSTINGS_H_

@@ -1,0 +1,78 @@
+#ifndef SPRITE_STORE_SEGMENT_H_
+#define SPRITE_STORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "p2p/message.h"
+#include "store/bytes.h"
+
+namespace sprite::store {
+
+// ---------------------------------------------------------------------------
+// On-disk segment files (DESIGN.md §15).
+//
+// One segment is a self-contained batch of term records written by a single
+// flush, immutable once renamed into place:
+//
+//   magic   "SPRSEG1\n"                    8 bytes
+//   varint  peer_id                        ring id of the owning peer
+//   varint  record_count
+//   records × record_count:
+//     varint term_len, term bytes          the spelling (TermIds are
+//                                          process-local handles)
+//     varint term_version                  replication/version-check clock
+//     varint blob_len, blob bytes          EncodePostings blob; len==0 is a
+//                                          tombstone (term withdrawn)
+//   footer  uint32 LE CRC32                over every preceding byte — the
+//                                          same polynomial as net/wire's
+//                                          frame checksums
+// ---------------------------------------------------------------------------
+
+inline constexpr char kSegmentMagic[8] = {'S', 'P', 'R', 'S',
+                                          'E', 'G', '1', '\n'};
+
+// One record of a segment, for writing or as read back. When read, `blob`
+// borrows from the segment's memory mapping.
+struct SegmentRecord {
+  std::string term;
+  uint64_t version = 0;
+  BytesRef blob;            // unset when tombstone
+  bool tombstone = false;
+};
+
+// A record staged for writing. Tombstones carry an empty blob.
+struct SegmentRecordIn {
+  std::string term;
+  uint64_t version = 0;
+  std::vector<uint8_t> blob;
+  bool tombstone = false;
+};
+
+// Serializes `records` into a segment image (header + records + CRC
+// footer) for `peer_id`.
+std::vector<uint8_t> BuildSegment(p2p::PeerId peer_id,
+                                  const std::vector<SegmentRecordIn>& records);
+
+// Writes `image` to `path` atomically (tmp file + rename). kUnavailable on
+// I/O failure.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& image);
+
+// The CRC32 footer value of a built segment image.
+uint32_t SegmentCrc(const std::vector<uint8_t>& image);
+
+// Memory-maps and validates the segment at `path`: magic, CRC footer
+// (against the file and, when `expected_crc` is non-null, the manifest),
+// peer id, and record structure. Returned blobs borrow from the mapping,
+// which stays pinned by their BytesRef owners. kCorruption on any damage;
+// kNotFound when the file is missing.
+StatusOr<std::vector<SegmentRecord>> ReadSegment(const std::string& path,
+                                                 p2p::PeerId expected_peer,
+                                                 const uint32_t* expected_crc);
+
+}  // namespace sprite::store
+
+#endif  // SPRITE_STORE_SEGMENT_H_

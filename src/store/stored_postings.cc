@@ -1,0 +1,211 @@
+#include "store/stored_postings.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace sprite::store {
+
+namespace {
+
+// True when the tail has grown enough that folding it into the sealed blob
+// amortizes: at least one full block, and at least 1/8th of the sealed
+// prefix (so long lists re-encode O(log) times, not per append).
+bool ShouldSeal(size_t tail_size, size_t sealed_size, size_t block_size) {
+  return tail_size >= block_size && tail_size * 8 >= sealed_size;
+}
+
+// lower_bound by doc id over a sorted raw list.
+PostingList::const_iterator FindInTail(const PostingList& tail, DocId doc) {
+  return std::lower_bound(
+      tail.begin(), tail.end(), doc,
+      [](const PostingEntry& e, DocId d) { return e.doc < d; });
+}
+
+}  // namespace
+
+StoredPostingsPtr StoredPostings::New(CompressedPostingsPtr sealed,
+                                      PostingList tail,
+                                      const StoreOptions& options) {
+  return StoredPostingsPtr(
+      new StoredPostings(std::move(sealed), std::move(tail), options));
+}
+
+StoredPostingsPtr StoredPostings::Empty(const StoreOptions& options) {
+  return New(nullptr, PostingList{}, options);
+}
+
+StoredPostingsPtr StoredPostings::Rebuild(PostingList all,
+                                          const StoreOptions& options) {
+  if (all.size() < options.compress_min_entries) {
+    return New(nullptr, std::move(all), options);
+  }
+  StatusOr<std::vector<uint8_t>> blob =
+      EncodePostings(all, options.block_size);
+  assert(blob.ok());
+  StatusOr<CompressedPostingsPtr> sealed =
+      CompressedPostings::Parse(BytesRef::Own(std::move(blob).value()));
+  assert(sealed.ok());
+  return New(std::move(sealed).value(), PostingList{}, options);
+}
+
+StatusOr<StoredPostingsPtr> StoredPostings::FromList(
+    PostingList list, const StoreOptions& options) {
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].doc == p2p::kInvalidDocId) {
+      return Status::InvalidArgument("posting has sentinel doc id");
+    }
+    if (i > 0 && list[i].doc <= list[i - 1].doc) {
+      return Status::InvalidArgument(
+          "posting docs must be strictly increasing");
+    }
+  }
+  return Rebuild(std::move(list), options);
+}
+
+StoredPostingsPtr StoredPostings::FromSortedList(PostingList list,
+                                                 const StoreOptions& options) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < list.size(); ++i) {
+    assert(list[i - 1].doc < list[i].doc);
+  }
+#endif
+  return Rebuild(std::move(list), options);
+}
+
+StoredPostingsPtr StoredPostings::FromCompressed(
+    CompressedPostingsPtr compressed, const StoreOptions& options) {
+  assert(compressed != nullptr);
+  return New(std::move(compressed), PostingList{}, options);
+}
+
+bool StoredPostings::FindDoc(DocId doc, PostingEntry* out) const {
+  if (sealed_ != nullptr && doc <= sealed_->last_doc() && !sealed_->empty()) {
+    return sealed_->FindDoc(doc, out);
+  }
+  const auto it = FindInTail(tail_, doc);
+  if (it == tail_.end() || it->doc != doc) return false;
+  if (out != nullptr) *out = *it;
+  return true;
+}
+
+std::shared_ptr<const PostingList> StoredPostings::Snapshot() const {
+  if (sealed_ == nullptr) {
+    // Raw lists alias the tail in place: a snapshot is a refcount bump on
+    // this object's own control block, no copy. Built per call — memoizing
+    // the self-alias in a member would be a shared_ptr cycle — but the
+    // stored pointer is always &tail_, so snapshot identity is stable.
+    return std::shared_ptr<const PostingList>(shared_from_this(), &tail_);
+  }
+  std::call_once(snapshot_once_, [this] {
+    auto decoded = std::make_shared<PostingList>();
+    decoded->reserve(size());
+    const Status st = sealed_->DecodeAll(decoded.get());
+    assert(st.ok());
+    (void)st;
+    decoded->insert(decoded->end(), tail_.begin(), tail_.end());
+    snapshot_ = std::move(decoded);
+  });
+  return snapshot_;
+}
+
+StoredPostingsPtr StoredPostings::Upserted(const PostingEntry& entry,
+                                           bool* changed) const {
+  assert(entry.doc != p2p::kInvalidDocId);
+  if (changed != nullptr) *changed = false;
+  const bool past_sealed = sealed_ == nullptr || sealed_->empty() ||
+                           entry.doc > sealed_->last_doc();
+  if (past_sealed) {
+    const auto it = FindInTail(tail_, entry.doc);
+    if (it != tail_.end() && it->doc == entry.doc) {
+      if (*it == entry) return shared_from_this();
+      PostingList tail = tail_;
+      tail[static_cast<size_t>(it - tail_.begin())] = entry;
+      if (changed != nullptr) *changed = true;
+      return New(sealed_, std::move(tail), options_);
+    }
+    if (changed != nullptr) *changed = true;
+    PostingList tail;
+    tail.reserve(tail_.size() + 1);
+    tail.assign(tail_.begin(), it);
+    tail.push_back(entry);
+    tail.insert(tail.end(), it, tail_.end());
+    if (ShouldSeal(tail.size(), sealed_count(), options_.block_size)) {
+      PostingList all;
+      all.reserve(sealed_count() + tail.size());
+      if (sealed_ != nullptr) {
+        const Status st = sealed_->DecodeAll(&all);
+        assert(st.ok());
+        (void)st;
+      }
+      all.insert(all.end(), tail.begin(), tail.end());
+      return Rebuild(std::move(all), options_);
+    }
+    return New(sealed_, std::move(tail), options_);
+  }
+
+  // The doc lands inside the sealed prefix: compare in place, and only on
+  // a real content change pay the full decode + re-encode.
+  PostingEntry existing;
+  if (sealed_->FindDoc(entry.doc, &existing) && existing == entry) {
+    return shared_from_this();
+  }
+  if (changed != nullptr) *changed = true;
+  PostingList all;
+  all.reserve(size() + 1);
+  const Status st = sealed_->DecodeAll(&all);
+  assert(st.ok());
+  (void)st;
+  const auto it = FindInTail(all, entry.doc);
+  if (it != all.end() && it->doc == entry.doc) {
+    all[static_cast<size_t>(it - all.begin())] = entry;
+  } else {
+    all.insert(it, entry);
+  }
+  all.insert(all.end(), tail_.begin(), tail_.end());
+  return Rebuild(std::move(all), options_);
+}
+
+StoredPostingsPtr StoredPostings::Erased(DocId doc, bool* erased) const {
+  if (erased != nullptr) *erased = false;
+  const bool in_sealed = sealed_ != nullptr && !sealed_->empty() &&
+                         doc <= sealed_->last_doc();
+  if (in_sealed) {
+    if (!sealed_->FindDoc(doc, nullptr)) return shared_from_this();
+    if (erased != nullptr) *erased = true;
+    PostingList all;
+    all.reserve(size() - 1);
+    const Status st = sealed_->DecodeAll(&all);
+    assert(st.ok());
+    (void)st;
+    const auto it = FindInTail(all, doc);
+    assert(it != all.end() && it->doc == doc);
+    all.erase(it);
+    all.insert(all.end(), tail_.begin(), tail_.end());
+    return Rebuild(std::move(all), options_);
+  }
+  const auto it = FindInTail(tail_, doc);
+  if (it == tail_.end() || it->doc != doc) return shared_from_this();
+  if (erased != nullptr) *erased = true;
+  PostingList tail;
+  tail.reserve(tail_.size() - 1);
+  tail.assign(tail_.begin(), it);
+  tail.insert(tail.end(), it + 1, tail_.end());
+  return New(sealed_, std::move(tail), options_);
+}
+
+bool StoredPostings::SameContent(const StoredPostings& other) const {
+  if (this == &other) return true;
+  if (size() != other.size()) return false;
+  if (empty()) return true;
+  return *Snapshot() == *other.Snapshot();
+}
+
+std::vector<uint8_t> StoredPostings::EncodeAll() const {
+  StatusOr<std::vector<uint8_t>> blob =
+      EncodePostings(*Snapshot(), options_.block_size);
+  assert(blob.ok());
+  return std::move(blob).value();
+}
+
+}  // namespace sprite::store

@@ -1,0 +1,115 @@
+#ifndef SPRITE_STORE_VARINT_H_
+#define SPRITE_STORE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sprite::store {
+
+// LEB128 unsigned varints — the integer wire format of the posting blocks
+// and segment records. 1 byte for values < 128, up to 10 for a full
+// uint64. Little-endian groups of 7 bits, high bit = continuation.
+
+inline void PutVarint64(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+// Decodes one varint from [*pos, limit). Returns false on truncation or a
+// varint longer than 10 bytes (the canonical uint64 maximum); *pos is
+// advanced past the decoded bytes on success.
+inline bool GetVarint64(const uint8_t* data, size_t limit, size_t* pos,
+                        uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (p < limit && shift < 64) {
+    const uint8_t byte = data[p++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+// Encoded size of `v`, without writing it.
+inline size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// --- Fixed-width bit packing — the posting blocks' column format ----------
+//
+// `n` values at `width` bits each, LSB-first within and across bytes, the
+// final byte zero-padded. A column of n values occupies exactly
+// (n * width + 7) / 8 bytes; width 0 occupies nothing (all values zero).
+
+// Bits needed to represent `v` (0 for v == 0).
+inline uint32_t BitWidth(uint64_t v) {
+  uint32_t w = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++w;
+  }
+  return w;
+}
+
+inline size_t PackedBytes(size_t n, uint32_t width) {
+  return (n * width + 7) / 8;
+}
+
+inline void PackBits(std::vector<uint8_t>& out, const uint64_t* values,
+                     size_t n, uint32_t width) {
+  uint64_t acc = 0;
+  uint32_t bits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc |= values[i] << bits;  // bits < 8 and width <= 32: no overflow
+    bits += width;
+    while (bits >= 8) {
+      out.push_back(static_cast<uint8_t>(acc));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  if (bits > 0) out.push_back(static_cast<uint8_t>(acc));
+}
+
+// Appends `n` values to `*out` from the column at [*pos, limit); false on
+// truncation. *pos advances past the whole column including pad bits.
+inline bool UnpackBits(const uint8_t* data, size_t limit, size_t* pos,
+                       size_t n, uint32_t width, std::vector<uint64_t>* out) {
+  const size_t bytes = PackedBytes(n, width);
+  if (limit < *pos || limit - *pos < bytes) return false;
+  const uint64_t mask =
+      width == 0 ? 0 : (~uint64_t{0} >> (64 - width));
+  uint64_t acc = 0;
+  uint32_t bits = 0;
+  size_t p = *pos;
+  for (size_t i = 0; i < n; ++i) {
+    while (bits < width) {
+      acc |= static_cast<uint64_t>(data[p++]) << bits;
+      bits += 8;
+    }
+    out->push_back(acc & mask);
+    acc >>= width;
+    bits -= width;
+  }
+  *pos += bytes;
+  return true;
+}
+
+}  // namespace sprite::store
+
+#endif  // SPRITE_STORE_VARINT_H_

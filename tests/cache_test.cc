@@ -33,6 +33,12 @@ core::PostingListPtr PL(std::vector<core::PostingEntry> entries) {
   return std::make_shared<core::PostingList>(std::move(entries));
 }
 
+// The immutable store object StoreReplica / CachePostings / the posting
+// cache tier now hold (entries must be doc-sorted).
+core::StoredPostingsPtr SP(std::vector<core::PostingEntry> entries) {
+  return core::StoredPostings::FromSortedList(std::move(entries), {});
+}
+
 // --- LruTtlCache --------------------------------------------------------
 
 TEST(LruTtlCacheTest, HitRefreshesRecencyAndCapEvictsLru) {
@@ -189,7 +195,7 @@ TEST(TermVersionTest, RemovePostingBumpsWhenAnyStoreChanges) {
   // A withdrawal that only scrubs the replica store still changes what
   // this peer can serve, so it must bump too (even though it returns
   // false: no primary posting was present).
-  peer.StoreReplica(T("dog"), PL({P(7, 2)}));
+  peer.StoreReplica(T("dog"), SP({P(7, 2)}));
   const uint64_t dog_v = peer.TermVersion(T("dog"));
   EXPECT_FALSE(peer.RemovePosting(T("dog"), 7));
   EXPECT_EQ(peer.TermVersion(T("dog")), dog_v + 1);
@@ -197,15 +203,15 @@ TEST(TermVersionTest, RemovePostingBumpsWhenAnyStoreChanges) {
 
 TEST(TermVersionTest, StoreReplicaBumpsOnlyWhenContentDiffers) {
   core::IndexingPeer peer(1, 8);
-  peer.StoreReplica(T("cat"), PL({P(1, 3)}));
+  peer.StoreReplica(T("cat"), SP({P(1, 3)}));
   EXPECT_EQ(peer.TermVersion(T("cat")), 1u);
   // Periodic refresh, same content — even as a distinct snapshot object.
-  peer.StoreReplica(T("cat"), PL({P(1, 3)}));
+  peer.StoreReplica(T("cat"), SP({P(1, 3)}));
   EXPECT_EQ(peer.TermVersion(T("cat")), 1u);
-  peer.StoreReplica(T("cat"), PL({P(1, 3), P(2, 1)}));
+  peer.StoreReplica(T("cat"), SP({P(1, 3), P(2, 1)}));
   EXPECT_EQ(peer.TermVersion(T("cat")), 2u);
   // An empty snapshot over an empty slot is not a change either.
-  peer.StoreReplica(T("emu"), PL({}));
+  peer.StoreReplica(T("emu"), SP({}));
   EXPECT_EQ(peer.TermVersion(T("emu")), 0u);
 }
 
@@ -264,7 +270,7 @@ TEST(CacheManagerTest, ClearStatsResetsBothViewsButKeepsContents) {
   const ResultKey key = RK({"cat"}, 10);
   cm.InsertResult(1, key, MakeResult(5, 2, 1), 0.0);
   CachedPostings cp;
-  cp.postings = PL({P(5, 3)});
+  cp.postings = SP({P(5, 3)});
   cp.source = TermSource{2, 1};
   cm.InsertPostings(1, T("cat"), std::move(cp), 0.0);
   ASSERT_NE(cm.LookupResult(1, key, 0.0), nullptr);

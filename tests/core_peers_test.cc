@@ -41,6 +41,12 @@ PostingListPtr PL(std::vector<PostingEntry> entries) {
   return std::make_shared<PostingList>(std::move(entries));
 }
 
+// Wraps doc-sorted entries in the immutable store object StoreReplica /
+// CachePostings now take.
+StoredPostingsPtr SP(std::vector<PostingEntry> entries) {
+  return StoredPostings::FromSortedList(std::move(entries), {});
+}
+
 // Adapter keeping the poll tests in the string domain: interns the terms
 // and derives the ring keys the caller of CollectQueriesForPoll now
 // precomputes from the TermDict.
@@ -101,7 +107,7 @@ TEST(IndexingPeerTest, RemovePosting) {
 
 TEST(IndexingPeerTest, ReplicaServesWhenPrimaryAbsent) {
   IndexingPeer peer(1, 100);
-  peer.StoreReplica(T("cat"), PL({Posting(3)}));
+  peer.StoreReplica(T("cat"), SP({Posting(3)}));
   ASSERT_NE(peer.Postings(T("cat")), nullptr);
   EXPECT_EQ(peer.Postings(T("cat"))->front().doc, 3u);
   // Replica does not count toward the primary indexed document frequency.
@@ -113,7 +119,7 @@ TEST(IndexingPeerTest, ReplicaServesWhenPrimaryAbsent) {
 
 TEST(IndexingPeerTest, PrimaryShadowsReplica) {
   IndexingPeer peer(1, 100);
-  peer.StoreReplica(T("cat"), PL({Posting(3)}));
+  peer.StoreReplica(T("cat"), SP({Posting(3)}));
   peer.AddPosting(T("cat"), Posting(5));
   EXPECT_EQ(peer.Postings(T("cat"))->front().doc, 5u);
 }
@@ -144,8 +150,8 @@ TEST(IndexingPeerTest, SnapshotIsImmuneToLaterMutations) {
 TEST(IndexingPeerTest, RemovePostingScrubsReplicaAndCache) {
   IndexingPeer peer(1, 100);
   peer.AddPosting(T("cat"), Posting(7));
-  peer.StoreReplica(T("cat"), PL({Posting(7), Posting(8)}));
-  peer.CachePostings(T("cat"), PL({Posting(7)}));
+  peer.StoreReplica(T("cat"), SP({Posting(7), Posting(8)}));
+  peer.CachePostings(T("cat"), SP({Posting(7)}));
 
   EXPECT_TRUE(peer.RemovePosting(T("cat"), 7));
 

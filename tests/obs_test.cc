@@ -505,6 +505,43 @@ TEST_F(ObsIntegrationTest, ExportLoadMetricsPublishesGaugesAndSkew) {
   EXPECT_GT(labeled, 0u);
 }
 
+// The posting-store byte gauges (ISSUE 9): raw vs encoded resident bytes
+// per peer plus cluster totals and their quotient, published alongside the
+// other load.* gauges and — per the §8 reset audit — erased with them by
+// ClearMetrics().
+TEST_F(ObsIntegrationTest, ExportLoadMetricsPublishesCompressionGauges) {
+  core::SpriteSystem system(SmallConfig());
+  ASSERT_TRUE(system.ShareCorpus(corpus_).ok());
+  system.ExportLoadMetrics();
+
+  const MetricsRegistry& m = system.metrics();
+  const double raw = m.gauge("load.posting_bytes_raw.total");
+  const double encoded = m.gauge("load.posting_bytes_encoded.total");
+  EXPECT_GT(raw, 0.0);
+  EXPECT_GT(encoded, 0.0);
+  // Raw charges sizeof(PostingEntry) per posting; short lists are stored
+  // raw and long ones shrink, so encoded never exceeds raw.
+  EXPECT_LE(encoded, raw);
+  EXPECT_GE(m.gauge("load.posting_compression_ratio"), 1.0);
+
+  const auto labeled_count = [&system](const char* name) {
+    size_t count = 0;
+    for (const GaugeSample& g : system.metrics().Snapshot().gauges) {
+      if (g.id.name == name && !g.id.label.empty()) ++count;
+    }
+    return count;
+  };
+  EXPECT_GT(labeled_count("load.posting_bytes_raw"), 0u);
+  EXPECT_GT(labeled_count("load.posting_bytes_encoded"), 0u);
+
+  system.ClearMetrics();
+  EXPECT_EQ(m.gauge("load.posting_bytes_raw.total"), 0.0);
+  EXPECT_EQ(m.gauge("load.posting_bytes_encoded.total"), 0.0);
+  EXPECT_EQ(m.gauge("load.posting_compression_ratio"), 0.0);
+  EXPECT_EQ(labeled_count("load.posting_bytes_raw"), 0u);
+  EXPECT_EQ(labeled_count("load.posting_bytes_encoded"), 0u);
+}
+
 // --- Time-series recorder ----------------------------------------------
 
 TEST(TimeSeriesTest, DisabledCaptureIsNoOp) {

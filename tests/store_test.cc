@@ -1,0 +1,451 @@
+// Tests for src/store: the compressed posting codec (delta+varint blocks
+// with skip entries), the immutable StoredPostings wrapper the peers hold,
+// and the durable per-peer segment store (mmap + CRC validation, manifest
+// replay, delta flushes, compaction). The corruption cases assert the
+// typed kCorruption contract: damaged bytes must never decode.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/peer_store.h"
+#include "store/postings.h"
+#include "store/segment.h"
+#include "store/stored_postings.h"
+#include "store/varint.h"
+
+namespace sprite::store {
+namespace {
+
+PostingEntry Posting(DocId doc, uint64_t owner = 99, uint32_t tf = 1,
+                     uint32_t len = 10, uint32_t distinct = 5) {
+  return PostingEntry{doc, owner, tf, len, distinct};
+}
+
+// Field-wise equality: PostingEntry has padding, so memcmp is unreliable.
+bool SameEntry(const PostingEntry& a, const PostingEntry& b) {
+  return a.doc == b.doc && a.owner == b.owner && a.term_freq == b.term_freq &&
+         a.doc_length == b.doc_length &&
+         a.num_distinct_terms == b.num_distinct_terms;
+}
+
+bool SameEntries(const PostingList& a, const PostingList& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameEntry(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+// Encode + Parse + DecodeAll must reproduce the input bit for bit.
+void ExpectRoundTrip(const PostingList& list, size_t block_size) {
+  StatusOr<std::vector<uint8_t>> blob = EncodePostings(list, block_size);
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  StatusOr<CompressedPostingsPtr> parsed =
+      CompressedPostings::Parse(BytesRef::Own(std::move(blob).value()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const CompressedPostings& cp = **parsed;
+  EXPECT_EQ(cp.size(), list.size());
+  PostingList decoded;
+  ASSERT_TRUE(cp.DecodeAll(&decoded).ok());
+  EXPECT_TRUE(SameEntries(decoded, list));
+  // FindDoc agrees entry by entry.
+  for (const PostingEntry& want : list) {
+    PostingEntry got;
+    ASSERT_TRUE(cp.FindDoc(want.doc, &got)) << want.doc;
+    EXPECT_TRUE(SameEntry(want, got)) << want.doc;
+  }
+}
+
+// --- Codec ---------------------------------------------------------------
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                     0xFFFFFFFFull, ~0ull}) {
+    std::vector<uint8_t> buf;
+    PutVarint64(buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v));
+    size_t pos = 0;
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, RejectsTruncation) {
+  std::vector<uint8_t> buf;
+  PutVarint64(buf, ~0ull);
+  for (size_t limit = 0; limit < buf.size(); ++limit) {
+    size_t pos = 0;
+    uint64_t out = 0;
+    EXPECT_FALSE(GetVarint64(buf.data(), limit, &pos, &out)) << limit;
+  }
+}
+
+TEST(PostingCodecTest, RoundTripsEmptyList) { ExpectRoundTrip({}, 64); }
+
+TEST(PostingCodecTest, RoundTripsSingleEntry) {
+  ExpectRoundTrip({Posting(42, 0xDEADBEEFCAFEF00DULL, 3, 17, 9)}, 64);
+}
+
+TEST(PostingCodecTest, RoundTripsMaxGapsAndFieldExtremes) {
+  // Largest representable doc (kInvalidDocId is the sentinel and stays
+  // unencodable) reached in one maximal gap, with every u32 field at max.
+  const DocId max_doc = p2p::kInvalidDocId - 1;
+  ExpectRoundTrip({Posting(0, 1, ~0u, ~0u, ~0u),
+                   Posting(max_doc, ~0ull, ~0u, ~0u, ~0u)},
+                  64);
+}
+
+TEST(PostingCodecTest, RoundTripsAcrossBlockBoundaries) {
+  PostingList list;
+  for (DocId d = 0; d < 300; ++d) {
+    list.push_back(Posting(d * 7 + 1, /*owner=*/d % 5, d % 13 + 1));
+  }
+  for (size_t block_size : {1u, 3u, 64u, 1024u}) {
+    ExpectRoundTrip(list, block_size);
+  }
+  // FindDoc misses between and beyond entries.
+  StatusOr<std::vector<uint8_t>> blob = EncodePostings(list, 64);
+  ASSERT_TRUE(blob.ok());
+  StatusOr<CompressedPostingsPtr> parsed =
+      CompressedPostings::Parse(BytesRef::Own(std::move(blob).value()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE((*parsed)->FindDoc(2, nullptr));         // between docs
+  EXPECT_FALSE((*parsed)->FindDoc(300 * 7 + 1, nullptr));  // past the end
+}
+
+TEST(PostingCodecTest, RejectsNonMonotonicDocIds) {
+  StatusOr<std::vector<uint8_t>> unsorted =
+      EncodePostings({Posting(5), Posting(3)}, 64);
+  EXPECT_TRUE(unsorted.status().IsInvalidArgument());
+  StatusOr<std::vector<uint8_t>> duplicate =
+      EncodePostings({Posting(5), Posting(5)}, 64);
+  EXPECT_TRUE(duplicate.status().IsInvalidArgument());
+  StatusOr<std::vector<uint8_t>> sentinel =
+      EncodePostings({Posting(p2p::kInvalidDocId)}, 64);
+  EXPECT_TRUE(sentinel.status().IsInvalidArgument());
+  EXPECT_TRUE(EncodePostings({Posting(1)}, 0).status().IsInvalidArgument());
+}
+
+TEST(PostingCodecTest, ParseRejectsDamage) {
+  PostingList list;
+  for (DocId d = 0; d < 100; ++d) list.push_back(Posting(d * 3 + 2));
+  StatusOr<std::vector<uint8_t>> encoded = EncodePostings(list, 16);
+  ASSERT_TRUE(encoded.ok());
+  const std::vector<uint8_t> good = std::move(encoded).value();
+
+  {  // Bad magic.
+    std::vector<uint8_t> bad = good;
+    bad[0] ^= 0xFF;
+    StatusOr<CompressedPostingsPtr> parsed =
+        CompressedPostings::Parse(BytesRef::Own(std::move(bad)));
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+  }
+  // Truncation anywhere in the header/tables must fail Parse (payload
+  // truncation shortens a block extent, which Parse's exact-cover check
+  // also catches).
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> bad(good.begin(), good.begin() + len);
+    StatusOr<CompressedPostingsPtr> parsed =
+        CompressedPostings::Parse(BytesRef::Own(std::move(bad)));
+    EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+  }
+}
+
+// --- StoredPostings ------------------------------------------------------
+
+TEST(StoredPostingsTest, UpsertEraseRoundTripAndSealing) {
+  StoreOptions options;
+  options.block_size = 8;
+  options.compress_min_entries = 4;
+  StoredPostingsPtr stored = StoredPostings::Empty(options);
+  // Ascending appends: the peers' publish order.
+  for (DocId d = 0; d < 64; ++d) {
+    bool changed = false;
+    stored = stored->Upserted(Posting(d, d % 3, d + 1), &changed);
+    EXPECT_TRUE(changed);
+  }
+  EXPECT_EQ(stored->size(), 64u);
+  // Long sorted runs seal into compressed blocks: the resident encoding
+  // must be smaller than the raw vector it replaces.
+  EXPECT_LT(stored->encoded_bytes(), stored->raw_bytes());
+
+  // Idempotent re-publish: same entry, no change, same object.
+  bool changed = true;
+  StoredPostingsPtr again = stored->Upserted(Posting(7, 7 % 3, 8), &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(again.get(), stored.get());
+
+  // In-place overwrite inside the sealed range.
+  StoredPostingsPtr updated = stored->Upserted(Posting(7, 1, 99), &changed);
+  EXPECT_TRUE(changed);
+  PostingEntry got;
+  ASSERT_TRUE(updated->FindDoc(7, &got));
+  EXPECT_EQ(got.term_freq, 99u);
+  EXPECT_EQ(updated->size(), 64u);
+
+  // Erase from the middle; absent erase returns the same object.
+  bool erased = false;
+  StoredPostingsPtr shrunk = updated->Erased(30, &erased);
+  EXPECT_TRUE(erased);
+  EXPECT_EQ(shrunk->size(), 63u);
+  EXPECT_FALSE(shrunk->FindDoc(30, nullptr));
+  StoredPostingsPtr same = shrunk->Erased(30, &erased);
+  EXPECT_FALSE(erased);
+  EXPECT_EQ(same.get(), shrunk.get());
+}
+
+TEST(StoredPostingsTest, SnapshotIsMemoizedAndFrozen) {
+  StoreOptions options;
+  options.block_size = 4;
+  options.compress_min_entries = 4;
+  StoredPostingsPtr stored = StoredPostings::FromSortedList(
+      {Posting(1), Posting(2), Posting(3), Posting(4), Posting(5)}, options);
+  std::shared_ptr<const PostingList> snap = stored->Snapshot();
+  ASSERT_EQ(snap->size(), 5u);
+  // Memoized: the same object hands out the same pointer.
+  EXPECT_EQ(stored->Snapshot().get(), snap.get());
+  // Functional mutation leaves the old snapshot untouched.
+  bool changed = false;
+  StoredPostingsPtr next = stored->Upserted(Posting(6), &changed);
+  EXPECT_EQ(snap->size(), 5u);
+  EXPECT_EQ(next->Snapshot()->size(), 6u);
+}
+
+TEST(StoredPostingsTest, OutOfOrderUpsertStaysSorted) {
+  StoreOptions options;
+  options.block_size = 4;
+  options.compress_min_entries = 4;
+  StoredPostingsPtr stored = StoredPostings::Empty(options);
+  bool changed = false;
+  for (DocId d : {9, 1, 5, 3, 7, 2, 8, 4, 6}) {
+    stored = stored->Upserted(Posting(d), &changed);
+  }
+  const std::shared_ptr<const PostingList> snap = stored->Snapshot();
+  ASSERT_EQ(snap->size(), 9u);
+  for (size_t i = 1; i < snap->size(); ++i) {
+    EXPECT_LT((*snap)[i - 1].doc, (*snap)[i].doc);
+  }
+}
+
+TEST(StoredPostingsTest, SameContentIgnoresRepresentation) {
+  StoreOptions sealing;
+  sealing.block_size = 4;
+  sealing.compress_min_entries = 2;
+  StoreOptions raw_only;
+  raw_only.block_size = 4;
+  raw_only.compress_min_entries = 1000;  // never seals
+  PostingList list;
+  for (DocId d = 0; d < 16; ++d) list.push_back(Posting(d));
+  StoredPostingsPtr sealed = StoredPostings::FromSortedList(list, sealing);
+  StoredPostingsPtr raw = StoredPostings::FromSortedList(list, raw_only);
+  EXPECT_TRUE(sealed->SameContent(*raw));
+  bool changed = false;
+  EXPECT_FALSE(sealed->SameContent(*raw->Upserted(Posting(99), &changed)));
+}
+
+// --- Segments + PeerStore ------------------------------------------------
+
+class StoreDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/sprite-store-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  // The store directory of `peer` under dir_, as PeerStore lays it out.
+  std::string PeerDir(const char* name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+StoredPostingsPtr MakeList(size_t entries, uint64_t owner) {
+  PostingList list;
+  for (DocId d = 0; d < entries; ++d) {
+    list.push_back(Posting(d * 2 + 1, owner, d % 7 + 1));
+  }
+  return StoredPostings::FromSortedList(std::move(list), StoreOptions{});
+}
+
+std::vector<PeerStore::TermState> MakeLive(
+    const std::vector<std::pair<std::string, uint64_t>>& terms,
+    size_t entries = 20) {
+  std::vector<PeerStore::TermState> live;
+  for (const auto& [term, version] : terms) {
+    PeerStore::TermState state;
+    state.term = term;
+    state.version = version;
+    state.postings = MakeList(entries, /*owner=*/7);
+    live.push_back(std::move(state));
+  }
+  return live;
+}
+
+TEST_F(StoreDirTest, FlushRecoverRoundTrip) {
+  const p2p::PeerId peer = 0x1234;
+  {
+    PeerStore store(PeerDir("p"), peer, StoreOptions{}, 4);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(
+        store.Flush(MakeLive({{"cat", 3}, {"dog", 1}, {"emu", 2}})).ok());
+  }
+  PeerStore reopened(PeerDir("p"), peer, StoreOptions{}, 4);
+  ASSERT_TRUE(reopened.Open().ok());
+  std::vector<PeerStore::TermState> recovered = reopened.TakeRecovered();
+  ASSERT_EQ(recovered.size(), 3u);
+  EXPECT_EQ(recovered[0].term, "cat");
+  EXPECT_EQ(recovered[0].version, 3u);
+  EXPECT_EQ(recovered[1].term, "dog");
+  EXPECT_EQ(recovered[2].term, "emu");
+  const StoredPostingsPtr reference = MakeList(20, 7);
+  for (const PeerStore::TermState& state : recovered) {
+    EXPECT_TRUE(state.postings->SameContent(*reference)) << state.term;
+  }
+}
+
+TEST_F(StoreDirTest, DeltaFlushesTombstonesAndCompaction) {
+  const p2p::PeerId peer = 9;
+  PeerStore store(PeerDir("p"), peer, StoreOptions{}, /*compact_threshold=*/3);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Flush(MakeLive({{"cat", 1}, {"dog", 1}})).ok());
+  EXPECT_EQ(store.segment_count(), 1u);
+  // Unchanged flush: no new segment.
+  ASSERT_TRUE(store.Flush(MakeLive({{"cat", 1}, {"dog", 1}})).ok());
+  EXPECT_EQ(store.segment_count(), 1u);
+  // cat changes, dog vanishes (tombstone), emu appears.
+  ASSERT_TRUE(store.Flush(MakeLive({{"cat", 2}, {"emu", 1}})).ok());
+  EXPECT_EQ(store.segment_count(), 2u);
+  // Third flush crosses the threshold: compacts to one full segment.
+  ASSERT_TRUE(store.Flush(MakeLive({{"cat", 3}, {"emu", 1}})).ok());
+  ASSERT_TRUE(store.Flush(MakeLive({{"cat", 4}, {"emu", 1}})).ok());
+  EXPECT_EQ(store.segment_count(), 1u);
+
+  PeerStore reopened(PeerDir("p"), peer, StoreOptions{}, 3);
+  ASSERT_TRUE(reopened.Open().ok());
+  std::vector<PeerStore::TermState> recovered = reopened.TakeRecovered();
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].term, "cat");
+  EXPECT_EQ(recovered[0].version, 4u);
+  EXPECT_EQ(recovered[1].term, "emu");
+}
+
+TEST_F(StoreDirTest, FlushBytesAreDeterministic) {
+  // Same live state, fresh directories: byte-identical segments — the
+  // property the CI storage smoke's cmp relies on.
+  for (const char* name : {"a", "b"}) {
+    PeerStore store(PeerDir(name), 5, StoreOptions{}, 4);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Flush(MakeLive({{"cat", 1}, {"dog", 2}})).ok());
+  }
+  for (const char* file : {"MANIFEST", "seg-000001.dat"}) {
+    std::FILE* a = std::fopen((PeerDir("a") + "/" + file).c_str(), "rb");
+    std::FILE* b = std::fopen((PeerDir("b") + "/" + file).c_str(), "rb");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    for (;;) {
+      const int ca = std::fgetc(a);
+      const int cb = std::fgetc(b);
+      ASSERT_EQ(ca, cb) << file;
+      if (ca == EOF) break;
+    }
+    std::fclose(a);
+    std::fclose(b);
+  }
+}
+
+TEST_F(StoreDirTest, CorruptSegmentsSurfaceTypedCorruption) {
+  const p2p::PeerId peer = 11;
+  {
+    PeerStore store(PeerDir("p"), peer, StoreOptions{}, 4);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Flush(MakeLive({{"cat", 1}, {"dog", 1}})).ok());
+  }
+  const std::string seg = PeerDir("p") + "/seg-000001.dat";
+
+  // Read the pristine image once.
+  std::FILE* f = std::fopen(seg.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> image;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) image.push_back(static_cast<uint8_t>(c));
+  std::fclose(f);
+  ASSERT_GT(image.size(), 16u);
+
+  const auto write_seg = [&seg](const std::vector<uint8_t>& bytes) {
+    std::FILE* out = std::fopen(seg.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    if (!bytes.empty()) {
+      ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), out), bytes.size());
+    }
+    ASSERT_EQ(std::fclose(out), 0);
+  };
+  const auto expect_corrupt = [this, peer]() {
+    PeerStore store(PeerDir("p"), peer, StoreOptions{}, 4);
+    const Status opened = store.Open();
+    EXPECT_EQ(opened.code(), StatusCode::kCorruption) << opened.ToString();
+  };
+
+  // One flipped bit in the middle: the CRC footer must catch it before any
+  // record parses.
+  std::vector<uint8_t> flipped = image;
+  flipped[image.size() / 2] ^= 0x01;
+  write_seg(flipped);
+  expect_corrupt();
+
+  // Truncation: drop the last 5 bytes (footer damage) and harder, half the
+  // file.
+  write_seg(std::vector<uint8_t>(image.begin(), image.end() - 5));
+  expect_corrupt();
+  write_seg(std::vector<uint8_t>(image.begin(),
+                                 image.begin() + image.size() / 2));
+  expect_corrupt();
+
+  // A vanished segment still listed by the manifest.
+  ASSERT_EQ(std::remove(seg.c_str()), 0);
+  expect_corrupt();
+
+  // Restored pristine bytes open cleanly again.
+  write_seg(image);
+  PeerStore store(PeerDir("p"), peer, StoreOptions{}, 4);
+  EXPECT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.TakeRecovered().size(), 2u);
+}
+
+TEST_F(StoreDirTest, ReadSegmentRejectsWrongPeerAndManifestCrc) {
+  std::vector<SegmentRecordIn> records;
+  SegmentRecordIn record;
+  record.term = "cat";
+  record.version = 1;
+  record.blob = *EncodePostings({Posting(1), Posting(2)}, 64);
+  records.push_back(std::move(record));
+  const std::vector<uint8_t> image = BuildSegment(/*peer_id=*/42, records);
+  const std::string path = dir_ + "/seg.dat";
+  ASSERT_TRUE(WriteFileAtomic(path, image).ok());
+
+  EXPECT_TRUE(ReadSegment(path, 42, nullptr).ok());
+  // Wrong owning peer.
+  EXPECT_EQ(ReadSegment(path, 43, nullptr).status().code(),
+            StatusCode::kCorruption);
+  // Manifest CRC disagrees with the file (stale manifest after a partial
+  // rewrite).
+  const uint32_t wrong = SegmentCrc(image) ^ 0xFF;
+  EXPECT_EQ(ReadSegment(path, 42, &wrong).status().code(),
+            StatusCode::kCorruption);
+  // Missing file is kNotFound, not corruption: Open distinguishes the two.
+  EXPECT_TRUE(
+      ReadSegment(dir_ + "/absent.dat", 42, nullptr).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace sprite::store

@@ -232,6 +232,55 @@ echo "== cluster smoke: three live daemons vs the simulation =="
 python3 tools/cluster_smoke.py build
 echo "cluster smoke OK"
 
+echo "== storage smoke: flush, cold-restart recovery, ranked identity =="
+# DESIGN.md §15: a --flush-to run persists every peer's primary index into
+# compressed segments; a fresh process started with --recover-from answers
+# the same queries without retraining, and its ranked result lines must be
+# byte-identical — same docs, same 17-digit scores, same order.
+cat >"$SMOKE_DIR/corpus.tsv" <<'EOF'
+Distributed hash tables	distributed hash table routing protocols scale lookup chord pastry peer structured overlay routing lookup
+Text retrieval systems	text retrieval ranking relevance vector model cosine similarity document term weighting retrieval ranking
+Peer to peer search	peer search network overlay gnutella flooding query distributed search peer network
+Machine learning basics	machine learning model training gradient feature weight learning model training data
+Information retrieval evaluation	information retrieval evaluation precision recall benchmark trec judgment relevance evaluation precision
+Query driven learning	query learning feedback cached history adaptive index term selection query feedback learning
+EOF
+cat >"$SMOKE_DIR/queries.txt" <<'EOF'
+distributed hash table lookup
+text retrieval ranking
+peer network search
+query learning feedback
+EOF
+./build/tools/sprite_cli batch "$SMOKE_DIR/corpus.tsv" \
+  "$SMOKE_DIR/queries.txt" --train=3 --iters=2 --k=10 \
+  --flush-to="$SMOKE_DIR/store" >"$SMOKE_DIR/batch_flush.out"
+./build/tools/sprite_cli batch "$SMOKE_DIR/corpus.tsv" \
+  "$SMOKE_DIR/queries.txt" --train=3 --iters=2 --k=10 \
+  --recover-from="$SMOKE_DIR/store" >"$SMOKE_DIR/batch_recover.out"
+grep '^result ' "$SMOKE_DIR/batch_flush.out" >"$SMOKE_DIR/ranked_flush.txt"
+grep '^result ' "$SMOKE_DIR/batch_recover.out" \
+  >"$SMOKE_DIR/ranked_recover.txt"
+grep -q ':' "$SMOKE_DIR/ranked_flush.txt"  # at least one scored result
+cmp "$SMOKE_DIR/ranked_flush.txt" "$SMOKE_DIR/ranked_recover.txt"
+# Compression gate: the block codec must hold >= 4x over raw structs on a
+# mid-size corpus (the committed BENCH_storage.json documents fig4a scale;
+# storage_micro also exits non-zero if recovery loses any posting).
+./build/bench/storage_micro --docs=1000 --peers=32 --min-ratio=4 \
+  --out="$SMOKE_DIR/storage.json" >/dev/null
+echo "storage smoke OK"
+
+echo "== hotpath perf gate: medians vs committed BENCH_hotpath.json =="
+# The compressed store must not tax the search hot path: fetch/rank (and
+# the other hotpath_micro phases) stay within tolerance of the committed
+# pre-store baseline. bench_compare exits non-zero on any regression.
+./build/bench/hotpath_micro --docs=300 --peers=16 --rounds=2 \
+  --perf-warmup=1 --perf-reps=5 \
+  --perf-json="$SMOKE_DIR/hotpath_perf.json" \
+  --out="$SMOKE_DIR/hotpath_gate.json" >/dev/null
+./build/tools/bench_compare BENCH_hotpath.json \
+  "$SMOKE_DIR/hotpath_perf.json" --tolerance=0.25 --abs-slack-ms=2.0
+echo "hotpath perf gate OK"
+
 if [ "${1:-}" = "--tsan" ]; then
   echo "== sanitizers: TSan build, parallel suite at 4 threads =="
   cmake -B build-tsan -S . \

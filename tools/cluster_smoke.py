@@ -10,6 +10,12 @@ the cluster and the simulation share the role/ranking/learning code, so a
 live deployment must converge to exactly the rankings the sim predicts
 (DESIGN.md section 14).
 
+The final leg exercises persistence (DESIGN.md section 15): every daemon
+flushes its index to a --data-dir, one daemon is killed and restarted from
+that directory, and the full query set must still match the simulation
+score-for-score — both served by the survivor and by the restarted node
+itself.
+
 Usage: cluster_smoke.py <build_dir>
 """
 
@@ -148,8 +154,13 @@ def main():
             fail("batch reference incomplete: %r" % sorted(reference))
 
         # --- Boot a three-daemon cluster on ephemeral loopback ports ------
+        # All daemons share one data root; each flushes into its own
+        # per-peer subdirectory (keyed by the ring id of its name).
+        data_root = os.path.join(workdir, "data")
+
         def start(name, join=None):
-            cmd = [daemon_bin, "--name=" + name]
+            cmd = [daemon_bin, "--name=" + name,
+                   "--data-dir=" + data_root]
             if join is not None:
                 cmd.append("--join=127.0.0.1:%d" % join)
             proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
@@ -223,8 +234,34 @@ def main():
         if via_cli.stdout.strip() != direct.strip():
             fail("sprite_cli query body differs from direct HTTP")
 
+        # --- Persistence: flush all, kill one, restart it, re-query -------
+        for node in nodes:
+            body = http("POST", node["http"], "/flush")
+            if '"flushed":true' not in body:
+                fail("%s flush failed: %s" % (node["name"], body))
+        # n1 holds part of the index; kill it hard and bring it back from
+        # its durable store. The restart recovers before joining, and the
+        # join refreshes n1's addressing card (same name -> same ring id)
+        # at the surviving members.
+        victim = daemons[1]
+        victim.kill()
+        victim.wait(timeout=5)
+        nodes[1] = start("n1", join=nodes[0]["udp"])
+        for serving in (nodes[0], nodes[1]):
+            for i, query in enumerate(QUERIES):
+                body = http("GET", serving["http"],
+                            "/search?q=%s&k=%d"
+                            % (urllib.parse.quote(query), TOP_K))
+                got = [(r["doc"], r["score"])
+                       for r in json.loads(body)["results"]]
+                if got != reference[i]:
+                    fail("query %d diverges after restart (via %s):\n"
+                         "  cluster: %r\n  sim:     %r"
+                         % (i, serving["name"], got, reference[i]))
+
         print("cluster smoke: 3 daemons, %d docs, %d queries x%d, %d "
-              "learning iterations - live rankings match the sim"
+              "learning iterations - live rankings match the sim, "
+              "before and after a kill/restart recovery"
               % (len(DOCS), len(QUERIES), TRAIN, ITERS))
     finally:
         for proc in daemons:

@@ -96,6 +96,13 @@ struct Options {
   std::string trace_json;    // empty: no Perfetto dump
   std::string trace_jsonl;   // empty: no JSONL dump
   std::string explain_jsonl; // empty: no explain-ledger dump
+  // batch only: persist the trained system's indexes to this data dir
+  // after answering the queries (DESIGN.md §15).
+  std::string flush_to;
+  // batch only: skip training/sharing/learning and instead recover the
+  // indexes a prior --flush-to run persisted, then answer the queries —
+  // the kill/restart leg of the CI storage smoke.
+  std::string recover_from;
 };
 
 Options ParseOptions(int argc, char** argv, int first) {
@@ -105,6 +112,8 @@ Options ParseOptions(int argc, char** argv, int first) {
   constexpr const char kTraceJsonlFlag[] = "--trace-jsonl=";
   constexpr const char kCacheFlag[] = "--cache=";
   constexpr const char kExplainJsonlFlag[] = "--explain-jsonl=";
+  constexpr const char kFlushToFlag[] = "--flush-to=";
+  constexpr const char kRecoverFromFlag[] = "--recover-from=";
   for (int i = first; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::sscanf(argv[i], "--peers=%llu", &v) == 1) o.peers = v;
@@ -122,6 +131,13 @@ Options ParseOptions(int argc, char** argv, int first) {
     if (std::strncmp(argv[i], kExplainJsonlFlag,
                      sizeof(kExplainJsonlFlag) - 1) == 0) {
       o.explain_jsonl = argv[i] + sizeof(kExplainJsonlFlag) - 1;
+    }
+    if (std::strncmp(argv[i], kFlushToFlag, sizeof(kFlushToFlag) - 1) == 0) {
+      o.flush_to = argv[i] + sizeof(kFlushToFlag) - 1;
+    }
+    if (std::strncmp(argv[i], kRecoverFromFlag,
+                     sizeof(kRecoverFromFlag) - 1) == 0) {
+      o.recover_from = argv[i] + sizeof(kRecoverFromFlag) - 1;
     }
     if (std::strncmp(argv[i], kTraceJsonlFlag,
                      sizeof(kTraceJsonlFlag) - 1) == 0) {
@@ -580,12 +596,16 @@ int CmdServe(int argc, char** argv) {
   constexpr const char kNameFlag[] = "--name=";
   constexpr const char kHostFlag[] = "--host=";
   constexpr const char kJoinFlag[] = "--join=";
+  constexpr const char kDataDirFlag[] = "--data-dir=";
   for (int i = 2; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::strncmp(argv[i], kNameFlag, sizeof(kNameFlag) - 1) == 0) {
       options.name = argv[i] + sizeof(kNameFlag) - 1;
     } else if (std::strncmp(argv[i], kHostFlag, sizeof(kHostFlag) - 1) == 0) {
       options.config.listen_host = argv[i] + sizeof(kHostFlag) - 1;
+    } else if (std::strncmp(argv[i], kDataDirFlag,
+                            sizeof(kDataDirFlag) - 1) == 0) {
+      options.config.data_dir = argv[i] + sizeof(kDataDirFlag) - 1;
     } else if (std::strncmp(argv[i], kJoinFlag, sizeof(kJoinFlag) - 1) == 0) {
       const std::string target = argv[i] + sizeof(kJoinFlag) - 1;
       const size_t colon = target.rfind(':');
@@ -794,21 +814,46 @@ int CmdBatch(int argc, char** argv) {
     return 1;
   }
 
-  core::SpriteSystem system(MakeConfig(options));
-  // Same flow as eval::TrainSystem: record the training stream (each query
-  // --train times), share, then learn.
-  std::vector<const corpus::Query*> stream;
-  stream.reserve(queries.size() * options.train);
-  for (size_t t = 0; t < options.train; ++t) {
-    for (const corpus::Query& query : queries) stream.push_back(&query);
+  core::SpriteConfig config = MakeConfig(options);
+  if (!options.recover_from.empty()) {
+    config.data_dir = options.recover_from;
+  } else if (!options.flush_to.empty()) {
+    config.data_dir = options.flush_to;
   }
-  system.RecordQueryEpoch(stream);
-  const Status shared = system.ShareCorpus(corpus);
-  if (!shared.ok()) {
-    std::fprintf(stderr, "error: %s\n", shared.ToString().c_str());
-    return 1;
+  core::SpriteSystem system(config);
+  if (!options.recover_from.empty()) {
+    // Restart leg: replay the durable stores a prior --flush-to run wrote
+    // instead of re-training. Searches count their own issuances from
+    // zero in both runs, so the recovered rankings must be byte-identical
+    // to the never-restarted run's (the CI storage smoke cmp's them).
+    const Status recovered = system.Recover();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "error: %s\n", recovered.ToString().c_str());
+      return 1;
+    }
+  } else {
+    // Same flow as eval::TrainSystem: record the training stream (each
+    // query --train times), share, then learn.
+    std::vector<const corpus::Query*> stream;
+    stream.reserve(queries.size() * options.train);
+    for (size_t t = 0; t < options.train; ++t) {
+      for (const corpus::Query& query : queries) stream.push_back(&query);
+    }
+    system.RecordQueryEpoch(stream);
+    const Status shared = system.ShareCorpus(corpus);
+    if (!shared.ok()) {
+      std::fprintf(stderr, "error: %s\n", shared.ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < options.iters; ++i) system.RunLearningIteration();
+    if (!options.flush_to.empty()) {
+      const Status flushed = system.Flush();
+      if (!flushed.ok()) {
+        std::fprintf(stderr, "error: %s\n", flushed.ToString().c_str());
+        return 1;
+      }
+    }
   }
-  for (size_t i = 0; i < options.iters; ++i) system.RunLearningIteration();
 
   std::printf("# docs=%zu queries=%zu train=%zu iters=%zu k=%zu\n",
               loaded.value(), queries.size(), options.train, options.iters,
@@ -869,13 +914,14 @@ int main(int argc, char** argv) {
                "  sprite_cli learning-ledger <corpus.tsv> \"<keywords>\" "
                "[options]\n"
                "  sprite_cli serve [--name= --host= --udp= --tcp= --http= "
-               "--join=HOST:UDPPORT]\n"
+               "--join=HOST:UDPPORT --data-dir=PATH]\n"
                "  sprite_cli join <host:udpport>\n"
                "  sprite_cli query <host:httpport> \"<keywords>\" [--k=N]\n"
                "  sprite_cli batch <corpus.tsv> <queries.txt> [options]\n"
                "options: --peers=N --terms=N --iters=N --k=N --seed=N\n"
                "         --cache=on|off|blind --metrics-json=PATH\n"
                "         --trace-json=PATH --trace-jsonl=PATH\n"
-               "         --train=N --explain-jsonl=PATH\n");
+               "         --train=N --explain-jsonl=PATH\n"
+               "         --flush-to=DIR --recover-from=DIR (batch)\n");
   return 2;
 }

@@ -10,11 +10,15 @@
 // Usage:
 //   sprite_daemon [--name=NAME] [--host=IP] [--udp=P] [--tcp=P] [--http=P]
 //                 [--join=HOST:UDPPORT] [--terms=N] [--initial-terms=N]
-//                 [--per-iter=N]
+//                 [--per-iter=N] [--data-dir=PATH]
 //
 // With --join the daemon joins an existing cluster through any member's
 // UDP control port; without it, it starts a one-node cluster others can
 // join. See README "Running a live cluster".
+//
+// With --data-dir the daemon replays the durable store found there before
+// joining, and POST /flush persists the index half back to it — the
+// kill/restart recovery leg of tools/cluster_smoke.py.
 
 #include <csignal>
 #include <cstdio>
@@ -37,6 +41,7 @@ int main(int argc, char** argv) {
   constexpr const char kNameFlag[] = "--name=";
   constexpr const char kHostFlag[] = "--host=";
   constexpr const char kJoinFlag[] = "--join=";
+  constexpr const char kDataDirFlag[] = "--data-dir=";
   for (int i = 1; i < argc; ++i) {
     unsigned long long v = 0;
     if (std::strncmp(argv[i], kNameFlag, sizeof(kNameFlag) - 1) == 0) {
@@ -53,6 +58,9 @@ int main(int argc, char** argv) {
       options.bootstrap_host = target.substr(0, colon);
       options.bootstrap_udp = static_cast<uint16_t>(
           std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+    } else if (std::strncmp(argv[i], kDataDirFlag,
+                            sizeof(kDataDirFlag) - 1) == 0) {
+      options.config.data_dir = argv[i] + sizeof(kDataDirFlag) - 1;
     } else if (std::sscanf(argv[i], "--udp=%llu", &v) == 1) {
       options.config.udp_port = static_cast<uint16_t>(v);
     } else if (std::sscanf(argv[i], "--tcp=%llu", &v) == 1) {
