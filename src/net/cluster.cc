@@ -294,6 +294,8 @@ StatusOr<wire::Frame> ClusterNode::HandleVersionCheck(
 
 Status ClusterNode::ShareDocument(corpus::DocId id, const std::string& title,
                                   const std::string& text) {
+  obs::ScopedSpan span(tracer_, "share.document", self_.name);
+  if (metrics_ != nullptr) metrics_->Add("cluster.documents_shared", 1);
   auto doc = std::make_unique<corpus::Document>();
   doc->id = id;
   doc->title = title;
@@ -306,6 +308,8 @@ Status ClusterNode::ShareDocument(corpus::DocId id, const std::string& title,
       core::OwnerPeer::SelectInitialTerms(*doc, options_.config.initial_terms);
   documents_.push_back(std::move(doc));
   for (const std::string& term : owned.index_terms) {
+    obs::ScopedSpan publish(tracer_, "publish.term", self_.name);
+    publish.Annotate("term", term);
     wire::PublishTerm msg;
     msg.term = term;
     msg.entry.doc = owned.content->id;
@@ -341,6 +345,8 @@ wire::WireQueryRecord ClusterNode::MakeWireRecord(
 Status ClusterNode::RecordQuery(const std::vector<std::string>& raw_terms) {
   const std::vector<std::string> terms = corpus::DedupTerms(raw_terms);
   if (terms.empty()) return Status::InvalidArgument("empty query");
+  obs::ScopedSpan span(tracer_, "record.query", self_.name);
+  if (metrics_ != nullptr) metrics_->Add("cluster.queries_recorded", 1);
   const wire::WireQueryRecord record = MakeWireRecord(terms);
   // One record per responsible member, even when it serves several of the
   // query's terms — exactly one history entry per (member, issuance).
@@ -362,11 +368,15 @@ StatusOr<ir::RankedList> ClusterNode::Search(
     const std::vector<std::string>& raw_terms, size_t k) {
   const std::vector<std::string> terms = corpus::DedupTerms(raw_terms);
   if (terms.empty()) return Status::InvalidArgument("empty query");
+  obs::ScopedSpan span(tracer_, "search", self_.name);
+  if (metrics_ != nullptr) metrics_->Add("cluster.searches", 1);
   TermDict& dict = TermDict::Global();
   std::vector<core::RetrievedList> lists;
   lists.reserve(terms.size());
   size_t fetched = 0;
   for (const std::string& term : terms) {
+    obs::ScopedSpan fetch(tracer_, "fetch", self_.name);
+    fetch.Annotate("term", term);
     wire::QueryRequest req;
     req.term = term;
     StatusOr<wire::Frame> resp =
@@ -386,13 +396,17 @@ StatusOr<ir::RankedList> ClusterNode::Search(
     fetched += rl.postings->size();
     lists.push_back(std::move(rl));
   }
+  span.Annotate("postings", StrFormat("%zu", fetched));
   // The simulation's exact ranking arithmetic (core/ranking.h): identical
   // posting sets in identical list order produce bit-identical scores.
+  obs::ScopedSpan rank(tracer_, "rank", self_.name);
   return core::RankRetrievedLists(lists, options_.config.idf_corpus_size,
                                   fetched, k);
 }
 
 Status ClusterNode::RunLearningIteration() {
+  obs::ScopedSpan span(tracer_, "learning.iteration", self_.name);
+  if (metrics_ != nullptr) metrics_->Add("cluster.learning_iterations", 1);
   for (auto& [doc_id, owned] : owner_.mutable_documents()) {
     // Group the document's index terms by responsible member and pull the
     // deduplicated incremental query history from each — the index-update
@@ -420,6 +434,7 @@ Status ClusterNode::RunLearningIteration() {
       // re-pulls, so cursors would only save traffic, never change the
       // learned index sets.
       poll.cursors.assign(my_terms.size(), 0);
+      obs::ScopedSpan poll_span(tracer_, "learning.poll", self_.name);
       StatusOr<wire::Frame> resp = CallMember(*member, ToFrame(poll));
       if (!resp.ok()) continue;  // unreachable member: pull it next round
       StatusOr<wire::PollResponse> parsed = wire::ParsePollResponse(*resp);

@@ -14,6 +14,8 @@
 #include "dht/id_space.h"
 #include "ir/ranked_list.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/peer_store.h"
 #include "text/analyzer.h"
 
@@ -52,6 +54,17 @@ class ClusterNode {
   // once the transport/HTTP ports are bound).
   void SetEndpoints(const std::string& host, uint16_t udp, uint16_t tcp,
                     uint16_t http);
+
+  // Live observability (DESIGN.md §16): cluster.* counters into `metrics`
+  // and spans named exactly like the simulation's ("search", "fetch",
+  // "rank", "record.query", "share.document", "learning.iteration",
+  // "learning.poll", "publish.term") so trace_report analyzes live and sim
+  // dumps uniformly. Either pointer may be null (no-op).
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+  }
 
   // --- Membership -------------------------------------------------------
   // Learns the member list from any existing member and announces this
@@ -144,6 +157,8 @@ class ClusterNode {
   // Backing store for owned documents (OwnedDocument keeps a pointer).
   std::vector<std::unique_ptr<corpus::Document>> documents_;
   text::Analyzer analyzer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::unique_ptr<store::PeerStore> store_;  // null until first use
   uint64_t seq_counter_ = 0;
   uint32_t record_id_counter_ = 0;

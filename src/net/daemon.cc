@@ -12,6 +12,15 @@
 
 #include "corpus/query.h"
 
+// Baked in by CMake's env capture (shared with bench/bench_common.h);
+// default for builds driven outside CMake.
+#ifndef SPRITE_GIT_COMMIT
+#define SPRITE_GIT_COMMIT "unknown"
+#endif
+#ifndef SPRITE_BUILD_TYPE
+#define SPRITE_BUILD_TYPE "unknown"
+#endif
+
 namespace sprite::net {
 namespace {
 
@@ -36,9 +45,22 @@ Daemon::Daemon(DaemonOptions options)
     : options_(options),
       transport_(dht::IdSpace(options.config.id_bits)
                      .KeyForString(options.name)),
-      cluster_(ClusterOptions{options.name, options.config}, &transport_) {}
+      cluster_(ClusterOptions{options.name, options.config}, &transport_) {
+  // Live observability wiring (DESIGN.md §16): transport counters + RTT
+  // histograms mirror into this daemon's registry (mirror_traffic on — no
+  // NetworkAccountant exists here to double-count against), and the tracer
+  // runs on a wall clock with ids salted by this node's ring id so traces
+  // minted on different daemons never collide.
+  transport_.mutable_stats().AttachMetrics(&metrics_, /*mirror_traffic=*/true);
+  cluster_.AttachObservability(&metrics_, &tracer_);
+  tracer_.set_time_source(&wall_clock_);
+  tracer_.set_id_salt(cluster_.self().id);
+  tracer_.set_enabled(options_.enable_trace);
+  transport_.set_tracer(&tracer_, options_.name);
+}
 
 Status Daemon::Start() {
+  started_at_ = std::chrono::steady_clock::now();
   SocketTransport::Options topts;
   topts.host = options_.config.listen_host;
   topts.udp_port = options_.config.udp_port;
@@ -86,11 +108,40 @@ void Daemon::RunUntil(const std::atomic<bool>& stop) {
 HttpResponse Daemon::HandleHttp(const HttpRequest& req) {
   HttpResponse resp;
   if (req.path == "/health") {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"id\":%" PRIu64 "}",
-                  JsonEscape(cluster_.self().name).c_str(),
-                  cluster_.self().id);
+    const double uptime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_at_)
+            .count();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"id\":%" PRIu64
+                  ",\"git_commit\":\"%s\",\"build_type\":\"%s\","
+                  "\"wire_version\":%u,\"uptime_s\":%.3f,"
+                  "\"trace_enabled\":%s}",
+                  JsonEscape(cluster_.self().name).c_str(), cluster_.self().id,
+                  JsonEscape(SPRITE_GIT_COMMIT).c_str(),
+                  JsonEscape(SPRITE_BUILD_TYPE).c_str(),
+                  static_cast<unsigned>(wire::kWireVersion), uptime_s,
+                  tracer_.enabled() ? "true" : "false");
     resp.body = buf;
+    return resp;
+  }
+  if (req.path == "/metrics") {
+    const obs::MetricsSnapshot snap = metrics_.Snapshot();
+    const auto fmt = req.params.find("format");
+    if (fmt != req.params.end() && fmt->second == "prometheus") {
+      resp.content_type = "text/plain; version=0.0.4";
+      resp.body = obs::PrometheusText(snap);
+    } else {
+      resp.body = snap.ToJson();
+    }
+    return resp;
+  }
+  if (req.path == "/trace") {
+    // Drain: the collector owns retention once it has polled; counters
+    // (traces_started) survive so repeated drains stay monotone.
+    resp.content_type = "application/x-ndjson";
+    resp.body = tracer_.DrainJsonl();
     return resp;
   }
   if (req.path == "/stats") {

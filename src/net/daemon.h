@@ -2,6 +2,7 @@
 #define SPRITE_NET_DAEMON_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -9,6 +10,8 @@
 #include "net/cluster.h"
 #include "net/http.h"
 #include "net/socket_transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/analyzer.h"
 
 // One live SPRITE process: a SocketTransport (UDP control + TCP bulk), a
@@ -24,6 +27,10 @@ struct DaemonOptions {
   // port of any existing member).
   std::string bootstrap_host;
   uint16_t bootstrap_udp = 0;
+  // Live distributed tracing (DESIGN.md §16): spans on a wall clock,
+  // trace context stamped into outbound frames, /trace drains the ring.
+  // Off by default — tracing a daemon is an operator opt-in (--trace).
+  bool enable_trace = false;
 };
 
 class Daemon {
@@ -42,9 +49,17 @@ class Daemon {
   ClusterNode& cluster() { return cluster_; }
   SocketTransport& transport() { return transport_; }
   HttpServer& http() { return http_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
 
   // The HTTP surface (also reachable in-process for tests):
-  //   GET  /health               -> {"name","id"}
+  //   GET  /health               -> {"name","id","git_commit","build_type",
+  //                                  "wire_version","uptime_s",...}
+  //   GET  /metrics              -> the full registry as JSON;
+  //                                 ?format=prometheus -> text exposition
+  //   GET  /trace                -> drains the span ring as JSONL (the
+  //                                 collector's poll; empty when tracing
+  //                                 is off)
   //   GET  /stats                -> membership + index counters
   //   GET  /members              -> the full member list
   //   POST /publish              -> TSV body, one "<id>\t<title>\t<text>"
@@ -63,6 +78,10 @@ class Daemon {
   ClusterNode cluster_;
   HttpServer http_;
   text::Analyzer analyzer_;
+  obs::MetricsRegistry metrics_;
+  obs::WallClock wall_clock_;
+  obs::Tracer tracer_;
+  std::chrono::steady_clock::time_point started_at_{};
 };
 
 }  // namespace sprite::net

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/string_util.h"
+
 namespace sprite::net {
 
 namespace {
@@ -151,6 +153,11 @@ Clock::time_point DeadlineAfterMs(double ms) {
                             std::chrono::duration<double, std::milli>(ms));
 }
 
+double ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
 }  // namespace
 
 bool SocketTransport::UsesUdp(p2p::MessageType type) {
@@ -234,7 +241,7 @@ void SocketTransport::OnUdpReadable() {
         wire::DecodeFrame(buf.data(), static_cast<size_t>(n));
     if (!req.ok() || !handler_) continue;  // drop malformed datagrams
     stats_.CountFrame(req->type, req->wire_size());
-    StatusOr<wire::Frame> resp = handler_(*req);
+    StatusOr<wire::Frame> resp = Serve(*req);
     if (!resp.ok()) continue;  // silence: the caller times out and retries
     resp->src = self_;
     resp->dst = req->src;
@@ -266,7 +273,7 @@ void SocketTransport::OnTcpReadable() {
     StatusOr<wire::Frame> req = ReadFrame(fd, deadline);
     if (req.ok() && handler_) {
       stats_.CountFrame(req->type, req->wire_size());
-      StatusOr<wire::Frame> resp = handler_(*req);
+      StatusOr<wire::Frame> resp = Serve(*req);
       if (resp.ok()) {
         resp->src = self_;
         resp->dst = req->src;
@@ -279,6 +286,22 @@ void SocketTransport::OnTcpReadable() {
     }
     ::close(fd);
   }
+}
+
+StatusOr<wire::Frame> SocketTransport::Serve(const wire::Frame& request) {
+  if (tracer_ == nullptr || !tracer_->enabled() || !request.traced()) {
+    return handler_(request);
+  }
+  // Adopt the caller's trace: this serve span's parent is the remote
+  // net.call span, so merged per-daemon dumps stitch into one tree.
+  tracer_->BeginRemoteSpan(
+      "serve." + std::string(p2p::MessageTypeName(request.type)), trace_peer_,
+      request.trace_id, request.parent_span);
+  tracer_->Annotate("src", StrFormat("%llu", static_cast<unsigned long long>(
+                                                 request.src)));
+  StatusOr<wire::Frame> resp = handler_(request);
+  tracer_->EndSpan();
+  return resp;
 }
 
 StatusOr<wire::Frame> SocketTransport::CallUdp(const PeerAddress& to,
@@ -305,6 +328,7 @@ StatusOr<wire::Frame> SocketTransport::CallUdp(const PeerAddress& to,
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           BackoffMs(opts, attempt - 1)));
     }
+    const auto attempt_start = Clock::now();
     (void)::sendto(fd, out.data(), out.size(), 0,
                    reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
     stats_.CountFrame(request.type, request.wire_size());
@@ -322,6 +346,7 @@ StatusOr<wire::Frame> SocketTransport::CallUdp(const PeerAddress& to,
       // Stale retransmit replies carry an older request_id; keep draining.
       if (!resp.ok() || resp->request_id != request.request_id) continue;
       stats_.CountFrame(resp->type, resp->wire_size());
+      stats_.ObserveRtt(request.type, ElapsedUs(attempt_start));
       ::close(fd);
       return resp;
     }
@@ -345,6 +370,7 @@ StatusOr<wire::Frame> SocketTransport::CallTcp(const PeerAddress& to,
           BackoffMs(opts, attempt - 1)));
     }
     auto deadline = DeadlineAfterMs(opts.timeout_ms);
+    const auto attempt_start = Clock::now();
     StatusOr<int> fd = DialTcp(addr, deadline);
     if (!fd.ok()) {
       last = fd.status();
@@ -361,6 +387,7 @@ StatusOr<wire::Frame> SocketTransport::CallTcp(const PeerAddress& to,
     ::close(*fd);
     if (resp.ok()) {
       stats_.CountFrame(resp->type, resp->wire_size());
+      stats_.ObserveRtt(request.type, ElapsedUs(attempt_start));
       return resp;
     }
     last = resp.status();
@@ -376,7 +403,24 @@ StatusOr<wire::Frame> SocketTransport::Call(const PeerAddress& to,
   req.src = self_;
   req.dst = to.id;
   if (req.request_id == 0) req.request_id = next_request_id_++;
-  return UsesUdp(req.type) ? CallUdp(to, req, opts) : CallTcp(to, req, opts);
+  // With live tracing on, the whole call (every attempt included) runs
+  // under a net.call span and the outbound frame carries that span as the
+  // remote parent, so the receiving daemon's serve span stitches under it.
+  obs::ScopedSpan span(tracer_, "net.call", trace_peer_);
+  if (span.context().valid()) {
+    req.flags |= wire::kFlagTraced;
+    req.trace_id = static_cast<uint32_t>(span.context().trace_id);
+    req.parent_span = static_cast<uint32_t>(span.context().span_id);
+    span.Annotate("type", std::string(p2p::MessageTypeName(req.type)));
+    span.Annotate("dst",
+                  StrFormat("%llu", static_cast<unsigned long long>(to.id)));
+  }
+  StatusOr<wire::Frame> resp =
+      UsesUdp(req.type) ? CallUdp(to, req, opts) : CallTcp(to, req, opts);
+  if (span.context().valid() && !resp.ok()) {
+    span.Annotate("error", resp.status().ToString());
+  }
+  return resp;
 }
 
 Status SocketTransport::Send(const PeerAddress& to, const wire::Frame& frame,

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 
 namespace sprite::net {
 
@@ -52,6 +53,16 @@ class SocketTransport : public Transport {
 
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
+  // Wires live tracing (DESIGN.md §16). With a tracer attached and enabled,
+  // Call() runs under a "net.call" span whose context is stamped into the
+  // outbound frame (kFlagTraced + header bytes 40-47), and inbound traced
+  // requests are served under an adopted "serve.<type>" span so the caller's
+  // trace stitches across daemons. `peer_name` labels this node's spans.
+  void set_tracer(obs::Tracer* tracer, std::string peer_name) {
+    tracer_ = tracer;
+    trace_peer_ = std::move(peer_name);
+  }
+
   // Drains every pending datagram / pending connection. The reply frame's
   // src/dst/request_id are stamped from the request, so handlers only fill
   // type, flags and payload.
@@ -76,6 +87,9 @@ class SocketTransport : public Transport {
   StatusOr<wire::Frame> CallTcp(const PeerAddress& to,
                                 const wire::Frame& request,
                                 const CallOptions& opts);
+  // Dispatches one inbound request to the handler, under an adopted span
+  // when the frame carries trace context.
+  StatusOr<wire::Frame> Serve(const wire::Frame& request);
 
   p2p::PeerId self_ = 0;
   int udp_fd_ = -1;
@@ -84,6 +98,8 @@ class SocketTransport : public Transport {
   uint16_t tcp_port_ = 0;
   Handler handler_;
   TransportStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string trace_peer_;
   uint64_t next_request_id_ = 1;
 };
 

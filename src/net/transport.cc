@@ -35,6 +35,15 @@ void TransportStats::CountRetry(p2p::MessageType type) {
   }
 }
 
+void TransportStats::ObserveRtt(p2p::MessageType type, double rtt_us) {
+  if (rtt_us < 0.0) return;
+  rtt_count_[Idx(type)] += 1;
+  rtt_sum_us_[Idx(type)] += rtt_us;
+  if (metrics_ != nullptr && mirror_traffic_) {
+    metrics_->Observe("transport.rtt_us", Label(type), rtt_us);
+  }
+}
+
 uint64_t TransportStats::TotalFrames() const {
   return std::accumulate(frames_.begin(), frames_.end(), uint64_t{0});
 }
@@ -56,11 +65,14 @@ void TransportStats::Clear() {
   bytes_.fill(0);
   timeouts_.fill(0);
   retries_.fill(0);
+  rtt_count_.fill(0);
+  rtt_sum_us_.fill(0.0);
   if (metrics_ != nullptr) {
     metrics_->EraseByName("transport.frames");
     metrics_->EraseByName("transport.bytes");
     metrics_->EraseByName("transport.timeouts");
     metrics_->EraseByName("transport.retries");
+    metrics_->EraseByName("transport.rtt_us");
   }
 }
 

@@ -65,11 +65,18 @@ class TransportStats {
   void CountFrame(p2p::MessageType type, size_t wire_bytes);
   void CountTimeout(p2p::MessageType type);
   void CountRetry(p2p::MessageType type);
+  // Records one request→response round-trip wall time. Mirrors into the
+  // registry as a "transport.rtt_us" histogram labeled by message type,
+  // gated on `mirror_traffic` like frames/bytes: the sim backend never
+  // observes RTTs, so wall time cannot leak into deterministic dumps.
+  void ObserveRtt(p2p::MessageType type, double rtt_us);
 
   uint64_t FramesOf(p2p::MessageType t) const { return frames_[Idx(t)]; }
   uint64_t BytesOf(p2p::MessageType t) const { return bytes_[Idx(t)]; }
   uint64_t TimeoutsOf(p2p::MessageType t) const { return timeouts_[Idx(t)]; }
   uint64_t RetriesOf(p2p::MessageType t) const { return retries_[Idx(t)]; }
+  uint64_t RttCountOf(p2p::MessageType t) const { return rtt_count_[Idx(t)]; }
+  double RttSumUsOf(p2p::MessageType t) const { return rtt_sum_us_[Idx(t)]; }
   uint64_t TotalFrames() const;
   uint64_t TotalBytes() const;
   uint64_t TotalTimeouts() const;
@@ -85,6 +92,8 @@ class TransportStats {
   std::array<uint64_t, p2p::kNumMessageTypes> bytes_{};
   std::array<uint64_t, p2p::kNumMessageTypes> timeouts_{};
   std::array<uint64_t, p2p::kNumMessageTypes> retries_{};
+  std::array<uint64_t, p2p::kNumMessageTypes> rtt_count_{};
+  std::array<double, p2p::kNumMessageTypes> rtt_sum_us_{};
   obs::MetricsRegistry* metrics_ = nullptr;
   bool mirror_traffic_ = false;
 };

@@ -176,7 +176,12 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame) {
   StoreU64(p + 20, frame.dst);
   StoreU64(p + 28, frame.request_id);
   StoreU32(p + 36, Crc32(frame.payload.data(), frame.payload.size()));
-  StoreU64(p + 40, 0);  // reserved
+  if ((frame.flags & kFlagTraced) != 0) {
+    StoreU32(p + 40, frame.trace_id);
+    StoreU32(p + 44, frame.parent_span);
+  } else {
+    StoreU64(p + 40, 0);  // reserved: zero through wire v1
+  }
   if (!frame.payload.empty()) {
     std::memcpy(p + kHeaderBytes, frame.payload.data(), frame.payload.size());
   }
@@ -215,6 +220,11 @@ StatusOr<FrameHeader> DecodeHeader(const uint8_t* data, size_t size) {
   h.dst = LoadU64(data + 20);
   h.request_id = LoadU64(data + 28);
   h.checksum = LoadU32(data + 36);
+  if ((h.flags & kFlagTraced) != 0) {
+    h.trace_id = LoadU32(data + 40);
+    h.parent_span = LoadU32(data + 44);
+  }
+  // Without the flag, bytes 40-47 are ignored (reserved in wire v1).
   return h;
 }
 
@@ -237,6 +247,8 @@ StatusOr<Frame> DecodeFrame(const uint8_t* data, size_t size) {
   f.src = h.src;
   f.dst = h.dst;
   f.request_id = h.request_id;
+  f.trace_id = h.trace_id;
+  f.parent_span = h.parent_span;
   f.payload.assign(data + kHeaderBytes, data + size);
   return f;
 }

@@ -18,10 +18,19 @@
 //   +--------+------+-----+-----+--------+--------+--------+--------+
 //   | "SPRW" | ver  | typ | flg | length | src id | dst id | req id |
 //   +--------+------+-----+-----+--------+--------+--------+--------+
-//   36       40               48                            48+length
-//   +--------+----------------+----------------------------+
-//   | crc32  | reserved (8 B) | payload (length bytes) ... |
-//   +--------+----------------+----------------------------+
+//   36       40         44          48                      48+length
+//   +--------+----------+-----------+----------------------------+
+//   | crc32  | trace id | parent sp | payload (length bytes) ... |
+//   +--------+----------+-----------+----------------------------+
+//
+// Bytes 40–47 were a zeroed reserved field through wire v1; they now carry
+// the distributed-tracing context (DESIGN.md §16) — a u32 trace id at 40
+// and a u32 parent span id at 44 — but ONLY when kFlagTraced is set.
+// Without the flag the eight bytes are written as zero and ignored on
+// decode, exactly the v1 behavior, so no version bump is needed: old
+// decoders see untraced frames unchanged and ignore traced frames'
+// reserved bytes (the crc never covered them). The sim bus never sets the
+// flag, keeping every golden frame byte-identical.
 //
 // i.e. a 48-byte header — deliberately equal to p2p::kMessageHeaderBytes,
 // so the simulator's per-message header charge matches the real frame
@@ -58,17 +67,23 @@ inline constexpr uint8_t kFlagHasRecord = 0x02;   // a query record rides along
 inline constexpr uint8_t kFlagAnnounce = 0x04;    // join: newcomer announcement
 inline constexpr uint8_t kFlagRecordOnly = 0x08;  // query: record, skip fetch
 inline constexpr uint8_t kFlagFinal = 0x10;       // lookup: terminal answer
+inline constexpr uint8_t kFlagTraced = 0x20;      // trace context in bytes 40-47
 
-// A decoded frame: typed envelope plus raw payload bytes.
+// A decoded frame: typed envelope plus raw payload bytes. `trace_id` /
+// `parent_span` are meaningful only when kFlagTraced is set in `flags`;
+// they encode into header bytes 40-47 (zeros otherwise).
 struct Frame {
   p2p::MessageType type = p2p::MessageType::kLookupHop;
   uint8_t flags = 0;
   p2p::PeerId src = 0;
   p2p::PeerId dst = 0;
   uint64_t request_id = 0;
+  uint32_t trace_id = 0;
+  uint32_t parent_span = 0;
   std::vector<uint8_t> payload;
 
   size_t wire_size() const { return kHeaderBytes + payload.size(); }
+  bool traced() const { return (flags & kFlagTraced) != 0 && trace_id != 0; }
 };
 
 // Serializes `frame` (header + payload, crc filled in).
@@ -93,6 +108,8 @@ struct FrameHeader {
   p2p::PeerId dst = 0;
   uint64_t request_id = 0;
   uint32_t checksum = 0;
+  uint32_t trace_id = 0;     // valid only with kFlagTraced
+  uint32_t parent_span = 0;  // valid only with kFlagTraced
 };
 StatusOr<FrameHeader> DecodeHeader(const uint8_t* data, size_t size);
 

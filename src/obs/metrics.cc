@@ -206,6 +206,100 @@ double GiniCoefficient(const std::vector<double>& values) {
   return (2.0 * weighted) / (n * sum) - (n + 1.0) / n;
 }
 
+namespace {
+
+// "search.route_hops" -> "sprite_search_route_hops"; any character outside
+// [a-zA-Z0-9_] becomes '_', and a leading digit is prefixed.
+std::string PromName(const std::string& name, const char* suffix) {
+  std::string out = "sprite_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  out += suffix;
+  return out;
+}
+
+// Label values need only backslash/quote/newline escaping in the text
+// exposition format.
+std::string PromLabelValue(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void PromLine(std::string& out, const std::string& metric,
+              const std::string& label, const std::string& extra_label,
+              const std::string& value) {
+  out += metric;
+  if (!label.empty() || !extra_label.empty()) {
+    out += '{';
+    if (!label.empty()) {
+      out += "label=\"" + PromLabelValue(label) + "\"";
+      if (!extra_label.empty()) out += ',';
+    }
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_type_for;
+  auto type_line = [&out, &last_type_for](const std::string& metric,
+                                          const char* type) {
+    if (metric == last_type_for) return;  // labeled series share one TYPE
+    out += "# TYPE " + metric + " " + type + "\n";
+    last_type_for = metric;
+  };
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string metric = PromName(c.id.name, "_total");
+    type_line(metric, "counter");
+    PromLine(out, metric, c.id.label, "",
+             StrFormat("%llu", static_cast<unsigned long long>(c.value)));
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string metric = PromName(g.id.name, "");
+    type_line(metric, "gauge");
+    PromLine(out, metric, g.id.label, "", JsonNumber(g.value));
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string metric = PromName(h.id.name, "");
+    type_line(metric, "summary");
+    static constexpr struct {
+      const char* quantile;
+      double HistogramSample::* field;
+    } kQuantiles[] = {{"0.5", &HistogramSample::p50},
+                      {"0.9", &HistogramSample::p90},
+                      {"0.95", &HistogramSample::p95},
+                      {"0.99", &HistogramSample::p99}};
+    for (const auto& q : kQuantiles) {
+      PromLine(out, metric, h.id.label,
+               std::string("quantile=\"") + q.quantile + "\"",
+               JsonNumber(h.*(q.field)));
+    }
+    PromLine(out, metric + "_sum", h.id.label, "", JsonNumber(h.sum));
+    PromLine(out, metric + "_count", h.id.label, "",
+             StrFormat("%zu", h.count));
+  }
+  return out;
+}
+
 bool WriteJsonFile(const std::string& path, const std::string& json) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;

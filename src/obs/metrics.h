@@ -140,6 +140,13 @@ class MetricsRegistry {
 // benches' --metrics-json flag and the CLI.
 bool WriteJsonFile(const std::string& path, const std::string& json);
 
+// Renders a snapshot in the Prometheus text exposition format (v0.0.4):
+// dots in metric names become underscores under a "sprite_" prefix, labels
+// become {label="..."}, counters get a _total suffix, histograms expose
+// _count/_sum plus precomputed quantile gauges ({quantile="0.5"} etc. on
+// the base name). Served by the daemon's /metrics?format=prometheus.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
 // --- Load-skew statistics -------------------------------------------------
 // Both return 0 for empty input or an all-zero distribution.
 

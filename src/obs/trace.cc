@@ -24,22 +24,76 @@ void Tracer::set_options(TraceOptions options) {
   while (ring_.size() > options_.max_traces) ring_.pop_front();
 }
 
+void Tracer::set_time_source(TraceClock* source) {
+  SPRITE_CHECK(stack_.empty());
+  time_source_ = source != nullptr ? source : &clock_;
+}
+
+namespace {
+
+// splitmix64 finalizer folded to a nonzero 32-bit id.
+uint64_t MixId32(uint64_t salt, uint64_t seq) {
+  uint64_t x = salt + 0x9e3779b97f4a7c15ull * (seq + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  x = (x ^ (x >> 32)) & 0xffffffffull;
+  return x == 0 ? 1 : x;
+}
+
+}  // namespace
+
+uint64_t Tracer::NextTraceId() {
+  const uint64_t seq = next_trace_id_++;
+  if (id_salt_ == 0) return seq;
+  return MixId32(id_salt_, seq << 1);
+}
+
+SpanId Tracer::NextSpanId() {
+  const uint64_t seq = next_span_id_++;
+  if (id_salt_ == 0) return seq;
+  return MixId32(id_salt_, (seq << 1) | 1);
+}
+
 TraceContext Tracer::BeginSpan(const std::string& name,
                                const std::string& peer) {
   if (!enabled_) return {};
   if (stack_.empty()) {
     ++started_;
     active_ = Trace{};
-    active_.id = next_trace_id_++;
-    active_.start_ms = clock_.now_ms();
+    active_.id = NextTraceId();
+    active_.start_ms = time_source_->now_ms();
   }
   Span s;
   s.trace_id = active_.id;
-  s.id = next_span_id_++;
+  s.id = NextSpanId();
   s.parent_id = stack_.empty() ? 0 : active_.spans[stack_.back()].id;
   s.name = name;
   s.peer = peer;
-  s.start_ms = clock_.now_ms();
+  s.start_ms = time_source_->now_ms();
+  s.end_ms = s.start_ms;
+  stack_.push_back(active_.spans.size());
+  active_.spans.push_back(std::move(s));
+  return {active_.id, active_.spans[stack_.back()].id};
+}
+
+TraceContext Tracer::BeginRemoteSpan(const std::string& name,
+                                     const std::string& peer,
+                                     uint64_t trace_id,
+                                     SpanId parent_span_id) {
+  if (!enabled_) return {};
+  if (!stack_.empty() || trace_id == 0) return BeginSpan(name, peer);
+  ++started_;
+  active_ = Trace{};
+  active_.id = trace_id;
+  active_.start_ms = time_source_->now_ms();
+  Span s;
+  s.trace_id = trace_id;
+  s.id = NextSpanId();
+  s.parent_id = parent_span_id;
+  s.name = name;
+  s.peer = peer;
+  s.start_ms = active_.start_ms;
   s.end_ms = s.start_ms;
   stack_.push_back(active_.spans.size());
   active_.spans.push_back(std::move(s));
@@ -48,7 +102,7 @@ TraceContext Tracer::BeginSpan(const std::string& name,
 
 void Tracer::EndSpan() {
   if (!enabled_ || stack_.empty()) return;
-  active_.spans[stack_.back()].end_ms = clock_.now_ms();
+  active_.spans[stack_.back()].end_ms = time_source_->now_ms();
   stack_.pop_back();
   if (stack_.empty()) FinishTrace();
 }
@@ -83,7 +137,7 @@ void Tracer::AnnotateSpan(SpanId id, const std::string& key,
 }
 
 void Tracer::FinishTrace() {
-  active_.end_ms = clock_.now_ms();
+  active_.end_ms = time_source_->now_ms();
   const double dur = active_.duration_ms();
   const bool sampled =
       options_.sample_every > 0 && started_ % options_.sample_every == 0;
@@ -220,6 +274,13 @@ std::string Tracer::ToJsonl() const {
       out += "}\n";
     }
   }
+  return out;
+}
+
+std::string Tracer::DrainJsonl() {
+  std::string out = ToJsonl();
+  ring_.clear();
+  slowest_.clear();
   return out;
 }
 

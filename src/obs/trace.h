@@ -1,6 +1,7 @@
 #ifndef SPRITE_OBS_TRACE_H_
 #define SPRITE_OBS_TRACE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -10,14 +11,23 @@
 
 namespace sprite::obs {
 
+// Time source seam for the tracer (DESIGN.md §16). The simulation runs on
+// the deterministic SimClock below; live daemons substitute a WallClock so
+// spans carry real timestamps that can be compared across processes.
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  virtual double now_ms() const = 0;
+};
+
 // Simulated wall clock. The simulation executes everything as instantaneous
 // in-process calls; instrumented operations advance this clock by their
 // LatencyModel cost as they run, so spans carry coherent timestamps (a
 // global timeline) instead of bare durations. Deterministic by
 // construction: identical runs advance the clock identically.
-class SimClock {
+class SimClock : public TraceClock {
  public:
-  double now_ms() const { return now_ms_; }
+  double now_ms() const override { return now_ms_; }
   // Advances simulated time; negative or NaN deltas are ignored.
   void AdvanceMs(double ms) {
     if (ms > 0.0) now_ms_ += ms;
@@ -26,6 +36,28 @@ class SimClock {
 
  private:
   double now_ms_ = 0.0;
+};
+
+// Monotonic wall clock for live daemons. Timestamps are milliseconds on the
+// realtime axis — a system_clock anchor captured at construction plus the
+// steady_clock delta since — so spans from different processes on one host
+// line up to within clock skew while staying immune to realtime jumps.
+class WallClock : public TraceClock {
+ public:
+  WallClock()
+      : steady_epoch_(std::chrono::steady_clock::now()),
+        anchor_ms_(std::chrono::duration<double, std::milli>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count()) {}
+  double now_ms() const override {
+    return anchor_ms_ + std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - steady_epoch_)
+                            .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point steady_epoch_;
+  double anchor_ms_ = 0.0;
 };
 
 using SpanId = uint64_t;
@@ -107,6 +139,21 @@ class Tracer {
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
 
+  // Swaps the time source (nullptr restores the embedded SimClock). The
+  // default is the SimClock, which keeps every simulated stream
+  // byte-identical; daemons point this at a WallClock. Must not be called
+  // while a trace is active.
+  void set_time_source(TraceClock* source);
+  double now_ms() const { return time_source_->now_ms(); }
+
+  // When nonzero, trace and span ids are drawn from a salted 32-bit hash
+  // sequence instead of the sequential counters, so ids minted by distinct
+  // daemons (salt = ring id) collide with negligible probability and fit
+  // the 32-bit wire trace-context fields. The sim never sets a salt, so
+  // its sequential ids — and every golden dump — are unchanged.
+  void set_id_salt(uint64_t salt) { id_salt_ = salt; }
+  uint64_t id_salt() const { return id_salt_; }
+
   // Cost of one overlay routing hop, advanced by ChordRing per hop span.
   void set_hop_cost_ms(double ms) { hop_cost_ms_ = ms; }
   double hop_cost_ms() const { return hop_cost_ms_; }
@@ -115,6 +162,13 @@ class Tracer {
   // trace); otherwise the span nests under the innermost open span.
   // Returns an invalid context when the tracer is disabled.
   TraceContext BeginSpan(const std::string& name, const std::string& peer);
+  // Opens the root span of a new operation that continues a trace started
+  // on another node: the operation adopts `trace_id` and the root span's
+  // parent is the remote caller's span. With a span already open, or a
+  // zero trace id, this degrades to a plain BeginSpan.
+  TraceContext BeginRemoteSpan(const std::string& name,
+                               const std::string& peer, uint64_t trace_id,
+                               SpanId parent_span_id);
   // Closes the innermost open span at the current clock; finishing the
   // root applies the retention policy.
   void EndSpan();
@@ -143,14 +197,22 @@ class Tracer {
   // One JSON object per line per span; first line is a header record.
   // Input format of `sprite_cli trace-report`.
   std::string ToJsonl() const;
+  // ToJsonl() followed by dropping every retained trace (the `/trace`
+  // HTTP drain). The started-operations counter is preserved, so repeated
+  // drains report monotone `traces_started` headers.
+  std::string DrainJsonl();
 
  private:
   void FinishTrace();
+  uint64_t NextTraceId();
+  SpanId NextSpanId();
 
   TraceOptions options_;
   bool enabled_ = false;
   SimClock clock_;
+  TraceClock* time_source_ = &clock_;
   double hop_cost_ms_ = 50.0;
+  uint64_t id_salt_ = 0;
   uint64_t next_trace_id_ = 1;
   uint64_t next_span_id_ = 1;
   uint64_t started_ = 0;

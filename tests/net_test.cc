@@ -5,6 +5,9 @@
 // life cycle must reproduce the simulation's rankings bit for bit — the
 // in-process twin of the multi-process daemon smoke in tools/ci.sh.
 
+#include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,8 @@
 #include "net/cluster.h"
 #include "net/sim_transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "p2p/network.h"
 #include "text/analyzer.h"
 
@@ -364,6 +369,156 @@ TEST_F(ClusterFixture, UnreachableMemberIsSkippedNotFatal) {
   bus_.SetDown(victim, false);
   ranked = nodes_[0]->Search({remote_term}, 10);
   ASSERT_TRUE(ranked.ok());
+}
+
+
+// --- Transport RTT histograms (DESIGN.md §16) -------------------------------
+
+TEST(TransportStatsTest, RttMirrorsIntoRegistryAndClearErases) {
+  TransportStats stats;
+  obs::MetricsRegistry reg;
+  stats.AttachMetrics(&reg, /*mirror_traffic=*/true);
+  stats.ObserveRtt(MessageType::kQueryRequest, 120.0);
+  stats.ObserveRtt(MessageType::kQueryRequest, 80.0);
+  stats.ObserveRtt(MessageType::kQueryRequest, -1.0);  // ignored
+  EXPECT_EQ(stats.RttCountOf(MessageType::kQueryRequest), 2u);
+  EXPECT_DOUBLE_EQ(stats.RttSumUsOf(MessageType::kQueryRequest), 200.0);
+  const std::string label(p2p::MessageTypeName(MessageType::kQueryRequest));
+  const Histogram* h = reg.histogram("transport.rtt_us", label);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->sum(), 200.0);
+  // The §8 reset contract: Clear erases the mirrored histogram too.
+  stats.Clear();
+  EXPECT_EQ(stats.RttCountOf(MessageType::kQueryRequest), 0u);
+  EXPECT_DOUBLE_EQ(stats.RttSumUsOf(MessageType::kQueryRequest), 0.0);
+  EXPECT_EQ(reg.histogram("transport.rtt_us", label), nullptr);
+}
+
+TEST(TransportStatsTest, SimBackendNeverMirrorsRttWallTime) {
+  // mirror_traffic=false is the sim backend's configuration: local RTT
+  // arrays may count, but no wall time leaks into the registry dumps.
+  TransportStats stats;
+  obs::MetricsRegistry reg;
+  stats.AttachMetrics(&reg, /*mirror_traffic=*/false);
+  stats.ObserveRtt(MessageType::kQueryRequest, 10.0);
+  EXPECT_EQ(stats.RttCountOf(MessageType::kQueryRequest), 1u);
+  EXPECT_EQ(reg.num_histograms(), 0u);
+}
+
+// --- Trace propagation: the sim bus stays byte-clean ------------------------
+
+TEST(SimTransportFrameTest, SimBusFramesCarryNoTraceContext) {
+  SimTransport bus;
+  wire::Frame seen;
+  bus.Register(5, [&](const wire::Frame& f) -> StatusOr<wire::Frame> {
+    seen = f;
+    return f;
+  });
+  wire::Heartbeat probe;
+  probe.term = "abcdefghij";
+  PeerAddress to;
+  to.id = 5;
+  ASSERT_TRUE(bus.Call(to, wire::ToFrame(probe), CallOptions{}).ok());
+  EXPECT_EQ(seen.flags & wire::kFlagTraced, 0);
+  EXPECT_FALSE(seen.traced());
+  // Encoded, a sim-bus frame keeps the v1 reserved bytes all-zero — the
+  // invariant the golden frame dumps rely on.
+  const std::vector<uint8_t> bytes = wire::EncodeFrame(seen);
+  ASSERT_GE(bytes.size(), wire::kHeaderBytes);
+  for (size_t i = 40; i < 48; ++i) {
+    EXPECT_EQ(bytes[i], 0) << "reserved byte " << i;
+  }
+}
+
+// --- Observability attachment: determinism guard (DESIGN.md §16) ------------
+
+struct LifecycleDump {
+  std::string results;
+  std::string trace;
+  std::string metrics;
+};
+
+// The ClusterFixture workload with a registry + tracer attached (the live
+// daemon's wiring) — but on the sim bus with the tracer's default SimClock
+// and zero id salt, so dumps must be deterministic.
+LifecycleDump RunObservedLifecycle(bool attach) {
+  core::SpriteConfig config;
+  SimTransport bus;
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  tracer.set_enabled(attach);
+  text::Analyzer analyzer;
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  for (const char* name : {"n0", "n1", "n2"}) {
+    nodes.push_back(std::make_unique<ClusterNode>(
+        ClusterOptions{name, config}, &bus));
+    if (attach) nodes.back()->AttachObservability(&metrics, &tracer);
+  }
+  for (auto& node : nodes) {
+    ClusterNode* raw = node.get();
+    bus.Register(raw->self().id, [raw](const wire::Frame& f) {
+      return raw->HandleFrame(f);
+    });
+  }
+  PeerAddress bootstrap;
+  bootstrap.id = nodes[0]->self().id;
+  EXPECT_TRUE(nodes[1]->Join(bootstrap).ok());
+  EXPECT_TRUE(nodes[2]->Join(bootstrap).ok());
+  for (size_t rep = 0; rep < 2; ++rep) {
+    for (const char* q : kQueries) {
+      EXPECT_TRUE(nodes[0]->RecordQuery(analyzer.Analyze(q)).ok());
+    }
+  }
+  for (size_t i = 0; i < std::size(kDocs); ++i) {
+    EXPECT_TRUE(nodes[i % 3]
+                    ->ShareDocument(static_cast<corpus::DocId>(i),
+                                    kDocs[i][0], kDocs[i][1])
+                    .ok());
+  }
+  for (auto& node : nodes) EXPECT_TRUE(node->RunLearningIteration().ok());
+  LifecycleDump dump;
+  for (const char* q : kQueries) {
+    StatusOr<ir::RankedList> ranked = nodes[0]->Search(analyzer.Analyze(q), 10);
+    EXPECT_TRUE(ranked.ok());
+    if (!ranked.ok()) continue;
+    for (const auto& scored : *ranked) {
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(scored.score));
+      std::memcpy(&bits, &scored.score, sizeof(bits));
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%u:%llx ", scored.doc,
+                    static_cast<unsigned long long>(bits));
+      dump.results += buf;
+    }
+    dump.results += "\n";
+  }
+  dump.trace = tracer.ToJsonl();
+  dump.metrics = metrics.Snapshot().ToJson();
+  return dump;
+}
+
+TEST(ClusterObservabilityTest, AttachingObservabilityChangesNoResultByte) {
+  const LifecycleDump off = RunObservedLifecycle(false);
+  const LifecycleDump on = RunObservedLifecycle(true);
+  ASSERT_GT(off.results.size(), 20u);
+  EXPECT_EQ(off.results, on.results);
+  // The attached run really traced: the sim span vocabulary appears, so
+  // trace_report's phase tables work on live dumps too.
+  EXPECT_NE(on.trace.find("\"name\":\"search\""), std::string::npos);
+  EXPECT_NE(on.trace.find("\"name\":\"fetch\""), std::string::npos);
+  EXPECT_NE(on.trace.find("\"name\":\"rank\""), std::string::npos);
+  EXPECT_NE(on.trace.find("\"name\":\"learning.iteration\""),
+            std::string::npos);
+  EXPECT_NE(on.metrics.find("cluster.searches"), std::string::npos);
+}
+
+TEST(ClusterObservabilityTest, ObservedLifecycleDumpsAreByteIdentical) {
+  const LifecycleDump a = RunObservedLifecycle(true);
+  const LifecycleDump b = RunObservedLifecycle(true);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
 }
 
 }  // namespace

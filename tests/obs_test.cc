@@ -1116,5 +1116,62 @@ TEST(PerfTest, ParseRejectsGarbage) {
                              &error));
 }
 
+
+// --- Prometheus text exposition (served by /metrics?format=prometheus) ------
+
+TEST(PrometheusTextTest, RendersAllThreeKindsWithTypesAndLabels) {
+  MetricsRegistry reg;
+  reg.Add("search.queries", 7);
+  reg.Add("transport.frames", "query_request", 3);
+  reg.Add("transport.frames", "heartbeat", 2);
+  reg.Set("load.postings.gini", 0.25);
+  reg.Observe("transport.rtt_us", "query_request", 100.0);
+  reg.Observe("transport.rtt_us", "query_request", 300.0);
+  const std::string text = PrometheusText(reg.Snapshot());
+  // Counters: sprite_ prefix, dots to underscores, _total suffix.
+  EXPECT_NE(text.find("# TYPE sprite_search_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sprite_search_queries_total 7\n"), std::string::npos);
+  // Labeled series share one TYPE line.
+  EXPECT_EQ(text.find("# TYPE sprite_transport_frames_total counter"),
+            text.rfind("# TYPE sprite_transport_frames_total counter"));
+  EXPECT_NE(
+      text.find("sprite_transport_frames_total{label=\"heartbeat\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find(
+                "sprite_transport_frames_total{label=\"query_request\"} 3\n"),
+            std::string::npos);
+  // Gauges render without a suffix.
+  EXPECT_NE(text.find("# TYPE sprite_load_postings_gini gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("sprite_load_postings_gini 0.25\n"), std::string::npos);
+  // Histograms render as summaries: quantiles + _sum/_count.
+  EXPECT_NE(text.find("# TYPE sprite_transport_rtt_us summary"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "sprite_transport_rtt_us{label=\"query_request\",quantile=\"0.5\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("sprite_transport_rtt_us_sum{label=\"query_request\"} 400\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("sprite_transport_rtt_us_count{label=\"query_request\"} 2\n"),
+      std::string::npos);
+}
+
+TEST(PrometheusTextTest, SanitizesNamesAndEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.Add("weird-name.v2", "a\"b\\c", 1);
+  const std::string text = PrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("sprite_weird_name_v2_total"), std::string::npos);
+  EXPECT_NE(text.find("{label=\"a\\\"b\\\\c\"} 1"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, EmptySnapshotRendersEmpty) {
+  MetricsRegistry reg;
+  EXPECT_EQ(PrometheusText(reg.Snapshot()), "");
+}
+
 }  // namespace
 }  // namespace sprite::obs

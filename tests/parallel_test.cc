@@ -351,8 +351,11 @@ struct ScenarioDump {
 // membership changes all run. Everything observable is captured.
 // `profile` turns on the host-side wall profiler (DESIGN.md §13), which by
 // contract must not change a single observable byte.
+// `poke_live_seams` explicitly sets the tracer's live-daemon seams to
+// their sim defaults (SimClock time source, zero id salt) — the pointer
+// indirection those seams add must not change a single observable byte.
 ScenarioDump RunScenario(const TestBed& bed, size_t threads,
-                         bool profile = false) {
+                         bool profile = false, bool poke_live_seams = false) {
   SpriteConfig config;
   config.num_peers = 48;
   config.initial_terms = 5;
@@ -369,6 +372,10 @@ ScenarioDump RunScenario(const TestBed& bed, size_t threads,
 
   SpriteSystem sys(config);
   sys.mutable_tracer().set_enabled(true);
+  if (poke_live_seams) {
+    sys.mutable_tracer().set_time_source(nullptr);
+    sys.mutable_tracer().set_id_salt(0);
+  }
 
   EXPECT_TRUE(eval::TrainSystem(sys, bed, bed.split().train, 2).ok());
   sys.ReplicateIndexes();
@@ -440,6 +447,20 @@ TEST_F(EpochDeterminismTest, WallProfilingDoesNotChangeAnyObservableByte) {
   EXPECT_NE(on.perf.find("perf.epoch.share.plan_us"), std::string::npos);
   EXPECT_NE(on.perf.find("perf.search.total_us"), std::string::npos);
   EXPECT_EQ(off.perf.find("perf."), std::string::npos);
+}
+
+// The live-tracing seams (DESIGN.md §16) ship compiled into the sim build:
+// a swappable TraceClock and a 32-bit id salt. At their defaults they must
+// be invisible — same bytes in every dump, traced ids still sequential.
+TEST_F(EpochDeterminismTest, LiveTracingSeamsLeaveSimDumpsByteIdentical) {
+  const ScenarioDump plain = RunScenario(*bed_, 2);
+  const ScenarioDump poked =
+      RunScenario(*bed_, 2, /*profile=*/false, /*poke_live_seams=*/true);
+  EXPECT_EQ(plain.results, poked.results);
+  EXPECT_EQ(plain.metrics, poked.metrics);
+  EXPECT_EQ(plain.trace, poked.trace);
+  EXPECT_EQ(plain.timeseries, poked.timeseries);
+  EXPECT_NE(plain.trace.find("\"trace\":1,"), std::string::npos);
 }
 
 }  // namespace

@@ -512,5 +512,118 @@ TEST(TraceReportTest, WrappedSlowestRingStillReportsTheSlowest) {
   EXPECT_LT(at90, at70);
 }
 
+
+// --- Live-tracing seams (DESIGN.md §16) -------------------------------------
+
+TEST(WallClockTest, MonotoneAndOnTheRealtimeAxis) {
+  WallClock clock;
+  const double a = clock.now_ms();
+  double b = a;
+  for (int i = 0; i < 1000; ++i) b = clock.now_ms();
+  EXPECT_GE(b, a);
+  // Milliseconds since the Unix epoch: any plausible "now" is past 2001
+  // (1e12 ms) — a cheap guard that the anchor really is realtime, not a
+  // process-relative zero.
+  EXPECT_GT(a, 1e12);
+}
+
+TEST(TracerTest, TimeSourceSeamSwapsAndRestores) {
+  Tracer t;
+  t.set_enabled(true);
+  WallClock wall;
+  t.set_time_source(&wall);
+  EXPECT_GT(t.now_ms(), 1e12);
+  t.set_time_source(nullptr);  // back to the embedded SimClock
+  EXPECT_DOUBLE_EQ(t.now_ms(), 0.0);
+  RunTrace(t, 3.0);
+  ASSERT_EQ(t.num_retained(), 1u);
+  EXPECT_DOUBLE_EQ(t.Retained()[0]->duration_ms(), 3.0);
+}
+
+TEST(TracerTest, ZeroSaltKeepsSequentialIds) {
+  Tracer t;
+  t.set_enabled(true);
+  RunTrace(t, 1.0);
+  ASSERT_EQ(t.num_retained(), 1u);
+  const Trace* trace = t.Retained()[0];
+  EXPECT_EQ(trace->id, 1u);
+  ASSERT_EQ(trace->spans.size(), 2u);
+  EXPECT_EQ(trace->spans[0].id, 1u);
+  EXPECT_EQ(trace->spans[1].id, 2u);
+}
+
+TEST(TracerTest, SaltedIdsAreNonZero32BitAndSaltDependent) {
+  Tracer a, b;
+  a.set_enabled(true);
+  b.set_enabled(true);
+  a.set_id_salt(0x1111);
+  b.set_id_salt(0x2222);
+  RunTrace(a, 1.0);
+  RunTrace(b, 1.0);
+  ASSERT_EQ(a.num_retained(), 1u);
+  ASSERT_EQ(b.num_retained(), 1u);
+  const Trace* ta = a.Retained()[0];
+  const Trace* tb = b.Retained()[0];
+  EXPECT_NE(ta->id, 0u);
+  EXPECT_LE(ta->id, 0xffffffffull);  // fits the wire's u32 context field
+  EXPECT_NE(ta->id, tb->id);
+  for (const Span& s : ta->spans) {
+    EXPECT_NE(s.id, 0u);
+    EXPECT_LE(s.id, 0xffffffffull);
+    EXPECT_NE(s.id, ta->id);  // span and trace streams are disjoint
+  }
+}
+
+TEST(TracerTest, BeginRemoteSpanAdoptsTraceAndParent) {
+  Tracer t;
+  t.set_enabled(true);
+  TraceContext ctx = t.BeginRemoteSpan("serve.query", "n1",
+                                       /*trace_id=*/0xabcdu,
+                                       /*parent_span_id=*/55);
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id, 0xabcdu);
+  t.EndSpan();
+  ASSERT_EQ(t.num_retained(), 1u);
+  const Trace* trace = t.Retained()[0];
+  EXPECT_EQ(trace->id, 0xabcdu);
+  ASSERT_EQ(trace->spans.size(), 1u);
+  // The adopted root is not a local root: its parent is the remote
+  // caller's span, which is what lets the collector stitch the trees.
+  EXPECT_EQ(trace->spans[0].parent_id, 55u);
+}
+
+TEST(TracerTest, BeginRemoteSpanDegradesToLocalSpan) {
+  Tracer t;
+  t.set_enabled(true);
+  // Zero trace id: nothing to adopt.
+  TraceContext root = t.BeginRemoteSpan("op", "n1", 0, 9);
+  EXPECT_NE(root.trace_id, 0xabcdu);
+  // Open stack: nests locally instead of starting an operation.
+  TraceContext child = t.BeginRemoteSpan("inner", "n1", 0xabcdu, 9);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  t.EndSpan();
+  t.EndSpan();
+  ASSERT_EQ(t.num_retained(), 1u);
+  ASSERT_EQ(t.Retained()[0]->spans.size(), 2u);
+  EXPECT_EQ(t.Retained()[0]->spans[0].parent_id, 0u);
+}
+
+TEST(TracerTest, DrainJsonlEmptiesRetentionAndKeepsStarted) {
+  Tracer t;
+  t.set_enabled(true);
+  RunTrace(t, 1.0);
+  RunTrace(t, 2.0);
+  const std::string first = t.DrainJsonl();
+  EXPECT_NE(first.find("\"traces_started\":2"), std::string::npos);
+  EXPECT_NE(first.find("\"name\":\"op\""), std::string::npos);
+  EXPECT_EQ(t.num_retained(), 0u);
+  // The drain is destructive for spans but monotone for the counter.
+  const std::string second = t.DrainJsonl();
+  EXPECT_NE(second.find("\"traces_started\":2"), std::string::npos);
+  EXPECT_EQ(second.find("\"name\""), std::string::npos);
+  RunTrace(t, 1.0);
+  EXPECT_NE(t.DrainJsonl().find("\"traces_started\":3"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sprite::obs

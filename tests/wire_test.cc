@@ -508,5 +508,103 @@ TEST(WireParity, CanonicalRecordMatchesCostConstant) {
             p2p::kQueryRecordBytes);
 }
 
+
+// --- Trace context in the reserved header bytes (DESIGN.md §16) -------------
+
+TEST(WireTraceContext, RoundTripsWhenFlagged) {
+  LookupHop m;
+  m.key = 0x1234;
+  Frame frame = ToFrame(m);
+  frame.flags |= kFlagTraced;
+  frame.trace_id = 0xdeadbeefu;
+  frame.parent_span = 0x0badf00du;
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  // The context lives in header bytes 40-47, little-endian u32 pair.
+  EXPECT_EQ(bytes[40], 0xef);
+  EXPECT_EQ(bytes[41], 0xbe);
+  EXPECT_EQ(bytes[42], 0xad);
+  EXPECT_EQ(bytes[43], 0xde);
+  EXPECT_EQ(bytes[44], 0x0d);
+  EXPECT_EQ(bytes[45], 0xf0);
+  EXPECT_EQ(bytes[46], 0xad);
+  EXPECT_EQ(bytes[47], 0x0b);
+  StatusOr<Frame> decoded = DecodeFrame(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->traced());
+  EXPECT_EQ(decoded->trace_id, 0xdeadbeefu);
+  EXPECT_EQ(decoded->parent_span, 0x0badf00du);
+}
+
+TEST(WireTraceContext, UntracedFramesKeepReservedBytesZero) {
+  // The v1 invariant the sim bus and the golden dumps rely on: without the
+  // flag the eight bytes encode as zero even if the struct fields are set.
+  LookupHop m;
+  m.key = 0x1234;
+  Frame frame = ToFrame(m);
+  frame.trace_id = 0xffffffffu;
+  frame.parent_span = 0xffffffffu;
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  for (size_t i = 40; i < 48; ++i) {
+    EXPECT_EQ(bytes[i], 0) << "reserved byte " << i;
+  }
+  StatusOr<Frame> decoded = DecodeFrame(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->traced());
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_EQ(decoded->parent_span, 0u);
+}
+
+TEST(WireTraceContext, FlaggedZeroTraceIdIsNotTraced) {
+  // A flag with no id is adoption-inert: traced() gates on both.
+  LookupHop m;
+  Frame frame = ToFrame(m);
+  frame.flags |= kFlagTraced;
+  frame.trace_id = 0;
+  frame.parent_span = 7;
+  StatusOr<Frame> decoded = DecodeFrame(EncodeFrame(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->traced());
+}
+
+TEST(WireTraceContext, UnflaggedGarbageInReservedBytesIsIgnored) {
+  // Forward/backward compatibility: a decoder must ignore bytes 40-47
+  // when the flag is clear (the crc never covered them).
+  LookupHop m;
+  m.key = 0x1234;
+  Frame frame = ToFrame(m);
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  for (size_t i = 40; i < 48; ++i) bytes[i] = 0xa5;
+  StatusOr<Frame> decoded = DecodeFrame(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->traced());
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_EQ(decoded->parent_span, 0u);
+}
+
+TEST(WireTraceContext, ContextDoesNotDisturbPayloadOrChecksum) {
+  // The crc covers the payload only, so stamping trace context leaves the
+  // checksum and the decoded message untouched.
+  PublishTerm m;
+  m.term = kTerm;
+  m.entry = MakeEntry(3);
+  Frame plain = ToFrame(m);
+  Frame traced = plain;
+  traced.flags |= kFlagTraced;
+  traced.trace_id = 42;
+  traced.parent_span = 43;
+  const std::vector<uint8_t> a = EncodeFrame(plain);
+  const std::vector<uint8_t> b = EncodeFrame(traced);
+  ASSERT_EQ(a.size(), b.size());
+  StatusOr<FrameHeader> ha = DecodeHeader(a.data(), a.size());
+  StatusOr<FrameHeader> hb = DecodeHeader(b.data(), b.size());
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(ha->checksum, hb->checksum);
+  auto out = ParsePublishTerm(*DecodeFrame(b));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->term, kTerm);
+  ExpectEntryEq(out->entry, m.entry);
+}
+
 }  // namespace
 }  // namespace sprite::net::wire

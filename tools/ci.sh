@@ -228,7 +228,11 @@ echo "== cluster smoke: three live daemons vs the simulation =="
 # Multi-process: three sprite_daemon processes on loopback (UDP control +
 # TCP bulk + HTTP frontend) join into a cluster, publish/record/learn, and
 # their search rankings must match `sprite_cli batch` — the same workload
-# through the in-process simulation — score for score.
+# through the in-process simulation — score for score. The daemons run
+# with --trace, and the smoke's observability leg (DESIGN.md §16) curls
+# /health and /metrics (JSON + Prometheus text) from all three, runs
+# `sprite_cli cluster-report`, asserts at least one search trace stitches
+# spans from >=2 distinct daemons, and drains /trace as JSONL.
 python3 tools/cluster_smoke.py build
 echo "cluster smoke OK"
 

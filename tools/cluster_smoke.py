@@ -10,6 +10,15 @@ the cluster and the simulation share the role/ranking/learning code, so a
 live deployment must converge to exactly the rankings the sim predicts
 (DESIGN.md section 14).
 
+The observability leg (DESIGN.md section 16) runs against the same live
+cluster: every daemon is started with --trace, so the searches above leave
+wall-clock spans in each daemon's ring buffer and trace context on every
+wire frame. The smoke curls /health (build provenance) and /metrics (JSON
+and Prometheus text) from all three daemons, runs `sprite_cli
+cluster-report` and asserts that at least one search trace stitches spans
+from two or more distinct daemons, then drains /trace directly and checks
+the JSONL parses line by line.
+
 The final leg exercises persistence (DESIGN.md section 15): every daemon
 flushes its index to a --data-dir, one daemon is killed and restarted from
 that directory, and the full query set must still match the simulation
@@ -21,6 +30,7 @@ Usage: cluster_smoke.py <build_dir>
 
 import json
 import os
+import re
 import select
 import shutil
 import subprocess
@@ -159,7 +169,7 @@ def main():
         data_root = os.path.join(workdir, "data")
 
         def start(name, join=None):
-            cmd = [daemon_bin, "--name=" + name,
+            cmd = [daemon_bin, "--name=" + name, "--trace",
                    "--data-dir=" + data_root]
             if join is not None:
                 cmd.append("--join=127.0.0.1:%d" % join)
@@ -234,6 +244,83 @@ def main():
         if via_cli.stdout.strip() != direct.strip():
             fail("sprite_cli query body differs from direct HTTP")
 
+        # --- Observability: /health, /metrics, cluster-report, /trace -----
+        # Every daemon runs with --trace (see start() above), so the
+        # searches just served left spans in each ring buffer and trace
+        # context on every inter-node frame.
+        for node in nodes:
+            health = json.loads(http("GET", node["http"], "/health"))
+            for key in ("name", "git_commit", "build_type", "wire_version",
+                        "uptime_s", "trace_enabled"):
+                if key not in health:
+                    fail("%s /health misses %r: %r"
+                         % (node["name"], key, health))
+            if health["name"] != node["name"]:
+                fail("/health name mismatch: %r" % health)
+            if health["wire_version"] != 1:
+                fail("unexpected wire version: %r" % health)
+            if health["trace_enabled"] is not True:
+                fail("%s not tracing despite --trace" % node["name"])
+            if not health["uptime_s"] > 0:
+                fail("%s implausible uptime: %r" % (node["name"], health))
+
+            metrics = json.loads(http("GET", node["http"], "/metrics"))
+            counters = {c["name"] for c in metrics["counters"]}
+            if node is nodes[0] and "cluster.searches" not in counters:
+                fail("n0 /metrics misses cluster.searches: %r"
+                     % sorted(counters))
+
+            # The Prometheus rendering must be well-formed exposition text:
+            # every line is a `# TYPE` comment or `name{labels} value`.
+            prom = http("GET", node["http"], "/metrics?format=prometheus")
+            sample_re = re.compile(
+                r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? '
+                r'[-+]?([0-9.]+([eE][-+]?[0-9]+)?|inf|nan)$')
+            for line in prom.splitlines():
+                if not line or line.startswith("# TYPE "):
+                    continue
+                if not sample_re.match(line):
+                    fail("%s prometheus line does not parse: %r"
+                         % (node["name"], line))
+            if (node is nodes[0]
+                    and "sprite_cluster_searches_total" not in prom):
+                fail("prometheus text misses sprite_cluster_searches_total")
+
+        # The collector polls every member, drains the trace rings and
+        # stitches cross-node trees; the searches above fetched postings
+        # from remote nodes, so at least one trace must span >=2 daemons.
+        report = subprocess.run(
+            [cli_bin, "cluster-report", "127.0.0.1:%d" % nodes[0]["http"]],
+            capture_output=True, text=True)
+        if report.returncode != 0:  # rc 3 = SLO alerts (e.g. RPC timeouts)
+            fail("cluster-report rc=%d:\n%s%s"
+                 % (report.returncode, report.stdout, report.stderr))
+        if report.stdout.count("trace=on") != 3:
+            fail("cluster-report missing trace=on for all members:\n%s"
+                 % report.stdout)
+        stitched = re.search(r"cross-node stitching: (\d+) of \d+ trace",
+                             report.stdout)
+        if not stitched:
+            fail("cluster-report printed no stitching summary:\n%s"
+                 % report.stdout)
+        if int(stitched.group(1)) < 1:
+            fail("no trace stitched spans from >=2 daemons:\n%s"
+                 % report.stdout)
+
+        # cluster-report drained every ring; one more search refills n0's,
+        # and a direct GET /trace must return parseable JSONL that drains.
+        http("GET", nodes[0]["http"],
+             "/search?q=%s&k=%d"
+             % (urllib.parse.quote(QUERIES[0]), TOP_K))
+        drain = http("GET", nodes[0]["http"], "/trace")
+        lines = [l for l in drain.splitlines() if l.strip()]
+        if not lines or '"format":"sprite-trace-jsonl"' not in lines[0]:
+            fail("/trace header malformed: %r" % lines[:1])
+        if not any('"name":"search"' in l for l in lines[1:]):
+            fail("/trace drain has no search span:\n%s" % drain)
+        for l in lines:
+            json.loads(l)  # every line is a standalone JSON object
+
         # --- Persistence: flush all, kill one, restart it, re-query -------
         for node in nodes:
             body = http("POST", node["http"], "/flush")
@@ -261,8 +348,9 @@ def main():
 
         print("cluster smoke: 3 daemons, %d docs, %d queries x%d, %d "
               "learning iterations - live rankings match the sim, "
-              "before and after a kill/restart recovery"
-              % (len(DOCS), len(QUERIES), TRAIN, ITERS))
+              "cluster-report stitched %s cross-node trace(s), and the "
+              "rankings survive a kill/restart recovery"
+              % (len(DOCS), len(QUERIES), TRAIN, ITERS, stitched.group(1)))
     finally:
         for proc in daemons:
             if proc.poll() is None:

@@ -17,6 +17,13 @@
 //       or by any bench): critical-path breakdown per phase, the top-N
 //       slowest searches as span trees, and per-peer busy time.
 //
+//   sprite_cli cluster-report <host:httpport> [--top=N] [--slo-rtt-p95-us=X]
+//       Poll every member of a live cluster (via any member's HTTP port):
+//       /health provenance, /metrics, and /trace drains. Stitches the
+//       per-daemon span dumps into cross-node trace trees (trace context
+//       rides the wire frames — DESIGN.md §16), reports per-hop wire
+//       timing, and evaluates SLO rules against the live metrics.
+//
 //   sprite_cli explain <corpus.tsv> "<keywords>" [options]
 //       Like `search`, but teaches the network the query (--train
 //       issuances + --iters learning rounds) and then explains one
@@ -56,12 +63,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <unordered_set>
@@ -70,12 +81,15 @@
 #include "cache/cache.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "core/sprite_system.h"
 #include "corpus/loader.h"
 #include "corpus/trec.h"
 #include "ir/centralized_index.h"
 #include "ir/metrics.h"
 #include "net/daemon.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace_report.h"
 #include "querygen/workload.h"
 #include "text/analyzer.h"
@@ -606,6 +620,8 @@ int CmdServe(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kDataDirFlag,
                             sizeof(kDataDirFlag) - 1) == 0) {
       options.config.data_dir = argv[i] + sizeof(kDataDirFlag) - 1;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.enable_trace = true;
     } else if (std::strncmp(argv[i], kJoinFlag, sizeof(kJoinFlag) - 1) == 0) {
       const std::string target = argv[i] + sizeof(kJoinFlag) - 1;
       const size_t colon = target.rfind(':');
@@ -770,6 +786,376 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+// --- cluster-report: the trace/metrics collector (DESIGN.md §16) -----------
+
+// Minimal scanners for the daemon's own JSON output. We control both ends
+// of this exchange and every value is flat, so — like obs::ParseTraceDump —
+// a full JSON parser stays unnecessary.
+
+// Reads the string value of `key` out of one flat JSON object, undoing the
+// \" and \\ escapes JsonEscape produces.
+bool FindJsonString(const std::string& obj, const std::string& key,
+                    std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  out->clear();
+  for (size_t i = pos + needle.size(); i < obj.size(); ++i) {
+    if (obj[i] == '\\' && i + 1 < obj.size()) {
+      out->push_back(obj[++i]);
+    } else if (obj[i] == '"') {
+      return true;
+    } else {
+      out->push_back(obj[i]);
+    }
+  }
+  return false;
+}
+
+bool FindJsonNumber(const std::string& obj, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  *out = std::strtod(obj.c_str() + pos + needle.size(), &end);
+  return end != obj.c_str() + pos + needle.size();
+}
+
+// Splits "{...},{...},..." into one string per top-level object,
+// string-aware so braces inside values cannot desynchronize the scan.
+std::vector<std::string> SplitTopLevelObjects(const std::string& body) {
+  std::vector<std::string> objects;
+  size_t start = 0;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      if (depth > 0 && --depth == 0) {
+        objects.push_back(body.substr(start, i - start + 1));
+      }
+    }
+  }
+  return objects;
+}
+
+// Extracts the bracketed contents of `"key": [...]`.
+bool ExtractJsonArray(const std::string& body, const std::string& key,
+                      std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = body.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = body.find('[', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = pos; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '[') {
+      ++depth;
+    } else if (c == ']' && --depth == 0) {
+      *out = body.substr(pos + 1, i - pos - 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Rebuilds a live daemon's /metrics JSON dump as a TimeSeriesPoint so the
+// stock SloWatchdog machinery (ResolveTimeSeriesMetric & friends) applies
+// to a running cluster unchanged. Labeled metrics key as "name{label}";
+// labeled counters additionally sum into the plain name as a cross-label
+// aggregate (so a rule can watch "transport.timeouts" as a whole).
+obs::TimeSeriesPoint PointFromMetricsJson(const std::string& json,
+                                          uint64_t index,
+                                          const std::string& label) {
+  obs::TimeSeriesPoint point;
+  point.index = index;
+  point.label = label;
+  const auto keyed = [](const std::string& name, const std::string& lab) {
+    return lab.empty() ? name : name + "{" + lab + "}";
+  };
+  std::string arr;
+  if (ExtractJsonArray(json, "counters", &arr)) {
+    for (const std::string& obj : SplitTopLevelObjects(arr)) {
+      std::string name, lab;
+      double value = 0.0;
+      if (!FindJsonString(obj, "name", &name) ||
+          !FindJsonNumber(obj, "value", &value)) {
+        continue;
+      }
+      FindJsonString(obj, "label", &lab);
+      const uint64_t v = static_cast<uint64_t>(value);
+      point.counters[keyed(name, lab)] += v;
+      if (!lab.empty()) point.counters[name] += v;
+    }
+  }
+  if (ExtractJsonArray(json, "gauges", &arr)) {
+    for (const std::string& obj : SplitTopLevelObjects(arr)) {
+      std::string name, lab;
+      double value = 0.0;
+      if (!FindJsonString(obj, "name", &name) ||
+          !FindJsonNumber(obj, "value", &value)) {
+        continue;
+      }
+      FindJsonString(obj, "label", &lab);
+      point.gauges[keyed(name, lab)] = value;
+    }
+  }
+  if (ExtractJsonArray(json, "histograms", &arr)) {
+    for (const std::string& obj : SplitTopLevelObjects(arr)) {
+      std::string name, lab;
+      if (!FindJsonString(obj, "name", &name)) continue;
+      FindJsonString(obj, "label", &lab);
+      obs::HistogramView view;
+      double value = 0.0;
+      if (FindJsonNumber(obj, "count", &value)) {
+        view.count = static_cast<uint64_t>(value);
+      }
+      if (FindJsonNumber(obj, "sum", &value)) view.sum = value;
+      if (FindJsonNumber(obj, "mean", &value)) view.mean = value;
+      if (FindJsonNumber(obj, "p50", &value)) view.p50 = value;
+      if (FindJsonNumber(obj, "p90", &value)) view.p90 = value;
+      if (FindJsonNumber(obj, "p95", &value)) view.p95 = value;
+      if (FindJsonNumber(obj, "p99", &value)) view.p99 = value;
+      point.histograms[keyed(name, lab)] = view;
+    }
+  }
+  return point;
+}
+
+// `sprite_cli cluster-report <host:httpport>` — poll every member of a
+// live cluster, merge the per-daemon trace drains into cross-node trees,
+// and evaluate SLO rules against the live metrics.
+int CmdClusterReport(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: sprite_cli cluster-report <host:httpport> "
+                 "[--top=N] [--slo-rtt-p95-us=X]\n");
+    return 2;
+  }
+  const std::string target = argv[2];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "want HOST:HTTPPORT, got %s\n", target.c_str());
+    return 2;
+  }
+  const std::string seed_host = target.substr(0, colon);
+  const uint16_t seed_port = static_cast<uint16_t>(
+      std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  size_t top_k = 3;
+  double slo_rtt_p95_us = std::nan("");
+  for (int i = 3; i < argc; ++i) {
+    unsigned long long v = 0;
+    double d = 0.0;
+    if (std::sscanf(argv[i], "--top=%llu", &v) == 1) top_k = v;
+    if (std::sscanf(argv[i], "--slo-rtt-p95-us=%lf", &d) == 1) {
+      slo_rtt_p95_us = d;
+    }
+  }
+
+  auto members_body = HttpGet(seed_host, seed_port, "/members");
+  if (!members_body.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 members_body.status().ToString().c_str());
+    return 1;
+  }
+  struct MemberEndpoint {
+    std::string name;
+    std::string host;
+    uint16_t http_port = 0;
+  };
+  std::vector<MemberEndpoint> members;
+  for (const std::string& obj : SplitTopLevelObjects(*members_body)) {
+    MemberEndpoint m;
+    double http_port = 0.0;
+    if (!FindJsonString(obj, "name", &m.name) ||
+        !FindJsonString(obj, "host", &m.host) ||
+        !FindJsonNumber(obj, "http", &http_port)) {
+      continue;
+    }
+    m.http_port = static_cast<uint16_t>(http_port);
+    members.push_back(std::move(m));
+  }
+  if (members.empty()) {
+    std::fprintf(stderr, "error: no members parsed from %s\n",
+                 target.c_str());
+    return 1;
+  }
+
+  // --- Poll: /health provenance, /metrics, /trace drains ------------------
+  std::printf("cluster: %zu member(s) via %s\n", members.size(),
+              target.c_str());
+  std::string merged_traces;
+  std::vector<obs::TimeSeriesPoint> points;
+  for (size_t i = 0; i < members.size(); ++i) {
+    const MemberEndpoint& m = members[i];
+    auto health = HttpGet(m.host, m.http_port, "/health");
+    if (!health.ok()) {
+      std::printf("  %-12s http=%-5u UNREACHABLE (%s)\n", m.name.c_str(),
+                  m.http_port, health.status().ToString().c_str());
+      continue;
+    }
+    std::string commit = "?", build = "?";
+    double wire_version = 0.0, uptime_s = 0.0;
+    FindJsonString(*health, "git_commit", &commit);
+    FindJsonString(*health, "build_type", &build);
+    FindJsonNumber(*health, "wire_version", &wire_version);
+    FindJsonNumber(*health, "uptime_s", &uptime_s);
+    const bool traced = health->find("\"trace_enabled\":true") !=
+                        std::string::npos;
+    std::printf("  %-12s http=%-5u commit=%s build=%s wire=v%d "
+                "uptime=%.1fs trace=%s\n",
+                m.name.c_str(), m.http_port, commit.c_str(), build.c_str(),
+                static_cast<int>(wire_version), uptime_s,
+                traced ? "on" : "off");
+    auto metrics = HttpGet(m.host, m.http_port, "/metrics");
+    if (metrics.ok()) {
+      points.push_back(PointFromMetricsJson(*metrics, i, m.name));
+    }
+    auto trace = HttpGet(m.host, m.http_port, "/trace");
+    if (trace.ok()) merged_traces += *trace;
+  }
+
+  // --- Transport RTT histograms (per daemon, per message type) ------------
+  bool any_rtt = false;
+  for (const obs::TimeSeriesPoint& point : points) {
+    for (const auto& [key, h] : point.histograms) {
+      if (key.rfind("transport.rtt_us", 0) != 0) continue;
+      if (!any_rtt) {
+        std::printf("\ntransport RTT (wall us, client side):\n");
+        any_rtt = true;
+      }
+      std::printf("  %-8s %-32s n=%-6llu mean=%-9.1f p95=%-9.1f p99=%.1f\n",
+                  point.label.c_str(), key.c_str(),
+                  static_cast<unsigned long long>(h.count), h.mean, h.p95,
+                  h.p99);
+    }
+  }
+
+  // --- Merged trace analysis + cross-node stitching -----------------------
+  std::vector<obs::TraceSpanRecord> spans;
+  std::string parse_error;
+  if (!merged_traces.empty() &&
+      obs::ParseTraceDump(merged_traces, &spans, &parse_error)) {
+    std::printf("\n%s", obs::RenderTraceReport(spans, top_k).c_str());
+    std::map<uint64_t, std::vector<const obs::TraceSpanRecord*>> by_trace;
+    std::map<uint64_t, const obs::TraceSpanRecord*> by_span;
+    for (const obs::TraceSpanRecord& s : spans) {
+      by_trace[s.trace_id].push_back(&s);
+      by_span[s.span_id] = &s;
+    }
+    size_t stitched = 0;
+    std::string section;
+    for (const auto& [trace_id, list] : by_trace) {
+      std::set<std::string> daemons;
+      for (const obs::TraceSpanRecord* s : list) daemons.insert(s->peer);
+      if (daemons.size() < 2) continue;
+      ++stitched;
+      if (stitched > top_k) continue;  // count all, print the first top_k
+      const obs::TraceSpanRecord* root = list.front();
+      for (const obs::TraceSpanRecord* s : list) {
+        if (s->parent_id == 0) root = s;
+      }
+      section += StrFormat("  trace %llu: %zu daemon(s)",
+                           static_cast<unsigned long long>(trace_id),
+                           daemons.size());
+      bool first = true;
+      for (const std::string& d : daemons) {
+        section += first ? " [" : ",";
+        section += d;
+        first = false;
+      }
+      section += StrFormat("], %zu span(s), root %s %.3f ms\n", list.size(),
+                           root->name.c_str(), root->dur_ms);
+      for (const obs::TraceSpanRecord* s : list) {
+        if (s->name.rfind("serve.", 0) != 0) continue;
+        const auto parent = by_span.find(s->parent_id);
+        if (parent == by_span.end()) continue;
+        const obs::TraceSpanRecord* call = parent->second;
+        section += StrFormat(
+            "    hop %s -> %s (%s): call %.3f ms, serve %.3f ms, "
+            "wire %.3f ms\n",
+            call->peer.c_str(), s->peer.c_str(), s->name.c_str() + 6,
+            call->dur_ms, s->dur_ms,
+            std::max(0.0, call->dur_ms - s->dur_ms));
+      }
+    }
+    std::printf("\ncross-node stitching: %zu of %zu trace(s) span >=2 "
+                "daemons\n",
+                stitched, by_trace.size());
+    std::printf("%s", section.c_str());
+    if (stitched > top_k) {
+      std::printf("  ... %zu more (raise --top to show)\n",
+                  stitched - top_k);
+    }
+  } else {
+    std::printf("\nno trace data: start the daemons with --trace and run "
+                "some queries before polling\n");
+  }
+
+  // --- SLO rules over the live metrics ------------------------------------
+  obs::SloWatchdog watchdog;
+  // Stock rule: a healthy cluster times out on nothing, so any timeout is
+  // an alert. The cross-label "transport.timeouts" aggregate only exists
+  // once a timeout was counted; absent metrics never fire.
+  watchdog.AddRule({"transport-timeouts", "transport.timeouts",
+                    obs::SloRuleKind::kUpperBound, 0.0});
+  if (!std::isnan(slo_rtt_p95_us)) {
+    std::set<std::string> rtt_keys;
+    for (const obs::TimeSeriesPoint& point : points) {
+      for (const auto& [key, h] : point.histograms) {
+        if (key.rfind("transport.rtt_us", 0) == 0) rtt_keys.insert(key);
+      }
+    }
+    for (const std::string& key : rtt_keys) {
+      watchdog.AddRule({"rtt-p95-budget", key + ".p95",
+                        obs::SloRuleKind::kUpperBound, slo_rtt_p95_us});
+    }
+  }
+  std::string alert_lines;
+  for (const obs::TimeSeriesPoint& point : points) {
+    const size_t before = watchdog.alerts().size();
+    watchdog.Evaluate(point, /*prev=*/nullptr);
+    for (size_t a = before; a < watchdog.alerts().size(); ++a) {
+      const obs::SloAlert& alert = watchdog.alerts()[a];
+      alert_lines += StrFormat("  ALERT %s: %s = %.3f > %.3f (daemon %s)\n",
+                               alert.rule.c_str(), alert.metric.c_str(),
+                               alert.value, alert.threshold,
+                               point.label.c_str());
+    }
+  }
+  std::printf("\nSLO: %zu rule(s) x %zu daemon(s), %zu alert(s)\n",
+              watchdog.rules().size(), points.size(),
+              watchdog.alerts().size());
+  std::printf("%s", alert_lines.c_str());
+  return watchdog.alerts().empty() ? 0 : 3;
+}
+
 // `sprite_cli batch <corpus.tsv> <queries.txt>` — the in-process reference
 // for the multi-process smoke: train a simulated SPRITE network on the
 // query list (--train issuances each), share the corpus, learn --iters
@@ -898,6 +1284,9 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "trace-report") == 0) {
     return CmdTraceReport(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "cluster-report") == 0) {
+    return CmdClusterReport(argc, argv);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "explain") == 0) {
     return CmdExplain(argc, argv);
   }
@@ -910,11 +1299,13 @@ int main(int argc, char** argv) {
                "  sprite_cli evaluate-trec <docs> <topics> <qrels> "
                "[options]\n"
                "  sprite_cli trace-report <trace-file> [--top=N]\n"
+               "  sprite_cli cluster-report <host:httpport> [--top=N "
+               "--slo-rtt-p95-us=X]\n"
                "  sprite_cli explain <corpus.tsv> \"<keywords>\" [options]\n"
                "  sprite_cli learning-ledger <corpus.tsv> \"<keywords>\" "
                "[options]\n"
                "  sprite_cli serve [--name= --host= --udp= --tcp= --http= "
-               "--join=HOST:UDPPORT --data-dir=PATH]\n"
+               "--join=HOST:UDPPORT --data-dir=PATH --trace]\n"
                "  sprite_cli join <host:udpport>\n"
                "  sprite_cli query <host:httpport> \"<keywords>\" [--k=N]\n"
                "  sprite_cli batch <corpus.tsv> <queries.txt> [options]\n"

@@ -10,7 +10,7 @@
 // Usage:
 //   sprite_daemon [--name=NAME] [--host=IP] [--udp=P] [--tcp=P] [--http=P]
 //                 [--join=HOST:UDPPORT] [--terms=N] [--initial-terms=N]
-//                 [--per-iter=N] [--data-dir=PATH]
+//                 [--per-iter=N] [--data-dir=PATH] [--trace]
 //
 // With --join the daemon joins an existing cluster through any member's
 // UDP control port; without it, it starts a one-node cluster others can
@@ -19,6 +19,10 @@
 // With --data-dir the daemon replays the durable store found there before
 // joining, and POST /flush persists the index half back to it — the
 // kill/restart recovery leg of tools/cluster_smoke.py.
+//
+// With --trace the daemon records wall-clock spans for every operation and
+// stamps trace context into outbound frames (DESIGN.md §16); GET /trace
+// drains them as JSONL for `sprite_cli cluster-report`.
 
 #include <csignal>
 #include <cstdio>
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kDataDirFlag,
                             sizeof(kDataDirFlag) - 1) == 0) {
       options.config.data_dir = argv[i] + sizeof(kDataDirFlag) - 1;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.enable_trace = true;
     } else if (std::sscanf(argv[i], "--udp=%llu", &v) == 1) {
       options.config.udp_port = static_cast<uint16_t>(v);
     } else if (std::sscanf(argv[i], "--tcp=%llu", &v) == 1) {
